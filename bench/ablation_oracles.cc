@@ -1,0 +1,129 @@
+// Ablation: one-shot frequency oracle comparison (the substrate layer of
+// Sec. 2.3, extended with Hadamard Response and Subset Selection).
+// Measures MSE on a Zipf workload and reports communication bits per
+// report, echoing the trade-off table of Wang et al. that motivates
+// LOLOHA's use of local hashing.
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "data/generators.h"
+#include "oracle/grr.h"
+#include "oracle/hadamard.h"
+#include "oracle/local_hash.h"
+#include "oracle/subset_selection.h"
+#include "oracle/unary.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace loloha;
+  const CommandLine cli(argc, argv);
+  const bench::HarnessConfig config =
+      bench::ParseHarness(cli, "ablation_oracles.csv");
+
+  const uint32_t k = static_cast<uint32_t>(cli.GetInt("k", 128));
+  const uint32_t n =
+      static_cast<uint32_t>(cli.GetInt("n", 100000 / config.scale));
+  const Dataset data = GenerateZipf(n, k, 1, 1.2, 0.0, config.seed);
+  const std::vector<double> truth = data.TrueFrequenciesAt(0);
+  const std::vector<uint32_t> values = data.StepValues(0);
+
+  struct Entry {
+    std::string name;
+    double bits;
+    std::function<std::vector<double>(double, Rng&)> run;
+  };
+  std::vector<Entry> oracles;
+  oracles.push_back({"GRR", std::ceil(std::log2(k)),
+                     [&](double eps, Rng& rng) {
+                       GrrClient client(k, eps);
+                       GrrServer server(k, eps);
+                       for (const uint32_t v : values) {
+                         server.Accumulate(client.Perturb(v, rng));
+                       }
+                       return server.Estimate();
+                     }});
+  oracles.push_back({"SUE", static_cast<double>(k),
+                     [&](double eps, Rng& rng) {
+                       UeClient client(k, eps, UeKind::kSymmetric);
+                       UeServer server(k, eps, UeKind::kSymmetric);
+                       for (const uint32_t v : values) {
+                         server.Accumulate(client.Perturb(v, rng));
+                       }
+                       return server.Estimate();
+                     }});
+  oracles.push_back({"OUE", static_cast<double>(k),
+                     [&](double eps, Rng& rng) {
+                       UeClient client(k, eps, UeKind::kOptimized);
+                       UeServer server(k, eps, UeKind::kOptimized);
+                       for (const uint32_t v : values) {
+                         server.Accumulate(client.Perturb(v, rng));
+                       }
+                       return server.Estimate();
+                     }});
+  oracles.push_back(
+      {"OLH", 0.0,  // resolved per eps below; ~log2(e^eps + 1) + hash seed
+       [&](double eps, Rng& rng) {
+         LhClient client = MakeOlhClient(k, eps);
+         LhServer server = MakeOlhServer(k, eps);
+         for (const uint32_t v : values) {
+           server.Accumulate(client.Perturb(v, rng));
+         }
+         return server.Estimate();
+       }});
+  oracles.push_back({"HR", 0.0,  // ceil(log2 K)
+                     [&](double eps, Rng& rng) {
+                       HadamardResponseClient client(k, eps);
+                       HadamardResponseServer server(k, eps);
+                       for (const uint32_t v : values) {
+                         server.Accumulate(client.Perturb(v, rng));
+                       }
+                       return server.Estimate();
+                     }});
+  oracles.push_back({"SS", 0.0,  // w * ceil(log2 k)
+                     [&](double eps, Rng& rng) {
+                       SubsetSelectionClient client(k, eps);
+                       SubsetSelectionServer server(k, eps);
+                       for (const uint32_t v : values) {
+                         server.Accumulate(client.Perturb(v, rng));
+                       }
+                       return server.Estimate();
+                     }});
+
+  TextTable table({"oracle", "eps=0.5", "eps=1", "eps=2", "eps=4",
+                   "bits/report (eps=1)"});
+  for (const Entry& oracle : oracles) {
+    std::vector<std::string> row = {oracle.name};
+    for (const double eps : {0.5, 1.0, 2.0, 4.0}) {
+      double mse = 0.0;
+      for (uint32_t r = 0; r < config.runs; ++r) {
+        Rng rng(config.seed + 17 * r + static_cast<uint64_t>(eps * 10));
+        mse += MeanSquaredError(truth, oracle.run(eps, rng));
+      }
+      row.push_back(FormatDouble(mse / config.runs, 4));
+    }
+    double bits = oracle.bits;
+    if (oracle.name == "OLH") {
+      bits = std::ceil(std::log2(OlhRange(1.0)));
+    } else if (oracle.name == "HR") {
+      bits = std::ceil(std::log2(2 * k));
+    } else if (oracle.name == "SS") {
+      bits = SubsetSize(k, 1.0) * std::ceil(std::log2(k));
+    }
+    row.push_back(FormatDouble(bits, 5));
+    table.AddRow(std::move(row));
+  }
+
+  std::printf(
+      "Ablation — one-shot oracle comparison on Zipf(1.2), k=%u, n=%u, "
+      "runs=%u\n\n%s\n",
+      k, n, config.runs, table.ToString().c_str());
+  if (!config.out_csv.empty()) table.WriteCsv(config.out_csv);
+  return 0;
+}

@@ -1,0 +1,139 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "data/generators.h"
+#include "sim/metrics.h"
+#include "sim/runner.h"
+#include "util/check.h"
+#include "util/table.h"
+
+namespace loloha::bench {
+
+HarnessConfig ParseHarness(const CommandLine& cli,
+                           const std::string& default_out) {
+  HarnessConfig config;
+  if (cli.HasFlag("full")) config.scale = 1;
+  config.scale =
+      static_cast<uint32_t>(cli.GetInt("scale", config.scale));
+  LOLOHA_CHECK(config.scale >= 1);
+  config.runs = static_cast<uint32_t>(cli.GetInt("runs", 2));
+  LOLOHA_CHECK(config.runs >= 1);
+  config.seed = static_cast<uint64_t>(cli.GetInt("seed", 20230328));
+  config.quick = cli.HasFlag("quick");
+  if (config.quick) {
+    config.scale = std::max(config.scale, 20u);
+    config.runs = 1;
+  }
+  std::string out = cli.GetString("out", "results/" + default_out);
+  const std::filesystem::path parent =
+      std::filesystem::path(out).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // best effort
+  }
+  config.out_csv = std::move(out);
+  return config;
+}
+
+std::vector<double> EpsPermGrid() {
+  std::vector<double> grid;
+  for (int i = 1; i <= 10; ++i) grid.push_back(0.5 * i);
+  return grid;
+}
+
+std::vector<double> AlphaGridFig2() {
+  return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+}
+
+std::vector<double> AlphaGridFig34() { return {0.4, 0.5, 0.6}; }
+
+Dataset MakeDataset(const std::string& which, const HarnessConfig& config,
+                    uint64_t seed) {
+  const uint32_t scale = config.scale;
+  auto scaled = [scale](uint32_t n) {
+    return std::max(n / scale, 50u);
+  };
+  const uint32_t tau_cap = config.quick ? 20u : 0xffffffffu;
+  if (which == "syn") {
+    return GenerateSyn(scaled(10000), 360, std::min(120u, tau_cap), 0.25,
+                       seed);
+  }
+  if (which == "adult") {
+    return GenerateAdultLike(scaled(45222), std::min(260u, tau_cap), seed);
+  }
+  if (which == "db_mt") {
+    return GenerateReplicateWeights("DB_MT", scaled(10336),
+                                    std::min(80u, tau_cap), 0.06, 3, seed);
+  }
+  if (which == "db_de") {
+    return GenerateReplicateWeights("DB_DE", scaled(9123),
+                                    std::min(80u, tau_cap), 0.055, 4, seed);
+  }
+  LOLOHA_CHECK_MSG(false, "unknown dataset name");
+  return GenerateSynPaper(seed);
+}
+
+double Mean(const std::vector<double>& values) {
+  LOLOHA_CHECK(!values.empty());
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+int RunFig3Panel(const std::string& dataset_name, bool include_dbitflip,
+                 uint32_t bucket_divisor, int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const HarnessConfig config =
+      ParseHarness(cli, "fig3_mse_" + dataset_name + ".csv");
+
+  const Dataset data = MakeDataset(dataset_name, config, config.seed);
+  std::printf(
+      "Figure 3 (%s) — MSE_avg (Eq. 7); n=%u (scale 1/%u of paper), k=%u, "
+      "tau=%u, runs=%u\n\n",
+      data.name().c_str(), data.n(), config.scale, data.k(), data.tau(),
+      config.runs);
+
+  RunnerOptions options;
+  options.bucket_divisor = bucket_divisor;
+  const std::vector<ProtocolId> protocols =
+      Figure3Protocols(include_dbitflip);
+
+  std::vector<std::string> header = {"alpha", "eps_inf"};
+  for (const ProtocolId id : protocols) header.push_back(ProtocolName(id));
+  TextTable table(header);
+
+  for (const double alpha : AlphaGridFig34()) {
+    for (const double eps : EpsPermGrid()) {
+      std::vector<std::string> row = {FormatDouble(alpha, 2),
+                                      FormatDouble(eps, 3)};
+      for (const ProtocolId id : protocols) {
+        const auto runner = MakeRunner(id, eps, alpha * eps, options);
+        std::vector<double> mses;
+        for (uint32_t r = 0; r < config.runs; ++r) {
+          const RunResult result =
+              runner->Run(data, config.seed + 7919 * r + 13);
+          mses.push_back(result.bins == data.k()
+                             ? MseAvg(data, result.estimates)
+                             : MseAvgBucketed(
+                                   data,
+                                   Bucketizer(data.k(),
+                                              ResolveBuckets(options,
+                                                             data.k())),
+                                   result.estimates));
+        }
+        row.push_back(FormatDouble(Mean(mses), 4));
+      }
+      table.AddRow(std::move(row));
+      std::printf(".");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n\n%s\n", table.ToString().c_str());
+  if (!config.out_csv.empty()) table.WriteCsv(config.out_csv);
+  return 0;
+}
+
+}  // namespace loloha::bench

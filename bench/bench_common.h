@@ -1,0 +1,63 @@
+// Shared harness for the figure/table reproduction binaries.
+//
+// Every binary accepts:
+//   --full           paper-scale n and runs (slow on one core)
+//   --scale=S        divide n by S (default 5 unless --full)
+//   --runs=R         Monte-Carlo repetitions (default 2, paper used 20)
+//   --seed=N         base seed (default 20230328, the EDBT'23 date)
+//   --out=PATH.csv   where to write the CSV copy of the printed table
+//                    (default: results/<binary>.csv, directory auto-created)
+//
+// Scaling note: the protocols' MSE is (in expectation) proportional to
+// 1/n, so dividing n by S preserves every comparison in Fig. 3 (who wins,
+// crossovers) while multiplying absolute values by ~S. EXPERIMENTS.md
+// records which configuration produced the stored outputs.
+
+#ifndef LOLOHA_BENCH_BENCH_COMMON_H_
+#define LOLOHA_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/cli.h"
+
+namespace loloha::bench {
+
+struct HarnessConfig {
+  uint32_t scale = 5;     // divide dataset n by this
+  uint32_t runs = 2;      // Monte-Carlo repetitions
+  uint64_t seed = 20230328;
+  std::string out_csv;    // empty = derive from program name
+  bool quick = false;     // extra-small smoke mode
+};
+
+HarnessConfig ParseHarness(const CommandLine& cli,
+                           const std::string& default_out);
+
+// The paper's privacy grids.
+std::vector<double> EpsPermGrid();                 // 0.5, 1.0, ..., 5.0
+std::vector<double> AlphaGridFig2();               // 0.1 ... 0.6
+std::vector<double> AlphaGridFig34();              // 0.4, 0.5, 0.6
+
+// Builds one of the paper's four datasets with n divided by
+// `config.scale` (and tau capped in --quick mode). `which` is one of
+// "syn", "adult", "db_mt", "db_de".
+Dataset MakeDataset(const std::string& which, const HarnessConfig& config,
+                    uint64_t seed);
+
+// Mean of `values`.
+double Mean(const std::vector<double>& values);
+
+// Shared driver for the four Fig. 3 panels: runs every protocol of the
+// paper's legend over the named dataset for the full (ε∞, α) grid and
+// prints/persists MSE_avg rows. `include_dbitflip` is false for the DB_*
+// panels (their b < k histograms are not comparable, Sec. 5.2);
+// `bucket_divisor` matches the paper's b = k (1) or b = k/4 (4).
+int RunFig3Panel(const std::string& dataset_name, bool include_dbitflip,
+                 uint32_t bucket_divisor, int argc, char** argv);
+
+}  // namespace loloha::bench
+
+#endif  // LOLOHA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,159 @@
+// Micro-benchmarks: client-side perturbation and server-side aggregation
+// throughput for every protocol (google-benchmark). Not a paper figure —
+// these quantify the "Comm. / Server run-time" column of Table 1 in wall
+// clock terms.
+
+#include <benchmark/benchmark.h>
+
+#include "core/loloha.h"
+#include "core/loloha_params.h"
+#include "longitudinal/dbitflip.h"
+#include "longitudinal/lgrr.h"
+#include "longitudinal/lue.h"
+#include "oracle/grr.h"
+#include "oracle/local_hash.h"
+#include "oracle/unary.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace loloha;
+
+constexpr double kEps = 2.0;
+constexpr double kEps1 = 1.0;
+
+void BM_GrrPerturb(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  GrrClient client(k, kEps);
+  Rng rng(1);
+  uint32_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Perturb(v, rng));
+    v = (v + 1) % k;
+  }
+}
+BENCHMARK(BM_GrrPerturb)->Arg(16)->Arg(360)->Arg(1412);
+
+void BM_UePerturb(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  UeClient client(k, kEps, UeKind::kOptimized);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Perturb(7 % k, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_UePerturb)->Arg(96)->Arg(360)->Arg(1412);
+
+void BM_LhPerturb(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  LhClient client = MakeOlhClient(k, kEps);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Perturb(5 % k, rng));
+  }
+}
+BENCHMARK(BM_LhPerturb)->Arg(360)->Arg(1412);
+
+void BM_LhServerAccumulate(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  LhClient client = MakeOlhClient(k, kEps);
+  LhServer server = MakeOlhServer(k, kEps);
+  Rng rng(1);
+  const LhReport report = client.Perturb(3 % k, rng);
+  for (auto _ : state) {
+    server.Accumulate(report);
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_LhServerAccumulate)->Arg(360)->Arg(1412);
+
+void BM_LolohaClientReport(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  Rng rng(1);
+  const LolohaParams params = MakeOLolohaParams(k, kEps, kEps1);
+  LolohaClient client(params, rng);
+  uint32_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Report(v, rng));
+    v = (v + 1) % k;
+  }
+}
+BENCHMARK(BM_LolohaClientReport)->Arg(360)->Arg(1412);
+
+void BM_LolohaPopulationStep(benchmark::State& state) {
+  const uint32_t k = 360;
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Rng rng(1);
+  const LolohaParams params = MakeBiLolohaParams(k, kEps, kEps1);
+  LolohaPopulation population(params, n, rng);
+  std::vector<uint32_t> values(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    values[u] = static_cast<uint32_t>(rng.UniformInt(k));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(population.Step(values, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LolohaPopulationStep)->Arg(1000)->Arg(10000);
+
+void BM_LGrrClientReport(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  const ChainedParams chain = LGrrChain(kEps, kEps1, k);
+  LongitudinalGrrClient client(k, chain);
+  Rng rng(1);
+  uint32_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Report(v, rng));
+    v = (v + 7) % k;
+  }
+}
+BENCHMARK(BM_LGrrClientReport)->Arg(360)->Arg(1412);
+
+void BM_LuePopulationStep(benchmark::State& state) {
+  const uint32_t k = 96;
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const ChainedParams chain = LOsueChain(kEps, kEps1);
+  LongitudinalUePopulation population(k, n, chain);
+  Rng rng(1);
+  std::vector<uint32_t> values(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    values[u] = static_cast<uint32_t>(rng.UniformInt(k));
+  }
+  for (auto _ : state) {
+    // Re-randomize ~all values to exercise the memo update path.
+    for (uint32_t u = 0; u < n; ++u) {
+      values[u] = static_cast<uint32_t>(rng.UniformInt(k));
+    }
+    benchmark::DoNotOptimize(population.Step(values, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LuePopulationStep)->Arg(1000)->Arg(10000);
+
+void BM_DBitFlipPopulationStep(benchmark::State& state) {
+  const uint32_t k = 360;
+  const uint32_t b = 360;
+  const uint32_t d = static_cast<uint32_t>(state.range(0));
+  const uint32_t n = 5000;
+  Rng rng(1);
+  const Bucketizer bucketizer(k, b);
+  DBitFlipPopulation population(bucketizer, d, kEps, n, rng);
+  std::vector<uint32_t> values(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    values[u] = static_cast<uint32_t>(rng.UniformInt(k));
+  }
+  for (auto _ : state) {
+    for (uint32_t u = 0; u < n; ++u) {
+      if (rng.Bernoulli(0.25)) {
+        values[u] = static_cast<uint32_t>(rng.UniformInt(k));
+      }
+    }
+    benchmark::DoNotOptimize(population.Step(values, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DBitFlipPopulationStep)->Arg(1)->Arg(360);
+
+}  // namespace

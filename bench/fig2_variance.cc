@@ -1,0 +1,43 @@
+// Figure 2: numerical approximate variance V* (Eq. 5) of L-OSUE, OLOLOHA,
+// RAPPOR and BiLOLOHA at n = 10000, for ε∞ in [0.5, 5] and ε1 = αε∞ with
+// α in {0.1, ..., 0.6}. One block of rows per α, matching the paper's six
+// panels.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/theory.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace loloha;
+  const CommandLine cli(argc, argv);
+  const bench::HarnessConfig config =
+      bench::ParseHarness(cli, "fig2_variance.csv");
+  const double n = cli.GetDouble("n", 10000.0);
+  const uint32_t k = 360;  // only L-GRR (not plotted) depends on k
+
+  TextTable table({"alpha", "eps_inf", "L-OSUE", "OLOLOHA", "RAPPOR",
+                   "BiLOLOHA"});
+  for (const double alpha : bench::AlphaGridFig2()) {
+    for (const double eps : bench::EpsPermGrid()) {
+      const double eps1 = alpha * eps;
+      table.AddRow(
+          {FormatDouble(alpha, 2), FormatDouble(eps, 3),
+           FormatDouble(ProtocolApproxVariance(ProtocolId::kLOsue, n, k,
+                                               eps, eps1)),
+           FormatDouble(ProtocolApproxVariance(ProtocolId::kOLoloha, n, k,
+                                               eps, eps1)),
+           FormatDouble(ProtocolApproxVariance(ProtocolId::kRappor, n, k,
+                                               eps, eps1)),
+           FormatDouble(ProtocolApproxVariance(ProtocolId::kBiLoloha, n, k,
+                                               eps, eps1))});
+    }
+  }
+
+  std::printf(
+      "Figure 2 — approximate variance V* (Eq. 5), n=%.0f\n\n%s\n", n,
+      table.ToString().c_str());
+  if (!config.out_csv.empty()) table.WriteCsv(config.out_csv);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 3b: MSE_avg on the Adult-like dataset (k = 96, n = 45222,
+// tau = 260; see DESIGN.md for the offline substitution). dBitFlipPM runs
+// with b = k as in the paper.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  return loloha::bench::RunFig3Panel("adult", /*include_dbitflip=*/true,
+                                     /*bucket_divisor=*/1, argc, argv);
+}

@@ -1,0 +1,9 @@
+// Figure 3d: MSE_avg on the DB_DE-like replicate-weight dataset
+// (k ~ 1234, n = 9123, tau = 80). dBitFlipPM excluded (b = k/4).
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  return loloha::bench::RunFig3Panel("db_de", /*include_dbitflip=*/false,
+                                     /*bucket_divisor=*/4, argc, argv);
+}

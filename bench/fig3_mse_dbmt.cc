@@ -1,0 +1,10 @@
+// Figure 3c: MSE_avg on the DB_MT-like replicate-weight dataset
+// (k ~ 1412, n = 10336, tau = 80). dBitFlipPM is excluded, as in the
+// paper: with b = k/4 its b-bin histogram is not comparable.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  return loloha::bench::RunFig3Panel("db_mt", /*include_dbitflip=*/false,
+                                     /*bucket_divisor=*/4, argc, argv);
+}

@@ -1,0 +1,10 @@
+// Figure 3a: MSE_avg on the Syn dataset (k = 360, n = 10000, tau = 120,
+// p_ch = 0.25), seven methods, eps grid x alpha in {0.4, 0.5, 0.6}.
+// dBitFlipPM runs with b = k as in the paper.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  return loloha::bench::RunFig3Panel("syn", /*include_dbitflip=*/true,
+                                     /*bucket_divisor=*/1, argc, argv);
+}

@@ -1,0 +1,79 @@
+// Heavy-hitter discovery over a huge domain — finding the most common
+// typed emojis / visited URLs without enumerating the domain (the
+// application the paper cites frequency oracles for; cf. Apple's emoji
+// deployment).
+//
+// The domain here is 2^20 (~1M values), far too large for a direct
+// frequency oracle sweep; PEM narrows it down level by level using only
+// one eps-LDP report per user.
+//
+//   $ ./build/examples/heavy_hitters
+
+#include <cstdio>
+#include <vector>
+
+#include "hh/pem.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace loloha;
+
+  PemConfig config;
+  config.domain_bits = 20;
+  config.levels = 4;
+  config.epsilon = 3.0;
+  config.threshold = 0.015;
+  config.max_candidates = 48;
+
+  // Ground truth: five "popular emojis" with 38% of the traffic, the rest
+  // uniform background over the million-value domain.
+  const struct {
+    uint64_t value;
+    double mass;
+  } kPlanted[] = {{0x9F602, 0.14},   // grinning face, say
+                  {0x2764F, 0.10},   // heart
+                  {0x9F44D, 0.07},   // thumbs up
+                  {0x9F923, 0.04},   // rofl
+                  {0x9F614, 0.03}};  // pensive
+
+  constexpr uint32_t kUsers = 400000;
+  Rng rng(2023);
+  PemServer server(config);
+  for (uint32_t u = 0; u < kUsers; ++u) {
+    uint64_t value = 0;
+    double roll = rng.UniformDouble();
+    bool assigned = false;
+    for (const auto& planted : kPlanted) {
+      if (roll < planted.mass) {
+        value = planted.value;
+        assigned = true;
+        break;
+      }
+      roll -= planted.mass;
+    }
+    if (!assigned) {
+      value = rng.UniformInt(uint64_t{1} << config.domain_bits);
+    }
+    const PemClient client(config, u);
+    server.Accumulate(client.Report(value, rng));
+  }
+
+  const std::vector<PemHitter> hitters = server.Identify();
+  std::printf(
+      "PEM over a 2^%u domain, %u users, eps=%g, %u levels:\n\n"
+      "  %-10s %-10s %s\n",
+      config.domain_bits, kUsers, config.epsilon, config.levels, "value",
+      "estimate", "truth");
+  for (const PemHitter& hitter : hitters) {
+    double truth = 0.0;
+    for (const auto& planted : kPlanted) {
+      if (planted.value == hitter.value) truth = planted.mass;
+    }
+    std::printf("  0x%-8llx %-10.4f %.4f%s\n",
+                static_cast<unsigned long long>(hitter.value),
+                hitter.estimate, truth,
+                truth == 0.0 ? "  (false positive)" : "");
+  }
+  std::printf("\nplanted: 5 heavy values; found: %zu\n", hitters.size());
+  return hitters.size() >= 4 ? 0 : 1;
+}

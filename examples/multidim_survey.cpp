@@ -1,0 +1,100 @@
+// Multidimensional longitudinal survey: a health-style panel where each
+// user reports three attributes every week (activity level, sleep bucket,
+// mood) and the server wants one evolving histogram per attribute.
+//
+// Demonstrates the two budget strategies of src/multidim (SPL: split the
+// budget across attributes; SMP: each user reports one sampled attribute
+// at full budget) and measures their accuracy head to head.
+//
+//   $ ./build/examples/multidim_survey
+
+#include <cstdio>
+#include <vector>
+
+#include "multidim/multidim.h"
+#include "util/alias_sampler.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace loloha;
+
+// Runs `tau` collection steps under one strategy and returns the average
+// MSE across attributes and steps.
+double RunStrategy(MultidimStrategy strategy, uint32_t n, uint32_t tau,
+                   uint64_t seed) {
+  MultidimConfig config;
+  config.domain_sizes = {5, 8, 7};  // activity, sleep, mood
+  config.eps_perm = 3.0;
+  config.eps_first = 1.2;
+  config.strategy = strategy;
+  config.g = 2;  // BiLOLOHA per attribute: strongest longitudinal privacy
+
+  Rng rng(seed);
+  std::vector<MultidimLolohaClient> clients;
+  clients.reserve(n);
+  for (uint32_t u = 0; u < n; ++u) clients.emplace_back(config, rng);
+
+  // Skewed per-attribute marginals.
+  const AliasSampler activity({0.4, 0.3, 0.15, 0.1, 0.05});
+  const AliasSampler sleep({0.05, 0.1, 0.2, 0.3, 0.2, 0.1, 0.03, 0.02});
+  const AliasSampler mood({0.1, 0.15, 0.3, 0.2, 0.1, 0.1, 0.05});
+
+  MultidimLolohaServer server(config);
+  std::vector<std::vector<uint32_t>> values(
+      n, std::vector<uint32_t>(config.domain_sizes.size()));
+  double mse_total = 0.0;
+  uint32_t mse_terms = 0;
+  for (uint32_t t = 0; t < tau; ++t) {
+    // 20% of users re-draw each attribute per step.
+    for (uint32_t u = 0; u < n; ++u) {
+      if (t == 0 || rng.Bernoulli(0.2)) values[u][0] = activity.Sample(rng);
+      if (t == 0 || rng.Bernoulli(0.2)) values[u][1] = sleep.Sample(rng);
+      if (t == 0 || rng.Bernoulli(0.2)) values[u][2] = mood.Sample(rng);
+    }
+    server.BeginStep();
+    for (uint32_t u = 0; u < n; ++u) {
+      server.Accumulate(clients[u], clients[u].Report(values[u], rng));
+    }
+    const auto estimates = server.EstimateStep();
+
+    for (uint32_t j = 0; j < config.domain_sizes.size(); ++j) {
+      if (estimates[j].empty()) continue;
+      std::vector<uint32_t> column(n);
+      for (uint32_t u = 0; u < n; ++u) column[u] = values[u][j];
+      const std::vector<double> truth =
+          TrueFrequencies(column, config.domain_sizes[j]);
+      mse_total += MeanSquaredError(truth, estimates[j]);
+      ++mse_terms;
+    }
+  }
+  return mse_total / mse_terms;
+}
+
+}  // namespace
+
+int main() {
+  constexpr uint32_t kUsers = 30000;
+  constexpr uint32_t kSteps = 5;
+
+  const double mse_spl =
+      RunStrategy(MultidimStrategy::kSplit, kUsers, kSteps, 1);
+  const double mse_smp =
+      RunStrategy(MultidimStrategy::kSample, kUsers, kSteps, 2);
+
+  TextTable table({"strategy", "per-attr budget", "users per attr",
+                   "MSE_avg"});
+  table.AddRow({"SPL (split)", "eps/3", std::to_string(kUsers),
+                FormatDouble(mse_spl, 4)});
+  table.AddRow({"SMP (sample)", "eps", std::to_string(kUsers / 3),
+                FormatDouble(mse_smp, 4)});
+  std::printf(
+      "Multidimensional survey: 3 attributes, n=%u, tau=%u, eps_inf=3.0, "
+      "eps1=1.2, BiLOLOHA per attribute\n\n%s\nSMP wins: LDP noise grows "
+      "super-linearly as eps shrinks, while splitting users only scales "
+      "variance linearly.\n",
+      kUsers, kSteps, table.ToString().c_str());
+  return mse_smp < mse_spl ? 0 : 1;
+}

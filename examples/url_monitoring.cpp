@@ -1,0 +1,59 @@
+// Monitoring preferred web domains — the large-k motivating scenario from
+// the paper's introduction (longitudinal privacy linear in k is "excessive
+// for large domains, such as Internet domains").
+//
+// Compares RAPPOR, L-OSUE, BiLOLOHA and OLOLOHA on a k = 5000 domain over
+// repeated collections: communication cost per report, worst-case
+// longitudinal budget, measured accuracy, and measured privacy spend.
+//
+//   $ ./build/examples/url_monitoring
+
+#include <cstdio>
+#include <vector>
+
+#include "core/theory.h"
+#include "data/generators.h"
+#include "sim/metrics.h"
+#include "sim/runner.h"
+#include "util/table.h"
+
+int main() {
+  using namespace loloha;
+
+  // Zipf-distributed domain popularity (web traffic is heavy-tailed);
+  // users occasionally change their preferred domain.
+  const uint32_t k = 5000;
+  const Dataset data = GenerateZipf(/*n=*/4000, k, /*tau=*/6, /*s=*/1.1,
+                                    /*p_change=*/0.3, /*seed=*/17);
+
+  const double eps_perm = 2.0;
+  const double eps_first = 1.0;
+
+  TextTable table({"protocol", "bits/report", "worst-case budget",
+                   "measured eps_avg", "MSE_avg"});
+  for (const ProtocolId id :
+       {ProtocolId::kRappor, ProtocolId::kLOsue, ProtocolId::kBiLoloha,
+        ProtocolId::kOLoloha}) {
+    const RunResult result =
+        MakeRunner(id, eps_perm, eps_first)->Run(data, 3);
+    const ProtocolCharacteristics chars =
+        Characteristics(id, k, k, 1, eps_perm, eps_first);
+    table.AddRow({result.protocol,
+                  FormatDouble(result.comm_bits_per_report, 6),
+                  FormatDouble(chars.worst_case_budget, 6),
+                  FormatDouble(EpsAvg(result.per_user_epsilon), 4),
+                  FormatDouble(MseAvg(data, result.estimates), 3)});
+  }
+
+  std::printf(
+      "Web-domain monitoring: k=%u domains, n=%u users, tau=%u "
+      "collections, eps_inf=%g, eps1=%g\n\n%s\n",
+      k, data.n(), data.tau(), eps_perm, eps_first,
+      table.ToString().c_str());
+  std::printf(
+      "Takeaway: a RAPPOR user ships %u bits per report and risks "
+      "k*eps = %g of budget;\na BiLOLOHA user ships 1 bit and never "
+      "exceeds 2*eps = %g, at comparable accuracy.\n",
+      k, k * eps_perm, 2 * eps_perm);
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "core/inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "oracle/estimator.h"
+#include "util/check.h"
+
+namespace loloha {
+
+namespace {
+
+ConfidenceInterval CiFromVariance(double f_hat, double variance,
+                                  double confidence) {
+  LOLOHA_CHECK(confidence > 0.0 && confidence < 1.0);
+  const double z = InverseNormalCdf(0.5 + confidence / 2.0);
+  const double half_width = z * std::sqrt(std::max(variance, 0.0));
+  return ConfidenceInterval{f_hat - half_width, f_hat + half_width};
+}
+
+}  // namespace
+
+double InverseNormalCdf(double p) {
+  LOLOHA_CHECK(p > 0.0 && p < 1.0);
+  // Acklam's algorithm: rational approximations on a central region and
+  // two tails.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double kLow = 0.02425;
+  constexpr double kHigh = 1.0 - kLow;
+
+  if (p < kLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > kHigh) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+ConfidenceInterval ChainedEstimateCi(double f_hat, double n,
+                                     const PerturbParams& first,
+                                     const PerturbParams& second,
+                                     double confidence) {
+  const double f_plug = std::clamp(f_hat, 0.0, 1.0);
+  return CiFromVariance(f_hat, ExactVariance(n, f_plug, first, second),
+                        confidence);
+}
+
+ConfidenceInterval OneRoundEstimateCi(double f_hat, double n,
+                                      const PerturbParams& params,
+                                      double confidence) {
+  const double f_plug = std::clamp(f_hat, 0.0, 1.0);
+  return CiFromVariance(f_hat, OneRoundVariance(n, f_plug, params),
+                        confidence);
+}
+
+std::vector<HeavyHitter> DetectHeavyHitters(
+    const std::vector<double>& estimates, double n,
+    const PerturbParams& first, const PerturbParams& second,
+    double z_threshold) {
+  LOLOHA_CHECK(z_threshold > 0.0);
+  const double sigma0 = std::sqrt(ExactVariance(n, 0.0, first, second));
+  std::vector<HeavyHitter> hitters;
+  for (size_t v = 0; v < estimates.size(); ++v) {
+    const double z = estimates[v] / sigma0;
+    if (z >= z_threshold) {
+      hitters.push_back(
+          HeavyHitter{static_cast<uint32_t>(v), estimates[v], z});
+    }
+  }
+  std::sort(hitters.begin(), hitters.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              return a.estimate > b.estimate;
+            });
+  return hitters;
+}
+
+std::vector<double> NormSub(const std::vector<double>& estimates) {
+  const size_t k = estimates.size();
+  LOLOHA_CHECK(k > 0);
+  // Find delta such that sum_i max(estimates[i] - delta, 0) = 1. The
+  // left-hand side is continuous and strictly decreasing in delta wherever
+  // positive, so bisection converges; seed bounds from the data.
+  double lo = *std::min_element(estimates.begin(), estimates.end()) - 1.0;
+  double hi = *std::max_element(estimates.begin(), estimates.end());
+  auto mass = [&estimates](double delta) {
+    double total = 0.0;
+    for (const double e : estimates) total += std::max(e - delta, 0.0);
+    return total;
+  };
+  // mass(lo) >= max - (min - 1) >= 1, so a root always exists in [lo, hi].
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (mass(mid) > 1.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double delta = 0.5 * (lo + hi);
+  std::vector<double> out(k);
+  for (size_t i = 0; i < k; ++i) out[i] = std::max(estimates[i] - delta, 0.0);
+  // Exact renormalization to absorb bisection residue.
+  double total = 0.0;
+  for (const double o : out) total += o;
+  if (total > 0.0) {
+    for (double& o : out) o /= total;
+  }
+  return out;
+}
+
+}  // namespace loloha

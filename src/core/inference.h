@@ -1,0 +1,71 @@
+// Statistical inference utilities on top of the unbiased estimators:
+// per-coordinate confidence intervals (normal approximation with the exact
+// variance of Eq. 4) and consistency post-processing of estimate vectors.
+//
+// Post-processing is 0-cost privacy-wise (Prop. 2.2) but trades the
+// unbiasedness the paper's metrics rely on for plausibility; the paper's
+// experiments use raw estimates, and so do ours — these helpers are for
+// consumers of the library.
+
+#ifndef LOLOHA_CORE_INFERENCE_H_
+#define LOLOHA_CORE_INFERENCE_H_
+
+#include <vector>
+
+#include "oracle/params.h"
+
+namespace loloha {
+
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool Contains(double x) const { return x >= lo && x <= hi; }
+  double width() const { return hi - lo; }
+};
+
+// Two-sided normal-approximation CI for one chained estimate `f_hat` from
+// n reports. `confidence` in (0, 1), e.g. 0.95. The variance is Eq. (4)
+// evaluated at f = clamp(f_hat, 0, 1) (plug-in).
+ConfidenceInterval ChainedEstimateCi(double f_hat, double n,
+                                     const PerturbParams& first,
+                                     const PerturbParams& second,
+                                     double confidence);
+
+// One-round (Eq. 1) version.
+ConfidenceInterval OneRoundEstimateCi(double f_hat, double n,
+                                      const PerturbParams& params,
+                                      double confidence);
+
+// Inverse standard normal CDF (Acklam's rational approximation, |err| <
+// 1.2e-8 over (0, 1)); exposed for testing.
+double InverseNormalCdf(double p);
+
+// One detected heavy hitter: a value whose estimated frequency is
+// significantly above zero.
+struct HeavyHitter {
+  uint32_t value = 0;
+  double estimate = 0.0;
+  double z_score = 0.0;  // estimate / noise standard deviation at f = 0
+};
+
+// Returns the values whose estimate exceeds `z_threshold` standard
+// deviations of the estimator noise at f = 0 (the classic
+// frequency-oracle-based heavy-hitter detection rule), sorted by estimate
+// descending. The expected number of false positives over k nulls is
+// k * Phi(-z): z = 4 keeps it ~3e-5 * k.
+std::vector<HeavyHitter> DetectHeavyHitters(
+    const std::vector<double>& estimates, double n,
+    const PerturbParams& first, const PerturbParams& second,
+    double z_threshold);
+
+// "Norm-Sub" consistency step (Wang et al., CCS'20 family): shift all
+// coordinates by a common delta (of either sign), clamp negatives to zero,
+// and choose delta so the surviving mass sums to one. Always returns a
+// valid distribution; an all-negative input degenerates to a point mass on
+// the largest coordinate.
+std::vector<double> NormSub(const std::vector<double>& estimates);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_CORE_INFERENCE_H_

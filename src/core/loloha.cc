@@ -1,0 +1,123 @@
+#include "core/loloha.h"
+
+#include "oracle/estimator.h"
+#include "util/check.h"
+
+namespace loloha {
+
+LolohaClient::LolohaClient(const LolohaParams& params, Rng& rng)
+    : params_(params),
+      hash_(UniversalHash::Sample(params.g, rng)),
+      memo_(params.g, -1) {}
+
+uint32_t LolohaClient::Report(uint32_t value, Rng& rng) {
+  LOLOHA_CHECK(value < params_.k);
+  const uint32_t cell = hash_(value);  // hash step
+  int32_t memoized = memo_[cell];
+  if (memoized < 0) {
+    // PRR step: GRR(cell; ε∞) over [0, g), drawn once per cell.
+    uint32_t drawn = cell;
+    if (!rng.Bernoulli(params_.prr.p)) {
+      drawn = static_cast<uint32_t>(
+          rng.UniformIntExcluding(params_.g, cell));
+    }
+    memoized = static_cast<int32_t>(drawn);
+    memo_[cell] = memoized;
+    ++distinct_memos_;
+  }
+  // IRR step: GRR(x'; ε_IRR), fresh every report.
+  if (rng.Bernoulli(params_.irr.p)) return static_cast<uint32_t>(memoized);
+  return static_cast<uint32_t>(rng.UniformIntExcluding(
+      params_.g, static_cast<uint32_t>(memoized)));
+}
+
+LolohaServer::LolohaServer(const LolohaParams& params)
+    : params_(params), support_(params.k, 0) {}
+
+void LolohaServer::BeginStep() {
+  support_.assign(params_.k, 0);
+  num_reports_ = 0;
+}
+
+void LolohaServer::Accumulate(const UniversalHash& hash,
+                              uint32_t reported_cell) {
+  LOLOHA_CHECK(hash.range() == params_.g);
+  LOLOHA_CHECK(reported_cell < params_.g);
+  for (uint32_t v = 0; v < params_.k; ++v) {
+    if (hash(v) == reported_cell) ++support_[v];
+  }
+  ++num_reports_;
+}
+
+std::vector<double> LolohaServer::EstimateStep() const {
+  LOLOHA_CHECK_MSG(num_reports_ > 0, "no reports accumulated");
+  std::vector<double> counts(support_.begin(), support_.end());
+  return EstimateFrequenciesChained(counts,
+                                    static_cast<double>(num_reports_),
+                                    params_.EstimatorFirst(), params_.irr);
+}
+
+LolohaPopulation::LolohaPopulation(const LolohaParams& params, uint32_t n,
+                                   Rng& rng)
+    : params_(params),
+      n_(n),
+      hash_rows_(static_cast<size_t>(n) * params.k),
+      memo_(static_cast<size_t>(n) * params.g, -1),
+      memo_counts_(n, 0) {
+  LOLOHA_CHECK(n >= 1);
+  LOLOHA_CHECK_MSG(params.g <= 65535, "population path supports g < 2^16");
+  for (uint32_t u = 0; u < n_; ++u) {
+    const UniversalHash hash = UniversalHash::Sample(params_.g, rng);
+    uint16_t* row = &hash_rows_[static_cast<size_t>(u) * params_.k];
+    for (uint32_t v = 0; v < params_.k; ++v) {
+      row[v] = static_cast<uint16_t>(hash(v));
+    }
+  }
+}
+
+std::vector<double> LolohaPopulation::Step(
+    const std::vector<uint32_t>& values, Rng& rng) {
+  LOLOHA_CHECK(values.size() == n_);
+  const uint32_t k = params_.k;
+  const uint32_t g = params_.g;
+
+  std::vector<uint64_t> support(k, 0);
+  for (uint32_t u = 0; u < n_; ++u) {
+    const uint16_t* row = &hash_rows_[static_cast<size_t>(u) * k];
+    const uint32_t cell = row[values[u]];
+
+    int16_t* memo = &memo_[static_cast<size_t>(u) * g];
+    int32_t memoized = memo[cell];
+    if (memoized < 0) {
+      uint32_t drawn = cell;
+      if (!rng.Bernoulli(params_.prr.p)) {
+        drawn = static_cast<uint32_t>(rng.UniformIntExcluding(g, cell));
+      }
+      memoized = static_cast<int32_t>(drawn);
+      memo[cell] = static_cast<int16_t>(drawn);
+      ++memo_counts_[u];
+    }
+
+    uint32_t report = static_cast<uint32_t>(memoized);
+    if (!rng.Bernoulli(params_.irr.p)) {
+      report = static_cast<uint32_t>(rng.UniformIntExcluding(g, report));
+    }
+
+    // Support counting (Algorithm 2, line 4), vector-friendly inner loop.
+    const uint16_t target = static_cast<uint16_t>(report);
+    for (uint32_t v = 0; v < k; ++v) {
+      support[v] += (row[v] == target) ? 1 : 0;
+    }
+  }
+
+  std::vector<double> counts(support.begin(), support.end());
+  return EstimateFrequenciesChained(counts, static_cast<double>(n_),
+                                    params_.EstimatorFirst(), params_.irr);
+}
+
+uint32_t LolohaPopulation::DistinctMemos(uint32_t user) const {
+  LOLOHA_CHECK(user < n_);
+  return memo_counts_[user];
+}
+
+}  // namespace loloha

@@ -1,0 +1,100 @@
+// LOLOHA — LOngitudinal LOcal HAshing (Sec. 3 of the paper).
+//
+// Client (Algorithm 1): the user draws one universal hash H : V -> [0, g)
+// forever, hashes each step's value, memoizes GRR(H(v); ε∞) per hash cell
+// (PRR step) and reports a fresh GRR(x'; ε_IRR) of the memoized cell on
+// every collection (IRR step).
+//
+// Server (Algorithm 2): for each value v, counts the users whose report
+// equals their hash of v — the support count C(v) — and inverts the
+// chained estimator Eq. (3) with q1' = 1/g.
+//
+// `LolohaClient`/`LolohaServer` are the deployment-shaped API;
+// `LolohaPopulation` runs a whole fleet against a dataset efficiently
+// (precomputed per-user hash rows) while remaining exactly the same
+// mechanism, report for report.
+
+#ifndef LOLOHA_CORE_LOLOHA_H_
+#define LOLOHA_CORE_LOLOHA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/loloha_params.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace loloha {
+
+// One user's stateful LOLOHA randomizer (Algorithm 1).
+class LolohaClient {
+ public:
+  // Draws the user's permanent hash function from the universal family.
+  LolohaClient(const LolohaParams& params, Rng& rng);
+
+  // Sanitizes one step's true value; returns the reported cell in [0, g).
+  uint32_t Report(uint32_t value, Rng& rng);
+
+  // The user's fixed hash function (sent to the server once).
+  const UniversalHash& hash() const { return hash_; }
+
+  // Distinct hash cells memoized so far; the longitudinal loss under
+  // Definition 3.2 is ε∞ times this, bounded by g (Thm. 3.5).
+  uint32_t distinct_memos() const { return distinct_memos_; }
+
+  const LolohaParams& params() const { return params_; }
+
+ private:
+  LolohaParams params_;
+  UniversalHash hash_;
+  std::vector<int32_t> memo_;  // cell -> memoized cell, or -1
+  uint32_t distinct_memos_ = 0;
+};
+
+// Per-step aggregator (Algorithm 2).
+class LolohaServer {
+ public:
+  explicit LolohaServer(const LolohaParams& params);
+
+  void BeginStep();
+
+  // O(k): evaluates the user's hash on every domain value and adds to the
+  // support counts.
+  void Accumulate(const UniversalHash& hash, uint32_t reported_cell);
+
+  // Eq. (3) estimates (with q1' = 1/g) for the current step.
+  std::vector<double> EstimateStep() const;
+
+ private:
+  LolohaParams params_;
+  std::vector<uint64_t> support_;
+  uint64_t num_reports_ = 0;
+};
+
+// Simulation-grade fleet: n clients + server with per-user hash rows
+// H_u(v) precomputed once (the dominant cost of Algorithm 2 otherwise).
+class LolohaPopulation {
+ public:
+  LolohaPopulation(const LolohaParams& params, uint32_t n, Rng& rng);
+
+  // Advances one collection step; returns the step's frequency estimates.
+  std::vector<double> Step(const std::vector<uint32_t>& values, Rng& rng);
+
+  // Distinct hash cells memoized by user u.
+  uint32_t DistinctMemos(uint32_t user) const;
+
+  const LolohaParams& params() const { return params_; }
+  uint32_t n() const { return n_; }
+
+ private:
+  LolohaParams params_;
+  uint32_t n_;
+  // Row-major n x k table of H_u(v); g <= 65535 enforced at construction.
+  std::vector<uint16_t> hash_rows_;
+  std::vector<int16_t> memo_;          // n x g, -1 = not memoized
+  std::vector<uint16_t> memo_counts_;  // distinct memos per user
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_CORE_LOLOHA_H_

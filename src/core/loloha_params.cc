@@ -1,0 +1,109 @@
+#include "core/loloha_params.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "oracle/estimator.h"
+#include "util/check.h"
+#include "util/mathutil.h"
+
+namespace loloha {
+
+double LolohaIrrEpsilon(double eps_perm, double eps_first) {
+  LOLOHA_CHECK_MSG(eps_perm > 0.0 && eps_first > 0.0 &&
+                       eps_first < eps_perm,
+                   "LOLOHA requires 0 < ε1 < ε∞");
+  const double a = std::exp(eps_perm);
+  const double c = std::exp(eps_first);
+  return std::log((a * c - 1.0) / (a - c));
+}
+
+LolohaParams MakeLolohaParams(uint32_t k, uint32_t g, double eps_perm,
+                              double eps_first) {
+  LOLOHA_CHECK(k >= 2);
+  LOLOHA_CHECK_MSG(g >= 2, "hash range g must be at least 2");
+  LolohaParams params;
+  params.k = k;
+  params.g = g;
+  params.eps_perm = eps_perm;
+  params.eps_first = eps_first;
+  params.eps_irr = LolohaIrrEpsilon(eps_perm, eps_first);
+  params.prr = GrrParams(eps_perm, g);
+  params.irr = GrrParams(params.eps_irr, g);
+  return params;
+}
+
+uint32_t OptimalLolohaG(double eps_perm, double eps_first) {
+  LOLOHA_CHECK_MSG(eps_perm > 0.0 && eps_first > 0.0 &&
+                       eps_first < eps_perm,
+                   "LOLOHA requires 0 < ε1 < ε∞");
+  const double a = std::exp(eps_perm);
+  const double b = std::exp(eps_first);
+  const double disc = a * a * a * a - 14.0 * a * a +
+                      12.0 * a * b * (1.0 - a * b) + 12.0 * a * a * a * b +
+                      1.0;
+  // The discriminant is positive wherever the continuous optimum exists;
+  // clamp tiny negative values caused by rounding.
+  const double root = std::sqrt(std::max(disc, 0.0));
+  const double inner = (1.0 - a * a + root) / (6.0 * (a - b));
+  const int64_t rounded = RoundToNearest(inner);
+  const int64_t g = 1 + std::max<int64_t>(1, rounded);
+  return static_cast<uint32_t>(g);
+}
+
+double LolohaApproximateVariance(double n, uint32_t g, double eps_perm,
+                                 double eps_first) {
+  const LolohaParams params = MakeLolohaParams(/*k=*/2, g, eps_perm,
+                                               eps_first);
+  return ApproximateVariance(n, params.EstimatorFirst(), params.irr);
+}
+
+uint32_t BruteForceOptimalG(double eps_perm, double eps_first, double n,
+                            uint32_t g_max) {
+  LOLOHA_CHECK(g_max >= 2);
+  uint32_t best_g = 2;
+  double best_v = LolohaApproximateVariance(n, 2, eps_perm, eps_first);
+  for (uint32_t g = 3; g <= g_max; ++g) {
+    const double v = LolohaApproximateVariance(n, g, eps_perm, eps_first);
+    if (v < best_v) {
+      best_v = v;
+      best_g = g;
+    }
+  }
+  return best_g;
+}
+
+LolohaParams MakeBiLolohaParams(uint32_t k, double eps_perm,
+                                double eps_first) {
+  return MakeLolohaParams(k, 2, eps_perm, eps_first);
+}
+
+LolohaParams MakeOLolohaParams(uint32_t k, double eps_perm,
+                               double eps_first) {
+  return MakeLolohaParams(k, OptimalLolohaG(eps_perm, eps_first), eps_perm,
+                          eps_first);
+}
+
+double LolohaExactFirstReportEpsilon(const LolohaParams& params) {
+  const double g = static_cast<double>(params.g);
+  const double p1 = params.prr.p;
+  const double q1 = params.prr.q;
+  const double p2 = params.irr.p;
+  const double q2 = params.irr.q;
+  const double keep = p1 * p2 + (g - 1.0) * q1 * q2;
+  const double flip = q1 * p2 + p1 * q2 + (g - 2.0) * q1 * q2;
+  return std::log(keep / flip);
+}
+
+double LolohaMaxErrorBound(const LolohaParams& params, double n,
+                           double beta) {
+  LOLOHA_CHECK(n > 0.0);
+  LOLOHA_CHECK(beta > 0.0 && beta < 1.0);
+  const double dp1 = params.prr.p - 1.0 / static_cast<double>(params.g);
+  const double dp2 = params.irr.p - params.irr.q;
+  LOLOHA_CHECK(dp1 > 0.0 && dp2 > 0.0);
+  return std::sqrt(static_cast<double>(params.k) /
+                   (4.0 * n * beta * dp1 * dp2));
+}
+
+}  // namespace loloha

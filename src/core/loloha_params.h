@@ -1,0 +1,85 @@
+// LOLOHA parameterization (Sec. 3).
+//
+// Given the longitudinal budget ε∞, the first-report budget ε1 (with
+// 0 < ε1 < ε∞), and the hash range g >= 2:
+//
+//   ε_IRR = ln( (e^{ε∞+ε1} - 1) / (e^{ε∞} - e^{ε1}) )        (Alg. 1, l.3)
+//   PRR:  p1 = e^{ε∞}/(e^{ε∞}+g-1),   q1 = 1/(e^{ε∞}+g-1)
+//   IRR:  p2 = e^{ε_IRR}/(e^{ε_IRR}+g-1), q2 = 1/(e^{ε_IRR}+g-1)
+//
+// The server-side estimator replaces q1 by q1' = 1/g (the support
+// probability of a non-holder under a universal hash family, Alg. 2).
+//
+// BiLOLOHA fixes g = 2 (strongest longitudinal protection, Thm. 3.5);
+// OLOLOHA picks the variance-minimizing g of Eq. (6).
+
+#ifndef LOLOHA_CORE_LOLOHA_PARAMS_H_
+#define LOLOHA_CORE_LOLOHA_PARAMS_H_
+
+#include <cstdint>
+
+#include "oracle/params.h"
+
+namespace loloha {
+
+struct LolohaParams {
+  uint32_t k = 0;         // original domain size
+  uint32_t g = 2;         // reduced (hash) domain size
+  double eps_perm = 0.0;  // ε∞: longitudinal budget per hash cell
+  double eps_first = 0.0; // ε1: first-report budget
+  double eps_irr = 0.0;   // derived IRR budget
+
+  PerturbParams prr;  // (p1, q1) over [0, g)
+  PerturbParams irr;  // (p2, q2) over [0, g)
+
+  // Estimator-side first-round parameters: (p1, 1/g).
+  PerturbParams EstimatorFirst() const {
+    return PerturbParams{prr.p, 1.0 / static_cast<double>(g)};
+  }
+
+  // Worst-case longitudinal privacy on the users' values (Thm. 3.5): g·ε∞.
+  double WorstCaseLongitudinalEpsilon() const {
+    return static_cast<double>(g) * eps_perm;
+  }
+};
+
+// The ε_IRR identity of Algorithm 1, line 3.
+double LolohaIrrEpsilon(double eps_perm, double eps_first);
+
+// Full parameter derivation; checks 0 < ε1 < ε∞, g >= 2, k >= 2.
+LolohaParams MakeLolohaParams(uint32_t k, uint32_t g, double eps_perm,
+                              double eps_first);
+
+// Eq. (6): the g minimizing the approximate variance V*, as a function of
+// a = e^{ε∞} and b = e^{ε1}:
+//   g = 1 + max(1, round( (1 - a^2
+//         + sqrt(a^4 - 14a^2 + 12ab(1 - ab) + 12a^3 b + 1)) / (6(a-b)) ))
+uint32_t OptimalLolohaG(double eps_perm, double eps_first);
+
+// Brute-force argmin of V* over g in [2, g_max] — used to validate Eq. (6)
+// and for ablation studies.
+uint32_t BruteForceOptimalG(double eps_perm, double eps_first, double n,
+                            uint32_t g_max = 64);
+
+// Approximate variance V* (Eq. 5) of LOLOHA with the given g, using the
+// estimator-side parameters (p1, 1/g, p2, q2).
+double LolohaApproximateVariance(double n, uint32_t g, double eps_perm,
+                                 double eps_first);
+
+// BiLOLOHA (g = 2) and OLOLOHA (g from Eq. 6) conveniences.
+LolohaParams MakeBiLolohaParams(uint32_t k, double eps_perm,
+                                double eps_first);
+LolohaParams MakeOLolohaParams(uint32_t k, double eps_perm, double eps_first);
+
+// The exact single-report epsilon of the full hash+PRR+IRR pipeline:
+//   ln( (p1p2 + (g-1)q1q2) / (q1p2 + p1q2 + (g-2)q1q2) ).
+// Theorem 3.4 upper-bounds this by ε1 (equality at g = 2).
+double LolohaExactFirstReportEpsilon(const LolohaParams& params);
+
+// Proposition 3.6: with probability >= 1 - beta,
+//   max_v |f_hat(v) - f(v)| < sqrt( k / (4 n beta (p1 - 1/g)(p2 - q2)) ).
+double LolohaMaxErrorBound(const LolohaParams& params, double n, double beta);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_CORE_LOLOHA_PARAMS_H_

@@ -1,0 +1,132 @@
+#include "core/theory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/loloha_params.h"
+#include "longitudinal/chain.h"
+#include "oracle/estimator.h"
+#include "util/check.h"
+
+namespace loloha {
+
+std::string ProtocolName(ProtocolId id) {
+  switch (id) {
+    case ProtocolId::kRappor:
+      return "RAPPOR";
+    case ProtocolId::kLOsue:
+      return "L-OSUE";
+    case ProtocolId::kLSoue:
+      return "L-SOUE";
+    case ProtocolId::kLOue:
+      return "L-OUE";
+    case ProtocolId::kLGrr:
+      return "L-GRR";
+    case ProtocolId::kBiLoloha:
+      return "BiLOLOHA";
+    case ProtocolId::kOLoloha:
+      return "OLOLOHA";
+    case ProtocolId::kOneBitFlipPm:
+      return "1BitFlipPM";
+    case ProtocolId::kBBitFlipPm:
+      return "bBitFlipPM";
+  }
+  return "?";
+}
+
+double DBitFlipApproxVariance(double n, uint32_t b, uint32_t d,
+                              double eps_perm) {
+  LOLOHA_CHECK(n > 0.0);
+  LOLOHA_CHECK(d >= 1 && d <= b);
+  const PerturbParams params = SueParams(eps_perm);
+  const double n_eff =
+      n * static_cast<double>(d) / static_cast<double>(b);
+  return OneRoundVariance(n_eff, /*f=*/0.0, params);
+}
+
+double ProtocolApproxVariance(ProtocolId id, double n, uint32_t k,
+                              double eps_perm, double eps_first) {
+  switch (id) {
+    case ProtocolId::kRappor: {
+      const ChainedParams chain = LSueChain(eps_perm, eps_first);
+      return ApproximateVariance(n, chain.first, chain.second);
+    }
+    case ProtocolId::kLOsue: {
+      const ChainedParams chain = LOsueChain(eps_perm, eps_first);
+      return ApproximateVariance(n, chain.first, chain.second);
+    }
+    case ProtocolId::kLSoue: {
+      const ChainedParams chain = LSoueChain(eps_perm, eps_first);
+      return ApproximateVariance(n, chain.first, chain.second);
+    }
+    case ProtocolId::kLOue: {
+      const ChainedParams chain = LOueChain(eps_perm, eps_first);
+      return ApproximateVariance(n, chain.first, chain.second);
+    }
+    case ProtocolId::kLGrr: {
+      const ChainedParams chain = LGrrChain(eps_perm, eps_first, k);
+      return ApproximateVariance(n, chain.first, chain.second);
+    }
+    case ProtocolId::kBiLoloha:
+      return LolohaApproximateVariance(n, 2, eps_perm, eps_first);
+    case ProtocolId::kOLoloha:
+      return LolohaApproximateVariance(
+          n, OptimalLolohaG(eps_perm, eps_first), eps_perm, eps_first);
+    case ProtocolId::kOneBitFlipPm:
+      return DBitFlipApproxVariance(n, /*b=*/k, /*d=*/1, eps_perm);
+    case ProtocolId::kBBitFlipPm:
+      return DBitFlipApproxVariance(n, /*b=*/k, /*d=*/k, eps_perm);
+  }
+  LOLOHA_CHECK_MSG(false, "unknown protocol");
+  return 0.0;
+}
+
+ProtocolCharacteristics Characteristics(ProtocolId id, uint32_t k, uint32_t b,
+                                        uint32_t d, double eps_perm,
+                                        double eps_first) {
+  ProtocolCharacteristics out;
+  out.name = ProtocolName(id);
+  switch (id) {
+    case ProtocolId::kRappor:
+    case ProtocolId::kLOsue:
+    case ProtocolId::kLSoue:
+    case ProtocolId::kLOue:
+      out.comm_bits_per_report = static_cast<double>(k);
+      out.server_runtime = "n k";
+      out.worst_case_budget = static_cast<double>(k) * eps_perm;
+      break;
+    case ProtocolId::kLGrr:
+      out.comm_bits_per_report = std::ceil(std::log2(k));
+      out.server_runtime = "n";
+      out.worst_case_budget = static_cast<double>(k) * eps_perm;
+      break;
+    case ProtocolId::kBiLoloha:
+    case ProtocolId::kOLoloha: {
+      const uint32_t g = (id == ProtocolId::kBiLoloha)
+                             ? 2
+                             : OptimalLolohaG(eps_perm, eps_first);
+      out.comm_bits_per_report = std::ceil(std::log2(g));
+      out.server_runtime = "n k";
+      out.worst_case_budget = static_cast<double>(g) * eps_perm;
+      break;
+    }
+    case ProtocolId::kOneBitFlipPm:
+    case ProtocolId::kBBitFlipPm: {
+      const uint32_t dd = (id == ProtocolId::kOneBitFlipPm) ? 1 : b;
+      (void)d;
+      out.comm_bits_per_report = static_cast<double>(dd);
+      out.server_runtime = "n b";
+      out.worst_case_budget =
+          static_cast<double>(std::min(dd + 1, b)) * eps_perm;
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<ProtocolId> Figure2Protocols() {
+  return {ProtocolId::kLOsue, ProtocolId::kOLoloha, ProtocolId::kRappor,
+          ProtocolId::kBiLoloha};
+}
+
+}  // namespace loloha

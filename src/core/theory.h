@@ -1,0 +1,64 @@
+// Closed-form theoretical quantities used by Sec. 4's comparison: the
+// approximate variance V* of each protocol (Fig. 2), the dBitFlipPM
+// one-round variance, and the Table-1 characteristics (communication bits,
+// server run-time class, worst-case longitudinal budget).
+
+#ifndef LOLOHA_CORE_THEORY_H_
+#define LOLOHA_CORE_THEORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace loloha {
+
+// Protocols compared throughout Sec. 4-5.
+enum class ProtocolId {
+  kRappor,       // L-SUE [23]
+  kLOsue,        // [5]
+  kLSoue,        // [5] (extension; not plotted in the paper's figures)
+  kLOue,         // [5] (extension)
+  kLGrr,         // [5]
+  kBiLoloha,     // LOLOHA, g = 2
+  kOLoloha,      // LOLOHA, g from Eq. (6)
+  kOneBitFlipPm, // dBitFlipPM, d = 1
+  kBBitFlipPm,   // dBitFlipPM, d = b
+};
+
+// Display name matching the paper's legends.
+std::string ProtocolName(ProtocolId id);
+
+// Approximate variance V* (Eq. 5) of a two-round protocol, or the sampled
+// one-round variance for dBitFlipPM variants. `k` doubles as b for the
+// dBitFlipPM variants (the paper's figures use b = k there). ε1 = eps_first
+// is ignored by the one-round dBitFlipPM protocols.
+double ProtocolApproxVariance(ProtocolId id, double n, uint32_t k,
+                              double eps_perm, double eps_first);
+
+// dBitFlipPM approximate variance with explicit b and d:
+// V* = q(1-q) / (n_eff (p-q)^2) with SUE-style (p, q) at ε∞ and
+// n_eff = n d / b.
+double DBitFlipApproxVariance(double n, uint32_t b, uint32_t d,
+                              double eps_perm);
+
+// Table 1 rows.
+struct ProtocolCharacteristics {
+  std::string name;
+  double comm_bits_per_report = 0.0;  // per user per time step
+  std::string server_runtime;         // symbolic, e.g. "n k"
+  double worst_case_budget = 0.0;     // ε, under Definition 3.2
+};
+
+// `k` is the domain size; `b`, `d` parameterize the dBitFlipPM variants
+// and are ignored otherwise; `g` is resolved internally for the LOLOHA
+// variants.
+ProtocolCharacteristics Characteristics(ProtocolId id, uint32_t k, uint32_t b,
+                                        uint32_t d, double eps_perm,
+                                        double eps_first);
+
+// The protocols plotted in Fig. 2 (double-randomization protocols only).
+std::vector<ProtocolId> Figure2Protocols();
+
+}  // namespace loloha
+
+#endif  // LOLOHA_CORE_THEORY_H_

@@ -1,0 +1,64 @@
+#include "data/dataset.h"
+
+#include <unordered_set>
+
+#include "util/histogram.h"
+
+namespace loloha {
+
+Dataset::Dataset(std::string name, uint32_t k, uint32_t n, uint32_t tau)
+    : name_(std::move(name)),
+      k_(k),
+      n_(n),
+      tau_(tau),
+      values_(static_cast<size_t>(n) * tau, 0) {
+  LOLOHA_CHECK(k >= 2);
+  LOLOHA_CHECK(n >= 1);
+  LOLOHA_CHECK(tau >= 1);
+}
+
+std::vector<uint32_t> Dataset::StepValues(uint32_t t) const {
+  const uint32_t* data = StepValuesData(t);
+  return std::vector<uint32_t>(data, data + n_);
+}
+
+std::vector<uint32_t> Dataset::UserSequence(uint32_t user) const {
+  LOLOHA_CHECK(user < n_);
+  std::vector<uint32_t> seq(tau_);
+  for (uint32_t t = 0; t < tau_; ++t) seq[t] = value(user, t);
+  return seq;
+}
+
+std::vector<double> Dataset::TrueFrequenciesAt(uint32_t t) const {
+  return TrueFrequencies(StepValues(t), k_);
+}
+
+double Dataset::AverageChangeRate() const {
+  if (tau_ < 2) return 0.0;
+  uint64_t changes = 0;
+  for (uint32_t t = 1; t < tau_; ++t) {
+    const uint32_t* prev = StepValuesData(t - 1);
+    const uint32_t* cur = StepValuesData(t);
+    for (uint32_t u = 0; u < n_; ++u) changes += (prev[u] != cur[u]) ? 1 : 0;
+  }
+  return static_cast<double>(changes) /
+         (static_cast<double>(n_) * (tau_ - 1));
+}
+
+double Dataset::MeanDistinctValuesPerUser() const {
+  uint64_t total = 0;
+  std::unordered_set<uint32_t> seen;
+  for (uint32_t u = 0; u < n_; ++u) {
+    seen.clear();
+    for (uint32_t t = 0; t < tau_; ++t) seen.insert(value(u, t));
+    total += seen.size();
+  }
+  return static_cast<double>(total) / n_;
+}
+
+uint32_t Dataset::DistinctValuesGlobal() const {
+  std::unordered_set<uint32_t> seen(values_.begin(), values_.end());
+  return static_cast<uint32_t>(seen.size());
+}
+
+}  // namespace loloha

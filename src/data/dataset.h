@@ -1,0 +1,70 @@
+// The longitudinal dataset substrate: n users × τ collection steps of
+// categorical values over [0, k), stored time-major (the simulation engine
+// iterates steps in the outer loop), plus derived statistics used by the
+// evaluation (true per-step histograms, change rates, distinct values per
+// user).
+
+#ifndef LOLOHA_DATA_DATASET_H_
+#define LOLOHA_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace loloha {
+
+class Dataset {
+ public:
+  Dataset(std::string name, uint32_t k, uint32_t n, uint32_t tau);
+
+  const std::string& name() const { return name_; }
+  uint32_t k() const { return k_; }
+  uint32_t n() const { return n_; }
+  uint32_t tau() const { return tau_; }
+
+  uint32_t value(uint32_t user, uint32_t t) const {
+    LOLOHA_DCHECK(user < n_ && t < tau_);
+    return values_[static_cast<size_t>(t) * n_ + user];
+  }
+
+  void set_value(uint32_t user, uint32_t t, uint32_t v) {
+    LOLOHA_DCHECK(user < n_ && t < tau_ && v < k_);
+    values_[static_cast<size_t>(t) * n_ + user] = v;
+  }
+
+  // All users' values at step t (contiguous view).
+  const uint32_t* StepValuesData(uint32_t t) const {
+    LOLOHA_DCHECK(t < tau_);
+    return &values_[static_cast<size_t>(t) * n_];
+  }
+  std::vector<uint32_t> StepValues(uint32_t t) const;
+
+  // User u's full private sequence v^(u).
+  std::vector<uint32_t> UserSequence(uint32_t user) const;
+
+  // True frequency histogram {f(v)} at step t.
+  std::vector<double> TrueFrequenciesAt(uint32_t t) const;
+
+  // Fraction of (user, t>0) pairs whose value differs from t-1.
+  double AverageChangeRate() const;
+
+  // Mean over users of the number of distinct values in their sequence.
+  double MeanDistinctValuesPerUser() const;
+
+  // Values actually present anywhere in the data (for generators whose k
+  // is data-driven).
+  uint32_t DistinctValuesGlobal() const;
+
+ private:
+  std::string name_;
+  uint32_t k_;
+  uint32_t n_;
+  uint32_t tau_;
+  std::vector<uint32_t> values_;  // time-major: values_[t * n + u]
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_DATA_DATASET_H_

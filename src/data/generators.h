@@ -1,0 +1,61 @@
+// Workload generators reproducing the paper's four evaluation datasets
+// (Sec. 5.1) plus generic extras.
+//
+// * Syn — exactly the paper's synthetic telemetry workload: k = 360
+//   (minutes in 6 hours), uniform initial value, then at every step each
+//   user redraws uniformly with probability p_ch = 0.25.
+// * Adult-like — substitution for UCI Adult "hours-per-week" (offline
+//   environment; see DESIGN.md): a fixed skewed marginal over 96 distinct
+//   hour values with the documented mass concentration at 40h, re-permuted
+//   across users at every step exactly as the paper does, so the global
+//   histogram is constant while every user's sequence changes randomly.
+// * Replicate-weight — substitution for folktables ACS PWGTP1..80
+//   (DB_MT / DB_DE): per-user heavy-tailed base counters with
+//   multiplicative per-step jitter, dictionary-encoded so the global
+//   domain lands near the paper's k.
+// * Zipf — generic skewed workload for examples and ablations.
+
+#ifndef LOLOHA_DATA_GENERATORS_H_
+#define LOLOHA_DATA_GENERATORS_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace loloha {
+
+// Paper defaults: n = 10000, k = 360, tau = 120, p_change = 0.25.
+Dataset GenerateSyn(uint32_t n, uint32_t k, uint32_t tau, double p_change,
+                    uint64_t seed);
+Dataset GenerateSynPaper(uint64_t seed);
+
+// Paper defaults: n = 45222, tau = 260; k is fixed at 96 by the marginal.
+Dataset GenerateAdultLike(uint32_t n, uint32_t tau, uint64_t seed);
+Dataset GenerateAdultLikePaper(uint64_t seed);
+
+// Replicate-weight counters. `spread` scales the per-step multiplicative
+// jitter; `granularity` controls the quantization (smaller -> more distinct
+// values). The dataset's k is data-driven (dictionary-encoded); the presets
+// below land near the paper's k = 1412 (MT) and k = 1234 (DE).
+Dataset GenerateReplicateWeights(const char* name, uint32_t n, uint32_t tau,
+                                 double spread, uint32_t granularity,
+                                 uint64_t seed);
+// DB_MT-like: n = 10336, tau = 80.
+Dataset GenerateDbMtPaper(uint64_t seed);
+// DB_DE-like: n = 9123, tau = 80.
+Dataset GenerateDbDePaper(uint64_t seed);
+
+// Zipf(s) marginal with per-step change probability p_change (redraw from
+// the marginal on change).
+Dataset GenerateZipf(uint32_t n, uint32_t k, uint32_t tau, double s,
+                     double p_change, uint64_t seed);
+
+// A dataset where every user keeps one constant value drawn from a Zipf
+// marginal — the "static data" regime in which memoization protocols leak
+// exactly one ε∞ (used in tests and the memoization ablation).
+Dataset GenerateStatic(uint32_t n, uint32_t k, uint32_t tau, double s,
+                       uint64_t seed);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_DATA_GENERATORS_H_

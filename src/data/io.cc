@@ -1,0 +1,149 @@
+#include "data/io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace loloha {
+
+namespace {
+
+// Parses a base-10 integer; returns false on any trailing garbage.
+bool ParseInt(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::string Strip(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+// Sorted-unique dictionary encoding of arbitrary integer codes.
+std::vector<uint32_t> DictionaryEncode(const std::vector<int64_t>& raw,
+                                       uint32_t* k_out) {
+  std::vector<int64_t> dictionary(raw);
+  std::sort(dictionary.begin(), dictionary.end());
+  dictionary.erase(std::unique(dictionary.begin(), dictionary.end()),
+                   dictionary.end());
+  *k_out = static_cast<uint32_t>(dictionary.size());
+  std::vector<uint32_t> encoded(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    encoded[i] = static_cast<uint32_t>(
+        std::lower_bound(dictionary.begin(), dictionary.end(), raw[i]) -
+        dictionary.begin());
+  }
+  return encoded;
+}
+
+}  // namespace
+
+bool SaveDatasetCsv(const Dataset& data, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  for (uint32_t u = 0; u < data.n(); ++u) {
+    for (uint32_t t = 0; t < data.tau(); ++t) {
+      if (t > 0) file << ',';
+      file << data.value(u, t);
+    }
+    file << '\n';
+  }
+  return static_cast<bool>(file);
+}
+
+std::optional<Dataset> LoadDatasetCsv(const std::string& path,
+                                      const std::string& name) {
+  std::ifstream file(path);
+  if (!file) return std::nullopt;
+
+  std::vector<int64_t> raw;
+  size_t tau = 0;
+  size_t rows = 0;
+  std::string line;
+  while (std::getline(file, line)) {
+    const std::string stripped = Strip(line);
+    if (stripped.empty()) continue;
+    std::stringstream cells(stripped);
+    std::string cell;
+    size_t row_width = 0;
+    while (std::getline(cells, cell, ',')) {
+      int64_t v = 0;
+      if (!ParseInt(Strip(cell), &v)) return std::nullopt;
+      raw.push_back(v);
+      ++row_width;
+    }
+    if (rows == 0) {
+      tau = row_width;
+    } else if (row_width != tau) {
+      return std::nullopt;  // ragged
+    }
+    ++rows;
+  }
+  if (rows == 0 || tau == 0) return std::nullopt;
+
+  uint32_t k = 0;
+  const std::vector<uint32_t> encoded = DictionaryEncode(raw, &k);
+  if (k < 2) return std::nullopt;  // degenerate domain
+
+  Dataset data(name, k, static_cast<uint32_t>(rows),
+               static_cast<uint32_t>(tau));
+  for (uint32_t u = 0; u < rows; ++u) {
+    for (uint32_t t = 0; t < tau; ++t) {
+      data.set_value(u, static_cast<uint32_t>(t),
+                     encoded[u * tau + t]);
+    }
+  }
+  return data;
+}
+
+std::optional<std::vector<int64_t>> LoadColumn(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return std::nullopt;
+  std::vector<int64_t> column;
+  std::string line;
+  while (std::getline(file, line)) {
+    const std::string stripped = Strip(line);
+    if (stripped.empty()) continue;
+    int64_t v = 0;
+    if (!ParseInt(stripped, &v)) return std::nullopt;
+    column.push_back(v);
+  }
+  if (column.empty()) return std::nullopt;
+  return column;
+}
+
+Dataset ExpandColumnByPermutation(const std::vector<int64_t>& column,
+                                  uint32_t tau, const std::string& name,
+                                  uint64_t seed) {
+  LOLOHA_CHECK(!column.empty());
+  LOLOHA_CHECK(tau >= 1);
+  uint32_t k = 0;
+  std::vector<uint32_t> encoded = DictionaryEncode(column, &k);
+  LOLOHA_CHECK_MSG(k >= 2, "column has fewer than two distinct values");
+
+  const uint32_t n = static_cast<uint32_t>(column.size());
+  Dataset data(name, k, n, tau);
+  Rng rng(seed);
+  std::vector<uint32_t> perm(encoded);
+  for (uint32_t t = 0; t < tau; ++t) {
+    for (uint32_t i = n - 1; i > 0; --i) {
+      const uint32_t j = static_cast<uint32_t>(rng.UniformInt(i + 1));
+      std::swap(perm[i], perm[j]);
+    }
+    for (uint32_t u = 0; u < n; ++u) data.set_value(u, t, perm[u]);
+  }
+  return data;
+}
+
+}  // namespace loloha

@@ -1,0 +1,46 @@
+// Dataset import/export. The evaluation datasets are generated in-process
+// (see generators.h), but a deployment — or a user who has the real UCI
+// Adult / folktables files — can load longitudinal data from CSV:
+//
+//   * Matrix form: one row per user, tau comma-separated integer values.
+//   * Column form: one integer per line (a single attribute snapshot);
+//     `ExpandColumnByPermutation` then reproduces the paper's Adult
+//     protocol of re-permuting the column at every collection step.
+//
+// Values are dictionary-encoded into [0, k) in order of first appearance
+// sorted numerically, so arbitrary integer codes are accepted.
+
+#ifndef LOLOHA_DATA_IO_H_
+#define LOLOHA_DATA_IO_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace loloha {
+
+// Writes `data` as CSV (one row per user). Returns false on I/O failure.
+bool SaveDatasetCsv(const Dataset& data, const std::string& path);
+
+// Loads a matrix-form CSV. Returns nullopt on I/O failure, ragged rows,
+// or non-integer cells. `name` labels the resulting dataset.
+std::optional<Dataset> LoadDatasetCsv(const std::string& path,
+                                      const std::string& name);
+
+// Loads a single-column file of integers (one per line).
+std::optional<std::vector<int64_t>> LoadColumn(const std::string& path);
+
+// The paper's Adult protocol: dictionary-encodes `column` (n entries) and
+// assigns each user a random permutation entry at every one of `tau`
+// steps, keeping the global histogram constant.
+Dataset ExpandColumnByPermutation(const std::vector<int64_t>& column,
+                                  uint32_t tau, const std::string& name,
+                                  uint64_t seed);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_DATA_IO_H_

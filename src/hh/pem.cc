@@ -1,0 +1,144 @@
+#include "hh/pem.h"
+
+#include <algorithm>
+
+#include "oracle/estimator.h"
+#include "oracle/params.h"
+#include "util/check.h"
+
+namespace loloha {
+
+namespace {
+
+void CheckConfig(const PemConfig& config) {
+  LOLOHA_CHECK(config.domain_bits >= 1 && config.domain_bits <= 63);
+  LOLOHA_CHECK(config.levels >= 1 && config.levels <= config.domain_bits);
+  LOLOHA_CHECK(config.epsilon > 0.0);
+  LOLOHA_CHECK(config.max_candidates >= 1);
+}
+
+uint32_t ResolveHashRange(const PemConfig& config) {
+  return config.hash_range == 0 ? OlhRange(config.epsilon)
+                                : config.hash_range;
+}
+
+uint32_t PrefixBitsFor(const PemConfig& config, uint32_t level) {
+  // Spread domain_bits across levels as evenly as possible, front-loaded,
+  // cumulative: level i sanitizes the first sum_{j<=i} block_j bits.
+  const uint32_t base = config.domain_bits / config.levels;
+  const uint32_t extra = config.domain_bits % config.levels;
+  uint32_t bits = 0;
+  for (uint32_t j = 0; j <= level; ++j) {
+    bits += base + (j < extra ? 1 : 0);
+  }
+  return bits;
+}
+
+}  // namespace
+
+PemClient::PemClient(const PemConfig& config, uint64_t user_index)
+    : config_(config), level_(0), prefix_bits_(0) {
+  CheckConfig(config);
+  level_ = static_cast<uint32_t>(user_index % config.levels);
+  prefix_bits_ = PrefixBitsFor(config, level_);
+}
+
+PemReport PemClient::Report(uint64_t value, Rng& rng) const {
+  LOLOHA_CHECK(value < (uint64_t{1} << config_.domain_bits));
+  const uint64_t prefix = value >> (config_.domain_bits - prefix_bits_);
+  PemReport out;
+  out.level = level_;
+  // LH over the prefix domain: sample a hash, perturb the hashed prefix.
+  const uint32_t g = ResolveHashRange(config_);
+  out.report.hash = UniversalHash::Sample(g, rng);
+  const PerturbParams params = LhParams(config_.epsilon, g);
+  uint32_t cell = out.report.hash(prefix);
+  if (!rng.Bernoulli(params.p)) {
+    cell = static_cast<uint32_t>(rng.UniformIntExcluding(g, cell));
+  }
+  out.report.cell = cell;
+  return out;
+}
+
+PemServer::PemServer(const PemConfig& config)
+    : config_(config), reports_(config.levels) {
+  CheckConfig(config);
+}
+
+uint32_t PemServer::PrefixBits(uint32_t level) const {
+  LOLOHA_CHECK(level < config_.levels);
+  return PrefixBitsFor(config_, level);
+}
+
+void PemServer::Accumulate(const PemReport& report) {
+  LOLOHA_CHECK(report.level < config_.levels);
+  reports_[report.level].push_back(report.report);
+}
+
+std::vector<PemHitter> PemServer::Identify() const {
+  const uint32_t g = ResolveHashRange(config_);
+  PerturbParams estimator;
+  estimator.p = LhParams(config_.epsilon, g).p;
+  estimator.q = 1.0 / static_cast<double>(g);
+
+  // Level 0 candidates: every prefix of the first block (PrefixBits(0) is
+  // small by construction when levels are balanced).
+  std::vector<uint64_t> candidates;
+  {
+    const uint32_t bits = PrefixBitsFor(config_, 0);
+    LOLOHA_CHECK_MSG(bits <= 24, "first PEM block too wide to enumerate");
+    candidates.resize(uint64_t{1} << bits);
+    for (uint64_t p = 0; p < candidates.size(); ++p) candidates[p] = p;
+  }
+
+  std::vector<std::pair<uint64_t, double>> survivors;
+  for (uint32_t level = 0; level < config_.levels; ++level) {
+    const std::vector<LhReport>& level_reports = reports_[level];
+    survivors.clear();
+    if (level_reports.empty()) return {};
+
+    // Candidate-restricted support counting.
+    std::vector<uint64_t> support(candidates.size(), 0);
+    for (const LhReport& report : level_reports) {
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        if (report.hash(candidates[c]) == report.cell) ++support[c];
+      }
+    }
+    const double n = static_cast<double>(level_reports.size());
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      const double estimate = EstimateFrequency(
+          static_cast<double>(support[c]), n, estimator);
+      if (estimate >= config_.threshold) {
+        survivors.emplace_back(candidates[c], estimate);
+      }
+    }
+    std::sort(survivors.begin(), survivors.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (survivors.size() > config_.max_candidates) {
+      survivors.resize(config_.max_candidates);
+    }
+
+    if (level + 1 < config_.levels) {
+      // Extend each survivor by the next bit block.
+      const uint32_t next_bits = PrefixBitsFor(config_, level + 1);
+      const uint32_t block = next_bits - PrefixBitsFor(config_, level);
+      candidates.clear();
+      candidates.reserve(survivors.size() << block);
+      for (const auto& [prefix, unused] : survivors) {
+        for (uint64_t ext = 0; ext < (uint64_t{1} << block); ++ext) {
+          candidates.push_back((prefix << block) | ext);
+        }
+      }
+      if (candidates.empty()) return {};
+    }
+  }
+
+  std::vector<PemHitter> hitters;
+  hitters.reserve(survivors.size());
+  for (const auto& [value, estimate] : survivors) {
+    hitters.push_back(PemHitter{value, estimate});
+  }
+  return hitters;
+}
+
+}  // namespace loloha

@@ -1,0 +1,90 @@
+// PEM — Prefix Extending Method for heavy-hitter identification over very
+// large domains (Bassily-Smith / Wang et al. lineage; the paper cites
+// heavy-hitter estimation [8, 9] as the flagship application built on
+// frequency oracles).
+//
+// The domain is [0, 2^domain_bits). Users are partitioned into `levels`
+// disjoint groups; group i sanitizes only the first prefix_bits(i) bits of
+// its value with a Local Hashing oracle over the prefix domain. The server
+// walks level by level: estimate the current candidate prefixes from group
+// i's reports, keep the ones whose estimate clears the noise threshold,
+// extend each survivor by the next bit block, and continue. The final
+// level yields full-length heavy hitters with frequency estimates.
+//
+// Privacy: each user reports once, through one eps-LDP oracle, so the
+// whole procedure is eps-LDP per user (parallel composition across
+// disjoint groups).
+
+#ifndef LOLOHA_HH_PEM_H_
+#define LOLOHA_HH_PEM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "oracle/local_hash.h"
+#include "util/rng.h"
+
+namespace loloha {
+
+struct PemConfig {
+  uint32_t domain_bits = 16;  // values live in [0, 2^domain_bits)
+  uint32_t levels = 4;        // prefix-extension rounds (divides users)
+  double epsilon = 2.0;       // per-user LDP budget
+  uint32_t hash_range = 0;    // g for the LH oracle; 0 = OLH (e^eps + 1)
+  // Candidate pruning: keep prefixes whose estimated frequency exceeds
+  // `threshold`, capped at `max_candidates` per level.
+  double threshold = 0.01;
+  uint32_t max_candidates = 64;
+};
+
+struct PemHitter {
+  uint64_t value = 0;
+  double estimate = 0.0;
+};
+
+// One user's report: which level group it belongs to and its LH report on
+// the prefix domain of that level.
+struct PemReport {
+  uint32_t level = 0;
+  LhReport report;
+};
+
+class PemClient {
+ public:
+  // `user_index` determines the group (round-robin), matching the
+  // server's expectation; any fixed assignment works.
+  PemClient(const PemConfig& config, uint64_t user_index);
+
+  PemReport Report(uint64_t value, Rng& rng) const;
+
+  uint32_t level() const { return level_; }
+
+ private:
+  PemConfig config_;
+  uint32_t level_;
+  uint32_t prefix_bits_;
+};
+
+class PemServer {
+ public:
+  explicit PemServer(const PemConfig& config);
+
+  void Accumulate(const PemReport& report);
+
+  // Runs the level-by-level identification and returns the detected
+  // heavy hitters, sorted by estimate descending.
+  std::vector<PemHitter> Identify() const;
+
+  // Number of prefix bits sanitized by group `level` (monotone, reaching
+  // domain_bits at the last level).
+  uint32_t PrefixBits(uint32_t level) const;
+
+ private:
+  PemConfig config_;
+  // Reports bucketed per level.
+  std::vector<std::vector<LhReport>> reports_;
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_HH_PEM_H_

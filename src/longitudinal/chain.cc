@@ -1,0 +1,166 @@
+#include "longitudinal/chain.h"
+
+#include <cmath>
+
+#include "oracle/estimator.h"
+#include "util/check.h"
+#include "util/mathutil.h"
+
+namespace loloha {
+
+namespace {
+
+void CheckBudgets(double eps_perm, double eps_first) {
+  LOLOHA_CHECK_MSG(eps_perm > 0.0, "eps_perm (ε∞) must be positive");
+  LOLOHA_CHECK_MSG(eps_first > 0.0, "eps_first (ε1) must be positive");
+  LOLOHA_CHECK_MSG(eps_first < eps_perm,
+                   "the chain requires 0 < ε1 < ε∞ (Alg. 1)");
+}
+
+}  // namespace
+
+ChainedParams LSueChain(double eps_perm, double eps_first) {
+  CheckBudgets(eps_perm, eps_first);
+  ChainedParams chain;
+  chain.first = SueParams(eps_perm);
+  // Both rounds symmetric => the collapsed mechanism is symmetric with
+  // p_s = e^{ε1/2}/(e^{ε1/2}+1); solving p_s = p1 p2 + (1-p1)(1-p2) gives
+  // the closed form below.
+  const double a = std::exp(eps_perm / 2.0);
+  const double b = std::exp(eps_first / 2.0);
+  const double p2 = (a * b - 1.0) / ((a - 1.0) * (b + 1.0));
+  chain.second.p = p2;
+  chain.second.q = 1.0 - p2;
+  return chain;
+}
+
+ChainedParams RapporDeploymentChain(double eps_perm) {
+  LOLOHA_CHECK_MSG(eps_perm > 0.0, "eps_perm (ε∞) must be positive");
+  ChainedParams chain;
+  chain.first = SueParams(eps_perm);
+  chain.second.p = 0.75;
+  chain.second.q = 0.25;
+  return chain;
+}
+
+ChainedParams LOsueChain(double eps_perm, double eps_first) {
+  CheckBudgets(eps_perm, eps_first);
+  ChainedParams chain;
+  chain.first = OueParams(eps_perm);
+  const double a = std::exp(eps_perm);
+  const double c = std::exp(eps_first);
+  const double p2 = (a * c - 1.0) / (a - c + a * c - 1.0);
+  chain.second.p = p2;
+  chain.second.q = 1.0 - p2;
+  return chain;
+}
+
+ChainedParams LSoueChain(double eps_perm, double eps_first) {
+  CheckBudgets(eps_perm, eps_first);
+  ChainedParams chain;
+  chain.first = SueParams(eps_perm);
+  chain.second = SolveOueStyleUeIrr(chain.first, eps_first);
+  return chain;
+}
+
+ChainedParams LOueChain(double eps_perm, double eps_first) {
+  CheckBudgets(eps_perm, eps_first);
+  ChainedParams chain;
+  chain.first = OueParams(eps_perm);
+  chain.second = SolveOueStyleUeIrr(chain.first, eps_first);
+  return chain;
+}
+
+double UeChainFirstReportEpsilon(const ChainedParams& chain) {
+  return UeEpsilon(CollapseChain(chain.first, chain.second));
+}
+
+PerturbParams SolveSymmetricUeIrr(const PerturbParams& first,
+                                  double eps_first) {
+  LOLOHA_CHECK(ValidParams(first));
+  LOLOHA_CHECK_MSG(eps_first > 0.0 && eps_first < UeEpsilon(first),
+                   "ε1 must lie in (0, ε∞)");
+  const double kMargin = 1e-12;
+  const double p2 = BisectIncreasing(
+      [&first](double candidate) {
+        PerturbParams second{candidate, 1.0 - candidate};
+        return UeEpsilon(CollapseChain(first, second));
+      },
+      eps_first, 0.5 + kMargin, 1.0 - kMargin);
+  return PerturbParams{p2, 1.0 - p2};
+}
+
+PerturbParams SolveOueStyleUeIrr(const PerturbParams& first,
+                                 double eps_first) {
+  LOLOHA_CHECK(ValidParams(first));
+  const double kMargin = 1e-12;
+  // Epsilon decreases as q2 grows toward 1/2; bisect on -epsilon.
+  auto eps_of = [&first](double q2) {
+    PerturbParams second{0.5, q2};
+    return UeEpsilon(CollapseChain(first, second));
+  };
+  const double eps_max = eps_of(kMargin);
+  LOLOHA_CHECK_MSG(
+      eps_first < eps_max,
+      "ε1 too large for an OUE-style IRR on this PRR (raise ε∞ or lower α)");
+  const double q2 = BisectIncreasing(
+      [&eps_of](double candidate) { return -eps_of(candidate); }, -eps_first,
+      kMargin, 0.5 - kMargin);
+  return PerturbParams{0.5, q2};
+}
+
+ChainedParams LGrrChain(double eps_perm, double eps_first, uint32_t k) {
+  CheckBudgets(eps_perm, eps_first);
+  LOLOHA_CHECK(k >= 2);
+  ChainedParams chain;
+  chain.first = GrrParams(eps_perm, k);
+  const double a = std::exp(eps_perm);
+  const double c = std::exp(eps_first);
+  const double kd = static_cast<double>(k);
+  const double p2 =
+      (a * c - 1.0) / (-kd * c + (kd - 1.0) * a + c + a * c - 1.0);
+  LOLOHA_CHECK_MSG(p2 > 0.0 && p2 < 1.0,
+                   "L-GRR IRR infeasible for these (ε∞, ε1, k)");
+  chain.second.p = p2;
+  chain.second.q = (1.0 - p2) / (kd - 1.0);
+  return chain;
+}
+
+ChainedParams LGrrChainExact(double eps_perm, double eps_first, uint32_t k) {
+  CheckBudgets(eps_perm, eps_first);
+  LOLOHA_CHECK(k >= 2);
+  ChainedParams chain;
+  chain.first = GrrParams(eps_perm, k);
+  const double a = std::exp(eps_perm);
+  const double c = std::exp(eps_first);
+  const double kd = static_cast<double>(k);
+  const double p2 = (c * (a + kd - 2.0) - (kd - 1.0)) /
+                    ((a - 1.0) * (kd - 1.0 + c));
+  LOLOHA_CHECK_MSG(p2 > 0.0 && p2 < 1.0,
+                   "exact L-GRR IRR infeasible for these (ε∞, ε1, k)");
+  chain.second.p = p2;
+  chain.second.q = (1.0 - p2) / (kd - 1.0);
+  return chain;
+}
+
+double GrrChainFirstReportEpsilon(const ChainedParams& chain, uint32_t k) {
+  LOLOHA_CHECK(k >= 2);
+  const double kd = static_cast<double>(k);
+  const double p1 = chain.first.p;
+  const double q1 = chain.first.q;
+  const double p2 = chain.second.p;
+  const double q2 = chain.second.q;
+  const double keep = p1 * p2 + (kd - 1.0) * q1 * q2;
+  const double flip = q1 * p2 + p1 * q2 + (kd - 2.0) * q1 * q2;
+  return std::log(keep / flip);
+}
+
+double GrrChainPairwiseEpsilon(const ChainedParams& chain) {
+  const double p1 = chain.first.p;
+  const double q1 = chain.first.q;
+  const double p2 = chain.second.p;
+  const double q2 = chain.second.q;
+  return std::log((p1 * p2 + q1 * q2) / (p1 * q2 + q1 * p2));
+}
+
+}  // namespace loloha

@@ -1,0 +1,97 @@
+// Parameter derivations for the two-round (memoization) protocols of
+// Sec. 2.4: a Permanent Randomized Response (PRR) parameterized by the
+// longitudinal budget eps_perm (the paper's ε∞), chained with an
+// Instantaneous Randomized Response (IRR) chosen so that the *first* report
+// satisfies eps_first (the paper's ε1), with 0 < eps_first < eps_perm.
+//
+// Closed forms follow the paper (and its companion repository / ref. [5]);
+// each one is cross-checked against a numeric bisection solver in the test
+// suite.
+//
+// Naming note: the paper's L-SUE is RAPPOR generalized to a tunable ε1
+// (RAPPOR's deployment hard-coded p2 = 0.75). We implement the general
+// form; `RapporDeploymentChain` reproduces the hard-coded one.
+
+#ifndef LOLOHA_LONGITUDINAL_CHAIN_H_
+#define LOLOHA_LONGITUDINAL_CHAIN_H_
+
+#include <cstdint>
+
+#include "oracle/params.h"
+
+namespace loloha {
+
+// A chained mechanism: PRR parameters followed by IRR parameters.
+struct ChainedParams {
+  PerturbParams first;   // PRR (memoized) round
+  PerturbParams second;  // IRR (per-report) round
+};
+
+// ---------------------------------------------------------------------------
+// Unary-encoding chains (bit-flip semantics).
+// ---------------------------------------------------------------------------
+
+// L-SUE == RAPPOR: SUE in both rounds.
+//   p1 = e^{ε∞/2}/(e^{ε∞/2}+1), q1 = 1-p1
+//   p2 = (e^{(ε∞+ε1)/2} - 1) / ((e^{ε∞/2}-1)(e^{ε1/2}+1)), q2 = 1-p2
+ChainedParams LSueChain(double eps_perm, double eps_first);
+
+// RAPPOR as deployed by Google: eps_perm-parameterized PRR and the fixed
+// IRR p2 = 0.75, q2 = 0.25 [23].
+ChainedParams RapporDeploymentChain(double eps_perm);
+
+// L-OSUE: OUE in the PRR round, SUE-style symmetric IRR [5].
+//   p1 = 1/2, q1 = 1/(e^{ε∞}+1)
+//   p2 = (e^{ε∞+ε1} - 1) / (e^{ε∞} - e^{ε1} + e^{ε∞+ε1} - 1), q2 = 1-p2
+ChainedParams LOsueChain(double eps_perm, double eps_first);
+
+// L-SOUE: SUE in the PRR round, OUE-style IRR (p2 = 1/2, q2 solved
+// numerically) [5].
+ChainedParams LSoueChain(double eps_perm, double eps_first);
+
+// L-OUE: OUE in both rounds (p2 = 1/2, q2 solved numerically) [5].
+ChainedParams LOueChain(double eps_perm, double eps_first);
+
+// The first-report epsilon actually satisfied by a UE chain:
+// UeEpsilon(CollapseChain(first, second)).
+double UeChainFirstReportEpsilon(const ChainedParams& chain);
+
+// Generic numeric solver: finds the symmetric IRR (q2 = 1 - p2) so that the
+// chain's first report satisfies eps_first. Used to validate closed forms.
+PerturbParams SolveSymmetricUeIrr(const PerturbParams& first,
+                                  double eps_first);
+
+// Generic numeric solver for an OUE-style IRR (p2 = 1/2, q2 free).
+PerturbParams SolveOueStyleUeIrr(const PerturbParams& first,
+                                 double eps_first);
+
+// ---------------------------------------------------------------------------
+// GRR chains (value-flip semantics over a domain of size k).
+// ---------------------------------------------------------------------------
+
+// L-GRR [5]: GRR over [0, k) in both rounds.
+//   p1 = e^{ε∞}/(e^{ε∞}+k-1), q1 = (1-p1)/(k-1)
+//   p2 = (e^{ε∞+ε1} - 1) /
+//        (-k e^{ε1} + (k-1) e^{ε∞} + e^{ε1} + e^{ε1+ε∞} - 1)
+//   q2 = (1-p2)/(k-1)
+// This is the paper's convention: it sets the *dominant pairwise* ratio
+// (p1p2 + q1q2)/(p1q2 + q1p2) to e^{ε1}; for k > 2 the exact first-report
+// epsilon (see GrrChainFirstReportEpsilon) is then strictly below ε1.
+ChainedParams LGrrChain(double eps_perm, double eps_first, uint32_t k);
+
+// Extension (not in the paper): the IRR that makes the first report satisfy
+// eps_first *exactly* for any k:
+//   p2 = (e^{ε1}(e^{ε∞}+k-2) - (k-1)) / ((e^{ε∞}-1)(k-1+e^{ε1}))
+ChainedParams LGrrChainExact(double eps_perm, double eps_first, uint32_t k);
+
+// Exact first-report epsilon of a GRR chain over k values:
+//   ln( (p1p2 + (k-1)q1q2) / (q1p2 + p1q2 + (k-2)q1q2) )
+double GrrChainFirstReportEpsilon(const ChainedParams& chain, uint32_t k);
+
+// The paper's pairwise ratio ln((p1p2+q1q2)/(p1q2+q1p2)) — equals ε1 by
+// construction for LGrrChain and for LOLOHA's parameters (Thm. 3.4).
+double GrrChainPairwiseEpsilon(const ChainedParams& chain);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_LONGITUDINAL_CHAIN_H_

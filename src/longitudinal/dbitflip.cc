@@ -1,0 +1,207 @@
+#include "longitudinal/dbitflip.h"
+
+#include <algorithm>
+
+#include "oracle/estimator.h"
+
+namespace loloha {
+
+Bucketizer::Bucketizer(uint32_t k, uint32_t b) : k_(k), b_(b) {
+  LOLOHA_CHECK(k >= 2);
+  LOLOHA_CHECK_MSG(b >= 2 && b <= k, "need 2 <= b <= k buckets");
+}
+
+DBitFlipClient::DBitFlipClient(const Bucketizer& bucketizer, uint32_t d,
+                               double eps_perm, Rng& rng)
+    : bucketizer_(bucketizer),
+      d_(d),
+      params_(SueParams(eps_perm)),
+      sampled_position_(bucketizer.b(), -1) {
+  const uint32_t b = bucketizer_.b();
+  LOLOHA_CHECK_MSG(d >= 1 && d <= b, "need 1 <= d <= b sampled bits");
+  // Partial Fisher-Yates draw of d distinct bucket indices.
+  std::vector<uint32_t> pool(b);
+  for (uint32_t j = 0; j < b; ++j) pool[j] = j;
+  sampled_.reserve(d);
+  for (uint32_t l = 0; l < d; ++l) {
+    const uint32_t pick =
+        l + static_cast<uint32_t>(rng.UniformInt(b - l));
+    std::swap(pool[l], pool[pick]);
+    sampled_.push_back(pool[l]);
+    sampled_position_[pool[l]] = static_cast<int32_t>(l);
+  }
+}
+
+DBitReport DBitFlipClient::Report(uint32_t value, Rng& rng) {
+  const uint32_t bucket = bucketizer_.Bucket(value);
+  auto it = memo_.find(bucket);
+  if (it == memo_.end()) {
+    // Permanent memoization: one randomized d-bit vector per distinct
+    // bucket value, reused verbatim on every future report of it.
+    std::vector<uint8_t> bits(d_);
+    for (uint32_t l = 0; l < d_; ++l) {
+      const double prob = (sampled_[l] == bucket) ? params_.p : params_.q;
+      bits[l] = rng.Bernoulli(prob) ? 1 : 0;
+    }
+    it = memo_.emplace(bucket, std::move(bits)).first;
+    if (sampled_position_[bucket] >= 0) {
+      ++sampled_states_seen_;
+    } else {
+      unsampled_state_seen_ = true;
+    }
+  }
+  DBitReport report;
+  report.sampled = &sampled_;
+  report.bits = it->second;
+  return report;
+}
+
+uint32_t DBitFlipClient::distinct_states() const {
+  return sampled_states_seen_ + (unsampled_state_seen_ ? 1 : 0);
+}
+
+const std::vector<uint8_t>* DBitFlipClient::MemoFor(uint32_t bucket) const {
+  const auto it = memo_.find(bucket);
+  return it == memo_.end() ? nullptr : &it->second;
+}
+
+DBitFlipPopulation::DBitFlipPopulation(const Bucketizer& bucketizer,
+                                       uint32_t d, double eps_perm,
+                                       uint32_t n, Rng& rng)
+    : bucketizer_(bucketizer),
+      d_(d),
+      words_per_memo_((d + 63) / 64),
+      params_(SueParams(eps_perm)),
+      users_(n),
+      samplers_per_bucket_(bucketizer.b(), 0),
+      support_(bucketizer.b(), 0) {
+  const uint32_t b = bucketizer_.b();
+  LOLOHA_CHECK_MSG(d >= 1 && d <= b, "need 1 <= d <= b sampled bits");
+  std::vector<uint32_t> pool(b);
+  for (auto& user : users_) {
+    user.sampled_pos.assign(b, -1);
+    user.slots.assign(b, -1);
+    for (uint32_t j = 0; j < b; ++j) pool[j] = j;
+    user.sampled.reserve(d);
+    for (uint32_t l = 0; l < d; ++l) {
+      const uint32_t pick = l + static_cast<uint32_t>(rng.UniformInt(b - l));
+      std::swap(pool[l], pool[pick]);
+      user.sampled.push_back(pool[l]);
+      user.sampled_pos[pool[l]] = static_cast<int32_t>(l);
+      ++samplers_per_bucket_[pool[l]];
+    }
+  }
+}
+
+uint32_t DBitFlipPopulation::EnsureMemo(UserState& user, uint32_t bucket,
+                                        Rng& rng) {
+  if (user.slots[bucket] >= 0) {
+    return static_cast<uint32_t>(user.slots[bucket]);
+  }
+  const uint32_t slot =
+      static_cast<uint32_t>(user.arena.size() / words_per_memo_);
+  user.slots[bucket] = static_cast<int32_t>(slot);
+  user.arena.resize(user.arena.size() + words_per_memo_, 0);
+  uint64_t* words =
+      user.arena.data() + static_cast<size_t>(slot) * words_per_memo_;
+  for (uint32_t l = 0; l < d_; ++l) {
+    const double prob = (user.sampled[l] == bucket) ? params_.p : params_.q;
+    if (rng.Bernoulli(prob)) words[l >> 6] |= uint64_t{1} << (l & 63);
+  }
+  if (user.sampled_pos[bucket] >= 0) {
+    ++user.sampled_states;
+  } else {
+    user.unsampled_seen = true;
+  }
+  return slot;
+}
+
+void DBitFlipPopulation::ApplySlot(const UserState& user, uint32_t slot,
+                                   int64_t sign) {
+  const uint64_t* words =
+      user.arena.data() + static_cast<size_t>(slot) * words_per_memo_;
+  for (uint32_t w = 0; w < words_per_memo_; ++w) {
+    uint64_t bits = words[w];
+    while (bits != 0) {
+      const int bit = __builtin_ctzll(bits);
+      support_[user.sampled[w * 64 + bit]] += sign;
+      bits &= bits - 1;
+    }
+  }
+}
+
+std::vector<double> DBitFlipPopulation::Step(
+    const std::vector<uint32_t>& values, Rng& rng) {
+  LOLOHA_CHECK(values.size() == users_.size());
+  for (size_t u = 0; u < users_.size(); ++u) {
+    UserState& user = users_[u];
+    const uint32_t bucket = bucketizer_.Bucket(values[u]);
+    if (user.current_bucket == static_cast<int64_t>(bucket)) continue;
+    if (user.current_bucket >= 0) {
+      ApplySlot(user,
+                static_cast<uint32_t>(
+                    user.slots[static_cast<uint32_t>(user.current_bucket)]),
+                -1);
+    }
+    const uint32_t slot = EnsureMemo(user, bucket, rng);
+    ApplySlot(user, slot, +1);
+    user.current_bucket = bucket;
+  }
+
+  const uint32_t b = bucketizer_.b();
+  std::vector<double> estimates(b, 0.0);
+  for (uint32_t j = 0; j < b; ++j) {
+    const uint64_t n_j = samplers_per_bucket_[j];
+    if (n_j == 0) continue;
+    LOLOHA_DCHECK(support_[j] >= 0);
+    estimates[j] = EstimateFrequency(static_cast<double>(support_[j]),
+                                     static_cast<double>(n_j), params_);
+  }
+  return estimates;
+}
+
+uint32_t DBitFlipPopulation::DistinctStates(uint32_t user) const {
+  LOLOHA_CHECK(user < users_.size());
+  return users_[user].sampled_states +
+         (users_[user].unsampled_seen ? 1 : 0);
+}
+
+DBitFlipServer::DBitFlipServer(const Bucketizer& bucketizer, uint32_t d,
+                               double eps_perm)
+    : bucketizer_(bucketizer),
+      d_(d),
+      params_(SueParams(eps_perm)),
+      samplers_per_bucket_(bucketizer.b(), 0),
+      support_(bucketizer.b(), 0) {}
+
+void DBitFlipServer::RegisterUser(const std::vector<uint32_t>& sampled) {
+  LOLOHA_CHECK(sampled.size() == d_);
+  for (const uint32_t j : sampled) {
+    LOLOHA_CHECK(j < bucketizer_.b());
+    ++samplers_per_bucket_[j];
+  }
+}
+
+void DBitFlipServer::BeginStep() { support_.assign(bucketizer_.b(), 0); }
+
+void DBitFlipServer::Accumulate(const DBitReport& report) {
+  LOLOHA_CHECK(report.sampled != nullptr);
+  LOLOHA_CHECK(report.bits.size() == d_);
+  for (uint32_t l = 0; l < d_; ++l) {
+    support_[(*report.sampled)[l]] += report.bits[l];
+  }
+}
+
+std::vector<double> DBitFlipServer::EstimateStep() const {
+  const uint32_t b = bucketizer_.b();
+  std::vector<double> estimates(b, 0.0);
+  for (uint32_t j = 0; j < b; ++j) {
+    const uint64_t n_j = samplers_per_bucket_[j];
+    if (n_j == 0) continue;  // nobody sampled this bucket; no information
+    estimates[j] = EstimateFrequency(static_cast<double>(support_[j]),
+                                     static_cast<double>(n_j), params_);
+  }
+  return estimates;
+}
+
+}  // namespace loloha

@@ -1,0 +1,159 @@
+// dBitFlipPM (Ding, Kulkarni & Yekhanin, NeurIPS'17; Sec. 2.4.4).
+//
+// The value domain [0, k) is generalized into b equal-width buckets. Each
+// user draws d distinct bucket indices once and forever; for every distinct
+// *bucket* value it encounters, it memoizes one d-bit randomized response
+// (bit l ~ Bern(p) if bucket(v) == j_l else Bern(q), with the SUE-style
+// p = e^{ε∞/2}/(e^{ε∞/2}+1)). Reports replay the memoized bits — there is
+// no second randomization round, which is what makes bucket changes
+// detectable (Table 2).
+//
+// The server estimates the b-bin bucket histogram: for bucket j, the
+// support count over the n_j users that sampled j is inverted with Eq. (1)
+// using n_j (the exact sample count, a refinement of the paper's expected
+// n*d/b).
+
+#ifndef LOLOHA_LONGITUDINAL_DBITFLIP_H_
+#define LOLOHA_LONGITUDINAL_DBITFLIP_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "oracle/params.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace loloha {
+
+// Equal-width bucketization of [0, k) into [0, b): bucket(v) = v * b / k.
+class Bucketizer {
+ public:
+  Bucketizer(uint32_t k, uint32_t b);
+
+  uint32_t Bucket(uint32_t value) const {
+    LOLOHA_DCHECK(value < k_);
+    return static_cast<uint32_t>((static_cast<uint64_t>(value) * b_) / k_);
+  }
+
+  uint32_t k() const { return k_; }
+  uint32_t b() const { return b_; }
+
+ private:
+  uint32_t k_;
+  uint32_t b_;
+};
+
+// One dBitFlipPM report: the (fixed) sampled bucket indices and the
+// memoized bit for each of them.
+struct DBitReport {
+  const std::vector<uint32_t>* sampled = nullptr;  // d indices, owned by client
+  std::vector<uint8_t> bits;                       // d bits
+};
+
+class DBitFlipClient {
+ public:
+  // Draws the d sampled bucket indices (without replacement) at
+  // construction; they stay fixed for all collections.
+  DBitFlipClient(const Bucketizer& bucketizer, uint32_t d, double eps_perm,
+                 Rng& rng);
+
+  // Reports the memoized randomized bits for this step's true value.
+  DBitReport Report(uint32_t value, Rng& rng);
+
+  const std::vector<uint32_t>& sampled() const { return sampled_; }
+
+  // Number of distinct *privacy states* exercised so far: each distinct
+  // sampled bucket counts individually, all never-sampled buckets together
+  // count once (their response distributions are identical). The user's
+  // longitudinal loss under Definition 3.2 is ε∞ times this, which is
+  // bounded by min(d + 1, b) (Table 1).
+  uint32_t distinct_states() const;
+
+  // Distinct bucket values encountered (for the detection analysis).
+  uint32_t distinct_buckets() const {
+    return static_cast<uint32_t>(memo_.size());
+  }
+
+  // The memoized bits for a bucket, or nullptr if never encountered.
+  const std::vector<uint8_t>* MemoFor(uint32_t bucket) const;
+
+ private:
+  const Bucketizer& bucketizer_;
+  uint32_t d_;
+  PerturbParams params_;
+  std::vector<uint32_t> sampled_;          // the d fixed indices
+  std::vector<int32_t> sampled_position_;  // bucket -> index in sampled_, or -1
+  std::unordered_map<uint32_t, std::vector<uint8_t>> memo_;  // bucket -> bits
+  uint32_t sampled_states_seen_ = 0;
+  bool unsampled_state_seen_ = false;
+};
+
+// Simulation-grade fleet of n dBitFlipPM users. Mechanism-identical to
+// DBitFlipClient/DBitFlipServer, but memo vectors are packed and the
+// per-bucket support sums are maintained incrementally (reports are
+// memoized verbatim, so a user's contribution only changes when its bucket
+// does).
+class DBitFlipPopulation {
+ public:
+  DBitFlipPopulation(const Bucketizer& bucketizer, uint32_t d,
+                     double eps_perm, uint32_t n, Rng& rng);
+
+  // Advances one step; returns the estimated b-bin bucket histogram.
+  std::vector<double> Step(const std::vector<uint32_t>& values, Rng& rng);
+
+  // Distinct privacy states exercised by user u (<= min(d+1, b)).
+  uint32_t DistinctStates(uint32_t user) const;
+
+  uint32_t b() const { return bucketizer_.b(); }
+  uint32_t d() const { return d_; }
+
+ private:
+  struct UserState {
+    std::vector<uint32_t> sampled;      // the d fixed bucket indices
+    std::vector<int32_t> sampled_pos;   // bucket -> position in sampled, -1
+    std::vector<int32_t> slots;         // bucket -> arena slot, -1
+    std::vector<uint64_t> arena;        // packed d-bit memo per slot
+    int64_t current_bucket = -1;
+    uint32_t sampled_states = 0;
+    bool unsampled_seen = false;
+  };
+
+  uint32_t EnsureMemo(UserState& user, uint32_t bucket, Rng& rng);
+  void ApplySlot(const UserState& user, uint32_t slot, int64_t sign);
+
+  Bucketizer bucketizer_;
+  uint32_t d_;
+  uint32_t words_per_memo_;
+  PerturbParams params_;
+  std::vector<UserState> users_;
+  std::vector<uint64_t> samplers_per_bucket_;  // n_j
+  std::vector<int64_t> support_;               // maintained incrementally
+};
+
+class DBitFlipServer {
+ public:
+  DBitFlipServer(const Bucketizer& bucketizer, uint32_t d, double eps_perm);
+
+  // Registers a user's fixed sampled set (once, before the first step).
+  void RegisterUser(const std::vector<uint32_t>& sampled);
+
+  void BeginStep();
+  void Accumulate(const DBitReport& report);
+
+  // Estimated b-bin bucket frequency histogram for the current step.
+  std::vector<double> EstimateStep() const;
+
+  uint32_t b() const { return bucketizer_.b(); }
+
+ private:
+  Bucketizer bucketizer_;
+  uint32_t d_;
+  PerturbParams params_;
+  std::vector<uint64_t> samplers_per_bucket_;  // n_j
+  std::vector<uint64_t> support_;
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_LONGITUDINAL_DBITFLIP_H_

@@ -1,0 +1,56 @@
+#include "longitudinal/lgrr.h"
+
+#include "oracle/estimator.h"
+#include "util/check.h"
+
+namespace loloha {
+
+LongitudinalGrrClient::LongitudinalGrrClient(uint32_t k,
+                                             const ChainedParams& chain)
+    : k_(k), chain_(chain) {
+  LOLOHA_CHECK(k >= 2);
+  LOLOHA_CHECK(ValidParams(chain.first));
+  LOLOHA_CHECK(ValidParams(chain.second));
+}
+
+uint32_t LongitudinalGrrClient::Report(uint32_t value, Rng& rng) {
+  LOLOHA_CHECK(value < k_);
+  auto it = memo_.find(value);
+  if (it == memo_.end()) {
+    // PRR: GRR(value; ε∞), drawn once and reused.
+    uint32_t memoized = value;
+    if (!rng.Bernoulli(chain_.first.p)) {
+      memoized = static_cast<uint32_t>(rng.UniformIntExcluding(k_, value));
+    }
+    it = memo_.emplace(value, memoized).first;
+  }
+  // IRR: GRR(x'; ε_IRR) fresh on every report.
+  const uint32_t memoized = it->second;
+  if (rng.Bernoulli(chain_.second.p)) return memoized;
+  return static_cast<uint32_t>(rng.UniformIntExcluding(k_, memoized));
+}
+
+LongitudinalGrrServer::LongitudinalGrrServer(uint32_t k,
+                                             const ChainedParams& chain)
+    : k_(k), chain_(chain), counts_(k, 0) {}
+
+void LongitudinalGrrServer::BeginStep() {
+  counts_.assign(k_, 0);
+  num_reports_ = 0;
+}
+
+void LongitudinalGrrServer::Accumulate(uint32_t report) {
+  LOLOHA_CHECK(report < k_);
+  ++counts_[report];
+  ++num_reports_;
+}
+
+std::vector<double> LongitudinalGrrServer::EstimateStep() const {
+  LOLOHA_CHECK_MSG(num_reports_ > 0, "no reports accumulated");
+  std::vector<double> counts(counts_.begin(), counts_.end());
+  return EstimateFrequenciesChained(counts,
+                                    static_cast<double>(num_reports_),
+                                    chain_.first, chain_.second);
+}
+
+}  // namespace loloha

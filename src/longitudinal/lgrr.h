@@ -1,0 +1,58 @@
+// L-GRR (Sec. 2.4.3): GRR chained with GRR. The PRR round memoizes a
+// sanitized value x' per distinct true value; the IRR round re-randomizes
+// x' with a second GRR on every report. Reports are single values in
+// [0, k), so both client and server are O(1) per report (plus O(k) per
+// estimation step), which is why L-GRR is the protocol of choice for small
+// domains.
+
+#ifndef LOLOHA_LONGITUDINAL_LGRR_H_
+#define LOLOHA_LONGITUDINAL_LGRR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "longitudinal/chain.h"
+#include "util/rng.h"
+
+namespace loloha {
+
+class LongitudinalGrrClient {
+ public:
+  // `chain` from LGrrChain(eps_perm, eps_first, k).
+  LongitudinalGrrClient(uint32_t k, const ChainedParams& chain);
+
+  // Sanitizes one step's true value.
+  uint32_t Report(uint32_t value, Rng& rng);
+
+  // Distinct values memoized so far (longitudinal loss = ε∞ * this).
+  uint32_t distinct_memos() const {
+    return static_cast<uint32_t>(memo_.size());
+  }
+
+ private:
+  uint32_t k_;
+  ChainedParams chain_;
+  std::unordered_map<uint32_t, uint32_t> memo_;
+};
+
+class LongitudinalGrrServer {
+ public:
+  LongitudinalGrrServer(uint32_t k, const ChainedParams& chain);
+
+  void BeginStep();
+  void Accumulate(uint32_t report);
+
+  // Eq. (3) estimates for the current step.
+  std::vector<double> EstimateStep() const;
+
+ private:
+  uint32_t k_;
+  ChainedParams chain_;
+  std::vector<uint64_t> counts_;
+  uint64_t num_reports_ = 0;
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_LONGITUDINAL_LGRR_H_

@@ -1,0 +1,215 @@
+#include "longitudinal/lue.h"
+
+#include <algorithm>
+
+#include "oracle/estimator.h"
+#include "oracle/unary.h"
+#include "util/check.h"
+
+namespace loloha {
+
+ChainedParams LueChain(LueVariant variant, double eps_perm,
+                       double eps_first) {
+  switch (variant) {
+    case LueVariant::kLSue:
+      return LSueChain(eps_perm, eps_first);
+    case LueVariant::kLOsue:
+      return LOsueChain(eps_perm, eps_first);
+    case LueVariant::kLSoue:
+      return LSoueChain(eps_perm, eps_first);
+    case LueVariant::kLOue:
+      return LOueChain(eps_perm, eps_first);
+  }
+  LOLOHA_CHECK_MSG(false, "unknown LueVariant");
+  return {};
+}
+
+const char* LueVariantName(LueVariant variant) {
+  switch (variant) {
+    case LueVariant::kLSue:
+      return "RAPPOR";
+    case LueVariant::kLOsue:
+      return "L-OSUE";
+    case LueVariant::kLSoue:
+      return "L-SOUE";
+    case LueVariant::kLOue:
+      return "L-OUE";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Real client / server.
+// ---------------------------------------------------------------------------
+
+LongitudinalUeClient::LongitudinalUeClient(uint32_t k,
+                                           const ChainedParams& chain)
+    : k_(k), chain_(chain) {
+  LOLOHA_CHECK(k >= 2);
+  LOLOHA_CHECK(ValidParams(chain.first));
+  LOLOHA_CHECK(ValidParams(chain.second));
+}
+
+std::vector<uint8_t> LongitudinalUeClient::Report(uint32_t value, Rng& rng) {
+  LOLOHA_CHECK(value < k_);
+  auto it = memo_.find(value);
+  if (it == memo_.end()) {
+    // PRR step: executed once per distinct value, then reused (Sec. 2.4.1).
+    PackedBits memo = PackedBits::SampleOneHotNoisy(
+        k_, value, chain_.first.p, chain_.first.q, rng);
+    it = memo_.emplace(value, std::move(memo)).first;
+  }
+  // IRR step: fresh randomization of the memoized vector on every report.
+  const PackedBits& memo = it->second;
+  std::vector<uint8_t> report(k_);
+  for (uint32_t i = 0; i < k_; ++i) {
+    const double prob = memo.Get(i) ? chain_.second.p : chain_.second.q;
+    report[i] = rng.Bernoulli(prob) ? 1 : 0;
+  }
+  return report;
+}
+
+LongitudinalUeServer::LongitudinalUeServer(uint32_t k,
+                                           const ChainedParams& chain)
+    : k_(k), chain_(chain), counts_(k, 0) {}
+
+void LongitudinalUeServer::BeginStep() {
+  counts_.assign(k_, 0);
+  num_reports_ = 0;
+}
+
+void LongitudinalUeServer::Accumulate(const std::vector<uint8_t>& report) {
+  LOLOHA_CHECK(report.size() == k_);
+  for (uint32_t i = 0; i < k_; ++i) counts_[i] += report[i];
+  ++num_reports_;
+}
+
+std::vector<double> LongitudinalUeServer::EstimateStep() const {
+  LOLOHA_CHECK_MSG(num_reports_ > 0, "no reports accumulated");
+  std::vector<double> counts(counts_.begin(), counts_.end());
+  return EstimateFrequenciesChained(counts,
+                                    static_cast<double>(num_reports_),
+                                    chain_.first, chain_.second);
+}
+
+// ---------------------------------------------------------------------------
+// Population simulator.
+// ---------------------------------------------------------------------------
+
+LongitudinalUePopulation::LongitudinalUePopulation(uint32_t k, uint32_t n,
+                                                   const ChainedParams& chain)
+    : k_(k),
+      n_(n),
+      words_per_memo_((k + 63) / 64),
+      chain_(chain),
+      users_(n),
+      memo_column_sums_(k, 0) {
+  LOLOHA_CHECK(k >= 2);
+  LOLOHA_CHECK(n >= 1);
+  LOLOHA_CHECK(ValidParams(chain.first));
+  LOLOHA_CHECK(ValidParams(chain.second));
+}
+
+void LongitudinalUePopulation::AddSlotToCounts(const UserState& user,
+                                               uint32_t slot) {
+  const uint64_t* words = user.arena.data() +
+                          static_cast<size_t>(slot) * words_per_memo_;
+  for (uint32_t w = 0; w < words_per_memo_; ++w) {
+    uint64_t bits = words[w];
+    while (bits != 0) {
+      const int b = __builtin_ctzll(bits);
+      ++memo_column_sums_[w * 64 + b];
+      bits &= bits - 1;
+    }
+  }
+}
+
+void LongitudinalUePopulation::SubSlotFromCounts(const UserState& user,
+                                                 uint32_t slot) {
+  const uint64_t* words = user.arena.data() +
+                          static_cast<size_t>(slot) * words_per_memo_;
+  for (uint32_t w = 0; w < words_per_memo_; ++w) {
+    uint64_t bits = words[w];
+    while (bits != 0) {
+      const int b = __builtin_ctzll(bits);
+      --memo_column_sums_[w * 64 + b];
+      bits &= bits - 1;
+    }
+  }
+}
+
+uint32_t LongitudinalUePopulation::EnsureMemo(UserState& user, uint32_t value,
+                                              Rng& rng) {
+  if (user.slots.empty()) user.slots.assign(k_, -1);
+  if (user.slots[value] >= 0) return static_cast<uint32_t>(user.slots[value]);
+
+  const uint32_t slot = user.distinct;
+  user.slots[value] = static_cast<int32_t>(slot);
+  ++user.distinct;
+  user.arena.resize(user.arena.size() + words_per_memo_, 0);
+  uint64_t* words = user.arena.data() +
+                    static_cast<size_t>(slot) * words_per_memo_;
+  // PRR draw: bit `value` ~ Bern(p1), all others iid Bern(q1).
+  for (uint32_t w = 0; w < words_per_memo_; ++w) {
+    const uint32_t base = w * 64;
+    const uint32_t limit = std::min<uint32_t>(64, k_ - base);
+    uint64_t word = 0;
+    for (uint32_t b = 0; b < limit; ++b) {
+      const double prob =
+          (base + b == value) ? chain_.first.p : chain_.first.q;
+      if (rng.Bernoulli(prob)) word |= uint64_t{1} << b;
+    }
+    words[w] = word;
+  }
+  return slot;
+}
+
+std::vector<double> LongitudinalUePopulation::Step(
+    const std::vector<uint32_t>& values, Rng& rng) {
+  LOLOHA_CHECK(values.size() == n_);
+
+  // PRR bookkeeping: move each user whose value changed onto the memo
+  // vector of the new value, keeping the column sums M in sync.
+  for (uint32_t u = 0; u < n_; ++u) {
+    UserState& user = users_[u];
+    const uint32_t value = values[u];
+    LOLOHA_DCHECK(value < k_);
+    if (user.current_value == static_cast<int64_t>(value)) continue;
+    if (user.current_value >= 0) {
+      const int32_t old_slot =
+          user.slots[static_cast<uint32_t>(user.current_value)];
+      LOLOHA_DCHECK(old_slot >= 0);
+      SubSlotFromCounts(user, static_cast<uint32_t>(old_slot));
+    }
+    const uint32_t slot = EnsureMemo(user, value, rng);
+    AddSlotToCounts(user, slot);
+    user.current_value = value;
+  }
+
+  // IRR sampling: position-wise binomial mixture (see header).
+  std::vector<double> counts(k_);
+  for (uint32_t i = 0; i < k_; ++i) {
+    const uint64_t ones = memo_column_sums_[i];
+    LOLOHA_DCHECK(ones <= n_);
+    uint64_t c = 0;
+    if (ones > 0) {
+      std::binomial_distribution<uint64_t> from_ones(ones, chain_.second.p);
+      c += from_ones(rng);
+    }
+    if (ones < n_) {
+      std::binomial_distribution<uint64_t> from_zeros(n_ - ones,
+                                                      chain_.second.q);
+      c += from_zeros(rng);
+    }
+    counts[i] = static_cast<double>(c);
+  }
+  return EstimateFrequenciesChained(counts, static_cast<double>(n_),
+                                    chain_.first, chain_.second);
+}
+
+uint32_t LongitudinalUePopulation::DistinctMemos(uint32_t user) const {
+  LOLOHA_CHECK(user < n_);
+  return users_[user].distinct;
+}
+
+}  // namespace loloha

@@ -1,0 +1,134 @@
+// Longitudinal Unary-Encoding protocols: RAPPOR (L-SUE), L-OSUE, L-SOUE and
+// L-OUE — every combination of SUE/OUE in the PRR and IRR rounds (Sec.
+// 2.4.1, 2.4.2 and ref. [5]).
+//
+// Client model (Sec. 2.4.1): the user one-hot encodes v, applies the PRR
+// round *once per distinct value* and memoizes the result x'; every report
+// of v re-randomizes x' with the IRR round and sends the resulting k-bit
+// vector. The server sums bits per position and inverts with Eq. (3).
+//
+// Two implementations are provided:
+//   * LongitudinalUeClient / LongitudinalUeServer — the real protocol, one
+//     report per user per step (what a deployment would run).
+//   * LongitudinalUePopulation — a simulation-grade aggregator that is
+//     *exactly* distribution-equivalent to running n clients: PRR memo
+//     vectors are materialized per (user, value) as packed bits, and the
+//     IRR round is sampled per position as
+//       C_t[i] ~ Binomial(M_t[i], p2) + Binomial(n - M_t[i], q2),
+//     where M_t[i] is the number of users whose current memo vector has bit
+//     i set. Conditioned on the memos, the n per-user IRR bits at position
+//     i are independent Bernoullis with those two parameters, so the sum is
+//     exactly the displayed binomial mixture. This turns the O(n*k) IRR
+//     sampling into O(k) per step.
+
+#ifndef LOLOHA_LONGITUDINAL_LUE_H_
+#define LOLOHA_LONGITUDINAL_LUE_H_
+
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "longitudinal/chain.h"
+#include "util/packed_bits.h"
+#include "util/rng.h"
+
+namespace loloha {
+
+// Which UE protocol runs in each round; mirrors ref. [5]'s four variants.
+enum class LueVariant {
+  kLSue,   // SUE + SUE == RAPPOR
+  kLOsue,  // OUE + SUE (the paper's optimized choice)
+  kLSoue,  // SUE + OUE
+  kLOue,   // OUE + OUE
+};
+
+// Parameters for a variant at (ε∞, ε1).
+ChainedParams LueChain(LueVariant variant, double eps_perm, double eps_first);
+
+// Human-readable protocol name ("RAPPOR", "L-OSUE", ...).
+const char* LueVariantName(LueVariant variant);
+
+// One user's stateful randomizer.
+class LongitudinalUeClient {
+ public:
+  LongitudinalUeClient(uint32_t k, const ChainedParams& chain);
+
+  // Produces the sanitized k-bit report for this step's true value.
+  std::vector<uint8_t> Report(uint32_t value, Rng& rng);
+
+  // Number of distinct values memoized so far; the user's longitudinal
+  // privacy loss under Definition 3.2 is eps_perm * this count.
+  uint32_t distinct_memos() const {
+    return static_cast<uint32_t>(memo_.size());
+  }
+
+  uint32_t k() const { return k_; }
+
+ private:
+  uint32_t k_;
+  ChainedParams chain_;
+  std::unordered_map<uint32_t, PackedBits> memo_;
+};
+
+// Per-step aggregator for real client reports.
+class LongitudinalUeServer {
+ public:
+  LongitudinalUeServer(uint32_t k, const ChainedParams& chain);
+
+  void BeginStep();
+  void Accumulate(const std::vector<uint8_t>& report);
+
+  // Unbiased frequency estimates for the current step, Eq. (3).
+  std::vector<double> EstimateStep() const;
+
+ private:
+  uint32_t k_;
+  ChainedParams chain_;
+  std::vector<uint64_t> counts_;
+  uint64_t num_reports_ = 0;
+};
+
+// Exact-distribution population simulator (see file comment).
+class LongitudinalUePopulation {
+ public:
+  LongitudinalUePopulation(uint32_t k, uint32_t n, const ChainedParams& chain);
+
+  // Advances one collection step: `values[u]` is user u's true value.
+  // Returns the estimated frequency histogram for the step.
+  std::vector<double> Step(const std::vector<uint32_t>& values, Rng& rng);
+
+  // Distinct values memoized by user u so far.
+  uint32_t DistinctMemos(uint32_t user) const;
+
+  uint32_t k() const { return k_; }
+  uint32_t n() const { return n_; }
+
+ private:
+  struct UserState {
+    // Which value the user reported at the previous step (or none yet).
+    int64_t current_value = -1;
+    // value -> slot index into `arena` (-1 when not yet memoized); each
+    // slot is words_per_memo words.
+    std::vector<int32_t> slots;
+    std::vector<uint64_t> arena;
+    uint32_t distinct = 0;
+  };
+
+  // Packed-bits view helpers over a user's arena slot.
+  void AddSlotToCounts(const UserState& user, uint32_t slot);
+  void SubSlotFromCounts(const UserState& user, uint32_t slot);
+  uint32_t EnsureMemo(UserState& user, uint32_t value, Rng& rng);
+
+  uint32_t k_;
+  uint32_t n_;
+  uint32_t words_per_memo_;
+  ChainedParams chain_;
+  std::vector<UserState> users_;
+  // M[i]: number of users whose current memo vector has bit i set.
+  std::vector<uint64_t> memo_column_sums_;
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_LONGITUDINAL_LUE_H_

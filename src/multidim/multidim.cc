@@ -1,0 +1,119 @@
+#include "multidim/multidim.h"
+
+#include "oracle/estimator.h"
+#include "util/check.h"
+
+namespace loloha {
+
+std::vector<LolohaParams> ResolveMultidimParams(
+    const MultidimConfig& config) {
+  LOLOHA_CHECK_MSG(!config.domain_sizes.empty(),
+                   "need at least one attribute");
+  const double m = static_cast<double>(config.domain_sizes.size());
+  const bool split = config.strategy == MultidimStrategy::kSplit;
+  const double eps_perm = split ? config.eps_perm / m : config.eps_perm;
+  const double eps_first = split ? config.eps_first / m : config.eps_first;
+
+  std::vector<LolohaParams> params;
+  params.reserve(config.domain_sizes.size());
+  for (const uint32_t k : config.domain_sizes) {
+    const uint32_t g = config.g == 0 ? OptimalLolohaG(eps_perm, eps_first)
+                                     : config.g;
+    params.push_back(MakeLolohaParams(k, g, eps_perm, eps_first));
+  }
+  return params;
+}
+
+MultidimLolohaClient::MultidimLolohaClient(const MultidimConfig& config,
+                                           Rng& rng)
+    : config_(config), params_(ResolveMultidimParams(config)) {
+  const size_t m = config.domain_sizes.size();
+  clients_.resize(m);
+  if (config.strategy == MultidimStrategy::kSample) {
+    // The sampled attribute is drawn once and fixed forever; see header.
+    const uint32_t j = static_cast<uint32_t>(rng.UniformInt(m));
+    sampled_attribute_ = j;
+    clients_[j] = std::make_unique<LolohaClient>(params_[j], rng);
+  } else {
+    for (size_t j = 0; j < m; ++j) {
+      clients_[j] = std::make_unique<LolohaClient>(params_[j], rng);
+    }
+  }
+}
+
+std::vector<AttributeReport> MultidimLolohaClient::Report(
+    const std::vector<uint32_t>& values, Rng& rng) {
+  LOLOHA_CHECK(values.size() == config_.domain_sizes.size());
+  std::vector<AttributeReport> reports;
+  if (sampled_attribute_.has_value()) {
+    const uint32_t j = *sampled_attribute_;
+    reports.push_back({j, clients_[j]->Report(values[j], rng)});
+  } else {
+    reports.reserve(clients_.size());
+    for (uint32_t j = 0; j < clients_.size(); ++j) {
+      reports.push_back({j, clients_[j]->Report(values[j], rng)});
+    }
+  }
+  return reports;
+}
+
+const UniversalHash* MultidimLolohaClient::HashFor(uint32_t attribute) const {
+  LOLOHA_CHECK(attribute < clients_.size());
+  return clients_[attribute] ? &clients_[attribute]->hash() : nullptr;
+}
+
+double MultidimLolohaClient::PrivacySpent() const {
+  double total = 0.0;
+  for (size_t j = 0; j < clients_.size(); ++j) {
+    if (clients_[j]) {
+      total += params_[j].eps_perm * clients_[j]->distinct_memos();
+    }
+  }
+  return total;
+}
+
+MultidimLolohaServer::MultidimLolohaServer(const MultidimConfig& config)
+    : config_(config), params_(ResolveMultidimParams(config)) {
+  support_.resize(config.domain_sizes.size());
+  reporters_.assign(config.domain_sizes.size(), 0);
+  for (size_t j = 0; j < config.domain_sizes.size(); ++j) {
+    support_[j].assign(config.domain_sizes[j], 0);
+  }
+}
+
+void MultidimLolohaServer::BeginStep() {
+  for (size_t j = 0; j < support_.size(); ++j) {
+    support_[j].assign(config_.domain_sizes[j], 0);
+    reporters_[j] = 0;
+  }
+}
+
+void MultidimLolohaServer::Accumulate(
+    const MultidimLolohaClient& client,
+    const std::vector<AttributeReport>& reports) {
+  for (const AttributeReport& report : reports) {
+    LOLOHA_CHECK(report.attribute < support_.size());
+    const UniversalHash* hash = client.HashFor(report.attribute);
+    LOLOHA_CHECK_MSG(hash != nullptr, "report from unsampled attribute");
+    const uint32_t k = config_.domain_sizes[report.attribute];
+    std::vector<uint64_t>& counts = support_[report.attribute];
+    for (uint32_t v = 0; v < k; ++v) {
+      if ((*hash)(v) == report.cell) ++counts[v];
+    }
+    ++reporters_[report.attribute];
+  }
+}
+
+std::vector<std::vector<double>> MultidimLolohaServer::EstimateStep() const {
+  std::vector<std::vector<double>> estimates(support_.size());
+  for (size_t j = 0; j < support_.size(); ++j) {
+    if (reporters_[j] == 0) continue;
+    std::vector<double> counts(support_[j].begin(), support_[j].end());
+    estimates[j] = EstimateFrequenciesChained(
+        counts, static_cast<double>(reporters_[j]),
+        params_[j].EstimatorFirst(), params_[j].irr);
+  }
+  return estimates;
+}
+
+}  // namespace loloha

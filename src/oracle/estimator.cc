@@ -1,0 +1,79 @@
+#include "oracle/estimator.h"
+
+#include "util/check.h"
+
+namespace loloha {
+
+double EstimateFrequency(double support_count, double n,
+                         const PerturbParams& params) {
+  LOLOHA_CHECK(n > 0.0);
+  LOLOHA_CHECK(ValidParams(params));
+  return (support_count - n * params.q) / (n * (params.p - params.q));
+}
+
+std::vector<double> EstimateFrequencies(const std::vector<double>& counts,
+                                        double n,
+                                        const PerturbParams& params) {
+  std::vector<double> estimates(counts.size());
+  for (size_t v = 0; v < counts.size(); ++v) {
+    estimates[v] = EstimateFrequency(counts[v], n, params);
+  }
+  return estimates;
+}
+
+PerturbParams CollapseChain(const PerturbParams& first,
+                            const PerturbParams& second) {
+  PerturbParams collapsed;
+  collapsed.p = first.p * second.p + (1.0 - first.p) * second.q;
+  collapsed.q = first.q * second.p + (1.0 - first.q) * second.q;
+  return collapsed;
+}
+
+double EstimateFrequencyChained(double support_count, double n,
+                                const PerturbParams& first,
+                                const PerturbParams& second) {
+  LOLOHA_CHECK(n > 0.0);
+  const double dp1 = first.p - first.q;
+  const double dp2 = second.p - second.q;
+  LOLOHA_CHECK(dp1 > 0.0 && dp2 > 0.0);
+  return (support_count - n * first.q * dp2 - n * second.q) / (n * dp1 * dp2);
+}
+
+std::vector<double> EstimateFrequenciesChained(
+    const std::vector<double>& counts, double n, const PerturbParams& first,
+    const PerturbParams& second) {
+  std::vector<double> estimates(counts.size());
+  for (size_t v = 0; v < counts.size(); ++v) {
+    estimates[v] = EstimateFrequencyChained(counts[v], n, first, second);
+  }
+  return estimates;
+}
+
+double ExactVariance(double n, double f, const PerturbParams& first,
+                     const PerturbParams& second) {
+  LOLOHA_CHECK(n > 0.0);
+  const double dp1 = first.p - first.q;
+  const double dp2 = second.p - second.q;
+  LOLOHA_CHECK(dp1 > 0.0 && dp2 > 0.0);
+  // gamma is the marginal support probability: the chained mechanism keeps
+  // support with p_s for the f fraction of users holding v and creates
+  // spurious support with q_s for the rest (Eq. 4).
+  const PerturbParams collapsed = CollapseChain(first, second);
+  const double gamma = f * (collapsed.p - collapsed.q) + collapsed.q;
+  return gamma * (1.0 - gamma) / (n * dp1 * dp1 * dp2 * dp2);
+}
+
+double ApproximateVariance(double n, const PerturbParams& first,
+                           const PerturbParams& second) {
+  return ExactVariance(n, 0.0, first, second);
+}
+
+double OneRoundVariance(double n, double f, const PerturbParams& params) {
+  LOLOHA_CHECK(n > 0.0);
+  LOLOHA_CHECK(ValidParams(params));
+  const double gamma = f * (params.p - params.q) + params.q;
+  const double dp = params.p - params.q;
+  return gamma * (1.0 - gamma) / (n * dp * dp);
+}
+
+}  // namespace loloha

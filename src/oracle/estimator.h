@@ -1,0 +1,59 @@
+// The shared unbiased frequency estimator of Eq. (1) and its longitudinal
+// two-round extension, Eq. (3). Every protocol in this library funnels its
+// aggregated support counts through these two functions, so the
+// unbiasedness proofs (and tests) cover all of them at once.
+
+#ifndef LOLOHA_ORACLE_ESTIMATOR_H_
+#define LOLOHA_ORACLE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "oracle/params.h"
+
+namespace loloha {
+
+// Eq. (1): f_hat = (C - n*q) / (n * (p - q)).
+// `support_count` is C(v), `n` the number of reports contributing to it.
+double EstimateFrequency(double support_count, double n,
+                         const PerturbParams& params);
+
+// Applies Eq. (1) coordinate-wise to a whole histogram of support counts.
+std::vector<double> EstimateFrequencies(const std::vector<double>& counts,
+                                        double n, const PerturbParams& params);
+
+// Eq. (3): the chained (PRR then IRR) estimator
+//   f_hat = (C - n*q1*(p2-q2) - n*q2) / (n * (p1-q1) * (p2-q2)).
+// For LOLOHA/LH-based protocols pass q1' = 1/g as `first.q` (Alg. 2).
+double EstimateFrequencyChained(double support_count, double n,
+                                const PerturbParams& first,
+                                const PerturbParams& second);
+
+std::vector<double> EstimateFrequenciesChained(
+    const std::vector<double>& counts, double n, const PerturbParams& first,
+    const PerturbParams& second);
+
+// The effective single-round (p_s, q_s) of a chained mechanism acting on
+// *support* probabilities: p_s = p1*p2 + (1-p1)*q2, q_s = q1*p2 + (1-q1)*q2.
+// EstimateFrequencyChained(c, n, first, second) ==
+// EstimateFrequency(c, n, CollapseChain(first, second)) identically.
+PerturbParams CollapseChain(const PerturbParams& first,
+                            const PerturbParams& second);
+
+// Approximate variance V*[f_hat] of the chained estimator at f(v) = 0,
+// Eq. (5). `n` is the number of users.
+double ApproximateVariance(double n, const PerturbParams& first,
+                           const PerturbParams& second);
+
+// Exact variance of the chained estimator at true frequency f, Eq. (4).
+double ExactVariance(double n, double f, const PerturbParams& first,
+                     const PerturbParams& second);
+
+// Variance of the one-round estimator (Eq. 4 with a degenerate second
+// round p2 = 1, q2 = 0): gamma*(1-gamma) / (n*(p-q)^2) with
+// gamma = f*(p - q) + q.
+double OneRoundVariance(double n, double f, const PerturbParams& params);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_ORACLE_ESTIMATOR_H_

@@ -1,0 +1,42 @@
+#include "oracle/grr.h"
+
+#include "oracle/estimator.h"
+#include "util/check.h"
+
+namespace loloha {
+
+GrrClient::GrrClient(uint32_t k, double epsilon)
+    : k_(k), epsilon_(epsilon), params_(GrrParams(epsilon, k)) {}
+
+uint32_t GrrClient::Perturb(uint32_t value, Rng& rng) const {
+  LOLOHA_DCHECK(value < k_);
+  if (rng.Bernoulli(params_.p)) return value;
+  return static_cast<uint32_t>(rng.UniformIntExcluding(k_, value));
+}
+
+GrrServer::GrrServer(uint32_t k, double epsilon)
+    : k_(k), params_(GrrParams(epsilon, k)), counts_(k, 0) {}
+
+void GrrServer::Accumulate(uint32_t report) {
+  LOLOHA_CHECK(report < k_);
+  ++counts_[report];
+  ++num_reports_;
+}
+
+std::vector<double> GrrServer::Estimate() const {
+  LOLOHA_CHECK_MSG(num_reports_ > 0, "no reports accumulated");
+  std::vector<double> estimates(k_);
+  const double n = static_cast<double>(num_reports_);
+  for (uint32_t v = 0; v < k_; ++v) {
+    estimates[v] =
+        EstimateFrequency(static_cast<double>(counts_[v]), n, params_);
+  }
+  return estimates;
+}
+
+void GrrServer::Reset() {
+  counts_.assign(k_, 0);
+  num_reports_ = 0;
+}
+
+}  // namespace loloha

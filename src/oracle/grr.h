@@ -1,0 +1,60 @@
+// Generalized Randomized Response (GRR), Sec. 2.3.1.
+//
+// The client reports its true value v with probability p = e^eps/(e^eps+k-1)
+// and a uniformly random *other* value with the remaining probability. The
+// server counts reports per value and inverts with Eq. (1).
+
+#ifndef LOLOHA_ORACLE_GRR_H_
+#define LOLOHA_ORACLE_GRR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "oracle/params.h"
+#include "util/rng.h"
+
+namespace loloha {
+
+// Client-side randomizer. Stateless apart from its parameters; one instance
+// can serve any number of users.
+class GrrClient {
+ public:
+  GrrClient(uint32_t k, double epsilon);
+
+  // Perturbs one value in [0, k) — the mechanism M_GRR(v; eps).
+  uint32_t Perturb(uint32_t value, Rng& rng) const;
+
+  uint32_t k() const { return k_; }
+  double epsilon() const { return epsilon_; }
+  const PerturbParams& params() const { return params_; }
+
+ private:
+  uint32_t k_;
+  double epsilon_;
+  PerturbParams params_;
+};
+
+// Server-side aggregator: accumulates reports, then estimates the k-bin
+// frequency histogram.
+class GrrServer {
+ public:
+  GrrServer(uint32_t k, double epsilon);
+
+  void Accumulate(uint32_t report);
+
+  // Unbiased frequency estimates over all accumulated reports (Eq. 1).
+  std::vector<double> Estimate() const;
+
+  uint64_t num_reports() const { return num_reports_; }
+  void Reset();
+
+ private:
+  uint32_t k_;
+  PerturbParams params_;
+  std::vector<uint64_t> counts_;
+  uint64_t num_reports_ = 0;
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_ORACLE_GRR_H_

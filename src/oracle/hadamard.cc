@@ -1,0 +1,86 @@
+#include "oracle/hadamard.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace loloha {
+
+namespace {
+
+uint32_t NextPowerOfTwoAbove(uint32_t x) {
+  uint32_t k = 1;
+  while (k <= x) k <<= 1;
+  return k;
+}
+
+}  // namespace
+
+void FastWalshHadamard(std::vector<double>& data) {
+  const size_t n = data.size();
+  LOLOHA_CHECK_MSG((n & (n - 1)) == 0 && n > 0,
+                   "FWHT needs a power-of-two length");
+  for (size_t half = 1; half < n; half <<= 1) {
+    for (size_t block = 0; block < n; block += 2 * half) {
+      for (size_t i = block; i < block + half; ++i) {
+        const double x = data[i];
+        const double y = data[i + half];
+        data[i] = x + y;
+        data[i + half] = x - y;
+      }
+    }
+  }
+}
+
+HadamardResponseClient::HadamardResponseClient(uint32_t k, double epsilon)
+    : k_(k), big_k_(NextPowerOfTwoAbove(k)) {
+  LOLOHA_CHECK(k >= 1);
+  LOLOHA_CHECK_MSG(epsilon > 0.0, "epsilon must be positive");
+  // Column 0 of the Sylvester matrix is all ones; values use columns
+  // 1..k, so K must exceed k.
+  p_ = std::exp(epsilon) / (std::exp(epsilon) + 1.0);
+}
+
+uint32_t HadamardResponseClient::Perturb(uint32_t value, Rng& rng) const {
+  LOLOHA_CHECK(value < k_);
+  const uint32_t column = value + 1;
+  // Sample the desired half (agree w.p. p), then draw uniformly within it
+  // by rejection — each draw lands in the right half with probability 1/2.
+  const int want_positive = rng.Bernoulli(p_) ? 1 : -1;
+  for (;;) {
+    const uint32_t row = static_cast<uint32_t>(rng.UniformInt(big_k_));
+    if (HadamardSign(row, column) == want_positive) return row;
+  }
+}
+
+HadamardResponseServer::HadamardResponseServer(uint32_t k, double epsilon)
+    : k_(k), big_k_(NextPowerOfTwoAbove(k)), counts_(big_k_, 0) {
+  LOLOHA_CHECK_MSG(epsilon > 0.0, "epsilon must be positive");
+  p_ = std::exp(epsilon) / (std::exp(epsilon) + 1.0);
+}
+
+void HadamardResponseServer::Accumulate(uint32_t report) {
+  LOLOHA_CHECK(report < big_k_);
+  ++counts_[report];
+  ++num_reports_;
+}
+
+std::vector<double> HadamardResponseServer::Estimate() const {
+  LOLOHA_CHECK_MSG(num_reports_ > 0, "no reports accumulated");
+  std::vector<double> transform(counts_.begin(), counts_.end());
+  FastWalshHadamard(transform);
+  const double scale =
+      1.0 / (static_cast<double>(num_reports_) * (2.0 * p_ - 1.0));
+  std::vector<double> estimates(k_);
+  for (uint32_t v = 0; v < k_; ++v) {
+    estimates[v] = transform[v + 1] * scale;
+  }
+  return estimates;
+}
+
+void HadamardResponseServer::Reset() {
+  counts_.assign(big_k_, 0);
+  num_reports_ = 0;
+}
+
+}  // namespace loloha

@@ -1,0 +1,76 @@
+// Hadamard Response (HR) — Acharya, Sun & Zhang, AISTATS 2019 (ref. [2]
+// of the paper): a communication-optimal one-shot frequency oracle.
+//
+// The domain is embedded into the rows of a K x K Hadamard matrix
+// (K = smallest power of two > k, so value v maps to column v + 1,
+// skipping the all-ones column 0). Each user holding v reports a uniform
+// element of either the "agreeing" half {y : H[y][v+1] = +1} (w.p.
+// e^eps/(e^eps+1)) or its complement. The server counts reports per row
+// and recovers all k frequencies simultaneously with one fast
+// Walsh-Hadamard transform, O(K log K) total — versus O(n k) for LH.
+//
+// Satisfies eps-LDP: any fixed report y has probability p/K' or q/K'
+// depending only on the sign H[y][v+1], and p/q = e^eps.
+
+#ifndef LOLOHA_ORACLE_HADAMARD_H_
+#define LOLOHA_ORACLE_HADAMARD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace loloha {
+
+// In-place fast Walsh-Hadamard transform of a power-of-two-length vector
+// (unnormalized: applying it twice multiplies by the length).
+void FastWalshHadamard(std::vector<double>& data);
+
+// Sign of the Hadamard matrix entry H[row][col] for the Sylvester
+// construction: +1 iff popcount(row & col) is even.
+inline int HadamardSign(uint32_t row, uint32_t col) {
+  return (__builtin_popcount(row & col) & 1) ? -1 : +1;
+}
+
+class HadamardResponseClient {
+ public:
+  HadamardResponseClient(uint32_t k, double epsilon);
+
+  // Reports a uniform row index among the K/2 rows agreeing (or, with
+  // probability 1-p, disagreeing) with the user's column.
+  uint32_t Perturb(uint32_t value, Rng& rng) const;
+
+  uint32_t k() const { return k_; }
+  uint32_t matrix_size() const { return big_k_; }
+  double keep_probability() const { return p_; }
+
+ private:
+  uint32_t k_;
+  uint32_t big_k_;  // K: power of two, K >= k + 1
+  double p_;        // e^eps / (e^eps + 1)
+};
+
+class HadamardResponseServer {
+ public:
+  HadamardResponseServer(uint32_t k, double epsilon);
+
+  void Accumulate(uint32_t report);
+
+  // Unbiased estimates of all k frequencies via one FWHT over the report
+  // histogram: E[ (1/n) sum_y C(y) H[y][v+1] ] = (2p - 1) f(v).
+  std::vector<double> Estimate() const;
+
+  uint64_t num_reports() const { return num_reports_; }
+  void Reset();
+
+ private:
+  uint32_t k_;
+  uint32_t big_k_;
+  double p_;
+  std::vector<uint64_t> counts_;  // per row
+  uint64_t num_reports_ = 0;
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_ORACLE_HADAMARD_H_

@@ -1,0 +1,76 @@
+#include "oracle/local_hash.h"
+
+#include "oracle/estimator.h"
+#include "util/check.h"
+
+namespace loloha {
+
+LhClient::LhClient(uint32_t k, uint32_t g, double epsilon)
+    : k_(k), g_(g), params_(LhParams(epsilon, g)) {
+  LOLOHA_CHECK(k >= 2);
+  LOLOHA_CHECK(g >= 2);
+}
+
+LhReport LhClient::Perturb(uint32_t value, Rng& rng) const {
+  LOLOHA_DCHECK(value < k_);
+  LhReport report;
+  report.hash = UniversalHash::Sample(g_, rng);
+  report.cell = PerturbCell(report.hash(value), rng);
+  return report;
+}
+
+uint32_t LhClient::PerturbCell(uint32_t cell, Rng& rng) const {
+  LOLOHA_DCHECK(cell < g_);
+  if (rng.Bernoulli(params_.p)) return cell;
+  return static_cast<uint32_t>(rng.UniformIntExcluding(g_, cell));
+}
+
+LhServer::LhServer(uint32_t k, uint32_t g, double epsilon)
+    : k_(k), g_(g), support_(k, 0) {
+  const PerturbParams mech = LhParams(epsilon, g);
+  estimator_params_.p = mech.p;
+  estimator_params_.q = 1.0 / static_cast<double>(g);
+}
+
+void LhServer::Accumulate(const LhReport& report) {
+  LOLOHA_CHECK(report.hash.range() == g_);
+  LOLOHA_CHECK(report.cell < g_);
+  for (uint32_t v = 0; v < k_; ++v) {
+    if (report.hash(v) == report.cell) ++support_[v];
+  }
+  ++num_reports_;
+}
+
+std::vector<double> LhServer::Estimate() const {
+  LOLOHA_CHECK_MSG(num_reports_ > 0, "no reports accumulated");
+  std::vector<double> estimates(k_);
+  const double n = static_cast<double>(num_reports_);
+  for (uint32_t v = 0; v < k_; ++v) {
+    estimates[v] = EstimateFrequency(static_cast<double>(support_[v]), n,
+                                     estimator_params_);
+  }
+  return estimates;
+}
+
+void LhServer::Reset() {
+  support_.assign(k_, 0);
+  num_reports_ = 0;
+}
+
+LhClient MakeBlhClient(uint32_t k, double epsilon) {
+  return LhClient(k, 2, epsilon);
+}
+
+LhClient MakeOlhClient(uint32_t k, double epsilon) {
+  return LhClient(k, OlhRange(epsilon), epsilon);
+}
+
+LhServer MakeBlhServer(uint32_t k, double epsilon) {
+  return LhServer(k, 2, epsilon);
+}
+
+LhServer MakeOlhServer(uint32_t k, double epsilon) {
+  return LhServer(k, OlhRange(epsilon), epsilon);
+}
+
+}  // namespace loloha

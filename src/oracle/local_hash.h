@@ -1,0 +1,78 @@
+// Local Hashing oracles (Sec. 2.3.2): BLH (g = 2) and OLH (g = e^eps + 1).
+//
+// Each user draws a universal hash H : V -> [0, g), hashes its value, and
+// perturbs the hash cell with GRR over [0, g). The report is the pair
+// <H, x''>. The server counts, for each v, how many users "support" v —
+// i.e. H_u(v) == x''_u — and inverts Eq. (1) with p = e^eps/(e^eps+g-1)
+// and q = 1/g (the support probability of a non-holder under a universal
+// family).
+
+#ifndef LOLOHA_ORACLE_LOCAL_HASH_H_
+#define LOLOHA_ORACLE_LOCAL_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "oracle/params.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace loloha {
+
+// One LH report: the user's hash function and the perturbed hash cell.
+struct LhReport {
+  UniversalHash hash;
+  uint32_t cell = 0;
+};
+
+class LhClient {
+ public:
+  // g >= 2 is the hash range; BLH uses g = 2, OLH uses OlhRange(eps).
+  LhClient(uint32_t k, uint32_t g, double epsilon);
+
+  // Draws a fresh hash function and perturbs H(value) with GRR over [0, g).
+  LhReport Perturb(uint32_t value, Rng& rng) const;
+
+  // Perturbs under a caller-supplied hash function (the longitudinal
+  // protocols fix one hash per user).
+  uint32_t PerturbCell(uint32_t cell, Rng& rng) const;
+
+  uint32_t k() const { return k_; }
+  uint32_t g() const { return g_; }
+  const PerturbParams& params() const { return params_; }
+
+ private:
+  uint32_t k_;
+  uint32_t g_;
+  PerturbParams params_;
+};
+
+class LhServer {
+ public:
+  LhServer(uint32_t k, uint32_t g, double epsilon);
+
+  // O(k): evaluates the report's hash on every domain value.
+  void Accumulate(const LhReport& report);
+
+  std::vector<double> Estimate() const;
+
+  uint64_t num_reports() const { return num_reports_; }
+  void Reset();
+
+ private:
+  uint32_t k_;
+  uint32_t g_;
+  PerturbParams estimator_params_;  // p = GRR p over g, q = 1/g
+  std::vector<uint64_t> support_;
+  uint64_t num_reports_ = 0;
+};
+
+// Convenience constructors matching the paper's named variants.
+LhClient MakeBlhClient(uint32_t k, double epsilon);
+LhClient MakeOlhClient(uint32_t k, double epsilon);
+LhServer MakeBlhServer(uint32_t k, double epsilon);
+LhServer MakeOlhServer(uint32_t k, double epsilon);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_ORACLE_LOCAL_HASH_H_

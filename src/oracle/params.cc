@@ -1,0 +1,62 @@
+#include "oracle/params.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/mathutil.h"
+
+namespace loloha {
+
+PerturbParams GrrParams(double epsilon, uint32_t k) {
+  LOLOHA_CHECK_MSG(epsilon > 0.0, "epsilon must be positive");
+  LOLOHA_CHECK_MSG(k >= 2, "GRR needs a domain of size >= 2");
+  const double e = std::exp(epsilon);
+  PerturbParams params;
+  params.p = e / (e + static_cast<double>(k) - 1.0);
+  params.q = 1.0 / (e + static_cast<double>(k) - 1.0);
+  return params;
+}
+
+PerturbParams SueParams(double epsilon) {
+  LOLOHA_CHECK_MSG(epsilon > 0.0, "epsilon must be positive");
+  const double e_half = std::exp(epsilon / 2.0);
+  PerturbParams params;
+  params.p = e_half / (e_half + 1.0);
+  params.q = 1.0 / (e_half + 1.0);
+  return params;
+}
+
+PerturbParams OueParams(double epsilon) {
+  LOLOHA_CHECK_MSG(epsilon > 0.0, "epsilon must be positive");
+  PerturbParams params;
+  params.p = 0.5;
+  params.q = 1.0 / (std::exp(epsilon) + 1.0);
+  return params;
+}
+
+PerturbParams LhParams(double epsilon, uint32_t g) {
+  return GrrParams(epsilon, g);
+}
+
+uint32_t OlhRange(double epsilon) {
+  LOLOHA_CHECK_MSG(epsilon > 0.0, "epsilon must be positive");
+  const int64_t g = RoundToNearest(std::exp(epsilon) + 1.0);
+  return static_cast<uint32_t>(g < 2 ? 2 : g);
+}
+
+double GrrEpsilon(const PerturbParams& params) {
+  LOLOHA_CHECK(ValidParams(params));
+  return std::log(params.p / params.q);
+}
+
+double UeEpsilon(const PerturbParams& params) {
+  LOLOHA_CHECK(ValidParams(params));
+  return std::log(params.p * (1.0 - params.q) /
+                  ((1.0 - params.p) * params.q));
+}
+
+bool ValidParams(const PerturbParams& params) {
+  return params.q > 0.0 && params.p > params.q && params.p < 1.0;
+}
+
+}  // namespace loloha

@@ -1,0 +1,55 @@
+// Perturbation parameters for the one-shot LDP frequency oracles of
+// Sec. 2.3: GRR, Unary Encoding (SUE/OUE) and Local Hashing (BLH/OLH).
+//
+// Every oracle in this library is characterized by a pair (p, q):
+//   p = Pr[the "true" position is reported as set/kept]
+//   q = Pr[a "false" position is reported as set / the value flips to a
+//       specific other value]
+// and all estimators are instances of Eq. (1):
+//   f_hat(v) = (C(v) - n*q) / (n * (p - q)).
+
+#ifndef LOLOHA_ORACLE_PARAMS_H_
+#define LOLOHA_ORACLE_PARAMS_H_
+
+#include <cstdint>
+
+namespace loloha {
+
+// A (p, q) perturbation pair. Valid parameters satisfy 0 < q < p < 1.
+struct PerturbParams {
+  double p = 0.0;
+  double q = 0.0;
+};
+
+// GRR over a domain of size k: p = e^eps / (e^eps + k - 1),
+// q = (1 - p) / (k - 1) = 1 / (e^eps + k - 1). Requires k >= 2, eps > 0.
+PerturbParams GrrParams(double epsilon, uint32_t k);
+
+// Symmetric Unary Encoding (SUE, the RAPPOR default):
+// p = e^{eps/2} / (e^{eps/2} + 1), q = 1 - p.
+PerturbParams SueParams(double epsilon);
+
+// Optimized Unary Encoding (OUE): p = 1/2, q = 1 / (e^eps + 1).
+PerturbParams OueParams(double epsilon);
+
+// Local Hashing over a hash range of size g: identical in form to GRR over
+// the reduced domain: p = e^eps / (e^eps + g - 1), q = 1 / (e^eps + g - 1).
+PerturbParams LhParams(double epsilon, uint32_t g);
+
+// Optimal LH hash-range size: g = round(e^eps + 1), but never below 2
+// (Wang et al., USENIX Security 2017).
+uint32_t OlhRange(double epsilon);
+
+// Inverse maps: the epsilon actually satisfied by a (p, q) pair.
+// For GRR-style (k-ary value flip) mechanisms: eps = ln(p / q).
+double GrrEpsilon(const PerturbParams& params);
+// For UE-style (independent bit flip) mechanisms:
+// eps = ln( p (1 - q) / ((1 - p) q) ).
+double UeEpsilon(const PerturbParams& params);
+
+// True if 0 < q < p < 1 (the estimator of Eq. (1) is then well defined).
+bool ValidParams(const PerturbParams& params);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_ORACLE_PARAMS_H_

@@ -1,0 +1,105 @@
+#include "oracle/subset_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "oracle/estimator.h"
+#include "util/check.h"
+#include "util/mathutil.h"
+
+namespace loloha {
+
+namespace {
+
+// Floyd's algorithm: `count` distinct uniform values from [0, bound).
+void SampleDistinct(uint32_t count, uint32_t bound, Rng& rng,
+                    std::unordered_set<uint32_t>& out) {
+  LOLOHA_DCHECK(count <= bound);
+  for (uint32_t j = bound - count; j < bound; ++j) {
+    const uint32_t t = static_cast<uint32_t>(rng.UniformInt(j + 1));
+    if (!out.insert(t).second) out.insert(j);
+  }
+}
+
+}  // namespace
+
+uint32_t SubsetSize(uint32_t k, double epsilon) {
+  LOLOHA_CHECK(k >= 2);
+  LOLOHA_CHECK(epsilon > 0.0);
+  const int64_t w =
+      RoundToNearest(static_cast<double>(k) / (std::exp(epsilon) + 1.0));
+  return static_cast<uint32_t>(
+      std::clamp<int64_t>(w, 1, static_cast<int64_t>(k) - 1));
+}
+
+PerturbParams SubsetParams(uint32_t k, uint32_t w, double epsilon) {
+  LOLOHA_CHECK(w >= 1 && w < k);
+  const double e = std::exp(epsilon);
+  const double wd = w;
+  const double kd = k;
+  const double p = wd * e / (wd * e + kd - wd);
+  PerturbParams params;
+  params.p = p;
+  params.q = (p * (wd - 1.0) + (1.0 - p) * wd) / (kd - 1.0);
+  return params;
+}
+
+SubsetSelectionClient::SubsetSelectionClient(uint32_t k, double epsilon)
+    : k_(k), w_(SubsetSize(k, epsilon)) {
+  const double e = std::exp(epsilon);
+  p_include_ = w_ * e / (w_ * e + static_cast<double>(k_ - w_));
+}
+
+std::vector<uint32_t> SubsetSelectionClient::Perturb(uint32_t value,
+                                                     Rng& rng) const {
+  LOLOHA_CHECK(value < k_);
+  const bool include = rng.Bernoulli(p_include_);
+  const uint32_t others = include ? w_ - 1 : w_;
+
+  // Draw `others` distinct values from [0, k-1) and shift indices >= value
+  // up by one, so the draw is uniform over V \ {value}.
+  std::unordered_set<uint32_t> drawn;
+  drawn.reserve(others + 1);
+  SampleDistinct(others, k_ - 1, rng, drawn);
+
+  std::vector<uint32_t> subset;
+  subset.reserve(w_);
+  if (include) subset.push_back(value);
+  for (const uint32_t r : drawn) {
+    subset.push_back(r >= value ? r + 1 : r);
+  }
+  std::sort(subset.begin(), subset.end());
+  return subset;
+}
+
+SubsetSelectionServer::SubsetSelectionServer(uint32_t k, double epsilon)
+    : k_(k),
+      params_(SubsetParams(k, SubsetSize(k, epsilon), epsilon)),
+      counts_(k, 0) {}
+
+void SubsetSelectionServer::Accumulate(const std::vector<uint32_t>& subset) {
+  for (const uint32_t v : subset) {
+    LOLOHA_CHECK(v < k_);
+    ++counts_[v];
+  }
+  ++num_reports_;
+}
+
+std::vector<double> SubsetSelectionServer::Estimate() const {
+  LOLOHA_CHECK_MSG(num_reports_ > 0, "no reports accumulated");
+  std::vector<double> estimates(k_);
+  const double n = static_cast<double>(num_reports_);
+  for (uint32_t v = 0; v < k_; ++v) {
+    estimates[v] =
+        EstimateFrequency(static_cast<double>(counts_[v]), n, params_);
+  }
+  return estimates;
+}
+
+void SubsetSelectionServer::Reset() {
+  counts_.assign(k_, 0);
+  num_reports_ = 0;
+}
+
+}  // namespace loloha

@@ -1,0 +1,71 @@
+// Subset Selection (SS) — Wang et al. / Ye & Barg: the one-shot oracle
+// that is minimax-optimal in the medium-privacy regime. Each user reports
+// a random subset of size w = round(k / (e^eps + 1)) (at least 1):
+// with probability p the subset contains the true value plus w-1 uniform
+// others; otherwise it is a uniform w-subset of the other k-1 values.
+//
+// The server counts, per value, how many reported subsets contain it and
+// inverts with Eq. (1), where
+//   p_ss = Pr[v in subset | user holds v]
+//        = p
+//   q_ss = Pr[v in subset | user holds v' != v]
+//        = p (w-1)/(k-1) + (1-p) w/(k-1)  ... see derivation in the .cc.
+//
+// Satisfies eps-LDP with p = w e^eps / (w e^eps + k - w).
+
+#ifndef LOLOHA_ORACLE_SUBSET_SELECTION_H_
+#define LOLOHA_ORACLE_SUBSET_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "oracle/params.h"
+#include "util/rng.h"
+
+namespace loloha {
+
+// The optimal subset size w = max(1, round(k / (e^eps + 1))).
+uint32_t SubsetSize(uint32_t k, double epsilon);
+
+// The effective estimator parameters (p_ss, q_ss) for domain k at eps
+// with subset size w.
+PerturbParams SubsetParams(uint32_t k, uint32_t w, double epsilon);
+
+class SubsetSelectionClient {
+ public:
+  SubsetSelectionClient(uint32_t k, double epsilon);
+
+  // Returns the reported subset (sorted, distinct values in [0, k)).
+  std::vector<uint32_t> Perturb(uint32_t value, Rng& rng) const;
+
+  uint32_t k() const { return k_; }
+  uint32_t w() const { return w_; }
+  double include_probability() const { return p_include_; }
+
+ private:
+  uint32_t k_;
+  uint32_t w_;
+  double p_include_;  // probability the true value enters the subset
+};
+
+class SubsetSelectionServer {
+ public:
+  SubsetSelectionServer(uint32_t k, double epsilon);
+
+  void Accumulate(const std::vector<uint32_t>& subset);
+
+  std::vector<double> Estimate() const;
+
+  uint64_t num_reports() const { return num_reports_; }
+  void Reset();
+
+ private:
+  uint32_t k_;
+  PerturbParams params_;
+  std::vector<uint64_t> counts_;
+  uint64_t num_reports_ = 0;
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_ORACLE_SUBSET_SELECTION_H_

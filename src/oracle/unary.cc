@@ -1,0 +1,76 @@
+#include "oracle/unary.h"
+
+#include "oracle/estimator.h"
+#include "util/check.h"
+
+namespace loloha {
+
+namespace {
+
+PerturbParams UeParamsFor(double epsilon, UeKind kind) {
+  return kind == UeKind::kSymmetric ? SueParams(epsilon) : OueParams(epsilon);
+}
+
+}  // namespace
+
+UeClient::UeClient(uint32_t k, double epsilon, UeKind kind)
+    : UeClient(k, UeParamsFor(epsilon, kind)) {}
+
+UeClient::UeClient(uint32_t k, PerturbParams params)
+    : k_(k), params_(params) {
+  LOLOHA_CHECK(k >= 2);
+  LOLOHA_CHECK(ValidParams(params));
+}
+
+std::vector<uint8_t> UeClient::Perturb(uint32_t value, Rng& rng) const {
+  LOLOHA_DCHECK(value < k_);
+  std::vector<uint8_t> report(k_);
+  for (uint32_t i = 0; i < k_; ++i) {
+    const double prob = (i == value) ? params_.p : params_.q;
+    report[i] = rng.Bernoulli(prob) ? 1 : 0;
+  }
+  return report;
+}
+
+std::vector<uint8_t> UeClient::PerturbVector(const std::vector<uint8_t>& bits,
+                                             Rng& rng) const {
+  LOLOHA_CHECK(bits.size() == k_);
+  std::vector<uint8_t> report(k_);
+  for (uint32_t i = 0; i < k_; ++i) {
+    const double prob = bits[i] ? params_.p : params_.q;
+    report[i] = rng.Bernoulli(prob) ? 1 : 0;
+  }
+  return report;
+}
+
+UeServer::UeServer(uint32_t k, double epsilon, UeKind kind)
+    : UeServer(k, UeParamsFor(epsilon, kind)) {}
+
+UeServer::UeServer(uint32_t k, PerturbParams params)
+    : k_(k), params_(params), counts_(k, 0) {
+  LOLOHA_CHECK(ValidParams(params));
+}
+
+void UeServer::Accumulate(const std::vector<uint8_t>& report) {
+  LOLOHA_CHECK(report.size() == k_);
+  for (uint32_t i = 0; i < k_; ++i) counts_[i] += report[i];
+  ++num_reports_;
+}
+
+std::vector<double> UeServer::Estimate() const {
+  LOLOHA_CHECK_MSG(num_reports_ > 0, "no reports accumulated");
+  std::vector<double> estimates(k_);
+  const double n = static_cast<double>(num_reports_);
+  for (uint32_t v = 0; v < k_; ++v) {
+    estimates[v] =
+        EstimateFrequency(static_cast<double>(counts_[v]), n, params_);
+  }
+  return estimates;
+}
+
+void UeServer::Reset() {
+  counts_.assign(k_, 0);
+  num_reports_ = 0;
+}
+
+}  // namespace loloha

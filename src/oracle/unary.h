@@ -1,0 +1,72 @@
+// Unary Encoding oracles (Sec. 2.3.3): the value is one-hot encoded into a
+// k-bit vector and each bit is flipped independently.
+//
+//   SUE (symmetric, RAPPOR's choice): p = e^{eps/2}/(e^{eps/2}+1), q = 1-p
+//   OUE (optimized):                  p = 1/2,  q = 1/(e^eps + 1)
+//
+// Reports are std::vector<uint8_t> of length k with values in {0, 1}.
+
+#ifndef LOLOHA_ORACLE_UNARY_H_
+#define LOLOHA_ORACLE_UNARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "oracle/params.h"
+#include "util/rng.h"
+
+namespace loloha {
+
+enum class UeKind {
+  kSymmetric,  // SUE
+  kOptimized,  // OUE
+};
+
+// Client-side unary-encoding randomizer.
+class UeClient {
+ public:
+  UeClient(uint32_t k, double epsilon, UeKind kind);
+
+  // Builds with explicit (p, q) — used by the longitudinal chains.
+  UeClient(uint32_t k, PerturbParams params);
+
+  // One-hot encodes `value` and flips every bit independently.
+  std::vector<uint8_t> Perturb(uint32_t value, Rng& rng) const;
+
+  // Flips the bits of an arbitrary input vector (the IRR step of the
+  // longitudinal protocols re-randomizes a memoized vector).
+  std::vector<uint8_t> PerturbVector(const std::vector<uint8_t>& bits,
+                                     Rng& rng) const;
+
+  uint32_t k() const { return k_; }
+  const PerturbParams& params() const { return params_; }
+
+ private:
+  uint32_t k_;
+  PerturbParams params_;
+};
+
+// Server-side aggregator: sums reported bit vectors per position.
+class UeServer {
+ public:
+  UeServer(uint32_t k, double epsilon, UeKind kind);
+  UeServer(uint32_t k, PerturbParams params);
+
+  void Accumulate(const std::vector<uint8_t>& report);
+
+  // Unbiased estimates via Eq. (1), with C(v) = count of set bits at v.
+  std::vector<double> Estimate() const;
+
+  uint64_t num_reports() const { return num_reports_; }
+  void Reset();
+
+ private:
+  uint32_t k_;
+  PerturbParams params_;
+  std::vector<uint64_t> counts_;
+  uint64_t num_reports_ = 0;
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_ORACLE_UNARY_H_

@@ -1,0 +1,143 @@
+#include "server/collector.h"
+
+#include "oracle/estimator.h"
+#include "wire/encoding.h"
+
+namespace loloha {
+
+LolohaCollector::LolohaCollector(const LolohaParams& params)
+    : params_(params), support_(params.k, 0) {}
+
+bool LolohaCollector::HandleHello(uint64_t user_id,
+                                  const std::string& bytes) {
+  UniversalHash hash;
+  if (!DecodeLolohaHello(bytes, params_.g, &hash)) {
+    ++stats_.rejected_malformed;
+    return false;
+  }
+  const auto it = hashes_.find(user_id);
+  if (it != hashes_.end()) {
+    if (it->second == hash) return true;  // idempotent re-hello
+    ++stats_.rejected_duplicate;
+    return false;
+  }
+  hashes_.emplace(user_id, hash);
+  ++stats_.hellos_accepted;
+  return true;
+}
+
+bool LolohaCollector::HandleReport(uint64_t user_id,
+                                   const std::string& bytes) {
+  const auto it = hashes_.find(user_id);
+  if (it == hashes_.end()) {
+    ++stats_.rejected_unknown_user;
+    return false;
+  }
+  uint32_t cell = 0;
+  if (!DecodeLolohaReport(bytes, params_.g, &cell)) {
+    ++stats_.rejected_malformed;
+    return false;
+  }
+  const auto reported = reported_step_.find(user_id);
+  if (reported != reported_step_.end() && reported->second == step_ + 1) {
+    ++stats_.rejected_duplicate;
+    return false;
+  }
+  reported_step_[user_id] = step_ + 1;
+
+  const UniversalHash& hash = it->second;
+  for (uint32_t v = 0; v < params_.k; ++v) {
+    if (hash(v) == cell) ++support_[v];
+  }
+  ++reports_this_step_;
+  ++stats_.reports_accepted;
+  return true;
+}
+
+std::vector<double> LolohaCollector::EndStep() {
+  std::vector<double> estimates;
+  if (reports_this_step_ > 0) {
+    std::vector<double> counts(support_.begin(), support_.end());
+    estimates = EstimateFrequenciesChained(
+        counts, static_cast<double>(reports_this_step_),
+        params_.EstimatorFirst(), params_.irr);
+  }
+  support_.assign(params_.k, 0);
+  reports_this_step_ = 0;
+  ++step_;
+  return estimates;
+}
+
+DBitFlipCollector::DBitFlipCollector(const Bucketizer& bucketizer, uint32_t d,
+                                     double eps_perm)
+    : bucketizer_(bucketizer),
+      d_(d),
+      params_(SueParams(eps_perm)),
+      samplers_per_bucket_(bucketizer.b(), 0),
+      support_(bucketizer.b(), 0) {
+  LOLOHA_CHECK(d >= 1 && d <= bucketizer.b());
+}
+
+bool DBitFlipCollector::HandleHello(uint64_t user_id,
+                                    const std::string& bytes) {
+  std::vector<uint32_t> sampled;
+  if (!DecodeDBitHello(bytes, bucketizer_.b(), d_, &sampled)) {
+    ++stats_.rejected_malformed;
+    return false;
+  }
+  const auto it = sampled_.find(user_id);
+  if (it != sampled_.end()) {
+    if (it->second == sampled) return true;
+    ++stats_.rejected_duplicate;
+    return false;
+  }
+  sampled_.emplace(user_id, std::move(sampled));
+  ++stats_.hellos_accepted;
+  return true;
+}
+
+bool DBitFlipCollector::HandleReport(uint64_t user_id,
+                                     const std::string& bytes) {
+  const auto it = sampled_.find(user_id);
+  if (it == sampled_.end()) {
+    ++stats_.rejected_unknown_user;
+    return false;
+  }
+  std::vector<uint8_t> bits;
+  if (!DecodeDBitReport(bytes, d_, &bits)) {
+    ++stats_.rejected_malformed;
+    return false;
+  }
+  const auto reported = reported_step_.find(user_id);
+  if (reported != reported_step_.end() && reported->second == step_ + 1) {
+    ++stats_.rejected_duplicate;
+    return false;
+  }
+  reported_step_[user_id] = step_ + 1;
+
+  const std::vector<uint32_t>& sampled = it->second;
+  for (uint32_t l = 0; l < d_; ++l) {
+    ++samplers_per_bucket_[sampled[l]];
+    support_[sampled[l]] += bits[l];
+  }
+  ++stats_.reports_accepted;
+  return true;
+}
+
+std::vector<double> DBitFlipCollector::EndStep() {
+  const uint32_t b = bucketizer_.b();
+  std::vector<double> estimates(b, 0.0);
+  for (uint32_t j = 0; j < b; ++j) {
+    if (samplers_per_bucket_[j] == 0) continue;
+    estimates[j] =
+        EstimateFrequency(static_cast<double>(support_[j]),
+                          static_cast<double>(samplers_per_bucket_[j]),
+                          params_);
+  }
+  samplers_per_bucket_.assign(b, 0);
+  support_.assign(b, 0);
+  ++step_;
+  return estimates;
+}
+
+}  // namespace loloha

@@ -1,0 +1,95 @@
+// Streaming collection services: the server-side glue a deployment runs.
+//
+// A collector consumes wire-encoded messages (see wire/encoding.h),
+// validates them, tracks per-user sessions, rejects duplicates and
+// malformed input, and produces per-step frequency estimates. All
+// aggregation is streaming — a report is folded into the support counts
+// on arrival and never stored.
+//
+// Two collectors are provided: `LolohaCollector` (the paper's protocol;
+// users send one hello carrying their hash, then one cell per step) and
+// `DBitFlipCollector` (hello carries the sampled bucket set, then d bits
+// per step).
+
+#ifndef LOLOHA_SERVER_COLLECTOR_H_
+#define LOLOHA_SERVER_COLLECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/loloha_params.h"
+#include "longitudinal/dbitflip.h"
+#include "util/hash.h"
+
+namespace loloha {
+
+// Why a message was rejected (for observability; counters are cumulative).
+struct CollectorStats {
+  uint64_t hellos_accepted = 0;
+  uint64_t reports_accepted = 0;
+  uint64_t rejected_malformed = 0;
+  uint64_t rejected_unknown_user = 0;
+  uint64_t rejected_duplicate = 0;
+};
+
+class LolohaCollector {
+ public:
+  explicit LolohaCollector(const LolohaParams& params);
+
+  // Registers a user's hash function. Rejects malformed bytes and
+  // re-registration with a *different* hash (idempotent on identical).
+  bool HandleHello(uint64_t user_id, const std::string& bytes);
+
+  // Folds one step report into the current step. Rejects unknown users,
+  // malformed bytes, and second reports within the same step.
+  bool HandleReport(uint64_t user_id, const std::string& bytes);
+
+  // Closes the current step and returns its estimates (empty vector if no
+  // reports arrived). Resets per-step state.
+  std::vector<double> EndStep();
+
+  uint64_t reports_this_step() const { return reports_this_step_; }
+  uint64_t registered_users() const { return hashes_.size(); }
+  const CollectorStats& stats() const { return stats_; }
+
+ private:
+  LolohaParams params_;
+  std::unordered_map<uint64_t, UniversalHash> hashes_;
+  std::unordered_map<uint64_t, uint32_t> reported_step_;  // user -> step no.
+  uint32_t step_ = 0;
+  uint64_t reports_this_step_ = 0;
+  std::vector<uint64_t> support_;
+  CollectorStats stats_;
+};
+
+class DBitFlipCollector {
+ public:
+  DBitFlipCollector(const Bucketizer& bucketizer, uint32_t d,
+                    double eps_perm);
+
+  bool HandleHello(uint64_t user_id, const std::string& bytes);
+  bool HandleReport(uint64_t user_id, const std::string& bytes);
+
+  // Returns the estimated b-bin bucket histogram for the closed step.
+  std::vector<double> EndStep();
+
+  const CollectorStats& stats() const { return stats_; }
+  uint64_t registered_users() const { return sampled_.size(); }
+
+ private:
+  Bucketizer bucketizer_;
+  uint32_t d_;
+  PerturbParams params_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> sampled_;
+  std::unordered_map<uint64_t, uint32_t> reported_step_;
+  uint32_t step_ = 0;
+  std::vector<uint64_t> samplers_per_bucket_;  // n_j over reporters
+  std::vector<uint64_t> support_;
+  CollectorStats stats_;
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_SERVER_COLLECTOR_H_

@@ -1,0 +1,65 @@
+#include "server/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "oracle/estimator.h"
+#include "util/check.h"
+
+namespace loloha {
+
+TrendMonitor::TrendMonitor(uint32_t k, double n, const PerturbParams& first,
+                           const PerturbParams& second, double smoothing,
+                           double z_threshold)
+    : k_(k),
+      n_(n),
+      first_(first),
+      second_(second),
+      smoothing_(smoothing),
+      z_threshold_(z_threshold),
+      baseline_(k, 0.0) {
+  LOLOHA_CHECK(k >= 1);
+  LOLOHA_CHECK(n > 0.0);
+  LOLOHA_CHECK(smoothing > 0.0 && smoothing <= 1.0);
+  LOLOHA_CHECK(z_threshold > 0.0);
+}
+
+TrendMonitor::TrendMonitor(uint32_t k, double n, const PerturbParams& params,
+                           double smoothing, double z_threshold)
+    : TrendMonitor(k, n, params,
+                   // Degenerate second round: identity within the validity
+                   // margins of ValidParams.
+                   PerturbParams{1.0 - 1e-12, 1e-12}, smoothing,
+                   z_threshold) {
+  first_ = params;
+}
+
+double TrendMonitor::NoiseStdDev(double f) const {
+  const double f_plug = std::clamp(f, 0.0, 1.0);
+  return std::sqrt(ExactVariance(n_, f_plug, first_, second_));
+}
+
+std::vector<TrendAlert> TrendMonitor::Observe(
+    const std::vector<double>& estimates) {
+  LOLOHA_CHECK(estimates.size() == k_);
+  std::vector<TrendAlert> alerts;
+  if (steps_ == 0) {
+    baseline_ = estimates;
+    ++steps_;
+    return alerts;
+  }
+  for (uint32_t v = 0; v < k_; ++v) {
+    const double sigma = NoiseStdDev(baseline_[v]);
+    const double z = (estimates[v] - baseline_[v]) / sigma;
+    if (std::fabs(z) >= z_threshold_) {
+      alerts.push_back(
+          TrendAlert{v, steps_, baseline_[v], estimates[v], z});
+    }
+    baseline_[v] =
+        (1.0 - smoothing_) * baseline_[v] + smoothing_ * estimates[v];
+  }
+  ++steps_;
+  return alerts;
+}
+
+}  // namespace loloha

@@ -1,0 +1,70 @@
+// Population-trend monitoring on top of the per-step estimates — the
+// downstream consumer a telemetry deployment actually runs ("did usage of
+// feature v shift this week, or is that LDP noise?").
+//
+// The monitor keeps an exponentially-weighted moving average per value and
+// flags a change when the new estimate departs from the EWMA by more than
+// `z_threshold` standard deviations of the *estimator noise* (Eq. 4/5 at
+// the current estimate). Because the noise floor is derived from the
+// protocol parameters rather than fitted, the false-positive rate is
+// directly controlled by the z threshold.
+
+#ifndef LOLOHA_SERVER_MONITOR_H_
+#define LOLOHA_SERVER_MONITOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "oracle/params.h"
+
+namespace loloha {
+
+struct TrendAlert {
+  uint32_t value = 0;     // which histogram bin
+  uint32_t step = 0;      // collection step of the alert
+  double baseline = 0.0;  // EWMA before the step
+  double estimate = 0.0;  // the step's estimate
+  double z_score = 0.0;   // departure in noise standard deviations
+};
+
+class TrendMonitor {
+ public:
+  // `first`/`second` are the protocol's estimator-side rounds (use the
+  // one-round constructor for single-round protocols); `n` the expected
+  // reports per step. `smoothing` in (0, 1] is the EWMA weight of the
+  // newest step; `z_threshold` the alert level (e.g. 4.0).
+  TrendMonitor(uint32_t k, double n, const PerturbParams& first,
+               const PerturbParams& second, double smoothing,
+               double z_threshold);
+
+  // One-round protocols: pass a degenerate second round internally.
+  TrendMonitor(uint32_t k, double n, const PerturbParams& params,
+               double smoothing, double z_threshold);
+
+  // Feeds one step of estimates; returns the alerts it triggered. The
+  // first step only initializes the baseline.
+  std::vector<TrendAlert> Observe(const std::vector<double>& estimates);
+
+  // Current smoothed baseline per value.
+  const std::vector<double>& baseline() const { return baseline_; }
+
+  uint32_t steps_observed() const { return steps_; }
+
+  // The noise standard deviation the monitor assumes for an estimate at
+  // frequency f (exposed for tests and threshold tuning).
+  double NoiseStdDev(double f) const;
+
+ private:
+  uint32_t k_;
+  double n_;
+  PerturbParams first_;
+  PerturbParams second_;
+  double smoothing_;
+  double z_threshold_;
+  std::vector<double> baseline_;
+  uint32_t steps_ = 0;
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_SERVER_MONITOR_H_

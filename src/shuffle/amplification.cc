@@ -1,0 +1,47 @@
+#include "shuffle/amplification.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/mathutil.h"
+
+namespace loloha {
+
+bool AmplificationApplies(double eps_local, uint64_t n, double delta) {
+  LOLOHA_CHECK(eps_local > 0.0);
+  LOLOHA_CHECK(delta > 0.0 && delta < 1.0);
+  if (n < 2) return false;
+  return eps_local <=
+         std::log(static_cast<double>(n) / (16.0 * std::log(2.0 / delta)));
+}
+
+double AmplifiedEpsilon(double eps_local, uint64_t n, double delta) {
+  if (!AmplificationApplies(eps_local, n, delta)) return eps_local;
+  const double e0 = std::exp(eps_local);
+  const double nd = static_cast<double>(n);
+  const double term =
+      4.0 * std::sqrt(2.0 * std::log(4.0 / delta) / ((e0 + 1.0) * nd)) +
+      4.0 / nd;
+  const double amplified = std::log1p((e0 - 1.0) * term);
+  // Amplification never hurts: report the min with the local guarantee.
+  return std::min(amplified, eps_local);
+}
+
+double MaxLocalEpsilonForCentralTarget(double eps_central, uint64_t n,
+                                       double delta) {
+  LOLOHA_CHECK(eps_central > 0.0);
+  constexpr double kLo = 1e-6;
+  const double hi =
+      std::max(kLo * 2.0,
+               std::log(static_cast<double>(n) /
+                        (16.0 * std::log(2.0 / delta))));
+  if (AmplifiedEpsilon(kLo, n, delta) > eps_central) return 0.0;
+  if (AmplifiedEpsilon(hi, n, delta) <= eps_central) return hi;
+  return BisectIncreasing(
+      [n, delta](double eps_local) {
+        return AmplifiedEpsilon(eps_local, n, delta);
+      },
+      eps_central, kLo, hi);
+}
+
+}  // namespace loloha

@@ -1,0 +1,54 @@
+// Shuffle-model privacy amplification (the paper's future-work direction,
+// Sec. 5.3 / 7): if the n per-user ε0-LDP reports pass through a trusted
+// shuffler that strips identifiers and outputs them in random order, the
+// *central* privacy of the shuffled batch is much tighter than ε0.
+//
+// We implement the closed-form upper bound of Feldman, McMillan & Talwar,
+// "Hiding Among the Clones" (FOCS 2021, Thm 3.1 simplified form): for
+// ε0 <= log(n / (16 log(2/δ))), the shuffled mechanism is (ε, δ)-DP with
+//
+//   ε <= log( 1 + (e^{ε0} - 1) * ( 4 sqrt(2 log(4/δ) / ((e^{ε0}+1) n))
+//                                  + 4 / n ) ).
+//
+// Plus a `Shuffler` that performs the permutation on report batches (for
+// end-to-end simulation) and helpers to invert the bound (what local ε0
+// can we afford for a central target?).
+
+#ifndef LOLOHA_SHUFFLE_AMPLIFICATION_H_
+#define LOLOHA_SHUFFLE_AMPLIFICATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace loloha {
+
+// True iff the clones bound applies at (eps_local, n, delta).
+bool AmplificationApplies(double eps_local, uint64_t n, double delta);
+
+// The central epsilon guaranteed after shuffling n reports of an
+// eps_local-LDP mechanism, at failure probability delta. Returns
+// eps_local unchanged (no amplification claimed) when the bound's
+// precondition fails.
+double AmplifiedEpsilon(double eps_local, uint64_t n, double delta);
+
+// Largest local budget (by bisection) whose shuffled central epsilon is
+// <= eps_central at the given (n, delta); returns 0 if even a tiny local
+// budget cannot meet the target.
+double MaxLocalEpsilonForCentralTarget(double eps_central, uint64_t n,
+                                       double delta);
+
+// Uniformly permutes a batch of reports in place (Fisher-Yates); the
+// simulation-side stand-in for the trusted shuffler.
+template <typename T>
+void ShuffleReports(std::vector<T>& reports, Rng& rng) {
+  for (size_t i = reports.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng.UniformInt(i));
+    std::swap(reports[i - 1], reports[j]);
+  }
+}
+
+}  // namespace loloha
+
+#endif  // LOLOHA_SHUFFLE_AMPLIFICATION_H_

@@ -1,0 +1,84 @@
+#include "sim/accountant.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace loloha {
+
+std::vector<double> ValueMemoEpsilons(const Dataset& data, double eps_perm) {
+  std::vector<double> eps(data.n());
+  std::unordered_set<uint32_t> seen;
+  for (uint32_t u = 0; u < data.n(); ++u) {
+    seen.clear();
+    for (uint32_t t = 0; t < data.tau(); ++t) seen.insert(data.value(u, t));
+    eps[u] = eps_perm * static_cast<double>(seen.size());
+  }
+  return eps;
+}
+
+std::vector<double> LolohaEpsilons(const Dataset& data, uint32_t g,
+                                   double eps_perm, uint64_t seed) {
+  LOLOHA_CHECK(g >= 2);
+  std::vector<double> eps(data.n());
+  Rng rng(seed);
+  std::vector<uint8_t> cell_seen(g);
+  for (uint32_t u = 0; u < data.n(); ++u) {
+    const UniversalHash hash = UniversalHash::Sample(g, rng);
+    std::fill(cell_seen.begin(), cell_seen.end(), 0);
+    uint32_t distinct = 0;
+    for (uint32_t t = 0; t < data.tau(); ++t) {
+      const uint32_t cell = hash(data.value(u, t));
+      if (!cell_seen[cell]) {
+        cell_seen[cell] = 1;
+        ++distinct;
+      }
+    }
+    eps[u] = eps_perm * static_cast<double>(distinct);
+  }
+  return eps;
+}
+
+std::vector<double> DBitFlipEpsilons(const Dataset& data, uint32_t b,
+                                     uint32_t d, double eps_perm,
+                                     uint64_t seed) {
+  const Bucketizer bucketizer(data.k(), b);
+  LOLOHA_CHECK(d >= 1 && d <= b);
+  std::vector<double> eps(data.n());
+  Rng rng(seed);
+  std::vector<uint32_t> pool(b);
+  std::vector<uint8_t> is_sampled(b);
+  std::vector<uint8_t> bucket_seen(b);
+  for (uint32_t u = 0; u < data.n(); ++u) {
+    // Draw the user's fixed sampled set.
+    std::fill(is_sampled.begin(), is_sampled.end(), 0);
+    for (uint32_t j = 0; j < b; ++j) pool[j] = j;
+    for (uint32_t l = 0; l < d; ++l) {
+      const uint32_t pick = l + static_cast<uint32_t>(rng.UniformInt(b - l));
+      std::swap(pool[l], pool[pick]);
+      is_sampled[pool[l]] = 1;
+    }
+    // Count privacy states: sampled buckets individually, never-sampled
+    // ones as one shared state.
+    std::fill(bucket_seen.begin(), bucket_seen.end(), 0);
+    uint32_t sampled_states = 0;
+    bool unsampled_seen = false;
+    for (uint32_t t = 0; t < data.tau(); ++t) {
+      const uint32_t bucket = bucketizer.Bucket(data.value(u, t));
+      if (bucket_seen[bucket]) continue;
+      bucket_seen[bucket] = 1;
+      if (is_sampled[bucket]) {
+        ++sampled_states;
+      } else {
+        unsampled_seen = true;
+      }
+    }
+    eps[u] = eps_perm *
+             static_cast<double>(sampled_states + (unsampled_seen ? 1 : 0));
+  }
+  return eps;
+}
+
+}  // namespace loloha

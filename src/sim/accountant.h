@@ -1,0 +1,44 @@
+// Empirical longitudinal privacy accounting under Definition 3.2.
+//
+// A memoization protocol spends a fresh ε∞ for every distinct *memoized
+// state* a user's sequence exercises:
+//   * RAPPOR / L-OSUE / L-SOUE / L-OUE / L-GRR: one state per distinct
+//     true value (≤ k);
+//   * LOLOHA: one state per distinct hash cell H(v) (≤ g, Thm. 3.5);
+//   * dBitFlipPM: each distinct *sampled* bucket is its own state, while
+//     all never-sampled buckets share a single state (their response
+//     distributions are identical), so ≤ min(d + 1, b) (Table 1).
+//
+// These functions compute the per-user loss ε̌^(u) directly from the true
+// sequences (drawing the protocol's per-user randomness — hash function or
+// sampled set — where required) without running the full mechanism, which
+// makes Fig. 4 cheap to regenerate. The protocol runners track the same
+// quantity online; integration tests check both paths agree.
+
+#ifndef LOLOHA_SIM_ACCOUNTANT_H_
+#define LOLOHA_SIM_ACCOUNTANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "longitudinal/dbitflip.h"
+
+namespace loloha {
+
+// Per-user ε̌ for value-memoizing protocols (RAPPOR, L-OSUE, L-GRR, ...).
+std::vector<double> ValueMemoEpsilons(const Dataset& data, double eps_perm);
+
+// Per-user ε̌ for LOLOHA with hash range g (draws each user's hash).
+std::vector<double> LolohaEpsilons(const Dataset& data, uint32_t g,
+                                   double eps_perm, uint64_t seed);
+
+// Per-user ε̌ for dBitFlipPM with b buckets and d sampled bits (draws each
+// user's sampled set).
+std::vector<double> DBitFlipEpsilons(const Dataset& data, uint32_t b,
+                                     uint32_t d, double eps_perm,
+                                     uint64_t seed);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_SIM_ACCOUNTANT_H_

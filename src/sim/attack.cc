@@ -1,0 +1,82 @@
+#include "sim/attack.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "longitudinal/dbitflip.h"
+#include "oracle/params.h"
+#include "util/rng.h"
+
+namespace loloha {
+
+DetectionResult DBitFlipDetection(const Dataset& data, uint32_t b, uint32_t d,
+                                  double eps_perm, uint64_t seed) {
+  const Bucketizer bucketizer(data.k(), b);
+  LOLOHA_CHECK(d >= 1 && d <= b);
+  const PerturbParams params = SueParams(eps_perm);
+  const uint32_t words = (d + 63) / 64;
+
+  Rng rng(seed);
+  DetectionResult result;
+
+  std::vector<uint32_t> pool(b);
+  std::vector<uint8_t> is_sampled(b);
+  std::vector<uint32_t> sampled;
+  // memo[bucket] -> packed d bits; `drawn[bucket]` marks validity.
+  std::vector<uint64_t> memo(static_cast<size_t>(b) * words);
+  std::vector<uint8_t> drawn(b);
+  std::vector<uint32_t> drawn_list;
+
+  for (uint32_t u = 0; u < data.n(); ++u) {
+    // Fixed sampled set for this user.
+    std::fill(is_sampled.begin(), is_sampled.end(), 0);
+    for (uint32_t j = 0; j < b; ++j) pool[j] = j;
+    sampled.clear();
+    for (uint32_t l = 0; l < d; ++l) {
+      const uint32_t pick = l + static_cast<uint32_t>(rng.UniformInt(b - l));
+      std::swap(pool[l], pool[pick]);
+      sampled.push_back(pool[l]);
+      is_sampled[pool[l]] = 1;
+    }
+    for (const uint32_t j : drawn_list) drawn[j] = 0;
+    drawn_list.clear();
+
+    auto ensure_memo = [&](uint32_t bucket) -> const uint64_t* {
+      uint64_t* slot = &memo[static_cast<size_t>(bucket) * words];
+      if (!drawn[bucket]) {
+        std::fill(slot, slot + words, 0);
+        for (uint32_t l = 0; l < d; ++l) {
+          const double prob = (sampled[l] == bucket) ? params.p : params.q;
+          if (rng.Bernoulli(prob)) slot[l >> 6] |= uint64_t{1} << (l & 63);
+        }
+        drawn[bucket] = 1;
+        drawn_list.push_back(bucket);
+      }
+      return slot;
+    };
+
+    bool any_change = false;
+    bool all_detected = true;
+    uint32_t prev_bucket = bucketizer.Bucket(data.value(u, 0));
+    ensure_memo(prev_bucket);
+    for (uint32_t t = 1; t < data.tau(); ++t) {
+      const uint32_t bucket = bucketizer.Bucket(data.value(u, t));
+      if (bucket == prev_bucket) continue;
+      any_change = true;
+      const uint64_t* cur = ensure_memo(bucket);
+      const uint64_t* prev = &memo[static_cast<size_t>(prev_bucket) * words];
+      if (std::equal(cur, cur + words, prev)) {
+        // The two memoized reports coincide: this change is invisible.
+        all_detected = false;
+      }
+      prev_bucket = bucket;
+    }
+    if (any_change) {
+      ++result.users_with_changes;
+      if (all_detected) ++result.users_fully_detected;
+    }
+  }
+  return result;
+}
+
+}  // namespace loloha

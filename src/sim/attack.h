@@ -1,0 +1,40 @@
+// The change-point detection analysis of Table 2: because dBitFlipPM has
+// no second randomization round, a user's report is a deterministic replay
+// of the memoized vector for its current bucket. The server therefore sees
+// the report change exactly when (a) the bucket changed and (b) the two
+// buckets' memoized vectors differ on the sampled positions. Table 2
+// measures, per dataset and ε∞, the percentage of users for which *every*
+// bucket change produced a differing report — i.e. the attacker recovers
+// all change points.
+
+#ifndef LOLOHA_SIM_ATTACK_H_
+#define LOLOHA_SIM_ATTACK_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace loloha {
+
+struct DetectionResult {
+  // Users with at least one bucket change in their sequence.
+  uint64_t users_with_changes = 0;
+  // Among those, users whose every change was visible to the server.
+  uint64_t users_fully_detected = 0;
+
+  // Percentage in [0, 100]; 0 when no user ever changes bucket.
+  double PercentFullyDetected() const {
+    if (users_with_changes == 0) return 0.0;
+    return 100.0 * static_cast<double>(users_fully_detected) /
+           static_cast<double>(users_with_changes);
+  }
+};
+
+// Simulates dBitFlipPM memoization for every user (drawing sampled sets
+// and memo vectors) and evaluates the worst-case detection criterion.
+DetectionResult DBitFlipDetection(const Dataset& data, uint32_t b, uint32_t d,
+                                  double eps_perm, uint64_t seed);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_SIM_ATTACK_H_

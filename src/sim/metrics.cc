@@ -1,0 +1,52 @@
+#include "sim/metrics.h"
+
+#include "util/histogram.h"
+#include "util/mathutil.h"
+
+namespace loloha {
+
+std::vector<double> MseSeries(
+    const Dataset& data, const std::vector<std::vector<double>>& estimates) {
+  LOLOHA_CHECK(estimates.size() == data.tau());
+  std::vector<double> series(data.tau());
+  for (uint32_t t = 0; t < data.tau(); ++t) {
+    series[t] = MeanSquaredError(data.TrueFrequenciesAt(t), estimates[t]);
+  }
+  return series;
+}
+
+double MseAvg(const Dataset& data,
+              const std::vector<std::vector<double>>& estimates) {
+  const std::vector<double> series = MseSeries(data, estimates);
+  KahanSum sum;
+  for (const double m : series) sum.Add(m);
+  return sum.value() / static_cast<double>(series.size());
+}
+
+double MseAvgBucketed(const Dataset& data, const Bucketizer& bucketizer,
+                      const std::vector<std::vector<double>>& estimates) {
+  LOLOHA_CHECK(estimates.size() == data.tau());
+  LOLOHA_CHECK(bucketizer.k() == data.k());
+  const uint32_t b = bucketizer.b();
+  KahanSum sum;
+  std::vector<double> truth(b);
+  for (uint32_t t = 0; t < data.tau(); ++t) {
+    truth.assign(b, 0.0);
+    const uint32_t* values = data.StepValuesData(t);
+    const double inv_n = 1.0 / static_cast<double>(data.n());
+    for (uint32_t u = 0; u < data.n(); ++u) {
+      truth[bucketizer.Bucket(values[u])] += inv_n;
+    }
+    sum.Add(MeanSquaredError(truth, estimates[t]));
+  }
+  return sum.value() / static_cast<double>(data.tau());
+}
+
+double EpsAvg(const std::vector<double>& per_user_epsilon) {
+  LOLOHA_CHECK(!per_user_epsilon.empty());
+  KahanSum sum;
+  for (const double e : per_user_epsilon) sum.Add(e);
+  return sum.value() / static_cast<double>(per_user_epsilon.size());
+}
+
+}  // namespace loloha

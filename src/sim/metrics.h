@@ -1,0 +1,34 @@
+// Evaluation metrics: the time-averaged MSE of Eq. (7) and the averaged
+// empirical longitudinal privacy loss of Eq. (8).
+
+#ifndef LOLOHA_SIM_METRICS_H_
+#define LOLOHA_SIM_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "longitudinal/dbitflip.h"
+
+namespace loloha {
+
+// Eq. (7): MSE_avg = (1/τ) Σ_t (1/k) Σ_v (f_t(v) - f̂_t(v))².
+// `estimates` is τ rows of k estimates each.
+double MseAvg(const Dataset& data,
+              const std::vector<std::vector<double>>& estimates);
+
+// Per-step MSE series (the inner sum of Eq. 7 for each t).
+std::vector<double> MseSeries(const Dataset& data,
+                              const std::vector<std::vector<double>>& estimates);
+
+// Eq. (7) against bucketized ground truth: used for dBitFlipPM with b < k,
+// where the estimate rows have b bins.
+double MseAvgBucketed(const Dataset& data, const Bucketizer& bucketizer,
+                      const std::vector<std::vector<double>>& estimates);
+
+// Eq. (8): mean of the per-user longitudinal losses.
+double EpsAvg(const std::vector<double>& per_user_epsilon);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_SIM_METRICS_H_

@@ -1,0 +1,280 @@
+#include "sim/runner.h"
+
+#include <cmath>
+
+#include "core/loloha.h"
+#include "core/loloha_params.h"
+#include "longitudinal/dbitflip.h"
+#include "longitudinal/lgrr.h"
+#include "longitudinal/lue.h"
+#include "oracle/estimator.h"
+#include "oracle/local_hash.h"
+#include "oracle/params.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace loloha {
+
+namespace {
+
+// RAPPOR, L-OSUE, L-SOUE, L-OUE.
+class UeRunner : public LongitudinalRunner {
+ public:
+  UeRunner(LueVariant variant, double eps_perm, double eps_first)
+      : variant_(variant), eps_perm_(eps_perm), eps_first_(eps_first) {}
+
+  std::string name() const override { return LueVariantName(variant_); }
+
+  RunResult Run(const Dataset& data, uint64_t seed) const override {
+    Rng rng(seed);
+    const ChainedParams chain = LueChain(variant_, eps_perm_, eps_first_);
+    LongitudinalUePopulation population(data.k(), data.n(), chain);
+
+    RunResult result;
+    result.protocol = name();
+    result.bins = data.k();
+    result.comm_bits_per_report = data.k();
+    result.estimates.reserve(data.tau());
+    for (uint32_t t = 0; t < data.tau(); ++t) {
+      result.estimates.push_back(population.Step(data.StepValues(t), rng));
+    }
+    result.per_user_epsilon.resize(data.n());
+    for (uint32_t u = 0; u < data.n(); ++u) {
+      result.per_user_epsilon[u] = eps_perm_ * population.DistinctMemos(u);
+    }
+    return result;
+  }
+
+ private:
+  LueVariant variant_;
+  double eps_perm_;
+  double eps_first_;
+};
+
+class GrrRunner : public LongitudinalRunner {
+ public:
+  GrrRunner(double eps_perm, double eps_first)
+      : eps_perm_(eps_perm), eps_first_(eps_first) {}
+
+  std::string name() const override { return "L-GRR"; }
+
+  RunResult Run(const Dataset& data, uint64_t seed) const override {
+    Rng rng(seed);
+    const ChainedParams chain = LGrrChain(eps_perm_, eps_first_, data.k());
+    std::vector<LongitudinalGrrClient> clients(
+        data.n(), LongitudinalGrrClient(data.k(), chain));
+    LongitudinalGrrServer server(data.k(), chain);
+
+    RunResult result;
+    result.protocol = name();
+    result.bins = data.k();
+    result.comm_bits_per_report = std::ceil(std::log2(data.k()));
+    result.estimates.reserve(data.tau());
+    for (uint32_t t = 0; t < data.tau(); ++t) {
+      server.BeginStep();
+      const uint32_t* values = data.StepValuesData(t);
+      for (uint32_t u = 0; u < data.n(); ++u) {
+        server.Accumulate(clients[u].Report(values[u], rng));
+      }
+      result.estimates.push_back(server.EstimateStep());
+    }
+    result.per_user_epsilon.resize(data.n());
+    for (uint32_t u = 0; u < data.n(); ++u) {
+      result.per_user_epsilon[u] = eps_perm_ * clients[u].distinct_memos();
+    }
+    return result;
+  }
+
+ private:
+  double eps_perm_;
+  double eps_first_;
+};
+
+class LolohaRunner : public LongitudinalRunner {
+ public:
+  // g == 2 -> BiLOLOHA; g == 0 -> OLOLOHA (Eq. 6); otherwise fixed g.
+  LolohaRunner(uint32_t g, double eps_perm, double eps_first)
+      : g_(g), eps_perm_(eps_perm), eps_first_(eps_first) {}
+
+  std::string name() const override {
+    if (g_ == 2) return "BiLOLOHA";
+    if (g_ == 0) return "OLOLOHA";
+    return "LOLOHA(g=" + std::to_string(g_) + ")";
+  }
+
+  RunResult Run(const Dataset& data, uint64_t seed) const override {
+    Rng rng(seed);
+    const uint32_t g =
+        g_ == 0 ? OptimalLolohaG(eps_perm_, eps_first_) : g_;
+    const LolohaParams params =
+        MakeLolohaParams(data.k(), g, eps_perm_, eps_first_);
+    LolohaPopulation population(params, data.n(), rng);
+
+    RunResult result;
+    result.protocol = name();
+    result.bins = data.k();
+    result.comm_bits_per_report = std::ceil(std::log2(g));
+    result.estimates.reserve(data.tau());
+    for (uint32_t t = 0; t < data.tau(); ++t) {
+      result.estimates.push_back(population.Step(data.StepValues(t), rng));
+    }
+    result.per_user_epsilon.resize(data.n());
+    for (uint32_t u = 0; u < data.n(); ++u) {
+      result.per_user_epsilon[u] = eps_perm_ * population.DistinctMemos(u);
+    }
+    return result;
+  }
+
+ private:
+  uint32_t g_;
+  double eps_perm_;
+  double eps_first_;
+};
+
+class DBitFlipRunner : public LongitudinalRunner {
+ public:
+  // d == 0 means d = b ("bBitFlipPM"); d == 1 is "1BitFlipPM".
+  DBitFlipRunner(uint32_t d, double eps_perm, RunnerOptions options)
+      : d_(d), eps_perm_(eps_perm), options_(options) {}
+
+  std::string name() const override {
+    if (d_ == 0) return "bBitFlipPM";
+    if (d_ == 1) return "1BitFlipPM";
+    return std::to_string(d_) + "BitFlipPM";
+  }
+
+  RunResult Run(const Dataset& data, uint64_t seed) const override {
+    Rng rng(seed);
+    const uint32_t b = ResolveBuckets(options_, data.k());
+    const uint32_t d = d_ == 0 ? b : d_;
+    const Bucketizer bucketizer(data.k(), b);
+    DBitFlipPopulation population(bucketizer, d, eps_perm_, data.n(), rng);
+
+    RunResult result;
+    result.protocol = name();
+    result.bins = b;
+    result.comm_bits_per_report = d;
+    result.estimates.reserve(data.tau());
+    for (uint32_t t = 0; t < data.tau(); ++t) {
+      result.estimates.push_back(population.Step(data.StepValues(t), rng));
+    }
+    result.per_user_epsilon.resize(data.n());
+    for (uint32_t u = 0; u < data.n(); ++u) {
+      result.per_user_epsilon[u] = eps_perm_ * population.DistinctStates(u);
+    }
+    return result;
+  }
+
+ private:
+  uint32_t d_;
+  double eps_perm_;
+  RunnerOptions options_;
+};
+
+// Fresh one-shot OLH every step (no memoization). Population-style
+// implementation: per-user hash rows are redrawn every step, matching a
+// user that samples a new hash per report.
+class NaiveOlhRunner : public LongitudinalRunner {
+ public:
+  explicit NaiveOlhRunner(double eps_per_step) : eps_(eps_per_step) {}
+
+  std::string name() const override { return "Naive-OLH"; }
+
+  RunResult Run(const Dataset& data, uint64_t seed) const override {
+    Rng rng(seed);
+    const uint32_t g = OlhRange(eps_);
+    const LhClient client(data.k(), g, eps_);
+    PerturbParams estimator;
+    estimator.p = client.params().p;
+    estimator.q = 1.0 / static_cast<double>(g);
+
+    RunResult result;
+    result.protocol = name();
+    result.bins = data.k();
+    result.comm_bits_per_report = std::ceil(std::log2(g));
+    result.estimates.reserve(data.tau());
+    std::vector<uint64_t> support(data.k());
+    for (uint32_t t = 0; t < data.tau(); ++t) {
+      support.assign(data.k(), 0);
+      const uint32_t* values = data.StepValuesData(t);
+      for (uint32_t u = 0; u < data.n(); ++u) {
+        const LhReport report = client.Perturb(values[u], rng);
+        for (uint32_t v = 0; v < data.k(); ++v) {
+          if (report.hash(v) == report.cell) ++support[v];
+        }
+      }
+      std::vector<double> counts(support.begin(), support.end());
+      result.estimates.push_back(EstimateFrequencies(
+          counts, static_cast<double>(data.n()), estimator));
+    }
+    // Sequential composition: every report spends a fresh eps.
+    result.per_user_epsilon.assign(data.n(),
+                                   eps_ * static_cast<double>(data.tau()));
+    return result;
+  }
+
+ private:
+  double eps_;
+};
+
+}  // namespace
+
+std::unique_ptr<LongitudinalRunner> MakeNaiveOlhRunner(double eps_per_step) {
+  return std::make_unique<NaiveOlhRunner>(eps_per_step);
+}
+
+uint32_t ResolveBuckets(const RunnerOptions& options, uint32_t k) {
+  if (options.buckets != 0) {
+    LOLOHA_CHECK(options.buckets >= 2 && options.buckets <= k);
+    return options.buckets;
+  }
+  LOLOHA_CHECK(options.bucket_divisor >= 1);
+  const uint32_t b = k / options.bucket_divisor;
+  LOLOHA_CHECK_MSG(b >= 2, "bucket divisor too large for this domain");
+  return b;
+}
+
+std::unique_ptr<LongitudinalRunner> MakeRunner(ProtocolId id, double eps_perm,
+                                               double eps_first,
+                                               const RunnerOptions& options) {
+  switch (id) {
+    case ProtocolId::kRappor:
+      return std::make_unique<UeRunner>(LueVariant::kLSue, eps_perm,
+                                        eps_first);
+    case ProtocolId::kLOsue:
+      return std::make_unique<UeRunner>(LueVariant::kLOsue, eps_perm,
+                                        eps_first);
+    case ProtocolId::kLSoue:
+      return std::make_unique<UeRunner>(LueVariant::kLSoue, eps_perm,
+                                        eps_first);
+    case ProtocolId::kLOue:
+      return std::make_unique<UeRunner>(LueVariant::kLOue, eps_perm,
+                                        eps_first);
+    case ProtocolId::kLGrr:
+      return std::make_unique<GrrRunner>(eps_perm, eps_first);
+    case ProtocolId::kBiLoloha:
+      return std::make_unique<LolohaRunner>(2, eps_perm, eps_first);
+    case ProtocolId::kOLoloha:
+      return std::make_unique<LolohaRunner>(0, eps_perm, eps_first);
+    case ProtocolId::kOneBitFlipPm:
+      return std::make_unique<DBitFlipRunner>(1, eps_perm, options);
+    case ProtocolId::kBBitFlipPm:
+      return std::make_unique<DBitFlipRunner>(0, eps_perm, options);
+  }
+  LOLOHA_CHECK_MSG(false, "unknown protocol id");
+  return nullptr;
+}
+
+std::vector<ProtocolId> Figure3Protocols(bool include_dbitflip) {
+  std::vector<ProtocolId> protocols;
+  if (include_dbitflip) protocols.push_back(ProtocolId::kBBitFlipPm);
+  protocols.push_back(ProtocolId::kLOsue);
+  protocols.push_back(ProtocolId::kOLoloha);
+  protocols.push_back(ProtocolId::kRappor);
+  protocols.push_back(ProtocolId::kBiLoloha);
+  if (include_dbitflip) protocols.push_back(ProtocolId::kOneBitFlipPm);
+  protocols.push_back(ProtocolId::kLGrr);
+  return protocols;
+}
+
+}  // namespace loloha

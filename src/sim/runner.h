@@ -1,0 +1,73 @@
+// Protocol runners: one uniform interface that executes a full longitudinal
+// collection (τ steps over a Dataset) for each protocol of Sec. 5 and
+// returns the per-step estimate matrix plus per-user privacy accounting.
+//
+// Runners use the population-scale implementations (mechanism-identical to
+// the per-user client classes; see lue.h / loloha.h / dbitflip.h) so that
+// paper-scale datasets are tractable on one core.
+
+#ifndef LOLOHA_SIM_RUNNER_H_
+#define LOLOHA_SIM_RUNNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/theory.h"
+#include "data/dataset.h"
+
+namespace loloha {
+
+struct RunResult {
+  std::string protocol;
+  // τ rows; k columns (b columns for dBitFlipPM with b < k).
+  std::vector<std::vector<double>> estimates;
+  // ε̌^(u) per user (Definition 3.2 accounting), length n.
+  std::vector<double> per_user_epsilon;
+  // Communication cost of one report in bits.
+  double comm_bits_per_report = 0.0;
+  // Number of histogram bins in `estimates` (k, or b for dBitFlipPM).
+  uint32_t bins = 0;
+};
+
+// Options that depend on the dataset or deployment.
+struct RunnerOptions {
+  // dBitFlipPM bucket count: 0 means "b = k" (the paper's Syn/Adult
+  // setting); the paper's DB_MT/DB_DE setting is k/4, expressed by
+  // bucket_divisor = 4. An explicit `buckets` wins over the divisor.
+  uint32_t buckets = 0;
+  uint32_t bucket_divisor = 1;
+};
+
+class LongitudinalRunner {
+ public:
+  virtual ~LongitudinalRunner() = default;
+
+  virtual std::string name() const = 0;
+
+  // Executes all τ collection steps. Deterministic for a given seed.
+  virtual RunResult Run(const Dataset& data, uint64_t seed) const = 0;
+};
+
+// Factory covering every protocol of the paper's evaluation.
+std::unique_ptr<LongitudinalRunner> MakeRunner(ProtocolId id, double eps_perm,
+                                               double eps_first,
+                                               const RunnerOptions& options = {});
+
+// The strawman of Sec. 2.4's introduction: a fresh one-shot OLH report at
+// `eps_per_step` every collection, no memoization. Sequential composition
+// makes the per-user longitudinal loss tau * eps_per_step — the runner
+// accounts it that way — and repeated fresh noise enables averaging
+// attacks. Used by ablations/tests to quantify what memoization buys.
+std::unique_ptr<LongitudinalRunner> MakeNaiveOlhRunner(double eps_per_step);
+
+// The evaluation's seven methods, in the paper's legend order.
+std::vector<ProtocolId> Figure3Protocols(bool include_dbitflip);
+
+// Resolves the dBitFlipPM bucket count for a domain of size k.
+uint32_t ResolveBuckets(const RunnerOptions& options, uint32_t k);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_SIM_RUNNER_H_

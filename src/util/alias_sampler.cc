@@ -1,0 +1,59 @@
+#include "util/alias_sampler.h"
+
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace loloha {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  LOLOHA_CHECK(n > 0);
+  double total = 0.0;
+  for (const double w : weights) {
+    LOLOHA_CHECK_MSG(w >= 0.0, "alias weights must be non-negative");
+    total += w;
+  }
+  LOLOHA_CHECK_MSG(total > 0.0, "alias weights must not all be zero");
+
+  normalized_.resize(n);
+  for (size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's algorithm: partition scaled probabilities into "small" (< 1) and
+  // "large" (>= 1) worklists, then pair each small column with a large one.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = normalized_[i] * n;
+
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers: both lists should hold columns with scaled ~= 1.
+  for (const uint32_t i : small) prob_[i] = 1.0;
+  for (const uint32_t i : large) prob_[i] = 1.0;
+}
+
+uint32_t AliasSampler::Sample(Rng& rng) const {
+  const uint32_t column =
+      static_cast<uint32_t>(rng.UniformInt(prob_.size()));
+  return rng.UniformDouble() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace loloha

@@ -1,0 +1,38 @@
+// Walker/Vose alias method for O(1) sampling from a fixed discrete
+// distribution. Used by the dataset generators, which draw millions of
+// values from skewed marginals.
+
+#ifndef LOLOHA_UTIL_ALIAS_SAMPLER_H_
+#define LOLOHA_UTIL_ALIAS_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace loloha {
+
+class AliasSampler {
+ public:
+  // Builds the alias table from (unnormalized, non-negative) weights; at
+  // least one weight must be positive.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  // Draws an index in [0, size()) with probability proportional to its
+  // weight.
+  uint32_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+  // The normalized probability of index i (for testing).
+  double probability(size_t i) const { return normalized_[i]; }
+
+ private:
+  std::vector<double> prob_;       // acceptance probability per column
+  std::vector<uint32_t> alias_;    // alias index per column
+  std::vector<double> normalized_; // normalized input distribution
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_UTIL_ALIAS_SAMPLER_H_

@@ -1,0 +1,49 @@
+// Lightweight precondition / invariant checking.
+//
+// The library is built without exceptions (Google C++ style); violated
+// preconditions are programmer errors and abort the process with a
+// diagnostic. `LOLOHA_DCHECK` compiles away in release builds and is meant
+// for hot paths.
+
+#ifndef LOLOHA_UTIL_CHECK_H_
+#define LOLOHA_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace loloha::internal {
+
+[[noreturn]] inline void CheckFail(const char* expr, const char* file,
+                                   int line, const char* msg) {
+  std::fprintf(stderr, "LOLOHA_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace loloha::internal
+
+// Aborts with a diagnostic when `cond` is false. Always on.
+#define LOLOHA_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::loloha::internal::CheckFail(#cond, __FILE__, __LINE__, "");     \
+  } while (0)
+
+// Same as LOLOHA_CHECK but with an explanatory message.
+#define LOLOHA_CHECK_MSG(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::loloha::internal::CheckFail(#cond, __FILE__, __LINE__, (msg));  \
+  } while (0)
+
+// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define LOLOHA_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define LOLOHA_DCHECK(cond) LOLOHA_CHECK(cond)
+#endif
+
+#endif  // LOLOHA_UTIL_CHECK_H_

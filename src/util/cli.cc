@@ -1,0 +1,50 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace loloha {
+
+CommandLine::CommandLine(int argc, char** argv) {
+  if (argc > 0) program_name_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) continue;
+    arg.remove_prefix(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      flags_[std::string(arg)] = argv[i + 1];
+      ++i;
+    } else {
+      flags_[std::string(arg)] = "";
+    }
+  }
+}
+
+bool CommandLine::HasFlag(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string CommandLine::GetString(const std::string& name,
+                                   const std::string& default_value) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+int64_t CommandLine::GetInt(const std::string& name,
+                            int64_t default_value) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CommandLine::GetDouble(const std::string& name,
+                              double default_value) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return default_value;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace loloha

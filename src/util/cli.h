@@ -1,0 +1,32 @@
+// Minimal command-line flag parsing shared by the benchmark and example
+// binaries. Supports `--name=value`, `--name value`, and boolean `--name`.
+
+#ifndef LOLOHA_UTIL_CLI_H_
+#define LOLOHA_UTIL_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace loloha {
+
+class CommandLine {
+ public:
+  CommandLine(int argc, char** argv);
+
+  bool HasFlag(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+
+  const std::string& program_name() const { return program_name_; }
+
+ private:
+  std::string program_name_;
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_UTIL_CLI_H_

@@ -1,0 +1,90 @@
+// Pairwise-independent universal hashing for the Local Hashing protocols.
+//
+// LOLOHA and the LH oracles (Sec. 2.3.2 / 3.1 of the paper) require a
+// universal family H : V -> [0, g) with Pr_H[H(v1) = H(v2)] <= 1/g for any
+// v1 != v2. We use the classic multiply-mod-prime construction over the
+// Mersenne prime p = 2^61 - 1:
+//
+//     h_{a,b}(x) = (((a * x + b) mod p) mod g)
+//
+// with a drawn uniformly from [1, p) and b from [0, p). This family is
+// pairwise independent (hence universal). The mod-p reduction uses the
+// standard Mersenne-prime shift/add trick, so no 128-bit division occurs.
+//
+// A `UniversalHash` is a small value type (two 64-bit coefficients + g); it
+// is what an LH/LOLOHA client sends to the server as the <H, x> pair of the
+// report, and it is hashable/comparable so servers can key state by it.
+
+#ifndef LOLOHA_UTIL_HASH_H_
+#define LOLOHA_UTIL_HASH_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace loloha {
+
+// A single hash function from the multiply-mod-prime universal family,
+// mapping uint64 inputs onto [0, g).
+class UniversalHash {
+ public:
+  static constexpr uint64_t kPrime = (uint64_t{1} << 61) - 1;  // 2^61 - 1
+
+  UniversalHash() : a_(1), b_(0), g_(2) {}
+
+  // Constructs an explicit member of the family; `a` in [1, p), `b` in
+  // [0, p), `g` >= 2.
+  UniversalHash(uint64_t a, uint64_t b, uint32_t g) : a_(a), b_(b), g_(g) {
+    LOLOHA_CHECK(g >= 2);
+    LOLOHA_CHECK(a >= 1 && a < kPrime);
+    LOLOHA_CHECK(b < kPrime);
+  }
+
+  // Draws a uniform member of the family with range [0, g).
+  static UniversalHash Sample(uint32_t g, Rng& rng) {
+    const uint64_t a = 1 + rng.UniformInt(kPrime - 1);
+    const uint64_t b = rng.UniformInt(kPrime);
+    return UniversalHash(a, b, g);
+  }
+
+  // Evaluates h(x) in [0, g).
+  uint32_t operator()(uint64_t x) const {
+    return static_cast<uint32_t>(ModP(MulModP(a_, ModP(x)) + b_) % g_);
+  }
+
+  uint32_t range() const { return g_; }
+  uint64_t a() const { return a_; }
+  uint64_t b() const { return b_; }
+
+  friend bool operator==(const UniversalHash& lhs, const UniversalHash& rhs) {
+    return lhs.a_ == rhs.a_ && lhs.b_ == rhs.b_ && lhs.g_ == rhs.g_;
+  }
+
+ private:
+  // Reduces x (< 2^64) modulo the Mersenne prime 2^61 - 1.
+  static uint64_t ModP(uint64_t x) {
+    uint64_t r = (x & kPrime) + (x >> 61);
+    if (r >= kPrime) r -= kPrime;
+    return r;
+  }
+
+  // (x * y) mod p with x, y < p, via 128-bit intermediate.
+  static uint64_t MulModP(uint64_t x, uint64_t y) {
+    const __uint128_t prod = static_cast<__uint128_t>(x) * y;
+    const uint64_t lo = static_cast<uint64_t>(prod & kPrime);
+    const uint64_t hi = static_cast<uint64_t>(prod >> 61);
+    uint64_t r = lo + hi;  // <= 2p, so up to two conditional subtractions.
+    if (r >= kPrime) r -= kPrime;
+    if (r >= kPrime) r -= kPrime;
+    return r;
+  }
+
+  uint64_t a_;
+  uint64_t b_;
+  uint32_t g_;
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_UTIL_HASH_H_

@@ -1,0 +1,93 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/mathutil.h"
+
+namespace loloha {
+
+std::vector<uint64_t> CountValues(const std::vector<uint32_t>& values,
+                                  uint32_t k) {
+  std::vector<uint64_t> counts(k, 0);
+  for (const uint32_t v : values) {
+    LOLOHA_DCHECK(v < k);
+    ++counts[v];
+  }
+  return counts;
+}
+
+std::vector<double> NormalizeCounts(const std::vector<uint64_t>& counts) {
+  uint64_t total = 0;
+  for (const uint64_t c : counts) total += c;
+  std::vector<double> freqs(counts.size(), 0.0);
+  if (total == 0) return freqs;
+  const double inv = 1.0 / static_cast<double>(total);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    freqs[i] = static_cast<double>(counts[i]) * inv;
+  }
+  return freqs;
+}
+
+std::vector<double> TrueFrequencies(const std::vector<uint32_t>& values,
+                                    uint32_t k) {
+  return NormalizeCounts(CountValues(values, k));
+}
+
+double MeanSquaredError(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  LOLOHA_CHECK(a.size() == b.size());
+  LOLOHA_CHECK(!a.empty());
+  KahanSum sum;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum.Add(d * d);
+  }
+  return sum.value() / static_cast<double>(a.size());
+}
+
+double TotalVariation(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  LOLOHA_CHECK(a.size() == b.size());
+  KahanSum sum;
+  for (size_t i = 0; i < a.size(); ++i) sum.Add(std::fabs(a[i] - b[i]));
+  return 0.5 * sum.value();
+}
+
+double MaxAbsError(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  LOLOHA_CHECK(a.size() == b.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+double KlDivergence(const std::vector<double>& a, const std::vector<double>& b,
+                    double floor) {
+  LOLOHA_CHECK(a.size() == b.size());
+  KahanSum sum;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] <= 0.0) continue;
+    const double q = std::max(b[i], floor);
+    sum.Add(a[i] * std::log(a[i] / q));
+  }
+  return sum.value();
+}
+
+std::vector<double> ProjectToSimplex(const std::vector<double>& freqs) {
+  std::vector<double> clipped(freqs.size());
+  double total = 0.0;
+  for (size_t i = 0; i < freqs.size(); ++i) {
+    clipped[i] = std::clamp(freqs[i], 0.0, 1.0);
+    total += clipped[i];
+  }
+  if (total > 0.0) {
+    for (double& f : clipped) f /= total;
+  }
+  return clipped;
+}
+
+}  // namespace loloha

@@ -1,0 +1,50 @@
+// Frequency-vector utilities: counting, normalization, and the error
+// metrics used throughout the evaluation (MSE of Eq. 7's inner sum, total
+// variation, KL divergence).
+
+#ifndef LOLOHA_UTIL_HISTOGRAM_H_
+#define LOLOHA_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace loloha {
+
+// Counts occurrences of each value of [0, k) in `values`.
+std::vector<uint64_t> CountValues(const std::vector<uint32_t>& values,
+                                  uint32_t k);
+
+// Normalizes counts into frequencies summing to 1 (all-zero input yields
+// the all-zero vector).
+std::vector<double> NormalizeCounts(const std::vector<uint64_t>& counts);
+
+// True frequency vector of `values` over domain [0, k).
+std::vector<double> TrueFrequencies(const std::vector<uint32_t>& values,
+                                    uint32_t k);
+
+// Mean squared error between two same-length frequency vectors:
+// (1/k) * sum_v (a_v - b_v)^2.  This is the inner term of Eq. (7).
+double MeanSquaredError(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+// Total variation distance: (1/2) * sum_v |a_v - b_v|.
+double TotalVariation(const std::vector<double>& a,
+                      const std::vector<double>& b);
+
+// Maximum absolute coordinate error: max_v |a_v - b_v| (the quantity
+// bounded by Proposition 3.6).
+double MaxAbsError(const std::vector<double>& a, const std::vector<double>& b);
+
+// Kullback-Leibler divergence KL(a || b) over coordinates where a_v > 0;
+// coordinates with b_v <= 0 are clamped to `floor` to keep it finite.
+double KlDivergence(const std::vector<double>& a, const std::vector<double>& b,
+                    double floor = 1e-12);
+
+// Clips each coordinate to [0, 1] and rescales to sum to 1 — the standard
+// (biased) post-processing step offered as an option to consumers; the
+// paper's metrics are computed on the raw unbiased estimates.
+std::vector<double> ProjectToSimplex(const std::vector<double>& freqs);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_UTIL_HISTOGRAM_H_

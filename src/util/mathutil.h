@@ -1,0 +1,65 @@
+// Small numeric helpers shared across the library.
+
+#ifndef LOLOHA_UTIL_MATHUTIL_H_
+#define LOLOHA_UTIL_MATHUTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+
+#include "util/check.h"
+
+namespace loloha {
+
+// Rounds to the nearest integer, halves away from zero (the ⌊.⌉ of Eq. 6).
+inline int64_t RoundToNearest(double x) {
+  return static_cast<int64_t>(std::llround(x));
+}
+
+// Kahan (compensated) summation; keeps MSE accumulations accurate when
+// summing millions of small squared errors.
+class KahanSum {
+ public:
+  void Add(double x) {
+    const double y = x - compensation_;
+    const double t = sum_ + y;
+    compensation_ = (t - sum_) - y;
+    sum_ = t;
+  }
+
+  double value() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+// Finds x in [lo, hi] with f(x) == target for a continuous monotonically
+// increasing f, by bisection. Used to cross-check the closed-form IRR
+// parameter derivations. `iters` halvings give ~2^-iters relative precision.
+inline double BisectIncreasing(const std::function<double(double)>& f,
+                               double target, double lo, double hi,
+                               int iters = 200) {
+  LOLOHA_CHECK(lo < hi);
+  for (int i = 0; i < iters; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (f(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+// Relative difference |a - b| / max(|a|, |b|, eps); handy for test
+// tolerances on quantities of very different magnitudes.
+inline double RelDiff(double a, double b) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-300});
+  return std::fabs(a - b) / scale;
+}
+
+}  // namespace loloha
+
+#endif  // LOLOHA_UTIL_MATHUTIL_H_

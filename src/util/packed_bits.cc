@@ -1,0 +1,26 @@
+#include "util/packed_bits.h"
+
+#include <algorithm>
+
+namespace loloha {
+
+PackedBits PackedBits::SampleOneHotNoisy(uint32_t size, uint32_t hot,
+                                         double p_hot, double p_cold,
+                                         Rng& rng) {
+  LOLOHA_CHECK(hot < size);
+  PackedBits bits(size);
+  for (size_t w = 0; w < bits.words_.size(); ++w) {
+    uint64_t word = 0;
+    const uint32_t base = static_cast<uint32_t>(w * 64);
+    const uint32_t limit = std::min<uint32_t>(64, size - base);
+    for (uint32_t b = 0; b < limit; ++b) {
+      if (rng.Bernoulli(base + b == hot ? p_hot : p_cold)) {
+        word |= uint64_t{1} << b;
+      }
+    }
+    bits.words_[w] = word;
+  }
+  return bits;
+}
+
+}  // namespace loloha

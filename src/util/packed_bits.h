@@ -1,0 +1,89 @@
+// Fixed-size packed bit vector. Memoized unary-encoding (and dBitFlipPM)
+// reports are k-bit vectors kept for the lifetime of a simulated user, so a
+// dense uint8 representation would dominate memory at paper scale; this
+// packs them 64 per word.
+
+#ifndef LOLOHA_UTIL_PACKED_BITS_H_
+#define LOLOHA_UTIL_PACKED_BITS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace loloha {
+
+class PackedBits {
+ public:
+  PackedBits() : size_(0) {}
+  explicit PackedBits(uint32_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool Get(uint32_t i) const {
+    LOLOHA_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(uint32_t i, bool value) {
+    LOLOHA_DCHECK(i < size_);
+    const uint64_t mask = uint64_t{1} << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  // Number of set bits.
+  uint32_t PopCount() const {
+    uint32_t total = 0;
+    for (const uint64_t w : words_) total += __builtin_popcountll(w);
+    return total;
+  }
+
+  // Adds +1 to counts[i] for every set bit i. `counts` must have >= size()
+  // entries.
+  void AddToCounts(std::vector<uint64_t>& counts) const {
+    ForEachSetBit([&counts](uint32_t i) { ++counts[i]; });
+  }
+
+  // Subtracts 1 from counts[i] for every set bit i.
+  void SubFromCounts(std::vector<uint64_t>& counts) const {
+    ForEachSetBit([&counts](uint32_t i) { --counts[i]; });
+  }
+
+  // Invokes fn(i) for every set bit, ascending.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(static_cast<uint32_t>(w * 64 + b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const PackedBits& lhs, const PackedBits& rhs) {
+    return lhs.size_ == rhs.size_ && lhs.words_ == rhs.words_;
+  }
+
+  // Draws a one-hot-perturbed vector: bit `hot` ~ Bernoulli(p_hot), all
+  // other bits iid Bernoulli(p_cold). This is UE encoding followed by one
+  // round of bit flipping — the PRR memo draw.
+  static PackedBits SampleOneHotNoisy(uint32_t size, uint32_t hot,
+                                      double p_hot, double p_cold, Rng& rng);
+
+ private:
+  uint32_t size_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_UTIL_PACKED_BITS_H_

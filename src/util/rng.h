@@ -1,0 +1,120 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of the library take an explicit `Rng&` (or a
+// 64-bit seed), so every experiment is reproducible bit-for-bit. The
+// generator is xoshiro256** (Blackman & Vigna), seeded through SplitMix64,
+// which is the recommended seeding procedure for the xoshiro family.
+//
+// `Rng` satisfies the C++ UniformRandomBitGenerator concept, so it can also
+// be handed to <random> distributions when convenient, but the methods below
+// (UniformU64, UniformInt, UniformDouble, Bernoulli, ...) are branch-light
+// and are what the protocol hot paths use.
+
+#ifndef LOLOHA_UTIL_RNG_H_
+#define LOLOHA_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace loloha {
+
+// One step of the SplitMix64 sequence; also usable as a 64-bit mixer.
+inline uint64_t SplitMix64Next(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless avalanche mix of a 64-bit value (same finalizer as SplitMix64).
+inline uint64_t Mix64(uint64_t x) {
+  uint64_t s = x;
+  return SplitMix64Next(s);
+}
+
+// xoshiro256** PRNG. Not cryptographic; plenty for Monte-Carlo simulation.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  // Seeds the four words of state via SplitMix64 as recommended upstream.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (int i = 0; i < 4; ++i) s_[i] = SplitMix64Next(sm);
+  }
+
+  // UniformRandomBitGenerator interface.
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~uint64_t{0}; }
+  uint64_t operator()() { return UniformU64(); }
+
+  // Uniform over all 64-bit values.
+  uint64_t UniformU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  // method, which avoids the modulo bias of `x % bound`.
+  uint64_t UniformInt(uint64_t bound) {
+    LOLOHA_DCHECK(bound > 0);
+    uint64_t x = UniformU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = UniformU64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble() {
+    return static_cast<double>(UniformU64() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return UniformDouble() < p;
+  }
+
+  // Uniform element of [0, bound) \ {excluded}; requires bound >= 2.
+  uint64_t UniformIntExcluding(uint64_t bound, uint64_t excluded) {
+    LOLOHA_DCHECK(bound >= 2);
+    LOLOHA_DCHECK(excluded < bound);
+    const uint64_t r = UniformInt(bound - 1);
+    return r >= excluded ? r + 1 : r;
+  }
+
+  // Derives an independent child generator (useful to give each simulated
+  // user its own stream without coupling to iteration order).
+  Rng Fork() { return Rng(UniformU64() ^ 0x6a09e667f3bcc909ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_UTIL_RNG_H_

@@ -1,0 +1,44 @@
+// Plain-text table and CSV emission for the benchmark harness. The bench
+// binaries print the same rows/series the paper reports and additionally
+// persist them as CSV for downstream plotting.
+
+#ifndef LOLOHA_UTIL_TABLE_H_
+#define LOLOHA_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace loloha {
+
+// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with columns padded to the widest cell.
+  std::string ToString() const;
+
+  // Renders as RFC-4180-ish CSV (fields containing commas/quotes are
+  // quoted, quotes doubled).
+  std::string ToCsv() const;
+
+  // Writes ToCsv() to `path`; returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` significant digits (shortest form, no
+// trailing zeros), e.g. for table cells.
+std::string FormatDouble(double value, int digits = 6);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_UTIL_TABLE_H_

@@ -1,0 +1,278 @@
+#include "wire/encoding.h"
+
+#include <cstring>
+
+namespace loloha {
+
+namespace {
+
+void PutU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+// Cursor-style reader with bounds checking.
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    *v = static_cast<uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 4;
+    *v = out;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    *v = out;
+    return true;
+  }
+
+  bool ReadBytes(size_t count, const uint8_t** data) {
+    if (pos_ + count > bytes_.size()) return false;
+    *data = reinterpret_cast<const uint8_t*>(bytes_.data()) + pos_;
+    pos_ += count;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+bool ReadHeader(Reader& reader, WireType expected) {
+  uint8_t tag = 0;
+  uint8_t version = 0;
+  if (!reader.ReadU8(&tag) || !reader.ReadU8(&version)) return false;
+  return tag == static_cast<uint8_t>(expected) && version == kWireVersion;
+}
+
+void WriteHeader(std::string& out, WireType type) {
+  PutU8(out, static_cast<uint8_t>(type));
+  PutU8(out, kWireVersion);
+}
+
+void PutPackedBits(std::string& out, const std::vector<uint8_t>& bits) {
+  uint8_t current = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) current |= static_cast<uint8_t>(1u << (i & 7));
+    if ((i & 7) == 7) {
+      PutU8(out, current);
+      current = 0;
+    }
+  }
+  if (bits.size() % 8 != 0) PutU8(out, current);
+}
+
+bool ReadPackedBits(Reader& reader, uint32_t count,
+                    std::vector<uint8_t>* bits) {
+  const uint8_t* data = nullptr;
+  const size_t num_bytes = (count + 7) / 8;
+  if (!reader.ReadBytes(num_bytes, &data)) return false;
+  // Trailing pad bits must be zero (canonical form).
+  if (count % 8 != 0) {
+    const uint8_t last = data[num_bytes - 1];
+    if ((last >> (count % 8)) != 0) return false;
+  }
+  bits->assign(count, 0);
+  for (uint32_t i = 0; i < count; ++i) {
+    (*bits)[i] = (data[i / 8] >> (i & 7)) & 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeGrrReport(uint32_t value) {
+  std::string out;
+  WriteHeader(out, WireType::kGrrReport);
+  PutU32(out, value);
+  return out;
+}
+
+bool DecodeGrrReport(const std::string& bytes, uint32_t k, uint32_t* value) {
+  Reader reader(bytes);
+  if (!ReadHeader(reader, WireType::kGrrReport)) return false;
+  uint32_t v = 0;
+  if (!reader.ReadU32(&v) || !reader.AtEnd() || v >= k) return false;
+  *value = v;
+  return true;
+}
+
+std::string EncodeUeReport(const std::vector<uint8_t>& bits) {
+  std::string out;
+  WriteHeader(out, WireType::kUeReport);
+  PutU32(out, static_cast<uint32_t>(bits.size()));
+  PutPackedBits(out, bits);
+  return out;
+}
+
+bool DecodeUeReport(const std::string& bytes, uint32_t k,
+                    std::vector<uint8_t>* bits) {
+  Reader reader(bytes);
+  if (!ReadHeader(reader, WireType::kUeReport)) return false;
+  uint32_t count = 0;
+  if (!reader.ReadU32(&count) || count != k) return false;
+  if (!ReadPackedBits(reader, count, bits) || !reader.AtEnd()) return false;
+  return true;
+}
+
+std::string EncodeLhReport(const LhReport& report) {
+  std::string out;
+  WriteHeader(out, WireType::kLhReport);
+  PutU64(out, report.hash.a());
+  PutU64(out, report.hash.b());
+  PutU32(out, report.hash.range());
+  PutU32(out, report.cell);
+  return out;
+}
+
+bool DecodeLhReport(const std::string& bytes, uint32_t g, LhReport* report) {
+  Reader reader(bytes);
+  if (!ReadHeader(reader, WireType::kLhReport)) return false;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint32_t range = 0;
+  uint32_t cell = 0;
+  if (!reader.ReadU64(&a) || !reader.ReadU64(&b) || !reader.ReadU32(&range) ||
+      !reader.ReadU32(&cell) || !reader.AtEnd()) {
+    return false;
+  }
+  if (range != g || cell >= g) return false;
+  if (a < 1 || a >= UniversalHash::kPrime || b >= UniversalHash::kPrime) {
+    return false;
+  }
+  report->hash = UniversalHash(a, b, range);
+  report->cell = cell;
+  return true;
+}
+
+std::string EncodeLolohaHello(const UniversalHash& hash) {
+  std::string out;
+  WriteHeader(out, WireType::kLolohaHello);
+  PutU64(out, hash.a());
+  PutU64(out, hash.b());
+  PutU32(out, hash.range());
+  return out;
+}
+
+bool DecodeLolohaHello(const std::string& bytes, uint32_t g,
+                       UniversalHash* hash) {
+  Reader reader(bytes);
+  if (!ReadHeader(reader, WireType::kLolohaHello)) return false;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint32_t range = 0;
+  if (!reader.ReadU64(&a) || !reader.ReadU64(&b) ||
+      !reader.ReadU32(&range) || !reader.AtEnd()) {
+    return false;
+  }
+  if (range != g) return false;
+  if (a < 1 || a >= UniversalHash::kPrime || b >= UniversalHash::kPrime) {
+    return false;
+  }
+  *hash = UniversalHash(a, b, range);
+  return true;
+}
+
+std::string EncodeLolohaReport(uint32_t cell) {
+  std::string out;
+  WriteHeader(out, WireType::kLolohaReport);
+  PutU32(out, cell);
+  return out;
+}
+
+bool DecodeLolohaReport(const std::string& bytes, uint32_t g,
+                        uint32_t* cell) {
+  Reader reader(bytes);
+  if (!ReadHeader(reader, WireType::kLolohaReport)) return false;
+  uint32_t c = 0;
+  if (!reader.ReadU32(&c) || !reader.AtEnd() || c >= g) return false;
+  *cell = c;
+  return true;
+}
+
+std::string EncodeDBitHello(const std::vector<uint32_t>& sampled) {
+  std::string out;
+  WriteHeader(out, WireType::kDBitHello);
+  PutU32(out, static_cast<uint32_t>(sampled.size()));
+  for (const uint32_t j : sampled) PutU32(out, j);
+  return out;
+}
+
+bool DecodeDBitHello(const std::string& bytes, uint32_t b, uint32_t d,
+                     std::vector<uint32_t>* sampled) {
+  Reader reader(bytes);
+  if (!ReadHeader(reader, WireType::kDBitHello)) return false;
+  uint32_t count = 0;
+  if (!reader.ReadU32(&count) || count != d) return false;
+  std::vector<uint32_t> out(count);
+  std::vector<uint8_t> seen(b, 0);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!reader.ReadU32(&out[i]) || out[i] >= b) return false;
+    if (seen[out[i]]) return false;  // duplicates are malformed
+    seen[out[i]] = 1;
+  }
+  if (!reader.AtEnd()) return false;
+  *sampled = std::move(out);
+  return true;
+}
+
+std::string EncodeDBitReport(const std::vector<uint8_t>& bits) {
+  std::string out;
+  WriteHeader(out, WireType::kDBitReport);
+  PutU32(out, static_cast<uint32_t>(bits.size()));
+  PutPackedBits(out, bits);
+  return out;
+}
+
+bool DecodeDBitReport(const std::string& bytes, uint32_t d,
+                      std::vector<uint8_t>* bits) {
+  Reader reader(bytes);
+  if (!ReadHeader(reader, WireType::kDBitReport)) return false;
+  uint32_t count = 0;
+  if (!reader.ReadU32(&count) || count != d) return false;
+  if (!ReadPackedBits(reader, count, bits) || !reader.AtEnd()) return false;
+  return true;
+}
+
+bool PeekWireType(const std::string& bytes, WireType* type) {
+  if (bytes.size() < 2) return false;
+  const uint8_t tag = static_cast<uint8_t>(bytes[0]);
+  if (tag < 1 || tag > 7) return false;
+  *type = static_cast<WireType>(tag);
+  return true;
+}
+
+}  // namespace loloha

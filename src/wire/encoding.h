@@ -1,0 +1,75 @@
+// Wire encoding for client reports.
+//
+// A deployment ships reports over the network; this module defines a
+// compact, versioned, little-endian binary format for every report type in
+// the library, with strict decode-side validation (a malformed byte string
+// never crashes the server — decoding returns false).
+//
+// Layout: every message starts with a 1-byte type tag and a 1-byte format
+// version, followed by the type-specific payload. Integers are fixed-width
+// little-endian; bit vectors are packed 8-per-byte.
+
+#ifndef LOLOHA_WIRE_ENCODING_H_
+#define LOLOHA_WIRE_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oracle/local_hash.h"
+#include "longitudinal/dbitflip.h"
+
+namespace loloha {
+
+enum class WireType : uint8_t {
+  kGrrReport = 1,       // single value in [0, k)
+  kUeReport = 2,        // packed k-bit vector
+  kLhReport = 3,        // hash coefficients + cell
+  kLolohaHello = 4,     // hash coefficients (sent once per user)
+  kLolohaReport = 5,    // cell only (per step)
+  kDBitHello = 6,       // sampled bucket indices (sent once per user)
+  kDBitReport = 7,      // packed d-bit vector
+};
+
+constexpr uint8_t kWireVersion = 1;
+
+// ---------------------------------------------------------------------------
+// Encoders (infallible).
+// ---------------------------------------------------------------------------
+
+std::string EncodeGrrReport(uint32_t value);
+std::string EncodeUeReport(const std::vector<uint8_t>& bits);
+std::string EncodeLhReport(const LhReport& report);
+std::string EncodeLolohaHello(const UniversalHash& hash);
+std::string EncodeLolohaReport(uint32_t cell);
+std::string EncodeDBitHello(const std::vector<uint32_t>& sampled);
+std::string EncodeDBitReport(const std::vector<uint8_t>& bits);
+
+// ---------------------------------------------------------------------------
+// Decoders. Each returns false (leaving the output untouched or partially
+// written but unusable) on any structural violation: wrong tag, wrong
+// version, truncated payload, out-of-range values.
+// ---------------------------------------------------------------------------
+
+bool DecodeGrrReport(const std::string& bytes, uint32_t k, uint32_t* value);
+// `k` is the expected bit-vector length.
+bool DecodeUeReport(const std::string& bytes, uint32_t k,
+                    std::vector<uint8_t>* bits);
+// `g` is the expected hash range.
+bool DecodeLhReport(const std::string& bytes, uint32_t g, LhReport* report);
+bool DecodeLolohaHello(const std::string& bytes, uint32_t g,
+                       UniversalHash* hash);
+bool DecodeLolohaReport(const std::string& bytes, uint32_t g,
+                        uint32_t* cell);
+// `b` is the bucket count, `d` the expected sample size.
+bool DecodeDBitHello(const std::string& bytes, uint32_t b, uint32_t d,
+                     std::vector<uint32_t>* sampled);
+bool DecodeDBitReport(const std::string& bytes, uint32_t d,
+                      std::vector<uint8_t>* bits);
+
+// Peeks the type tag; returns false on an empty/short message.
+bool PeekWireType(const std::string& bytes, WireType* type);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_WIRE_ENCODING_H_

@@ -1,0 +1,110 @@
+#include "sim/accountant.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace loloha {
+namespace {
+
+Dataset ThreeUserDataset() {
+  // k = 6, 3 users, 4 steps.
+  Dataset data("acc", 6, 3, 4);
+  const uint32_t seq[3][4] = {
+      {0, 0, 0, 0},   // constant: 1 distinct value
+      {0, 1, 0, 1},   // 2 distinct values
+      {0, 1, 2, 3}};  // 4 distinct values
+  for (uint32_t u = 0; u < 3; ++u) {
+    for (uint32_t t = 0; t < 4; ++t) data.set_value(u, t, seq[u][t]);
+  }
+  return data;
+}
+
+TEST(ValueMemoEpsilonsTest, CountsDistinctValues) {
+  const Dataset data = ThreeUserDataset();
+  const std::vector<double> eps = ValueMemoEpsilons(data, 2.0);
+  EXPECT_DOUBLE_EQ(eps[0], 2.0);
+  EXPECT_DOUBLE_EQ(eps[1], 4.0);
+  EXPECT_DOUBLE_EQ(eps[2], 8.0);
+}
+
+TEST(ValueMemoEpsilonsTest, CappedByKEpsOnFullSweep) {
+  Dataset data("sweep", 4, 1, 8);
+  for (uint32_t t = 0; t < 8; ++t) data.set_value(0, t, t % 4);
+  const std::vector<double> eps = ValueMemoEpsilons(data, 1.5);
+  EXPECT_DOUBLE_EQ(eps[0], 4 * 1.5);  // k distinct values -> k eps
+}
+
+TEST(LolohaEpsilonsTest, BoundedByGEps) {
+  const Dataset data = GenerateSyn(400, 100, 30, 0.5, 1);
+  for (const uint32_t g : {2u, 4u}) {
+    const std::vector<double> eps = LolohaEpsilons(data, g, 2.0, 7);
+    for (const double e : eps) {
+      EXPECT_LE(e, g * 2.0);
+      EXPECT_GE(e, 2.0);  // at least one cell is always exercised
+    }
+  }
+}
+
+TEST(LolohaEpsilonsTest, ConstantUserSpendsExactlyOneEps) {
+  const Dataset data = GenerateStatic(200, 50, 10, 1.0, 2);
+  const std::vector<double> eps = LolohaEpsilons(data, 4, 3.0, 8);
+  for (const double e : eps) EXPECT_DOUBLE_EQ(e, 3.0);
+}
+
+TEST(LolohaEpsilonsTest, FarBelowValueMemoOnChurningData) {
+  // The paper's Fig. 4 headline: LOLOHA's loss is orders of magnitude
+  // below the value-memoizing protocols when users change a lot.
+  const Dataset data = GenerateAdultLike(500, 60, 3);
+  const double value_avg = [&] {
+    const std::vector<double> e = ValueMemoEpsilons(data, 1.0);
+    double s = 0;
+    for (const double x : e) s += x;
+    return s / e.size();
+  }();
+  const double loloha_avg = [&] {
+    const std::vector<double> e = LolohaEpsilons(data, 2, 1.0, 9);
+    double s = 0;
+    for (const double x : e) s += x;
+    return s / e.size();
+  }();
+  EXPECT_GT(value_avg, 10.0 * loloha_avg);
+}
+
+TEST(DBitFlipEpsilonsTest, FullSamplingEqualsBucketMemo) {
+  // d = b: every bucket is sampled, so states == distinct buckets and the
+  // loss matches value-memo accounting on the bucketized sequence.
+  Dataset data("db", 8, 2, 4);
+  const uint32_t seq[2][4] = {{0, 2, 4, 6}, {1, 1, 1, 1}};
+  for (uint32_t u = 0; u < 2; ++u) {
+    for (uint32_t t = 0; t < 4; ++t) data.set_value(u, t, seq[u][t]);
+  }
+  // b = 4: buckets are {0,1}->0, {2,3}->1, {4,5}->2, {6,7}->3.
+  const std::vector<double> eps = DBitFlipEpsilons(data, 4, 4, 1.0, 10);
+  EXPECT_DOUBLE_EQ(eps[0], 4.0);  // buckets 0,1,2,3
+  EXPECT_DOUBLE_EQ(eps[1], 1.0);  // bucket 0 only
+}
+
+TEST(DBitFlipEpsilonsTest, SingleBitCappedAtTwoEps) {
+  const Dataset data = GenerateSyn(300, 60, 40, 0.5, 4);
+  const std::vector<double> eps = DBitFlipEpsilons(data, 60, 1, 2.0, 11);
+  for (const double e : eps) {
+    EXPECT_LE(e, 2.0 * 2.0);  // min(d+1, b) = 2 states
+    EXPECT_GE(e, 2.0);
+  }
+}
+
+TEST(DBitFlipEpsilonsTest, CapMatchesTable1Bound) {
+  const Dataset data = GenerateSyn(200, 40, 60, 0.9, 5);
+  for (const uint32_t d : {1u, 3u, 10u}) {
+    const std::vector<double> eps = DBitFlipEpsilons(data, 10, d, 1.0, 12);
+    const double cap = std::min(d + 1, 10u) * 1.0;
+    for (const double e : eps) EXPECT_LE(e, cap);
+  }
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,68 @@
+#include "util/alias_sampler.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+TEST(AliasSamplerTest, NormalizesWeights) {
+  const AliasSampler sampler({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(sampler.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(sampler.probability(1), 0.75);
+}
+
+TEST(AliasSamplerTest, SingleElement) {
+  const AliasSampler sampler({5.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  const AliasSampler sampler({1.0, 0.0, 1.0});
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(sampler.Sample(rng), 1u);
+}
+
+TEST(AliasSamplerTest, EmpiricalFrequenciesMatch) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  const AliasSampler sampler(weights);
+  Rng rng(3);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.Sample(rng)];
+  for (size_t v = 0; v < weights.size(); ++v) {
+    const double p = weights[v] / 10.0;
+    const double sigma = std::sqrt(p * (1 - p) / kDraws);
+    EXPECT_NEAR(counts[v] / static_cast<double>(kDraws), p, 5 * sigma);
+  }
+}
+
+TEST(AliasSamplerTest, HighlySkewedDistribution) {
+  std::vector<double> weights(100, 1e-6);
+  weights[42] = 1.0;
+  const AliasSampler sampler(weights);
+  Rng rng(4);
+  int hits = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) hits += (sampler.Sample(rng) == 42);
+  EXPECT_GT(hits, 9900);
+}
+
+TEST(AliasSamplerTest, UniformWeights) {
+  const AliasSampler sampler(std::vector<double>(8, 1.0));
+  Rng rng(5);
+  constexpr int kDraws = 80000;
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.Sample(rng)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(kDraws), 0.125, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace loloha

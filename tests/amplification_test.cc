@@ -1,0 +1,112 @@
+#include "shuffle/amplification.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+constexpr double kDelta = 1e-6;
+
+TEST(AmplificationAppliesTest, PreconditionBoundary) {
+  // eps0 <= log(n / (16 log(2/delta))).
+  EXPECT_TRUE(AmplificationApplies(0.5, 100000, kDelta));
+  EXPECT_FALSE(AmplificationApplies(10.0, 1000, kDelta));
+  EXPECT_FALSE(AmplificationApplies(0.5, 1, kDelta));
+}
+
+TEST(AmplifiedEpsilonTest, StrictlyTighterForLargeN) {
+  for (const double eps0 : {0.25, 0.5, 1.0, 2.0}) {
+    const double amplified = AmplifiedEpsilon(eps0, 1000000, kDelta);
+    EXPECT_LT(amplified, eps0) << "eps0=" << eps0;
+    EXPECT_GT(amplified, 0.0);
+  }
+}
+
+TEST(AmplifiedEpsilonTest, MonotoneDecreasingInN) {
+  double prev = 1e9;
+  for (const uint64_t n : {10000ULL, 100000ULL, 1000000ULL, 10000000ULL}) {
+    const double amplified = AmplifiedEpsilon(1.0, n, kDelta);
+    EXPECT_LT(amplified, prev);
+    prev = amplified;
+  }
+}
+
+TEST(AmplifiedEpsilonTest, MonotoneIncreasingInLocalEps) {
+  double prev = 0.0;
+  for (const double eps0 : {0.1, 0.3, 0.6, 1.0, 1.5}) {
+    const double amplified = AmplifiedEpsilon(eps0, 1000000, kDelta);
+    EXPECT_GT(amplified, prev);
+    prev = amplified;
+  }
+}
+
+TEST(AmplifiedEpsilonTest, FallsBackToLocalWhenBoundInapplicable) {
+  EXPECT_DOUBLE_EQ(AmplifiedEpsilon(8.0, 100, kDelta), 8.0);
+}
+
+TEST(AmplifiedEpsilonTest, RootNScaling) {
+  // The dominant term scales as 1/sqrt(n): quadrupling n should roughly
+  // halve the amplified epsilon in the small-eps regime.
+  const double e1 = AmplifiedEpsilon(0.5, 100000, kDelta);
+  const double e2 = AmplifiedEpsilon(0.5, 400000, kDelta);
+  EXPECT_NEAR(e1 / e2, 2.0, 0.25);
+}
+
+TEST(MaxLocalEpsilonTest, InvertsTheBound) {
+  const uint64_t n = 1000000;
+  const double target = 0.1;
+  const double eps_local = MaxLocalEpsilonForCentralTarget(target, n, kDelta);
+  ASSERT_GT(eps_local, 0.0);
+  EXPECT_NEAR(AmplifiedEpsilon(eps_local, n, kDelta), target, 1e-6);
+  EXPECT_GT(eps_local, target);  // amplification buys local budget
+}
+
+TEST(MaxLocalEpsilonTest, ReturnsCapWhenTargetIsLoose) {
+  const uint64_t n = 100000;
+  const double cap =
+      std::log(static_cast<double>(n) / (16.0 * std::log(2.0 / kDelta)));
+  EXPECT_DOUBLE_EQ(MaxLocalEpsilonForCentralTarget(100.0, n, kDelta), cap);
+}
+
+TEST(ShuffleReportsTest, PermutationPreservesMultiset) {
+  Rng rng(1);
+  std::vector<int> reports(100);
+  std::iota(reports.begin(), reports.end(), 0);
+  std::vector<int> shuffled = reports;
+  ShuffleReports(shuffled, rng);
+  EXPECT_NE(shuffled, reports);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, reports);
+}
+
+TEST(ShuffleReportsTest, UniformPositions) {
+  // Element 0 should land in every slot equally often.
+  Rng rng(2);
+  constexpr int kSize = 8;
+  constexpr int kTrials = 80000;
+  std::vector<int> counts(kSize, 0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<int> v(kSize);
+    std::iota(v.begin(), v.end(), 0);
+    ShuffleReports(v, rng);
+    for (int i = 0; i < kSize; ++i) {
+      if (v[i] == 0) {
+        ++counts[i];
+        break;
+      }
+    }
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(kTrials), 1.0 / kSize, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,82 @@
+#include "sim/attack.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace loloha {
+namespace {
+
+TEST(DBitFlipDetectionTest, NoChangesMeansNothingToDetect) {
+  const Dataset data = GenerateStatic(200, 40, 10, 1.0, 1);
+  const DetectionResult result = DBitFlipDetection(data, 40, 1, 1.0, 2);
+  EXPECT_EQ(result.users_with_changes, 0u);
+  EXPECT_DOUBLE_EQ(result.PercentFullyDetected(), 0.0);
+}
+
+TEST(DBitFlipDetectionTest, FullSamplingDetectsAlmostEveryone) {
+  // Table 2, d = b column: ~100% of users have all change points exposed
+  // because two memo vectors over many sampled bits almost surely differ.
+  const Dataset data = GenerateSyn(1000, 360, 30, 0.25, 3);
+  const DetectionResult result =
+      DBitFlipDetection(data, 360, 360, 1.0, 4);
+  EXPECT_GT(result.users_with_changes, 900u);
+  EXPECT_GT(result.PercentFullyDetected(), 99.0);
+}
+
+TEST(DBitFlipDetectionTest, SingleBitRarelyDetectsEveryChange) {
+  // Table 2, d = 1 column: ~0%. A single memoized bit collides across
+  // buckets with probability ~1/2 per change, so with the paper's tau =
+  // 120 (≈30 changes per user) full detection is vanishingly rare.
+  const Dataset data = GenerateSyn(800, 360, 120, 0.25, 5);
+  const DetectionResult result = DBitFlipDetection(data, 360, 1, 1.0, 6);
+  EXPECT_LT(result.PercentFullyDetected(), 1.0);
+}
+
+TEST(DBitFlipDetectionTest, DetectionGrowsWithD) {
+  const Dataset data = GenerateSyn(1500, 100, 20, 0.25, 7);
+  const double d1 =
+      DBitFlipDetection(data, 100, 1, 2.0, 8).PercentFullyDetected();
+  const double d10 =
+      DBitFlipDetection(data, 100, 10, 2.0, 8).PercentFullyDetected();
+  const double db =
+      DBitFlipDetection(data, 100, 100, 2.0, 8).PercentFullyDetected();
+  EXPECT_LE(d1, d10);
+  EXPECT_LE(d10, db);
+  EXPECT_GT(db, 95.0);
+}
+
+TEST(DBitFlipDetectionTest, SingleBitDetectionShrinksWithEps) {
+  // Table 2's d = 1 trend: higher ε∞ -> the sampled bit is less noisy,
+  // so two buckets' memo bits more often agree... (p for the sampled
+  // bucket and q for others drift apart, but both saturate: the chance
+  // that two *unsampled* buckets draw the same Bern(q) bit grows as q->0).
+  const Dataset data = GenerateAdultLike(4000, 40, 9);
+  const double low =
+      DBitFlipDetection(data, 96, 1, 0.5, 10).PercentFullyDetected();
+  const double high =
+      DBitFlipDetection(data, 96, 1, 5.0, 10).PercentFullyDetected();
+  EXPECT_LE(high, low + 0.1);
+}
+
+TEST(DBitFlipDetectionTest, DeterministicForSeed) {
+  const Dataset data = GenerateSyn(500, 50, 10, 0.3, 11);
+  const DetectionResult a = DBitFlipDetection(data, 50, 5, 1.0, 12);
+  const DetectionResult b = DBitFlipDetection(data, 50, 5, 1.0, 12);
+  EXPECT_EQ(a.users_fully_detected, b.users_fully_detected);
+  EXPECT_EQ(a.users_with_changes, b.users_with_changes);
+}
+
+TEST(DBitFlipDetectionTest, BucketizedChangesOnly) {
+  // Values that move within one bucket are not changes at all.
+  Dataset data("inbucket", 10, 1, 4);
+  data.set_value(0, 0, 0);
+  data.set_value(0, 1, 1);  // same bucket when b = 5 (values 0,1 -> b0)
+  data.set_value(0, 2, 0);
+  data.set_value(0, 3, 1);
+  const DetectionResult result = DBitFlipDetection(data, 5, 5, 1.0, 13);
+  EXPECT_EQ(result.users_with_changes, 0u);
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,164 @@
+#include "longitudinal/chain.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "oracle/estimator.h"
+#include "util/mathutil.h"
+
+namespace loloha {
+namespace {
+
+// (eps_perm, alpha) sweep used by most chain tests.
+class ChainSweep
+    : public testing::TestWithParam<std::tuple<double, double>> {
+ protected:
+  double eps_perm() const { return std::get<0>(GetParam()); }
+  double eps_first() const {
+    return std::get<0>(GetParam()) * std::get<1>(GetParam());
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ChainSweep,
+    testing::Combine(testing::Values(0.5, 1.0, 2.0, 3.0, 5.0),
+                     testing::Values(0.1, 0.3, 0.5, 0.6, 0.9)));
+
+TEST_P(ChainSweep, LSueFirstReportSatisfiesEps1Exactly) {
+  const ChainedParams chain = LSueChain(eps_perm(), eps_first());
+  EXPECT_TRUE(ValidParams(chain.first));
+  EXPECT_TRUE(ValidParams(chain.second));
+  EXPECT_LT(RelDiff(UeChainFirstReportEpsilon(chain), eps_first()), 1e-9);
+}
+
+TEST_P(ChainSweep, LSueIsSymmetricInBothRounds) {
+  const ChainedParams chain = LSueChain(eps_perm(), eps_first());
+  EXPECT_NEAR(chain.first.p + chain.first.q, 1.0, 1e-12);
+  EXPECT_NEAR(chain.second.p + chain.second.q, 1.0, 1e-12);
+}
+
+TEST_P(ChainSweep, LSueClosedFormMatchesNumericSolver) {
+  const ChainedParams chain = LSueChain(eps_perm(), eps_first());
+  const PerturbParams solved =
+      SolveSymmetricUeIrr(chain.first, eps_first());
+  EXPECT_LT(RelDiff(chain.second.p, solved.p), 1e-9);
+}
+
+TEST_P(ChainSweep, LOsueFirstReportSatisfiesEps1Exactly) {
+  const ChainedParams chain = LOsueChain(eps_perm(), eps_first());
+  EXPECT_LT(RelDiff(UeChainFirstReportEpsilon(chain), eps_first()), 1e-9);
+}
+
+TEST_P(ChainSweep, LOsueClosedFormMatchesNumericSolver) {
+  const ChainedParams chain = LOsueChain(eps_perm(), eps_first());
+  const PerturbParams solved =
+      SolveSymmetricUeIrr(chain.first, eps_first());
+  EXPECT_LT(RelDiff(chain.second.p, solved.p), 1e-9);
+}
+
+TEST_P(ChainSweep, LOsueCollapsesToOueAtEps1) {
+  // The collapsed (p_s, q_s) of L-OSUE is exactly OUE(ε1): p_s = 1/2,
+  // q_s = 1/(e^{ε1}+1). This is why its variance equals OUE's.
+  const ChainedParams chain = LOsueChain(eps_perm(), eps_first());
+  const PerturbParams collapsed = CollapseChain(chain.first, chain.second);
+  EXPECT_NEAR(collapsed.p, 0.5, 1e-12);
+  EXPECT_LT(RelDiff(collapsed.q, 1.0 / (std::exp(eps_first()) + 1.0)),
+            1e-9);
+}
+
+TEST_P(ChainSweep, PermanentRoundAloneSatisfiesEpsPerm) {
+  const ChainedParams sue = LSueChain(eps_perm(), eps_first());
+  EXPECT_LT(RelDiff(UeEpsilon(sue.first), eps_perm()), 1e-9);
+  const ChainedParams osue = LOsueChain(eps_perm(), eps_first());
+  EXPECT_LT(RelDiff(UeEpsilon(osue.first), eps_perm()), 1e-9);
+}
+
+TEST_P(ChainSweep, LOueFirstReportSatisfiesEps1) {
+  // An OUE-style IRR cannot reach ε1 arbitrarily close to ε∞ (its maximum
+  // effective epsilon at q2 -> 0 is below ε∞); stay within the feasible
+  // region covered by the paper's α <= 0.6.
+  if (eps_first() > 0.6 * eps_perm()) GTEST_SKIP();
+  const ChainedParams chain = LOueChain(eps_perm(), eps_first());
+  EXPECT_DOUBLE_EQ(chain.second.p, 0.5);
+  EXPECT_LT(RelDiff(UeChainFirstReportEpsilon(chain), eps_first()), 1e-8);
+}
+
+class GrrChainSweep
+    : public testing::TestWithParam<std::tuple<double, double, uint32_t>> {
+ protected:
+  double eps_perm() const { return std::get<0>(GetParam()); }
+  double eps_first() const {
+    return std::get<0>(GetParam()) * std::get<1>(GetParam());
+  }
+  uint32_t k() const { return std::get<2>(GetParam()); }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GrrChainSweep,
+    testing::Combine(testing::Values(1.0, 2.0, 5.0),
+                     testing::Values(0.3, 0.5, 0.6),
+                     testing::Values(2u, 3u, 10u, 96u, 360u)));
+
+TEST_P(GrrChainSweep, PaperFormSetsPairwiseRatioToEps1) {
+  const ChainedParams chain = LGrrChain(eps_perm(), eps_first(), k());
+  EXPECT_TRUE(ValidParams(chain.first));
+  EXPECT_TRUE(ValidParams(chain.second));
+  EXPECT_LT(RelDiff(GrrChainPairwiseEpsilon(chain), eps_first()), 1e-9);
+}
+
+TEST_P(GrrChainSweep, PaperFormNeverExceedsEps1) {
+  // The exact first-report epsilon is <= ε1 (equality iff k = 2).
+  const ChainedParams chain = LGrrChain(eps_perm(), eps_first(), k());
+  const double exact = GrrChainFirstReportEpsilon(chain, k());
+  EXPECT_LE(exact, eps_first() + 1e-9);
+  if (k() == 2) {
+    EXPECT_LT(RelDiff(exact, eps_first()), 1e-9);
+  } else {
+    EXPECT_LT(exact, eps_first());
+  }
+}
+
+TEST_P(GrrChainSweep, ExactFormHitsEps1ForAllK) {
+  const ChainedParams chain = LGrrChainExact(eps_perm(), eps_first(), k());
+  EXPECT_LT(RelDiff(GrrChainFirstReportEpsilon(chain, k()), eps_first()),
+            1e-9);
+}
+
+TEST_P(GrrChainSweep, ExactAndPaperFormsAgreeAtKTwo) {
+  if (k() != 2) GTEST_SKIP();
+  const ChainedParams paper = LGrrChain(eps_perm(), eps_first(), 2);
+  const ChainedParams exact = LGrrChainExact(eps_perm(), eps_first(), 2);
+  EXPECT_LT(RelDiff(paper.second.p, exact.second.p), 1e-9);
+}
+
+TEST_P(GrrChainSweep, ProbabilitiesNormalized) {
+  const ChainedParams chain = LGrrChain(eps_perm(), eps_first(), k());
+  EXPECT_NEAR(chain.first.p + (k() - 1) * chain.first.q, 1.0, 1e-12);
+  EXPECT_NEAR(chain.second.p + (k() - 1) * chain.second.q, 1.0, 1e-12);
+}
+
+TEST(ChainTest, RapporDeploymentUsesThreeQuarters) {
+  const ChainedParams chain = RapporDeploymentChain(2.0);
+  EXPECT_DOUBLE_EQ(chain.second.p, 0.75);
+  EXPECT_DOUBLE_EQ(chain.second.q, 0.25);
+  EXPECT_LT(RelDiff(UeEpsilon(chain.first), 2.0), 1e-9);
+}
+
+TEST(ChainTest, TighterEps1MeansNoisierIrr) {
+  // Lower ε1 (first report better protected) must push p2 toward 1/2.
+  const ChainedParams loose = LSueChain(3.0, 2.0);
+  const ChainedParams tight = LSueChain(3.0, 0.5);
+  EXPECT_GT(loose.second.p, tight.second.p);
+  EXPECT_GT(tight.second.p, 0.5);
+}
+
+TEST(ChainTest, LSoueFirstReportSatisfiesEps1) {
+  const ChainedParams chain = LSoueChain(2.0, 1.0);
+  EXPECT_DOUBLE_EQ(chain.second.p, 0.5);
+  EXPECT_LT(RelDiff(UeChainFirstReportEpsilon(chain), 1.0), 1e-8);
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,53 @@
+#include "util/cli.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace loloha {
+namespace {
+
+CommandLine Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return CommandLine(static_cast<int>(args.size()),
+                     const_cast<char**>(args.data()));
+}
+
+TEST(CommandLineTest, EqualsSyntax) {
+  const CommandLine cli = Parse({"--runs=5", "--eps=2.5", "--name=syn"});
+  EXPECT_EQ(cli.GetInt("runs", 0), 5);
+  EXPECT_DOUBLE_EQ(cli.GetDouble("eps", 0.0), 2.5);
+  EXPECT_EQ(cli.GetString("name", ""), "syn");
+}
+
+TEST(CommandLineTest, SpaceSyntax) {
+  const CommandLine cli = Parse({"--runs", "7"});
+  EXPECT_EQ(cli.GetInt("runs", 0), 7);
+}
+
+TEST(CommandLineTest, BooleanFlag) {
+  const CommandLine cli = Parse({"--quick"});
+  EXPECT_TRUE(cli.HasFlag("quick"));
+  EXPECT_FALSE(cli.HasFlag("full"));
+}
+
+TEST(CommandLineTest, DefaultsWhenMissing) {
+  const CommandLine cli = Parse({});
+  EXPECT_EQ(cli.GetInt("runs", 3), 3);
+  EXPECT_DOUBLE_EQ(cli.GetDouble("eps", 1.5), 1.5);
+  EXPECT_EQ(cli.GetString("name", "default"), "default");
+}
+
+TEST(CommandLineTest, BooleanFollowedByFlag) {
+  const CommandLine cli = Parse({"--quick", "--runs=2"});
+  EXPECT_TRUE(cli.HasFlag("quick"));
+  EXPECT_EQ(cli.GetInt("runs", 0), 2);
+}
+
+TEST(CommandLineTest, ProgramName) {
+  const CommandLine cli = Parse({});
+  EXPECT_EQ(cli.program_name(), "prog");
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,140 @@
+#include "server/collector.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/loloha.h"
+#include "wire/encoding.h"
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+LolohaParams TestParams() { return MakeLolohaParams(16, 4, 2.0, 1.0); }
+
+TEST(LolohaCollectorTest, EndToEndThroughWireFormat) {
+  const LolohaParams params = TestParams();
+  LolohaCollector collector(params);
+  Rng rng(1);
+  constexpr uint32_t kUsers = 30000;
+  std::vector<LolohaClient> clients;
+  clients.reserve(kUsers);
+  for (uint32_t u = 0; u < kUsers; ++u) {
+    clients.emplace_back(params, rng);
+    ASSERT_TRUE(
+        collector.HandleHello(u, EncodeLolohaHello(clients[u].hash())));
+  }
+  EXPECT_EQ(collector.registered_users(), kUsers);
+
+  for (uint32_t u = 0; u < kUsers; ++u) {
+    const uint32_t v = (u % 4 == 0) ? 2u : 9u;
+    const uint32_t cell = clients[u].Report(v, rng);
+    ASSERT_TRUE(collector.HandleReport(u, EncodeLolohaReport(cell)));
+  }
+  const std::vector<double> est = collector.EndStep();
+  ASSERT_EQ(est.size(), 16u);
+  EXPECT_NEAR(est[2], 0.25, 0.04);
+  EXPECT_NEAR(est[9], 0.75, 0.04);
+}
+
+TEST(LolohaCollectorTest, RejectsUnknownUser) {
+  LolohaCollector collector(TestParams());
+  EXPECT_FALSE(collector.HandleReport(99, EncodeLolohaReport(0)));
+  EXPECT_EQ(collector.stats().rejected_unknown_user, 1u);
+}
+
+TEST(LolohaCollectorTest, RejectsMalformedMessages) {
+  LolohaCollector collector(TestParams());
+  EXPECT_FALSE(collector.HandleHello(1, "garbage"));
+  EXPECT_EQ(collector.stats().rejected_malformed, 1u);
+}
+
+TEST(LolohaCollectorTest, RejectsDuplicateReportWithinStep) {
+  const LolohaParams params = TestParams();
+  LolohaCollector collector(params);
+  Rng rng(2);
+  LolohaClient client(params, rng);
+  ASSERT_TRUE(collector.HandleHello(7, EncodeLolohaHello(client.hash())));
+  const std::string report = EncodeLolohaReport(client.Report(3, rng));
+  EXPECT_TRUE(collector.HandleReport(7, report));
+  EXPECT_FALSE(collector.HandleReport(7, report));  // duplicate
+  EXPECT_EQ(collector.stats().rejected_duplicate, 1u);
+  collector.EndStep();
+  EXPECT_TRUE(collector.HandleReport(7, report));  // next step is fine
+}
+
+TEST(LolohaCollectorTest, HelloIsIdempotentButNotReplaceable) {
+  const LolohaParams params = TestParams();
+  LolohaCollector collector(params);
+  Rng rng(3);
+  LolohaClient a(params, rng);
+  LolohaClient b(params, rng);
+  EXPECT_TRUE(collector.HandleHello(1, EncodeLolohaHello(a.hash())));
+  EXPECT_TRUE(collector.HandleHello(1, EncodeLolohaHello(a.hash())));
+  EXPECT_FALSE(collector.HandleHello(1, EncodeLolohaHello(b.hash())));
+  EXPECT_EQ(collector.registered_users(), 1u);
+}
+
+TEST(LolohaCollectorTest, EmptyStepYieldsEmptyEstimates) {
+  LolohaCollector collector(TestParams());
+  EXPECT_TRUE(collector.EndStep().empty());
+}
+
+TEST(DBitFlipCollectorTest, EndToEndThroughWireFormat) {
+  const Bucketizer bucketizer(40, 8);
+  const uint32_t d = 8;
+  const double eps = 3.0;
+  DBitFlipCollector collector(bucketizer, d, eps);
+  Rng rng(4);
+  constexpr uint32_t kUsers = 30000;
+  std::vector<DBitFlipClient> clients;
+  clients.reserve(kUsers);
+  for (uint32_t u = 0; u < kUsers; ++u) {
+    clients.emplace_back(bucketizer, d, eps, rng);
+    ASSERT_TRUE(
+        collector.HandleHello(u, EncodeDBitHello(clients[u].sampled())));
+  }
+  for (uint32_t u = 0; u < kUsers; ++u) {
+    const DBitReport report = clients[u].Report((u % 2) ? 2u : 22u, rng);
+    ASSERT_TRUE(collector.HandleReport(u, EncodeDBitReport(report.bits)));
+  }
+  const std::vector<double> est = collector.EndStep();
+  EXPECT_NEAR(est[0], 0.5, 0.03);
+  EXPECT_NEAR(est[4], 0.5, 0.03);
+}
+
+TEST(DBitFlipCollectorTest, RejectsWrongSampleSize) {
+  const Bucketizer bucketizer(40, 8);
+  DBitFlipCollector collector(bucketizer, 3, 1.0);
+  EXPECT_FALSE(collector.HandleHello(0, EncodeDBitHello({1, 2, 3, 4})));
+  EXPECT_EQ(collector.stats().rejected_malformed, 1u);
+}
+
+TEST(DBitFlipCollectorTest, EstimatesUseOnlyReportersAsN) {
+  // Half the users stay silent in a step; n_j counting must use only the
+  // reporters, keeping the estimator unbiased.
+  const Bucketizer bucketizer(20, 4);
+  const double eps = 4.0;
+  DBitFlipCollector collector(bucketizer, 4, eps);
+  Rng rng(5);
+  constexpr uint32_t kUsers = 40000;
+  std::vector<DBitFlipClient> clients;
+  clients.reserve(kUsers);
+  for (uint32_t u = 0; u < kUsers; ++u) {
+    clients.emplace_back(bucketizer, 4, eps, rng);
+    ASSERT_TRUE(
+        collector.HandleHello(u, EncodeDBitHello(clients[u].sampled())));
+  }
+  for (uint32_t u = 0; u < kUsers; u += 2) {  // evens only report
+    const DBitReport report = clients[u].Report(7, rng);  // bucket 1
+    ASSERT_TRUE(collector.HandleReport(u, EncodeDBitReport(report.bits)));
+  }
+  const std::vector<double> est = collector.EndStep();
+  EXPECT_NEAR(est[1], 1.0, 0.03);
+  EXPECT_NEAR(est[0], 0.0, 0.03);
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,70 @@
+#include "data/dataset.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace loloha {
+namespace {
+
+Dataset SmallDataset() {
+  // 3 users, 4 steps, k = 5.
+  Dataset data("test", 5, 3, 4);
+  const uint32_t seq[3][4] = {{0, 0, 1, 1}, {2, 2, 2, 2}, {3, 4, 3, 4}};
+  for (uint32_t u = 0; u < 3; ++u) {
+    for (uint32_t t = 0; t < 4; ++t) data.set_value(u, t, seq[u][t]);
+  }
+  return data;
+}
+
+TEST(DatasetTest, RoundTripsValues) {
+  const Dataset data = SmallDataset();
+  EXPECT_EQ(data.value(0, 0), 0u);
+  EXPECT_EQ(data.value(0, 2), 1u);
+  EXPECT_EQ(data.value(2, 3), 4u);
+}
+
+TEST(DatasetTest, StepValuesContiguous) {
+  const Dataset data = SmallDataset();
+  EXPECT_EQ(data.StepValues(1), (std::vector<uint32_t>{0, 2, 4}));
+}
+
+TEST(DatasetTest, UserSequence) {
+  const Dataset data = SmallDataset();
+  EXPECT_EQ(data.UserSequence(2), (std::vector<uint32_t>{3, 4, 3, 4}));
+}
+
+TEST(DatasetTest, TrueFrequencies) {
+  const Dataset data = SmallDataset();
+  const std::vector<double> f0 = data.TrueFrequenciesAt(0);
+  EXPECT_DOUBLE_EQ(f0[0], 1.0 / 3);
+  EXPECT_DOUBLE_EQ(f0[2], 1.0 / 3);
+  EXPECT_DOUBLE_EQ(f0[3], 1.0 / 3);
+  EXPECT_DOUBLE_EQ(f0[1], 0.0);
+}
+
+TEST(DatasetTest, AverageChangeRate) {
+  const Dataset data = SmallDataset();
+  // Changes per user across 3 transitions: u0: 1 (0->0,0->1,1->1),
+  // u1: 0, u2: 3. Total 4 of 9.
+  EXPECT_DOUBLE_EQ(data.AverageChangeRate(), 4.0 / 9.0);
+}
+
+TEST(DatasetTest, MeanDistinctValuesPerUser) {
+  const Dataset data = SmallDataset();
+  // u0: {0,1}=2, u1: {2}=1, u2: {3,4}=2 -> mean 5/3.
+  EXPECT_DOUBLE_EQ(data.MeanDistinctValuesPerUser(), 5.0 / 3.0);
+}
+
+TEST(DatasetTest, DistinctValuesGlobal) {
+  const Dataset data = SmallDataset();
+  EXPECT_EQ(data.DistinctValuesGlobal(), 5u);
+}
+
+TEST(DatasetTest, SingleStepChangeRateIsZero) {
+  Dataset data("one", 2, 3, 1);
+  EXPECT_DOUBLE_EQ(data.AverageChangeRate(), 0.0);
+}
+
+}  // namespace
+}  // namespace loloha

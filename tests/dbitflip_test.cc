@@ -1,0 +1,194 @@
+#include "longitudinal/dbitflip.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+TEST(BucketizerTest, EqualWidthMapping) {
+  const Bucketizer bucketizer(100, 10);
+  EXPECT_EQ(bucketizer.Bucket(0), 0u);
+  EXPECT_EQ(bucketizer.Bucket(9), 0u);
+  EXPECT_EQ(bucketizer.Bucket(10), 1u);
+  EXPECT_EQ(bucketizer.Bucket(99), 9u);
+}
+
+TEST(BucketizerTest, IdentityWhenBEqualsK) {
+  const Bucketizer bucketizer(17, 17);
+  for (uint32_t v = 0; v < 17; ++v) EXPECT_EQ(bucketizer.Bucket(v), v);
+}
+
+TEST(BucketizerTest, NonDivisibleDomainCoversAllBuckets) {
+  const Bucketizer bucketizer(97, 10);
+  std::set<uint32_t> seen;
+  for (uint32_t v = 0; v < 97; ++v) {
+    const uint32_t bucket = bucketizer.Bucket(v);
+    EXPECT_LT(bucket, 10u);
+    seen.insert(bucket);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(DBitFlipClientTest, SamplesDistinctIndices) {
+  const Bucketizer bucketizer(100, 20);
+  Rng rng(1);
+  const DBitFlipClient client(bucketizer, 5, 1.0, rng);
+  const std::set<uint32_t> unique(client.sampled().begin(),
+                                  client.sampled().end());
+  EXPECT_EQ(unique.size(), 5u);
+  for (const uint32_t j : unique) EXPECT_LT(j, 20u);
+}
+
+TEST(DBitFlipClientTest, ReportsAreMemoizedVerbatim) {
+  const Bucketizer bucketizer(100, 10);
+  Rng rng(2);
+  DBitFlipClient client(bucketizer, 10, 1.0, rng);
+  const DBitReport first = client.Report(42, rng);
+  for (int i = 0; i < 20; ++i) {
+    // Any value in the same bucket replays the identical bits.
+    EXPECT_EQ(client.Report(45, rng).bits, first.bits);
+  }
+}
+
+TEST(DBitFlipClientTest, DistinctStatesCapped) {
+  const Bucketizer bucketizer(100, 10);
+  Rng rng(3);
+  DBitFlipClient client(bucketizer, 1, 1.0, rng);
+  // March through every bucket; states must cap at min(d+1, b) = 2.
+  for (uint32_t v = 0; v < 100; v += 5) client.Report(v, rng);
+  EXPECT_EQ(client.distinct_buckets(), 10u);
+  EXPECT_LE(client.distinct_states(), 2u);
+}
+
+TEST(DBitFlipClientTest, FullSamplingCountsEveryBucket) {
+  const Bucketizer bucketizer(50, 10);
+  Rng rng(4);
+  DBitFlipClient client(bucketizer, 10, 1.0, rng);
+  for (uint32_t v = 0; v < 50; v += 5) client.Report(v, rng);
+  EXPECT_EQ(client.distinct_states(), 10u);
+}
+
+TEST(DBitFlipEndToEnd, FullSamplingRecoversBucketHistogram) {
+  const uint32_t k = 40;
+  const uint32_t b = 8;
+  const uint32_t d = b;
+  const double eps = 3.0;
+  const Bucketizer bucketizer(k, b);
+  DBitFlipServer server(bucketizer, d, eps);
+  Rng rng(5);
+  constexpr int kUsers = 50000;
+  std::vector<DBitFlipClient> clients;
+  clients.reserve(kUsers);
+  for (int u = 0; u < kUsers; ++u) {
+    clients.emplace_back(bucketizer, d, eps, rng);
+    server.RegisterUser(clients.back().sampled());
+  }
+  server.BeginStep();
+  for (int u = 0; u < kUsers; ++u) {
+    // 50% in bucket 0 (values 0..4), 50% in bucket 4 (values 20..24).
+    const uint32_t v = (u % 2 == 0) ? 2u : 22u;
+    server.Accumulate(clients[u].Report(v, rng));
+  }
+  const std::vector<double> est = server.EstimateStep();
+  EXPECT_NEAR(est[0], 0.5, 0.03);
+  EXPECT_NEAR(est[4], 0.5, 0.03);
+  EXPECT_NEAR(est[2], 0.0, 0.03);
+}
+
+TEST(DBitFlipEndToEnd, SparseSamplingStillUnbiased) {
+  const uint32_t k = 40;
+  const uint32_t b = 8;
+  const uint32_t d = 1;
+  const double eps = 3.0;
+  const Bucketizer bucketizer(k, b);
+  DBitFlipServer server(bucketizer, d, eps);
+  Rng rng(6);
+  constexpr int kUsers = 120000;
+  std::vector<DBitFlipClient> clients;
+  clients.reserve(kUsers);
+  for (int u = 0; u < kUsers; ++u) {
+    clients.emplace_back(bucketizer, d, eps, rng);
+    server.RegisterUser(clients.back().sampled());
+  }
+  server.BeginStep();
+  for (int u = 0; u < kUsers; ++u) {
+    server.Accumulate(clients[u].Report((u % 2 == 0) ? 2u : 22u, rng));
+  }
+  const std::vector<double> est = server.EstimateStep();
+  EXPECT_NEAR(est[0], 0.5, 0.05);
+  EXPECT_NEAR(est[4], 0.5, 0.05);
+}
+
+TEST(DBitFlipPopulationTest, MatchesClientServerPath) {
+  const uint32_t k = 30;
+  const uint32_t b = 6;
+  const uint32_t d = 3;
+  const double eps = 2.0;
+  const uint32_t n = 20000;
+  const Bucketizer bucketizer(k, b);
+  std::vector<uint32_t> values(n);
+  for (uint32_t u = 0; u < n; ++u) values[u] = u % k;
+
+  Rng rng_pop(7);
+  DBitFlipPopulation population(bucketizer, d, eps, n, rng_pop);
+  const std::vector<double> est_pop = population.Step(values, rng_pop);
+
+  Rng rng_cli(8);
+  DBitFlipServer server(bucketizer, d, eps);
+  std::vector<DBitFlipClient> clients;
+  clients.reserve(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    clients.emplace_back(bucketizer, d, eps, rng_cli);
+    server.RegisterUser(clients.back().sampled());
+  }
+  server.BeginStep();
+  for (uint32_t u = 0; u < n; ++u) {
+    server.Accumulate(clients[u].Report(values[u], rng_cli));
+  }
+  const std::vector<double> est_cli = server.EstimateStep();
+
+  // Same mechanism, independent randomness: both must be near the true
+  // uniform bucket histogram 1/6.
+  for (uint32_t j = 0; j < b; ++j) {
+    EXPECT_NEAR(est_pop[j], 1.0 / b, 0.05);
+    EXPECT_NEAR(est_cli[j], 1.0 / b, 0.05);
+  }
+}
+
+TEST(DBitFlipPopulationTest, MemoizationStableAcrossSteps) {
+  // With constant values, the incremental support must not drift: every
+  // step returns the identical estimate (reports are replayed verbatim).
+  const uint32_t k = 20;
+  const uint32_t b = 5;
+  const Bucketizer bucketizer(k, b);
+  const uint32_t n = 1000;
+  Rng rng(9);
+  DBitFlipPopulation population(bucketizer, b, 1.0, n, rng);
+  std::vector<uint32_t> values(n);
+  for (uint32_t u = 0; u < n; ++u) values[u] = u % k;
+  const std::vector<double> first = population.Step(values, rng);
+  for (int t = 0; t < 5; ++t) {
+    EXPECT_EQ(population.Step(values, rng), first);
+  }
+}
+
+TEST(DBitFlipPopulationTest, DistinctStatesTracked) {
+  const uint32_t k = 12;
+  const uint32_t b = 12;
+  const Bucketizer bucketizer(k, b);
+  Rng rng(10);
+  DBitFlipPopulation population(bucketizer, 12, 1.0, 2, rng);
+  population.Step({0, 3}, rng);
+  population.Step({1, 3}, rng);
+  EXPECT_EQ(population.DistinctStates(0), 2u);
+  EXPECT_EQ(population.DistinctStates(1), 1u);
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,112 @@
+// Edge cases and contract enforcement: boundary domains, empty steps,
+// and LOLOHA_CHECK death tests verifying that precondition violations
+// abort rather than corrupt state.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/loloha_params.h"
+#include "longitudinal/chain.h"
+#include "multidim/multidim.h"
+#include "oracle/grr.h"
+#include "oracle/hadamard.h"
+#include "oracle/params.h"
+#include "oracle/subset_selection.h"
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+TEST(EdgeCaseTest, GrrOnBinaryDomainIsClassicRandomizedResponse) {
+  // k = 2 GRR == Warner's randomized response.
+  const PerturbParams params = GrrParams(1.0, 2);
+  EXPECT_NEAR(params.p + params.q, 1.0, 1e-12);
+  GrrClient client(2, 1.0);
+  Rng rng(1);
+  int ones = 0;
+  for (int i = 0; i < 50000; ++i) ones += client.Perturb(1, rng);
+  EXPECT_NEAR(ones / 50000.0, params.p, 0.01);
+}
+
+TEST(EdgeCaseTest, HadamardSingleValueDomain) {
+  // k = 1: K = 2, only column 1 is used. Estimation trivially recovers 1.
+  const HadamardResponseClient client(1, 1.0);
+  EXPECT_EQ(client.matrix_size(), 2u);
+  HadamardResponseServer server(1, 1.0);
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    server.Accumulate(client.Perturb(0, rng));
+  }
+  EXPECT_NEAR(server.Estimate()[0], 1.0, 0.03);
+}
+
+TEST(EdgeCaseTest, SubsetSizeBoundsAtTinyDomains) {
+  EXPECT_EQ(SubsetSize(2, 0.01), 1u);  // w in [1, k-1]
+  EXPECT_EQ(SubsetSize(2, 10.0), 1u);
+}
+
+TEST(EdgeCaseTest, LolohaGEqualsKIsAllowed) {
+  // g need not be smaller than k; with g = k the hash is just a random
+  // relabeling and LOLOHA degenerates gracefully.
+  const LolohaParams params = MakeLolohaParams(8, 8, 2.0, 1.0);
+  EXPECT_EQ(params.g, 8u);
+  EXPECT_GT(params.prr.p, 1.0 / 8.0);  // estimator still invertible
+}
+
+TEST(EdgeCaseTest, MultidimSingleAttributeSampleAlwaysPicksIt) {
+  MultidimConfig config;
+  config.domain_sizes = {6};
+  config.eps_perm = 2.0;
+  config.eps_first = 1.0;
+  config.strategy = MultidimStrategy::kSample;
+  config.g = 2;
+  Rng rng(3);
+  MultidimLolohaClient client(config, rng);
+  ASSERT_TRUE(client.sampled_attribute().has_value());
+  EXPECT_EQ(*client.sampled_attribute(), 0u);
+}
+
+TEST(EdgeCaseTest, MultidimServerEmptyAttributeYieldsEmptyVector) {
+  MultidimConfig config;
+  config.domain_sizes = {4, 4};
+  config.eps_perm = 2.0;
+  config.eps_first = 1.0;
+  config.strategy = MultidimStrategy::kSample;
+  config.g = 2;
+  MultidimLolohaServer server(config);
+  server.BeginStep();
+  // No reports at all: both attributes empty.
+  const auto estimates = server.EstimateStep();
+  EXPECT_TRUE(estimates[0].empty());
+  EXPECT_TRUE(estimates[1].empty());
+}
+
+using EdgeCaseDeathTest = ::testing::Test;
+
+TEST(EdgeCaseDeathTest, ChainRejectsInvertedBudgets) {
+  EXPECT_DEATH(LSueChain(1.0, 2.0), "ε1 < ε∞");
+  EXPECT_DEATH(LolohaIrrEpsilon(1.0, 1.0), "0 < ε1 < ε∞");
+}
+
+TEST(EdgeCaseDeathTest, GrrRejectsDegenerateDomain) {
+  EXPECT_DEATH(GrrParams(1.0, 1), "domain of size >= 2");
+  EXPECT_DEATH(GrrParams(0.0, 4), "epsilon must be positive");
+}
+
+TEST(EdgeCaseDeathTest, LolohaRejectsTinyHashRange) {
+  EXPECT_DEATH(MakeLolohaParams(10, 1, 2.0, 1.0), "at least 2");
+}
+
+TEST(EdgeCaseDeathTest, GrrClientRejectsOutOfDomainValue) {
+  GrrClient client(4, 1.0);
+  Rng rng(4);
+  // Release builds compile LOLOHA_DCHECK out; route through the server
+  // accumulate path, which uses a hard check.
+  GrrServer server(4, 1.0);
+  EXPECT_DEATH(server.Accumulate(7), "report < k_");
+  (void)client;
+}
+
+}  // namespace
+}  // namespace loloha

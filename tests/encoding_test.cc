@@ -1,0 +1,197 @@
+#include "wire/encoding.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+TEST(WireGrrTest, RoundTrip) {
+  const std::string bytes = EncodeGrrReport(42);
+  uint32_t value = 0;
+  ASSERT_TRUE(DecodeGrrReport(bytes, 100, &value));
+  EXPECT_EQ(value, 42u);
+}
+
+TEST(WireGrrTest, RejectsOutOfDomain) {
+  const std::string bytes = EncodeGrrReport(100);
+  uint32_t value = 0;
+  EXPECT_FALSE(DecodeGrrReport(bytes, 100, &value));
+}
+
+TEST(WireGrrTest, RejectsTruncated) {
+  std::string bytes = EncodeGrrReport(5);
+  bytes.pop_back();
+  uint32_t value = 0;
+  EXPECT_FALSE(DecodeGrrReport(bytes, 100, &value));
+}
+
+TEST(WireGrrTest, RejectsTrailingGarbage) {
+  std::string bytes = EncodeGrrReport(5);
+  bytes.push_back('\0');
+  uint32_t value = 0;
+  EXPECT_FALSE(DecodeGrrReport(bytes, 100, &value));
+}
+
+TEST(WireGrrTest, RejectsWrongTag) {
+  std::string bytes = EncodeGrrReport(5);
+  bytes[0] = static_cast<char>(WireType::kUeReport);
+  uint32_t value = 0;
+  EXPECT_FALSE(DecodeGrrReport(bytes, 100, &value));
+}
+
+TEST(WireGrrTest, RejectsWrongVersion) {
+  std::string bytes = EncodeGrrReport(5);
+  bytes[1] = kWireVersion + 1;
+  uint32_t value = 0;
+  EXPECT_FALSE(DecodeGrrReport(bytes, 100, &value));
+}
+
+TEST(WireUeTest, RoundTripVariousLengths) {
+  for (const uint32_t k : {1u, 7u, 8u, 9u, 64u, 96u, 360u}) {
+    std::vector<uint8_t> bits(k);
+    for (uint32_t i = 0; i < k; ++i) bits[i] = (i % 3 == 0) ? 1 : 0;
+    const std::string bytes = EncodeUeReport(bits);
+    std::vector<uint8_t> decoded;
+    ASSERT_TRUE(DecodeUeReport(bytes, k, &decoded)) << "k=" << k;
+    EXPECT_EQ(decoded, bits);
+  }
+}
+
+TEST(WireUeTest, EncodedSizeIsCompact) {
+  const std::vector<uint8_t> bits(360, 1);
+  // 2 header + 4 length + 45 packed bytes.
+  EXPECT_EQ(EncodeUeReport(bits).size(), 51u);
+}
+
+TEST(WireUeTest, RejectsLengthMismatch) {
+  const std::vector<uint8_t> bits(16, 0);
+  const std::string bytes = EncodeUeReport(bits);
+  std::vector<uint8_t> decoded;
+  EXPECT_FALSE(DecodeUeReport(bytes, 17, &decoded));
+}
+
+TEST(WireUeTest, RejectsNonCanonicalPadding) {
+  std::vector<uint8_t> bits(9, 0);
+  std::string bytes = EncodeUeReport(bits);
+  bytes[bytes.size() - 1] = static_cast<char>(0x80);  // pad bit set
+  std::vector<uint8_t> decoded;
+  EXPECT_FALSE(DecodeUeReport(bytes, 9, &decoded));
+}
+
+TEST(WireLhTest, RoundTrip) {
+  Rng rng(1);
+  LhReport report;
+  report.hash = UniversalHash::Sample(8, rng);
+  report.cell = 5;
+  const std::string bytes = EncodeLhReport(report);
+  LhReport decoded;
+  ASSERT_TRUE(DecodeLhReport(bytes, 8, &decoded));
+  EXPECT_TRUE(decoded.hash == report.hash);
+  EXPECT_EQ(decoded.cell, 5u);
+}
+
+TEST(WireLhTest, RejectsRangeMismatchAndBadCoefficients) {
+  Rng rng(2);
+  LhReport report;
+  report.hash = UniversalHash::Sample(8, rng);
+  report.cell = 0;
+  const std::string bytes = EncodeLhReport(report);
+  LhReport decoded;
+  EXPECT_FALSE(DecodeLhReport(bytes, 4, &decoded));
+
+  // Corrupt the `a` coefficient to zero (invalid for the family).
+  std::string corrupt = bytes;
+  for (int i = 2; i < 10; ++i) corrupt[i] = 0;
+  EXPECT_FALSE(DecodeLhReport(corrupt, 8, &decoded));
+}
+
+TEST(WireLolohaTest, HelloRoundTrip) {
+  Rng rng(3);
+  const UniversalHash hash = UniversalHash::Sample(4, rng);
+  UniversalHash decoded;
+  ASSERT_TRUE(DecodeLolohaHello(EncodeLolohaHello(hash), 4, &decoded));
+  EXPECT_TRUE(decoded == hash);
+}
+
+TEST(WireLolohaTest, ReportRoundTripAndRangeCheck) {
+  uint32_t cell = 0;
+  ASSERT_TRUE(DecodeLolohaReport(EncodeLolohaReport(3), 4, &cell));
+  EXPECT_EQ(cell, 3u);
+  EXPECT_FALSE(DecodeLolohaReport(EncodeLolohaReport(4), 4, &cell));
+}
+
+TEST(WireDBitTest, HelloRoundTrip) {
+  const std::vector<uint32_t> sampled = {7, 2, 9};
+  std::vector<uint32_t> decoded;
+  ASSERT_TRUE(DecodeDBitHello(EncodeDBitHello(sampled), 10, 3, &decoded));
+  EXPECT_EQ(decoded, sampled);
+}
+
+TEST(WireDBitTest, HelloRejectsDuplicatesAndOutOfRange) {
+  std::vector<uint32_t> decoded;
+  EXPECT_FALSE(
+      DecodeDBitHello(EncodeDBitHello({1, 1, 2}), 10, 3, &decoded));
+  EXPECT_FALSE(
+      DecodeDBitHello(EncodeDBitHello({1, 10, 2}), 10, 3, &decoded));
+  EXPECT_FALSE(DecodeDBitHello(EncodeDBitHello({1, 2}), 10, 3, &decoded));
+}
+
+TEST(WireDBitTest, ReportRoundTrip) {
+  const std::vector<uint8_t> bits = {1, 0, 1, 1, 0};
+  std::vector<uint8_t> decoded;
+  ASSERT_TRUE(DecodeDBitReport(EncodeDBitReport(bits), 5, &decoded));
+  EXPECT_EQ(decoded, bits);
+}
+
+TEST(WirePeekTest, IdentifiesTypes) {
+  WireType type;
+  ASSERT_TRUE(PeekWireType(EncodeGrrReport(1), &type));
+  EXPECT_EQ(type, WireType::kGrrReport);
+  ASSERT_TRUE(PeekWireType(EncodeLolohaReport(0), &type));
+  EXPECT_EQ(type, WireType::kLolohaReport);
+  EXPECT_FALSE(PeekWireType("", &type));
+  EXPECT_FALSE(PeekWireType("\x63", &type));
+}
+
+TEST(WireFuzzTest, RandomBytesNeverDecode) {
+  // Decoders must reject arbitrary noise (no crash, no acceptance of
+  // out-of-contract data).
+  Rng rng(4);
+  int accepted = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string bytes(rng.UniformInt(40), '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.UniformInt(256));
+    uint32_t v;
+    std::vector<uint8_t> bits;
+    LhReport lh;
+    UniversalHash hash;
+    std::vector<uint32_t> sampled;
+    if (DecodeGrrReport(bytes, 16, &v)) ++accepted;
+    if (DecodeUeReport(bytes, 16, &bits)) ++accepted;
+    if (DecodeLhReport(bytes, 4, &lh)) ++accepted;
+    if (DecodeLolohaHello(bytes, 4, &hash)) ++accepted;
+    if (DecodeLolohaReport(bytes, 4, &v)) ++accepted;
+    if (DecodeDBitHello(bytes, 16, 4, &sampled)) ++accepted;
+    if (DecodeDBitReport(bytes, 16, &bits)) ++accepted;
+  }
+  // A tag+version+payload collision is possible but must be very rare.
+  EXPECT_LT(accepted, 5);
+}
+
+TEST(WireFuzzTest, TruncationsOfValidMessagesNeverDecode) {
+  Rng rng(5);
+  const UniversalHash hash = UniversalHash::Sample(4, rng);
+  const std::string full = EncodeLolohaHello(hash);
+  UniversalHash decoded;
+  for (size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(DecodeLolohaHello(full.substr(0, len), 4, &decoded));
+  }
+}
+
+}  // namespace
+}  // namespace loloha

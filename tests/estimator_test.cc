@@ -1,0 +1,134 @@
+#include "oracle/estimator.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "oracle/params.h"
+#include "util/mathutil.h"
+
+namespace loloha {
+namespace {
+
+TEST(EstimateFrequencyTest, InvertsExpectedCountExactly) {
+  // Analytic unbiasedness: if C = n*(f*p + (1-f)*q), Eq. (1) returns f.
+  const PerturbParams params{0.7, 0.1};
+  const double n = 1e4;
+  for (const double f : {0.0, 0.01, 0.2, 0.5, 1.0}) {
+    const double expected_count = n * (f * params.p + (1.0 - f) * params.q);
+    EXPECT_NEAR(EstimateFrequency(expected_count, n, params), f, 1e-12);
+  }
+}
+
+TEST(EstimateFrequencyTest, ZeroCountGivesNegativeEstimate) {
+  const PerturbParams params{0.7, 0.1};
+  EXPECT_LT(EstimateFrequency(0.0, 100.0, params), 0.0);
+}
+
+TEST(EstimateFrequenciesTest, VectorVersionMatchesScalar) {
+  const PerturbParams params{0.6, 0.2};
+  const std::vector<double> counts = {10, 20, 70};
+  const std::vector<double> est = EstimateFrequencies(counts, 100.0, params);
+  for (size_t v = 0; v < counts.size(); ++v) {
+    EXPECT_DOUBLE_EQ(est[v], EstimateFrequency(counts[v], 100.0, params));
+  }
+}
+
+TEST(CollapseChainTest, MatchesManualComposition) {
+  const PerturbParams first{0.8, 0.2};
+  const PerturbParams second{0.9, 0.3};
+  const PerturbParams collapsed = CollapseChain(first, second);
+  EXPECT_DOUBLE_EQ(collapsed.p, 0.8 * 0.9 + 0.2 * 0.3);
+  EXPECT_DOUBLE_EQ(collapsed.q, 0.2 * 0.9 + 0.8 * 0.3);
+}
+
+TEST(EstimateFrequencyChainedTest, EquivalentToCollapsedOneRound) {
+  const PerturbParams first{0.8, 0.25};
+  const PerturbParams second{0.7, 0.35};
+  const PerturbParams collapsed = CollapseChain(first, second);
+  const double n = 5000.0;
+  for (const double count : {0.0, 123.0, 2500.0, 5000.0}) {
+    EXPECT_LT(RelDiff(EstimateFrequencyChained(count, n, first, second),
+                      EstimateFrequency(count, n, collapsed)),
+              1e-9);
+  }
+}
+
+TEST(EstimateFrequencyChainedTest, InvertsExpectedCountExactly) {
+  const PerturbParams first{0.85, 0.15};
+  const PerturbParams second{0.75, 0.25};
+  const PerturbParams collapsed = CollapseChain(first, second);
+  const double n = 1e5;
+  for (const double f : {0.0, 0.05, 0.3, 1.0}) {
+    const double expected_count =
+        n * (f * collapsed.p + (1.0 - f) * collapsed.q);
+    EXPECT_NEAR(
+        EstimateFrequencyChained(expected_count, n, first, second), f,
+        1e-10);
+  }
+}
+
+TEST(VarianceTest, ApproximateEqualsExactAtZeroFrequency) {
+  const PerturbParams first{0.8, 0.2};
+  const PerturbParams second{0.7, 0.3};
+  EXPECT_DOUBLE_EQ(ApproximateVariance(1000.0, first, second),
+                   ExactVariance(1000.0, 0.0, first, second));
+}
+
+TEST(VarianceTest, ScalesInverselyWithN) {
+  const PerturbParams first{0.8, 0.2};
+  const PerturbParams second{0.7, 0.3};
+  const double v1 = ApproximateVariance(1000.0, first, second);
+  const double v2 = ApproximateVariance(2000.0, first, second);
+  EXPECT_LT(RelDiff(v1 / v2, 2.0), 1e-12);
+}
+
+TEST(VarianceTest, ExactVarianceMaximalNearHalfGamma) {
+  // gamma*(1-gamma) peaks at gamma = 1/2; variance at the f achieving
+  // gamma = 1/2 must dominate the f = 0 and f = 1 variances.
+  const PerturbParams first{0.9, 0.1};
+  const PerturbParams second{0.8, 0.2};
+  const PerturbParams collapsed = CollapseChain(first, second);
+  const double f_half =
+      (0.5 - collapsed.q) / (collapsed.p - collapsed.q);
+  const double v_half = ExactVariance(1000.0, f_half, first, second);
+  EXPECT_GE(v_half, ExactVariance(1000.0, 0.0, first, second));
+  EXPECT_GE(v_half, ExactVariance(1000.0, 1.0, first, second));
+}
+
+TEST(OneRoundVarianceTest, MatchesKnownOueFormula) {
+  // OUE: V* = 4 e^eps / (n (e^eps - 1)^2)  [Wang et al. 2017].
+  for (const double eps : {0.5, 1.0, 2.0, 4.0}) {
+    const double n = 10000.0;
+    const double expected =
+        4.0 * std::exp(eps) / (n * std::pow(std::exp(eps) - 1.0, 2.0));
+    EXPECT_LT(
+        RelDiff(OneRoundVariance(n, 0.0, OueParams(eps)), expected), 1e-10)
+        << "eps=" << eps;
+  }
+}
+
+TEST(OneRoundVarianceTest, MatchesKnownSueFormula) {
+  // SUE: V* = e^{eps/2} / (n (e^{eps/2} - 1)^2).
+  for (const double eps : {0.5, 1.0, 2.0, 4.0}) {
+    const double n = 10000.0;
+    const double e = std::exp(eps / 2.0);
+    const double expected = e / (n * (e - 1.0) * (e - 1.0));
+    EXPECT_LT(
+        RelDiff(OneRoundVariance(n, 0.0, SueParams(eps)), expected), 1e-10);
+  }
+}
+
+TEST(VarianceTest, DegenerateSecondRoundReducesToOneRound) {
+  // With p2 -> 1, q2 -> 0 the chain is just the first round. Use a second
+  // round extremely close to the identity.
+  const PerturbParams first{0.8, 0.2};
+  const PerturbParams identity{1.0 - 1e-12, 1e-12};
+  EXPECT_LT(RelDiff(ExactVariance(500.0, 0.3, first, identity),
+                    OneRoundVariance(500.0, 0.3, first)),
+            1e-6);
+}
+
+}  // namespace
+}  // namespace loloha

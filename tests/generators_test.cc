@@ -1,0 +1,146 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.h"
+
+namespace loloha {
+namespace {
+
+TEST(SynGeneratorTest, DimensionsMatchPaper) {
+  const Dataset data = GenerateSyn(500, 360, 20, 0.25, 1);
+  EXPECT_EQ(data.k(), 360u);
+  EXPECT_EQ(data.n(), 500u);
+  EXPECT_EQ(data.tau(), 20u);
+  EXPECT_EQ(data.name(), "Syn");
+}
+
+TEST(SynGeneratorTest, DeterministicForSeed) {
+  const Dataset a = GenerateSyn(100, 50, 10, 0.25, 7);
+  const Dataset b = GenerateSyn(100, 50, 10, 0.25, 7);
+  for (uint32_t u = 0; u < 100; ++u) {
+    for (uint32_t t = 0; t < 10; ++t) {
+      ASSERT_EQ(a.value(u, t), b.value(u, t));
+    }
+  }
+  const Dataset c = GenerateSyn(100, 50, 10, 0.25, 8);
+  bool any_diff = false;
+  for (uint32_t u = 0; u < 100 && !any_diff; ++u) {
+    for (uint32_t t = 0; t < 10; ++t) {
+      if (a.value(u, t) != c.value(u, t)) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SynGeneratorTest, ChangeRateNearPCh) {
+  // A redraw hits the same value with probability 1/k, so the observed
+  // change rate is p_ch * (1 - 1/k).
+  const Dataset data = GenerateSyn(2000, 360, 40, 0.25, 2);
+  const double expected = 0.25 * (1.0 - 1.0 / 360.0);
+  EXPECT_NEAR(data.AverageChangeRate(), expected, 0.01);
+}
+
+TEST(SynGeneratorTest, MarginalApproximatelyUniform) {
+  const Dataset data = GenerateSyn(20000, 36, 5, 0.25, 3);
+  const std::vector<double> f = data.TrueFrequenciesAt(4);
+  for (const double fv : f) EXPECT_NEAR(fv, 1.0 / 36, 0.01);
+}
+
+TEST(SynGeneratorTest, ZeroChangeProbabilityFreezesValues) {
+  const Dataset data = GenerateSyn(200, 50, 10, 0.0, 4);
+  EXPECT_DOUBLE_EQ(data.AverageChangeRate(), 0.0);
+}
+
+TEST(AdultGeneratorTest, DomainIs96) {
+  const Dataset data = GenerateAdultLike(5000, 10, 5);
+  EXPECT_EQ(data.k(), 96u);
+  EXPECT_EQ(data.name(), "Adult");
+}
+
+TEST(AdultGeneratorTest, GlobalHistogramConstantOverTime) {
+  // The paper permutes the same column every step: per-step histograms
+  // must be identical.
+  const Dataset data = GenerateAdultLike(3000, 6, 6);
+  const std::vector<double> f0 = data.TrueFrequenciesAt(0);
+  for (uint32_t t = 1; t < data.tau(); ++t) {
+    const std::vector<double> ft = data.TrueFrequenciesAt(t);
+    for (uint32_t v = 0; v < data.k(); ++v) {
+      ASSERT_DOUBLE_EQ(ft[v], f0[v]) << "t=" << t << " v=" << v;
+    }
+  }
+}
+
+TEST(AdultGeneratorTest, FortyHourSpikeDominates) {
+  const Dataset data = GenerateAdultLike(30000, 2, 7);
+  const std::vector<double> f = data.TrueFrequenciesAt(0);
+  uint32_t mode = 0;
+  for (uint32_t v = 1; v < 96; ++v) {
+    if (f[v] > f[mode]) mode = v;
+  }
+  EXPECT_EQ(mode, 39u);  // code 39 == 40 hours
+  EXPECT_GT(f[39], 0.25);
+  EXPECT_LT(f[39], 0.60);
+}
+
+TEST(AdultGeneratorTest, UsersChangeAlmostEveryStep) {
+  const Dataset data = GenerateAdultLike(2000, 10, 8);
+  EXPECT_GT(data.AverageChangeRate(), 0.5);
+}
+
+TEST(ReplicateWeightGeneratorTest, DataDrivenDomainNearPaperK) {
+  const Dataset mt = GenerateDbMtPaper(9);
+  EXPECT_EQ(mt.n(), 10336u);
+  EXPECT_EQ(mt.tau(), 80u);
+  // Paper: k = 1412. The synthetic substitution must land in the same
+  // regime (large four-digit domain).
+  EXPECT_GT(mt.k(), 900u);
+  EXPECT_LT(mt.k(), 2200u);
+  EXPECT_EQ(mt.DistinctValuesGlobal(), mt.k());
+}
+
+TEST(ReplicateWeightGeneratorTest, DbDeSmallerThanDbMt) {
+  const Dataset de = GenerateDbDePaper(10);
+  EXPECT_EQ(de.n(), 9123u);
+  EXPECT_GT(de.k(), 800u);
+  EXPECT_LT(de.k(), 2000u);
+  // The paper's ordering: k_MT (1412) > k_DE (1234).
+  const Dataset mt = GenerateDbMtPaper(10);
+  EXPECT_GT(mt.k(), de.k());
+}
+
+TEST(ReplicateWeightGeneratorTest, CountersChangeFrequently) {
+  const Dataset data =
+      GenerateReplicateWeights("w", 500, 20, 0.06, 2, 11);
+  EXPECT_GT(data.AverageChangeRate(), 0.5);
+}
+
+TEST(ReplicateWeightGeneratorTest, PerUserValuesStayNearBase) {
+  // Replicates jitter around a per-user base: a user's distinct-value
+  // footprint must be far below tau*... well below the global domain.
+  const Dataset data =
+      GenerateReplicateWeights("w", 300, 40, 0.06, 2, 12);
+  EXPECT_LT(data.MeanDistinctValuesPerUser(), 40.0);
+  EXPECT_GT(data.MeanDistinctValuesPerUser(), 3.0);
+}
+
+TEST(ZipfGeneratorTest, SkewedMarginal) {
+  const Dataset data = GenerateZipf(20000, 50, 2, 1.2, 0.2, 13);
+  const std::vector<double> f = data.TrueFrequenciesAt(0);
+  EXPECT_GT(f[0], f[10]);
+  EXPECT_GT(f[0], 0.2);
+}
+
+TEST(StaticGeneratorTest, NoChangesEver) {
+  const Dataset data = GenerateStatic(500, 20, 15, 1.0, 14);
+  EXPECT_DOUBLE_EQ(data.AverageChangeRate(), 0.0);
+  EXPECT_DOUBLE_EQ(data.MeanDistinctValuesPerUser(), 1.0);
+}
+
+}  // namespace
+}  // namespace loloha

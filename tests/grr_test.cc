@@ -1,0 +1,120 @@
+#include "oracle/grr.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "oracle/estimator.h"
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+TEST(GrrClientTest, ReportsWithinDomain) {
+  const GrrClient client(10, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(client.Perturb(3, rng), 10u);
+  }
+}
+
+TEST(GrrClientTest, KeepProbabilityMatchesP) {
+  const GrrClient client(16, 2.0);
+  Rng rng(2);
+  constexpr int kTrials = 200000;
+  int kept = 0;
+  for (int i = 0; i < kTrials; ++i) kept += (client.Perturb(5, rng) == 5);
+  const double p = client.params().p;
+  const double sigma = std::sqrt(p * (1 - p) / kTrials);
+  EXPECT_NEAR(kept / static_cast<double>(kTrials), p, 5 * sigma);
+}
+
+TEST(GrrClientTest, NoiseUniformOverOtherValues) {
+  const GrrClient client(5, 1.0);
+  Rng rng(3);
+  constexpr int kTrials = 200000;
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < kTrials; ++i) ++counts[client.Perturb(2, rng)];
+  // All non-true values should receive ~q each.
+  const double q = client.params().q;
+  for (uint32_t v = 0; v < 5; ++v) {
+    if (v == 2) continue;
+    EXPECT_NEAR(counts[v] / static_cast<double>(kTrials), q, 0.005);
+  }
+}
+
+TEST(GrrServerTest, EstimatesSumApproximatelyToOne) {
+  const uint32_t k = 8;
+  const double eps = 1.5;
+  const GrrClient client(k, eps);
+  GrrServer server(k, eps);
+  Rng rng(4);
+  for (int i = 0; i < 50000; ++i) {
+    server.Accumulate(client.Perturb(static_cast<uint32_t>(i % k), rng));
+  }
+  const std::vector<double> est = server.Estimate();
+  double sum = 0.0;
+  for (const double e : est) sum += e;
+  EXPECT_NEAR(sum, 1.0, 1e-9);  // exact: Eq. (1) preserves the total
+}
+
+TEST(GrrServerTest, RecoverssSkewedDistribution) {
+  const uint32_t k = 12;
+  const double eps = 2.0;
+  const GrrClient client(k, eps);
+  GrrServer server(k, eps);
+  Rng rng(5);
+  constexpr int kUsers = 100000;
+  // 70% hold value 0, 30% hold value 7.
+  for (int i = 0; i < kUsers; ++i) {
+    const uint32_t v = (i % 10) < 7 ? 0u : 7u;
+    server.Accumulate(client.Perturb(v, rng));
+  }
+  const std::vector<double> est = server.Estimate();
+  EXPECT_NEAR(est[0], 0.7, 0.02);
+  EXPECT_NEAR(est[7], 0.3, 0.02);
+  for (uint32_t v = 1; v < k; ++v) {
+    if (v == 7) continue;
+    EXPECT_NEAR(est[v], 0.0, 0.02);
+  }
+}
+
+TEST(GrrServerTest, ResetClearsState) {
+  GrrServer server(4, 1.0);
+  server.Accumulate(1);
+  EXPECT_EQ(server.num_reports(), 1u);
+  server.Reset();
+  EXPECT_EQ(server.num_reports(), 0u);
+}
+
+TEST(GrrTest, EmpiricalVarianceMatchesTheory) {
+  // Estimate f(0) repeatedly with f(0) = 0 and compare the spread with
+  // OneRoundVariance.
+  const uint32_t k = 10;
+  const double eps = 1.0;
+  const GrrClient client(k, eps);
+  Rng rng(6);
+  constexpr int kUsers = 2000;
+  constexpr int kRuns = 300;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int r = 0; r < kRuns; ++r) {
+    GrrServer server(k, eps);
+    for (int i = 0; i < kUsers; ++i) {
+      server.Accumulate(client.Perturb(1 + (i % (k - 1)), rng));
+    }
+    const double est = server.Estimate()[0];
+    sum += est;
+    sum_sq += est * est;
+  }
+  const double mean = sum / kRuns;
+  const double var = sum_sq / kRuns - mean * mean;
+  const double expected =
+      OneRoundVariance(kUsers, 0.0, client.params());
+  EXPECT_NEAR(mean, 0.0, 4 * std::sqrt(expected / kRuns));
+  EXPECT_NEAR(var / expected, 1.0, 0.35);  // ~chi^2 tolerance for 300 runs
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,137 @@
+#include "oracle/hadamard.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+TEST(FastWalshHadamardTest, MatchesNaiveTransform) {
+  std::vector<double> data = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<double> naive(8, 0.0);
+  for (uint32_t r = 0; r < 8; ++r) {
+    for (uint32_t c = 0; c < 8; ++c) {
+      naive[c] += data[r] * HadamardSign(r, c);
+    }
+  }
+  FastWalshHadamard(data);
+  for (uint32_t c = 0; c < 8; ++c) {
+    EXPECT_NEAR(data[c], naive[c], 1e-9) << "c=" << c;
+  }
+}
+
+TEST(FastWalshHadamardTest, SelfInverseUpToScale) {
+  std::vector<double> data = {3, -1, 4, 1, -5, 9, 2, -6};
+  const std::vector<double> original = data;
+  FastWalshHadamard(data);
+  FastWalshHadamard(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i], 8.0 * original[i], 1e-9);
+  }
+}
+
+TEST(HadamardSignTest, SylvesterStructure) {
+  // Row 0 and column 0 are all +1; H[1][1] = -1.
+  for (uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(HadamardSign(0, i), 1);
+    EXPECT_EQ(HadamardSign(i, 0), 1);
+  }
+  EXPECT_EQ(HadamardSign(1, 1), -1);
+  // Symmetry.
+  for (uint32_t r = 0; r < 8; ++r) {
+    for (uint32_t c = 0; c < 8; ++c) {
+      EXPECT_EQ(HadamardSign(r, c), HadamardSign(c, r));
+    }
+  }
+}
+
+TEST(HadamardSignTest, ColumnsAreBalanced) {
+  // Every non-zero column has exactly K/2 positive entries.
+  constexpr uint32_t kK = 32;
+  for (uint32_t c = 1; c < kK; ++c) {
+    int positives = 0;
+    for (uint32_t r = 0; r < kK; ++r) {
+      positives += (HadamardSign(r, c) == 1) ? 1 : 0;
+    }
+    EXPECT_EQ(positives, 16) << "c=" << c;
+  }
+}
+
+TEST(HadamardResponseClientTest, MatrixSizeIsPowerOfTwoAboveK) {
+  EXPECT_EQ(HadamardResponseClient(5, 1.0).matrix_size(), 8u);
+  EXPECT_EQ(HadamardResponseClient(7, 1.0).matrix_size(), 8u);
+  EXPECT_EQ(HadamardResponseClient(8, 1.0).matrix_size(), 16u);
+  EXPECT_EQ(HadamardResponseClient(360, 1.0).matrix_size(), 512u);
+}
+
+TEST(HadamardResponseClientTest, AgreementProbabilityIsP) {
+  const HadamardResponseClient client(10, 2.0);
+  Rng rng(1);
+  constexpr int kTrials = 100000;
+  int agree = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    const uint32_t row = client.Perturb(4, rng);
+    agree += (HadamardSign(row, 5) == 1) ? 1 : 0;
+  }
+  EXPECT_NEAR(agree / static_cast<double>(kTrials),
+              client.keep_probability(), 0.006);
+}
+
+TEST(HadamardResponseTest, RecoversSkewedDistribution) {
+  const uint32_t k = 20;
+  const double eps = 2.0;
+  const HadamardResponseClient client(k, eps);
+  HadamardResponseServer server(k, eps);
+  Rng rng(2);
+  constexpr int kUsers = 100000;
+  for (int u = 0; u < kUsers; ++u) {
+    const uint32_t v = (u % 10 < 6) ? 3u : 11u;  // 60% / 40%
+    server.Accumulate(client.Perturb(v, rng));
+  }
+  const std::vector<double> est = server.Estimate();
+  EXPECT_NEAR(est[3], 0.6, 0.02);
+  EXPECT_NEAR(est[11], 0.4, 0.02);
+  EXPECT_NEAR(est[0], 0.0, 0.02);
+  EXPECT_NEAR(est[19], 0.0, 0.02);
+}
+
+TEST(HadamardResponseTest, UnbiasedOnUniformData) {
+  const uint32_t k = 12;
+  const HadamardResponseClient client(k, 1.0);
+  HadamardResponseServer server(k, 1.0);
+  Rng rng(3);
+  constexpr int kUsers = 120000;
+  for (int u = 0; u < kUsers; ++u) {
+    server.Accumulate(client.Perturb(u % k, rng));
+  }
+  const std::vector<double> est = server.Estimate();
+  for (uint32_t v = 0; v < k; ++v) {
+    EXPECT_NEAR(est[v], 1.0 / k, 0.02) << "v=" << v;
+  }
+}
+
+TEST(HadamardResponseTest, ResetClearsState) {
+  HadamardResponseServer server(5, 1.0);
+  server.Accumulate(3);
+  EXPECT_EQ(server.num_reports(), 1u);
+  server.Reset();
+  EXPECT_EQ(server.num_reports(), 0u);
+}
+
+TEST(HadamardResponseTest, CommunicationIsLogK) {
+  // The report is one row index of [0, K): ceil(log2 K) bits — the whole
+  // point of HR vs UE's k bits.
+  const HadamardResponseClient client(1000, 1.0);
+  EXPECT_EQ(client.matrix_size(), 1024u);  // 10-bit reports
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(client.Perturb(999, rng), 1024u);
+  }
+}
+
+}  // namespace
+}  // namespace loloha

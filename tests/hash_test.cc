@@ -1,0 +1,113 @@
+#include "util/hash.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+TEST(UniversalHashTest, RangeRespected) {
+  Rng rng(1);
+  for (const uint32_t g : {2u, 3u, 16u, 150u}) {
+    const UniversalHash hash = UniversalHash::Sample(g, rng);
+    EXPECT_EQ(hash.range(), g);
+    for (uint64_t x = 0; x < 1000; ++x) {
+      EXPECT_LT(hash(x), g);
+    }
+  }
+}
+
+TEST(UniversalHashTest, DeterministicForFixedCoefficients) {
+  const UniversalHash hash(12345, 67890, 7);
+  for (uint64_t x = 0; x < 100; ++x) {
+    EXPECT_EQ(hash(x), hash(x));
+  }
+}
+
+TEST(UniversalHashTest, EqualityComparesCoefficients) {
+  const UniversalHash a(10, 20, 4);
+  const UniversalHash b(10, 20, 4);
+  const UniversalHash c(11, 20, 4);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(UniversalHashTest, PairwiseCollisionRateAtMostOneOverG) {
+  // Universal property (Sec. 3.1): Pr_H[H(v1) = H(v2)] <= 1/g, estimated
+  // over random draws of H for several fixed pairs.
+  Rng rng(42);
+  constexpr int kFamilies = 20000;
+  for (const uint32_t g : {2u, 4u, 10u}) {
+    const std::pair<uint64_t, uint64_t> pairs[] = {
+        {0, 1}, {5, 123456}, {7, 7000000007ULL}};
+    for (const auto& [v1, v2] : pairs) {
+      int collisions = 0;
+      for (int i = 0; i < kFamilies; ++i) {
+        const UniversalHash hash = UniversalHash::Sample(g, rng);
+        collisions += (hash(v1) == hash(v2)) ? 1 : 0;
+      }
+      const double rate = static_cast<double>(collisions) / kFamilies;
+      // Allow ~4 sigma of sampling slack above 1/g.
+      const double bound = 1.0 / g + 4.0 * std::sqrt(1.0 / g / kFamilies);
+      EXPECT_LE(rate, bound) << "g=" << g << " pair=(" << v1 << "," << v2
+                             << ")";
+    }
+  }
+}
+
+TEST(UniversalHashTest, OutputApproximatelyUniform) {
+  Rng rng(7);
+  constexpr uint32_t kG = 8;
+  constexpr int kInputs = 80000;
+  const UniversalHash hash = UniversalHash::Sample(kG, rng);
+  std::vector<int> counts(kG, 0);
+  for (int x = 0; x < kInputs; ++x) ++counts[hash(x)];
+  const double expected = static_cast<double>(kInputs) / kG;
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // df = 7; this is a loose bound — multiply-mod-prime on consecutive
+  // inputs is not perfectly equidistributed but must be close.
+  EXPECT_LT(chi2, 100.0);
+}
+
+TEST(UniversalHashTest, SampleDrawsDistinctFunctions) {
+  Rng rng(3);
+  const UniversalHash a = UniversalHash::Sample(4, rng);
+  const UniversalHash b = UniversalHash::Sample(4, rng);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(UniversalHashTest, LargeInputsReducedModPrime) {
+  // Inputs above the prime must still map into [0, g).
+  const UniversalHash hash(987654321, 123456789, 5);
+  for (const uint64_t x :
+       {UniversalHash::kPrime - 1, UniversalHash::kPrime,
+        UniversalHash::kPrime + 1, ~uint64_t{0}}) {
+    EXPECT_LT(hash(x), 5u);
+  }
+}
+
+TEST(Mix64Test, AvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  constexpr int kTrials = 64;
+  for (int bit = 0; bit < kTrials; ++bit) {
+    const uint64_t a = Mix64(0x123456789abcdefULL);
+    const uint64_t b = Mix64(0x123456789abcdefULL ^ (uint64_t{1} << bit));
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  const double mean_flips = static_cast<double>(total_flips) / kTrials;
+  EXPECT_GT(mean_flips, 24.0);
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+}  // namespace
+}  // namespace loloha

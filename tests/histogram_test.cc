@@ -1,0 +1,97 @@
+#include "util/histogram.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace loloha {
+namespace {
+
+TEST(CountValuesTest, CountsOccurrences) {
+  const std::vector<uint32_t> values = {0, 1, 1, 2, 2, 2};
+  const std::vector<uint64_t> counts = CountValues(values, 4);
+  EXPECT_EQ(counts, (std::vector<uint64_t>{1, 2, 3, 0}));
+}
+
+TEST(NormalizeCountsTest, SumsToOne) {
+  const std::vector<double> freqs = NormalizeCounts({1, 2, 3, 4});
+  double sum = 0.0;
+  for (const double f : freqs) sum += f;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+  EXPECT_DOUBLE_EQ(freqs[0], 0.1);
+  EXPECT_DOUBLE_EQ(freqs[3], 0.4);
+}
+
+TEST(NormalizeCountsTest, AllZeroStaysZero) {
+  const std::vector<double> freqs = NormalizeCounts({0, 0, 0});
+  EXPECT_EQ(freqs, (std::vector<double>{0.0, 0.0, 0.0}));
+}
+
+TEST(TrueFrequenciesTest, MatchesManualHistogram) {
+  const std::vector<uint32_t> values = {3, 3, 0, 1};
+  const std::vector<double> freqs = TrueFrequencies(values, 4);
+  EXPECT_DOUBLE_EQ(freqs[0], 0.25);
+  EXPECT_DOUBLE_EQ(freqs[1], 0.25);
+  EXPECT_DOUBLE_EQ(freqs[2], 0.0);
+  EXPECT_DOUBLE_EQ(freqs[3], 0.5);
+}
+
+TEST(MeanSquaredErrorTest, ZeroForIdenticalVectors) {
+  const std::vector<double> a = {0.1, 0.2, 0.7};
+  EXPECT_DOUBLE_EQ(MeanSquaredError(a, a), 0.0);
+}
+
+TEST(MeanSquaredErrorTest, MatchesHandComputation) {
+  const std::vector<double> a = {0.0, 1.0};
+  const std::vector<double> b = {0.5, 0.5};
+  // ((0.5)^2 + (0.5)^2) / 2 = 0.25
+  EXPECT_DOUBLE_EQ(MeanSquaredError(a, b), 0.25);
+}
+
+TEST(TotalVariationTest, MatchesHandComputation) {
+  const std::vector<double> a = {0.5, 0.5, 0.0};
+  const std::vector<double> b = {0.25, 0.25, 0.5};
+  EXPECT_DOUBLE_EQ(TotalVariation(a, b), 0.5);
+}
+
+TEST(MaxAbsErrorTest, PicksWorstCoordinate) {
+  const std::vector<double> a = {0.1, 0.9, 0.3};
+  const std::vector<double> b = {0.2, 0.5, 0.3};
+  EXPECT_DOUBLE_EQ(MaxAbsError(a, b), 0.4);
+}
+
+TEST(KlDivergenceTest, ZeroForIdenticalDistributions) {
+  const std::vector<double> p = {0.3, 0.7};
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(KlDivergenceTest, PositiveForDifferentDistributions) {
+  const std::vector<double> p = {0.9, 0.1};
+  const std::vector<double> q = {0.5, 0.5};
+  const double expected =
+      0.9 * std::log(0.9 / 0.5) + 0.1 * std::log(0.1 / 0.5);
+  EXPECT_NEAR(KlDivergence(p, q), expected, 1e-12);
+}
+
+TEST(KlDivergenceTest, ClampsZeroTargetCoordinates) {
+  const std::vector<double> p = {1.0, 0.0};
+  const std::vector<double> q = {0.0, 1.0};
+  EXPECT_TRUE(std::isfinite(KlDivergence(p, q)));
+}
+
+TEST(ProjectToSimplexTest, ClipsAndRenormalizes) {
+  const std::vector<double> raw = {-0.1, 0.5, 0.7};
+  const std::vector<double> projected = ProjectToSimplex(raw);
+  EXPECT_DOUBLE_EQ(projected[0], 0.0);
+  EXPECT_NEAR(projected[1] + projected[2], 1.0, 1e-12);
+  EXPECT_NEAR(projected[1] / projected[2], 0.5 / 0.7, 1e-12);
+}
+
+TEST(ProjectToSimplexTest, AllNegativeYieldsZeros) {
+  const std::vector<double> projected = ProjectToSimplex({-1.0, -2.0});
+  EXPECT_EQ(projected, (std::vector<double>{0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,168 @@
+#include "core/inference.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "longitudinal/chain.h"
+#include "longitudinal/lue.h"
+#include "oracle/estimator.h"
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+TEST(InverseNormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(InverseNormalCdf(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(InverseNormalCdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(InverseNormalCdf(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(InverseNormalCdf(0.84134474), 1.0, 1e-5);
+  EXPECT_NEAR(InverseNormalCdf(0.999), 3.090232, 1e-4);
+}
+
+TEST(InverseNormalCdfTest, SymmetricAroundHalf) {
+  for (const double p : {0.6, 0.8, 0.99, 0.9999}) {
+    EXPECT_NEAR(InverseNormalCdf(p), -InverseNormalCdf(1.0 - p), 1e-7);
+  }
+}
+
+TEST(ChainedEstimateCiTest, WidthShrinksWithN) {
+  const PerturbParams first{0.8, 0.2};
+  const PerturbParams second{0.7, 0.3};
+  const ConfidenceInterval small_n =
+      ChainedEstimateCi(0.1, 1000, first, second, 0.95);
+  const ConfidenceInterval big_n =
+      ChainedEstimateCi(0.1, 100000, first, second, 0.95);
+  EXPECT_LT(big_n.width(), small_n.width());
+  EXPECT_TRUE(small_n.Contains(0.1));
+}
+
+TEST(ChainedEstimateCiTest, HigherConfidenceIsWider) {
+  const PerturbParams first{0.8, 0.2};
+  const PerturbParams second{0.7, 0.3};
+  EXPECT_GT(ChainedEstimateCi(0.2, 5000, first, second, 0.99).width(),
+            ChainedEstimateCi(0.2, 5000, first, second, 0.90).width());
+}
+
+TEST(ChainedEstimateCiTest, EmpiricalCoverageNear95Percent) {
+  // Monte-Carlo coverage test: simulate the chained mechanism and count
+  // how often the CI captures the true f.
+  const uint32_t k = 8;
+  const double f_true = 1.0 / k;
+  const ChainedParams chain = LOsueChain(2.0, 1.0);
+  Rng rng(1);
+  constexpr int kRuns = 400;
+  constexpr uint32_t kUsers = 2000;
+  int covered = 0;
+  for (int r = 0; r < kRuns; ++r) {
+    LongitudinalUePopulation population(k, kUsers, chain);
+    std::vector<uint32_t> values(kUsers);
+    for (uint32_t u = 0; u < kUsers; ++u) values[u] = u % k;
+    const double est = population.Step(values, rng)[0];
+    const ConfidenceInterval ci =
+        ChainedEstimateCi(est, kUsers, chain.first, chain.second, 0.95);
+    covered += ci.Contains(f_true) ? 1 : 0;
+  }
+  // 95% +- 4 sigma of binomial(400, .95) ~ +- 4.4%.
+  EXPECT_GT(covered / 400.0, 0.90);
+  EXPECT_LE(covered / 400.0, 1.0);
+}
+
+TEST(OneRoundEstimateCiTest, ContainsPointEstimate) {
+  const ConfidenceInterval ci =
+      OneRoundEstimateCi(0.3, 10000, PerturbParams{0.75, 0.25}, 0.95);
+  EXPECT_TRUE(ci.Contains(0.3));
+  EXPECT_GT(ci.width(), 0.0);
+}
+
+TEST(DetectHeavyHittersTest, FindsTrueHittersOnRealProtocol) {
+  // 3 genuinely heavy values among k = 64, through an actual LOLOHA-style
+  // chained population; everything else should be filtered out at z = 4.
+  const uint32_t k = 64;
+  const ChainedParams chain = LOsueChain(3.0, 1.5);
+  const uint32_t n = 50000;
+  LongitudinalUePopulation population(k, n, chain);
+  std::vector<uint32_t> values(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    values[u] = (u % 2 == 0) ? 5u : ((u % 4 == 1) ? 17u : 40u);
+  }
+  Rng rng(3);
+  const std::vector<double> estimates = population.Step(values, rng);
+  const auto hitters =
+      DetectHeavyHitters(estimates, n, chain.first, chain.second, 4.0);
+  ASSERT_EQ(hitters.size(), 3u);
+  EXPECT_EQ(hitters[0].value, 5u);  // sorted by estimate: 50% first
+  EXPECT_GT(hitters[0].z_score, hitters[1].z_score);
+  const bool has17 = hitters[1].value == 17 || hitters[2].value == 17;
+  const bool has40 = hitters[1].value == 40 || hitters[2].value == 40;
+  EXPECT_TRUE(has17 && has40);
+}
+
+TEST(DetectHeavyHittersTest, EmptyWhenNothingIsHeavy) {
+  const PerturbParams first{0.8, 0.2};
+  const PerturbParams second{0.7, 0.3};
+  // Estimates deep inside the noise floor at n = 100.
+  const std::vector<double> estimates(16, 0.001);
+  EXPECT_TRUE(
+      DetectHeavyHitters(estimates, 100, first, second, 4.0).empty());
+}
+
+TEST(NormSubTest, AlreadyConsistentIsUnchanged) {
+  const std::vector<double> p = {0.25, 0.25, 0.5};
+  const std::vector<double> out = NormSub(p);
+  for (size_t i = 0; i < p.size(); ++i) EXPECT_NEAR(out[i], p[i], 1e-9);
+}
+
+TEST(NormSubTest, ClampsNegativesAndSumsToOne) {
+  const std::vector<double> out = NormSub({-0.1, 0.6, 0.7});
+  double sum = 0.0;
+  for (const double o : out) {
+    EXPECT_GE(o, 0.0);
+    sum += o;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  // The shift is uniform across surviving coordinates.
+  EXPECT_NEAR(out[2] - out[1], 0.1, 1e-6);
+}
+
+TEST(NormSubTest, PreservesOrdering) {
+  const std::vector<double> out = NormSub({0.9, -0.3, 0.5, 0.1});
+  EXPECT_GE(out[0], out[2]);
+  EXPECT_GE(out[2], out[3]);
+  EXPECT_GE(out[3], out[1]);
+}
+
+TEST(NormSubTest, AllNegativeDegeneratesToPointMass) {
+  // With every estimate negative, the common shift must be negative too;
+  // the surviving mass lands on the largest coordinate.
+  const std::vector<double> out = NormSub({-5.0, -9.0});
+  EXPECT_NEAR(out[0], 1.0, 1e-9);
+  EXPECT_NEAR(out[1], 0.0, 1e-9);
+}
+
+TEST(NormSubTest, ReducesMseOnNoisyEstimates) {
+  // Post-processing onto the simplex cannot increase L2 distance to the
+  // true distribution (projection property; Norm-Sub approximates it).
+  Rng rng(2);
+  const std::vector<double> truth = {0.7, 0.2, 0.1, 0.0, 0.0};
+  double raw_mse = 0.0;
+  double processed_mse = 0.0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> noisy(truth.size());
+    for (size_t i = 0; i < truth.size(); ++i) {
+      noisy[i] = truth[i] + 0.15 * (rng.UniformDouble() - 0.5);
+    }
+    const std::vector<double> processed = NormSub(noisy);
+    for (size_t i = 0; i < truth.size(); ++i) {
+      raw_mse += (noisy[i] - truth[i]) * (noisy[i] - truth[i]);
+      processed_mse +=
+          (processed[i] - truth[i]) * (processed[i] - truth[i]);
+    }
+  }
+  EXPECT_LT(processed_mse, raw_mse);
+}
+
+}  // namespace
+}  // namespace loloha

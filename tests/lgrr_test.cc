@@ -1,0 +1,103 @@
+#include "longitudinal/lgrr.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+TEST(LongitudinalGrrClientTest, ReportsWithinDomain) {
+  const uint32_t k = 16;
+  LongitudinalGrrClient client(k, LGrrChain(2.0, 1.0, k));
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(client.Report(static_cast<uint32_t>(i % k), rng), k);
+  }
+}
+
+TEST(LongitudinalGrrClientTest, MemoizesPerDistinctValue) {
+  const uint32_t k = 16;
+  LongitudinalGrrClient client(k, LGrrChain(2.0, 1.0, k));
+  Rng rng(2);
+  client.Report(1, rng);
+  client.Report(1, rng);
+  EXPECT_EQ(client.distinct_memos(), 1u);
+  client.Report(2, rng);
+  client.Report(1, rng);
+  EXPECT_EQ(client.distinct_memos(), 2u);
+}
+
+TEST(LongitudinalGrrClientTest, NoiselessIrrReplaysMemo) {
+  const uint32_t k = 8;
+  ChainedParams chain = LGrrChain(2.0, 1.0, k);
+  chain.second = PerturbParams{1.0 - 1e-15, 1e-15 / (k - 1)};
+  LongitudinalGrrClient client(k, chain);
+  Rng rng(3);
+  const uint32_t first = client.Report(4, rng);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(client.Report(4, rng), first);
+  }
+}
+
+TEST(LongitudinalGrrTest, EndToEndUnbiased) {
+  const uint32_t k = 8;
+  const double eps_perm = 3.0;
+  const double eps_first = 1.5;
+  const ChainedParams chain = LGrrChain(eps_perm, eps_first, k);
+  LongitudinalGrrServer server(k, chain);
+  Rng rng(4);
+  constexpr int kUsers = 60000;
+  std::vector<LongitudinalGrrClient> clients(
+      kUsers, LongitudinalGrrClient(k, chain));
+  server.BeginStep();
+  for (int u = 0; u < kUsers; ++u) {
+    const uint32_t v = (u % 5 < 3) ? 1u : 6u;  // 60% / 40%
+    server.Accumulate(clients[u].Report(v, rng));
+  }
+  const std::vector<double> est = server.EstimateStep();
+  EXPECT_NEAR(est[1], 0.6, 0.03);
+  EXPECT_NEAR(est[6], 0.4, 0.03);
+  EXPECT_NEAR(est[3], 0.0, 0.03);
+}
+
+TEST(LongitudinalGrrTest, EstimatesSumToOneExactly) {
+  // GRR reports are single values, so sum_v C(v) = n and Eq. (3) makes
+  // the estimates sum to exactly 1.
+  const uint32_t k = 6;
+  const ChainedParams chain = LGrrChain(2.0, 1.0, k);
+  LongitudinalGrrServer server(k, chain);
+  Rng rng(5);
+  LongitudinalGrrClient client(k, chain);
+  server.BeginStep();
+  for (int i = 0; i < 1000; ++i) {
+    server.Accumulate(client.Report(static_cast<uint32_t>(i % k), rng));
+  }
+  const std::vector<double> est = server.EstimateStep();
+  double sum = 0.0;
+  for (const double e : est) sum += e;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(LongitudinalGrrTest, MultiStepEstimatesTrackChangingTruth) {
+  const uint32_t k = 4;
+  const ChainedParams chain = LGrrChain(4.0, 2.0, k);
+  LongitudinalGrrServer server(k, chain);
+  Rng rng(6);
+  constexpr int kUsers = 50000;
+  std::vector<LongitudinalGrrClient> clients(
+      kUsers, LongitudinalGrrClient(k, chain));
+  for (uint32_t t = 0; t < 3; ++t) {
+    server.BeginStep();
+    for (int u = 0; u < kUsers; ++u) {
+      server.Accumulate(clients[u].Report(t % k, rng));
+    }
+    const std::vector<double> est = server.EstimateStep();
+    EXPECT_NEAR(est[t % k], 1.0, 0.05) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,107 @@
+#include "oracle/local_hash.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "oracle/estimator.h"
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+TEST(LhClientTest, ReportCellWithinRange) {
+  const LhClient client(100, 4, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const LhReport report = client.Perturb(42, rng);
+    EXPECT_LT(report.cell, 4u);
+    EXPECT_EQ(report.hash.range(), 4u);
+  }
+}
+
+TEST(LhClientTest, PerturbCellKeepProbability) {
+  const LhClient client(100, 8, 2.0);
+  Rng rng(2);
+  constexpr int kTrials = 100000;
+  int kept = 0;
+  for (int i = 0; i < kTrials; ++i) kept += (client.PerturbCell(3, rng) == 3);
+  EXPECT_NEAR(kept / static_cast<double>(kTrials), client.params().p, 0.006);
+}
+
+class LhEndToEnd : public testing::TestWithParam<uint32_t> {};
+
+TEST_P(LhEndToEnd, RecoversDistribution) {
+  const uint32_t g = GetParam();
+  const uint32_t k = 50;
+  const double eps = 2.0;
+  const LhClient client(k, g, eps);
+  LhServer server(k, g, eps);
+  Rng rng(3);
+  constexpr int kUsers = 80000;
+  for (int i = 0; i < kUsers; ++i) {
+    const uint32_t v = (i % 5 == 0) ? 10u : 20u;  // 20% / 80%
+    server.Accumulate(client.Perturb(v, rng));
+  }
+  const std::vector<double> est = server.Estimate();
+  EXPECT_NEAR(est[10], 0.2, 0.03);
+  EXPECT_NEAR(est[20], 0.8, 0.03);
+  EXPECT_NEAR(est[0], 0.0, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, LhEndToEnd, testing::Values(2u, 4u, 8u));
+
+TEST(LhTest, BlhUsesRangeTwo) {
+  const LhClient client = MakeBlhClient(100, 1.0);
+  EXPECT_EQ(client.g(), 2u);
+}
+
+TEST(LhTest, OlhUsesOptimalRange) {
+  const LhClient client = MakeOlhClient(100, 2.0);
+  EXPECT_EQ(client.g(), 8u);  // round(e^2 + 1)
+}
+
+TEST(LhTest, SupportProbabilityOfNonHolderIsOneOverG) {
+  // For a user holding w, the probability that a *different* value v is
+  // supported (H(v) == reported cell) is 1/g under a universal family —
+  // the q of the LH estimator.
+  const uint32_t k = 64;
+  const uint32_t g = 4;
+  const LhClient client(k, g, 2.0);
+  Rng rng(4);
+  constexpr int kTrials = 100000;
+  int support = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    const LhReport report = client.Perturb(/*value=*/7, rng);
+    support += (report.hash(13) == report.cell) ? 1 : 0;
+  }
+  EXPECT_NEAR(support / static_cast<double>(kTrials), 1.0 / g, 0.006);
+}
+
+TEST(LhTest, HolderSupportProbabilityIsP) {
+  const uint32_t k = 64;
+  const uint32_t g = 4;
+  const LhClient client(k, g, 2.0);
+  Rng rng(5);
+  constexpr int kTrials = 100000;
+  int support = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    const LhReport report = client.Perturb(7, rng);
+    support += (report.hash(7) == report.cell) ? 1 : 0;
+  }
+  EXPECT_NEAR(support / static_cast<double>(kTrials), client.params().p,
+              0.006);
+}
+
+TEST(LhServerTest, ResetClearsState) {
+  Rng rng(6);
+  LhServer server(10, 2, 1.0);
+  server.Accumulate(LhClient(10, 2, 1.0).Perturb(0, rng));
+  EXPECT_EQ(server.num_reports(), 1u);
+  server.Reset();
+  EXPECT_EQ(server.num_reports(), 0u);
+}
+
+}  // namespace
+}  // namespace loloha

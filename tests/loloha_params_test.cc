@@ -1,0 +1,155 @@
+#include "core/loloha_params.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "oracle/estimator.h"
+#include "util/mathutil.h"
+
+namespace loloha {
+namespace {
+
+class LolohaParamSweep
+    : public testing::TestWithParam<std::tuple<double, double, uint32_t>> {
+ protected:
+  double eps_perm() const { return std::get<0>(GetParam()); }
+  double eps_first() const {
+    return std::get<0>(GetParam()) * std::get<1>(GetParam());
+  }
+  uint32_t g() const { return std::get<2>(GetParam()); }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LolohaParamSweep,
+    testing::Combine(testing::Values(0.5, 1.0, 2.0, 3.5, 5.0),
+                     testing::Values(0.1, 0.3, 0.5, 0.6),
+                     testing::Values(2u, 3u, 8u, 16u)));
+
+TEST_P(LolohaParamSweep, IrrEpsilonIdentity) {
+  // The defining property of ε_IRR (Thm. 3.4's proof):
+  // e^{ε_IRR} e^{ε∞} + 1 = e^{ε1} (e^{ε_IRR} + e^{ε∞}).
+  const double eps_irr = LolohaIrrEpsilon(eps_perm(), eps_first());
+  const double lhs = std::exp(eps_irr + eps_perm()) + 1.0;
+  const double rhs =
+      std::exp(eps_first()) * (std::exp(eps_irr) + std::exp(eps_perm()));
+  EXPECT_LT(RelDiff(lhs, rhs), 1e-10);
+}
+
+TEST_P(LolohaParamSweep, PairwiseRatioEqualsEps1) {
+  // (p1p2 + q1q2)/(p1q2 + q1p2) = e^{ε1} — Theorem 3.4's bound.
+  const LolohaParams params =
+      MakeLolohaParams(100, g(), eps_perm(), eps_first());
+  const double ratio =
+      (params.prr.p * params.irr.p + params.prr.q * params.irr.q) /
+      (params.prr.p * params.irr.q + params.prr.q * params.irr.p);
+  EXPECT_LT(RelDiff(std::log(ratio), eps_first()), 1e-9);
+}
+
+TEST_P(LolohaParamSweep, ExactFirstReportEpsilonBoundedByEps1) {
+  const LolohaParams params =
+      MakeLolohaParams(100, g(), eps_perm(), eps_first());
+  const double exact = LolohaExactFirstReportEpsilon(params);
+  EXPECT_LE(exact, eps_first() + 1e-9);
+  if (g() == 2) {
+    EXPECT_LT(RelDiff(exact, eps_first()), 1e-9);  // tight at g = 2
+  } else {
+    EXPECT_LT(exact, eps_first());  // strictly more private for g > 2
+  }
+}
+
+TEST_P(LolohaParamSweep, PrrSatisfiesEpsPerm) {
+  const LolohaParams params =
+      MakeLolohaParams(100, g(), eps_perm(), eps_first());
+  EXPECT_LT(RelDiff(params.prr.p / params.prr.q, std::exp(eps_perm())),
+            1e-10);
+}
+
+TEST_P(LolohaParamSweep, WorstCaseBudgetIsGEpsPerm) {
+  const LolohaParams params =
+      MakeLolohaParams(100, g(), eps_perm(), eps_first());
+  EXPECT_DOUBLE_EQ(params.WorstCaseLongitudinalEpsilon(),
+                   g() * eps_perm());
+}
+
+TEST_P(LolohaParamSweep, EstimatorFirstUsesOneOverG) {
+  const LolohaParams params =
+      MakeLolohaParams(100, g(), eps_perm(), eps_first());
+  EXPECT_DOUBLE_EQ(params.EstimatorFirst().q, 1.0 / g());
+  EXPECT_DOUBLE_EQ(params.EstimatorFirst().p, params.prr.p);
+}
+
+class OptimalGSweep
+    : public testing::TestWithParam<std::tuple<double, double>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OptimalGSweep,
+    testing::Combine(testing::Values(0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0,
+                                     4.5, 5.0),
+                     testing::Values(0.1, 0.2, 0.3, 0.4, 0.5, 0.6)));
+
+TEST_P(OptimalGSweep, Eq6MatchesBruteForceArgmin) {
+  const auto [eps_perm, alpha] = GetParam();
+  const double eps_first = alpha * eps_perm;
+  const uint32_t g_eq6 = OptimalLolohaG(eps_perm, eps_first);
+  const uint32_t g_bf = BruteForceOptimalG(eps_perm, eps_first, 1e4);
+  // Eq. (6) comes from a continuous relaxation; allow the rounded result
+  // to deviate by one grid point but demand near-optimal variance.
+  EXPECT_LE(std::abs(static_cast<int>(g_eq6) - static_cast<int>(g_bf)), 1);
+  const double v_eq6 =
+      LolohaApproximateVariance(1e4, g_eq6, eps_perm, eps_first);
+  const double v_bf =
+      LolohaApproximateVariance(1e4, g_bf, eps_perm, eps_first);
+  EXPECT_LE(v_eq6, v_bf * 1.05);
+}
+
+TEST(OptimalGTest, BinaryInHighPrivacyRegimes) {
+  // Fig. 1: for low ε∞ (and low α) the optimum is g = 2.
+  EXPECT_EQ(OptimalLolohaG(0.5, 0.05), 2u);
+  EXPECT_EQ(OptimalLolohaG(1.0, 0.1), 2u);
+  EXPECT_EQ(OptimalLolohaG(0.5, 0.3), 2u);
+}
+
+TEST(OptimalGTest, GrowsInLowPrivacyRegimes) {
+  // Fig. 1: for ε∞ = 5 and α = 0.6 the optimal g exceeds 10.
+  EXPECT_GT(OptimalLolohaG(5.0, 3.0), 10u);
+  // Monotone-ish growth along ε∞ for fixed α = 0.5.
+  EXPECT_LE(OptimalLolohaG(2.0, 1.0), OptimalLolohaG(5.0, 2.5));
+}
+
+TEST(LolohaVarianceTest, MatchesEq5Directly) {
+  const LolohaParams params = MakeLolohaParams(2, 4, 2.0, 1.0);
+  const double v = LolohaApproximateVariance(1000.0, 4, 2.0, 1.0);
+  const double expected =
+      ApproximateVariance(1000.0, params.EstimatorFirst(), params.irr);
+  EXPECT_DOUBLE_EQ(v, expected);
+}
+
+TEST(LolohaMaxErrorBoundTest, MatchesProp36Formula) {
+  const LolohaParams params = MakeLolohaParams(100, 2, 2.0, 1.0);
+  const double n = 10000.0;
+  const double beta = 0.05;
+  const double dp1 = params.prr.p - 0.5;
+  const double dp2 = params.irr.p - params.irr.q;
+  EXPECT_LT(RelDiff(LolohaMaxErrorBound(params, n, beta),
+                    std::sqrt(100.0 / (4.0 * n * beta * dp1 * dp2))),
+            1e-12);
+}
+
+TEST(LolohaMaxErrorBoundTest, TightensWithMoreUsers) {
+  const LolohaParams params = MakeLolohaParams(100, 2, 2.0, 1.0);
+  EXPECT_LT(LolohaMaxErrorBound(params, 20000.0, 0.05),
+            LolohaMaxErrorBound(params, 10000.0, 0.05));
+}
+
+TEST(MakeLolohaParamsTest, BiAndOptimalFactories) {
+  const LolohaParams bi = MakeBiLolohaParams(50, 2.0, 1.0);
+  EXPECT_EQ(bi.g, 2u);
+  const LolohaParams opt = MakeOLolohaParams(50, 5.0, 3.0);
+  EXPECT_EQ(opt.g, OptimalLolohaG(5.0, 3.0));
+  EXPECT_EQ(opt.k, 50u);
+}
+
+}  // namespace
+}  // namespace loloha

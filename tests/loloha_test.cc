@@ -1,0 +1,167 @@
+#include "core/loloha.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/loloha_params.h"
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+LolohaParams TestParams(uint32_t k = 32, uint32_t g = 4) {
+  return MakeLolohaParams(k, g, 2.0, 1.0);
+}
+
+TEST(LolohaClientTest, ReportsWithinHashRange) {
+  Rng rng(1);
+  LolohaClient client(TestParams(), rng);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(client.Report(static_cast<uint32_t>(i % 32), rng), 4u);
+  }
+}
+
+TEST(LolohaClientTest, MemoizesPerHashCellNotPerValue) {
+  Rng rng(2);
+  const LolohaParams params = TestParams(/*k=*/1000, /*g=*/2);
+  LolohaClient client(params, rng);
+  // Visit many distinct values: memos are bounded by g = 2.
+  for (uint32_t v = 0; v < 1000; v += 7) client.Report(v, rng);
+  EXPECT_LE(client.distinct_memos(), 2u);
+  EXPECT_GE(client.distinct_memos(), 1u);
+}
+
+TEST(LolohaClientTest, NoiselessPipelineReplaysMemoizedCell) {
+  Rng rng(3);
+  LolohaParams params = TestParams();
+  // Make PRR and IRR near-deterministic keeps.
+  params.prr = PerturbParams{1.0 - 1e-15, 1e-15};
+  params.irr = PerturbParams{1.0 - 1e-15, 1e-15};
+  LolohaClient client(params, rng);
+  const uint32_t report = client.Report(5, rng);
+  EXPECT_EQ(report, client.hash()(5));
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(client.Report(5, rng), report);
+}
+
+TEST(LolohaClientTest, CollidingValuesShareTheMemo) {
+  Rng rng(4);
+  LolohaParams params = TestParams(/*k=*/64, /*g=*/2);
+  params.irr = PerturbParams{1.0 - 1e-15, 1e-15};  // quiet IRR
+  LolohaClient client(params, rng);
+  // Find two values with the same hash cell.
+  uint32_t v1 = 0;
+  uint32_t v2 = 1;
+  bool found = false;
+  for (uint32_t a = 0; a < 64 && !found; ++a) {
+    for (uint32_t b = a + 1; b < 64 && !found; ++b) {
+      if (client.hash()(a) == client.hash()(b)) {
+        v1 = a;
+        v2 = b;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+  const uint32_t r1 = client.Report(v1, rng);
+  EXPECT_EQ(client.Report(v2, rng), r1);
+  EXPECT_EQ(client.distinct_memos(), 1u);
+}
+
+TEST(LolohaServerTest, EndToEndUnbiased) {
+  Rng rng(5);
+  const LolohaParams params = MakeLolohaParams(24, 4, 3.0, 1.5);
+  constexpr int kUsers = 60000;
+  std::vector<LolohaClient> clients;
+  clients.reserve(kUsers);
+  for (int u = 0; u < kUsers; ++u) clients.emplace_back(params, rng);
+  LolohaServer server(params);
+  server.BeginStep();
+  for (int u = 0; u < kUsers; ++u) {
+    const uint32_t v = (u % 4 == 0) ? 3u : 17u;  // 25% / 75%
+    server.Accumulate(clients[u].hash(), clients[u].Report(v, rng));
+  }
+  const std::vector<double> est = server.EstimateStep();
+  EXPECT_NEAR(est[3], 0.25, 0.03);
+  EXPECT_NEAR(est[17], 0.75, 0.03);
+  EXPECT_NEAR(est[10], 0.0, 0.03);
+}
+
+TEST(LolohaPopulationTest, MatchesClientServerPath) {
+  const LolohaParams params = MakeLolohaParams(16, 2, 2.0, 1.0);
+  const uint32_t n = 30000;
+  std::vector<uint32_t> values(n);
+  for (uint32_t u = 0; u < n; ++u) values[u] = u % 16;
+
+  Rng rng_pop(6);
+  LolohaPopulation population(params, n, rng_pop);
+  const std::vector<double> est_pop = population.Step(values, rng_pop);
+
+  Rng rng_cli(7);
+  std::vector<LolohaClient> clients;
+  clients.reserve(n);
+  for (uint32_t u = 0; u < n; ++u) clients.emplace_back(params, rng_cli);
+  LolohaServer server(params);
+  server.BeginStep();
+  for (uint32_t u = 0; u < n; ++u) {
+    server.Accumulate(clients[u].hash(), clients[u].Report(values[u], rng_cli));
+  }
+  const std::vector<double> est_cli = server.EstimateStep();
+
+  for (uint32_t v = 0; v < 16; ++v) {
+    EXPECT_NEAR(est_pop[v], 1.0 / 16, 0.04);
+    EXPECT_NEAR(est_cli[v], 1.0 / 16, 0.04);
+  }
+}
+
+TEST(LolohaPopulationTest, MemoBoundedByG) {
+  Rng rng(8);
+  const LolohaParams params = MakeLolohaParams(500, 3, 2.0, 1.0);
+  const uint32_t n = 50;
+  LolohaPopulation population(params, n, rng);
+  std::vector<uint32_t> values(n);
+  for (uint32_t t = 0; t < 40; ++t) {
+    for (uint32_t u = 0; u < n; ++u) {
+      values[u] = static_cast<uint32_t>(rng.UniformInt(500));
+    }
+    population.Step(values, rng);
+  }
+  for (uint32_t u = 0; u < n; ++u) {
+    EXPECT_LE(population.DistinctMemos(u), 3u);
+    EXPECT_GE(population.DistinctMemos(u), 1u);
+  }
+}
+
+TEST(LolohaPopulationTest, EstimatesSumApproximatelyToOne) {
+  // Support counts satisfy sum_v C(v) = sum_u |H_u^{-1}(x_u)|, which is k/g
+  // per user only in expectation, so the estimate total is ~1 with a
+  // standard deviation of ~0.1 at this configuration; use a 4-sigma band.
+  Rng rng(9);
+  const LolohaParams params = MakeLolohaParams(60, 4, 2.0, 1.0);
+  const uint32_t n = 30000;
+  LolohaPopulation population(params, n, rng);
+  std::vector<uint32_t> values(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    values[u] = static_cast<uint32_t>(rng.UniformInt(60));
+  }
+  const std::vector<double> est = population.Step(values, rng);
+  double sum = 0.0;
+  for (const double e : est) sum += e;
+  EXPECT_NEAR(sum, 1.0, 0.4);
+}
+
+TEST(LolohaTest, BiLolohaTracksMovingPointMass) {
+  Rng rng(10);
+  const LolohaParams params = MakeBiLolohaParams(10, 4.0, 2.0);
+  const uint32_t n = 60000;
+  LolohaPopulation population(params, n, rng);
+  for (uint32_t t = 0; t < 3; ++t) {
+    const std::vector<uint32_t> values(n, t);  // everyone holds value t
+    const std::vector<double> est = population.Step(values, rng);
+    EXPECT_NEAR(est[t], 1.0, 0.05) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,164 @@
+#include "longitudinal/lue.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "oracle/estimator.h"
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+ChainedParams TestChain() { return LOsueChain(2.0, 1.0); }
+
+TEST(LongitudinalUeClientTest, ReportHasDomainLength) {
+  LongitudinalUeClient client(12, TestChain());
+  Rng rng(1);
+  EXPECT_EQ(client.Report(3, rng).size(), 12u);
+}
+
+TEST(LongitudinalUeClientTest, MemoizesPerDistinctValue) {
+  LongitudinalUeClient client(12, TestChain());
+  Rng rng(2);
+  EXPECT_EQ(client.distinct_memos(), 0u);
+  client.Report(3, rng);
+  EXPECT_EQ(client.distinct_memos(), 1u);
+  client.Report(3, rng);
+  EXPECT_EQ(client.distinct_memos(), 1u);  // reuse, no new PRR
+  client.Report(7, rng);
+  EXPECT_EQ(client.distinct_memos(), 2u);
+  client.Report(3, rng);
+  EXPECT_EQ(client.distinct_memos(), 2u);  // revisit reuses old memo
+}
+
+TEST(LongitudinalUeClientTest, RepeatedReportsShareTheMemoizedBasis) {
+  // With a noiseless IRR, repeated reports of the same value must be
+  // byte-identical — that is the memoization guarantee.
+  ChainedParams chain = TestChain();
+  chain.second = PerturbParams{1.0 - 1e-15, 1e-15};
+  LongitudinalUeClient client(16, chain);
+  Rng rng(3);
+  const std::vector<uint8_t> first = client.Report(5, rng);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(client.Report(5, rng), first);
+  }
+}
+
+TEST(LongitudinalUeServerTest, UnbiasedOnStaticPopulation) {
+  const uint32_t k = 10;
+  const ChainedParams chain = LOsueChain(3.0, 1.5);
+  LongitudinalUeServer server(k, chain);
+  Rng rng(4);
+  constexpr int kUsers = 40000;
+  std::vector<LongitudinalUeClient> clients(
+      kUsers, LongitudinalUeClient(k, chain));
+  server.BeginStep();
+  for (int u = 0; u < kUsers; ++u) {
+    const uint32_t v = (u % 4 == 0) ? 2u : 8u;  // 25% / 75%
+    server.Accumulate(clients[u].Report(v, rng));
+  }
+  const std::vector<double> est = server.EstimateStep();
+  EXPECT_NEAR(est[2], 0.25, 0.03);
+  EXPECT_NEAR(est[8], 0.75, 0.03);
+  EXPECT_NEAR(est[5], 0.0, 0.03);
+}
+
+TEST(LongitudinalUePopulationTest, MatchesClientPathDistribution) {
+  // The population simulator must agree with the per-user client/server
+  // path in distribution: compare means of f_hat(0) over repeated runs.
+  const uint32_t k = 6;
+  const uint32_t n = 3000;
+  const ChainedParams chain = LSueChain(2.0, 1.0);
+  std::vector<uint32_t> values(n);
+  for (uint32_t u = 0; u < n; ++u) values[u] = u % k;  // uniform
+
+  constexpr int kRuns = 40;
+  double pop_mean = 0.0;
+  double client_mean = 0.0;
+  double pop_m2 = 0.0;
+  for (int r = 0; r < kRuns; ++r) {
+    Rng rng_pop(1000 + r);
+    LongitudinalUePopulation population(k, n, chain);
+    const double est_pop = population.Step(values, rng_pop)[0];
+    pop_mean += est_pop;
+    pop_m2 += est_pop * est_pop;
+
+    Rng rng_cli(2000 + r);
+    LongitudinalUeServer server(k, chain);
+    server.BeginStep();
+    for (uint32_t u = 0; u < n; ++u) {
+      LongitudinalUeClient client(k, chain);
+      server.Accumulate(client.Report(values[u], rng_cli));
+    }
+    client_mean += server.EstimateStep()[0];
+  }
+  pop_mean /= kRuns;
+  client_mean /= kRuns;
+  const double pop_var = pop_m2 / kRuns - pop_mean * pop_mean;
+  const double sigma = std::sqrt(2.0 * pop_var / kRuns);
+  EXPECT_NEAR(pop_mean, client_mean, 5 * sigma + 1e-9);
+  EXPECT_NEAR(pop_mean, 1.0 / k, 5 * std::sqrt(pop_var / kRuns) + 1e-9);
+}
+
+TEST(LongitudinalUePopulationTest, EstimatesSumToOne) {
+  // Eq. (3) preserves totals: sum_v f_hat(v) = 1 identically for UE
+  // protocols is NOT guaranteed (bits are independent), but the expected
+  // sum is 1; check it is close.
+  const uint32_t k = 20;
+  const uint32_t n = 20000;
+  const ChainedParams chain = LOsueChain(2.0, 1.0);
+  LongitudinalUePopulation population(k, n, chain);
+  std::vector<uint32_t> values(n);
+  Rng rng(5);
+  for (uint32_t u = 0; u < n; ++u) {
+    values[u] = static_cast<uint32_t>(rng.UniformInt(k));
+  }
+  const std::vector<double> est = population.Step(values, rng);
+  double sum = 0.0;
+  for (const double e : est) sum += e;
+  EXPECT_NEAR(sum, 1.0, 0.2);
+}
+
+TEST(LongitudinalUePopulationTest, TracksDistinctMemosPerUser) {
+  const uint32_t k = 8;
+  const uint32_t n = 4;
+  LongitudinalUePopulation population(k, n, TestChain());
+  Rng rng(6);
+  population.Step({0, 1, 2, 3}, rng);
+  population.Step({0, 1, 2, 4}, rng);  // only user 3 changes
+  population.Step({0, 1, 2, 3}, rng);  // user 3 revisits: no new memo
+  EXPECT_EQ(population.DistinctMemos(0), 1u);
+  EXPECT_EQ(population.DistinctMemos(3), 2u);
+}
+
+TEST(LongitudinalUePopulationTest, UnbiasedUnderChanges) {
+  // Users change values every step; per-step estimates must still track
+  // the moving truth (memoization does not bias the estimator).
+  const uint32_t k = 5;
+  const uint32_t n = 30000;
+  const ChainedParams chain = LOsueChain(3.0, 1.2);
+  LongitudinalUePopulation population(k, n, chain);
+  Rng rng(7);
+  for (int t = 0; t < 3; ++t) {
+    std::vector<uint32_t> values(n);
+    // At step t, everyone holds value t (extreme point mass).
+    for (uint32_t u = 0; u < n; ++u) values[u] = t;
+    const std::vector<double> est = population.Step(values, rng);
+    EXPECT_NEAR(est[t], 1.0, 0.05) << "t=" << t;
+    EXPECT_NEAR(est[(t + 1) % k], 0.0, 0.05);
+  }
+}
+
+TEST(LueChainTest, VariantDispatch) {
+  EXPECT_STREQ(LueVariantName(LueVariant::kLSue), "RAPPOR");
+  EXPECT_STREQ(LueVariantName(LueVariant::kLOsue), "L-OSUE");
+  const ChainedParams sue = LueChain(LueVariant::kLSue, 2.0, 1.0);
+  EXPECT_NEAR(sue.first.p + sue.first.q, 1.0, 1e-12);
+  const ChainedParams osue = LueChain(LueVariant::kLOsue, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(osue.first.p, 0.5);
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,61 @@
+#include "util/mathutil.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace loloha {
+namespace {
+
+TEST(RoundToNearestTest, Basics) {
+  EXPECT_EQ(RoundToNearest(0.0), 0);
+  EXPECT_EQ(RoundToNearest(1.4), 1);
+  EXPECT_EQ(RoundToNearest(1.5), 2);
+  EXPECT_EQ(RoundToNearest(2.5), 3);  // halves away from zero
+  EXPECT_EQ(RoundToNearest(-1.5), -2);
+  EXPECT_EQ(RoundToNearest(-1.4), -1);
+}
+
+TEST(KahanSumTest, ExactForSmallSets) {
+  KahanSum sum;
+  sum.Add(1.0);
+  sum.Add(2.0);
+  sum.Add(3.0);
+  EXPECT_DOUBLE_EQ(sum.value(), 6.0);
+}
+
+TEST(KahanSumTest, CompensatesCancellation) {
+  // Summing 1e16 + many tiny values loses the tiny values under naive
+  // accumulation but not under Kahan.
+  KahanSum sum;
+  sum.Add(1e16);
+  for (int i = 0; i < 10000; ++i) sum.Add(1.0);
+  sum.Add(-1e16);
+  EXPECT_DOUBLE_EQ(sum.value(), 10000.0);
+}
+
+TEST(BisectIncreasingTest, FindsRootOfMonotoneFunction) {
+  const double x = BisectIncreasing(
+      [](double v) { return v * v * v; }, 8.0, 0.0, 10.0);
+  EXPECT_NEAR(x, 2.0, 1e-9);
+}
+
+TEST(BisectIncreasingTest, FindsExponentialInverse) {
+  const double x = BisectIncreasing(
+      [](double v) { return std::exp(v); }, 10.0, -5.0, 5.0);
+  EXPECT_NEAR(x, std::log(10.0), 1e-9);
+}
+
+TEST(RelDiffTest, SymmetricAndScaled) {
+  EXPECT_DOUBLE_EQ(RelDiff(1.0, 1.0), 0.0);
+  EXPECT_NEAR(RelDiff(100.0, 101.0), 1.0 / 101.0, 1e-12);
+  EXPECT_DOUBLE_EQ(RelDiff(2.0, 1.0), RelDiff(1.0, 2.0));
+}
+
+TEST(RelDiffTest, HandlesZeros) {
+  EXPECT_DOUBLE_EQ(RelDiff(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelDiff(0.0, 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace loloha

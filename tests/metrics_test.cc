@@ -1,0 +1,65 @@
+#include "sim/metrics.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace loloha {
+namespace {
+
+Dataset TinyDataset() {
+  Dataset data("tiny", 2, 4, 2);
+  // t = 0: values {0,0,1,1} -> f = (0.5, 0.5)
+  // t = 1: values {0,0,0,1} -> f = (0.75, 0.25)
+  const uint32_t v0[] = {0, 0, 1, 1};
+  const uint32_t v1[] = {0, 0, 0, 1};
+  for (uint32_t u = 0; u < 4; ++u) {
+    data.set_value(u, 0, v0[u]);
+    data.set_value(u, 1, v1[u]);
+  }
+  return data;
+}
+
+TEST(MseAvgTest, ZeroForPerfectEstimates) {
+  const Dataset data = TinyDataset();
+  const std::vector<std::vector<double>> perfect = {{0.5, 0.5},
+                                                    {0.75, 0.25}};
+  EXPECT_DOUBLE_EQ(MseAvg(data, perfect), 0.0);
+}
+
+TEST(MseAvgTest, MatchesHandComputation) {
+  const Dataset data = TinyDataset();
+  const std::vector<std::vector<double>> est = {{0.6, 0.4}, {0.75, 0.25}};
+  // t0: ((0.1)^2 + (0.1)^2)/2 = 0.01; t1: 0. Average: 0.005.
+  EXPECT_NEAR(MseAvg(data, est), 0.005, 1e-12);
+}
+
+TEST(MseSeriesTest, PerStepValues) {
+  const Dataset data = TinyDataset();
+  const std::vector<std::vector<double>> est = {{0.5, 0.5}, {0.5, 0.5}};
+  const std::vector<double> series = MseSeries(data, est);
+  EXPECT_DOUBLE_EQ(series[0], 0.0);
+  EXPECT_NEAR(series[1], 0.0625, 1e-12);  // ((0.25)^2+(0.25)^2)/2
+}
+
+TEST(MseAvgBucketedTest, BucketTruthAggregation) {
+  // k = 4 -> b = 2 buckets: values {0,1} -> bucket 0, {2,3} -> bucket 1.
+  Dataset data("b", 4, 4, 1);
+  data.set_value(0, 0, 0);
+  data.set_value(1, 0, 1);
+  data.set_value(2, 0, 2);
+  data.set_value(3, 0, 3);
+  const Bucketizer bucketizer(4, 2);
+  // Bucket truth: (0.5, 0.5); estimate (0.4, 0.6) -> MSE = 0.01.
+  EXPECT_NEAR(MseAvgBucketed(data, bucketizer, {{0.4, 0.6}}), 0.01, 1e-12);
+}
+
+TEST(EpsAvgTest, Mean) {
+  EXPECT_DOUBLE_EQ(EpsAvg({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(EpsAvg({5.0}), 5.0);
+}
+
+}  // namespace
+}  // namespace loloha

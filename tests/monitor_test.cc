@@ -1,0 +1,115 @@
+#include "server/monitor.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/loloha.h"
+#include "core/loloha_params.h"
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+PerturbParams First() { return PerturbParams{0.8, 0.25}; }
+PerturbParams Second() { return PerturbParams{0.7, 0.3}; }
+
+TEST(TrendMonitorTest, FirstStepOnlyInitializes) {
+  TrendMonitor monitor(3, 1000.0, First(), Second(), 0.5, 3.0);
+  const std::vector<double> step0 = {0.5, 0.3, 0.2};
+  EXPECT_TRUE(monitor.Observe(step0).empty());
+  EXPECT_EQ(monitor.baseline(), step0);
+  EXPECT_EQ(monitor.steps_observed(), 1u);
+}
+
+TEST(TrendMonitorTest, StableSeriesTriggersNothing) {
+  TrendMonitor monitor(3, 1000.0, First(), Second(), 0.5, 4.0);
+  monitor.Observe({0.5, 0.3, 0.2});
+  for (int t = 0; t < 10; ++t) {
+    EXPECT_TRUE(monitor.Observe({0.5, 0.3, 0.2}).empty());
+  }
+}
+
+TEST(TrendMonitorTest, LargeJumpTriggersAlert) {
+  TrendMonitor monitor(3, 100000.0, First(), Second(), 0.5, 4.0);
+  monitor.Observe({0.5, 0.3, 0.2});
+  const auto alerts = monitor.Observe({0.1, 0.7, 0.2});
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(alerts[0].value, 0u);
+  EXPECT_LT(alerts[0].z_score, 0.0);
+  EXPECT_EQ(alerts[1].value, 1u);
+  EXPECT_GT(alerts[1].z_score, 0.0);
+}
+
+TEST(TrendMonitorTest, SmallerNMeansWiderNoiseFloor) {
+  TrendMonitor tight(2, 100000.0, First(), Second(), 0.5, 4.0);
+  TrendMonitor loose(2, 100.0, First(), Second(), 0.5, 4.0);
+  EXPECT_LT(tight.NoiseStdDev(0.3), loose.NoiseStdDev(0.3));
+}
+
+TEST(TrendMonitorTest, BaselineTracksDriftViaEwma) {
+  TrendMonitor monitor(1, 1000.0, First(), Second(), 0.5, 1000.0);
+  monitor.Observe({0.0});
+  monitor.Observe({1.0});
+  EXPECT_DOUBLE_EQ(monitor.baseline()[0], 0.5);
+  monitor.Observe({1.0});
+  EXPECT_DOUBLE_EQ(monitor.baseline()[0], 0.75);
+}
+
+TEST(TrendMonitorTest, OneRoundConstructorUsesOneRoundNoise) {
+  const PerturbParams params{0.75, 0.25};
+  TrendMonitor monitor(2, 5000.0, params, 0.5, 4.0);
+  // sigma^2 = gamma(1-gamma) / (n (p-q)^2) with gamma at f = 0.2.
+  const double gamma = 0.2 * 0.5 + 0.25;
+  const double expected =
+      std::sqrt(gamma * (1 - gamma) / (5000.0 * 0.25));
+  EXPECT_NEAR(monitor.NoiseStdDev(0.2), expected, 1e-6);
+}
+
+TEST(TrendMonitorTest, FalsePositiveRateControlledOnRealProtocol) {
+  // Feed genuine LOLOHA estimates of a STATIC population; at z = 5 the
+  // monitor should essentially never alert across k * steps checks.
+  const LolohaParams params = MakeLolohaParams(24, 2, 2.0, 1.0);
+  const uint32_t n = 20000;
+  Rng rng(1);
+  LolohaPopulation population(params, n, rng);
+  std::vector<uint32_t> values(n);
+  for (uint32_t u = 0; u < n; ++u) values[u] = u % 24;
+
+  TrendMonitor monitor(24, n, params.EstimatorFirst(), params.irr, 0.3,
+                       5.0);
+  size_t alerts = 0;
+  for (int t = 0; t < 12; ++t) {
+    alerts += monitor.Observe(population.Step(values, rng)).size();
+  }
+  EXPECT_EQ(alerts, 0u);
+}
+
+TEST(TrendMonitorTest, DetectsRealPopulationShift) {
+  const LolohaParams params = MakeLolohaParams(8, 2, 3.0, 1.5);
+  const uint32_t n = 50000;
+  Rng rng(2);
+  LolohaPopulation population(params, n, rng);
+
+  TrendMonitor monitor(8, n, params.EstimatorFirst(), params.irr, 0.5,
+                       4.0);
+  std::vector<uint32_t> values(n, 1u);  // everyone on value 1
+  for (int t = 0; t < 4; ++t) {
+    monitor.Observe(population.Step(values, rng));
+  }
+  // Half the population moves to value 6.
+  for (uint32_t u = 0; u < n / 2; ++u) values[u] = 6u;
+  const auto alerts = monitor.Observe(population.Step(values, rng));
+  bool saw_drop_on_1 = false;
+  bool saw_rise_on_6 = false;
+  for (const TrendAlert& alert : alerts) {
+    if (alert.value == 1 && alert.z_score < 0) saw_drop_on_1 = true;
+    if (alert.value == 6 && alert.z_score > 0) saw_rise_on_6 = true;
+  }
+  EXPECT_TRUE(saw_drop_on_1);
+  EXPECT_TRUE(saw_rise_on_6);
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,228 @@
+// Cross-oracle consistency: all one-shot frequency oracles must estimate
+// the same distribution, and their empirical accuracy ordering must match
+// the theory of Wang et al. (USENIX Sec'17) that Sec. 2.3 builds on.
+
+#include <cmath>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "oracle/estimator.h"
+#include "oracle/grr.h"
+#include "oracle/hadamard.h"
+#include "oracle/local_hash.h"
+#include "oracle/subset_selection.h"
+#include "oracle/unary.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+// Runs `n` users with 40%/40%/20% mass on values {1, 5, 9} through an
+// oracle and returns the estimate vector.
+template <typename PerturbAndAccumulate>
+std::vector<double> RunOracle(uint32_t n, Rng& rng,
+                              PerturbAndAccumulate&& run) {
+  for (uint32_t u = 0; u < n; ++u) {
+    const uint32_t roll = u % 5;
+    const uint32_t v = roll < 2 ? 1u : (roll < 4 ? 5u : 9u);
+    run(v, rng);
+  }
+  return {};
+}
+
+std::vector<double> Truth(uint32_t k) {
+  std::vector<double> truth(k, 0.0);
+  truth[1] = 0.4;
+  truth[5] = 0.4;
+  truth[9] = 0.2;
+  return truth;
+}
+
+struct OracleResult {
+  std::string name;
+  std::vector<double> estimates;
+};
+
+std::vector<OracleResult> RunAllOracles(uint32_t k, uint32_t n, double eps,
+                                        uint64_t seed) {
+  std::vector<OracleResult> results;
+  Rng rng(seed);
+
+  {
+    GrrClient client(k, eps);
+    GrrServer server(k, eps);
+    RunOracle(n, rng, [&](uint32_t v, Rng& r) {
+      server.Accumulate(client.Perturb(v, r));
+    });
+    results.push_back({"GRR", server.Estimate()});
+  }
+  {
+    UeClient client(k, eps, UeKind::kSymmetric);
+    UeServer server(k, eps, UeKind::kSymmetric);
+    RunOracle(n, rng, [&](uint32_t v, Rng& r) {
+      server.Accumulate(client.Perturb(v, r));
+    });
+    results.push_back({"SUE", server.Estimate()});
+  }
+  {
+    UeClient client(k, eps, UeKind::kOptimized);
+    UeServer server(k, eps, UeKind::kOptimized);
+    RunOracle(n, rng, [&](uint32_t v, Rng& r) {
+      server.Accumulate(client.Perturb(v, r));
+    });
+    results.push_back({"OUE", server.Estimate()});
+  }
+  {
+    LhClient client = MakeOlhClient(k, eps);
+    LhServer server = MakeOlhServer(k, eps);
+    RunOracle(n, rng, [&](uint32_t v, Rng& r) {
+      server.Accumulate(client.Perturb(v, r));
+    });
+    results.push_back({"OLH", server.Estimate()});
+  }
+  {
+    LhClient client = MakeBlhClient(k, eps);
+    LhServer server = MakeBlhServer(k, eps);
+    RunOracle(n, rng, [&](uint32_t v, Rng& r) {
+      server.Accumulate(client.Perturb(v, r));
+    });
+    results.push_back({"BLH", server.Estimate()});
+  }
+  {
+    HadamardResponseClient client(k, eps);
+    HadamardResponseServer server(k, eps);
+    RunOracle(n, rng, [&](uint32_t v, Rng& r) {
+      server.Accumulate(client.Perturb(v, r));
+    });
+    results.push_back({"HR", server.Estimate()});
+  }
+  {
+    SubsetSelectionClient client(k, eps);
+    SubsetSelectionServer server(k, eps);
+    RunOracle(n, rng, [&](uint32_t v, Rng& r) {
+      server.Accumulate(client.Perturb(v, r));
+    });
+    results.push_back({"SS", server.Estimate()});
+  }
+  return results;
+}
+
+TEST(OracleComparison, AllOraclesAgreeOnTheDistribution) {
+  const uint32_t k = 16;
+  const uint32_t n = 80000;
+  const double eps = 2.0;
+  const std::vector<double> truth = Truth(k);
+  for (const OracleResult& result : RunAllOracles(k, n, eps, 1)) {
+    EXPECT_NEAR(result.estimates[1], 0.4, 0.05) << result.name;
+    EXPECT_NEAR(result.estimates[5], 0.4, 0.05) << result.name;
+    EXPECT_NEAR(result.estimates[9], 0.2, 0.05) << result.name;
+    EXPECT_NEAR(result.estimates[0], 0.0, 0.05) << result.name;
+    EXPECT_LT(MeanSquaredError(truth, result.estimates), 1e-3)
+        << result.name;
+  }
+}
+
+TEST(OracleComparison, OueOlhSsBeatSueAtModerateEps) {
+  // Averaged over repeats: the optimized oracles (OUE/OLH/SS) must not be
+  // worse than SUE. Use MSE over the zero-mass coordinates (the V*
+  // regime).
+  const uint32_t k = 24;
+  const uint32_t n = 20000;
+  const double eps = 1.0;
+  const std::vector<double> truth = Truth(k);
+  std::map<std::string, double> mse;
+  constexpr int kRepeats = 8;
+  for (int r = 0; r < kRepeats; ++r) {
+    for (const OracleResult& result : RunAllOracles(k, n, eps, 100 + r)) {
+      mse[result.name] += MeanSquaredError(truth, result.estimates);
+    }
+  }
+  EXPECT_LT(mse["OUE"], mse["SUE"] * 1.1);
+  EXPECT_LT(mse["OLH"], mse["SUE"] * 1.1);
+  EXPECT_LT(mse["SS"], mse["SUE"] * 1.15);
+}
+
+TEST(OracleComparison, GrrDegradesWithDomainSize) {
+  // GRR's variance grows with k; at k = 64 and eps = 1 it must trail OUE
+  // clearly (averaged over several runs to damp noise).
+  const uint32_t k = 64;
+  const uint32_t n = 20000;
+  const double eps = 1.0;
+  std::vector<double> truth(k, 0.0);
+  truth[1] = 0.4;
+  truth[5] = 0.4;
+  truth[9] = 0.2;
+  double mse_grr = 0.0;
+  double mse_oue = 0.0;
+  for (int r = 0; r < 6; ++r) {
+    Rng rng(200 + r);
+    GrrClient grr_client(k, eps);
+    GrrServer grr_server(k, eps);
+    UeClient oue_client(k, eps, UeKind::kOptimized);
+    UeServer oue_server(k, eps, UeKind::kOptimized);
+    for (uint32_t u = 0; u < n; ++u) {
+      const uint32_t roll = u % 5;
+      const uint32_t v = roll < 2 ? 1u : (roll < 4 ? 5u : 9u);
+      grr_server.Accumulate(grr_client.Perturb(v, rng));
+      oue_server.Accumulate(oue_client.Perturb(v, rng));
+    }
+    mse_grr += MeanSquaredError(truth, grr_server.Estimate());
+    mse_oue += MeanSquaredError(truth, oue_server.Estimate());
+  }
+  EXPECT_GT(mse_grr, 2.0 * mse_oue);
+}
+
+TEST(OracleComparison, EmpiricalVarianceTracksTheoreticalVStar) {
+  // For each of GRR/SUE/OUE, the spread of f_hat(0) (true f = 0) over
+  // repeated runs must match OneRoundVariance within chi-square slack.
+  const uint32_t k = 10;
+  const uint32_t n = 3000;
+  const double eps = 1.5;
+  struct Case {
+    std::string name;
+    PerturbParams params;
+    std::function<double(Rng&)> estimate_zero;
+  };
+  Rng rng(300);
+  std::vector<Case> cases;
+  cases.push_back({"GRR", GrrParams(eps, k), [&](Rng& r) {
+                     GrrClient client(k, eps);
+                     GrrServer server(k, eps);
+                     for (uint32_t u = 0; u < n; ++u) {
+                       server.Accumulate(
+                           client.Perturb(1 + u % (k - 1), r));
+                     }
+                     return server.Estimate()[0];
+                   }});
+  cases.push_back({"OUE", OueParams(eps), [&](Rng& r) {
+                     UeClient client(k, eps, UeKind::kOptimized);
+                     UeServer server(k, eps, UeKind::kOptimized);
+                     for (uint32_t u = 0; u < n; ++u) {
+                       server.Accumulate(
+                           client.Perturb(1 + u % (k - 1), r));
+                     }
+                     return server.Estimate()[0];
+                   }});
+  for (const Case& c : cases) {
+    constexpr int kRuns = 150;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int run = 0; run < kRuns; ++run) {
+      const double est = c.estimate_zero(rng);
+      sum += est;
+      sum_sq += est * est;
+    }
+    const double mean = sum / kRuns;
+    const double var = sum_sq / kRuns - mean * mean;
+    const double expected = OneRoundVariance(n, 0.0, c.params);
+    EXPECT_NEAR(var / expected, 1.0, 0.5) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace loloha

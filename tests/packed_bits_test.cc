@@ -1,0 +1,108 @@
+#include "util/packed_bits.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+TEST(PackedBitsTest, SetAndGet) {
+  PackedBits bits(130);  // spans three words
+  EXPECT_EQ(bits.size(), 130u);
+  for (uint32_t i = 0; i < 130; ++i) EXPECT_FALSE(bits.Get(i));
+  bits.Set(0, true);
+  bits.Set(63, true);
+  bits.Set(64, true);
+  bits.Set(129, true);
+  EXPECT_TRUE(bits.Get(0));
+  EXPECT_TRUE(bits.Get(63));
+  EXPECT_TRUE(bits.Get(64));
+  EXPECT_TRUE(bits.Get(129));
+  EXPECT_FALSE(bits.Get(1));
+  bits.Set(63, false);
+  EXPECT_FALSE(bits.Get(63));
+}
+
+TEST(PackedBitsTest, PopCount) {
+  PackedBits bits(200);
+  EXPECT_EQ(bits.PopCount(), 0u);
+  for (uint32_t i = 0; i < 200; i += 7) bits.Set(i, true);
+  EXPECT_EQ(bits.PopCount(), 29u);
+}
+
+TEST(PackedBitsTest, AddAndSubCounts) {
+  PackedBits bits(70);
+  bits.Set(3, true);
+  bits.Set(69, true);
+  std::vector<uint64_t> counts(70, 5);
+  bits.AddToCounts(counts);
+  EXPECT_EQ(counts[3], 6u);
+  EXPECT_EQ(counts[69], 6u);
+  EXPECT_EQ(counts[0], 5u);
+  bits.SubFromCounts(counts);
+  EXPECT_EQ(counts[3], 5u);
+  EXPECT_EQ(counts[69], 5u);
+}
+
+TEST(PackedBitsTest, ForEachSetBitAscending) {
+  PackedBits bits(128);
+  bits.Set(5, true);
+  bits.Set(64, true);
+  bits.Set(127, true);
+  std::vector<uint32_t> seen;
+  bits.ForEachSetBit([&seen](uint32_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<uint32_t>{5, 64, 127}));
+}
+
+TEST(PackedBitsTest, Equality) {
+  PackedBits a(10);
+  PackedBits b(10);
+  EXPECT_TRUE(a == b);
+  a.Set(4, true);
+  EXPECT_FALSE(a == b);
+  b.Set(4, true);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(PackedBitsTest, SampleOneHotNoisyHotBitProbability) {
+  Rng rng(1);
+  constexpr int kTrials = 20000;
+  constexpr double kPHot = 0.8;
+  constexpr double kPCold = 0.2;
+  int hot = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    const PackedBits bits =
+        PackedBits::SampleOneHotNoisy(96, 40, kPHot, kPCold, rng);
+    hot += bits.Get(40);
+  }
+  EXPECT_NEAR(hot / static_cast<double>(kTrials), kPHot, 0.02);
+}
+
+TEST(PackedBitsTest, SampleOneHotNoisyColdBitsProbability) {
+  Rng rng(2);
+  constexpr int kTrials = 5000;
+  constexpr double kPCold = 0.3;
+  int64_t cold_total = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    const PackedBits bits =
+        PackedBits::SampleOneHotNoisy(96, 0, 0.9, kPCold, rng);
+    cold_total += bits.PopCount() - (bits.Get(0) ? 1 : 0);
+  }
+  const double mean_cold = static_cast<double>(cold_total) / kTrials / 95.0;
+  EXPECT_NEAR(mean_cold, kPCold, 0.01);
+}
+
+TEST(PackedBitsTest, SampleOneHotNoisyNoBitsBeyondSize) {
+  Rng rng(3);
+  // p_cold = 1 would set every modeled bit; tail bits of the last word
+  // must stay clear so popcount stays consistent.
+  const PackedBits bits = PackedBits::SampleOneHotNoisy(70, 3, 1.0, 1.0, rng);
+  EXPECT_EQ(bits.PopCount(), 70u);
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,90 @@
+#include "oracle/params.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/mathutil.h"
+
+namespace loloha {
+namespace {
+
+class GrrParamsSweep : public testing::TestWithParam<std::tuple<double, uint32_t>> {};
+
+TEST_P(GrrParamsSweep, SatisfiesLdpIdentity) {
+  const auto [eps, k] = GetParam();
+  const PerturbParams params = GrrParams(eps, k);
+  EXPECT_TRUE(ValidParams(params));
+  // p / q = e^eps is the LDP ratio of GRR.
+  EXPECT_LT(RelDiff(params.p / params.q, std::exp(eps)), 1e-12);
+  // p + (k-1) q = 1: probabilities sum to one.
+  EXPECT_NEAR(params.p + (k - 1) * params.q, 1.0, 1e-12);
+  // Inverse map recovers eps.
+  EXPECT_NEAR(GrrEpsilon(params), eps, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GrrParamsSweep,
+    testing::Combine(testing::Values(0.1, 0.5, 1.0, 2.0, 5.0),
+                     testing::Values(2u, 3u, 10u, 360u, 1412u)));
+
+class UeParamsSweep : public testing::TestWithParam<double> {};
+
+TEST_P(UeParamsSweep, SueSatisfiesLdpIdentity) {
+  const double eps = GetParam();
+  const PerturbParams params = SueParams(eps);
+  EXPECT_TRUE(ValidParams(params));
+  EXPECT_NEAR(params.p + params.q, 1.0, 1e-12);  // symmetric
+  EXPECT_NEAR(UeEpsilon(params), eps, 1e-10);
+}
+
+TEST_P(UeParamsSweep, OueSatisfiesLdpIdentity) {
+  const double eps = GetParam();
+  const PerturbParams params = OueParams(eps);
+  EXPECT_TRUE(ValidParams(params));
+  EXPECT_DOUBLE_EQ(params.p, 0.5);
+  EXPECT_NEAR(UeEpsilon(params), eps, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, UeParamsSweep,
+                         testing::Values(0.1, 0.5, 1.0, 2.0, 3.0, 5.0));
+
+TEST(LhParamsTest, MatchesGrrOverReducedDomain) {
+  const PerturbParams lh = LhParams(1.5, 8);
+  const PerturbParams grr = GrrParams(1.5, 8);
+  EXPECT_DOUBLE_EQ(lh.p, grr.p);
+  EXPECT_DOUBLE_EQ(lh.q, grr.q);
+}
+
+TEST(OlhRangeTest, RoundsExpPlusOne) {
+  // e^1 + 1 = 3.718 -> 4; e^2 + 1 = 8.39 -> 8; e^0.5 + 1 = 2.65 -> 3.
+  EXPECT_EQ(OlhRange(1.0), 4u);
+  EXPECT_EQ(OlhRange(2.0), 8u);
+  EXPECT_EQ(OlhRange(0.5), 3u);
+}
+
+TEST(OlhRangeTest, NeverBelowTwo) {
+  EXPECT_GE(OlhRange(0.01), 2u);
+  EXPECT_GE(OlhRange(0.1), 2u);
+}
+
+TEST(ValidParamsTest, RejectsDegenerateParams) {
+  EXPECT_FALSE(ValidParams({0.5, 0.5}));   // p == q
+  EXPECT_FALSE(ValidParams({0.4, 0.6}));   // p < q
+  EXPECT_FALSE(ValidParams({1.0, 0.1}));   // p == 1
+  EXPECT_FALSE(ValidParams({0.5, 0.0}));   // q == 0
+  EXPECT_TRUE(ValidParams({0.75, 0.25}));
+}
+
+TEST(ParamsTest, HigherEpsilonMeansHigherP) {
+  EXPECT_GT(GrrParams(2.0, 10).p, GrrParams(1.0, 10).p);
+  EXPECT_GT(SueParams(2.0).p, SueParams(1.0).p);
+  EXPECT_LT(OueParams(2.0).q, OueParams(1.0).q);
+}
+
+TEST(ParamsTest, LargerDomainDilutesGrr) {
+  EXPECT_GT(GrrParams(1.0, 2).p, GrrParams(1.0, 100).p);
+}
+
+}  // namespace
+}  // namespace loloha

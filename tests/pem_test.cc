@@ -1,0 +1,134 @@
+#include "hh/pem.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+PemConfig SmallConfig() {
+  PemConfig config;
+  config.domain_bits = 12;
+  config.levels = 3;
+  config.epsilon = 3.0;
+  config.threshold = 0.02;
+  config.max_candidates = 32;
+  return config;
+}
+
+TEST(PemServerTest, PrefixBitsPartitionDomain) {
+  PemConfig config = SmallConfig();
+  const PemServer server(config);
+  EXPECT_EQ(server.PrefixBits(0), 4u);
+  EXPECT_EQ(server.PrefixBits(1), 8u);
+  EXPECT_EQ(server.PrefixBits(2), 12u);
+
+  config.domain_bits = 13;  // uneven split front-loads the extra bit
+  const PemServer uneven(config);
+  EXPECT_EQ(uneven.PrefixBits(0), 5u);
+  EXPECT_EQ(uneven.PrefixBits(1), 9u);
+  EXPECT_EQ(uneven.PrefixBits(2), 13u);
+}
+
+TEST(PemClientTest, RoundRobinLevels) {
+  const PemConfig config = SmallConfig();
+  EXPECT_EQ(PemClient(config, 0).level(), 0u);
+  EXPECT_EQ(PemClient(config, 1).level(), 1u);
+  EXPECT_EQ(PemClient(config, 2).level(), 2u);
+  EXPECT_EQ(PemClient(config, 3).level(), 0u);
+}
+
+TEST(PemEndToEnd, FindsPlantedHeavyHitters) {
+  const PemConfig config = SmallConfig();
+  constexpr uint32_t kUsers = 60000;
+  // Two heavy values at 30% / 20%, the rest uniform background noise.
+  const uint64_t kHeavy1 = 0xABC;  // 12-bit values
+  const uint64_t kHeavy2 = 0x123;
+  Rng rng(1);
+  PemServer server(config);
+  for (uint32_t u = 0; u < kUsers; ++u) {
+    uint64_t value;
+    const uint32_t roll = static_cast<uint32_t>(rng.UniformInt(10));
+    if (roll < 3) {
+      value = kHeavy1;
+    } else if (roll < 5) {
+      value = kHeavy2;
+    } else {
+      value = rng.UniformInt(uint64_t{1} << config.domain_bits);
+    }
+    const PemClient client(config, u);
+    server.Accumulate(client.Report(value, rng));
+  }
+  const std::vector<PemHitter> hitters = server.Identify();
+  ASSERT_GE(hitters.size(), 2u);
+  EXPECT_EQ(hitters[0].value, kHeavy1);
+  EXPECT_NEAR(hitters[0].estimate, 0.3, 0.08);
+  EXPECT_EQ(hitters[1].value, kHeavy2);
+  EXPECT_NEAR(hitters[1].estimate, 0.2, 0.08);
+}
+
+TEST(PemEndToEnd, NoHittersOnUniformData) {
+  PemConfig config = SmallConfig();
+  config.threshold = 0.05;  // uniform mass per value is ~2^-12
+  constexpr uint32_t kUsers = 30000;
+  Rng rng(2);
+  PemServer server(config);
+  for (uint32_t u = 0; u < kUsers; ++u) {
+    const uint64_t value = rng.UniformInt(uint64_t{1} << config.domain_bits);
+    server.Accumulate(PemClient(config, u).Report(value, rng));
+  }
+  EXPECT_TRUE(server.Identify().empty());
+}
+
+TEST(PemEndToEnd, SingleLevelDegeneratesToPlainOracle) {
+  PemConfig config;
+  config.domain_bits = 6;
+  config.levels = 1;
+  config.epsilon = 3.0;
+  config.threshold = 0.1;
+  constexpr uint32_t kUsers = 40000;
+  Rng rng(3);
+  PemServer server(config);
+  for (uint32_t u = 0; u < kUsers; ++u) {
+    const uint64_t value = (u % 2 == 0) ? 17u : 42u;
+    server.Accumulate(PemClient(config, u).Report(value, rng));
+  }
+  const std::vector<PemHitter> hitters = server.Identify();
+  ASSERT_EQ(hitters.size(), 2u);
+  std::set<uint64_t> found = {hitters[0].value, hitters[1].value};
+  EXPECT_TRUE(found.count(17));
+  EXPECT_TRUE(found.count(42));
+}
+
+TEST(PemServerTest, EmptyLevelsYieldNothing) {
+  const PemServer server(SmallConfig());
+  EXPECT_TRUE(server.Identify().empty());
+}
+
+TEST(PemEndToEnd, MaxCandidatesCapsTheFrontier) {
+  PemConfig config = SmallConfig();
+  config.max_candidates = 2;  // only two prefixes survive each level
+  config.threshold = 0.0;
+  constexpr uint32_t kUsers = 45000;
+  Rng rng(4);
+  PemServer server(config);
+  const uint64_t kHeavy = 0xF0F;
+  for (uint32_t u = 0; u < kUsers; ++u) {
+    const uint64_t value =
+        (u % 2 == 0) ? kHeavy
+                     : rng.UniformInt(uint64_t{1} << config.domain_bits);
+    server.Accumulate(PemClient(config, u).Report(value, rng));
+  }
+  const std::vector<PemHitter> hitters = server.Identify();
+  ASSERT_FALSE(hitters.empty());
+  EXPECT_LE(hitters.size(), 2u);
+  EXPECT_EQ(hitters[0].value, kHeavy);
+}
+
+}  // namespace
+}  // namespace loloha

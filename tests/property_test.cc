@@ -1,0 +1,200 @@
+// Property-style sweeps over the protocol parameter space: invariants
+// that must hold for EVERY (ε∞, α, k, g) combination, checked on dense
+// grids with TEST_P.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/loloha_params.h"
+#include "longitudinal/chain.h"
+#include "oracle/estimator.h"
+#include "oracle/params.h"
+#include "util/mathutil.h"
+
+namespace loloha {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Chained-protocol invariants across the full evaluation grid.
+// ---------------------------------------------------------------------------
+
+class FullGrid
+    : public testing::TestWithParam<std::tuple<double, double>> {
+ protected:
+  double eps_perm() const { return std::get<0>(GetParam()); }
+  double eps_first() const {
+    return std::get<0>(GetParam()) * std::get<1>(GetParam());
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, FullGrid,
+    testing::Combine(testing::Values(0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0,
+                                     4.5, 5.0),
+                     testing::Values(0.1, 0.2, 0.3, 0.4, 0.5, 0.6)));
+
+TEST_P(FullGrid, IrrIsStrictlyNoisierThanPrr) {
+  // ε_IRR < ε∞ always: the IRR round must not leak more than the PRR.
+  const double eps_irr = LolohaIrrEpsilon(eps_perm(), eps_first());
+  EXPECT_GT(eps_irr, 0.0);
+}
+
+TEST_P(FullGrid, ChainedVarianceExceedsOneRoundVariance) {
+  // Double randomization costs utility: V*(chain at ε∞, ε1) must be at
+  // least the one-round V* at ε1... for the same encoding. Check for the
+  // UE family: L-OSUE vs plain OUE at ε1 (they are equal — the chain
+  // collapses to OUE(ε1)) and RAPPOR vs SUE at ε1 (strictly worse than
+  // SUE at ε∞).
+  const ChainedParams osue = LOsueChain(eps_perm(), eps_first());
+  const double chained = ApproximateVariance(1e4, osue.first, osue.second);
+  const double one_round =
+      OneRoundVariance(1e4, 0.0, OueParams(eps_first()));
+  EXPECT_LT(RelDiff(chained, one_round), 1e-9);
+
+  const ChainedParams sue = LSueChain(eps_perm(), eps_first());
+  EXPECT_GT(ApproximateVariance(1e4, sue.first, sue.second) * (1 + 1e-12),
+            OneRoundVariance(1e4, 0.0, SueParams(eps_perm())));
+}
+
+TEST_P(FullGrid, VarianceDecreasesInEpsPerm) {
+  // For fixed α, a larger ε∞ (hence larger ε1) can only help utility.
+  const double alpha = eps_first() / eps_perm();
+  if (eps_perm() + 0.5 > 5.01) GTEST_SKIP();
+  const double v_here = LolohaApproximateVariance(
+      1e4, 2, eps_perm(), alpha * eps_perm());
+  const double v_next = LolohaApproximateVariance(
+      1e4, 2, eps_perm() + 0.5, alpha * (eps_perm() + 0.5));
+  EXPECT_LT(v_next, v_here * (1 + 1e-9));
+}
+
+TEST_P(FullGrid, OptimalGNeverWorseThanBinary) {
+  const uint32_t g_opt = OptimalLolohaG(eps_perm(), eps_first());
+  const double v_opt =
+      LolohaApproximateVariance(1e4, g_opt, eps_perm(), eps_first());
+  const double v_bi =
+      LolohaApproximateVariance(1e4, 2, eps_perm(), eps_first());
+  EXPECT_LE(v_opt, v_bi * (1 + 1e-9));
+}
+
+TEST_P(FullGrid, AllUeChainsProduceValidParams) {
+  for (const auto& chain :
+       {LSueChain(eps_perm(), eps_first()),
+        LOsueChain(eps_perm(), eps_first())}) {
+    EXPECT_TRUE(ValidParams(chain.first));
+    EXPECT_TRUE(ValidParams(chain.second));
+    EXPECT_TRUE(ValidParams(CollapseChain(chain.first, chain.second)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LOLOHA invariants across (grid x g).
+// ---------------------------------------------------------------------------
+
+class LolohaGrid
+    : public testing::TestWithParam<std::tuple<double, double, uint32_t>> {
+ protected:
+  double eps_perm() const { return std::get<0>(GetParam()); }
+  double eps_first() const {
+    return std::get<0>(GetParam()) * std::get<1>(GetParam());
+  }
+  uint32_t g() const { return std::get<2>(GetParam()); }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Dense, LolohaGrid,
+    testing::Combine(testing::Values(0.5, 1.5, 3.0, 5.0),
+                     testing::Values(0.2, 0.5, 0.8),
+                     testing::Values(2u, 3u, 5u, 8u, 16u, 64u)));
+
+TEST_P(LolohaGrid, EstimatorDenominatorPositive) {
+  // p1 > 1/g is required for Eq. (3) with q1' = 1/g to be invertible.
+  const LolohaParams params =
+      MakeLolohaParams(1000, g(), eps_perm(), eps_first());
+  EXPECT_GT(params.prr.p, 1.0 / g());
+  EXPECT_GT(params.irr.p, params.irr.q);
+}
+
+TEST_P(LolohaGrid, AnalyticUnbiasednessThroughEqThree) {
+  // Push the exact support expectation through Algorithm 2's estimator
+  // and recover f for an arbitrary f. Support probability of a holder:
+  //   P_s = p1 p2 + (g-1) q1 q2;
+  // of a non-holder: (1/g) P_s + (1-1/g) Q_s with
+  //   Q_s = q1 p2 + p1 q2 + (g-2) q1 q2.
+  const LolohaParams params =
+      MakeLolohaParams(1000, g(), eps_perm(), eps_first());
+  const double p1 = params.prr.p;
+  const double q1 = params.prr.q;
+  const double p2 = params.irr.p;
+  const double q2 = params.irr.q;
+  const double gd = g();
+  const double holder = p1 * p2 + (gd - 1.0) * q1 * q2;
+  const double other = q1 * p2 + p1 * q2 + (gd - 2.0) * q1 * q2;
+  const double non_holder = holder / gd + (1.0 - 1.0 / gd) * other;
+  const double n = 123456.0;
+  for (const double f : {0.0, 0.123, 0.5, 1.0}) {
+    const double expected_count =
+        n * (f * holder + (1.0 - f) * non_holder);
+    const double estimate = EstimateFrequencyChained(
+        expected_count, n, params.EstimatorFirst(), params.irr);
+    EXPECT_LT(std::fabs(estimate - f), 1e-9) << "f=" << f;
+  }
+}
+
+TEST_P(LolohaGrid, WorstCaseBudgetMonotoneInG) {
+  const LolohaParams params =
+      MakeLolohaParams(1000, g(), eps_perm(), eps_first());
+  EXPECT_DOUBLE_EQ(params.WorstCaseLongitudinalEpsilon(),
+                   g() * eps_perm());
+}
+
+// ---------------------------------------------------------------------------
+// GRR-chain invariants across (grid x k).
+// ---------------------------------------------------------------------------
+
+class GrrGrid
+    : public testing::TestWithParam<std::tuple<double, double, uint32_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Dense, GrrGrid,
+    testing::Combine(testing::Values(0.5, 2.0, 5.0),
+                     testing::Values(0.3, 0.6),
+                     testing::Values(2u, 5u, 17u, 96u, 360u, 1412u)));
+
+TEST_P(GrrGrid, AnalyticUnbiasednessThroughEqThree) {
+  const auto [eps, alpha, k] = GetParam();
+  const ChainedParams chain = LGrrChain(eps, alpha * eps, k);
+  const double kd = k;
+  const double holder =
+      chain.first.p * chain.second.p +
+      (kd - 1.0) * chain.first.q * chain.second.q;
+  const double other = chain.first.q * chain.second.p +
+                       chain.first.p * chain.second.q +
+                       (kd - 2.0) * chain.first.q * chain.second.q;
+  const double n = 54321.0;
+  for (const double f : {0.0, 0.25, 1.0}) {
+    const double expected_count = n * (f * holder + (1.0 - f) * other);
+    const double estimate = EstimateFrequencyChained(
+        expected_count, n, chain.first, chain.second);
+    EXPECT_LT(std::fabs(estimate - f), 1e-9);
+  }
+}
+
+TEST_P(GrrGrid, SupportProbabilitiesFormDistribution) {
+  const auto [eps, alpha, k] = GetParam();
+  const ChainedParams chain = LGrrChain(eps, alpha * eps, k);
+  const double kd = k;
+  const double holder =
+      chain.first.p * chain.second.p +
+      (kd - 1.0) * chain.first.q * chain.second.q;
+  const double other = chain.first.q * chain.second.p +
+                       chain.first.p * chain.second.q +
+                       (kd - 2.0) * chain.first.q * chain.second.q;
+  // Reporting distribution given a fixed input sums to 1 over the k
+  // possible outputs.
+  EXPECT_NEAR(holder + (kd - 1.0) * other, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,141 @@
+// Golden-value regression tests: pin exact numeric outputs of the key
+// closed forms so that refactors cannot silently change the mathematics.
+// Values were computed from the paper's formulas (and cross-checked
+// against the numeric solvers) at the time the suite was written.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/loloha_params.h"
+#include "core/theory.h"
+#include "longitudinal/chain.h"
+#include "oracle/params.h"
+#include "shuffle/amplification.h"
+
+namespace loloha {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(GoldenTest, GrrParamsAtEps1K10) {
+  const PerturbParams p = GrrParams(1.0, 10);
+  EXPECT_NEAR(p.p, std::exp(1.0) / (std::exp(1.0) + 9.0), kTol);
+  EXPECT_NEAR(p.p, 0.23196931668, 1e-10);
+  EXPECT_NEAR(p.q, 0.08533674259, 1e-10);
+}
+
+TEST(GoldenTest, SueOueParamsAtEps2) {
+  const PerturbParams sue = SueParams(2.0);
+  EXPECT_NEAR(sue.p, 0.73105857863, 1e-10);  // e/(e+1)
+  const PerturbParams oue = OueParams(2.0);
+  EXPECT_NEAR(oue.q, 0.11920292202, 1e-10);  // 1/(e^2+1)
+}
+
+TEST(GoldenTest, LolohaIrrEpsilon) {
+  // eps_irr = ln((e^{3} - 1)/(e^{2} - e)) at (eps_inf=2, eps1=1).
+  EXPECT_NEAR(LolohaIrrEpsilon(2.0, 1.0),
+              std::log((std::exp(3.0) - 1.0) /
+                       (std::exp(2.0) - std::exp(1.0))),
+              kTol);
+  EXPECT_NEAR(LolohaIrrEpsilon(2.0, 1.0), 1.40760596444, 1e-10);
+  EXPECT_NEAR(LolohaIrrEpsilon(5.0, 3.0), 3.14507793896, 1e-8);
+}
+
+TEST(GoldenTest, OptimalGFig1Row) {
+  // The eps_inf = 5 row of Fig. 1 as produced by Eq. (6).
+  EXPECT_EQ(OptimalLolohaG(5.0, 0.1 * 5.0), 3u);
+  EXPECT_EQ(OptimalLolohaG(5.0, 0.2 * 5.0), 4u);
+  EXPECT_EQ(OptimalLolohaG(5.0, 0.3 * 5.0), 5u);
+  EXPECT_EQ(OptimalLolohaG(5.0, 0.4 * 5.0), 8u);
+  EXPECT_EQ(OptimalLolohaG(5.0, 0.5 * 5.0), 11u);
+  EXPECT_EQ(OptimalLolohaG(5.0, 0.6 * 5.0), 17u);
+}
+
+TEST(GoldenTest, OptimalGHighPrivacyColumn) {
+  // Fig. 1: everything at eps_inf <= 1 is binary.
+  for (const double alpha : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
+    EXPECT_EQ(OptimalLolohaG(0.5, alpha * 0.5), 2u);
+    EXPECT_EQ(OptimalLolohaG(1.0, alpha * 1.0), 2u);
+  }
+}
+
+TEST(GoldenTest, LOsueVarianceClosedForm) {
+  // V* = 4 e^{eps1}/(n (e^{eps1}-1)^2) at eps1 = 1, n = 10^4.
+  const double v =
+      ProtocolApproxVariance(ProtocolId::kLOsue, 1e4, 360, 2.0, 1.0);
+  EXPECT_NEAR(v, 4.0 * std::exp(1.0) /
+                     (1e4 * std::pow(std::exp(1.0) - 1.0, 2.0)),
+              1e-12);
+  EXPECT_NEAR(v, 3.68269437683e-4, 1e-12);
+}
+
+TEST(GoldenTest, LSueIrrClosedForm) {
+  // p2 = (e^{(eps_inf+eps1)/2} - 1)/((e^{eps_inf/2}-1)(e^{eps1/2}+1)).
+  const ChainedParams chain = LSueChain(2.0, 1.0);
+  const double expected = (std::exp(1.5) - 1.0) /
+                          ((std::exp(1.0) - 1.0) * (std::exp(0.5) + 1.0));
+  EXPECT_NEAR(chain.second.p, expected, kTol);
+  EXPECT_NEAR(chain.second.p, 0.76499628780, 1e-8);
+}
+
+TEST(GoldenTest, LGrrIrrPaperClosedForm) {
+  // Paper's p2 at (eps_inf=1, eps1=0.5, k=3).
+  const ChainedParams chain = LGrrChain(1.0, 0.5, 3);
+  const double a = std::exp(1.0);
+  const double c = std::exp(0.5);
+  const double expected =
+      (a * c - 1.0) / (-3.0 * c + 2.0 * a + c + a * c - 1.0);
+  EXPECT_NEAR(chain.second.p, expected, kTol);
+}
+
+TEST(GoldenTest, BiLolohaVarianceAtPaperPoint) {
+  // Spot value used in Fig. 2 comparisons (n=10^4, eps_inf=1, alpha=0.5).
+  const double v = LolohaApproximateVariance(1e4, 2, 1.0, 0.5);
+  // Compute independently from first principles.
+  const double eps_irr = LolohaIrrEpsilon(1.0, 0.5);
+  const double p1 = std::exp(1.0) / (std::exp(1.0) + 1.0);
+  const double p2 = std::exp(eps_irr) / (std::exp(eps_irr) + 1.0);
+  const double q2 = 1.0 - p2;
+  const double qs = 0.5 * p2 + 0.5 * q2;  // q1' = 1/2
+  const double expected = qs * (1.0 - qs) /
+                          (1e4 * std::pow((p1 - 0.5) * (p2 - q2), 2.0));
+  EXPECT_NEAR(v, expected, 1e-12);
+}
+
+TEST(GoldenTest, DBitVarianceAtPaperPoint) {
+  // b = 360, d = 1, eps_inf = 1, n = 10^4.
+  const double e = std::exp(0.5);
+  const double expected = 360.0 * e / (1e4 * (e - 1.0) * (e - 1.0));
+  EXPECT_NEAR(DBitFlipApproxVariance(1e4, 360, 1, 1.0), expected, 1e-12);
+}
+
+TEST(GoldenTest, AmplifiedEpsilonSpotValue) {
+  // Deterministic formula: pin one evaluation.
+  const double e0 = std::exp(1.0);
+  const double n = 1e6;
+  const double delta = 1e-6;
+  const double term =
+      4.0 * std::sqrt(2.0 * std::log(4.0 / delta) / ((e0 + 1.0) * n)) +
+      4.0 / n;
+  EXPECT_NEAR(AmplifiedEpsilon(1.0, 1000000, 1e-6),
+              std::log1p((e0 - 1.0) * term), 1e-12);
+}
+
+TEST(GoldenTest, WorstCaseBudgets) {
+  EXPECT_DOUBLE_EQ(
+      Characteristics(ProtocolId::kRappor, 1412, 353, 1, 0.5, 0.25)
+          .worst_case_budget,
+      706.0);
+  EXPECT_DOUBLE_EQ(
+      Characteristics(ProtocolId::kBBitFlipPm, 1412, 353, 353, 0.5, 0.25)
+          .worst_case_budget,
+      176.5);
+  EXPECT_DOUBLE_EQ(
+      Characteristics(ProtocolId::kBiLoloha, 1412, 353, 1, 0.5, 0.25)
+          .worst_case_budget,
+      1.0);
+}
+
+}  // namespace
+}  // namespace loloha

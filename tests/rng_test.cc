@@ -1,0 +1,162 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace loloha {
+namespace {
+
+TEST(SplitMix64Test, MatchesReferenceSequence) {
+  // Reference values for seed 0 from the public-domain splitmix64.c.
+  uint64_t state = 0;
+  EXPECT_EQ(SplitMix64Next(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(SplitMix64Next(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(SplitMix64Next(state), 0x06c45d188009454fULL);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.UniformU64(), b.UniformU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformU64() == b.UniformU64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng(7);
+  const uint64_t first = rng.UniformU64();
+  rng.UniformU64();
+  rng.Seed(7);
+  EXPECT_EQ(rng.UniformU64(), first);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(3);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 360ULL, 1ULL << 20}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntIsUnbiased) {
+  // Chi-squared check over 16 buckets; threshold ~ 3-sigma for df = 15.
+  Rng rng(5);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformInt(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 45.0);  // P(chi2_15 > 45) ~ 8e-5
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.UniformDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  for (const double p : {0.1, 0.25, 0.5, 0.9}) {
+    int ones = 0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) ones += rng.Bernoulli(p);
+    const double sigma = std::sqrt(p * (1 - p) / kDraws);
+    EXPECT_NEAR(static_cast<double>(ones) / kDraws, p, 5 * sigma)
+        << "p=" << p;
+  }
+}
+
+TEST(RngTest, BernoulliDegenerateCases) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, UniformIntExcludingNeverReturnsExcluded) {
+  Rng rng(19);
+  for (uint64_t bound : {2ULL, 3ULL, 10ULL}) {
+    for (uint64_t excluded = 0; excluded < bound; ++excluded) {
+      for (int i = 0; i < 500; ++i) {
+        const uint64_t x = rng.UniformIntExcluding(bound, excluded);
+        ASSERT_LT(x, bound);
+        ASSERT_NE(x, excluded);
+      }
+    }
+  }
+}
+
+TEST(RngTest, UniformIntExcludingUniformOverRest) {
+  Rng rng(23);
+  constexpr uint64_t kBound = 5;
+  constexpr uint64_t kExcluded = 2;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.UniformIntExcluding(kBound, kExcluded)];
+  }
+  EXPECT_EQ(counts[kExcluded], 0);
+  for (uint64_t v = 0; v < kBound; ++v) {
+    if (v == kExcluded) continue;
+    EXPECT_NEAR(counts[v] / static_cast<double>(kDraws), 0.25, 0.01);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(31);
+  parent_copy.UniformU64();  // advance past the fork draw
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.UniformU64() == parent_copy.UniformU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,121 @@
+#include "oracle/subset_selection.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/mathutil.h"
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+TEST(SubsetSizeTest, RoundsKOverEpsPlusOne) {
+  // k / (e^1 + 1) = 100 / 3.718 = 26.9 -> 27.
+  EXPECT_EQ(SubsetSize(100, 1.0), 27u);
+  // Large eps: floors at 1 (recovering GRR-like behaviour).
+  EXPECT_EQ(SubsetSize(10, 5.0), 1u);
+  // Tiny eps: capped at k - 1.
+  EXPECT_EQ(SubsetSize(4, 0.001), 2u);
+}
+
+TEST(SubsetParamsTest, LdpRatioHolds) {
+  // p(k-w) / ((1-p) w) = e^eps by construction of p_include.
+  for (const double eps : {0.5, 1.0, 2.0}) {
+    for (const uint32_t k : {10u, 100u, 360u}) {
+      const uint32_t w = SubsetSize(k, eps);
+      const double e = std::exp(eps);
+      const double p = w * e / (w * e + static_cast<double>(k - w));
+      EXPECT_LT(RelDiff(p * (k - w) / ((1.0 - p) * w), e), 1e-10);
+    }
+  }
+}
+
+TEST(SubsetSelectionClientTest, SubsetHasExactlyWDistinctValues) {
+  const SubsetSelectionClient client(50, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<uint32_t> subset = client.Perturb(7, rng);
+    EXPECT_EQ(subset.size(), client.w());
+    std::set<uint32_t> unique(subset.begin(), subset.end());
+    EXPECT_EQ(unique.size(), subset.size());
+    for (const uint32_t v : subset) EXPECT_LT(v, 50u);
+  }
+}
+
+TEST(SubsetSelectionClientTest, TrueValueIncludedWithP) {
+  const SubsetSelectionClient client(40, 2.0);
+  Rng rng(2);
+  constexpr int kTrials = 50000;
+  int included = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    const std::vector<uint32_t> subset = client.Perturb(13, rng);
+    for (const uint32_t v : subset) {
+      if (v == 13) {
+        ++included;
+        break;
+      }
+    }
+  }
+  EXPECT_NEAR(included / static_cast<double>(kTrials),
+              client.include_probability(), 0.007);
+}
+
+TEST(SubsetSelectionClientTest, OtherValuesIncludedWithQ) {
+  const uint32_t k = 40;
+  const double eps = 2.0;
+  const SubsetSelectionClient client(k, eps);
+  const PerturbParams params = SubsetParams(k, client.w(), eps);
+  Rng rng(3);
+  constexpr int kTrials = 50000;
+  int included = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    const std::vector<uint32_t> subset = client.Perturb(13, rng);
+    for (const uint32_t v : subset) {
+      if (v == 25) {
+        ++included;
+        break;
+      }
+    }
+  }
+  EXPECT_NEAR(included / static_cast<double>(kTrials), params.q, 0.007);
+}
+
+TEST(SubsetSelectionTest, RecoversSkewedDistribution) {
+  const uint32_t k = 30;
+  const double eps = 1.0;
+  const SubsetSelectionClient client(k, eps);
+  SubsetSelectionServer server(k, eps);
+  Rng rng(4);
+  constexpr int kUsers = 60000;
+  for (int u = 0; u < kUsers; ++u) {
+    const uint32_t v = (u % 4 == 0) ? 2u : 20u;
+    server.Accumulate(client.Perturb(v, rng));
+  }
+  const std::vector<double> est = server.Estimate();
+  EXPECT_NEAR(est[2], 0.25, 0.03);
+  EXPECT_NEAR(est[20], 0.75, 0.03);
+  EXPECT_NEAR(est[9], 0.0, 0.03);
+}
+
+TEST(SubsetSelectionTest, DegeneratesToGrrWhenWIsOne) {
+  // w = 1: the subset is a single value — GRR's report shape.
+  const SubsetSelectionClient client(10, 5.0);
+  EXPECT_EQ(client.w(), 1u);
+  Rng rng(5);
+  const std::vector<uint32_t> subset = client.Perturb(4, rng);
+  EXPECT_EQ(subset.size(), 1u);
+}
+
+TEST(SubsetSelectionTest, ResetClearsState) {
+  SubsetSelectionServer server(10, 1.0);
+  server.Accumulate({1, 2, 3});
+  EXPECT_EQ(server.num_reports(), 1u);
+  server.Reset();
+  EXPECT_EQ(server.num_reports(), 0u);
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace loloha {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "2"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header and separator and two rows -> 4 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTableTest, CsvBasic) {
+  TextTable table({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TextTableTest, CsvEscapesSpecialCharacters) {
+  TextTable table({"x"});
+  table.AddRow({"has,comma"});
+  table.AddRow({"has\"quote"});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTableTest, NumRows) {
+  TextTable table({"x"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"1"});
+  table.AddRow({"2"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TextTableTest, WriteCsvRoundTrips) {
+  TextTable table({"h1", "h2"});
+  table.AddRow({"v1", "v2"});
+  const std::string path = testing::TempDir() + "/loloha_table_test.csv";
+  ASSERT_TRUE(table.WriteCsv(path));
+  std::ifstream file(path);
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_EQ(content.str(), "h1,h2\nv1,v2\n");
+  std::remove(path.c_str());
+}
+
+TEST(FormatDoubleTest, SignificantDigits) {
+  EXPECT_EQ(FormatDouble(1.0), "1");
+  EXPECT_EQ(FormatDouble(0.25), "0.25");
+  EXPECT_EQ(FormatDouble(1.23456789, 4), "1.235");
+  EXPECT_EQ(FormatDouble(1e-5, 3), "1e-05");
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,164 @@
+#include "core/theory.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/loloha_params.h"
+#include "util/mathutil.h"
+
+namespace loloha {
+namespace {
+
+TEST(ProtocolNameTest, MatchesPaperLegends) {
+  EXPECT_EQ(ProtocolName(ProtocolId::kRappor), "RAPPOR");
+  EXPECT_EQ(ProtocolName(ProtocolId::kLOsue), "L-OSUE");
+  EXPECT_EQ(ProtocolName(ProtocolId::kLGrr), "L-GRR");
+  EXPECT_EQ(ProtocolName(ProtocolId::kBiLoloha), "BiLOLOHA");
+  EXPECT_EQ(ProtocolName(ProtocolId::kOLoloha), "OLOLOHA");
+  EXPECT_EQ(ProtocolName(ProtocolId::kOneBitFlipPm), "1BitFlipPM");
+  EXPECT_EQ(ProtocolName(ProtocolId::kBBitFlipPm), "bBitFlipPM");
+}
+
+TEST(ProtocolVarianceTest, LOsueMatchesPaperClosedForm) {
+  // Sec. 4: V*_{L-OSUE} = 4 e^{ε1} / (n (e^{ε1} - 1)^2).
+  for (const double eps : {1.0, 2.0, 4.0}) {
+    const double eps1 = 0.5 * eps;
+    const double n = 10000.0;
+    const double expected = 4.0 * std::exp(eps1) /
+                            (n * std::pow(std::exp(eps1) - 1.0, 2.0));
+    const double v =
+        ProtocolApproxVariance(ProtocolId::kLOsue, n, 100, eps, eps1);
+    EXPECT_LT(RelDiff(v, expected), 1e-9) << "eps=" << eps;
+  }
+}
+
+TEST(ProtocolVarianceTest, DBitFlipMatchesPaperClosedForm) {
+  // Sec. 4 (rewritten): V*_{dBitFlipPM} = b e^{ε∞/2} /
+  // (d n (e^{ε∞/2} - 1)^2) — the SUE variance scaled by b/d sampling.
+  const double n = 10000.0;
+  for (const double eps : {0.5, 2.0, 5.0}) {
+    for (const uint32_t d : {1u, 10u, 100u}) {
+      const uint32_t b = 100;
+      const double e = std::exp(eps / 2.0);
+      const double expected =
+          static_cast<double>(b) * e /
+          (d * n * (e - 1.0) * (e - 1.0));
+      EXPECT_LT(RelDiff(DBitFlipApproxVariance(n, b, d, eps), expected),
+                1e-9);
+    }
+  }
+}
+
+TEST(ProtocolVarianceTest, OLolohaTracksLOsueClosely) {
+  // Fig. 2's headline: OLOLOHA ~ L-OSUE across the grid (within a small
+  // constant factor), mirroring OLH ~ OUE.
+  for (const double eps : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    for (const double alpha : {0.3, 0.5, 0.6}) {
+      const double v_olo = ProtocolApproxVariance(
+          ProtocolId::kOLoloha, 1e4, 360, eps, alpha * eps);
+      const double v_osue = ProtocolApproxVariance(
+          ProtocolId::kLOsue, 1e4, 360, eps, alpha * eps);
+      EXPECT_LT(v_olo / v_osue, 2.0) << "eps=" << eps << " a=" << alpha;
+      EXPECT_GT(v_olo / v_osue, 0.9);
+    }
+  }
+}
+
+TEST(ProtocolVarianceTest, BiLolohaWorstInLowPrivacyRegime) {
+  // Fig. 2, low-privacy corner (ε∞ = 5, α = 0.6): BiLOLOHA and RAPPOR
+  // trail L-OSUE / OLOLOHA.
+  const double n = 1e4;
+  const double eps = 5.0;
+  const double eps1 = 3.0;
+  const double v_bi =
+      ProtocolApproxVariance(ProtocolId::kBiLoloha, n, 360, eps, eps1);
+  const double v_osue =
+      ProtocolApproxVariance(ProtocolId::kLOsue, n, 360, eps, eps1);
+  EXPECT_GT(v_bi, v_osue);
+}
+
+TEST(ProtocolVarianceTest, AllSimilarInHighPrivacyRegime) {
+  // Fig. 2, α <= 0.3 and small ε∞: the four protocols are within a small
+  // factor of one another.
+  const double n = 1e4;
+  const double eps = 1.0;
+  const double eps1 = 0.2;
+  const double v[] = {
+      ProtocolApproxVariance(ProtocolId::kRappor, n, 360, eps, eps1),
+      ProtocolApproxVariance(ProtocolId::kLOsue, n, 360, eps, eps1),
+      ProtocolApproxVariance(ProtocolId::kBiLoloha, n, 360, eps, eps1),
+      ProtocolApproxVariance(ProtocolId::kOLoloha, n, 360, eps, eps1)};
+  for (const double a : v) {
+    for (const double b : v) {
+      EXPECT_LT(a / b, 1.6);
+    }
+  }
+}
+
+TEST(ProtocolVarianceTest, LGrrSensitiveToDomainSize) {
+  // Sec. 4: L-GRR degrades sharply with k.
+  const double v_small =
+      ProtocolApproxVariance(ProtocolId::kLGrr, 1e4, 4, 2.0, 1.0);
+  const double v_large =
+      ProtocolApproxVariance(ProtocolId::kLGrr, 1e4, 360, 2.0, 1.0);
+  EXPECT_GT(v_large, 50.0 * v_small);
+}
+
+TEST(CharacteristicsTest, Table1CommunicationBits) {
+  const uint32_t k = 1024;
+  EXPECT_DOUBLE_EQ(
+      Characteristics(ProtocolId::kRappor, k, k, 1, 2.0, 1.0)
+          .comm_bits_per_report,
+      1024.0);
+  EXPECT_DOUBLE_EQ(
+      Characteristics(ProtocolId::kLGrr, k, k, 1, 2.0, 1.0)
+          .comm_bits_per_report,
+      10.0);  // ceil(log2 1024)
+  EXPECT_DOUBLE_EQ(
+      Characteristics(ProtocolId::kBiLoloha, k, k, 1, 2.0, 1.0)
+          .comm_bits_per_report,
+      1.0);  // ceil(log2 2)
+  EXPECT_DOUBLE_EQ(
+      Characteristics(ProtocolId::kOneBitFlipPm, k, 256, 1, 2.0, 1.0)
+          .comm_bits_per_report,
+      1.0);
+}
+
+TEST(CharacteristicsTest, Table1BudgetConsumption) {
+  const uint32_t k = 360;
+  const double eps = 2.0;
+  EXPECT_DOUBLE_EQ(
+      Characteristics(ProtocolId::kRappor, k, k, 1, eps, 1.0)
+          .worst_case_budget,
+      k * eps);
+  EXPECT_DOUBLE_EQ(
+      Characteristics(ProtocolId::kBiLoloha, k, k, 1, eps, 1.0)
+          .worst_case_budget,
+      2 * eps);
+  // dBitFlipPM: min(d+1, b) eps.
+  EXPECT_DOUBLE_EQ(
+      Characteristics(ProtocolId::kOneBitFlipPm, k, 90, 1, eps, 1.0)
+          .worst_case_budget,
+      2 * eps);
+  EXPECT_DOUBLE_EQ(
+      Characteristics(ProtocolId::kBBitFlipPm, k, 90, 90, eps, 1.0)
+          .worst_case_budget,
+      90 * eps);
+}
+
+TEST(CharacteristicsTest, LolohaBudgetScalesWithOptimalG) {
+  const auto c =
+      Characteristics(ProtocolId::kOLoloha, 360, 360, 1, 5.0, 3.0);
+  const uint32_t g = OptimalLolohaG(5.0, 3.0);
+  EXPECT_DOUBLE_EQ(c.worst_case_budget, g * 5.0);
+  EXPECT_GT(g, 2u);
+}
+
+TEST(Figure2ProtocolsTest, FourDoubleRandomizationProtocols) {
+  const auto protocols = Figure2Protocols();
+  EXPECT_EQ(protocols.size(), 4u);
+}
+
+}  // namespace
+}  // namespace loloha

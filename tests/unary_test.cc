@@ -1,0 +1,104 @@
+#include "oracle/unary.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "oracle/estimator.h"
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+TEST(UeClientTest, ReportHasDomainLength) {
+  const UeClient client(20, 1.0, UeKind::kSymmetric);
+  Rng rng(1);
+  EXPECT_EQ(client.Perturb(3, rng).size(), 20u);
+}
+
+TEST(UeClientTest, TrueBitKeptWithProbabilityP) {
+  const UeClient client(10, 2.0, UeKind::kOptimized);
+  Rng rng(2);
+  constexpr int kTrials = 100000;
+  int set = 0;
+  for (int i = 0; i < kTrials; ++i) set += client.Perturb(4, rng)[4];
+  EXPECT_NEAR(set / static_cast<double>(kTrials), client.params().p, 0.006);
+}
+
+TEST(UeClientTest, FalseBitsSetWithProbabilityQ) {
+  const UeClient client(10, 2.0, UeKind::kOptimized);
+  Rng rng(3);
+  constexpr int kTrials = 50000;
+  int64_t set = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    const std::vector<uint8_t> report = client.Perturb(4, rng);
+    for (uint32_t v = 0; v < 10; ++v) {
+      if (v != 4) set += report[v];
+    }
+  }
+  EXPECT_NEAR(set / (9.0 * kTrials), client.params().q, 0.004);
+}
+
+TEST(UeClientTest, PerturbVectorFlipsEachBitIndependently) {
+  const UeClient client(6, PerturbParams{0.9, 0.1});
+  Rng rng(4);
+  const std::vector<uint8_t> input = {1, 0, 1, 0, 1, 0};
+  constexpr int kTrials = 50000;
+  std::vector<int> ones(6, 0);
+  for (int i = 0; i < kTrials; ++i) {
+    const std::vector<uint8_t> out = client.PerturbVector(input, rng);
+    for (uint32_t v = 0; v < 6; ++v) ones[v] += out[v];
+  }
+  for (uint32_t v = 0; v < 6; ++v) {
+    const double expected = input[v] ? 0.9 : 0.1;
+    EXPECT_NEAR(ones[v] / static_cast<double>(kTrials), expected, 0.01);
+  }
+}
+
+class UeEndToEnd : public testing::TestWithParam<UeKind> {};
+
+TEST_P(UeEndToEnd, RecoversDistribution) {
+  const UeKind kind = GetParam();
+  const uint32_t k = 16;
+  const double eps = 2.0;
+  const UeClient client(k, eps, kind);
+  UeServer server(k, eps, kind);
+  Rng rng(5);
+  constexpr int kUsers = 60000;
+  for (int i = 0; i < kUsers; ++i) {
+    // 50% value 0, 25% value 1, 25% value 2.
+    const int r = i % 4;
+    const uint32_t v = r < 2 ? 0u : (r == 2 ? 1u : 2u);
+    server.Accumulate(client.Perturb(v, rng));
+  }
+  const std::vector<double> est = server.Estimate();
+  EXPECT_NEAR(est[0], 0.50, 0.025);
+  EXPECT_NEAR(est[1], 0.25, 0.025);
+  EXPECT_NEAR(est[2], 0.25, 0.025);
+  EXPECT_NEAR(est[9], 0.0, 0.025);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothKinds, UeEndToEnd,
+                         testing::Values(UeKind::kSymmetric,
+                                         UeKind::kOptimized));
+
+TEST(UeTest, OueBeatsSueInVariance) {
+  // The whole point of OUE: lower estimator variance at the same eps.
+  for (const double eps : {1.0, 2.0, 3.0}) {
+    const double v_oue = OneRoundVariance(1000.0, 0.0, OueParams(eps));
+    const double v_sue = OneRoundVariance(1000.0, 0.0, SueParams(eps));
+    EXPECT_LT(v_oue, v_sue) << "eps=" << eps;
+  }
+}
+
+TEST(UeServerTest, ResetClearsState) {
+  UeServer server(4, 1.0, UeKind::kSymmetric);
+  server.Accumulate({1, 0, 0, 0});
+  EXPECT_EQ(server.num_reports(), 1u);
+  server.Reset();
+  EXPECT_EQ(server.num_reports(), 0u);
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,113 @@
+// Property sweep: for every wire type and hundreds of randomized valid
+// payloads, Encode followed by Decode is the identity, and the encoding
+// is canonical (byte-identical on re-encode).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "wire/encoding.h"
+
+namespace loloha {
+namespace {
+
+class WireRoundTripSweep : public testing::TestWithParam<uint64_t> {
+ protected:
+  Rng rng_{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTripSweep,
+                         testing::Range<uint64_t>(1, 26));
+
+TEST_P(WireRoundTripSweep, GrrIdentity) {
+  const uint32_t k = 2 + static_cast<uint32_t>(rng_.UniformInt(2000));
+  for (int i = 0; i < 20; ++i) {
+    const uint32_t value = static_cast<uint32_t>(rng_.UniformInt(k));
+    const std::string bytes = EncodeGrrReport(value);
+    uint32_t decoded = k;
+    ASSERT_TRUE(DecodeGrrReport(bytes, k, &decoded));
+    EXPECT_EQ(decoded, value);
+    EXPECT_EQ(EncodeGrrReport(decoded), bytes);
+  }
+}
+
+TEST_P(WireRoundTripSweep, UeIdentity) {
+  const uint32_t k = 1 + static_cast<uint32_t>(rng_.UniformInt(512));
+  std::vector<uint8_t> bits(k);
+  for (uint32_t i = 0; i < k; ++i) bits[i] = rng_.Bernoulli(0.5) ? 1 : 0;
+  const std::string bytes = EncodeUeReport(bits);
+  std::vector<uint8_t> decoded;
+  ASSERT_TRUE(DecodeUeReport(bytes, k, &decoded));
+  EXPECT_EQ(decoded, bits);
+  EXPECT_EQ(EncodeUeReport(decoded), bytes);
+}
+
+TEST_P(WireRoundTripSweep, LhIdentity) {
+  const uint32_t g = 2 + static_cast<uint32_t>(rng_.UniformInt(200));
+  LhReport report;
+  report.hash = UniversalHash::Sample(g, rng_);
+  report.cell = static_cast<uint32_t>(rng_.UniformInt(g));
+  const std::string bytes = EncodeLhReport(report);
+  LhReport decoded;
+  ASSERT_TRUE(DecodeLhReport(bytes, g, &decoded));
+  EXPECT_TRUE(decoded.hash == report.hash);
+  EXPECT_EQ(decoded.cell, report.cell);
+  EXPECT_EQ(EncodeLhReport(decoded), bytes);
+}
+
+TEST_P(WireRoundTripSweep, LolohaIdentity) {
+  const uint32_t g = 2 + static_cast<uint32_t>(rng_.UniformInt(30));
+  const UniversalHash hash = UniversalHash::Sample(g, rng_);
+  UniversalHash decoded_hash;
+  ASSERT_TRUE(DecodeLolohaHello(EncodeLolohaHello(hash), g, &decoded_hash));
+  EXPECT_TRUE(decoded_hash == hash);
+
+  const uint32_t cell = static_cast<uint32_t>(rng_.UniformInt(g));
+  uint32_t decoded_cell = g;
+  ASSERT_TRUE(
+      DecodeLolohaReport(EncodeLolohaReport(cell), g, &decoded_cell));
+  EXPECT_EQ(decoded_cell, cell);
+}
+
+TEST_P(WireRoundTripSweep, DBitIdentity) {
+  const uint32_t b = 4 + static_cast<uint32_t>(rng_.UniformInt(400));
+  const uint32_t d = 1 + static_cast<uint32_t>(rng_.UniformInt(b));
+  // Distinct sampled set via partial Fisher-Yates.
+  std::vector<uint32_t> pool(b);
+  for (uint32_t j = 0; j < b; ++j) pool[j] = j;
+  std::vector<uint32_t> sampled;
+  for (uint32_t l = 0; l < d; ++l) {
+    const uint32_t pick =
+        l + static_cast<uint32_t>(rng_.UniformInt(b - l));
+    std::swap(pool[l], pool[pick]);
+    sampled.push_back(pool[l]);
+  }
+  std::vector<uint32_t> decoded_sampled;
+  ASSERT_TRUE(
+      DecodeDBitHello(EncodeDBitHello(sampled), b, d, &decoded_sampled));
+  EXPECT_EQ(decoded_sampled, sampled);
+
+  std::vector<uint8_t> bits(d);
+  for (uint32_t l = 0; l < d; ++l) bits[l] = rng_.Bernoulli(0.5) ? 1 : 0;
+  std::vector<uint8_t> decoded_bits;
+  ASSERT_TRUE(
+      DecodeDBitReport(EncodeDBitReport(bits), d, &decoded_bits));
+  EXPECT_EQ(decoded_bits, bits);
+}
+
+TEST_P(WireRoundTripSweep, CrossTypeDecodersRejectEachOther) {
+  // A valid message of one type must never decode as another.
+  const std::string grr = EncodeGrrReport(1);
+  const std::string loloha = EncodeLolohaReport(1);
+  std::vector<uint8_t> bits;
+  uint32_t value;
+  EXPECT_FALSE(DecodeLolohaReport(grr, 4, &value));
+  EXPECT_FALSE(DecodeGrrReport(loloha, 4, &value));
+  EXPECT_FALSE(DecodeUeReport(grr, 4, &bits));
+  EXPECT_FALSE(DecodeDBitReport(loloha, 4, &bits));
+}
+
+}  // namespace
+}  // namespace loloha
