@@ -21,6 +21,10 @@ HarnessConfig ParseHarness(const CommandLine& cli,
   LOLOHA_CHECK(config.scale >= 1);
   config.runs = static_cast<uint32_t>(cli.GetInt("runs", 2));
   LOLOHA_CHECK(config.runs >= 1);
+  const int64_t threads = cli.GetInt("threads", 1);
+  LOLOHA_CHECK_MSG(threads >= 0 && threads <= 4096,
+                   "--threads must be in [0, 4096] (0 = hardware)");
+  config.threads = static_cast<uint32_t>(threads);
   config.seed = static_cast<uint64_t>(cli.GetInt("seed", 20230328));
   config.quick = cli.HasFlag("quick");
   if (config.quick) {
@@ -98,6 +102,7 @@ int RunFig3Panel(const std::string& dataset_name, bool include_dbitflip,
 
   RunnerOptions options;
   options.bucket_divisor = bucket_divisor;
+  options.num_threads = config.threads;
   const std::vector<ProtocolId> protocols =
       Figure3Protocols(include_dbitflip);
 

@@ -4,6 +4,13 @@
 //   --full           paper-scale n and runs (slow on one core)
 //   --scale=S        divide n by S (default 5 unless --full)
 //   --runs=R         Monte-Carlo repetitions (default 2, paper used 20)
+//   --threads=T      worker threads per protocol run (default 1; 0 = all
+//                    hardware threads). Estimates are bit-identical for
+//                    every T — only wall-clock changes. Honored by the
+//                    binaries that execute protocol runners (the fig3
+//                    panels and bench_parallel_scaling); the remaining
+//                    figures/tables evaluate closed forms or per-client
+//                    paths and run single-threaded.
 //   --seed=N         base seed (default 20230328, the EDBT'23 date)
 //   --out=PATH.csv   where to write the CSV copy of the printed table
 //                    (default: results/<binary>.csv, directory auto-created)
@@ -28,6 +35,7 @@ namespace loloha::bench {
 struct HarnessConfig {
   uint32_t scale = 5;     // divide dataset n by this
   uint32_t runs = 2;      // Monte-Carlo repetitions
+  uint32_t threads = 1;   // RunnerOptions::num_threads (0 = hardware)
   uint64_t seed = 20230328;
   std::string out_csv;    // empty = derive from program name
   bool quick = false;     // extra-small smoke mode

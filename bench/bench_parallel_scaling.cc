@@ -1,0 +1,98 @@
+// Parallel-engine scaling: wall-clock speedup of the sharded runner path
+// at T worker threads over the 1-thread path, per protocol, with a
+// bit-identity check (estimates must not depend on the thread count).
+//
+//   --threads=T   parallel thread count to compare against 1 (default: all
+//                 hardware threads)
+//   --scale=S     dataset shrink factor (default 5, like the other benches)
+//   --runs=R      timing repetitions; the minimum per configuration is
+//                 reported (default 2)
+//
+// Reported speedup is bounded by the physically available cores: on a
+// 1-core machine the table shows ~1.0x regardless of T.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "sim/runner.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace loloha;
+
+double RunOnceMs(const LongitudinalRunner& runner, const Dataset& data,
+                 uint64_t seed, RunResult* out) {
+  const auto start = std::chrono::steady_clock::now();
+  *out = runner.Run(data, seed);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace loloha;
+  const CommandLine cli(argc, argv);
+  bench::HarnessConfig config =
+      bench::ParseHarness(cli, "bench_parallel_scaling.csv");
+  uint32_t threads = config.threads;
+  if (threads <= 1) threads = ThreadPool::HardwareThreads();
+
+  const Dataset data = bench::MakeDataset("syn", config, config.seed);
+  std::printf(
+      "Parallel scaling — %u-thread vs 1-thread sharded runner path\n"
+      "n=%u, k=%u, tau=%u, shards=%u, hardware threads=%u, runs=%u\n\n",
+      threads, data.n(), data.k(), data.tau(), kDefaultNumShards,
+      ThreadPool::HardwareThreads(), config.runs);
+
+  const std::vector<ProtocolId> protocols = {
+      ProtocolId::kBiLoloha, ProtocolId::kOLoloha, ProtocolId::kLOsue,
+      ProtocolId::kLGrr, ProtocolId::kBBitFlipPm};
+
+  TextTable table({"protocol", "t1_ms", "tN_ms", "speedup", "bit_identical"});
+  bool all_identical = true;
+  for (const ProtocolId id : protocols) {
+    RunnerOptions sequential;
+    sequential.num_threads = 1;
+    RunnerOptions parallel;
+    parallel.num_threads = threads;
+    const auto runner_seq = MakeRunner(id, 2.0, 1.0, sequential);
+    const auto runner_par = MakeRunner(id, 2.0, 1.0, parallel);
+
+    double best_seq = 0.0;
+    double best_par = 0.0;
+    RunResult result_seq;
+    RunResult result_par;
+    for (uint32_t r = 0; r < config.runs; ++r) {
+      const double ms_seq =
+          RunOnceMs(*runner_seq, data, config.seed, &result_seq);
+      const double ms_par =
+          RunOnceMs(*runner_par, data, config.seed, &result_par);
+      if (r == 0 || ms_seq < best_seq) best_seq = ms_seq;
+      if (r == 0 || ms_par < best_par) best_par = ms_par;
+    }
+    const bool identical = result_seq.estimates == result_par.estimates &&
+                           result_seq.per_user_epsilon ==
+                               result_par.per_user_epsilon;
+    all_identical = all_identical && identical;
+    table.AddRow({result_seq.protocol, FormatDouble(best_seq, 4),
+                  FormatDouble(best_par, 4),
+                  FormatDouble(best_seq / best_par, 3),
+                  identical ? "yes" : "NO"});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+
+  std::printf("\n\n%s\n", table.ToString().c_str());
+  if (!all_identical) {
+    std::printf("ERROR: thread count changed the estimates\n");
+    return 1;
+  }
+  if (!config.out_csv.empty()) table.WriteCsv(config.out_csv);
+  return 0;
+}

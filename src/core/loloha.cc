@@ -2,6 +2,7 @@
 
 #include "oracle/estimator.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace loloha {
 
@@ -75,18 +76,16 @@ LolohaPopulation::LolohaPopulation(const LolohaParams& params, uint32_t n,
   }
 }
 
-std::vector<double> LolohaPopulation::Step(
-    const std::vector<uint32_t>& values, Rng& rng) {
-  LOLOHA_CHECK(values.size() == n_);
+void LolohaPopulation::StepUserRange(const std::vector<uint32_t>& values,
+                                     uint64_t begin, uint64_t end, Rng& rng,
+                                     uint64_t* support) {
   const uint32_t k = params_.k;
   const uint32_t g = params_.g;
-
-  std::vector<uint64_t> support(k, 0);
-  for (uint32_t u = 0; u < n_; ++u) {
-    const uint16_t* row = &hash_rows_[static_cast<size_t>(u) * k];
+  for (uint64_t u = begin; u < end; ++u) {
+    const uint16_t* row = &hash_rows_[u * k];
     const uint32_t cell = row[values[u]];
 
-    int16_t* memo = &memo_[static_cast<size_t>(u) * g];
+    int16_t* memo = &memo_[u * g];
     int32_t memoized = memo[cell];
     if (memoized < 0) {
       uint32_t drawn = cell;
@@ -109,8 +108,41 @@ std::vector<double> LolohaPopulation::Step(
       support[v] += (row[v] == target) ? 1 : 0;
     }
   }
+}
 
+std::vector<double> LolohaPopulation::Step(
+    const std::vector<uint32_t>& values, Rng& rng) {
+  LOLOHA_CHECK(values.size() == n_);
+  std::vector<uint64_t> support(params_.k, 0);
+  StepUserRange(values, 0, n_, rng, support.data());
   std::vector<double> counts(support.begin(), support.end());
+  return EstimateFrequenciesChained(counts, static_cast<double>(n_),
+                                    params_.EstimatorFirst(), params_.irr);
+}
+
+std::vector<double> LolohaPopulation::Step(
+    const std::vector<uint32_t>& values, uint64_t step_seed,
+    ThreadPool& pool, uint32_t num_shards) {
+  LOLOHA_CHECK(values.size() == n_);
+  LOLOHA_CHECK(num_shards >= 1);
+  const uint32_t k = params_.k;
+
+  // Per-shard user slices are disjoint, so the memo tables are written
+  // without synchronization; support counts land in per-shard rows and are
+  // merged in shard order (integer sums — order-independent anyway).
+  std::vector<uint64_t> shard_support(static_cast<size_t>(num_shards) * k, 0);
+  pool.ParallelFor(num_shards, [&](uint32_t shard) {
+    const ShardRange range = ShardBounds(n_, num_shards, shard);
+    Rng rng(StreamSeed(step_seed, shard, 0));
+    StepUserRange(values, range.begin, range.end, rng,
+                  &shard_support[static_cast<size_t>(shard) * k]);
+  });
+
+  std::vector<double> counts(k, 0.0);
+  for (uint32_t shard = 0; shard < num_shards; ++shard) {
+    const uint64_t* row = &shard_support[static_cast<size_t>(shard) * k];
+    for (uint32_t v = 0; v < k; ++v) counts[v] += static_cast<double>(row[v]);
+  }
   return EstimateFrequenciesChained(counts, static_cast<double>(n_),
                                     params_.EstimatorFirst(), params_.irr);
 }

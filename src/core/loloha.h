@@ -26,6 +26,8 @@
 
 namespace loloha {
 
+class ThreadPool;
+
 // One user's stateful LOLOHA randomizer (Algorithm 1).
 class LolohaClient {
  public:
@@ -80,6 +82,15 @@ class LolohaPopulation {
   // Advances one collection step; returns the step's frequency estimates.
   std::vector<double> Step(const std::vector<uint32_t>& values, Rng& rng);
 
+  // Sharded step: users are split into `num_shards` fixed slices, each
+  // drawing from its own Rng stream derived from `step_seed`, and the
+  // slices run on `pool`. Mechanism-identical in distribution to the
+  // sequential overload, and bit-identical for any pool size (shard
+  // layout, not thread count, determines every draw).
+  std::vector<double> Step(const std::vector<uint32_t>& values,
+                           uint64_t step_seed, ThreadPool& pool,
+                           uint32_t num_shards);
+
   // Distinct hash cells memoized by user u.
   uint32_t DistinctMemos(uint32_t user) const;
 
@@ -87,6 +98,10 @@ class LolohaPopulation {
   uint32_t n() const { return n_; }
 
  private:
+  // Runs users [begin, end) of one step, adding into `support` (length k).
+  void StepUserRange(const std::vector<uint32_t>& values, uint64_t begin,
+                     uint64_t end, Rng& rng, uint64_t* support);
+
   LolohaParams params_;
   uint32_t n_;
   // Row-major n x k table of H_u(v); g <= 65535 enforced at construction.

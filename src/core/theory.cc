@@ -92,12 +92,14 @@ ProtocolCharacteristics Characteristics(ProtocolId id, uint32_t k, uint32_t b,
     case ProtocolId::kLSoue:
     case ProtocolId::kLOue:
       out.comm_bits_per_report = static_cast<double>(k);
-      out.server_runtime = "n k";
+      // std::string temporaries: GCC 12's -Wrestrict false-positives on
+      // string::operator=(const char*) under -O3 (PR 105329).
+      out.server_runtime = std::string("n k");
       out.worst_case_budget = static_cast<double>(k) * eps_perm;
       break;
     case ProtocolId::kLGrr:
       out.comm_bits_per_report = std::ceil(std::log2(k));
-      out.server_runtime = "n";
+      out.server_runtime = std::string("n");
       out.worst_case_budget = static_cast<double>(k) * eps_perm;
       break;
     case ProtocolId::kBiLoloha:
@@ -106,7 +108,7 @@ ProtocolCharacteristics Characteristics(ProtocolId id, uint32_t k, uint32_t b,
                              ? 2
                              : OptimalLolohaG(eps_perm, eps_first);
       out.comm_bits_per_report = std::ceil(std::log2(g));
-      out.server_runtime = "n k";
+      out.server_runtime = std::string("n k");
       out.worst_case_budget = static_cast<double>(g) * eps_perm;
       break;
     }
@@ -115,7 +117,7 @@ ProtocolCharacteristics Characteristics(ProtocolId id, uint32_t k, uint32_t b,
       const uint32_t dd = (id == ProtocolId::kOneBitFlipPm) ? 1 : b;
       (void)d;
       out.comm_bits_per_report = static_cast<double>(dd);
-      out.server_runtime = "n b";
+      out.server_runtime = std::string("n b");
       out.worst_case_budget =
           static_cast<double>(std::min(dd + 1, b)) * eps_perm;
       break;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "oracle/estimator.h"
+#include "util/thread_pool.h"
 
 namespace loloha {
 
@@ -117,23 +118,23 @@ uint32_t DBitFlipPopulation::EnsureMemo(UserState& user, uint32_t bucket,
 }
 
 void DBitFlipPopulation::ApplySlot(const UserState& user, uint32_t slot,
-                                   int64_t sign) {
+                                   int64_t sign, int64_t* support) const {
   const uint64_t* words =
       user.arena.data() + static_cast<size_t>(slot) * words_per_memo_;
   for (uint32_t w = 0; w < words_per_memo_; ++w) {
     uint64_t bits = words[w];
     while (bits != 0) {
       const int bit = __builtin_ctzll(bits);
-      support_[user.sampled[w * 64 + bit]] += sign;
+      support[user.sampled[w * 64 + bit]] += sign;
       bits &= bits - 1;
     }
   }
 }
 
-std::vector<double> DBitFlipPopulation::Step(
-    const std::vector<uint32_t>& values, Rng& rng) {
-  LOLOHA_CHECK(values.size() == users_.size());
-  for (size_t u = 0; u < users_.size(); ++u) {
+void DBitFlipPopulation::StepUserRange(const std::vector<uint32_t>& values,
+                                       uint64_t begin, uint64_t end, Rng& rng,
+                                       int64_t* support) {
+  for (uint64_t u = begin; u < end; ++u) {
     UserState& user = users_[u];
     const uint32_t bucket = bucketizer_.Bucket(values[u]);
     if (user.current_bucket == static_cast<int64_t>(bucket)) continue;
@@ -141,13 +142,15 @@ std::vector<double> DBitFlipPopulation::Step(
       ApplySlot(user,
                 static_cast<uint32_t>(
                     user.slots[static_cast<uint32_t>(user.current_bucket)]),
-                -1);
+                -1, support);
     }
     const uint32_t slot = EnsureMemo(user, bucket, rng);
-    ApplySlot(user, slot, +1);
+    ApplySlot(user, slot, +1, support);
     user.current_bucket = bucket;
   }
+}
 
+std::vector<double> DBitFlipPopulation::EstimateCurrent() const {
   const uint32_t b = bucketizer_.b();
   std::vector<double> estimates(b, 0.0);
   for (uint32_t j = 0; j < b; ++j) {
@@ -158,6 +161,34 @@ std::vector<double> DBitFlipPopulation::Step(
                                      static_cast<double>(n_j), params_);
   }
   return estimates;
+}
+
+std::vector<double> DBitFlipPopulation::Step(
+    const std::vector<uint32_t>& values, Rng& rng) {
+  LOLOHA_CHECK(values.size() == users_.size());
+  StepUserRange(values, 0, users_.size(), rng, support_.data());
+  return EstimateCurrent();
+}
+
+std::vector<double> DBitFlipPopulation::Step(
+    const std::vector<uint32_t>& values, uint64_t step_seed,
+    ThreadPool& pool, uint32_t num_shards) {
+  LOLOHA_CHECK(values.size() == users_.size());
+  LOLOHA_CHECK(num_shards >= 1);
+  const uint32_t b = bucketizer_.b();
+
+  std::vector<int64_t> deltas(static_cast<size_t>(num_shards) * b, 0);
+  pool.ParallelFor(num_shards, [&](uint32_t shard) {
+    const ShardRange range = ShardBounds(users_.size(), num_shards, shard);
+    Rng rng(StreamSeed(step_seed, shard, 0));
+    StepUserRange(values, range.begin, range.end, rng,
+                  &deltas[static_cast<size_t>(shard) * b]);
+  });
+  for (uint32_t shard = 0; shard < num_shards; ++shard) {
+    const int64_t* row = &deltas[static_cast<size_t>(shard) * b];
+    for (uint32_t j = 0; j < b; ++j) support_[j] += row[j];
+  }
+  return EstimateCurrent();
 }
 
 uint32_t DBitFlipPopulation::DistinctStates(uint32_t user) const {

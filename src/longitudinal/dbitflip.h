@@ -26,6 +26,8 @@
 
 namespace loloha {
 
+class ThreadPool;
+
 // Equal-width bucketization of [0, k) into [0, b): bucket(v) = v * b / k.
 class Bucketizer {
  public:
@@ -102,6 +104,13 @@ class DBitFlipPopulation {
   // Advances one step; returns the estimated b-bin bucket histogram.
   std::vector<double> Step(const std::vector<uint32_t>& values, Rng& rng);
 
+  // Sharded step: users are split into `num_shards` fixed slices, each
+  // with its own Rng stream derived from `step_seed`; per-shard support
+  // deltas are merged serially. Bit-identical for any pool size.
+  std::vector<double> Step(const std::vector<uint32_t>& values,
+                           uint64_t step_seed, ThreadPool& pool,
+                           uint32_t num_shards);
+
   // Distinct privacy states exercised by user u (<= min(d+1, b)).
   uint32_t DistinctStates(uint32_t user) const;
 
@@ -120,7 +129,13 @@ class DBitFlipPopulation {
   };
 
   uint32_t EnsureMemo(UserState& user, uint32_t bucket, Rng& rng);
-  void ApplySlot(const UserState& user, uint32_t slot, int64_t sign);
+  // Adds the slot's memoized bits (times `sign`) into `support` (length b).
+  void ApplySlot(const UserState& user, uint32_t slot, int64_t sign,
+                 int64_t* support) const;
+  // Runs users [begin, end) of one step, accumulating into `support`.
+  void StepUserRange(const std::vector<uint32_t>& values, uint64_t begin,
+                     uint64_t end, Rng& rng, int64_t* support);
+  std::vector<double> EstimateCurrent() const;
 
   Bucketizer bucketizer_;
   uint32_t d_;

@@ -5,6 +5,7 @@
 #include "oracle/estimator.h"
 #include "oracle/unary.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace loloha {
 
@@ -110,29 +111,16 @@ LongitudinalUePopulation::LongitudinalUePopulation(uint32_t k, uint32_t n,
   LOLOHA_CHECK(ValidParams(chain.second));
 }
 
-void LongitudinalUePopulation::AddSlotToCounts(const UserState& user,
-                                               uint32_t slot) {
+void LongitudinalUePopulation::ApplySlotToColumns(const UserState& user,
+                                                  uint32_t slot, int64_t sign,
+                                                  int64_t* columns) const {
   const uint64_t* words = user.arena.data() +
                           static_cast<size_t>(slot) * words_per_memo_;
   for (uint32_t w = 0; w < words_per_memo_; ++w) {
     uint64_t bits = words[w];
     while (bits != 0) {
       const int b = __builtin_ctzll(bits);
-      ++memo_column_sums_[w * 64 + b];
-      bits &= bits - 1;
-    }
-  }
-}
-
-void LongitudinalUePopulation::SubSlotFromCounts(const UserState& user,
-                                                 uint32_t slot) {
-  const uint64_t* words = user.arena.data() +
-                          static_cast<size_t>(slot) * words_per_memo_;
-  for (uint32_t w = 0; w < words_per_memo_; ++w) {
-    uint64_t bits = words[w];
-    while (bits != 0) {
-      const int b = __builtin_ctzll(bits);
-      --memo_column_sums_[w * 64 + b];
+      columns[w * 64 + b] += sign;
       bits &= bits - 1;
     }
   }
@@ -164,13 +152,12 @@ uint32_t LongitudinalUePopulation::EnsureMemo(UserState& user, uint32_t value,
   return slot;
 }
 
-std::vector<double> LongitudinalUePopulation::Step(
-    const std::vector<uint32_t>& values, Rng& rng) {
-  LOLOHA_CHECK(values.size() == n_);
-
+void LongitudinalUePopulation::UpdateMemoRange(
+    const std::vector<uint32_t>& values, uint64_t begin, uint64_t end,
+    Rng& rng, int64_t* columns) {
   // PRR bookkeeping: move each user whose value changed onto the memo
-  // vector of the new value, keeping the column sums M in sync.
-  for (uint32_t u = 0; u < n_; ++u) {
+  // vector of the new value, recording the column-sum deltas.
+  for (uint64_t u = begin; u < end; ++u) {
     UserState& user = users_[u];
     const uint32_t value = values[u];
     LOLOHA_DCHECK(value < k_);
@@ -179,17 +166,21 @@ std::vector<double> LongitudinalUePopulation::Step(
       const int32_t old_slot =
           user.slots[static_cast<uint32_t>(user.current_value)];
       LOLOHA_DCHECK(old_slot >= 0);
-      SubSlotFromCounts(user, static_cast<uint32_t>(old_slot));
+      ApplySlotToColumns(user, static_cast<uint32_t>(old_slot), -1, columns);
     }
     const uint32_t slot = EnsureMemo(user, value, rng);
-    AddSlotToCounts(user, slot);
+    ApplySlotToColumns(user, slot, +1, columns);
     user.current_value = value;
   }
+}
 
+void LongitudinalUePopulation::SampleIrrRange(uint64_t begin, uint64_t end,
+                                              Rng& rng,
+                                              double* counts) const {
   // IRR sampling: position-wise binomial mixture (see header).
-  std::vector<double> counts(k_);
-  for (uint32_t i = 0; i < k_; ++i) {
-    const uint64_t ones = memo_column_sums_[i];
+  for (uint64_t i = begin; i < end; ++i) {
+    LOLOHA_DCHECK(memo_column_sums_[i] >= 0);
+    const uint64_t ones = static_cast<uint64_t>(memo_column_sums_[i]);
     LOLOHA_DCHECK(ones <= n_);
     uint64_t c = 0;
     if (ones > 0) {
@@ -203,6 +194,46 @@ std::vector<double> LongitudinalUePopulation::Step(
     }
     counts[i] = static_cast<double>(c);
   }
+}
+
+std::vector<double> LongitudinalUePopulation::Step(
+    const std::vector<uint32_t>& values, Rng& rng) {
+  LOLOHA_CHECK(values.size() == n_);
+  UpdateMemoRange(values, 0, n_, rng, memo_column_sums_.data());
+  std::vector<double> counts(k_);
+  SampleIrrRange(0, k_, rng, counts.data());
+  return EstimateFrequenciesChained(counts, static_cast<double>(n_),
+                                    chain_.first, chain_.second);
+}
+
+std::vector<double> LongitudinalUePopulation::Step(
+    const std::vector<uint32_t>& values, uint64_t step_seed,
+    ThreadPool& pool, uint32_t num_shards) {
+  LOLOHA_CHECK(values.size() == n_);
+  LOLOHA_CHECK(num_shards >= 1);
+
+  // Phase 1 — user shards update their (disjoint) memo states and record
+  // column-sum deltas, merged serially afterwards.
+  std::vector<int64_t> deltas(static_cast<size_t>(num_shards) * k_, 0);
+  pool.ParallelFor(num_shards, [&](uint32_t shard) {
+    const ShardRange range = ShardBounds(n_, num_shards, shard);
+    Rng rng(StreamSeed(step_seed, shard, 0));
+    UpdateMemoRange(values, range.begin, range.end, rng,
+                    &deltas[static_cast<size_t>(shard) * k_]);
+  });
+  for (uint32_t shard = 0; shard < num_shards; ++shard) {
+    const int64_t* row = &deltas[static_cast<size_t>(shard) * k_];
+    for (uint32_t i = 0; i < k_; ++i) memo_column_sums_[i] += row[i];
+  }
+
+  // Phase 2 — position shards sample the IRR binomials into disjoint
+  // count slices (substream 1 keeps the streams distinct from phase 1).
+  std::vector<double> counts(k_);
+  pool.ParallelFor(num_shards, [&](uint32_t shard) {
+    const ShardRange range = ShardBounds(k_, num_shards, shard);
+    Rng rng(StreamSeed(step_seed, shard, 1));
+    SampleIrrRange(range.begin, range.end, rng, counts.data());
+  });
   return EstimateFrequenciesChained(counts, static_cast<double>(n_),
                                     chain_.first, chain_.second);
 }

@@ -35,6 +35,8 @@
 
 namespace loloha {
 
+class ThreadPool;
+
 // Which UE protocol runs in each round; mirrors ref. [5]'s four variants.
 enum class LueVariant {
   kLSue,   // SUE + SUE == RAPPOR
@@ -98,6 +100,14 @@ class LongitudinalUePopulation {
   // Returns the estimated frequency histogram for the step.
   std::vector<double> Step(const std::vector<uint32_t>& values, Rng& rng);
 
+  // Sharded step: phase 1 splits users into `num_shards` slices for the
+  // PRR memo bookkeeping, phase 2 splits the k positions for the IRR
+  // binomial sampling; each (shard, phase) derives its own Rng stream
+  // from `step_seed`. Bit-identical output for any pool size.
+  std::vector<double> Step(const std::vector<uint32_t>& values,
+                           uint64_t step_seed, ThreadPool& pool,
+                           uint32_t num_shards);
+
   // Distinct values memoized by user u so far.
   uint32_t DistinctMemos(uint32_t user) const;
 
@@ -115,10 +125,16 @@ class LongitudinalUePopulation {
     uint32_t distinct = 0;
   };
 
-  // Packed-bits view helpers over a user's arena slot.
-  void AddSlotToCounts(const UserState& user, uint32_t slot);
-  void SubSlotFromCounts(const UserState& user, uint32_t slot);
+  // Adds `sign` to `columns[i]` for every set bit i of the slot's memo.
+  void ApplySlotToColumns(const UserState& user, uint32_t slot, int64_t sign,
+                          int64_t* columns) const;
   uint32_t EnsureMemo(UserState& user, uint32_t value, Rng& rng);
+  // Phase 1 over users [begin, end): memo bookkeeping, column deltas into
+  // `columns`. Phase 2 over positions [begin, end): IRR binomial counts.
+  void UpdateMemoRange(const std::vector<uint32_t>& values, uint64_t begin,
+                       uint64_t end, Rng& rng, int64_t* columns);
+  void SampleIrrRange(uint64_t begin, uint64_t end, Rng& rng,
+                      double* counts) const;
 
   uint32_t k_;
   uint32_t n_;
@@ -126,7 +142,7 @@ class LongitudinalUePopulation {
   ChainedParams chain_;
   std::vector<UserState> users_;
   // M[i]: number of users whose current memo vector has bit i set.
-  std::vector<uint64_t> memo_column_sums_;
+  std::vector<int64_t> memo_column_sums_;
 };
 
 }  // namespace loloha

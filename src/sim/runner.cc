@@ -12,23 +12,37 @@
 #include "oracle/params.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace loloha {
 
 namespace {
 
+// Stream tag separating per-step seeds from any other use of the run seed
+// (population construction consumes the raw seed's Rng sequentially).
+constexpr uint64_t kStepStream = 0x5749c4e1u;
+
+uint64_t StepSeed(uint64_t seed, uint32_t t) {
+  return StreamSeed(seed, kStepStream, t);
+}
+
 // RAPPOR, L-OSUE, L-SOUE, L-OUE.
 class UeRunner : public LongitudinalRunner {
  public:
-  UeRunner(LueVariant variant, double eps_perm, double eps_first)
-      : variant_(variant), eps_perm_(eps_perm), eps_first_(eps_first) {}
+  UeRunner(LueVariant variant, double eps_perm, double eps_first,
+           const RunnerOptions& options)
+      : variant_(variant),
+        eps_perm_(eps_perm),
+        eps_first_(eps_first),
+        options_(options) {}
 
   std::string name() const override { return LueVariantName(variant_); }
 
   RunResult Run(const Dataset& data, uint64_t seed) const override {
-    Rng rng(seed);
     const ChainedParams chain = LueChain(variant_, eps_perm_, eps_first_);
     LongitudinalUePopulation population(data.k(), data.n(), chain);
+    ThreadPool pool(ResolveNumThreads(options_));
+    const uint32_t shards = ResolveNumShards(options_);
 
     RunResult result;
     result.protocol = name();
@@ -36,7 +50,9 @@ class UeRunner : public LongitudinalRunner {
     result.comm_bits_per_report = data.k();
     result.estimates.reserve(data.tau());
     for (uint32_t t = 0; t < data.tau(); ++t) {
-      result.estimates.push_back(population.Step(data.StepValues(t), rng));
+      result.estimates.push_back(
+          population.Step(data.StepValues(t), StepSeed(seed, t), pool,
+                          shards));
     }
     result.per_user_epsilon.resize(data.n());
     for (uint32_t u = 0; u < data.n(); ++u) {
@@ -49,37 +65,54 @@ class UeRunner : public LongitudinalRunner {
   LueVariant variant_;
   double eps_perm_;
   double eps_first_;
+  RunnerOptions options_;
 };
 
 class GrrRunner : public LongitudinalRunner {
  public:
-  GrrRunner(double eps_perm, double eps_first)
-      : eps_perm_(eps_perm), eps_first_(eps_first) {}
+  GrrRunner(double eps_perm, double eps_first, const RunnerOptions& options)
+      : eps_perm_(eps_perm), eps_first_(eps_first), options_(options) {}
 
   std::string name() const override { return "L-GRR"; }
 
   RunResult Run(const Dataset& data, uint64_t seed) const override {
-    Rng rng(seed);
-    const ChainedParams chain = LGrrChain(eps_perm_, eps_first_, data.k());
+    const uint32_t k = data.k();
+    const uint32_t n = data.n();
+    const ChainedParams chain = LGrrChain(eps_perm_, eps_first_, k);
     std::vector<LongitudinalGrrClient> clients(
-        data.n(), LongitudinalGrrClient(data.k(), chain));
-    LongitudinalGrrServer server(data.k(), chain);
+        n, LongitudinalGrrClient(k, chain));
+    ThreadPool pool(ResolveNumThreads(options_));
+    const uint32_t shards = ResolveNumShards(options_);
 
     RunResult result;
     result.protocol = name();
-    result.bins = data.k();
-    result.comm_bits_per_report = std::ceil(std::log2(data.k()));
+    result.bins = k;
+    result.comm_bits_per_report = std::ceil(std::log2(k));
     result.estimates.reserve(data.tau());
+    std::vector<uint64_t> shard_counts(static_cast<size_t>(shards) * k);
     for (uint32_t t = 0; t < data.tau(); ++t) {
-      server.BeginStep();
       const uint32_t* values = data.StepValuesData(t);
-      for (uint32_t u = 0; u < data.n(); ++u) {
-        server.Accumulate(clients[u].Report(values[u], rng));
+      shard_counts.assign(shard_counts.size(), 0);
+      pool.ParallelFor(shards, [&](uint32_t shard) {
+        const ShardRange range = ShardBounds(n, shards, shard);
+        Rng rng(StreamSeed(StepSeed(seed, t), shard, 0));
+        uint64_t* counts = &shard_counts[static_cast<size_t>(shard) * k];
+        for (uint64_t u = range.begin; u < range.end; ++u) {
+          ++counts[clients[u].Report(values[u], rng)];
+        }
+      });
+      std::vector<double> counts(k, 0.0);
+      for (uint32_t shard = 0; shard < shards; ++shard) {
+        const uint64_t* row = &shard_counts[static_cast<size_t>(shard) * k];
+        for (uint32_t v = 0; v < k; ++v) {
+          counts[v] += static_cast<double>(row[v]);
+        }
       }
-      result.estimates.push_back(server.EstimateStep());
+      result.estimates.push_back(EstimateFrequenciesChained(
+          counts, static_cast<double>(n), chain.first, chain.second));
     }
-    result.per_user_epsilon.resize(data.n());
-    for (uint32_t u = 0; u < data.n(); ++u) {
+    result.per_user_epsilon.resize(n);
+    for (uint32_t u = 0; u < n; ++u) {
       result.per_user_epsilon[u] = eps_perm_ * clients[u].distinct_memos();
     }
     return result;
@@ -88,13 +121,18 @@ class GrrRunner : public LongitudinalRunner {
  private:
   double eps_perm_;
   double eps_first_;
+  RunnerOptions options_;
 };
 
 class LolohaRunner : public LongitudinalRunner {
  public:
   // g == 2 -> BiLOLOHA; g == 0 -> OLOLOHA (Eq. 6); otherwise fixed g.
-  LolohaRunner(uint32_t g, double eps_perm, double eps_first)
-      : g_(g), eps_perm_(eps_perm), eps_first_(eps_first) {}
+  LolohaRunner(uint32_t g, double eps_perm, double eps_first,
+               const RunnerOptions& options)
+      : g_(g),
+        eps_perm_(eps_perm),
+        eps_first_(eps_first),
+        options_(options) {}
 
   std::string name() const override {
     if (g_ == 2) return "BiLOLOHA";
@@ -109,6 +147,8 @@ class LolohaRunner : public LongitudinalRunner {
     const LolohaParams params =
         MakeLolohaParams(data.k(), g, eps_perm_, eps_first_);
     LolohaPopulation population(params, data.n(), rng);
+    ThreadPool pool(ResolveNumThreads(options_));
+    const uint32_t shards = ResolveNumShards(options_);
 
     RunResult result;
     result.protocol = name();
@@ -116,7 +156,9 @@ class LolohaRunner : public LongitudinalRunner {
     result.comm_bits_per_report = std::ceil(std::log2(g));
     result.estimates.reserve(data.tau());
     for (uint32_t t = 0; t < data.tau(); ++t) {
-      result.estimates.push_back(population.Step(data.StepValues(t), rng));
+      result.estimates.push_back(
+          population.Step(data.StepValues(t), StepSeed(seed, t), pool,
+                          shards));
     }
     result.per_user_epsilon.resize(data.n());
     for (uint32_t u = 0; u < data.n(); ++u) {
@@ -129,6 +171,7 @@ class LolohaRunner : public LongitudinalRunner {
   uint32_t g_;
   double eps_perm_;
   double eps_first_;
+  RunnerOptions options_;
 };
 
 class DBitFlipRunner : public LongitudinalRunner {
@@ -149,6 +192,8 @@ class DBitFlipRunner : public LongitudinalRunner {
     const uint32_t d = d_ == 0 ? b : d_;
     const Bucketizer bucketizer(data.k(), b);
     DBitFlipPopulation population(bucketizer, d, eps_perm_, data.n(), rng);
+    ThreadPool pool(ResolveNumThreads(options_));
+    const uint32_t shards = ResolveNumShards(options_);
 
     RunResult result;
     result.protocol = name();
@@ -156,7 +201,9 @@ class DBitFlipRunner : public LongitudinalRunner {
     result.comm_bits_per_report = d;
     result.estimates.reserve(data.tau());
     for (uint32_t t = 0; t < data.tau(); ++t) {
-      result.estimates.push_back(population.Step(data.StepValues(t), rng));
+      result.estimates.push_back(
+          population.Step(data.StepValues(t), StepSeed(seed, t), pool,
+                          shards));
     }
     result.per_user_epsilon.resize(data.n());
     for (uint32_t u = 0; u < data.n(); ++u) {
@@ -176,51 +223,76 @@ class DBitFlipRunner : public LongitudinalRunner {
 // user that samples a new hash per report.
 class NaiveOlhRunner : public LongitudinalRunner {
  public:
-  explicit NaiveOlhRunner(double eps_per_step) : eps_(eps_per_step) {}
+  NaiveOlhRunner(double eps_per_step, const RunnerOptions& options)
+      : eps_(eps_per_step), options_(options) {}
 
   std::string name() const override { return "Naive-OLH"; }
 
   RunResult Run(const Dataset& data, uint64_t seed) const override {
-    Rng rng(seed);
+    const uint32_t k = data.k();
+    const uint32_t n = data.n();
     const uint32_t g = OlhRange(eps_);
-    const LhClient client(data.k(), g, eps_);
+    const LhClient client(k, g, eps_);
     PerturbParams estimator;
     estimator.p = client.params().p;
     estimator.q = 1.0 / static_cast<double>(g);
+    ThreadPool pool(ResolveNumThreads(options_));
+    const uint32_t shards = ResolveNumShards(options_);
 
     RunResult result;
     result.protocol = name();
-    result.bins = data.k();
+    result.bins = k;
     result.comm_bits_per_report = std::ceil(std::log2(g));
     result.estimates.reserve(data.tau());
-    std::vector<uint64_t> support(data.k());
+    std::vector<uint64_t> shard_support(static_cast<size_t>(shards) * k);
     for (uint32_t t = 0; t < data.tau(); ++t) {
-      support.assign(data.k(), 0);
       const uint32_t* values = data.StepValuesData(t);
-      for (uint32_t u = 0; u < data.n(); ++u) {
-        const LhReport report = client.Perturb(values[u], rng);
-        for (uint32_t v = 0; v < data.k(); ++v) {
-          if (report.hash(v) == report.cell) ++support[v];
+      shard_support.assign(shard_support.size(), 0);
+      pool.ParallelFor(shards, [&](uint32_t shard) {
+        const ShardRange range = ShardBounds(n, shards, shard);
+        Rng rng(StreamSeed(StepSeed(seed, t), shard, 0));
+        uint64_t* support = &shard_support[static_cast<size_t>(shard) * k];
+        for (uint64_t u = range.begin; u < range.end; ++u) {
+          const LhReport report = client.Perturb(values[u], rng);
+          for (uint32_t v = 0; v < k; ++v) {
+            if (report.hash(v) == report.cell) ++support[v];
+          }
+        }
+      });
+      std::vector<double> counts(k, 0.0);
+      for (uint32_t shard = 0; shard < shards; ++shard) {
+        const uint64_t* row = &shard_support[static_cast<size_t>(shard) * k];
+        for (uint32_t v = 0; v < k; ++v) {
+          counts[v] += static_cast<double>(row[v]);
         }
       }
-      std::vector<double> counts(support.begin(), support.end());
       result.estimates.push_back(EstimateFrequencies(
-          counts, static_cast<double>(data.n()), estimator));
+          counts, static_cast<double>(n), estimator));
     }
     // Sequential composition: every report spends a fresh eps.
-    result.per_user_epsilon.assign(data.n(),
-                                   eps_ * static_cast<double>(data.tau()));
+    result.per_user_epsilon.assign(n, eps_ * static_cast<double>(data.tau()));
     return result;
   }
 
  private:
   double eps_;
+  RunnerOptions options_;
 };
 
 }  // namespace
 
-std::unique_ptr<LongitudinalRunner> MakeNaiveOlhRunner(double eps_per_step) {
-  return std::make_unique<NaiveOlhRunner>(eps_per_step);
+uint32_t ResolveNumThreads(const RunnerOptions& options) {
+  return options.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                  : options.num_threads;
+}
+
+uint32_t ResolveNumShards(const RunnerOptions& options) {
+  return options.num_shards == 0 ? kDefaultNumShards : options.num_shards;
+}
+
+std::unique_ptr<LongitudinalRunner> MakeNaiveOlhRunner(
+    double eps_per_step, const RunnerOptions& options) {
+  return std::make_unique<NaiveOlhRunner>(eps_per_step, options);
 }
 
 uint32_t ResolveBuckets(const RunnerOptions& options, uint32_t k) {
@@ -240,22 +312,22 @@ std::unique_ptr<LongitudinalRunner> MakeRunner(ProtocolId id, double eps_perm,
   switch (id) {
     case ProtocolId::kRappor:
       return std::make_unique<UeRunner>(LueVariant::kLSue, eps_perm,
-                                        eps_first);
+                                        eps_first, options);
     case ProtocolId::kLOsue:
       return std::make_unique<UeRunner>(LueVariant::kLOsue, eps_perm,
-                                        eps_first);
+                                        eps_first, options);
     case ProtocolId::kLSoue:
       return std::make_unique<UeRunner>(LueVariant::kLSoue, eps_perm,
-                                        eps_first);
+                                        eps_first, options);
     case ProtocolId::kLOue:
       return std::make_unique<UeRunner>(LueVariant::kLOue, eps_perm,
-                                        eps_first);
+                                        eps_first, options);
     case ProtocolId::kLGrr:
-      return std::make_unique<GrrRunner>(eps_perm, eps_first);
+      return std::make_unique<GrrRunner>(eps_perm, eps_first, options);
     case ProtocolId::kBiLoloha:
-      return std::make_unique<LolohaRunner>(2, eps_perm, eps_first);
+      return std::make_unique<LolohaRunner>(2, eps_perm, eps_first, options);
     case ProtocolId::kOLoloha:
-      return std::make_unique<LolohaRunner>(0, eps_perm, eps_first);
+      return std::make_unique<LolohaRunner>(0, eps_perm, eps_first, options);
     case ProtocolId::kOneBitFlipPm:
       return std::make_unique<DBitFlipRunner>(1, eps_perm, options);
     case ProtocolId::kBBitFlipPm:

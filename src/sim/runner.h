@@ -3,8 +3,12 @@
 // returns the per-step estimate matrix plus per-user privacy accounting.
 //
 // Runners use the population-scale implementations (mechanism-identical to
-// the per-user client classes; see lue.h / loloha.h / dbitflip.h) so that
-// paper-scale datasets are tractable on one core.
+// the per-user client classes; see lue.h / loloha.h / dbitflip.h) and
+// shard each step's per-user work across a thread pool (util/thread_pool.h).
+// Every (step, shard) pair draws from its own deterministic Rng stream, so
+// Run(data, seed) is bit-reproducible at any thread count: the shard
+// layout (RunnerOptions::num_shards), not the worker count, determines
+// every random draw.
 
 #ifndef LOLOHA_SIM_RUNNER_H_
 #define LOLOHA_SIM_RUNNER_H_
@@ -31,6 +35,11 @@ struct RunResult {
   uint32_t bins = 0;
 };
 
+// Fixed shard count used when RunnerOptions::num_shards is 0. Large enough
+// to keep a typical machine's cores busy, small enough that the per-shard
+// support merges stay negligible.
+inline constexpr uint32_t kDefaultNumShards = 64;
+
 // Options that depend on the dataset or deployment.
 struct RunnerOptions {
   // dBitFlipPM bucket count: 0 means "b = k" (the paper's Syn/Adult
@@ -38,7 +47,19 @@ struct RunnerOptions {
   // bucket_divisor = 4. An explicit `buckets` wins over the divisor.
   uint32_t buckets = 0;
   uint32_t bucket_divisor = 1;
+  // Worker threads driving each step's shards (1 = run on the calling
+  // thread only; 0 = std::thread::hardware_concurrency()). Does not affect
+  // the output: estimates are bit-identical for every value.
+  uint32_t num_threads = 1;
+  // RNG-stream shards per step (0 = kDefaultNumShards). Changing this
+  // changes the random streams — and therefore the exact estimates, though
+  // never their distribution.
+  uint32_t num_shards = 0;
 };
+
+// Effective thread / shard counts for `options` (resolving the 0 defaults).
+uint32_t ResolveNumThreads(const RunnerOptions& options);
+uint32_t ResolveNumShards(const RunnerOptions& options);
 
 class LongitudinalRunner {
  public:
@@ -60,7 +81,8 @@ std::unique_ptr<LongitudinalRunner> MakeRunner(ProtocolId id, double eps_perm,
 // makes the per-user longitudinal loss tau * eps_per_step — the runner
 // accounts it that way — and repeated fresh noise enables averaging
 // attacks. Used by ablations/tests to quantify what memoization buys.
-std::unique_ptr<LongitudinalRunner> MakeNaiveOlhRunner(double eps_per_step);
+std::unique_ptr<LongitudinalRunner> MakeNaiveOlhRunner(
+    double eps_per_step, const RunnerOptions& options = {});
 
 // The evaluation's seven methods, in the paper's legend order.
 std::vector<ProtocolId> Figure3Protocols(bool include_dbitflip);

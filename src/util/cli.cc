@@ -9,7 +9,9 @@ CommandLine::CommandLine(int argc, char** argv) {
   if (argc > 0) program_name_ = argv[0];
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
-    if (!arg.starts_with("--")) continue;
+    // rfind(prefix, 0) == 0 is the portable prefix test (starts_with needs
+    // C++20; this file must also serve -std=c++17 consumers of the lib).
+    if (arg.rfind("--", 0) != 0) continue;
     arg.remove_prefix(2);
     const size_t eq = arg.find('=');
     if (eq != std::string_view::npos) {

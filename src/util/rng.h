@@ -34,6 +34,17 @@ inline uint64_t Mix64(uint64_t x) {
   return SplitMix64Next(s);
 }
 
+// Deterministic stream splitting: derives the seed of an independent child
+// stream from (base, stream, substream) without touching any generator
+// state. The parallel engine seeds every (step, shard) pair through this,
+// so simulation output depends only on the base seed and the shard layout
+// — never on how many threads happen to execute the shards.
+inline uint64_t StreamSeed(uint64_t base, uint64_t stream,
+                           uint64_t substream) {
+  uint64_t s = Mix64(base ^ (0x9e3779b97f4a7c15ULL + Mix64(stream)));
+  return Mix64(s ^ (0xd1b54a32d192ed03ULL + Mix64(substream)));
+}
+
 // xoshiro256** PRNG. Not cryptographic; plenty for Monte-Carlo simulation.
 class Rng {
  public:

@@ -1,0 +1,86 @@
+#include "util/thread_pool.h"
+
+#include "util/check.h"
+
+namespace loloha {
+
+ThreadPool::ThreadPool(uint32_t num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (uint32_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+uint32_t ThreadPool::HardwareThreads() {
+  const unsigned reported = std::thread::hardware_concurrency();
+  return reported == 0 ? 1 : static_cast<uint32_t>(reported);
+}
+
+void ThreadPool::RunShards(Job& job) {
+  for (;;) {
+    const uint32_t shard = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (shard >= job.num_shards) return;
+    job.fn(shard);
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.num_shards) {
+      // Lock pairs the notification with the caller's predicate check.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (current_job_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = current_job_;
+    }
+    RunShards(*job);
+  }
+}
+
+void ThreadPool::ParallelFor(uint32_t num_shards,
+                             const std::function<void(uint32_t)>& fn) {
+  if (num_shards == 0) return;
+  if (workers_.empty() || num_shards == 1) {
+    for (uint32_t shard = 0; shard < num_shards; ++shard) fn(shard);
+    return;
+  }
+  auto job = std::make_shared<Job>(fn, num_shards);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LOLOHA_CHECK_MSG(current_job_ == nullptr,
+                     "ThreadPool::ParallelFor is not reentrant");
+    current_job_ = job;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  RunShards(*job);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == num_shards;
+    });
+    current_job_ = nullptr;
+  }
+}
+
+}  // namespace loloha

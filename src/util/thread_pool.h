@@ -1,0 +1,95 @@
+// Fixed-size worker pool for sharded simulation loops.
+//
+// Design constraint (see sim/runner.h): simulation results must be
+// bit-reproducible at any thread count. Parallel loops are therefore
+// expressed over a fixed number of *shards* — independent of the worker
+// count — and every shard derives its own deterministic Rng stream (see
+// StreamSeed in util/rng.h). The pool only decides which worker executes
+// which shard, never what a shard computes, so changing the thread count
+// re-schedules the same work without changing any random draw.
+
+#ifndef LOLOHA_UTIL_THREAD_POOL_H_
+#define LOLOHA_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace loloha {
+
+// Contiguous [begin, end) slice owned by `shard` when `total` items are
+// split into `num_shards` near-equal parts; the first total % num_shards
+// shards get one extra item. Shards past `total` come back empty.
+struct ShardRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+};
+
+inline ShardRange ShardBounds(uint64_t total, uint32_t num_shards,
+                              uint32_t shard) {
+  const uint64_t base = total / num_shards;
+  const uint64_t extra = total % num_shards;
+  ShardRange range;
+  range.begin = shard * base + (shard < extra ? shard : extra);
+  range.end = range.begin + base + (shard < extra ? 1 : 0);
+  return range;
+}
+
+class ThreadPool {
+ public:
+  // `num_threads` counts the calling thread: a pool of 1 spawns no workers
+  // and runs every shard inline; a pool of T spawns T - 1 workers that
+  // assist the caller. 0 is clamped to 1.
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  // Invokes fn(shard) exactly once for every shard in [0, num_shards),
+  // distributed over the workers plus the calling thread, and returns when
+  // all shards have finished. Not reentrant: fn must not call ParallelFor
+  // on the same pool, and only one thread may drive the pool at a time.
+  void ParallelFor(uint32_t num_shards,
+                   const std::function<void(uint32_t)>& fn);
+
+  // std::thread::hardware_concurrency(), clamped to >= 1 (the standard
+  // allows it to report 0 when unknown).
+  static uint32_t HardwareThreads();
+
+ private:
+  // One ParallelFor invocation. Heap-allocated and shared with the workers
+  // so that a straggler waking up after completion only touches a job that
+  // is provably drained (next_ >= num_shards), never freed memory.
+  struct Job {
+    Job(const std::function<void(uint32_t)>& f, uint32_t shards)
+        : fn(f), num_shards(shards) {}
+    std::function<void(uint32_t)> fn;
+    uint32_t num_shards;
+    std::atomic<uint32_t> next{0};
+    std::atomic<uint32_t> done{0};
+  };
+
+  void WorkerLoop();
+  void RunShards(Job& job);
+
+  uint32_t num_threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> current_job_;  // guarded by mu_
+  uint64_t epoch_ = 0;                // guarded by mu_; bumped per job
+  bool stop_ = false;                 // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_UTIL_THREAD_POOL_H_

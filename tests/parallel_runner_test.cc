@@ -1,0 +1,139 @@
+// Determinism of the parallel execution engine: for every protocol runner,
+// Run(data, seed) must produce bit-identical output at any thread count —
+// the RNG streams are keyed by (step, shard), never by which worker
+// executes a shard (see sim/runner.h and util/thread_pool.h).
+
+#include "sim/runner.h"
+
+#include <cctype>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/loloha.h"
+#include "core/loloha_params.h"
+#include "data/generators.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace loloha {
+namespace {
+
+constexpr double kEps = 2.0;
+constexpr double kEps1 = 1.0;
+constexpr uint64_t kSeed = 20230328;
+
+RunResult RunWithThreads(ProtocolId id, const Dataset& data,
+                         uint32_t num_threads) {
+  RunnerOptions options;
+  options.num_threads = num_threads;
+  return MakeRunner(id, kEps, kEps1, options)->Run(data, kSeed);
+}
+
+class ParallelSweep : public testing::TestWithParam<ProtocolId> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ParallelSweep,
+    testing::Values(ProtocolId::kRappor, ProtocolId::kLOsue,
+                    ProtocolId::kLSoue, ProtocolId::kLOue, ProtocolId::kLGrr,
+                    ProtocolId::kBiLoloha, ProtocolId::kOLoloha,
+                    ProtocolId::kOneBitFlipPm, ProtocolId::kBBitFlipPm),
+    [](const testing::TestParamInfo<ProtocolId>& info) {
+      std::string name = ProtocolName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST_P(ParallelSweep, BitIdenticalAtOneTwoAndEightThreads) {
+  const Dataset data = GenerateSyn(600, 24, 5, 0.25, 17);
+  const RunResult one = RunWithThreads(GetParam(), data, 1);
+  const RunResult two = RunWithThreads(GetParam(), data, 2);
+  const RunResult eight = RunWithThreads(GetParam(), data, 8);
+  // EXPECT_EQ on the nested vectors: bit-identical doubles, not "close".
+  EXPECT_EQ(one.estimates, two.estimates);
+  EXPECT_EQ(one.estimates, eight.estimates);
+  EXPECT_EQ(one.per_user_epsilon, two.per_user_epsilon);
+  EXPECT_EQ(one.per_user_epsilon, eight.per_user_epsilon);
+}
+
+TEST_P(ParallelSweep, HardwareThreadCountAlsoIdentical) {
+  const Dataset data = GenerateSyn(300, 16, 3, 0.25, 23);
+  RunnerOptions hw;
+  hw.num_threads = 0;  // resolve to hardware_concurrency()
+  const RunResult automatic =
+      MakeRunner(GetParam(), kEps, kEps1, hw)->Run(data, kSeed);
+  const RunResult sequential = RunWithThreads(GetParam(), data, 1);
+  EXPECT_EQ(automatic.estimates, sequential.estimates);
+}
+
+TEST(ParallelRunnerTest, NaiveOlhBitIdenticalAcrossThreadCounts) {
+  const Dataset data = GenerateSyn(500, 16, 4, 0.25, 29);
+  RunResult results[3];
+  const uint32_t threads[3] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    RunnerOptions options;
+    options.num_threads = threads[i];
+    results[i] = MakeNaiveOlhRunner(kEps, options)->Run(data, kSeed);
+  }
+  EXPECT_EQ(results[0].estimates, results[1].estimates);
+  EXPECT_EQ(results[0].estimates, results[2].estimates);
+}
+
+TEST(ParallelRunnerTest, ShardCountChangesTheStreamsButStaysDeterministic) {
+  const Dataset data = GenerateSyn(400, 16, 4, 0.25, 31);
+  RunnerOptions a;
+  a.num_shards = 8;
+  RunnerOptions b;
+  b.num_shards = 16;
+  const auto runner_a = MakeRunner(ProtocolId::kBiLoloha, kEps, kEps1, a);
+  const auto runner_b = MakeRunner(ProtocolId::kBiLoloha, kEps, kEps1, b);
+  const RunResult a1 = runner_a->Run(data, kSeed);
+  const RunResult a2 = runner_a->Run(data, kSeed);
+  const RunResult b1 = runner_b->Run(data, kSeed);
+  EXPECT_EQ(a1.estimates, a2.estimates);  // same layout -> reproducible
+  EXPECT_NE(a1.estimates, b1.estimates);  // different layout -> new draws
+}
+
+TEST(ParallelRunnerTest, ResolveHelpers) {
+  RunnerOptions options;
+  EXPECT_EQ(ResolveNumThreads(options), 1u);
+  EXPECT_EQ(ResolveNumShards(options), kDefaultNumShards);
+  options.num_threads = 0;
+  EXPECT_GE(ResolveNumThreads(options), 1u);
+  options.num_threads = 6;
+  options.num_shards = 12;
+  EXPECT_EQ(ResolveNumThreads(options), 6u);
+  EXPECT_EQ(ResolveNumShards(options), 12u);
+}
+
+// Population-level check, bypassing the runner plumbing: the same
+// LolohaPopulation stepped with pools of different sizes must agree.
+TEST(ParallelRunnerTest, LolohaPopulationShardedStepPoolSizeInvariant) {
+  const uint32_t n = 500;
+  const uint32_t k = 24;
+  const LolohaParams params = MakeLolohaParams(k, 4, kEps, kEps1);
+
+  std::vector<std::vector<double>> per_pool_estimates;
+  for (const uint32_t threads : {1u, 4u}) {
+    Rng rng(kSeed);  // identical construction draws for both populations
+    LolohaPopulation population(params, n, rng);
+    ThreadPool pool(threads);
+    std::vector<uint32_t> values(n);
+    for (uint32_t u = 0; u < n; ++u) values[u] = u % k;
+    std::vector<double> flat;
+    for (uint32_t t = 0; t < 3; ++t) {
+      for (double e : population.Step(values, 1000 + t, pool, 32)) {
+        flat.push_back(e);
+      }
+    }
+    per_pool_estimates.push_back(std::move(flat));
+  }
+  EXPECT_EQ(per_pool_estimates[0], per_pool_estimates[1]);
+}
+
+}  // namespace
+}  // namespace loloha
