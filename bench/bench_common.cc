@@ -6,9 +6,11 @@
 
 #include "data/generators.h"
 #include "sim/metrics.h"
+#include "sim/monte_carlo.h"
 #include "sim/runner.h"
 #include "util/check.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace loloha::bench {
 
@@ -100,40 +102,78 @@ int RunFig3Panel(const std::string& dataset_name, bool include_dbitflip,
       data.name().c_str(), data.n(), config.scale, data.k(), data.tau(),
       config.runs);
 
+  // One process-wide pool, shared by the Monte-Carlo outer loop and every
+  // runner's inner sharding (the runners borrow it via options.pool and
+  // run their per-step shards inline when already on a pool task). Thread
+  // count never changes the numbers — only wall-clock.
+  ThreadPool pool(config.threads == 0 ? ThreadPool::HardwareThreads()
+                                      : config.threads);
   RunnerOptions options;
   options.bucket_divisor = bucket_divisor;
   options.num_threads = config.threads;
+  options.pool = &pool;
   const std::vector<ProtocolId> protocols =
       Figure3Protocols(include_dbitflip);
+
+  // Flatten the (alpha, eps, protocol) grid into Monte-Carlo configs in
+  // row-major table order.
+  struct Cell {
+    double alpha;
+    double eps;
+    ProtocolId id;
+  };
+  std::vector<Cell> cells;
+  for (const double alpha : AlphaGridFig34()) {
+    for (const double eps : EpsPermGrid()) {
+      for (const ProtocolId id : protocols) {
+        cells.push_back(Cell{alpha, eps, id});
+      }
+    }
+  }
+
+  MonteCarloOptions mc;
+  mc.runs = config.runs;
+  mc.base_seed = config.seed;
+  mc.pool = &pool;
+  // Live progress: one dot per completed grid row's worth of cells (the
+  // pre-parallel driver printed one dot per (alpha, eps) row). Cells
+  // finish out of order; the dot count, not their timing, is what a
+  // watcher of a --full run needs.
+  const uint32_t cells_per_dot =
+      static_cast<uint32_t>(protocols.size()) * config.runs;
+  mc.progress = [cells_per_dot](uint32_t completed, uint32_t) {
+    if (completed % cells_per_dot == 0) {
+      std::printf(".");
+      std::fflush(stdout);
+    }
+  };
+  const Bucketizer bucketizer(data.k(), ResolveBuckets(options, data.k()));
+  const std::vector<std::vector<double>> per_run_mse = RunMonteCarloGrid(
+      [&](uint32_t c) {
+        return MakeRunner(cells[c].id, cells[c].eps,
+                          cells[c].alpha * cells[c].eps, options);
+      },
+      data, static_cast<uint32_t>(cells.size()), mc,
+      [&](uint32_t, const RunResult& result) {
+        return result.bins == data.k()
+                   ? MseAvg(data, result.estimates)
+                   : MseAvgBucketed(data, bucketizer, result.estimates);
+      });
 
   std::vector<std::string> header = {"alpha", "eps_inf"};
   for (const ProtocolId id : protocols) header.push_back(ProtocolName(id));
   TextTable table(header);
 
+  size_t cell = 0;
   for (const double alpha : AlphaGridFig34()) {
     for (const double eps : EpsPermGrid()) {
       std::vector<std::string> row = {FormatDouble(alpha, 2),
                                       FormatDouble(eps, 3)};
-      for (const ProtocolId id : protocols) {
-        const auto runner = MakeRunner(id, eps, alpha * eps, options);
-        std::vector<double> mses;
-        for (uint32_t r = 0; r < config.runs; ++r) {
-          const RunResult result =
-              runner->Run(data, config.seed + 7919 * r + 13);
-          mses.push_back(result.bins == data.k()
-                             ? MseAvg(data, result.estimates)
-                             : MseAvgBucketed(
-                                   data,
-                                   Bucketizer(data.k(),
-                                              ResolveBuckets(options,
-                                                             data.k())),
-                                   result.estimates));
-        }
-        row.push_back(FormatDouble(Mean(mses), 4));
+      for (size_t p = 0; p < protocols.size(); ++p) {
+        row.push_back(FormatDouble(Mean(per_run_mse[cell]), 4));
+        ++cell;
       }
       table.AddRow(std::move(row));
-      std::printf(".");
-      std::fflush(stdout);
     }
   }
   std::printf("\n\n%s\n", table.ToString().c_str());

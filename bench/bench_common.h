@@ -4,13 +4,15 @@
 //   --full           paper-scale n and runs (slow on one core)
 //   --scale=S        divide n by S (default 5 unless --full)
 //   --runs=R         Monte-Carlo repetitions (default 2, paper used 20)
-//   --threads=T      worker threads per protocol run (default 1; 0 = all
-//                    hardware threads). Estimates are bit-identical for
-//                    every T — only wall-clock changes. Honored by the
-//                    binaries that execute protocol runners (the fig3
-//                    panels and bench_parallel_scaling); the remaining
-//                    figures/tables evaluate closed forms or per-client
-//                    paths and run single-threaded.
+//   --threads=T      worker threads (default 1; 0 = all hardware threads).
+//                    The fig3 panels build ONE shared ThreadPool of T
+//                    threads and parallelize the Monte-Carlo runs x
+//                    protocols outer loop on it (sim/monte_carlo.h); the
+//                    runners borrow the same pool for their inner per-step
+//                    sharding. Estimates are byte-identical for every T —
+//                    only wall-clock changes. The remaining figures/tables
+//                    evaluate closed forms or per-client paths and run
+//                    single-threaded.
 //   --seed=N         base seed (default 20230328, the EDBT'23 date)
 //   --out=PATH.csv   where to write the CSV copy of the printed table
 //                    (default: results/<binary>.csv, directory auto-created)

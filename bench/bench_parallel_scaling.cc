@@ -2,11 +2,20 @@
 // at T worker threads over the 1-thread path, per protocol, with a
 // bit-identity check (estimates must not depend on the thread count).
 //
+// The T-thread runners all borrow ONE shared ThreadPool (RunnerOptions::
+// pool), so the timings include the pool-reuse benefit PR 2 adds: threads
+// are spawned once, not per Run. A final "MC-outer" row times the
+// Monte-Carlo outer loop (sim/monte_carlo.h) — the runs x protocols
+// parallelism the fig3 panels use — against its serial fallback, again
+// with a byte-identity check.
+//
 //   --threads=T   parallel thread count to compare against 1 (default: all
 //                 hardware threads)
 //   --scale=S     dataset shrink factor (default 5, like the other benches)
 //   --runs=R      timing repetitions; the minimum per configuration is
 //                 reported (default 2)
+//   --json=PATH   also write the table as a JSON document (CI uploads it
+//                 as the per-commit perf artifact)
 //
 // Reported speedup is bounded by the physically available cores: on a
 // 1-core machine the table shows ~1.0x regardless of T.
@@ -17,6 +26,8 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "sim/metrics.h"
+#include "sim/monte_carlo.h"
 #include "sim/runner.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -33,6 +44,85 @@ double RunOnceMs(const LongitudinalRunner& runner, const Dataset& data,
   return std::chrono::duration<double, std::milli>(stop - start).count();
 }
 
+struct RowResult {
+  std::string name;
+  double t1_ms = 0.0;
+  double tn_ms = 0.0;
+  bool identical = false;
+};
+
+// Times the Monte-Carlo outer loop (3 protocols x 2 runs) serial vs
+// pooled and byte-compares the per-run metric grids.
+RowResult BenchMonteCarloOuter(const Dataset& data, ThreadPool& pool,
+                               uint32_t threads, uint64_t seed,
+                               uint32_t reps) {
+  const std::vector<ProtocolId> grid = {
+      ProtocolId::kBiLoloha, ProtocolId::kLOsue, ProtocolId::kLGrr};
+  const auto metric = [&data](uint32_t, const RunResult& result) {
+    return MseAvg(data, result.estimates);
+  };
+  const auto run_grid = [&](ThreadPool* mc_pool, uint32_t num_threads) {
+    RunnerOptions options;
+    options.num_threads = num_threads;
+    options.pool = mc_pool;
+    MonteCarloOptions mc;
+    mc.runs = 2;
+    mc.base_seed = seed;
+    mc.pool = mc_pool;
+    return RunMonteCarloGrid(
+        [&](uint32_t c) { return MakeRunner(grid[c], 2.0, 1.0, options); },
+        data, static_cast<uint32_t>(grid.size()), mc, metric);
+  };
+
+  RowResult row;
+  row.name = "MC-outer(3x2)";
+  std::vector<std::vector<double>> serial_grid;
+  std::vector<std::vector<double>> pooled_grid;
+  for (uint32_t r = 0; r < reps; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    serial_grid = run_grid(nullptr, 1);
+    auto mid = std::chrono::steady_clock::now();
+    pooled_grid = run_grid(&pool, threads);
+    auto stop = std::chrono::steady_clock::now();
+    const double ms_serial =
+        std::chrono::duration<double, std::milli>(mid - start).count();
+    const double ms_pooled =
+        std::chrono::duration<double, std::milli>(stop - mid).count();
+    if (r == 0 || ms_serial < row.t1_ms) row.t1_ms = ms_serial;
+    if (r == 0 || ms_pooled < row.tn_ms) row.tn_ms = ms_pooled;
+  }
+  row.identical = serial_grid == pooled_grid;
+  return row;
+}
+
+void WriteJson(const std::string& path, uint32_t threads, const Dataset& data,
+               uint32_t runs, const std::vector<RowResult>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("WARNING: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"bench_parallel_scaling\",\n"
+               "  \"threads\": %u,\n  \"hardware_threads\": %u,\n"
+               "  \"n\": %u,\n  \"k\": %u,\n  \"tau\": %u,\n"
+               "  \"shards\": %u,\n  \"runs\": %u,\n  \"results\": [\n",
+               threads, ThreadPool::HardwareThreads(), data.n(), data.k(),
+               data.tau(), kDefaultNumShards, runs);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RowResult& row = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"t1_ms\": %.4f, \"tN_ms\": %.4f, "
+                 "\"speedup\": %.3f, \"bit_identical\": %s}%s\n",
+                 row.name.c_str(), row.t1_ms, row.tn_ms,
+                 row.t1_ms / row.tn_ms, row.identical ? "true" : "false",
+                 i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("JSON written to %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -46,7 +136,8 @@ int main(int argc, char** argv) {
   const Dataset data = bench::MakeDataset("syn", config, config.seed);
   std::printf(
       "Parallel scaling — %u-thread vs 1-thread sharded runner path\n"
-      "n=%u, k=%u, tau=%u, shards=%u, hardware threads=%u, runs=%u\n\n",
+      "n=%u, k=%u, tau=%u, shards=%u, hardware threads=%u, runs=%u\n"
+      "(T-thread runners share one borrowed ThreadPool)\n\n",
       threads, data.n(), data.k(), data.tau(), kDefaultNumShards,
       ThreadPool::HardwareThreads(), config.runs);
 
@@ -54,18 +145,21 @@ int main(int argc, char** argv) {
       ProtocolId::kBiLoloha, ProtocolId::kOLoloha, ProtocolId::kLOsue,
       ProtocolId::kLGrr, ProtocolId::kBBitFlipPm};
 
-  TextTable table({"protocol", "t1_ms", "tN_ms", "speedup", "bit_identical"});
+  // The shared pool every T-thread runner borrows; constructed once.
+  ThreadPool shared_pool(threads);
+
+  std::vector<RowResult> rows;
   bool all_identical = true;
   for (const ProtocolId id : protocols) {
     RunnerOptions sequential;
     sequential.num_threads = 1;
     RunnerOptions parallel;
     parallel.num_threads = threads;
+    parallel.pool = &shared_pool;
     const auto runner_seq = MakeRunner(id, 2.0, 1.0, sequential);
     const auto runner_par = MakeRunner(id, 2.0, 1.0, parallel);
 
-    double best_seq = 0.0;
-    double best_par = 0.0;
+    RowResult row;
     RunResult result_seq;
     RunResult result_par;
     for (uint32_t r = 0; r < config.runs; ++r) {
@@ -73,22 +167,37 @@ int main(int argc, char** argv) {
           RunOnceMs(*runner_seq, data, config.seed, &result_seq);
       const double ms_par =
           RunOnceMs(*runner_par, data, config.seed, &result_par);
-      if (r == 0 || ms_seq < best_seq) best_seq = ms_seq;
-      if (r == 0 || ms_par < best_par) best_par = ms_par;
+      if (r == 0 || ms_seq < row.t1_ms) row.t1_ms = ms_seq;
+      if (r == 0 || ms_par < row.tn_ms) row.tn_ms = ms_par;
     }
-    const bool identical = result_seq.estimates == result_par.estimates &&
-                           result_seq.per_user_epsilon ==
-                               result_par.per_user_epsilon;
-    all_identical = all_identical && identical;
-    table.AddRow({result_seq.protocol, FormatDouble(best_seq, 4),
-                  FormatDouble(best_par, 4),
-                  FormatDouble(best_seq / best_par, 3),
-                  identical ? "yes" : "NO"});
+    row.name = result_seq.protocol;
+    row.identical = result_seq.estimates == result_par.estimates &&
+                    result_seq.per_user_epsilon == result_par.per_user_epsilon;
+    all_identical = all_identical && row.identical;
+    rows.push_back(row);
     std::printf(".");
     std::fflush(stdout);
   }
 
-  std::printf("\n\n%s\n", table.ToString().c_str());
+  rows.push_back(BenchMonteCarloOuter(data, shared_pool, threads,
+                                      config.seed, config.runs));
+  all_identical = all_identical && rows.back().identical;
+  std::printf(".\n\n");
+
+  TextTable table({"configuration", "t1_ms", "tN_ms", "speedup",
+                   "bit_identical"});
+  for (const RowResult& row : rows) {
+    table.AddRow({row.name, FormatDouble(row.t1_ms, 4),
+                  FormatDouble(row.tn_ms, 4),
+                  FormatDouble(row.t1_ms / row.tn_ms, 3),
+                  row.identical ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  const std::string json_path = cli.GetString("json", "");
+  if (!json_path.empty()) {
+    WriteJson(json_path, threads, data, config.runs, rows);
+  }
   if (!all_identical) {
     std::printf("ERROR: thread count changed the estimates\n");
     return 1;

@@ -2,9 +2,18 @@
 
 #include "oracle/estimator.h"
 #include "util/check.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace loloha {
+
+namespace {
+
+// Stream tag for the sharded constructor's per-shard hash draws, distinct
+// from the runners' per-step streams (sim/runner.cc).
+constexpr uint64_t kHashRowStream = 0x4c485348u;  // "LHSH"
+
+}  // namespace
 
 LolohaClient::LolohaClient(const LolohaParams& params, Rng& rng)
     : params_(params),
@@ -44,8 +53,20 @@ void LolohaServer::Accumulate(const UniversalHash& hash,
                               uint32_t reported_cell) {
   LOLOHA_CHECK(hash.range() == params_.g);
   LOLOHA_CHECK(reported_cell < params_.g);
-  for (uint32_t v = 0; v < params_.k; ++v) {
-    if (hash(v) == reported_cell) ++support_[v];
+  if (params_.g <= 65535) {
+    // Strength-reduced row evaluation (one modular add per value instead
+    // of a 128-bit multiply); bit-identical to hash(v).
+    if (row_scratch_.size() != params_.k) row_scratch_.resize(params_.k);
+    HashRowU16(hash.a(), hash.b(), params_.g, params_.k,
+               row_scratch_.data());
+    const uint16_t target = static_cast<uint16_t>(reported_cell);
+    for (uint32_t v = 0; v < params_.k; ++v) {
+      support_[v] += row_scratch_[v] == target ? 1 : 0;
+    }
+  } else {
+    for (uint32_t v = 0; v < params_.k; ++v) {
+      if (hash(v) == reported_cell) ++support_[v];
+    }
   }
   ++num_reports_;
 }
@@ -66,14 +87,36 @@ LolohaPopulation::LolohaPopulation(const LolohaParams& params, uint32_t n,
       memo_(static_cast<size_t>(n) * params.g, -1),
       memo_counts_(n, 0) {
   LOLOHA_CHECK(n >= 1);
-  LOLOHA_CHECK_MSG(params.g <= 65535, "population path supports g < 2^16");
+  LOLOHA_CHECK_MSG(params.g <= 32767,
+                   "population path supports g < 2^15 (int16 memo)");
   for (uint32_t u = 0; u < n_; ++u) {
     const UniversalHash hash = UniversalHash::Sample(params_.g, rng);
-    uint16_t* row = &hash_rows_[static_cast<size_t>(u) * params_.k];
-    for (uint32_t v = 0; v < params_.k; ++v) {
-      row[v] = static_cast<uint16_t>(hash(v));
-    }
+    HashRowU16(hash.a(), hash.b(), params_.g, params_.k,
+               &hash_rows_[static_cast<size_t>(u) * params_.k]);
   }
+}
+
+LolohaPopulation::LolohaPopulation(const LolohaParams& params, uint32_t n,
+                                   uint64_t seed, ThreadPool& pool,
+                                   uint32_t num_shards)
+    : params_(params),
+      n_(n),
+      hash_rows_(static_cast<size_t>(n) * params.k),
+      memo_(static_cast<size_t>(n) * params.g, -1),
+      memo_counts_(n, 0) {
+  LOLOHA_CHECK(n >= 1);
+  LOLOHA_CHECK(num_shards >= 1);
+  LOLOHA_CHECK_MSG(params.g <= 32767,
+                   "population path supports g < 2^15 (int16 memo)");
+  pool.ParallelFor(num_shards, [&](uint32_t shard) {
+    const ShardRange range = ShardBounds(n_, num_shards, shard);
+    Rng rng(StreamSeed(seed, kHashRowStream, shard));
+    for (uint64_t u = range.begin; u < range.end; ++u) {
+      const UniversalHash hash = UniversalHash::Sample(params_.g, rng);
+      HashRowU16(hash.a(), hash.b(), params_.g, params_.k,
+                 &hash_rows_[u * params_.k]);
+    }
+  });
 }
 
 void LolohaPopulation::StepUserRange(const std::vector<uint32_t>& values,
@@ -81,6 +124,10 @@ void LolohaPopulation::StepUserRange(const std::vector<uint32_t>& values,
                                      uint64_t* support) {
   const uint32_t k = params_.k;
   const uint32_t g = params_.g;
+  // Support counts accumulate in 16-bit lanes (one compare + subtract per
+  // vector; see util/simd.h). Staging does not touch the Rng, so the draw
+  // sequence is identical to the plain per-user loop.
+  U16SupportAccumulator acc(k, support);
   for (uint64_t u = begin; u < end; ++u) {
     const uint16_t* row = &hash_rows_[u * k];
     const uint32_t cell = row[values[u]];
@@ -102,11 +149,8 @@ void LolohaPopulation::StepUserRange(const std::vector<uint32_t>& values,
       report = static_cast<uint32_t>(rng.UniformIntExcluding(g, report));
     }
 
-    // Support counting (Algorithm 2, line 4), vector-friendly inner loop.
-    const uint16_t target = static_cast<uint16_t>(report);
-    for (uint32_t v = 0; v < k; ++v) {
-      support[v] += (row[v] == target) ? 1 : 0;
-    }
+    // Support counting (Algorithm 2, line 4), SIMD inner loop.
+    acc.Add(row, static_cast<uint16_t>(report));
   }
 }
 

@@ -70,6 +70,7 @@ class LolohaServer {
  private:
   LolohaParams params_;
   std::vector<uint64_t> support_;
+  std::vector<uint16_t> row_scratch_;  // hash-row kernel staging (g < 2^16)
   uint64_t num_reports_ = 0;
 };
 
@@ -78,6 +79,15 @@ class LolohaServer {
 class LolohaPopulation {
  public:
   LolohaPopulation(const LolohaParams& params, uint32_t n, Rng& rng);
+
+  // Sharded construction: the per-user hash-row precompute (the n * k
+  // table fill, the constructor's dominant cost) is split into
+  // `num_shards` fixed user slices run on `pool`, each drawing its hash
+  // coefficients from its own (seed, shard) stream. Bit-identical for any
+  // pool size; changing `num_shards` changes which hashes are drawn
+  // (never their distribution), like the sharded Step.
+  LolohaPopulation(const LolohaParams& params, uint32_t n, uint64_t seed,
+                   ThreadPool& pool, uint32_t num_shards);
 
   // Advances one collection step; returns the step's frequency estimates.
   std::vector<double> Step(const std::vector<uint32_t>& values, Rng& rng);
@@ -104,7 +114,8 @@ class LolohaPopulation {
 
   LolohaParams params_;
   uint32_t n_;
-  // Row-major n x k table of H_u(v); g <= 65535 enforced at construction.
+  // Row-major n x k table of H_u(v); g <= 32767 enforced at construction
+  // (memoized cells must fit the int16 memo without going negative).
   std::vector<uint16_t> hash_rows_;
   std::vector<int16_t> memo_;          // n x g, -1 = not memoized
   std::vector<uint16_t> memo_counts_;  // distinct memos per user

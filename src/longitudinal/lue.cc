@@ -4,7 +4,9 @@
 
 #include "oracle/estimator.h"
 #include "oracle/unary.h"
+#include "util/binomial.h"
 #include "util/check.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace loloha {
@@ -83,6 +85,13 @@ void LongitudinalUeServer::Accumulate(const std::vector<uint8_t>& report) {
   LOLOHA_CHECK(report.size() == k_);
   for (uint32_t i = 0; i < k_; ++i) counts_[i] += report[i];
   ++num_reports_;
+}
+
+void LongitudinalUeServer::AccumulateBatch(const uint8_t* reports,
+                                           size_t num_reports) {
+  std::vector<uint16_t> scratch(k_);
+  SumColumnsU8(reports, num_reports, k_, counts_.data(), scratch.data());
+  num_reports_ += num_reports;
 }
 
 std::vector<double> LongitudinalUeServer::EstimateStep() const {
@@ -177,21 +186,16 @@ void LongitudinalUePopulation::UpdateMemoRange(
 void LongitudinalUePopulation::SampleIrrRange(uint64_t begin, uint64_t end,
                                               Rng& rng,
                                               double* counts) const {
-  // IRR sampling: position-wise binomial mixture (see header).
+  // IRR sampling: position-wise binomial mixture (see header). Uses the
+  // repo's own sampler (util/binomial.h) — std::binomial_distribution
+  // races on glibc's signgam under the sharded phase-2 loop and is not
+  // reproducible across standard libraries.
   for (uint64_t i = begin; i < end; ++i) {
     LOLOHA_DCHECK(memo_column_sums_[i] >= 0);
     const uint64_t ones = static_cast<uint64_t>(memo_column_sums_[i]);
     LOLOHA_DCHECK(ones <= n_);
-    uint64_t c = 0;
-    if (ones > 0) {
-      std::binomial_distribution<uint64_t> from_ones(ones, chain_.second.p);
-      c += from_ones(rng);
-    }
-    if (ones < n_) {
-      std::binomial_distribution<uint64_t> from_zeros(n_ - ones,
-                                                      chain_.second.q);
-      c += from_zeros(rng);
-    }
+    uint64_t c = SampleBinomial(ones, chain_.second.p, rng);
+    c += SampleBinomial(n_ - ones, chain_.second.q, rng);
     counts[i] = static_cast<double>(c);
   }
 }

@@ -24,8 +24,8 @@
 #ifndef LOLOHA_LONGITUDINAL_LUE_H_
 #define LOLOHA_LONGITUDINAL_LUE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <random>
 #include <unordered_map>
 #include <vector>
 
@@ -80,6 +80,11 @@ class LongitudinalUeServer {
 
   void BeginStep();
   void Accumulate(const std::vector<uint8_t>& report);
+
+  // Accumulates `num_reports` k-bit reports stored row-major in `reports`
+  // (num_reports x k bytes) through the SIMD column-sum kernel
+  // (util/simd.h). Equivalent to calling Accumulate per row.
+  void AccumulateBatch(const uint8_t* reports, size_t num_reports);
 
   // Unbiased frequency estimates for the current step, Eq. (3).
   std::vector<double> EstimateStep() const;

@@ -2,6 +2,7 @@
 
 #include "oracle/estimator.h"
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace loloha {
 
@@ -55,6 +56,12 @@ void UeServer::Accumulate(const std::vector<uint8_t>& report) {
   LOLOHA_CHECK(report.size() == k_);
   for (uint32_t i = 0; i < k_; ++i) counts_[i] += report[i];
   ++num_reports_;
+}
+
+void UeServer::AccumulateBatch(const uint8_t* reports, size_t num_reports) {
+  std::vector<uint16_t> scratch(k_);
+  SumColumnsU8(reports, num_reports, k_, counts_.data(), scratch.data());
+  num_reports_ += num_reports;
 }
 
 std::vector<double> UeServer::Estimate() const {

@@ -9,6 +9,7 @@
 #ifndef LOLOHA_ORACLE_UNARY_H_
 #define LOLOHA_ORACLE_UNARY_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -53,6 +54,11 @@ class UeServer {
   UeServer(uint32_t k, PerturbParams params);
 
   void Accumulate(const std::vector<uint8_t>& report);
+
+  // Accumulates `num_reports` k-bit reports stored row-major in `reports`
+  // (num_reports x k bytes) through the SIMD column-sum kernel
+  // (util/simd.h). Equivalent to calling Accumulate per row.
+  void AccumulateBatch(const uint8_t* reports, size_t num_reports);
 
   // Unbiased estimates via Eq. (1), with C(v) = count of set bits at v.
   std::vector<double> Estimate() const;

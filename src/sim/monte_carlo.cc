@@ -1,0 +1,67 @@
+#include "sim/monte_carlo.h"
+
+#include <atomic>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace loloha {
+
+namespace {
+
+// Stream tag separating Monte-Carlo cell seeds from the runners' per-step
+// streams (sim/runner.cc) and the populations' construction streams.
+constexpr uint64_t kMonteCarloStream = 0x4d43'5355ull;  // "MCSU"
+
+}  // namespace
+
+uint64_t MonteCarloSeed(uint64_t base_seed, uint32_t config, uint32_t run) {
+  return StreamSeed(base_seed, kMonteCarloStream + config, run);
+}
+
+std::vector<std::vector<double>> RunMonteCarloGrid(
+    const MonteCarloRunnerFactory& factory, const Dataset& data,
+    uint32_t num_configs, const MonteCarloOptions& options,
+    const MonteCarloMetric& metric) {
+  LOLOHA_CHECK(options.runs >= 1);
+  std::vector<std::vector<double>> results(num_configs);
+  for (auto& row : results) row.resize(options.runs);
+
+  const uint32_t total = num_configs * options.runs;
+  std::atomic<uint32_t> completed{0};
+  const auto run_cell = [&](uint32_t config, uint32_t run) {
+    const std::unique_ptr<LongitudinalRunner> runner = factory(config);
+    const RunResult result =
+        runner->Run(data, MonteCarloSeed(options.base_seed, config, run));
+    results[config][run] = metric(config, result);
+    if (options.progress) {
+      options.progress(completed.fetch_add(1, std::memory_order_relaxed) + 1,
+                       total);
+    }
+  };
+
+  if (options.pool == nullptr) {
+    for (uint32_t config = 0; config < num_configs; ++config) {
+      for (uint32_t run = 0; run < options.runs; ++run) {
+        run_cell(config, run);
+      }
+    }
+    return results;
+  }
+
+  // Every cell is an independent task writing a distinct slot; the only
+  // synchronization needed is the WaitGroup barrier at the end.
+  WaitGroup wg;
+  for (uint32_t config = 0; config < num_configs; ++config) {
+    for (uint32_t run = 0; run < options.runs; ++run) {
+      options.pool->Submit(wg, [&run_cell, config, run] {
+        run_cell(config, run);
+      });
+    }
+  }
+  options.pool->Wait(wg);
+  return results;
+}
+
+}  // namespace loloha

@@ -1,0 +1,76 @@
+// Parallel Monte-Carlo driver for the figure/table reproductions.
+//
+// The evaluation's outer loop — `runs` repetitions of every runner
+// configuration in a grid — dominates wall-clock in the Fig. 3 panels,
+// and for the paper's small-n datasets outer-loop parallelism beats the
+// runners' inner per-step sharding. RunMonteCarloGrid farms the
+// (config, run) cells out to a shared ThreadPool as independent tasks.
+//
+// Determinism: every cell draws from its own StreamSeed stream keyed by
+// (base_seed, config, run), each cell writes only its own result slot, and
+// runners launched inside pool tasks execute their inner ParallelFor
+// shards inline in shard order (see util/thread_pool.h). The grid output
+// is therefore byte-identical for every pool size — including the
+// serial fallback (pool == nullptr) — as long as the factory and metric
+// callbacks are pure.
+
+#ifndef LOLOHA_SIM_MONTE_CARLO_H_
+#define LOLOHA_SIM_MONTE_CARLO_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "sim/runner.h"
+
+namespace loloha {
+
+class ThreadPool;
+
+// Seed of one Monte-Carlo cell: independent streams per (config, run).
+uint64_t MonteCarloSeed(uint64_t base_seed, uint32_t config, uint32_t run);
+
+struct MonteCarloOptions {
+  // Repetitions per configuration (>= 1).
+  uint32_t runs = 1;
+  // Base seed; cells derive their streams via MonteCarloSeed.
+  uint64_t base_seed = 0;
+  // Borrowed shared pool for the (config, run) cells (not owned). Null
+  // runs the grid serially on the calling thread — bit-identical to every
+  // pool size by construction.
+  ThreadPool* pool = nullptr;
+  // Invoked exactly once per finished cell with (cells_completed,
+  // cells_total), where cells_completed is that cell's slot in the atomic
+  // completion count (exactly one call carries total). Calls may arrive
+  // out of order — a descheduled thread can deliver a lower count after a
+  // higher one — so treat the values as a progress sample, not a
+  // completion signal; RunMonteCarloGrid returning is the completion
+  // signal. Called concurrently from pool threads — must be thread-safe
+  // (a printf progress dot is fine). Null disables.
+  std::function<void(uint32_t completed, uint32_t total)> progress;
+};
+
+// Instantiates the runner of configuration `config`; called once per
+// (config, run) cell, possibly concurrently — must be thread-safe and
+// deterministic in `config`.
+using MonteCarloRunnerFactory =
+    std::function<std::unique_ptr<LongitudinalRunner>(uint32_t config)>;
+
+// Reduces one run's RunResult to the scalar the caller aggregates (e.g.
+// MSE_avg). Also called concurrently; must be pure.
+using MonteCarloMetric =
+    std::function<double(uint32_t config, const RunResult& result)>;
+
+// Evaluates metric(config, Run(data, MonteCarloSeed(...))) for every
+// (config, run) cell and returns num_configs rows of `runs` values each,
+// ordered by run. Byte-identical output for every pool size.
+std::vector<std::vector<double>> RunMonteCarloGrid(
+    const MonteCarloRunnerFactory& factory, const Dataset& data,
+    uint32_t num_configs, const MonteCarloOptions& options,
+    const MonteCarloMetric& metric);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_SIM_MONTE_CARLO_H_

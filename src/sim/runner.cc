@@ -12,6 +12,7 @@
 #include "oracle/params.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace loloha {
@@ -41,8 +42,8 @@ class UeRunner : public LongitudinalRunner {
   RunResult Run(const Dataset& data, uint64_t seed) const override {
     const ChainedParams chain = LueChain(variant_, eps_perm_, eps_first_);
     LongitudinalUePopulation population(data.k(), data.n(), chain);
-    ThreadPool pool(ResolveNumThreads(options_));
-    const uint32_t shards = ResolveNumShards(options_);
+    const PoolLease pool(options_.pool, options_.num_threads);
+    const uint32_t shards = options_.num_shards;
 
     RunResult result;
     result.protocol = name();
@@ -51,7 +52,7 @@ class UeRunner : public LongitudinalRunner {
     result.estimates.reserve(data.tau());
     for (uint32_t t = 0; t < data.tau(); ++t) {
       result.estimates.push_back(
-          population.Step(data.StepValues(t), StepSeed(seed, t), pool,
+          population.Step(data.StepValues(t), StepSeed(seed, t), *pool,
                           shards));
     }
     result.per_user_epsilon.resize(data.n());
@@ -81,8 +82,8 @@ class GrrRunner : public LongitudinalRunner {
     const ChainedParams chain = LGrrChain(eps_perm_, eps_first_, k);
     std::vector<LongitudinalGrrClient> clients(
         n, LongitudinalGrrClient(k, chain));
-    ThreadPool pool(ResolveNumThreads(options_));
-    const uint32_t shards = ResolveNumShards(options_);
+    const PoolLease pool(options_.pool, options_.num_threads);
+    const uint32_t shards = options_.num_shards;
 
     RunResult result;
     result.protocol = name();
@@ -93,7 +94,7 @@ class GrrRunner : public LongitudinalRunner {
     for (uint32_t t = 0; t < data.tau(); ++t) {
       const uint32_t* values = data.StepValuesData(t);
       shard_counts.assign(shard_counts.size(), 0);
-      pool.ParallelFor(shards, [&](uint32_t shard) {
+      pool->ParallelFor(shards, [&](uint32_t shard) {
         const ShardRange range = ShardBounds(n, shards, shard);
         Rng rng(StreamSeed(StepSeed(seed, t), shard, 0));
         uint64_t* counts = &shard_counts[static_cast<size_t>(shard) * k];
@@ -141,14 +142,14 @@ class LolohaRunner : public LongitudinalRunner {
   }
 
   RunResult Run(const Dataset& data, uint64_t seed) const override {
-    Rng rng(seed);
     const uint32_t g =
         g_ == 0 ? OptimalLolohaG(eps_perm_, eps_first_) : g_;
     const LolohaParams params =
         MakeLolohaParams(data.k(), g, eps_perm_, eps_first_);
-    LolohaPopulation population(params, data.n(), rng);
-    ThreadPool pool(ResolveNumThreads(options_));
-    const uint32_t shards = ResolveNumShards(options_);
+    const PoolLease pool(options_.pool, options_.num_threads);
+    const uint32_t shards = options_.num_shards;
+    // Sharded hash-row precompute (the constructor's dominant cost).
+    LolohaPopulation population(params, data.n(), seed, *pool, shards);
 
     RunResult result;
     result.protocol = name();
@@ -157,7 +158,7 @@ class LolohaRunner : public LongitudinalRunner {
     result.estimates.reserve(data.tau());
     for (uint32_t t = 0; t < data.tau(); ++t) {
       result.estimates.push_back(
-          population.Step(data.StepValues(t), StepSeed(seed, t), pool,
+          population.Step(data.StepValues(t), StepSeed(seed, t), *pool,
                           shards));
     }
     result.per_user_epsilon.resize(data.n());
@@ -192,8 +193,8 @@ class DBitFlipRunner : public LongitudinalRunner {
     const uint32_t d = d_ == 0 ? b : d_;
     const Bucketizer bucketizer(data.k(), b);
     DBitFlipPopulation population(bucketizer, d, eps_perm_, data.n(), rng);
-    ThreadPool pool(ResolveNumThreads(options_));
-    const uint32_t shards = ResolveNumShards(options_);
+    const PoolLease pool(options_.pool, options_.num_threads);
+    const uint32_t shards = options_.num_shards;
 
     RunResult result;
     result.protocol = name();
@@ -202,7 +203,7 @@ class DBitFlipRunner : public LongitudinalRunner {
     result.estimates.reserve(data.tau());
     for (uint32_t t = 0; t < data.tau(); ++t) {
       result.estimates.push_back(
-          population.Step(data.StepValues(t), StepSeed(seed, t), pool,
+          population.Step(data.StepValues(t), StepSeed(seed, t), *pool,
                           shards));
     }
     result.per_user_epsilon.resize(data.n());
@@ -236,8 +237,8 @@ class NaiveOlhRunner : public LongitudinalRunner {
     PerturbParams estimator;
     estimator.p = client.params().p;
     estimator.q = 1.0 / static_cast<double>(g);
-    ThreadPool pool(ResolveNumThreads(options_));
-    const uint32_t shards = ResolveNumShards(options_);
+    const PoolLease pool(options_.pool, options_.num_threads);
+    const uint32_t shards = options_.num_shards;
 
     RunResult result;
     result.protocol = name();
@@ -248,14 +249,27 @@ class NaiveOlhRunner : public LongitudinalRunner {
     for (uint32_t t = 0; t < data.tau(); ++t) {
       const uint32_t* values = data.StepValuesData(t);
       shard_support.assign(shard_support.size(), 0);
-      pool.ParallelFor(shards, [&](uint32_t shard) {
+      pool->ParallelFor(shards, [&](uint32_t shard) {
         const ShardRange range = ShardBounds(n, shards, shard);
         Rng rng(StreamSeed(StepSeed(seed, t), shard, 0));
         uint64_t* support = &shard_support[static_cast<size_t>(shard) * k];
-        for (uint64_t u = range.begin; u < range.end; ++u) {
-          const LhReport report = client.Perturb(values[u], rng);
-          for (uint32_t v = 0; v < k; ++v) {
-            if (report.hash(v) == report.cell) ++support[v];
+        if (g <= 65535) {
+          // Hash-row + support-count kernels (util/simd.h): evaluate the
+          // report's hash row once per user, then SIMD-compare against the
+          // reported cell in 16-bit lanes, flushing before saturation.
+          std::vector<uint16_t> row(k);
+          U16SupportAccumulator acc(k, support);
+          for (uint64_t u = range.begin; u < range.end; ++u) {
+            const LhReport report = client.Perturb(values[u], rng);
+            HashRowU16(report.hash.a(), report.hash.b(), g, k, row.data());
+            acc.Add(row.data(), static_cast<uint16_t>(report.cell));
+          }
+        } else {
+          for (uint64_t u = range.begin; u < range.end; ++u) {
+            const LhReport report = client.Perturb(values[u], rng);
+            for (uint32_t v = 0; v < k; ++v) {
+              if (report.hash(v) == report.cell) ++support[v];
+            }
           }
         }
       });
@@ -290,9 +304,16 @@ uint32_t ResolveNumShards(const RunnerOptions& options) {
   return options.num_shards == 0 ? kDefaultNumShards : options.num_shards;
 }
 
+RunnerOptions NormalizeRunnerOptions(RunnerOptions options) {
+  options.num_threads = ResolveNumThreads(options);
+  options.num_shards = ResolveNumShards(options);
+  return options;
+}
+
 std::unique_ptr<LongitudinalRunner> MakeNaiveOlhRunner(
     double eps_per_step, const RunnerOptions& options) {
-  return std::make_unique<NaiveOlhRunner>(eps_per_step, options);
+  return std::make_unique<NaiveOlhRunner>(eps_per_step,
+                                          NormalizeRunnerOptions(options));
 }
 
 uint32_t ResolveBuckets(const RunnerOptions& options, uint32_t k) {
@@ -308,7 +329,10 @@ uint32_t ResolveBuckets(const RunnerOptions& options, uint32_t k) {
 
 std::unique_ptr<LongitudinalRunner> MakeRunner(ProtocolId id, double eps_perm,
                                                double eps_first,
-                                               const RunnerOptions& options) {
+                                               const RunnerOptions& raw_options) {
+  // Resolve thread / shard defaults exactly once; runner code relies on
+  // normalized (nonzero) values everywhere below.
+  const RunnerOptions options = NormalizeRunnerOptions(raw_options);
   switch (id) {
     case ProtocolId::kRappor:
       return std::make_unique<UeRunner>(LueVariant::kLSue, eps_perm,

@@ -23,6 +23,8 @@
 
 namespace loloha {
 
+class ThreadPool;
+
 struct RunResult {
   std::string protocol;
   // τ rows; k columns (b columns for dBitFlipPM with b < k).
@@ -55,11 +57,22 @@ struct RunnerOptions {
   // changes the random streams — and therefore the exact estimates, though
   // never their distribution.
   uint32_t num_shards = 0;
+  // Borrowed process-wide pool shared across runners / Monte-Carlo
+  // repetitions (not owned; must outlive every Run). When null, each Run
+  // constructs a private num_threads-wide pool as a fallback — correct but
+  // slower, since thread spawn is most of the overhead at small n. Does
+  // not affect the output either way.
+  ThreadPool* pool = nullptr;
 };
 
 // Effective thread / shard counts for `options` (resolving the 0 defaults).
 uint32_t ResolveNumThreads(const RunnerOptions& options);
 uint32_t ResolveNumShards(const RunnerOptions& options);
+
+// Copy of `options` with num_threads / num_shards resolved to their
+// effective nonzero values. MakeRunner / MakeNaiveOlhRunner normalize once
+// at construction, so runner code never re-resolves per call site.
+RunnerOptions NormalizeRunnerOptions(RunnerOptions options);
 
 class LongitudinalRunner {
  public:

@@ -1,0 +1,97 @@
+#include "util/binomial.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace loloha {
+
+namespace {
+
+// Reentrant log-gamma: glibc's lgamma() writes the global signgam, so the
+// POSIX _r variant is required for thread safety. All arguments here are
+// >= 1, where the gamma function is positive, so the sign output is moot.
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__) || defined(__unix__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+// log(x!) = lgamma(x + 1).
+double LogFactorial(double x) { return LogGamma(x + 1.0); }
+
+// Sum of n Bernoulli(p) draws; exact and branch-cheap for small n.
+uint64_t SampleBySum(uint64_t n, double p, Rng& rng) {
+  uint64_t k = 0;
+  for (uint64_t i = 0; i < n; ++i) k += rng.Bernoulli(p) ? 1 : 0;
+  return k;
+}
+
+// CDF inversion: walk the pmf recurrence f(k+1) = f(k) * r * (n-k)/(k+1)
+// until the uniform is exhausted. Expected O(np) iterations; requires
+// np small enough that q^n does not underflow (np < 10, p <= 1/2 gives
+// q^n >= exp(-20 ln 2) comfortably above DBL_MIN).
+uint64_t SampleByInversion(uint64_t n, double p, Rng& rng) {
+  const double q = 1.0 - p;
+  const double r = p / q;
+  double f = std::exp(static_cast<double>(n) * std::log(q));  // f(0) = q^n
+  double u = rng.UniformDouble();
+  uint64_t k = 0;
+  while (u > f) {
+    u -= f;
+    if (k >= n) return n;  // floating-point tail guard (prob ~ 2^-52)
+    f *= r * static_cast<double>(n - k) / static_cast<double>(k + 1);
+    ++k;
+  }
+  return k;
+}
+
+// Hörmann's BTRS rejection sampler (transformed rejection with squeeze),
+// valid for p <= 1/2 and np >= 10. The frequent path accepts straight
+// from the box test; the rare path evaluates the exact log-pmf ratio to
+// the mode, so the sampled law is the true binomial.
+uint64_t SampleByBtrs(uint64_t n, double p, Rng& rng) {
+  const double nd = static_cast<double>(n);
+  const double q = 1.0 - p;
+  const double np = nd * p;
+  const double spq = std::sqrt(np * q);
+  const double b = 1.15 + 2.53 * spq;
+  const double a = -0.0873 + 0.0248 * b + 0.01 * p;
+  const double c = np + 0.5;
+  const double alpha = (2.83 + 5.1 / b) * spq;
+  const double vr = 0.92 - 4.2 / b;
+  const double lpq = std::log(p / q);
+  const double m = std::floor((nd + 1.0) * p);  // mode
+  const double h_m = LogFactorial(m) + LogFactorial(nd - m);
+
+  for (;;) {
+    const double u = rng.UniformDouble() - 0.5;
+    double v = rng.UniformDouble();
+    const double us = 0.5 - std::abs(u);
+    const double kd = std::floor((2.0 * a / us + b) * u + c);
+    if (kd < 0.0 || kd > nd) continue;
+    if (us >= 0.07 && v <= vr) return static_cast<uint64_t>(kd);
+    // Exact acceptance: log of the transformed v against the pmf ratio
+    // f(k)/f(mode).
+    v = std::log(v * alpha / (a / (us * us) + b));
+    const double h_k = LogFactorial(kd) + LogFactorial(nd - kd);
+    if (v <= h_m - h_k + (kd - m) * lpq) return static_cast<uint64_t>(kd);
+  }
+}
+
+}  // namespace
+
+uint64_t SampleBinomial(uint64_t n, double p, Rng& rng) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  if (p > 0.5) return n - SampleBinomial(n, 1.0 - p, rng);
+  if (n <= 64) return SampleBySum(n, p, rng);
+  const double mean = static_cast<double>(n) * p;
+  if (mean < 10.0) return SampleByInversion(n, p, rng);
+  return SampleByBtrs(n, p, rng);
+}
+
+}  // namespace loloha

@@ -1,0 +1,39 @@
+// Thread-safe, toolchain-independent Binomial(n, p) sampling.
+//
+// std::binomial_distribution is unusable in the sharded simulation loops:
+// libstdc++'s implementation calls glibc's lgamma(), which writes the
+// global `signgam` — a data race under concurrent sampling (flagged by
+// TSan in the LongitudinalUePopulation IRR phase) — and the algorithm is
+// implementation-defined, so even the *number* of Rng draws per sample
+// differs between standard libraries. This sampler draws only from the
+// repo's own Rng and computes log-factorials through lgamma_r
+// (reentrant): results are bit-reproducible for a fixed Rng stream on a
+// given toolchain, and the algorithm (hence draw sequence) is ours on
+// every platform. Exact cross-libm bit-reproducibility is NOT guaranteed
+// for the n > 64 regimes — inversion and BTRS compare against exp/log/
+// lgamma values, and a draw landing within an ulp of an acceptance
+// boundary may resolve differently on another libm.
+//
+// Three exact regimes (all sample the true binomial law):
+//   n <= 64            — sum of n Bernoulli draws
+//   mean < 10          — CDF inversion (O(mean) expected steps)
+//   mean >= 10         — Hörmann's BTRS transformed-rejection (1993),
+//                        ~86% of draws accepted by the box test without
+//                        evaluating any log-factorial
+// p > 1/2 is reduced by symmetry: n - Binomial(n, 1 - p).
+
+#ifndef LOLOHA_UTIL_BINOMIAL_H_
+#define LOLOHA_UTIL_BINOMIAL_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace loloha {
+
+// One draw from Binomial(n, p); p outside [0, 1] is clamped.
+uint64_t SampleBinomial(uint64_t n, double p, Rng& rng);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_UTIL_BINOMIAL_H_

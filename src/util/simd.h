@@ -1,0 +1,245 @@
+// Width-agnostic SIMD kernels for the support-count and hash-row hot
+// loops, with a scalar fallback selected at compile time.
+//
+// The single-thread profile of the LOLOHA/OLH estimation paths is
+// dominated by two loop shapes:
+//
+//   1. support scans     acc[v] += (row[v] == target)   (Algorithm 2 line 4)
+//   2. column sums       sums[c] += rows[r][c]          (unary-encoding counts)
+//
+// plus the per-user hash-row precompute row[v] = h_{a,b}(v). The kernels
+// below express (1) and (2) over GNU vector extensions (__attribute__
+// ((vector_size))), which GCC and Clang lower to whatever vector ISA the
+// target has: 32-byte vectors under AVX2, 16-byte under SSE2/NEON, plain
+// scalar code elsewhere. No intrinsics headers, no runtime dispatch — the
+// widest compile-time ISA wins, and every kernel computes bit-identical
+// results at every width (integer compares and adds only).
+//
+// The 16-bit accumulator variants are the fast path: a match adds an
+// all-ones lane (-1 in two's complement), so `acc -= (chunk == target)` is
+// one compare and one subtract per vector. Callers flush the 16-bit
+// accumulators into wide counters at most every kU16AccumulatorFlush
+// items (65535 matches saturate a lane).
+
+#ifndef LOLOHA_UTIL_SIMD_H_
+#define LOLOHA_UTIL_SIMD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/check.h"
+
+namespace loloha {
+
+// Compile-time vector width in bytes; 0 selects the scalar fallback.
+#if defined(LOLOHA_FORCE_SCALAR_SIMD)
+inline constexpr size_t kSimdWidthBytes = 0;
+#elif defined(__AVX2__)
+inline constexpr size_t kSimdWidthBytes = 32;
+#elif defined(__SSE2__) || defined(__ARM_NEON) || defined(__ALTIVEC__) || \
+    defined(__riscv_vector)
+inline constexpr size_t kSimdWidthBytes = 16;
+#elif defined(__GNUC__) || defined(__clang__)
+// Vector extensions still compile on unknown targets; let the compiler
+// pick the lowering.
+inline constexpr size_t kSimdWidthBytes = 16;
+#else
+inline constexpr size_t kSimdWidthBytes = 0;
+#endif
+
+// Maximum items a 16-bit lane can absorb before a flush is required.
+inline constexpr uint32_t kU16AccumulatorFlush = 65535;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define LOLOHA_SIMD_VECTOR_EXT 1
+#endif
+
+#if defined(LOLOHA_SIMD_VECTOR_EXT) && !defined(LOLOHA_FORCE_SCALAR_SIMD)
+
+namespace simd_internal {
+
+inline constexpr size_t kVecBytes = kSimdWidthBytes == 0 ? 16
+                                                         : kSimdWidthBytes;
+inline constexpr size_t kU16Lanes = kVecBytes / sizeof(uint16_t);
+
+typedef uint16_t U16Vec __attribute__((vector_size(kVecBytes)));
+
+inline U16Vec LoadU16(const uint16_t* p) {
+  U16Vec v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void StoreU16(uint16_t* p, U16Vec v) { std::memcpy(p, &v, sizeof(v)); }
+
+inline U16Vec SplatU16(uint16_t x) {
+  U16Vec v;
+  for (size_t l = 0; l < kU16Lanes; ++l) v[l] = x;
+  return v;
+}
+
+}  // namespace simd_internal
+
+// acc[i] += (data[i] == target) for i in [0, n). 16-bit lanes: the caller
+// flushes acc into wide counters at least every kU16AccumulatorFlush calls
+// with the same acc (one call contributes at most 1 per slot).
+inline void AddEqualMaskU16(const uint16_t* data, size_t n, uint16_t target,
+                            uint16_t* acc) {
+  using namespace simd_internal;
+  const U16Vec vt = SplatU16(target);
+  size_t i = 0;
+  for (; i + kU16Lanes <= n; i += kU16Lanes) {
+    // (chunk == vt) yields all-ones (== -1) per matching lane; comparison
+    // results are signed vectors, hence the reinterpreting cast.
+    const U16Vec mask = (U16Vec)(LoadU16(data + i) == vt);
+    StoreU16(acc + i, LoadU16(acc + i) - mask);
+  }
+  for (; i < n; ++i) acc[i] += data[i] == target ? 1 : 0;
+}
+
+// Number of i in [0, n) with data[i] == target — the reduction form of
+// AddEqualMaskU16, for callers that need one support count rather than a
+// per-value vector (e.g. auditing a single value's support against a
+// precomputed hash-row table).
+inline uint64_t CountEqualU16(const uint16_t* data, size_t n,
+                              uint16_t target) {
+  using namespace simd_internal;
+  const U16Vec vt = SplatU16(target);
+  uint64_t total = 0;
+  size_t i = 0;
+  while (i + kU16Lanes <= n) {
+    // Lane accumulators saturate after kU16AccumulatorFlush additions;
+    // flush each block into the 64-bit total.
+    const size_t block_end =
+        i + std::min<size_t>(((n - i) / kU16Lanes) * kU16Lanes,
+                             size_t{kU16AccumulatorFlush} * kU16Lanes);
+    U16Vec acc = SplatU16(0);
+    for (; i + kU16Lanes <= block_end; i += kU16Lanes) {
+      acc -= (U16Vec)(LoadU16(data + i) == vt);
+    }
+    for (size_t l = 0; l < kU16Lanes; ++l) total += acc[l];
+  }
+  for (; i < n; ++i) total += data[i] == target ? 1 : 0;
+  return total;
+}
+
+#else  // scalar fallback
+
+inline void AddEqualMaskU16(const uint16_t* data, size_t n, uint16_t target,
+                            uint16_t* acc) {
+  for (size_t i = 0; i < n; ++i) acc[i] += data[i] == target ? 1 : 0;
+}
+
+inline uint64_t CountEqualU16(const uint16_t* data, size_t n,
+                              uint16_t target) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += data[i] == target ? 1 : 0;
+  return total;
+}
+
+#endif  // LOLOHA_SIMD_VECTOR_EXT
+
+// Reference scalar implementations, kept unconditionally for the SIMD
+// bit-identity tests (and as documentation of the kernels' contracts).
+inline void AddEqualMaskU16Scalar(const uint16_t* data, size_t n,
+                                  uint16_t target, uint16_t* acc) {
+  for (size_t i = 0; i < n; ++i) acc[i] += data[i] == target ? 1 : 0;
+}
+
+inline uint64_t CountEqualU16Scalar(const uint16_t* data, size_t n,
+                                    uint16_t target) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += data[i] == target ? 1 : 0;
+  return total;
+}
+
+// Flushes a 16-bit accumulator into 64-bit counters and clears it:
+// wide[i] += acc[i]; acc[i] = 0.
+inline void FlushU16ToU64(uint16_t* acc, size_t n, uint64_t* wide) {
+  for (size_t i = 0; i < n; ++i) {
+    wide[i] += acc[i];
+    acc[i] = 0;
+  }
+}
+
+// Support-count accumulator: support[i] += (row[i] == target) per Add
+// call, staged in 16-bit lanes and flushed into the caller's 64-bit
+// counters before a lane can saturate (every kU16AccumulatorFlush adds).
+// The destructor flushes the remainder, so `wide` holds the exact totals
+// once the accumulator goes out of scope; the LOLOHA and Naive-OLH
+// estimation scans both run through this.
+class U16SupportAccumulator {
+ public:
+  // `wide` (length n) must outlive the accumulator.
+  U16SupportAccumulator(size_t n, uint64_t* wide)
+      : n_(n), wide_(wide), acc_(n, 0) {}
+
+  U16SupportAccumulator(const U16SupportAccumulator&) = delete;
+  U16SupportAccumulator& operator=(const U16SupportAccumulator&) = delete;
+
+  ~U16SupportAccumulator() { Flush(); }
+
+  void Add(const uint16_t* row, uint16_t target) {
+    AddEqualMaskU16(row, n_, target, acc_.data());
+    if (++pending_ == kU16AccumulatorFlush) Flush();
+  }
+
+  void Flush() {
+    if (pending_ != 0) FlushU16ToU64(acc_.data(), n_, wide_);
+    pending_ = 0;
+  }
+
+ private:
+  size_t n_;
+  uint64_t* wide_;
+  std::vector<uint16_t> acc_;
+  uint32_t pending_ = 0;
+};
+
+// sums[c] += sum over r of rows[r * num_cols + c] for a row-major byte
+// matrix. Rows are accumulated in 16-bit lanes (vectorized u8->u16 adds)
+// and flushed into the 64-bit sums every 255 rows, so arbitrary byte
+// values are safe. `scratch` must hold num_cols uint16_t and is clobbered.
+inline void SumColumnsU8(const uint8_t* rows, size_t num_rows,
+                         size_t num_cols, uint64_t* sums,
+                         uint16_t* scratch) {
+  std::memset(scratch, 0, num_cols * sizeof(uint16_t));
+  size_t since_flush = 0;
+  for (size_t r = 0; r < num_rows; ++r) {
+    const uint8_t* row = rows + r * num_cols;
+    for (size_t c = 0; c < num_cols; ++c) {
+      scratch[c] = static_cast<uint16_t>(scratch[c] + row[c]);
+    }
+    if (++since_flush == 255) {
+      FlushU16ToU64(scratch, num_cols, sums);
+      since_flush = 0;
+    }
+  }
+  if (since_flush != 0) FlushU16ToU64(scratch, num_cols, sums);
+}
+
+// Strength-reduced hash-row kernel: out[v] = h_{a,b}(v) for v in [0, k),
+// bit-identical to UniversalHash::operator() (see util/hash.h). Instead of
+// one 128-bit multiply per value, the running value s_v = (a*v + b) mod p
+// advances by a single modular addition (a, s_v < p = 2^61 - 1, so the sum
+// fits in 62 bits and one conditional subtraction reduces it). Requires
+// g <= 65535 (the population paths' row encoding).
+inline void HashRowU16(uint64_t a, uint64_t b, uint32_t g, uint32_t k,
+                       uint16_t* out) {
+  constexpr uint64_t kPrime = (uint64_t{1} << 61) - 1;
+  LOLOHA_DCHECK(a >= 1 && a < kPrime);
+  LOLOHA_DCHECK(b < kPrime);
+  LOLOHA_DCHECK(g >= 2 && g <= 65535);
+  uint64_t s = b;  // (a*0 + b) mod p
+  for (uint32_t v = 0; v < k; ++v) {
+    out[v] = static_cast<uint16_t>(s % g);
+    s += a;
+    if (s >= kPrime) s -= kPrime;
+  }
+}
+
+}  // namespace loloha
+
+#endif  // LOLOHA_UTIL_SIMD_H_

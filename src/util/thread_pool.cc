@@ -4,6 +4,28 @@
 
 namespace loloha {
 
+namespace {
+
+// Pool whose work the calling thread is currently executing (worker loop,
+// Wait-drained task, or ParallelFor shard); null otherwise. Lets nested
+// ParallelFor calls detect re-entry and run inline instead of deadlocking.
+thread_local const ThreadPool* tls_active_pool = nullptr;
+
+// RAII: marks `pool` active on this thread for the scope's lifetime.
+class ActivePoolScope {
+ public:
+  explicit ActivePoolScope(const ThreadPool* pool)
+      : previous_(tls_active_pool) {
+    tls_active_pool = pool;
+  }
+  ~ActivePoolScope() { tls_active_pool = previous_; }
+
+ private:
+  const ThreadPool* previous_;
+};
+
+}  // namespace
+
 ThreadPool::ThreadPool(uint32_t num_threads)
     : num_threads_(num_threads == 0 ? 1 : num_threads) {
   workers_.reserve(num_threads_ - 1);
@@ -15,6 +37,8 @@ ThreadPool::ThreadPool(uint32_t num_threads)
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    LOLOHA_CHECK_MSG(tasks_.empty(),
+                     "ThreadPool destroyed with queued tasks; Wait first");
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -25,6 +49,8 @@ uint32_t ThreadPool::HardwareThreads() {
   const unsigned reported = std::thread::hardware_concurrency();
   return reported == 0 ? 1 : static_cast<uint32_t>(reported);
 }
+
+bool ThreadPool::OnPoolThread() const { return tls_active_pool == this; }
 
 void ThreadPool::RunShards(Job& job) {
   for (;;) {
@@ -40,27 +66,89 @@ void ThreadPool::RunShards(Job& job) {
   }
 }
 
+void ThreadPool::RunTask(Task& task) {
+  task.fn();
+  bool finished = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LOLOHA_DCHECK(task.wg->pending_ > 0);
+    finished = --task.wg->pending_ == 0;
+  }
+  if (finished) done_cv_.notify_all();
+}
+
 void ThreadPool::WorkerLoop() {
+  ActivePoolScope scope(this);
   uint64_t seen_epoch = 0;
   for (;;) {
+    Task task;
     std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
-        return stop_ || (current_job_ != nullptr && epoch_ != seen_epoch);
+        return stop_ || !tasks_.empty() ||
+               (current_job_ != nullptr && epoch_ != seen_epoch);
       });
       if (stop_) return;
-      seen_epoch = epoch_;
-      job = current_job_;
+      if (current_job_ != nullptr && epoch_ != seen_epoch) {
+        // Shard jobs first: their driver is blocked until the last shard
+        // finishes, while Submit tasks have a Wait-ing thread that drains.
+        seen_epoch = epoch_;
+        job = current_job_;
+      } else {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
     }
-    RunShards(*job);
+    if (job != nullptr) {
+      RunShards(*job);
+    } else {
+      RunTask(task);
+    }
+  }
+}
+
+void ThreadPool::Submit(WaitGroup& wg, std::function<void()> fn) {
+  LOLOHA_DCHECK(fn != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++wg.pending_;
+    tasks_.push_back(Task{std::move(fn), &wg});
+  }
+  work_cv_.notify_one();
+  // A thread blocked in Wait also consumes tasks; wake it too.
+  done_cv_.notify_all();
+}
+
+void ThreadPool::Wait(WaitGroup& wg) {
+  LOLOHA_CHECK_MSG(!OnPoolThread(),
+                   "ThreadPool::Wait must not be called from a pool task");
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock,
+                    [&] { return wg.pending_ == 0 || !tasks_.empty(); });
+      if (wg.pending_ == 0) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    ActivePoolScope scope(this);
+    RunTask(task);
   }
 }
 
 void ThreadPool::ParallelFor(uint32_t num_shards,
                              const std::function<void(uint32_t)>& fn) {
   if (num_shards == 0) return;
+  if (OnPoolThread()) {
+    // Nested invocation from inside a pool task or an enclosing shard: run
+    // inline, in shard order (the single-thread schedule).
+    for (uint32_t shard = 0; shard < num_shards; ++shard) fn(shard);
+    return;
+  }
   if (workers_.empty() || num_shards == 1) {
+    ActivePoolScope scope(this);
     for (uint32_t shard = 0; shard < num_shards; ++shard) fn(shard);
     return;
   }
@@ -68,12 +156,15 @@ void ThreadPool::ParallelFor(uint32_t num_shards,
   {
     std::lock_guard<std::mutex> lock(mu_);
     LOLOHA_CHECK_MSG(current_job_ == nullptr,
-                     "ThreadPool::ParallelFor is not reentrant");
+                     "only one thread may drive ParallelFor at a time");
     current_job_ = job;
     ++epoch_;
   }
   work_cv_.notify_all();
-  RunShards(*job);
+  {
+    ActivePoolScope scope(this);
+    RunShards(*job);
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] {

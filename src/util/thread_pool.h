@@ -1,4 +1,6 @@
-// Fixed-size worker pool for sharded simulation loops.
+// Fixed-size worker pool shared by the whole process: sharded simulation
+// loops (ParallelFor), and free-form task graphs (Submit + WaitGroup) used
+// by the Monte-Carlo outer loops in bench/.
 //
 // Design constraint (see sim/runner.h): simulation results must be
 // bit-reproducible at any thread count. Parallel loops are therefore
@@ -7,6 +9,13 @@
 // StreamSeed in util/rng.h). The pool only decides which worker executes
 // which shard, never what a shard computes, so changing the thread count
 // re-schedules the same work without changing any random draw.
+//
+// Nesting: a task running on the pool (a Submit task, or a shard of an
+// outer ParallelFor) may call ParallelFor on the same pool — the nested
+// loop detects it is already on a pool thread and runs its shards inline,
+// in shard order. This is what lets a Monte-Carlo outer loop and the
+// runners' per-step inner sharding share one pool without deadlock, and it
+// keeps nested work bit-identical to the single-thread schedule.
 
 #ifndef LOLOHA_UTIL_THREAD_POOL_H_
 #define LOLOHA_UTIL_THREAD_POOL_H_
@@ -14,6 +23,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -40,6 +50,21 @@ inline ShardRange ShardBounds(uint64_t total, uint32_t num_shards,
   return range;
 }
 
+// Counts outstanding tasks submitted to one ThreadPool. A WaitGroup is
+// bound to the pool it is first used with (its counter is guarded by that
+// pool's mutex); reuse after ThreadPool::Wait returns is fine, mixing one
+// WaitGroup across pools is not.
+class WaitGroup {
+ public:
+  WaitGroup() = default;
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+ private:
+  friend class ThreadPool;
+  int64_t pending_ = 0;  // guarded by the owning pool's mu_
+};
+
 class ThreadPool {
  public:
   // `num_threads` counts the calling thread: a pool of 1 spawns no workers
@@ -53,12 +78,30 @@ class ThreadPool {
 
   uint32_t num_threads() const { return num_threads_; }
 
+  // Enqueues `fn` to run on a worker (or on a thread blocked in Wait) and
+  // registers it with `wg`. Tasks may Submit further tasks and may call
+  // ParallelFor on this pool (which then runs inline); they must not call
+  // Wait.
+  void Submit(WaitGroup& wg, std::function<void()> fn);
+
+  // Blocks until every task registered with `wg` has finished. The calling
+  // thread drains queued tasks while it waits, so Submit + Wait makes
+  // progress even on a pool of 1 (which has no workers). Must be called
+  // from outside the pool (not from within a task).
+  void Wait(WaitGroup& wg);
+
   // Invokes fn(shard) exactly once for every shard in [0, num_shards),
   // distributed over the workers plus the calling thread, and returns when
-  // all shards have finished. Not reentrant: fn must not call ParallelFor
-  // on the same pool, and only one thread may drive the pool at a time.
+  // all shards have finished. When called from a thread that is already
+  // executing this pool's work (a Submit task or an enclosing ParallelFor
+  // shard), the shards run inline on the calling thread, in order. At most
+  // one thread from outside the pool may drive ParallelFor at a time.
   void ParallelFor(uint32_t num_shards,
                    const std::function<void(uint32_t)>& fn);
+
+  // True when the calling thread is currently executing work scheduled on
+  // this pool (worker thread, Wait-drained task, or ParallelFor shard).
+  bool OnPoolThread() const;
 
   // std::thread::hardware_concurrency(), clamped to >= 1 (the standard
   // allows it to report 0 when unknown).
@@ -77,17 +120,50 @@ class ThreadPool {
     std::atomic<uint32_t> done{0};
   };
 
+  // One Submit invocation.
+  struct Task {
+    std::function<void()> fn;
+    WaitGroup* wg = nullptr;
+  };
+
   void WorkerLoop();
   void RunShards(Job& job);
+  void RunTask(Task& task);
 
   uint32_t num_threads_;
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
+  std::deque<Task> tasks_;            // guarded by mu_
   std::shared_ptr<Job> current_job_;  // guarded by mu_
   uint64_t epoch_ = 0;                // guarded by mu_; bumped per job
   bool stop_ = false;                 // guarded by mu_
   std::vector<std::thread> workers_;
+};
+
+// Scoped "borrow or own" pool handle for code paths that accept an
+// optional shared pool (RunnerOptions::pool): borrows `borrowed` when
+// non-null, otherwise constructs a private pool of `fallback_threads` for
+// the lease's lifetime.
+class PoolLease {
+ public:
+  PoolLease(ThreadPool* borrowed, uint32_t fallback_threads)
+      : pool_(borrowed) {
+    if (pool_ == nullptr) {
+      owned_ = std::make_unique<ThreadPool>(fallback_threads);
+      pool_ = owned_.get();
+    }
+  }
+
+  PoolLease(const PoolLease&) = delete;
+  PoolLease& operator=(const PoolLease&) = delete;
+
+  ThreadPool& operator*() const { return *pool_; }
+  ThreadPool* operator->() const { return pool_; }
+
+ private:
+  ThreadPool* pool_;
+  std::unique_ptr<ThreadPool> owned_;
 };
 
 }  // namespace loloha

@@ -1,0 +1,132 @@
+// util/binomial.h: exactness of the three sampling regimes (Bernoulli
+// sum, CDF inversion, BTRS rejection) against the binomial law, plus the
+// determinism and edge-case contracts the simulation engine relies on.
+
+#include "util/binomial.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+struct Moments {
+  double mean = 0.0;
+  double var = 0.0;
+};
+
+Moments SampleMoments(uint64_t n, double p, uint32_t draws, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(draws);
+  double sum = 0.0;
+  for (uint32_t i = 0; i < draws; ++i) {
+    const uint64_t x = SampleBinomial(n, p, rng);
+    EXPECT_LE(x, n);
+    xs[i] = static_cast<double>(x);
+    sum += xs[i];
+  }
+  Moments m;
+  m.mean = sum / draws;
+  for (const double x : xs) m.var += (x - m.mean) * (x - m.mean);
+  m.var /= draws - 1;
+  return m;
+}
+
+// Mean within 5 standard errors, variance within 20% — loose enough to
+// be deterministic-stable at these fixed seeds, tight enough to catch a
+// broken regime.
+void ExpectBinomialMoments(uint64_t n, double p, uint64_t seed) {
+  const uint32_t draws = 20000;
+  const double mean = static_cast<double>(n) * p;
+  const double var = mean * (1.0 - p);
+  const Moments m = SampleMoments(n, p, draws, seed);
+  EXPECT_NEAR(m.mean, mean, 5.0 * std::sqrt(var / draws))
+      << "n=" << n << " p=" << p;
+  EXPECT_NEAR(m.var, var, 0.2 * var + 0.05) << "n=" << n << " p=" << p;
+}
+
+TEST(BinomialTest, BernoulliSumRegime) {
+  ExpectBinomialMoments(10, 0.3, 1);
+  ExpectBinomialMoments(64, 0.5, 2);
+  ExpectBinomialMoments(50, 0.731, 3);  // symmetry + small n
+}
+
+TEST(BinomialTest, InversionRegime) {
+  ExpectBinomialMoments(1000, 0.005, 4);  // mean 5
+  ExpectBinomialMoments(100000, 0.00008, 5);  // mean 8
+  ExpectBinomialMoments(1000, 0.995, 6);  // symmetry -> inversion
+}
+
+TEST(BinomialTest, BtrsRegime) {
+  ExpectBinomialMoments(1000, 0.12, 7);  // mean 120
+  ExpectBinomialMoments(100000, 0.5, 8);
+  ExpectBinomialMoments(5000, 0.87, 9);  // symmetry -> BTRS
+}
+
+TEST(BinomialTest, PmfMatchesExactLawModerateN) {
+  // Empirical pmf of Binomial(100, 0.3) (BTRS regime) against the exact
+  // recurrence, chi-square-style bound over the bulk.
+  const uint64_t n = 100;
+  const double p = 0.3;
+  const uint32_t draws = 200000;
+  Rng rng(10);
+  std::vector<uint32_t> hist(n + 1, 0);
+  for (uint32_t i = 0; i < draws; ++i) ++hist[SampleBinomial(n, p, rng)];
+
+  // Exact pmf via the stable recurrence from the mode.
+  std::vector<double> pmf(n + 1, 0.0);
+  pmf[0] = std::pow(1.0 - p, static_cast<double>(n));
+  for (uint64_t k = 1; k <= n; ++k) {
+    pmf[k] = pmf[k - 1] * (p / (1.0 - p)) *
+             static_cast<double>(n - k + 1) / static_cast<double>(k);
+  }
+  double chi2 = 0.0;
+  int dof = 0;
+  for (uint64_t k = 0; k <= n; ++k) {
+    const double expected = pmf[k] * draws;
+    if (expected < 20.0) continue;  // skip thin tails
+    const double diff = hist[k] - expected;
+    chi2 += diff * diff / expected;
+    ++dof;
+  }
+  ASSERT_GT(dof, 10);
+  // For ~30 dof the 0.9999 quantile is ~66; a broken sampler lands in
+  // the thousands. Deterministic at this seed.
+  EXPECT_LT(chi2, 4.0 * dof);
+}
+
+TEST(BinomialTest, EdgeCases) {
+  Rng rng(11);
+  EXPECT_EQ(SampleBinomial(0, 0.5, rng), 0u);
+  EXPECT_EQ(SampleBinomial(100, 0.0, rng), 0u);
+  EXPECT_EQ(SampleBinomial(100, -0.5, rng), 0u);
+  EXPECT_EQ(SampleBinomial(100, 1.0, rng), 100u);
+  EXPECT_EQ(SampleBinomial(100, 1.5, rng), 100u);
+}
+
+TEST(BinomialTest, DeterministicForFixedStream) {
+  for (const double p : {0.01, 0.3, 0.7}) {
+    for (const uint64_t n : {5ull, 1000ull, 100000ull}) {
+      Rng a(12);
+      Rng b(12);
+      for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(SampleBinomial(n, p, a), SampleBinomial(n, p, b));
+      }
+    }
+  }
+}
+
+TEST(BinomialTest, SymmetryReduction) {
+  // E[Binomial(n, p)] + E[Binomial(n, 1-p)] must straddle n.
+  const Moments high = SampleMoments(2000, 0.9, 5000, 13);
+  const Moments low = SampleMoments(2000, 0.1, 5000, 13);
+  EXPECT_NEAR(high.mean + low.mean, 2000.0, 10.0);
+}
+
+}  // namespace
+}  // namespace loloha

@@ -160,5 +160,27 @@ TEST(LueChainTest, VariantDispatch) {
   EXPECT_DOUBLE_EQ(osue.first.p, 0.5);
 }
 
+TEST(LongitudinalUeServerTest, AccumulateBatchMatchesPerReportAccumulate) {
+  const uint32_t k = 21;
+  const ChainedParams chain = LueChain(LueVariant::kLOsue, 2.0, 1.0);
+  Rng rng(92);
+  std::vector<LongitudinalUeClient> clients(300,
+                                            LongitudinalUeClient(k, chain));
+  std::vector<uint8_t> matrix;
+  matrix.reserve(clients.size() * k);
+  LongitudinalUeServer per_report(k, chain);
+  per_report.BeginStep();
+  for (size_t u = 0; u < clients.size(); ++u) {
+    const std::vector<uint8_t> report =
+        clients[u].Report(static_cast<uint32_t>(u) % k, rng);
+    per_report.Accumulate(report);
+    matrix.insert(matrix.end(), report.begin(), report.end());
+  }
+  LongitudinalUeServer batched(k, chain);
+  batched.BeginStep();
+  batched.AccumulateBatch(matrix.data(), clients.size());
+  EXPECT_EQ(batched.EstimateStep(), per_report.EstimateStep());
+}
+
 }  // namespace
 }  // namespace loloha

@@ -1,0 +1,121 @@
+// Monte-Carlo outer-loop driver (sim/monte_carlo.h): the parallel
+// (config, run) grid must be byte-identical to the serial fallback at
+// every pool size — the property the fig3 panel binaries rely on.
+
+#include "sim/monte_carlo.h"
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "sim/metrics.h"
+#include "util/thread_pool.h"
+
+namespace loloha {
+namespace {
+
+constexpr uint64_t kSeed = 20230328;
+
+std::vector<std::vector<double>> RunGrid(const Dataset& data,
+                                         ThreadPool* pool,
+                                         uint32_t num_threads) {
+  const std::vector<ProtocolId> grid = {
+      ProtocolId::kBiLoloha, ProtocolId::kLOsue, ProtocolId::kLGrr};
+  RunnerOptions options;
+  options.num_threads = num_threads;
+  options.pool = pool;
+  MonteCarloOptions mc;
+  mc.runs = 3;
+  mc.base_seed = kSeed;
+  mc.pool = pool;
+  return RunMonteCarloGrid(
+      [&](uint32_t c) { return MakeRunner(grid[c], 2.0, 1.0, options); },
+      data, static_cast<uint32_t>(grid.size()), mc,
+      [&](uint32_t, const RunResult& result) {
+        return MseAvg(data, result.estimates);
+      });
+}
+
+TEST(MonteCarloTest, ParallelGridByteIdenticalToSerialFallback) {
+  const Dataset data = GenerateSyn(300, 16, 3, 0.25, 11);
+  const std::vector<std::vector<double>> serial = RunGrid(data, nullptr, 1);
+
+  ASSERT_EQ(serial.size(), 3u);
+  for (const auto& row : serial) ASSERT_EQ(row.size(), 3u);
+
+  for (const uint32_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const std::vector<std::vector<double>> parallel =
+        RunGrid(data, &pool, threads);
+    EXPECT_EQ(serial, parallel) << "threads=" << threads;
+  }
+}
+
+TEST(MonteCarloTest, RepeatedInvocationReproducible) {
+  const Dataset data = GenerateSyn(200, 16, 2, 0.25, 13);
+  ThreadPool pool(4);
+  EXPECT_EQ(RunGrid(data, &pool, 4), RunGrid(data, &pool, 4));
+}
+
+TEST(MonteCarloTest, CellSeedsAreDistinctAcrossConfigsAndRuns) {
+  std::set<uint64_t> seeds;
+  for (uint32_t config = 0; config < 20; ++config) {
+    for (uint32_t run = 0; run < 20; ++run) {
+      seeds.insert(MonteCarloSeed(kSeed, config, run));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 400u);
+  // And keyed by the base seed.
+  EXPECT_NE(MonteCarloSeed(1, 0, 0), MonteCarloSeed(2, 0, 0));
+}
+
+TEST(MonteCarloTest, ProgressReportsEveryCellAndEndsAtTotal) {
+  const Dataset data = GenerateSyn(100, 8, 2, 0.25, 17);
+  for (const uint32_t threads : {0u, 2u}) {  // 0 = serial fallback
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+    MonteCarloOptions mc;
+    mc.runs = 3;
+    mc.base_seed = kSeed;
+    mc.pool = pool.get();
+    std::atomic<uint32_t> calls{0};
+    std::atomic<uint32_t> saw_total{0};
+    mc.progress = [&](uint32_t completed, uint32_t total) {
+      calls.fetch_add(1);
+      EXPECT_LE(completed, total);
+      if (completed == total) saw_total.fetch_add(1);
+    };
+    RunMonteCarloGrid(
+        [&](uint32_t) {
+          return MakeRunner(ProtocolId::kBiLoloha, 2.0, 1.0, {});
+        },
+        data, 4, mc, [](uint32_t, const RunResult&) { return 0.0; });
+    EXPECT_EQ(calls.load(), 12u) << "threads=" << threads;
+    EXPECT_EQ(saw_total.load(), 1u);
+  }
+}
+
+TEST(MonteCarloTest, MetricReceivesConfigIndex) {
+  const Dataset data = GenerateSyn(100, 8, 2, 0.25, 15);
+  MonteCarloOptions mc;
+  mc.runs = 2;
+  mc.base_seed = kSeed;
+  const auto grid = RunMonteCarloGrid(
+      [&](uint32_t) {
+        return MakeRunner(ProtocolId::kBiLoloha, 2.0, 1.0, {});
+      },
+      data, 4, mc,
+      [](uint32_t config, const RunResult&) {
+        return static_cast<double>(config);
+      });
+  for (uint32_t c = 0; c < 4; ++c) {
+    for (const double v : grid[c]) EXPECT_EQ(v, c);
+  }
+}
+
+}  // namespace
+}  // namespace loloha

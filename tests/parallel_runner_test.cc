@@ -110,6 +110,28 @@ TEST(ParallelRunnerTest, ResolveHelpers) {
   EXPECT_EQ(ResolveNumShards(options), 12u);
 }
 
+TEST(ParallelRunnerTest, NormalizeResolvesOnceAndPreservesTheRest) {
+  ThreadPool pool(2);
+  RunnerOptions options;
+  options.buckets = 9;
+  options.bucket_divisor = 3;
+  options.pool = &pool;
+  const RunnerOptions normalized = NormalizeRunnerOptions(options);
+  EXPECT_EQ(normalized.num_threads, 1u);
+  EXPECT_EQ(normalized.num_shards, kDefaultNumShards);
+  EXPECT_EQ(normalized.buckets, 9u);
+  EXPECT_EQ(normalized.bucket_divisor, 3u);
+  EXPECT_EQ(normalized.pool, &pool);
+
+  RunnerOptions hardware;
+  hardware.num_threads = 0;
+  EXPECT_GE(NormalizeRunnerOptions(hardware).num_threads, 1u);
+  // Already-resolved options are a fixed point.
+  const RunnerOptions twice = NormalizeRunnerOptions(normalized);
+  EXPECT_EQ(twice.num_threads, normalized.num_threads);
+  EXPECT_EQ(twice.num_shards, normalized.num_shards);
+}
+
 // Population-level check, bypassing the runner plumbing: the same
 // LolohaPopulation stepped with pools of different sizes must agree.
 TEST(ParallelRunnerTest, LolohaPopulationShardedStepPoolSizeInvariant) {

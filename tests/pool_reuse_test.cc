@@ -1,0 +1,252 @@
+// Shared-pool semantics: Submit/WaitGroup task execution, nested
+// ParallelFor running inline, PoolLease borrow-or-own, and — the property
+// the Monte-Carlo outer loop depends on — runners borrowing one shared
+// pool producing bit-identical results to runners owning private pools.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/loloha.h"
+#include "core/loloha_params.h"
+#include "data/generators.h"
+#include "sim/runner.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace loloha {
+namespace {
+
+TEST(WaitGroupTest, RunsEveryTaskExactlyOnce) {
+  for (const uint32_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    WaitGroup wg;
+    const int n = 100;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    for (int i = 0; i < n; ++i) {
+      pool.Submit(wg, [&hits, i] { hits[i].fetch_add(1); });
+    }
+    pool.Wait(wg);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(WaitGroupTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(4);
+  WaitGroup wg;
+  pool.Wait(wg);  // must not hang
+}
+
+TEST(WaitGroupTest, ReusableAcrossRounds) {
+  ThreadPool pool(3);
+  WaitGroup wg;
+  std::atomic<int> count{0};
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 7; ++i) {
+      pool.Submit(wg, [&count] { count.fetch_add(1); });
+    }
+    pool.Wait(wg);
+  }
+  EXPECT_EQ(count.load(), 70);
+}
+
+TEST(WaitGroupTest, TasksMaySubmitFurtherTasks) {
+  for (const uint32_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    WaitGroup wg;
+    std::atomic<int> count{0};
+    for (int i = 0; i < 5; ++i) {
+      pool.Submit(wg, [&] {
+        count.fetch_add(1);
+        pool.Submit(wg, [&count] { count.fetch_add(10); });
+      });
+    }
+    pool.Wait(wg);
+    EXPECT_EQ(count.load(), 55) << "threads=" << threads;
+  }
+}
+
+TEST(PoolReuseTest, NestedParallelForRunsInlineInShardOrder) {
+  for (const uint32_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    WaitGroup wg;
+    std::vector<std::vector<uint32_t>> orders(3);
+    for (int t = 0; t < 3; ++t) {
+      pool.Submit(wg, [&pool, &orders, t] {
+        EXPECT_TRUE(pool.OnPoolThread());
+        // Nested loop must execute on this thread, in shard order.
+        pool.ParallelFor(8, [&orders, t](uint32_t shard) {
+          orders[t].push_back(shard);
+        });
+      });
+    }
+    pool.Wait(wg);
+    for (int t = 0; t < 3; ++t) {
+      ASSERT_EQ(orders[t].size(), 8u);
+      for (uint32_t s = 0; s < 8; ++s) EXPECT_EQ(orders[t][s], s);
+    }
+  }
+}
+
+TEST(PoolReuseTest, ParallelForShardsMayNestParallelFor) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(16);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(4, [&](uint32_t outer) {
+    pool.ParallelFor(4, [&](uint32_t inner) {
+      hits[outer * 4 + inner].fetch_add(1);
+    });
+  });
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(PoolReuseTest, OnPoolThreadDistinguishesPools) {
+  ThreadPool a(2);
+  ThreadPool b(2);
+  EXPECT_FALSE(a.OnPoolThread());
+  WaitGroup wg;
+  a.Submit(wg, [&] {
+    EXPECT_TRUE(a.OnPoolThread());
+    EXPECT_FALSE(b.OnPoolThread());
+  });
+  a.Wait(wg);
+}
+
+TEST(PoolLeaseTest, BorrowsWhenGivenAndOwnsOtherwise) {
+  ThreadPool shared(3);
+  const PoolLease borrowed(&shared, 1);
+  EXPECT_EQ(&*borrowed, &shared);
+  EXPECT_EQ(borrowed->num_threads(), 3u);
+
+  const PoolLease owned(nullptr, 2);
+  EXPECT_NE(&*owned, &shared);
+  EXPECT_EQ(owned->num_threads(), 2u);
+}
+
+// The tentpole property: a runner borrowing a shared pool must produce
+// byte-identical output to the same runner with a private pool, at every
+// pool size, including when the Run itself executes inside a pool task.
+TEST(PoolReuseTest, BorrowedPoolBitIdenticalToOwnedPool) {
+  const Dataset data = GenerateSyn(400, 24, 4, 0.25, 19);
+  const uint64_t seed = 20230328;
+  const std::vector<ProtocolId> protocols = {
+      ProtocolId::kBiLoloha, ProtocolId::kLOsue, ProtocolId::kLGrr,
+      ProtocolId::kBBitFlipPm};
+
+  for (const ProtocolId id : protocols) {
+    RunnerOptions owned;
+    owned.num_threads = 1;
+    const RunResult baseline = MakeRunner(id, 2.0, 1.0, owned)->Run(data, seed);
+
+    for (const uint32_t threads : {1u, 4u}) {
+      ThreadPool shared(threads);
+      RunnerOptions borrowed;
+      borrowed.num_threads = threads;
+      borrowed.pool = &shared;
+      const auto runner = MakeRunner(id, 2.0, 1.0, borrowed);
+
+      // Direct call from the driving thread.
+      const RunResult direct = runner->Run(data, seed);
+      EXPECT_EQ(baseline.estimates, direct.estimates)
+          << ProtocolName(id) << " threads=" << threads;
+      EXPECT_EQ(baseline.per_user_epsilon, direct.per_user_epsilon);
+
+      // Run inside a pool task (the Monte-Carlo outer-loop shape): the
+      // inner sharding must detect the nesting and still match.
+      RunResult nested;
+      WaitGroup wg;
+      shared.Submit(wg, [&] { nested = runner->Run(data, seed); });
+      shared.Wait(wg);
+      EXPECT_EQ(baseline.estimates, nested.estimates)
+          << ProtocolName(id) << " nested, threads=" << threads;
+      EXPECT_EQ(baseline.per_user_epsilon, nested.per_user_epsilon);
+    }
+  }
+}
+
+// Many runners sharing one pool concurrently (distinct result slots) —
+// the actual panel-driver shape, cross-checked against serial execution.
+TEST(PoolReuseTest, ConcurrentRunsOnSharedPoolMatchSerialRuns) {
+  const Dataset data = GenerateSyn(300, 16, 3, 0.25, 21);
+  const std::vector<ProtocolId> grid = {
+      ProtocolId::kBiLoloha, ProtocolId::kOLoloha, ProtocolId::kLOsue,
+      ProtocolId::kLGrr};
+
+  std::vector<RunResult> serial(grid.size());
+  {
+    RunnerOptions options;
+    options.num_threads = 1;
+    for (size_t i = 0; i < grid.size(); ++i) {
+      serial[i] = MakeRunner(grid[i], 2.0, 1.0, options)->Run(data, 100 + i);
+    }
+  }
+
+  ThreadPool pool(4);
+  RunnerOptions options;
+  options.num_threads = 4;
+  options.pool = &pool;
+  std::vector<RunResult> parallel(grid.size());
+  WaitGroup wg;
+  for (size_t i = 0; i < grid.size(); ++i) {
+    pool.Submit(wg, [&, i] {
+      parallel[i] = MakeRunner(grid[i], 2.0, 1.0, options)->Run(data, 100 + i);
+    });
+  }
+  pool.Wait(wg);
+
+  for (size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(serial[i].estimates, parallel[i].estimates)
+        << ProtocolName(grid[i]);
+    EXPECT_EQ(serial[i].per_user_epsilon, parallel[i].per_user_epsilon);
+  }
+}
+
+// Sharded LolohaPopulation construction: identical hash rows (and hence
+// identical Step output) for every pool size; sharded-vs-serial pool of 1.
+TEST(PoolReuseTest, LolohaShardedConstructionPoolSizeInvariant) {
+  const uint32_t n = 700;
+  const uint32_t k = 24;
+  const LolohaParams params = MakeLolohaParams(k, 4, 2.0, 1.0);
+  const uint64_t seed = 77;
+
+  std::vector<std::vector<double>> per_pool;
+  for (const uint32_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    LolohaPopulation population(params, n, seed, pool, 32);
+    std::vector<uint32_t> values(n);
+    for (uint32_t u = 0; u < n; ++u) values[u] = (u * 7) % k;
+    std::vector<double> flat;
+    for (uint32_t t = 0; t < 3; ++t) {
+      for (double e : population.Step(values, 500 + t, pool, 32)) {
+        flat.push_back(e);
+      }
+    }
+    per_pool.push_back(std::move(flat));
+  }
+  EXPECT_EQ(per_pool[0], per_pool[1]);
+  EXPECT_EQ(per_pool[0], per_pool[2]);
+}
+
+// Changing the construction shard count changes which hashes are drawn
+// (new streams) but stays deterministic.
+TEST(PoolReuseTest, LolohaShardedConstructionShardLayoutKeyed) {
+  const LolohaParams params = MakeLolohaParams(16, 4, 2.0, 1.0);
+  ThreadPool pool(2);
+  std::vector<uint32_t> values(200);
+  for (uint32_t u = 0; u < 200; ++u) values[u] = u % 16;
+
+  auto step_once = [&](uint32_t ctor_shards) {
+    LolohaPopulation population(params, 200, 9, pool, ctor_shards);
+    return population.Step(values, 1234, pool, 16);
+  };
+  EXPECT_EQ(step_once(8), step_once(8));  // reproducible
+  EXPECT_NE(step_once(8), step_once(16));  // layout-keyed streams
+}
+
+}  // namespace
+}  // namespace loloha

@@ -137,8 +137,11 @@ TEST(NaiveOlhRunnerTest, MemoizationBeatsNaiveOnPrivacyAtSimilarUtility) {
   const RunResult naive = MakeNaiveOlhRunner(kEps)->Run(data, 15);
   const RunResult bi =
       MakeRunner(ProtocolId::kBiLoloha, kEps, kEps1)->Run(data, 16);
-  // Naive budget: tau * eps = 20 eps; BiLOLOHA: at most 2 eps.
-  EXPECT_GT(naive.per_user_epsilon[0], 5.0 * bi.per_user_epsilon[0]);
+  // Naive budget: tau * eps = 20 eps; BiLOLOHA: at most g = 2 memos, so at
+  // most 2 eps per user — a worst-case ratio of exactly tau / g = 5.
+  for (uint32_t u = 0; u < data.n(); ++u) {
+    EXPECT_GE(naive.per_user_epsilon[u], 5.0 * bi.per_user_epsilon[u]);
+  }
   // Utility stays in the same ballpark (naive is actually better per
   // step since OLH at full eps beats the chained mechanism).
   EXPECT_LT(MseAvg(data, naive.estimates),

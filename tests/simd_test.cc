@@ -1,0 +1,133 @@
+// Bit-identity of the SIMD kernels (util/simd.h) against their scalar
+// references, with deliberate odd lengths so vector tails are exercised,
+// plus the HashRowU16 strength-reduction against UniversalHash.
+
+#include "util/simd.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+// Lengths around and below the widest vector width (32 bytes = 16 u16
+// lanes), primes, and zero.
+const size_t kLengths[] = {0, 1, 2, 3, 7, 15, 16, 17, 31, 32, 33,
+                           63, 64, 65, 100, 127, 251, 1000, 1001};
+
+std::vector<uint16_t> RandomU16(size_t n, uint16_t cardinality, Rng& rng) {
+  std::vector<uint16_t> data(n);
+  for (auto& x : data) {
+    x = static_cast<uint16_t>(rng.UniformInt(cardinality));
+  }
+  return data;
+}
+
+TEST(SimdTest, CountEqualU16MatchesScalarOnOddLengthsAndTails) {
+  Rng rng(42);
+  for (const size_t n : kLengths) {
+    const std::vector<uint16_t> data = RandomU16(n, 7, rng);
+    for (uint16_t target = 0; target < 8; ++target) {
+      EXPECT_EQ(CountEqualU16(data.data(), n, target),
+                CountEqualU16Scalar(data.data(), n, target))
+          << "n=" << n << " target=" << target;
+    }
+  }
+}
+
+TEST(SimdTest, CountEqualU16AllAndNone) {
+  const std::vector<uint16_t> same(1003, 5);
+  EXPECT_EQ(CountEqualU16(same.data(), same.size(), 5), 1003u);
+  EXPECT_EQ(CountEqualU16(same.data(), same.size(), 6), 0u);
+}
+
+TEST(SimdTest, AddEqualMaskU16MatchesScalarOnOddLengths) {
+  Rng rng(43);
+  for (const size_t n : kLengths) {
+    const std::vector<uint16_t> data = RandomU16(n, 5, rng);
+    std::vector<uint16_t> acc_simd(n, 0);
+    std::vector<uint16_t> acc_scalar(n, 0);
+    // Several passes with different targets: accumulation must stack.
+    for (uint16_t target = 0; target < 5; ++target) {
+      AddEqualMaskU16(data.data(), n, target, acc_simd.data());
+      AddEqualMaskU16Scalar(data.data(), n, target, acc_scalar.data());
+    }
+    EXPECT_EQ(acc_simd, acc_scalar) << "n=" << n;
+    // Every element matched exactly one of the 5 targets.
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(acc_simd[i], 1u);
+  }
+}
+
+TEST(SimdTest, FlushU16ToU64AddsAndClears) {
+  std::vector<uint16_t> acc = {1, 0, 65535, 7};
+  std::vector<uint64_t> wide = {10, 20, 30, 40};
+  FlushU16ToU64(acc.data(), acc.size(), wide.data());
+  EXPECT_EQ(wide, (std::vector<uint64_t>{11, 20, 65565, 47}));
+  EXPECT_EQ(acc, (std::vector<uint16_t>{0, 0, 0, 0}));
+}
+
+TEST(SimdTest, SumColumnsU8MatchesNaive) {
+  Rng rng(44);
+  for (const size_t cols : {1ul, 3ul, 17ul, 64ul, 65ul}) {
+    for (const size_t rows : {0ul, 1ul, 2ul, 254ul, 255ul, 256ul, 300ul}) {
+      std::vector<uint8_t> matrix(rows * cols);
+      for (auto& x : matrix) {
+        x = static_cast<uint8_t>(rng.UniformInt(256));
+      }
+      std::vector<uint64_t> expected(cols, 5);  // nonzero initial sums
+      for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c) {
+          expected[c] += matrix[r * cols + c];
+        }
+      }
+      std::vector<uint64_t> sums(cols, 5);
+      std::vector<uint16_t> scratch(cols);
+      SumColumnsU8(matrix.data(), rows, cols, sums.data(), scratch.data());
+      EXPECT_EQ(sums, expected) << "rows=" << rows << " cols=" << cols;
+    }
+  }
+}
+
+TEST(SimdTest, HashRowU16MatchesUniversalHash) {
+  Rng rng(45);
+  for (const uint32_t g : {2u, 3u, 7u, 150u, 65535u}) {
+    for (const uint32_t k : {1u, 2u, 33u, 360u}) {
+      const UniversalHash hash = UniversalHash::Sample(g, rng);
+      std::vector<uint16_t> row(k);
+      HashRowU16(hash.a(), hash.b(), g, k, row.data());
+      for (uint32_t v = 0; v < k; ++v) {
+        ASSERT_EQ(row[v], hash(v)) << "g=" << g << " k=" << k << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(SimdTest, HashRowU16ExtremeCoefficients) {
+  // a and b at the family's edges; the incremental reduction must wrap
+  // exactly like the closed-form evaluation.
+  constexpr uint64_t kPrime = UniversalHash::kPrime;
+  for (const uint64_t a : {uint64_t{1}, kPrime - 1}) {
+    for (const uint64_t b : {uint64_t{0}, kPrime - 1}) {
+      const UniversalHash hash(a, b, 17);
+      std::vector<uint16_t> row(100);
+      HashRowU16(a, b, 17, 100, row.data());
+      for (uint32_t v = 0; v < 100; ++v) {
+        ASSERT_EQ(row[v], hash(v)) << "a=" << a << " b=" << b << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(SimdTest, CompileTimeDispatchIsDeclared) {
+  // Sanity: the dispatch constant is one of the supported widths.
+  EXPECT_TRUE(kSimdWidthBytes == 0 || kSimdWidthBytes == 16 ||
+              kSimdWidthBytes == 32);
+}
+
+}  // namespace
+}  // namespace loloha

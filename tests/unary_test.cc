@@ -100,5 +100,25 @@ TEST(UeServerTest, ResetClearsState) {
   EXPECT_EQ(server.num_reports(), 0u);
 }
 
+TEST(UeServerTest, AccumulateBatchMatchesPerReportAccumulate) {
+  const uint32_t k = 37;  // odd width: exercises the SIMD kernel tails
+  const uint32_t reports = 300;  // crosses the 255-row flush boundary
+  Rng rng(91);
+  UeClient client(k, 1.0, UeKind::kOptimized);
+  std::vector<uint8_t> matrix;
+  matrix.reserve(static_cast<size_t>(reports) * k);
+  UeServer per_report(k, 1.0, UeKind::kOptimized);
+  for (uint32_t r = 0; r < reports; ++r) {
+    const std::vector<uint8_t> report =
+        client.Perturb(r % k, rng);
+    per_report.Accumulate(report);
+    matrix.insert(matrix.end(), report.begin(), report.end());
+  }
+  UeServer batched(k, 1.0, UeKind::kOptimized);
+  batched.AccumulateBatch(matrix.data(), reports);
+  EXPECT_EQ(batched.num_reports(), per_report.num_reports());
+  EXPECT_EQ(batched.Estimate(), per_report.Estimate());
+}
+
 }  // namespace
 }  // namespace loloha
