@@ -172,21 +172,19 @@ std::vector<double> LolohaPopulation::Step(
   const uint32_t k = params_.k;
 
   // Per-shard user slices are disjoint, so the memo tables are written
-  // without synchronization; support counts land in per-shard rows and are
-  // merged in shard order (integer sums — order-independent anyway).
-  std::vector<uint64_t> shard_support(static_cast<size_t>(num_shards) * k, 0);
+  // without synchronization; support counts land in per-shard cache-line-
+  // privatized rows (no false sharing at small k) and are merged in shard
+  // order (integer sums — order-independent anyway).
+  CacheAlignedRows<uint64_t> shard_support(num_shards, k);
   pool.ParallelFor(num_shards, [&](uint32_t shard) {
     const ShardRange range = ShardBounds(n_, num_shards, shard);
     Rng rng(StreamSeed(step_seed, shard, 0));
     StepUserRange(values, range.begin, range.end, rng,
-                  &shard_support[static_cast<size_t>(shard) * k]);
+                  shard_support.Row(shard));
   });
 
   std::vector<double> counts(k, 0.0);
-  for (uint32_t shard = 0; shard < num_shards; ++shard) {
-    const uint64_t* row = &shard_support[static_cast<size_t>(shard) * k];
-    for (uint32_t v = 0; v < k; ++v) counts[v] += static_cast<double>(row[v]);
-  }
+  shard_support.MergeInto(counts.data());
   return EstimateFrequenciesChained(counts, static_cast<double>(n_),
                                     params_.EstimatorFirst(), params_.irr);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "oracle/estimator.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace loloha {
@@ -177,17 +178,15 @@ std::vector<double> DBitFlipPopulation::Step(
   LOLOHA_CHECK(num_shards >= 1);
   const uint32_t b = bucketizer_.b();
 
-  std::vector<int64_t> deltas(static_cast<size_t>(num_shards) * b, 0);
+  // Per-shard cache-line-privatized delta rows (no false sharing at
+  // small b), merged serially.
+  CacheAlignedRows<int64_t> deltas(num_shards, b);
   pool.ParallelFor(num_shards, [&](uint32_t shard) {
     const ShardRange range = ShardBounds(users_.size(), num_shards, shard);
     Rng rng(StreamSeed(step_seed, shard, 0));
-    StepUserRange(values, range.begin, range.end, rng,
-                  &deltas[static_cast<size_t>(shard) * b]);
+    StepUserRange(values, range.begin, range.end, rng, deltas.Row(shard));
   });
-  for (uint32_t shard = 0; shard < num_shards; ++shard) {
-    const int64_t* row = &deltas[static_cast<size_t>(shard) * b];
-    for (uint32_t j = 0; j < b; ++j) support_[j] += row[j];
-  }
+  deltas.MergeInto(support_.data());
   return EstimateCurrent();
 }
 

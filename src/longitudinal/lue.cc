@@ -218,17 +218,13 @@ std::vector<double> LongitudinalUePopulation::Step(
 
   // Phase 1 — user shards update their (disjoint) memo states and record
   // column-sum deltas, merged serially afterwards.
-  std::vector<int64_t> deltas(static_cast<size_t>(num_shards) * k_, 0);
+  CacheAlignedRows<int64_t> deltas(num_shards, k_);
   pool.ParallelFor(num_shards, [&](uint32_t shard) {
     const ShardRange range = ShardBounds(n_, num_shards, shard);
     Rng rng(StreamSeed(step_seed, shard, 0));
-    UpdateMemoRange(values, range.begin, range.end, rng,
-                    &deltas[static_cast<size_t>(shard) * k_]);
+    UpdateMemoRange(values, range.begin, range.end, rng, deltas.Row(shard));
   });
-  for (uint32_t shard = 0; shard < num_shards; ++shard) {
-    const int64_t* row = &deltas[static_cast<size_t>(shard) * k_];
-    for (uint32_t i = 0; i < k_; ++i) memo_column_sums_[i] += row[i];
-  }
+  deltas.MergeInto(memo_column_sums_.data());
 
   // Phase 2 — position shards sample the IRR binomials into disjoint
   // count slices (substream 1 keeps the streams distinct from phase 1).

@@ -1,12 +1,29 @@
 #include "server/collector.h"
 
 #include "oracle/estimator.h"
-#include "wire/encoding.h"
 
 namespace loloha {
 
-LolohaCollector::LolohaCollector(const LolohaParams& params)
-    : params_(params), support_(params.k, 0) {}
+namespace {
+
+uint32_t ResolveIngestThreads(const CollectorOptions& options) {
+  return options.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                  : options.num_threads;
+}
+
+uint32_t ResolveIngestShards(const CollectorOptions& options) {
+  return options.num_shards == 0 ? kDefaultIngestShards : options.num_shards;
+}
+
+}  // namespace
+
+LolohaCollector::LolohaCollector(const LolohaParams& params,
+                                 const CollectorOptions& options)
+    : params_(params),
+      pool_(options.pool, ResolveIngestThreads(options)),
+      num_shards_(ResolveIngestShards(options)),
+      support_(params.k, 0),
+      shard_support_(num_shards_, params.k) {}
 
 bool LolohaCollector::HandleHello(uint64_t user_id,
                                   const std::string& bytes) {
@@ -54,7 +71,97 @@ bool LolohaCollector::HandleReport(uint64_t user_id,
   return true;
 }
 
+uint64_t LolohaCollector::IngestBatch(std::span<const Message> batch) {
+  if (batch.empty()) return 0;
+
+  // Pass 1 — bulk payload validation (pure per message, independent of
+  // session state).
+  std::vector<uint32_t> cells(batch.size());
+  std::vector<uint8_t> ok(batch.size());
+  DecodeLolohaReportBatch(batch, params_.g, cells.data(), ok.data());
+
+  // Pass 2 — serial session bookkeeping in arrival order. Classification
+  // per message is exactly HandleHello/HandleReport's: hellos by tag, and
+  // for reports unknown-user before malformed before duplicate, so the
+  // stats counters match the per-report path message for message.
+  pending_.clear();
+  uint64_t accepted = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Message& message = batch[i];
+    WireType type = WireType::kLolohaHello;
+    if (PeekWireType(message.bytes, &type) &&
+        type == WireType::kLolohaHello) {
+      accepted += HandleHello(message.user_id, message.bytes) ? 1 : 0;
+      continue;
+    }
+    const auto it = hashes_.find(message.user_id);
+    if (it == hashes_.end()) {
+      ++stats_.rejected_unknown_user;
+      continue;
+    }
+    if (!ok[i]) {
+      ++stats_.rejected_malformed;
+      continue;
+    }
+    const auto reported = reported_step_.find(message.user_id);
+    if (reported != reported_step_.end() &&
+        reported->second == step_ + 1) {
+      ++stats_.rejected_duplicate;
+      continue;
+    }
+    reported_step_[message.user_id] = step_ + 1;
+    pending_.push_back(PendingReport{&it->second, cells[i]});
+    ++reports_this_step_;
+    ++stats_.reports_accepted;
+    ++accepted;
+  }
+
+  // Pass 3 — sharded support accumulation. Integer adds into disjoint
+  // privatized rows: totals are independent of the shard layout, so the
+  // merged counts are byte-identical to the per-report fold.
+  if (!pending_.empty()) {
+    const uint32_t k = params_.k;
+    const uint32_t g = params_.g;
+    shard_support_dirty_ = true;
+    pool_->ParallelFor(num_shards_, [&](uint32_t shard) {
+      const ShardRange range =
+          ShardBounds(pending_.size(), num_shards_, shard);
+      if (range.begin == range.end) return;
+      uint64_t* wide = shard_support_.Row(shard);
+      if (g <= 65535) {
+        // Hash-row + support-count kernels: one strength-reduced row fill
+        // per report, then a SIMD compare against the reported cell
+        // (bit-identical to evaluating hash(v) per value).
+        std::vector<uint16_t> row(k);
+        U16SupportAccumulator acc(k, wide);
+        for (uint64_t i = range.begin; i < range.end; ++i) {
+          const PendingReport& report = pending_[i];
+          HashRowU16(report.hash->a(), report.hash->b(), g, k, row.data());
+          acc.Add(row.data(), static_cast<uint16_t>(report.cell));
+        }
+      } else {
+        for (uint64_t i = range.begin; i < range.end; ++i) {
+          const PendingReport& report = pending_[i];
+          for (uint32_t v = 0; v < k; ++v) {
+            if ((*report.hash)(v) == report.cell) ++wide[v];
+          }
+        }
+      }
+    });
+    pending_.clear();
+  }
+  return accepted;
+}
+
+void LolohaCollector::MergeShardSupport() {
+  if (!shard_support_dirty_) return;
+  shard_support_.MergeInto(support_.data());
+  shard_support_.Clear();
+  shard_support_dirty_ = false;
+}
+
 std::vector<double> LolohaCollector::EndStep() {
+  MergeShardSupport();
   std::vector<double> estimates;
   if (reports_this_step_ > 0) {
     std::vector<double> counts(support_.begin(), support_.end());
@@ -69,12 +176,17 @@ std::vector<double> LolohaCollector::EndStep() {
 }
 
 DBitFlipCollector::DBitFlipCollector(const Bucketizer& bucketizer, uint32_t d,
-                                     double eps_perm)
+                                     double eps_perm,
+                                     const CollectorOptions& options)
     : bucketizer_(bucketizer),
       d_(d),
       params_(SueParams(eps_perm)),
+      pool_(options.pool, ResolveIngestThreads(options)),
+      num_shards_(ResolveIngestShards(options)),
       samplers_per_bucket_(bucketizer.b(), 0),
-      support_(bucketizer.b(), 0) {
+      support_(bucketizer.b(), 0),
+      shard_support_(num_shards_, bucketizer.b()),
+      shard_samplers_(num_shards_, bucketizer.b()) {
   LOLOHA_CHECK(d >= 1 && d <= bucketizer.b());
 }
 
@@ -124,7 +236,81 @@ bool DBitFlipCollector::HandleReport(uint64_t user_id,
   return true;
 }
 
+uint64_t DBitFlipCollector::IngestBatch(std::span<const Message> batch) {
+  if (batch.empty()) return 0;
+
+  // Pass 1 — bulk payload validation into the bits arena.
+  bits_arena_.assign(batch.size() * d_, 0);
+  std::vector<uint8_t> ok(batch.size());
+  DecodeDBitReportBatch(batch, d_, bits_arena_.data(), ok.data());
+
+  // Pass 2 — serial session bookkeeping (see LolohaCollector::IngestBatch).
+  pending_.clear();
+  uint64_t accepted = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Message& message = batch[i];
+    WireType type = WireType::kDBitHello;
+    if (PeekWireType(message.bytes, &type) && type == WireType::kDBitHello) {
+      accepted += HandleHello(message.user_id, message.bytes) ? 1 : 0;
+      continue;
+    }
+    const auto it = sampled_.find(message.user_id);
+    if (it == sampled_.end()) {
+      ++stats_.rejected_unknown_user;
+      continue;
+    }
+    if (!ok[i]) {
+      ++stats_.rejected_malformed;
+      continue;
+    }
+    const auto reported = reported_step_.find(message.user_id);
+    if (reported != reported_step_.end() &&
+        reported->second == step_ + 1) {
+      ++stats_.rejected_duplicate;
+      continue;
+    }
+    reported_step_[message.user_id] = step_ + 1;
+    pending_.push_back(
+        PendingReport{&it->second, &bits_arena_[i * d_]});
+    ++stats_.reports_accepted;
+    ++accepted;
+  }
+
+  // Pass 3 — sharded scatter of each report's d bits into privatized
+  // support / sampler rows.
+  if (!pending_.empty()) {
+    shard_rows_dirty_ = true;
+    pool_->ParallelFor(num_shards_, [&](uint32_t shard) {
+      const ShardRange range =
+          ShardBounds(pending_.size(), num_shards_, shard);
+      if (range.begin == range.end) return;
+      uint64_t* sup = shard_support_.Row(shard);
+      uint64_t* samp = shard_samplers_.Row(shard);
+      for (uint64_t i = range.begin; i < range.end; ++i) {
+        const PendingReport& report = pending_[i];
+        const std::vector<uint32_t>& sampled = *report.sampled;
+        for (uint32_t l = 0; l < d_; ++l) {
+          ++samp[sampled[l]];
+          sup[sampled[l]] += report.bits[l];
+        }
+      }
+    });
+    pending_.clear();
+  }
+  return accepted;
+}
+
+void DBitFlipCollector::MergeShardRows() {
+  if (!shard_rows_dirty_) return;
+  shard_support_.MergeInto(support_.data());
+  shard_samplers_.MergeInto(samplers_per_bucket_.data());
+  shard_support_.Clear();
+  shard_samplers_.Clear();
+  shard_rows_dirty_ = false;
+}
+
 std::vector<double> DBitFlipCollector::EndStep() {
+  MergeShardRows();
   const uint32_t b = bucketizer_.b();
   std::vector<double> estimates(b, 0.0);
   for (uint32_t j = 0; j < b; ++j) {

@@ -10,11 +10,24 @@
 // users send one hello carrying their hash, then one cell per step) and
 // `DBitFlipCollector` (hello carries the sampled bucket set, then d bits
 // per step).
+//
+// Two ingestion paths produce byte-identical stats and estimates:
+//
+//   * HandleHello / HandleReport — one message at a time (the original
+//     scalar path; still the right call for trickle traffic).
+//   * IngestBatch — a span of sender-tagged messages. Payloads are
+//     validated/decoded in bulk (wire/encoding.h batch decoders), session
+//     bookkeeping runs serially in arrival order (so rejection counters
+//     match the per-report path message for message), and the accepted
+//     reports are sharded across the borrowed thread pool, accumulating
+//     support counts through the SIMD kernels (util/simd.h) into
+//     per-shard cache-line-privatized rows that EndStep() merges.
 
 #ifndef LOLOHA_SERVER_COLLECTOR_H_
 #define LOLOHA_SERVER_COLLECTOR_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -22,6 +35,9 @@
 #include "core/loloha_params.h"
 #include "longitudinal/dbitflip.h"
 #include "util/hash.h"
+#include "util/simd.h"
+#include "util/thread_pool.h"
+#include "wire/encoding.h"
 
 namespace loloha {
 
@@ -32,11 +48,33 @@ struct CollectorStats {
   uint64_t rejected_malformed = 0;
   uint64_t rejected_unknown_user = 0;
   uint64_t rejected_duplicate = 0;
+
+  friend bool operator==(const CollectorStats&,
+                         const CollectorStats&) = default;
+};
+
+// Shard count used when CollectorOptions::num_shards is 0.
+inline constexpr uint32_t kDefaultIngestShards = 16;
+
+// Threading knobs for IngestBatch (RunnerOptions-style). The per-report
+// path never touches the pool.
+struct CollectorOptions {
+  // Borrowed process-wide pool (not owned; must outlive the collector).
+  // When null, the collector constructs a private num_threads-wide pool.
+  ThreadPool* pool = nullptr;
+  // Fallback pool width when `pool` is null (0 = hardware threads). A
+  // width of 1 spawns no worker threads.
+  uint32_t num_threads = 1;
+  // Shards per batch (0 = kDefaultIngestShards). Unlike the simulation
+  // runners there is no RNG here, so the shard count never affects the
+  // counts — only how the work spreads over the pool.
+  uint32_t num_shards = 0;
 };
 
 class LolohaCollector {
  public:
-  explicit LolohaCollector(const LolohaParams& params);
+  explicit LolohaCollector(const LolohaParams& params,
+                           const CollectorOptions& options = {});
 
   // Registers a user's hash function. Rejects malformed bytes and
   // re-registration with a *different* hash (idempotent on identical).
@@ -45,6 +83,15 @@ class LolohaCollector {
   // Folds one step report into the current step. Rejects unknown users,
   // malformed bytes, and second reports within the same step.
   bool HandleReport(uint64_t user_id, const std::string& bytes);
+
+  // Batched ingestion: message for message and counter for counter
+  // equivalent to dispatching each message through HandleHello (tag
+  // kLolohaHello) or HandleReport (any other payload) in order, but the
+  // accepted reports' O(k) support scans run sharded on the pool through
+  // the hash-row + support-count SIMD kernels. Returns the number of
+  // accepted messages. A batch never spans a step boundary — call
+  // EndStep() between steps as usual.
+  uint64_t IngestBatch(std::span<const Message> batch);
 
   // Closes the current step and returns its estimates (empty vector if no
   // reports arrived). Resets per-step state.
@@ -55,22 +102,43 @@ class LolohaCollector {
   const CollectorStats& stats() const { return stats_; }
 
  private:
+  // One accepted (but not yet accumulated) batch report. Pointers into
+  // hashes_ stay valid across rehashes (node-based map).
+  struct PendingReport {
+    const UniversalHash* hash = nullptr;
+    uint32_t cell = 0;
+  };
+
   LolohaParams params_;
+  PoolLease pool_;
+  uint32_t num_shards_;
   std::unordered_map<uint64_t, UniversalHash> hashes_;
   std::unordered_map<uint64_t, uint32_t> reported_step_;  // user -> step no.
   uint32_t step_ = 0;
   uint64_t reports_this_step_ = 0;
   std::vector<uint64_t> support_;
+  // Per-shard privatized support rows filled by IngestBatch, merged into
+  // support_ by EndStep().
+  CacheAlignedRows<uint64_t> shard_support_;
+  bool shard_support_dirty_ = false;
+  std::vector<PendingReport> pending_;  // per-batch scratch
   CollectorStats stats_;
+
+  void MergeShardSupport();
 };
 
 class DBitFlipCollector {
  public:
-  DBitFlipCollector(const Bucketizer& bucketizer, uint32_t d,
-                    double eps_perm);
+  DBitFlipCollector(const Bucketizer& bucketizer, uint32_t d, double eps_perm,
+                    const CollectorOptions& options = {});
 
   bool HandleHello(uint64_t user_id, const std::string& bytes);
   bool HandleReport(uint64_t user_id, const std::string& bytes);
+
+  // Batched ingestion; same contract as LolohaCollector::IngestBatch
+  // (hellos dispatch on tag kDBitHello). Accepted reports scatter their d
+  // bits into per-shard privatized support / sampler rows on the pool.
+  uint64_t IngestBatch(std::span<const Message> batch);
 
   // Returns the estimated b-bin bucket histogram for the closed step.
   std::vector<double> EndStep();
@@ -79,15 +147,29 @@ class DBitFlipCollector {
   uint64_t registered_users() const { return sampled_.size(); }
 
  private:
+  struct PendingReport {
+    const std::vector<uint32_t>* sampled = nullptr;  // points into sampled_
+    const uint8_t* bits = nullptr;                   // d bits in bits_arena_
+  };
+
   Bucketizer bucketizer_;
   uint32_t d_;
   PerturbParams params_;
+  PoolLease pool_;
+  uint32_t num_shards_;
   std::unordered_map<uint64_t, std::vector<uint32_t>> sampled_;
   std::unordered_map<uint64_t, uint32_t> reported_step_;
   uint32_t step_ = 0;
   std::vector<uint64_t> samplers_per_bucket_;  // n_j over reporters
   std::vector<uint64_t> support_;
+  CacheAlignedRows<uint64_t> shard_support_;
+  CacheAlignedRows<uint64_t> shard_samplers_;
+  bool shard_rows_dirty_ = false;
+  std::vector<uint8_t> bits_arena_;  // per-batch decoded bits, batch x d
+  std::vector<PendingReport> pending_;
   CollectorStats stats_;
+
+  void MergeShardRows();
 };
 
 }  // namespace loloha

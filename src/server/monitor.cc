@@ -62,4 +62,14 @@ std::vector<TrendAlert> TrendMonitor::Observe(
   return alerts;
 }
 
+std::vector<TrendAlert> TrendMonitor::Observe(
+    std::span<const std::vector<double>> steps) {
+  std::vector<TrendAlert> alerts;
+  for (const std::vector<double>& estimates : steps) {
+    std::vector<TrendAlert> step_alerts = Observe(estimates);
+    alerts.insert(alerts.end(), step_alerts.begin(), step_alerts.end());
+  }
+  return alerts;
+}
+
 }  // namespace loloha

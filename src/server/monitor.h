@@ -13,6 +13,7 @@
 #define LOLOHA_SERVER_MONITOR_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "oracle/params.h"
@@ -25,6 +26,8 @@ struct TrendAlert {
   double baseline = 0.0;  // EWMA before the step
   double estimate = 0.0;  // the step's estimate
   double z_score = 0.0;   // departure in noise standard deviations
+
+  friend bool operator==(const TrendAlert&, const TrendAlert&) = default;
 };
 
 class TrendMonitor {
@@ -44,6 +47,12 @@ class TrendMonitor {
   // Feeds one step of estimates; returns the alerts it triggered. The
   // first step only initializes the baseline.
   std::vector<TrendAlert> Observe(const std::vector<double>& estimates);
+
+  // Batched observation — the shape the batched collector produces when a
+  // server catches up on several closed steps at once. Equivalent to
+  // calling the single-step overload on each row in order; the returned
+  // alerts are concatenated in step order.
+  std::vector<TrendAlert> Observe(std::span<const std::vector<double>> steps);
 
   // Current smoothed baseline per value.
   const std::vector<double>& baseline() const { return baseline_; }

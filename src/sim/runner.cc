@@ -90,25 +90,20 @@ class GrrRunner : public LongitudinalRunner {
     result.bins = k;
     result.comm_bits_per_report = std::ceil(std::log2(k));
     result.estimates.reserve(data.tau());
-    std::vector<uint64_t> shard_counts(static_cast<size_t>(shards) * k);
+    CacheAlignedRows<uint64_t> shard_counts(shards, k);
     for (uint32_t t = 0; t < data.tau(); ++t) {
       const uint32_t* values = data.StepValuesData(t);
-      shard_counts.assign(shard_counts.size(), 0);
+      shard_counts.Clear();
       pool->ParallelFor(shards, [&](uint32_t shard) {
         const ShardRange range = ShardBounds(n, shards, shard);
         Rng rng(StreamSeed(StepSeed(seed, t), shard, 0));
-        uint64_t* counts = &shard_counts[static_cast<size_t>(shard) * k];
+        uint64_t* counts = shard_counts.Row(shard);
         for (uint64_t u = range.begin; u < range.end; ++u) {
           ++counts[clients[u].Report(values[u], rng)];
         }
       });
       std::vector<double> counts(k, 0.0);
-      for (uint32_t shard = 0; shard < shards; ++shard) {
-        const uint64_t* row = &shard_counts[static_cast<size_t>(shard) * k];
-        for (uint32_t v = 0; v < k; ++v) {
-          counts[v] += static_cast<double>(row[v]);
-        }
-      }
+      shard_counts.MergeInto(counts.data());
       result.estimates.push_back(EstimateFrequenciesChained(
           counts, static_cast<double>(n), chain.first, chain.second));
     }
@@ -245,14 +240,14 @@ class NaiveOlhRunner : public LongitudinalRunner {
     result.bins = k;
     result.comm_bits_per_report = std::ceil(std::log2(g));
     result.estimates.reserve(data.tau());
-    std::vector<uint64_t> shard_support(static_cast<size_t>(shards) * k);
+    CacheAlignedRows<uint64_t> shard_support(shards, k);
     for (uint32_t t = 0; t < data.tau(); ++t) {
       const uint32_t* values = data.StepValuesData(t);
-      shard_support.assign(shard_support.size(), 0);
+      shard_support.Clear();
       pool->ParallelFor(shards, [&](uint32_t shard) {
         const ShardRange range = ShardBounds(n, shards, shard);
         Rng rng(StreamSeed(StepSeed(seed, t), shard, 0));
-        uint64_t* support = &shard_support[static_cast<size_t>(shard) * k];
+        uint64_t* support = shard_support.Row(shard);
         if (g <= 65535) {
           // Hash-row + support-count kernels (util/simd.h): evaluate the
           // report's hash row once per user, then SIMD-compare against the
@@ -274,12 +269,7 @@ class NaiveOlhRunner : public LongitudinalRunner {
         }
       });
       std::vector<double> counts(k, 0.0);
-      for (uint32_t shard = 0; shard < shards; ++shard) {
-        const uint64_t* row = &shard_support[static_cast<size_t>(shard) * k];
-        for (uint32_t v = 0; v < k; ++v) {
-          counts[v] += static_cast<double>(row[v]);
-        }
-      }
+      shard_support.MergeInto(counts.data());
       result.estimates.push_back(EstimateFrequencies(
           counts, static_cast<double>(n), estimator));
     }

@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <type_traits>
 #include <vector>
 
 #include "util/check.h"
@@ -220,23 +221,115 @@ inline void SumColumnsU8(const uint8_t* rows, size_t num_rows,
   if (since_flush != 0) FlushU16ToU64(scratch, num_cols, sums);
 }
 
+// Destructive cache-line size assumed by the privatized shard rows below.
+// std::hardware_destructive_interference_size would be the standard spelling
+// but is a compile-time constant anyway; 64 bytes covers every x86/ARM
+// server part this library targets.
+inline constexpr size_t kCacheLineBytes = 64;
+
+// Privatized per-shard accumulator rows. Concurrent shard workers each add
+// into their own row, merged serially afterwards; with a plain
+// vector<T>(num_rows * row_len) adjacent rows share cache lines whenever
+// row_len * sizeof(T) is not a line multiple — at small k every worker
+// false-shares every line. Here each row starts on its own 64-byte boundary
+// and the stride is padded to a line multiple, so no two rows ever touch
+// the same line.
+template <typename T>
+class CacheAlignedRows {
+  static_assert(std::is_integral_v<T> && sizeof(T) <= kCacheLineBytes,
+                "rows hold plain integral counters");
+
+ public:
+  CacheAlignedRows(uint32_t num_rows, size_t row_len)
+      : num_rows_(num_rows),
+        row_len_(row_len),
+        stride_((row_len * sizeof(T) + kCacheLineBytes - 1) /
+                kCacheLineBytes * (kCacheLineBytes / sizeof(T))),
+        storage_(static_cast<size_t>(num_rows) * stride_ +
+                 kCacheLineBytes / sizeof(T)) {}
+
+  T* Row(uint32_t row) {
+    LOLOHA_DCHECK(row < num_rows_);
+    return AlignedBase() + static_cast<size_t>(row) * stride_;
+  }
+  const T* Row(uint32_t row) const {
+    LOLOHA_DCHECK(row < num_rows_);
+    return AlignedBase() + static_cast<size_t>(row) * stride_;
+  }
+
+  uint32_t num_rows() const { return num_rows_; }
+  size_t row_len() const { return row_len_; }
+  // Row-to-row distance in elements (a cache-line multiple >= row_len).
+  size_t stride() const { return stride_; }
+
+  // Zeroes every row.
+  void Clear() { std::fill(storage_.begin(), storage_.end(), T{0}); }
+
+  // dst[i] += sum over rows of Row(r)[i], for i in [0, row_len).
+  template <typename Dst>
+  void MergeInto(Dst* dst) const {
+    for (uint32_t r = 0; r < num_rows_; ++r) {
+      const T* row = Row(r);
+      for (size_t i = 0; i < row_len_; ++i) {
+        dst[i] += static_cast<Dst>(row[i]);
+      }
+    }
+  }
+
+ private:
+  // First 64-byte boundary inside the (over-allocated) storage. Recomputed
+  // per access so the object stays trivially movable.
+  T* AlignedBase() {
+    const uintptr_t raw = reinterpret_cast<uintptr_t>(storage_.data());
+    return reinterpret_cast<T*>((raw + kCacheLineBytes - 1) &
+                                ~uintptr_t{kCacheLineBytes - 1});
+  }
+  const T* AlignedBase() const {
+    const uintptr_t raw = reinterpret_cast<uintptr_t>(storage_.data());
+    return reinterpret_cast<const T*>((raw + kCacheLineBytes - 1) &
+                                      ~uintptr_t{kCacheLineBytes - 1});
+  }
+
+  uint32_t num_rows_;
+  size_t row_len_;
+  size_t stride_;
+  std::vector<T> storage_;
+};
+
 // Strength-reduced hash-row kernel: out[v] = h_{a,b}(v) for v in [0, k),
 // bit-identical to UniversalHash::operator() (see util/hash.h). Instead of
 // one 128-bit multiply per value, the running value s_v = (a*v + b) mod p
 // advances by a single modular addition (a, s_v < p = 2^61 - 1, so the sum
-// fits in 62 bits and one conditional subtraction reduces it). Requires
-// g <= 65535 (the population paths' row encoding).
+// fits in 62 bits and one conditional subtraction reduces it); and instead
+// of a division per value, the residue r_v = s_v mod g advances with it:
+// s_{v+1} - s_v is a (no wrap) or a - p (wrap), so r steps by a mod g or
+// (a - p) mod g — both in [0, g), leaving one conditional subtraction to
+// renormalize. The loop is division-free, which matters on the batched
+// server path where the row is refilled per report. Requires g <= 65535
+// (the population paths' row encoding).
 inline void HashRowU16(uint64_t a, uint64_t b, uint32_t g, uint32_t k,
                        uint16_t* out) {
   constexpr uint64_t kPrime = (uint64_t{1} << 61) - 1;
   LOLOHA_DCHECK(a >= 1 && a < kPrime);
   LOLOHA_DCHECK(b < kPrime);
   LOLOHA_DCHECK(g >= 2 && g <= 65535);
-  uint64_t s = b;  // (a*0 + b) mod p
+  const uint32_t step_plain = static_cast<uint32_t>(a % g);
+  const uint32_t prime_mod = static_cast<uint32_t>(kPrime % g);
+  const uint32_t step_wrap =
+      step_plain >= prime_mod ? step_plain - prime_mod
+                              : step_plain + g - prime_mod;
+  uint64_t s = b;                                 // (a*0 + b) mod p
+  uint32_t r = static_cast<uint32_t>(b % g);      // s mod g
   for (uint32_t v = 0; v < k; ++v) {
-    out[v] = static_cast<uint16_t>(s % g);
+    out[v] = static_cast<uint16_t>(r);
     s += a;
-    if (s >= kPrime) s -= kPrime;
+    if (s >= kPrime) {
+      s -= kPrime;
+      r += step_wrap;
+    } else {
+      r += step_plain;
+    }
+    if (r >= g) r -= g;
   }
 }
 

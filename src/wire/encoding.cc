@@ -275,4 +275,28 @@ bool PeekWireType(const std::string& bytes, WireType* type) {
   return true;
 }
 
+size_t DecodeLolohaReportBatch(std::span<const Message> batch, uint32_t g,
+                               uint32_t* cells, uint8_t* ok) {
+  size_t well_formed = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ok[i] = DecodeLolohaReport(batch[i].bytes, g, &cells[i]) ? 1 : 0;
+    well_formed += ok[i];
+  }
+  return well_formed;
+}
+
+size_t DecodeDBitReportBatch(std::span<const Message> batch, uint32_t d,
+                             uint8_t* bits, uint8_t* ok) {
+  size_t well_formed = 0;
+  std::vector<uint8_t> scratch;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ok[i] = DecodeDBitReport(batch[i].bytes, d, &scratch) ? 1 : 0;
+    if (ok[i]) {
+      std::memcpy(bits + i * d, scratch.data(), d);
+      ++well_formed;
+    }
+  }
+  return well_formed;
+}
+
 }  // namespace loloha

@@ -13,6 +13,7 @@
 #define LOLOHA_WIRE_ENCODING_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,14 @@
 #include "longitudinal/dbitflip.h"
 
 namespace loloha {
+
+// A sender-tagged wire message — the unit of the server's batched
+// ingestion (server/collector.h). The bytes are one encoded report or
+// hello as produced by the encoders below.
+struct Message {
+  uint64_t user_id = 0;
+  std::string bytes;
+};
 
 enum class WireType : uint8_t {
   kGrrReport = 1,       // single value in [0, k)
@@ -69,6 +78,25 @@ bool DecodeDBitReport(const std::string& bytes, uint32_t d,
 
 // Peeks the type tag; returns false on an empty/short message.
 bool PeekWireType(const std::string& bytes, WireType* type);
+
+// ---------------------------------------------------------------------------
+// Bulk decode entry points — the server ingest hot path. Each call
+// validates a whole batch's step reports in one pass: for message i,
+// ok[i] = 1 iff batch[i].bytes is a well-formed report of the expected
+// type, with the decoded payload written to the caller's arrays; ok[i] = 0
+// otherwise (foreign tag — e.g. a hello —, truncated payload, out-of-range
+// values). Decoding is pure per message, so callers may also run these
+// inside parallel shards. Both return the number of well-formed reports.
+// ---------------------------------------------------------------------------
+
+// cells[i] receives message i's reported cell (in [0, g)) when ok[i] = 1.
+size_t DecodeLolohaReportBatch(std::span<const Message> batch, uint32_t g,
+                               uint32_t* cells, uint8_t* ok);
+
+// bits[i * d .. (i + 1) * d) receives message i's d decoded bits when
+// ok[i] = 1.
+size_t DecodeDBitReportBatch(std::span<const Message> batch, uint32_t d,
+                             uint8_t* bits, uint8_t* ok);
 
 }  // namespace loloha
 

@@ -1,0 +1,353 @@
+// IngestBatch vs per-report equivalence: the batched ingestion path must
+// be message-for-message and counter-for-counter identical to dispatching
+// each message through HandleHello / HandleReport in order — estimates,
+// CollectorStats, and rejection classification — at every thread count,
+// for well-formed traffic and for adversarial batches (interleaved
+// hellos, mid-batch step boundaries, corrupted wire bytes, duplicates,
+// unknown users).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/loloha.h"
+#include "server/collector.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "wire/encoding.h"
+
+namespace loloha {
+namespace {
+
+LolohaParams TestParams() { return MakeLolohaParams(24, 4, 2.0, 1.0); }
+
+// The per-report reference: dispatches exactly like IngestBatch (hellos by
+// tag, everything else through HandleReport) and counts acceptances.
+template <typename Collector>
+uint64_t ApplySerial(Collector& collector, std::span<const Message> batch,
+                     WireType hello_tag) {
+  uint64_t accepted = 0;
+  for (const Message& message : batch) {
+    WireType type = hello_tag;
+    const bool is_hello =
+        PeekWireType(message.bytes, &type) && type == hello_tag;
+    const bool ok = is_hello
+                        ? collector.HandleHello(message.user_id, message.bytes)
+                        : collector.HandleReport(message.user_id,
+                                                 message.bytes);
+    accepted += ok ? 1 : 0;
+  }
+  return accepted;
+}
+
+void ExpectStatsEq(const CollectorStats& batch, const CollectorStats& serial) {
+  EXPECT_EQ(batch.hellos_accepted, serial.hellos_accepted);
+  EXPECT_EQ(batch.reports_accepted, serial.reports_accepted);
+  EXPECT_EQ(batch.rejected_malformed, serial.rejected_malformed);
+  EXPECT_EQ(batch.rejected_unknown_user, serial.rejected_unknown_user);
+  EXPECT_EQ(batch.rejected_duplicate, serial.rejected_duplicate);
+  EXPECT_TRUE(batch == serial);
+}
+
+// Builds tau steps of LOLOHA traffic: a hello batch, then per-step report
+// batches with adversarial messages salted in (duplicates, unknown users,
+// corrupted bytes, interleaved hellos — including users whose hello
+// arrives mid-batch, after some of their reports).
+struct LolohaTraffic {
+  std::vector<Message> hellos;
+  std::vector<std::vector<Message>> steps;
+};
+
+LolohaTraffic MakeLolohaTraffic(const LolohaParams& params, uint32_t users,
+                                uint32_t tau, uint64_t seed) {
+  Rng rng(seed);
+  LolohaTraffic traffic;
+  std::vector<LolohaClient> clients;
+  clients.reserve(users + 2);
+  for (uint32_t u = 0; u < users + 2; ++u) clients.emplace_back(params, rng);
+
+  // Users [0, users) hello up front; users `users` and `users + 1` hello
+  // mid-batch inside step 0 (interleaved with their own reports).
+  for (uint32_t u = 0; u < users; ++u) {
+    traffic.hellos.push_back(
+        Message{u, EncodeLolohaHello(clients[u].hash())});
+  }
+  // Conflicting re-hello (rejected duplicate) and idempotent re-hello.
+  traffic.hellos.push_back(
+      Message{0, EncodeLolohaHello(clients[1].hash())});
+  traffic.hellos.push_back(
+      Message{2, EncodeLolohaHello(clients[2].hash())});
+
+  for (uint32_t t = 0; t < tau; ++t) {
+    std::vector<Message> step;
+    for (uint32_t u = 0; u < users; ++u) {
+      const uint32_t value = (u + t) % params.k;
+      step.push_back(
+          Message{u, EncodeLolohaReport(clients[u].Report(value, rng))});
+      if (u % 7 == 0) {  // in-batch duplicate
+        step.push_back(Message{
+            u, EncodeLolohaReport(clients[u].Report(value, rng))});
+      }
+      if (u % 11 == 3) {  // unknown user
+        step.push_back(Message{900000 + u, EncodeLolohaReport(0)});
+      }
+      if (u % 13 == 5) {  // corrupted bytes, three flavours
+        std::string corrupt = EncodeLolohaReport(1);
+        corrupt[1] = static_cast<char>(0x7f);  // wrong version
+        step.push_back(Message{u + 1, corrupt});
+        step.push_back(Message{u + 1, std::string("\x05", 1)});  // truncated
+        step.push_back(
+            Message{u + 1, EncodeLolohaReport(params.g)});  // out of range
+      }
+    }
+    if (t == 0) {
+      // Report before its hello (rejected unknown), then the hello, then a
+      // report that must be accepted — all inside one batch.
+      const uint32_t late_a = users;
+      const uint32_t late_b = users + 1;
+      step.push_back(Message{
+          late_a, EncodeLolohaReport(clients[late_a].Report(0, rng))});
+      step.push_back(
+          Message{late_a, EncodeLolohaHello(clients[late_a].hash())});
+      step.push_back(Message{
+          late_a, EncodeLolohaReport(clients[late_a].Report(0, rng))});
+      step.push_back(
+          Message{late_b, EncodeLolohaHello(clients[late_b].hash())});
+      step.push_back(Message{
+          late_b, EncodeLolohaReport(clients[late_b].Report(5, rng))});
+      // A GRR-typed message (foreign tag) lands in the report path.
+      step.push_back(Message{3, EncodeGrrReport(1)});
+    }
+    traffic.steps.push_back(std::move(step));
+  }
+  return traffic;
+}
+
+TEST(LolohaCollectorBatchTest, BatchMatchesPerReportAtEveryThreadCount) {
+  const LolohaParams params = TestParams();
+  const LolohaTraffic traffic = MakeLolohaTraffic(params, 300, 3, 77);
+
+  LolohaCollector serial(params);
+  uint64_t serial_accepted =
+      ApplySerial(serial, traffic.hellos, WireType::kLolohaHello);
+  std::vector<std::vector<double>> serial_estimates;
+  std::vector<uint64_t> serial_step_accepted;
+  for (const auto& step : traffic.steps) {
+    serial_step_accepted.push_back(
+        ApplySerial(serial, step, WireType::kLolohaHello));
+    serial_estimates.push_back(serial.EndStep());
+  }
+
+  for (const uint32_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    CollectorOptions options;
+    options.pool = &pool;
+    options.num_shards = 5;  // deliberately unaligned with the pool width
+    LolohaCollector batched(params, options);
+    EXPECT_EQ(batched.IngestBatch(traffic.hellos), serial_accepted)
+        << "threads=" << threads;
+    for (size_t t = 0; t < traffic.steps.size(); ++t) {
+      EXPECT_EQ(batched.IngestBatch(traffic.steps[t]),
+                serial_step_accepted[t])
+          << "threads=" << threads << " step=" << t;
+      EXPECT_EQ(batched.EndStep(), serial_estimates[t])
+          << "threads=" << threads << " step=" << t;
+    }
+    ExpectStatsEq(batched.stats(), serial.stats());
+    EXPECT_EQ(batched.registered_users(), serial.registered_users());
+  }
+}
+
+TEST(LolohaCollectorBatchTest, ArbitrarySplitsAcrossStepBoundariesMatch) {
+  const LolohaParams params = TestParams();
+  const LolohaTraffic traffic = MakeLolohaTraffic(params, 200, 3, 78);
+
+  LolohaCollector serial(params);
+  ApplySerial(serial, traffic.hellos, WireType::kLolohaHello);
+  std::vector<std::vector<double>> serial_estimates;
+  for (const auto& step : traffic.steps) {
+    ApplySerial(serial, step, WireType::kLolohaHello);
+    serial_estimates.push_back(serial.EndStep());
+  }
+
+  // Feed the same stream in ragged chunks (1, 2, 3, ... messages), with
+  // the step boundary landing mid-chunk-sequence wherever it falls.
+  ThreadPool pool(3);
+  CollectorOptions options;
+  options.pool = &pool;
+  LolohaCollector batched(params, options);
+  size_t chunk = 1;
+  std::span<const Message> hellos(traffic.hellos);
+  while (!hellos.empty()) {
+    const size_t take = std::min(chunk++, hellos.size());
+    batched.IngestBatch(hellos.first(take));
+    hellos = hellos.subspan(take);
+  }
+  for (size_t t = 0; t < traffic.steps.size(); ++t) {
+    std::span<const Message> rest(traffic.steps[t]);
+    while (!rest.empty()) {
+      const size_t take = std::min(chunk, rest.size());
+      chunk = chunk % 5 + 1;
+      batched.IngestBatch(rest.first(take));
+      rest = rest.subspan(take);
+    }
+    EXPECT_EQ(batched.EndStep(), serial_estimates[t]) << "step=" << t;
+  }
+  ExpectStatsEq(batched.stats(), serial.stats());
+}
+
+TEST(LolohaCollectorBatchTest, MixedPerReportAndBatchWithinOneStep) {
+  const LolohaParams params = TestParams();
+  const LolohaTraffic traffic = MakeLolohaTraffic(params, 150, 1, 79);
+
+  LolohaCollector serial(params);
+  ApplySerial(serial, traffic.hellos, WireType::kLolohaHello);
+  ApplySerial(serial, traffic.steps[0], WireType::kLolohaHello);
+  const std::vector<double> expected = serial.EndStep();
+
+  LolohaCollector mixed(params);
+  mixed.IngestBatch(traffic.hellos);
+  const auto& step = traffic.steps[0];
+  const size_t half = step.size() / 2;
+  // First half one message at a time, second half as a batch.
+  ApplySerial(mixed, std::span<const Message>(step).first(half),
+              WireType::kLolohaHello);
+  mixed.IngestBatch(std::span<const Message>(step).subspan(half));
+  EXPECT_EQ(mixed.EndStep(), expected);
+  ExpectStatsEq(mixed.stats(), serial.stats());
+}
+
+TEST(LolohaCollectorBatchTest, EmptyBatchIsANoOp) {
+  LolohaCollector collector(TestParams());
+  EXPECT_EQ(collector.IngestBatch({}), 0u);
+  EXPECT_TRUE(collector.EndStep().empty());
+  EXPECT_TRUE(collector.stats() == CollectorStats{});
+}
+
+// Traffic generator for the dBitFlipPM collector, same adversarial mix.
+struct DBitTraffic {
+  std::vector<Message> hellos;
+  std::vector<std::vector<Message>> steps;
+};
+
+DBitTraffic MakeDBitTraffic(const Bucketizer& bucketizer, uint32_t d,
+                            double eps, uint32_t users, uint32_t tau,
+                            uint64_t seed) {
+  Rng rng(seed);
+  DBitTraffic traffic;
+  std::vector<DBitFlipClient> clients;
+  clients.reserve(users + 1);
+  for (uint32_t u = 0; u < users + 1; ++u) {
+    clients.emplace_back(bucketizer, d, eps, rng);
+  }
+  for (uint32_t u = 0; u < users; ++u) {
+    traffic.hellos.push_back(
+        Message{u, EncodeDBitHello(clients[u].sampled())});
+  }
+  // Conflicting re-hello: same user, (almost surely) different samples.
+  traffic.hellos.push_back(
+      Message{0, EncodeDBitHello(clients[users].sampled())});
+
+  for (uint32_t t = 0; t < tau; ++t) {
+    std::vector<Message> step;
+    for (uint32_t u = 0; u < users; ++u) {
+      const uint32_t value = (u + 3 * t) % bucketizer.k();
+      const DBitReport report = clients[u].Report(value, rng);
+      step.push_back(Message{u, EncodeDBitReport(report.bits)});
+      if (u % 6 == 1) {  // in-batch duplicate
+        step.push_back(Message{u, EncodeDBitReport(report.bits)});
+      }
+      if (u % 9 == 2) {  // unknown user
+        step.push_back(
+            Message{800000 + u, EncodeDBitReport(report.bits)});
+      }
+      if (u % 10 == 4) {  // corrupted: truncation and a foreign tag
+        std::string corrupt = EncodeDBitReport(report.bits);
+        corrupt.resize(corrupt.size() - 1);
+        step.push_back(Message{u + 1, corrupt});
+        step.push_back(Message{u + 1, EncodeGrrReport(0)});
+      }
+    }
+    if (t == 0) {
+      // Mid-batch hello: rejected report, hello, accepted report.
+      const uint32_t late = users;
+      const DBitReport report = clients[late].Report(1, rng);
+      step.push_back(Message{late, EncodeDBitReport(report.bits)});
+      step.push_back(Message{late, EncodeDBitHello(clients[late].sampled())});
+      const DBitReport again = clients[late].Report(1, rng);
+      step.push_back(Message{late, EncodeDBitReport(again.bits)});
+    }
+    traffic.steps.push_back(std::move(step));
+  }
+  return traffic;
+}
+
+TEST(DBitFlipCollectorBatchTest, BatchMatchesPerReportAtEveryThreadCount) {
+  const Bucketizer bucketizer(40, 8);
+  const uint32_t d = 5;
+  const double eps = 3.0;
+  const DBitTraffic traffic =
+      MakeDBitTraffic(bucketizer, d, eps, 250, 3, 91);
+
+  DBitFlipCollector serial(bucketizer, d, eps);
+  const uint64_t serial_hello_accepted =
+      ApplySerial(serial, traffic.hellos, WireType::kDBitHello);
+  std::vector<std::vector<double>> serial_estimates;
+  std::vector<uint64_t> serial_step_accepted;
+  for (const auto& step : traffic.steps) {
+    serial_step_accepted.push_back(
+        ApplySerial(serial, step, WireType::kDBitHello));
+    serial_estimates.push_back(serial.EndStep());
+  }
+
+  for (const uint32_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    CollectorOptions options;
+    options.pool = &pool;
+    options.num_shards = 7;
+    DBitFlipCollector batched(bucketizer, d, eps, options);
+    EXPECT_EQ(batched.IngestBatch(traffic.hellos), serial_hello_accepted);
+    for (size_t t = 0; t < traffic.steps.size(); ++t) {
+      EXPECT_EQ(batched.IngestBatch(traffic.steps[t]),
+                serial_step_accepted[t])
+          << "threads=" << threads << " step=" << t;
+      EXPECT_EQ(batched.EndStep(), serial_estimates[t])
+          << "threads=" << threads << " step=" << t;
+    }
+    ExpectStatsEq(batched.stats(), serial.stats());
+    EXPECT_EQ(batched.registered_users(), serial.registered_users());
+  }
+}
+
+TEST(DBitFlipCollectorBatchTest, RejectionClassificationMatchesPerReport) {
+  // A batch that is *only* adversarial input: every counter must agree.
+  const Bucketizer bucketizer(20, 4);
+  const uint32_t d = 3;
+  Rng rng(17);
+  DBitFlipClient client(bucketizer, d, 2.0, rng);
+  const DBitReport report = client.Report(2, rng);
+
+  std::vector<Message> batch;
+  batch.push_back(Message{5, EncodeDBitReport(report.bits)});  // unknown
+  batch.push_back(Message{5, EncodeDBitHello(client.sampled())});
+  batch.push_back(Message{5, std::string()});                // empty bytes
+  batch.push_back(Message{5, EncodeDBitReport(report.bits)});  // accepted
+  batch.push_back(Message{5, EncodeDBitReport(report.bits)});  // duplicate
+  std::string wrong_count = EncodeDBitHello({0, 1});  // d mismatch
+  batch.push_back(Message{6, wrong_count});
+
+  DBitFlipCollector serial(bucketizer, d, 2.0);
+  const uint64_t serial_accepted =
+      ApplySerial(serial, batch, WireType::kDBitHello);
+
+  DBitFlipCollector batched(bucketizer, d, 2.0);
+  EXPECT_EQ(batched.IngestBatch(batch), serial_accepted);
+  ExpectStatsEq(batched.stats(), serial.stats());
+  EXPECT_EQ(batched.EndStep(), serial.EndStep());
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,12 +1,14 @@
 #include "server/monitor.h"
 
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/loloha.h"
 #include "core/loloha_params.h"
+#include "tests/stat_harness.h"
 #include "util/rng.h"
 
 namespace loloha {
@@ -84,6 +86,101 @@ TEST(TrendMonitorTest, FalsePositiveRateControlledOnRealProtocol) {
     alerts += monitor.Observe(population.Step(values, rng)).size();
   }
   EXPECT_EQ(alerts, 0u);
+}
+
+// Simulated stationary traffic at exactly the monitor's noise model:
+// estimates are f + sigma * N(0, 1) with sigma = NoiseStdDev(f). The
+// measured false-positive rate must track the z_threshold's two-sided
+// normal tail. The EWMA baseline carries its own noise (variance
+// s / (2 - s) of one step's), so the effective threshold is
+// z / sqrt(1 + s / (2 - s)) — the asserted band brackets the model rate
+// computed at that inflation, deterministic under the fixed seed.
+TEST(TrendMonitorTest, FalsePositiveRateMatchesZThresholdNoiseModel) {
+  const uint32_t k = 40;
+  const double n = 50000.0;
+  const double smoothing = 0.2;
+  const double z = 3.0;
+  TrendMonitor monitor(k, n, First(), Second(), smoothing, z);
+
+  const double f = 1.0 / k;
+  const double sigma = monitor.NoiseStdDev(f);
+  Rng rng(StreamSeed(20230328, 42, 0));
+  const uint32_t steps = 500;
+  uint64_t alerts = 0;
+  for (uint32_t t = 0; t < steps; ++t) {
+    std::vector<double> estimates(k);
+    for (uint32_t v = 0; v < k; ++v) {
+      estimates[v] = f + sigma * stat::GaussianSample(rng);
+    }
+    alerts += monitor.Observe(estimates).size();
+  }
+  const double checks = static_cast<double>(k) * (steps - 1);
+  const double measured_rate = static_cast<double>(alerts) / checks;
+  const double z_effective =
+      z / std::sqrt(1.0 + smoothing / (2.0 - smoothing));
+  const double model_rate = 2.0 * stat::NormalCdf(-z_effective);
+  EXPECT_GT(measured_rate, 0.25 * model_rate)
+      << "alerts=" << alerts << " model=" << model_rate;
+  EXPECT_LT(measured_rate, 2.5 * model_rate)
+      << "alerts=" << alerts << " model=" << model_rate;
+}
+
+// Same stationary noise model with one injected mean shift: the shifted
+// cell must alert at the shift step, and only it.
+TEST(TrendMonitorTest, InjectedShiftIsDetectedExactlyOnce) {
+  const uint32_t k = 12;
+  const double n = 50000.0;
+  TrendMonitor monitor(k, n, First(), Second(), 0.3, 4.0);
+
+  const double f = 1.0 / k;
+  const double sigma = monitor.NoiseStdDev(f);
+  Rng rng(StreamSeed(20230328, 43, 0));
+  auto stationary_step = [&] {
+    std::vector<double> estimates(k);
+    for (uint32_t v = 0; v < k; ++v) {
+      estimates[v] = f + sigma * stat::GaussianSample(rng);
+    }
+    return estimates;
+  };
+  for (int t = 0; t < 8; ++t) {
+    monitor.Observe(stationary_step());
+  }
+  std::vector<double> shifted = stationary_step();
+  shifted[5] += 10.0 * sigma;  // far past z = 4 even against EWMA noise
+  const std::vector<TrendAlert> alerts = monitor.Observe(shifted);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].value, 5u);
+  EXPECT_GT(alerts[0].z_score, 4.0);
+}
+
+TEST(TrendMonitorTest, BatchedObserveMatchesSequentialObserve) {
+  const uint32_t k = 6;
+  TrendMonitor sequential(k, 500.0, First(), Second(), 0.4, 2.0);
+  // Noise at ~1.5x the monitor's own floor so z = 2 fires regularly.
+  const double noise = 1.5 * sequential.NoiseStdDev(0.1);
+  Rng rng(StreamSeed(20230328, 44, 0));
+  std::vector<std::vector<double>> series;
+  for (int t = 0; t < 20; ++t) {
+    std::vector<double> estimates(k);
+    for (uint32_t v = 0; v < k; ++v) {
+      estimates[v] = 0.1 + noise * stat::GaussianSample(rng);
+    }
+    series.push_back(std::move(estimates));
+  }
+
+  std::vector<TrendAlert> expected;
+  for (const auto& estimates : series) {
+    const auto alerts = sequential.Observe(estimates);
+    expected.insert(expected.end(), alerts.begin(), alerts.end());
+  }
+  ASSERT_FALSE(expected.empty());  // z = 2 on noisy input must fire some
+
+  TrendMonitor batched(k, 500.0, First(), Second(), 0.4, 2.0);
+  const std::vector<TrendAlert> actual =
+      batched.Observe(std::span<const std::vector<double>>(series));
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(batched.baseline(), sequential.baseline());
+  EXPECT_EQ(batched.steps_observed(), sequential.steps_observed());
 }
 
 TEST(TrendMonitorTest, DetectsRealPopulationShift) {

@@ -14,6 +14,7 @@
 #include "data/generators.h"
 #include "sim/runner.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace loloha {
@@ -203,6 +204,54 @@ TEST(PoolReuseTest, ConcurrentRunsOnSharedPoolMatchSerialRuns) {
     EXPECT_EQ(serial[i].estimates, parallel[i].estimates)
         << ProtocolName(grid[i]);
     EXPECT_EQ(serial[i].per_user_epsilon, parallel[i].per_user_epsilon);
+  }
+}
+
+// Regression for the false-sharing fix: every per-shard accumulator row
+// handed to a pool worker must start on its own 64-byte cache line and be
+// padded so no two shards' rows share one — at *any* row length, in
+// particular the small-k shapes where a plain num_shards * k buffer packs
+// several shards per line.
+TEST(CacheAlignedRowsTest, ShardRowsAre64ByteAlignedAndLinePrivate) {
+  for (const size_t row_len : {size_t{1}, size_t{3}, size_t{7}, size_t{8},
+                               size_t{16}, size_t{37}, size_t{64},
+                               size_t{129}}) {
+    CacheAlignedRows<uint64_t> rows(6, row_len);
+    EXPECT_GE(rows.stride(), row_len);
+    EXPECT_EQ(rows.stride() * sizeof(uint64_t) % kCacheLineBytes, 0u);
+    for (uint32_t r = 0; r < rows.num_rows(); ++r) {
+      const auto address = reinterpret_cast<uintptr_t>(rows.Row(r));
+      EXPECT_EQ(address % kCacheLineBytes, 0u)
+          << "row_len=" << row_len << " row=" << r;
+      if (r > 0) {
+        // Rows must not overlap — and must not even touch the same line.
+        EXPECT_GE(reinterpret_cast<uintptr_t>(rows.Row(r)),
+                  reinterpret_cast<uintptr_t>(rows.Row(r - 1)) +
+                      row_len * sizeof(uint64_t));
+      }
+    }
+  }
+  // Signedness twin (the dBitFlipPM / LUE delta rows).
+  CacheAlignedRows<int64_t> deltas(3, 5);
+  for (uint32_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(deltas.Row(r)) % kCacheLineBytes,
+              0u);
+  }
+}
+
+TEST(CacheAlignedRowsTest, MergeAndClearBehaveLikeFlatRows) {
+  CacheAlignedRows<uint64_t> rows(4, 6);
+  for (uint32_t r = 0; r < 4; ++r) {
+    for (size_t i = 0; i < 6; ++i) rows.Row(r)[i] = r + i;
+  }
+  std::vector<uint64_t> merged(6, 100);
+  rows.MergeInto(merged.data());
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(merged[i], 100 + 4 * i + 0 + 1 + 2 + 3);
+  }
+  rows.Clear();
+  for (uint32_t r = 0; r < 4; ++r) {
+    for (size_t i = 0; i < 6; ++i) EXPECT_EQ(rows.Row(r)[i], 0u);
   }
 }
 

@@ -1,0 +1,140 @@
+#include "tests/stat_harness.h"
+
+#include <cmath>
+
+#include "sim/metrics.h"
+#include "sim/runner.h"
+#include "util/check.h"
+
+namespace loloha::stat {
+
+namespace {
+
+// Reentrant log-gamma (same rationale as util/binomial.cc: glibc's
+// lgamma() writes the global signgam).
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__) || defined(__unix__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+// Series expansion of P(a, x), valid (fast) for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+// Lentz continued fraction for Q(a, x), valid (fast) for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - LogGamma(a)) * h;
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  LOLOHA_CHECK(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double RegularizedGammaQ(double a, double x) {
+  LOLOHA_CHECK(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double ChiSquarePValue(double statistic, double df) {
+  LOLOHA_CHECK(df > 0.0);
+  if (statistic <= 0.0) return 1.0;
+  return RegularizedGammaQ(df / 2.0, statistic / 2.0);
+}
+
+double ChiSquareStatistic(const std::vector<uint64_t>& observed,
+                          const std::vector<double>& expected_probs) {
+  LOLOHA_CHECK(observed.size() == expected_probs.size());
+  LOLOHA_CHECK(!observed.empty());
+  uint64_t n = 0;
+  for (const uint64_t count : observed) n += count;
+  LOLOHA_CHECK(n > 0);
+  double statistic = 0.0;
+  for (size_t c = 0; c < observed.size(); ++c) {
+    const double expected = static_cast<double>(n) * expected_probs[c];
+    LOLOHA_CHECK_MSG(expected > 0.0, "expected count must be positive");
+    const double diff = static_cast<double>(observed[c]) - expected;
+    statistic += diff * diff / expected;
+  }
+  return statistic;
+}
+
+double BinomialZSquareStatistic(const std::vector<BinomialCell>& cells) {
+  double statistic = 0.0;
+  for (const BinomialCell& cell : cells) {
+    LOLOHA_CHECK(cell.trials > 0);
+    LOLOHA_CHECK(cell.p > 0.0 && cell.p < 1.0);
+    const double mean = static_cast<double>(cell.trials) * cell.p;
+    const double variance = mean * (1.0 - cell.p);
+    const double diff = static_cast<double>(cell.successes) - mean;
+    statistic += diff * diff / variance;
+  }
+  return statistic;
+}
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double GaussianSample(Rng& rng) {
+  // Box–Muller; u clamped away from 0 so the log stays finite.
+  const double u = std::max(rng.UniformDouble(), 1e-300);
+  const double v = rng.UniformDouble();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u)) * std::cos(kTwoPi * v);
+}
+
+MseAcceptance MseAgainstTheory(ProtocolId id, const Dataset& data,
+                               double eps_perm, double eps_first,
+                               uint32_t runs, uint64_t base_seed) {
+  LOLOHA_CHECK(runs >= 1);
+  const auto runner = MakeRunner(id, eps_perm, eps_first);
+  MseAcceptance acceptance;
+  for (uint32_t run = 0; run < runs; ++run) {
+    const RunResult result =
+        runner->Run(data, StreamSeed(base_seed, run, 0));
+    acceptance.empirical_mse += MseAvg(data, result.estimates);
+  }
+  acceptance.empirical_mse /= static_cast<double>(runs);
+  acceptance.predicted_mse = ProtocolApproxVariance(
+      id, static_cast<double>(data.n()), data.k(), eps_perm, eps_first);
+  acceptance.ratio = acceptance.empirical_mse / acceptance.predicted_mse;
+  return acceptance;
+}
+
+}  // namespace loloha::stat

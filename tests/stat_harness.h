@@ -1,0 +1,77 @@
+// Test-support statistics for the end-to-end acceptance suite: chi-square
+// goodness-of-fit machinery (regularized incomplete gamma, Pearson and
+// binomial-cell statistics), a normal CDF/sampler, and the empirical-vs-
+// theoretical MSE driver the statistical_acceptance_test asserts against.
+//
+// Everything here is deterministic given a seed — the suite's tolerances
+// are statistical, but its *outcomes* are not: a fixed StreamSeed produces
+// the same statistic on every run and platform (the library's Rng and
+// binomial sampler draw identically everywhere), so a passing threshold
+// never flakes.
+
+#ifndef LOLOHA_TESTS_STAT_HARNESS_H_
+#define LOLOHA_TESTS_STAT_HARNESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/theory.h"
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace loloha::stat {
+
+// Regularized lower incomplete gamma P(a, x) = γ(a, x) / Γ(a), a > 0,
+// x >= 0 (series expansion for x < a + 1, continued fraction otherwise).
+double RegularizedGammaP(double a, double x);
+
+// Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+// Upper-tail p-value of a chi-square statistic with df degrees of
+// freedom: Q(df / 2, statistic / 2).
+double ChiSquarePValue(double statistic, double df);
+
+// Pearson statistic Σ_c (observed_c - n p_c)² / (n p_c) of observed
+// category counts against expected probabilities (df = cells - 1). The
+// probabilities must sum to ~1; n is taken from the observed counts.
+double ChiSquareStatistic(const std::vector<uint64_t>& observed,
+                          const std::vector<double>& expected_probs);
+
+// One independent Binomial(trials, p) observation.
+struct BinomialCell {
+  uint64_t successes = 0;
+  uint64_t trials = 0;
+  double p = 0.0;
+};
+
+// Σ_c (successes_c - trials_c p_c)² / (trials_c p_c (1 - p_c)) — squared
+// z-scores of independent binomial cells, ~ ChiSquare(#cells) under the
+// null (df = cells: every cell's p is fixed a priori, nothing estimated).
+double BinomialZSquareStatistic(const std::vector<BinomialCell>& cells);
+
+// Standard normal CDF.
+double NormalCdf(double z);
+
+// One standard normal draw (Box–Muller over the repo Rng; deterministic
+// per stream).
+double GaussianSample(Rng& rng);
+
+// Empirical-vs-theoretical MSE for one protocol: runs `runs` independent
+// Monte-Carlo repetitions of the full longitudinal collection over `data`
+// (seeds StreamSeed(base_seed, run, 0)) and compares the mean MSE_avg
+// (Eq. 7) against the paper's approximate variance V* (Eq. 5 /
+// dBitFlipPM's sampled one-round variance) at the same configuration.
+struct MseAcceptance {
+  double empirical_mse = 0.0;   // mean MSE_avg over the runs
+  double predicted_mse = 0.0;   // V* at (n, k, ε∞, ε1)
+  double ratio = 0.0;           // empirical / predicted
+};
+
+MseAcceptance MseAgainstTheory(ProtocolId id, const Dataset& data,
+                               double eps_perm, double eps_first,
+                               uint32_t runs, uint64_t base_seed);
+
+}  // namespace loloha::stat
+
+#endif  // LOLOHA_TESTS_STAT_HARNESS_H_
