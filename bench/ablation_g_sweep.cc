@@ -2,17 +2,21 @@
 // the optimal-g selection of Eq. (6) against both the analytic V* curve
 // and measured MSE on a Syn-like workload. DESIGN.md calls this out as
 // the central design choice of OLOLOHA (utility vs the g·ε∞ budget).
+//
+// Each row is one pinned-g ProtocolSpec ("ololoha:g=<g>,...") run through
+// the registry factory — the sweep is a spec loop, not bespoke wiring.
+// --protocol= overrides the base spec's budgets (its g is swept).
 
 #include <cstdio>
 #include <string>
 
 #include "bench/bench_common.h"
-#include "core/loloha.h"
 #include "core/loloha_params.h"
 #include "data/generators.h"
 #include "sim/metrics.h"
-#include "util/rng.h"
+#include "sim/runner.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace loloha;
@@ -20,9 +24,15 @@ int main(int argc, char** argv) {
   const bench::HarnessConfig config =
       bench::ParseHarness(cli, "ablation_g_sweep.csv");
 
-  const double eps = cli.GetDouble("eps", 4.0);
-  const double alpha = cli.GetDouble("alpha", 0.5);
-  const double eps1 = alpha * eps;
+  ProtocolSpec base = ProtocolSpec::MustParse(
+      cli.GetString("protocol", "ololoha:eps_perm=4,eps_first=2"));
+  if (!base.IsLolohaVariant()) {
+    std::fprintf(stderr, "--protocol: expected a LOLOHA variant, got '%s'\n",
+                 base.ToString().c_str());
+    return 2;
+  }
+  const double eps = base.eps_perm;
+  const double eps1 = base.eps_first;
   const uint32_t g_max = static_cast<uint32_t>(cli.GetInt("gmax", 16));
   const uint32_t g_opt = OptimalLolohaG(eps, eps1);
 
@@ -30,25 +40,29 @@ int main(int argc, char** argv) {
       GenerateSyn(10000 / config.scale, 360, config.quick ? 10 : 30, 0.25,
                   config.seed);
 
-  TextTable table({"g", "V* (Eq. 5)", "MSE_avg (measured)",
+  ThreadPool pool(config.threads == 0 ? ThreadPool::HardwareThreads()
+                                      : config.threads);
+  RunnerOptions options;
+  options.num_threads = config.threads;
+  options.pool = &pool;
+
+  TextTable table({"spec", "V* (Eq. 5)", "MSE_avg (measured)",
                    "budget g*eps_inf", "is_eq6_choice"});
   for (uint32_t g = 2; g <= g_max; ++g) {
+    ProtocolSpec spec = base;
+    spec.id = g == 2 ? ProtocolId::kBiLoloha : ProtocolId::kOLoloha;
+    spec.g = g;
     const double vstar =
         LolohaApproximateVariance(data.n(), g, eps, eps1);
+    const auto runner = MakeRunner(spec, options);
     double mse = 0.0;
     for (uint32_t r = 0; r < config.runs; ++r) {
-      Rng rng(config.seed + 101 * r + g);
-      const LolohaParams params = MakeLolohaParams(data.k(), g, eps, eps1);
-      LolohaPopulation population(params, data.n(), rng);
-      std::vector<std::vector<double>> estimates;
-      estimates.reserve(data.tau());
-      for (uint32_t t = 0; t < data.tau(); ++t) {
-        estimates.push_back(population.Step(data.StepValues(t), rng));
-      }
-      mse += MseAvg(data, estimates);
+      const RunResult result =
+          runner->Run(data, config.seed + 101 * r + g);
+      mse += MseAvg(data, result.estimates);
     }
     mse /= config.runs;
-    table.AddRow({std::to_string(g), FormatDouble(vstar, 5),
+    table.AddRow({spec.ToString(), FormatDouble(vstar, 5),
                   FormatDouble(mse, 5), FormatDouble(g * eps, 4),
                   g == g_opt ? "<== Eq. 6" : ""});
   }

@@ -16,6 +16,7 @@
 #include "bench/bench_common.h"
 #include "core/loloha.h"
 #include "core/loloha_params.h"
+#include "sim/protocol_spec.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -25,11 +26,20 @@ int main(int argc, char** argv) {
   const bench::HarnessConfig config =
       bench::ParseHarness(cli, "ablation_memoization.csv");
 
-  const double eps = cli.GetDouble("eps", 1.0);
-  const double eps1 = cli.GetDouble("eps1", 0.5 * eps);
+  // Any LOLOHA spec works; the attack column contrasts its memoized
+  // clients against a no-memo variant at the same parameters.
+  const ProtocolSpec spec = ProtocolSpec::MustParse(
+      cli.GetString("protocol", "biloloha:eps_perm=1,eps_first=0.5"));
+  if (!spec.IsLolohaVariant()) {
+    std::fprintf(stderr, "--protocol: expected a LOLOHA variant, got '%s'\n",
+                 spec.ToString().c_str());
+    return 2;
+  }
+  const double eps = spec.eps_perm;
+  const double eps1 = spec.eps_first;
   const uint32_t k = 64;
   const uint32_t n = config.quick ? 2000 : 20000 / config.scale * 5;
-  const LolohaParams params = MakeBiLolohaParams(k, eps, eps1);
+  const LolohaParams params = LolohaParamsForSpec(spec, k);
   Rng rng(config.seed);
 
   TextTable table({"tau", "attack success (memoized)",
@@ -75,11 +85,12 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "Ablation — averaging attack vs memoization (BiLOLOHA, eps_inf=%g, "
+      "Ablation — averaging attack vs memoization (%s, eps_inf=%g, "
       "eps1=%g, %u constant users)\n\nAttack: majority vote over tau "
       "reports; success = vote equals true hash cell.\nMemoization pins "
       "success at ~p1 = %.3f regardless of tau; without it success -> 1.\n\n%s\n",
-      eps, eps1, n, params.prr.p, table.ToString().c_str());
+      spec.DisplayName().c_str(), eps, eps1, n, params.prr.p,
+      table.ToString().c_str());
   if (!config.out_csv.empty()) table.WriteCsv(config.out_csv);
   return 0;
 }

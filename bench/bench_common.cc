@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <span>
 
 #include "data/generators.h"
 #include "sim/metrics.h"
@@ -89,8 +91,48 @@ double Mean(const std::vector<double>& values) {
   return sum / static_cast<double>(values.size());
 }
 
-int RunFig3Panel(const std::string& dataset_name, bool include_dbitflip,
-                 uint32_t bucket_divisor, int argc, char** argv) {
+std::vector<ProtocolSpec> ParseProtocolSpecs(const CommandLine& cli,
+                                             std::vector<ProtocolSpec> defaults) {
+  const std::string flag = cli.GetString("protocols", "");
+  if (flag.empty()) return defaults;
+  std::vector<ProtocolSpec> specs;
+  size_t begin = 0;
+  while (begin <= flag.size()) {
+    const size_t end = std::min(flag.find(';', begin), flag.size());
+    const std::string text = flag.substr(begin, end - begin);
+    ProtocolSpec spec;
+    std::string error;
+    if (!ProtocolSpec::Parse(text, &spec, &error)) {
+      std::fprintf(stderr, "--protocols: bad spec '%s': %s\n", text.c_str(),
+                   error.c_str());
+      std::exit(2);
+    }
+    specs.push_back(spec);
+    begin = end + 1;
+  }
+  return specs;
+}
+
+std::span<const Fig3Panel> Fig3Panels() {
+  static constexpr Fig3Panel kPanels[] = {
+      {"syn", true, 1},
+      {"adult", true, 1},
+      {"db_mt", false, 4},
+      {"db_de", false, 4},
+  };
+  return kPanels;
+}
+
+const Fig3Panel& Fig3PanelFor(const std::string& dataset_name) {
+  for (const Fig3Panel& panel : Fig3Panels()) {
+    if (dataset_name == panel.dataset) return panel;
+  }
+  LOLOHA_CHECK_MSG(false, "unknown fig3 panel dataset");
+  return Fig3Panels().front();
+}
+
+int RunFig3Panel(const std::string& dataset_name, int argc, char** argv) {
+  const Fig3Panel* panel = &Fig3PanelFor(dataset_name);
   const CommandLine cli(argc, argv);
   const HarnessConfig config =
       ParseHarness(cli, "fig3_mse_" + dataset_name + ".csv");
@@ -109,24 +151,22 @@ int RunFig3Panel(const std::string& dataset_name, bool include_dbitflip,
   ThreadPool pool(config.threads == 0 ? ThreadPool::HardwareThreads()
                                       : config.threads);
   RunnerOptions options;
-  options.bucket_divisor = bucket_divisor;
   options.num_threads = config.threads;
   options.pool = &pool;
-  const std::vector<ProtocolId> protocols =
-      Figure3Protocols(include_dbitflip);
+  const std::vector<ProtocolSpec> legend = ParseProtocolSpecs(
+      cli, Figure3Specs(panel->include_dbitflip, panel->bucket_divisor));
 
-  // Flatten the (alpha, eps, protocol) grid into Monte-Carlo configs in
-  // row-major table order.
-  struct Cell {
-    double alpha;
-    double eps;
-    ProtocolId id;
-  };
-  std::vector<Cell> cells;
+  // Flatten the (alpha, eps, protocol) grid into one spec per Monte-Carlo
+  // config in row-major table order; the grid's budgets override the
+  // legend specs' placeholders.
+  std::vector<ProtocolSpec> cells;
   for (const double alpha : AlphaGridFig34()) {
     for (const double eps : EpsPermGrid()) {
-      for (const ProtocolId id : protocols) {
-        cells.push_back(Cell{alpha, eps, id});
+      for (const ProtocolSpec& base : legend) {
+        ProtocolSpec spec = base;
+        spec.eps_perm = eps;
+        spec.eps_first = spec.IsTwoRound() ? alpha * eps : 0.0;
+        cells.push_back(spec);
       }
     }
   }
@@ -140,28 +180,26 @@ int RunFig3Panel(const std::string& dataset_name, bool include_dbitflip,
   // finish out of order; the dot count, not their timing, is what a
   // watcher of a --full run needs.
   const uint32_t cells_per_dot =
-      static_cast<uint32_t>(protocols.size()) * config.runs;
+      static_cast<uint32_t>(legend.size()) * config.runs;
   mc.progress = [cells_per_dot](uint32_t completed, uint32_t) {
     if (completed % cells_per_dot == 0) {
       std::printf(".");
       std::fflush(stdout);
     }
   };
-  const Bucketizer bucketizer(data.k(), ResolveBuckets(options, data.k()));
   const std::vector<std::vector<double>> per_run_mse = RunMonteCarloGrid(
-      [&](uint32_t c) {
-        return MakeRunner(cells[c].id, cells[c].eps,
-                          cells[c].alpha * cells[c].eps, options);
-      },
-      data, static_cast<uint32_t>(cells.size()), mc,
+      std::span<const ProtocolSpec>(cells), options, data, mc,
       [&](uint32_t, const RunResult& result) {
+        // dBitFlipPM estimates a b-bin histogram; compare it against the
+        // bucketized truth (Sec. 5.2), everything else bin for bin.
         return result.bins == data.k()
                    ? MseAvg(data, result.estimates)
-                   : MseAvgBucketed(data, bucketizer, result.estimates);
+                   : MseAvgBucketed(data, Bucketizer(data.k(), result.bins),
+                                    result.estimates);
       });
 
   std::vector<std::string> header = {"alpha", "eps_inf"};
-  for (const ProtocolId id : protocols) header.push_back(ProtocolName(id));
+  for (const ProtocolSpec& spec : legend) header.push_back(spec.DisplayName());
   TextTable table(header);
 
   size_t cell = 0;
@@ -169,7 +207,7 @@ int RunFig3Panel(const std::string& dataset_name, bool include_dbitflip,
     for (const double eps : EpsPermGrid()) {
       std::vector<std::string> row = {FormatDouble(alpha, 2),
                                       FormatDouble(eps, 3)};
-      for (size_t p = 0; p < protocols.size(); ++p) {
+      for (size_t p = 0; p < legend.size(); ++p) {
         row.push_back(FormatDouble(Mean(per_run_mse[cell]), 4));
         ++cell;
       }

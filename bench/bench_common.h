@@ -17,6 +17,14 @@
 //   --out=PATH.csv   where to write the CSV copy of the printed table
 //                    (default: results/<binary>.csv, directory auto-created)
 //
+// The protocol-grid binaries additionally accept
+//   --protocols=S    semicolon-separated ProtocolSpec strings
+//                    (sim/protocol_spec.h), e.g.
+//                    --protocols="ololoha;l-grr;bbitflip:bucket_divisor=4".
+//                    Replaces the panel's default paper legend; the panel's
+//                    (ε∞, α) grid overrides each spec's budgets, so only
+//                    the protocol and its structural extras matter here.
+//
 // Scaling note: the protocols' MSE is (in expectation) proportional to
 // 1/n, so dividing n by S preserves every comparison in Fig. 3 (who wins,
 // crossovers) while multiplying absolute values by ~S. EXPERIMENTS.md
@@ -26,10 +34,12 @@
 #define LOLOHA_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "data/dataset.h"
+#include "sim/protocol_spec.h"
 #include "util/cli.h"
 
 namespace loloha::bench {
@@ -60,13 +70,30 @@ Dataset MakeDataset(const std::string& which, const HarnessConfig& config,
 // Mean of `values`.
 double Mean(const std::vector<double>& values);
 
-// Shared driver for the four Fig. 3 panels: runs every protocol of the
-// paper's legend over the named dataset for the full (ε∞, α) grid and
-// prints/persists MSE_avg rows. `include_dbitflip` is false for the DB_*
-// panels (their b < k histograms are not comparable, Sec. 5.2);
-// `bucket_divisor` matches the paper's b = k (1) or b = k/4 (4).
-int RunFig3Panel(const std::string& dataset_name, bool include_dbitflip,
-                 uint32_t bucket_divisor, int argc, char** argv);
+// Parses the --protocols= flag (semicolon-separated spec strings) into
+// specs, or returns `defaults` when the flag is absent. Exits with a
+// usage message on a malformed spec.
+std::vector<ProtocolSpec> ParseProtocolSpecs(const CommandLine& cli,
+                                             std::vector<ProtocolSpec> defaults);
+
+// One Fig. 3 panel's evaluation settings (Sec. 5.2): dBitFlipPM is
+// excluded on the DB_* panels and runs at b = k/4 there. Shared by the
+// four fig3 MSE panels and the fig4 accounting bench.
+struct Fig3Panel {
+  const char* dataset;
+  bool include_dbitflip;
+  uint32_t bucket_divisor;
+};
+std::span<const Fig3Panel> Fig3Panels();
+const Fig3Panel& Fig3PanelFor(const std::string& dataset_name);
+
+// Shared driver for the four Fig. 3 panels: runs the legend (the paper's
+// default, or --protocols= spec strings) over the named dataset for the
+// full (ε∞, α) grid and prints/persists MSE_avg rows. The per-panel
+// settings — dBitFlipPM inclusion (excluded for the DB_* panels, whose
+// b < k histograms are not comparable, Sec. 5.2) and the paper's bucket
+// divisor (b = k or b = k/4) — are looked up from the dataset name.
+int RunFig3Panel(const std::string& dataset_name, int argc, char** argv);
 
 }  // namespace loloha::bench
 

@@ -56,8 +56,10 @@ struct RowResult {
 RowResult BenchMonteCarloOuter(const Dataset& data, ThreadPool& pool,
                                uint32_t threads, uint64_t seed,
                                uint32_t reps) {
-  const std::vector<ProtocolId> grid = {
-      ProtocolId::kBiLoloha, ProtocolId::kLOsue, ProtocolId::kLGrr};
+  const std::vector<ProtocolSpec> grid = {
+      ProtocolSpec::MustParse("biloloha:eps_perm=2,eps_first=1"),
+      ProtocolSpec::MustParse("l-osue:eps_perm=2,eps_first=1"),
+      ProtocolSpec::MustParse("l-grr:eps_perm=2,eps_first=1")};
   const auto metric = [&data](uint32_t, const RunResult& result) {
     return MseAvg(data, result.estimates);
   };
@@ -69,9 +71,8 @@ RowResult BenchMonteCarloOuter(const Dataset& data, ThreadPool& pool,
     mc.runs = 2;
     mc.base_seed = seed;
     mc.pool = mc_pool;
-    return RunMonteCarloGrid(
-        [&](uint32_t c) { return MakeRunner(grid[c], 2.0, 1.0, options); },
-        data, static_cast<uint32_t>(grid.size()), mc, metric);
+    return RunMonteCarloGrid(std::span<const ProtocolSpec>(grid), options,
+                             data, mc, metric);
   };
 
   RowResult row;
@@ -141,23 +142,26 @@ int main(int argc, char** argv) {
       threads, data.n(), data.k(), data.tau(), kDefaultNumShards,
       ThreadPool::HardwareThreads(), config.runs);
 
-  const std::vector<ProtocolId> protocols = {
-      ProtocolId::kBiLoloha, ProtocolId::kOLoloha, ProtocolId::kLOsue,
-      ProtocolId::kLGrr, ProtocolId::kBBitFlipPm};
+  const std::vector<ProtocolSpec> protocols = bench::ParseProtocolSpecs(
+      cli, {ProtocolSpec::MustParse("biloloha:eps_perm=2,eps_first=1"),
+            ProtocolSpec::MustParse("ololoha:eps_perm=2,eps_first=1"),
+            ProtocolSpec::MustParse("l-osue:eps_perm=2,eps_first=1"),
+            ProtocolSpec::MustParse("l-grr:eps_perm=2,eps_first=1"),
+            ProtocolSpec::MustParse("bbitflip:eps_perm=2")});
 
   // The shared pool every T-thread runner borrows; constructed once.
   ThreadPool shared_pool(threads);
 
   std::vector<RowResult> rows;
   bool all_identical = true;
-  for (const ProtocolId id : protocols) {
+  for (const ProtocolSpec& spec : protocols) {
     RunnerOptions sequential;
     sequential.num_threads = 1;
     RunnerOptions parallel;
     parallel.num_threads = threads;
     parallel.pool = &shared_pool;
-    const auto runner_seq = MakeRunner(id, 2.0, 1.0, sequential);
-    const auto runner_par = MakeRunner(id, 2.0, 1.0, parallel);
+    const auto runner_seq = MakeRunner(spec, sequential);
+    const auto runner_par = MakeRunner(spec, parallel);
 
     RowResult row;
     RunResult result_seq;

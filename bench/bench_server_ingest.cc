@@ -25,6 +25,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "core/loloha.h"
 #include "core/loloha_params.h"
 #include "server/collector.h"
+#include "sim/protocol_spec.h"
 #include "util/cli.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -67,9 +69,11 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-// Drives one collector type: `hellos` registers the fleet (untimed),
-// `steps` holds one pre-encoded message batch per collection step.
-template <typename Collector, typename Factory>
+// Drives one collector spec through the protocol-agnostic Collector
+// interface: `hellos` registers the fleet (untimed), `steps` holds one
+// pre-encoded message batch per collection step. `make` builds a fresh
+// collector per run (MakeCollector under the hood).
+template <typename Factory>
 IngestRow BenchCollector(const std::string& name, const Factory& make,
                          const std::vector<Message>& hellos,
                          const std::vector<std::vector<Message>>& steps,
@@ -85,34 +89,34 @@ IngestRow BenchCollector(const std::string& name, const Factory& make,
 
   for (uint32_t r = 0; r < config.runs; ++r) {
     {
-      Collector collector = make(/*batched=*/false);
+      const std::unique_ptr<Collector> collector = make(/*batched=*/false);
       for (const Message& hello : hellos) {
-        collector.HandleHello(hello.user_id, hello.bytes);
+        collector->HandleHello(hello.user_id, hello.bytes);
       }
       per_report_estimates.clear();
       const auto start = std::chrono::steady_clock::now();
       for (const auto& step : steps) {
         for (const Message& message : step) {
-          collector.HandleReport(message.user_id, message.bytes);
+          collector->HandleReport(message.user_id, message.bytes);
         }
-        per_report_estimates.push_back(collector.EndStep());
+        per_report_estimates.push_back(collector->EndStep());
       }
       const double elapsed = SecondsSince(start);
       if (r == 0 || elapsed < row.per_report_s) row.per_report_s = elapsed;
-      per_report_stats = collector.stats();
+      per_report_stats = collector->stats();
     }
     {
-      Collector collector = make(/*batched=*/true);
-      collector.IngestBatch(hellos);
+      const std::unique_ptr<Collector> collector = make(/*batched=*/true);
+      collector->IngestBatch(hellos);
       batch_estimates.clear();
       const auto start = std::chrono::steady_clock::now();
       for (const auto& step : steps) {
-        collector.IngestBatch(step);
-        batch_estimates.push_back(collector.EndStep());
+        collector->IngestBatch(step);
+        batch_estimates.push_back(collector->EndStep());
       }
       const double elapsed = SecondsSince(start);
       if (r == 0 || elapsed < row.batch_s) row.batch_s = elapsed;
-      batch_stats = collector.stats();
+      batch_stats = collector->stats();
     }
   }
   // Hello counters differ only because the per-report baseline skips the
@@ -192,9 +196,14 @@ int main(int argc, char** argv) {
   Rng rng(config.seed);
 
   {
-    // LOLOHA traffic: one cell per user per step.
-    const LolohaParams params =
-        MakeLolohaParams(config.k, config.g, 2.0, 1.0);
+    // LOLOHA traffic: one cell per user per step. The collector under
+    // test is built from the declarative spec (pinned hash range --g).
+    ProtocolSpec spec;
+    spec.id = config.g == 2 ? ProtocolId::kBiLoloha : ProtocolId::kOLoloha;
+    spec.g = config.g;
+    spec.eps_perm = 2.0;
+    spec.eps_first = 1.0;
+    const LolohaParams params = LolohaParamsForSpec(spec, config.k);
     std::vector<LolohaClient> clients;
     clients.reserve(config.users);
     std::vector<Message> hellos;
@@ -212,20 +221,26 @@ int main(int argc, char** argv) {
                    clients[u].Report((u + t) % config.k, rng))});
       }
     }
-    rows.push_back(BenchCollector<LolohaCollector>(
+    rows.push_back(BenchCollector(
         "LOLOHA",
         [&](bool batched) {
-          return LolohaCollector(params,
-                                 batched ? options : CollectorOptions{});
+          return MakeCollector(spec, config.k,
+                               batched ? options : CollectorOptions{});
         },
         hellos, steps, config));
   }
 
   {
     // dBitFlipPM traffic: d bits per user per step, b = k / 4 buckets.
-    const Bucketizer bucketizer(config.k, std::max(config.k / 4, 2u));
-    const uint32_t d = std::min(16u, bucketizer.b());
-    const double eps = 3.0;
+    ProtocolSpec spec;
+    spec.id = ProtocolId::kBBitFlipPm;
+    spec.eps_perm = 3.0;
+    spec.eps_first = 0.0;
+    spec.buckets = std::max(config.k / 4, 2u);
+    spec.d = std::min(16u, spec.buckets);
+    const Bucketizer bucketizer(config.k, spec.buckets);
+    const uint32_t d = spec.d;
+    const double eps = spec.eps_perm;
     std::vector<DBitFlipClient> clients;
     clients.reserve(config.users);
     std::vector<Message> hellos;
@@ -243,11 +258,11 @@ int main(int argc, char** argv) {
         steps[t].push_back(Message{u, EncodeDBitReport(report.bits)});
       }
     }
-    rows.push_back(BenchCollector<DBitFlipCollector>(
+    rows.push_back(BenchCollector(
         "dBitFlipPM",
         [&](bool batched) {
-          return DBitFlipCollector(bucketizer, d, eps,
-                                   batched ? options : CollectorOptions{});
+          return MakeCollector(spec, config.k,
+                               batched ? options : CollectorOptions{});
         },
         hellos, steps, config));
   }

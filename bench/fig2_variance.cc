@@ -1,9 +1,10 @@
-// Figure 2: numerical approximate variance V* (Eq. 5) of L-OSUE, OLOLOHA,
-// RAPPOR and BiLOLOHA at n = 10000, for ε∞ in [0.5, 5] and ε1 = αε∞ with
-// α in {0.1, ..., 0.6}. One block of rows per α, matching the paper's six
-// panels.
+// Figure 2: numerical approximate variance V* (Eq. 5) of the paper's
+// double-randomization legend (or any --protocols= spec list) at
+// n = 10000, for ε∞ in [0.5, 5] and ε1 = αε∞ with α in {0.1, ..., 0.6}.
+// One block of rows per α, matching the paper's six panels.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "core/theory.h"
@@ -17,21 +18,30 @@ int main(int argc, char** argv) {
   const double n = cli.GetDouble("n", 10000.0);
   const uint32_t k = 360;  // only L-GRR (not plotted) depends on k
 
-  TextTable table({"alpha", "eps_inf", "L-OSUE", "OLOLOHA", "RAPPOR",
-                   "BiLOLOHA"});
+  std::vector<ProtocolSpec> legend;
+  for (const ProtocolId id : Figure2Protocols()) {
+    ProtocolSpec spec;
+    spec.id = id;
+    legend.push_back(spec.Canonicalized());
+  }
+  legend = bench::ParseProtocolSpecs(cli, std::move(legend));
+
+  std::vector<std::string> header = {"alpha", "eps_inf"};
+  for (const ProtocolSpec& spec : legend) header.push_back(spec.DisplayName());
+  TextTable table(header);
   for (const double alpha : bench::AlphaGridFig2()) {
     for (const double eps : bench::EpsPermGrid()) {
-      const double eps1 = alpha * eps;
-      table.AddRow(
-          {FormatDouble(alpha, 2), FormatDouble(eps, 3),
-           FormatDouble(ProtocolApproxVariance(ProtocolId::kLOsue, n, k,
-                                               eps, eps1)),
-           FormatDouble(ProtocolApproxVariance(ProtocolId::kOLoloha, n, k,
-                                               eps, eps1)),
-           FormatDouble(ProtocolApproxVariance(ProtocolId::kRappor, n, k,
-                                               eps, eps1)),
-           FormatDouble(ProtocolApproxVariance(ProtocolId::kBiLoloha, n, k,
-                                               eps, eps1))});
+      std::vector<std::string> row = {FormatDouble(alpha, 2),
+                                      FormatDouble(eps, 3)};
+      for (const ProtocolSpec& base : legend) {
+        // V* honors pinned extras (a fixed g, a bucket layout); the grid
+        // overrides the budgets, as in the fig3 panels.
+        ProtocolSpec spec = base;
+        spec.eps_perm = eps;
+        spec.eps_first = spec.IsTwoRound() ? alpha * eps : 0.0;
+        row.push_back(FormatDouble(ApproxVarianceForSpec(spec, n, k)));
+      }
+      table.AddRow(std::move(row));
     }
   }
 

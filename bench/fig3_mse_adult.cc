@@ -5,6 +5,5 @@
 #include "bench/bench_common.h"
 
 int main(int argc, char** argv) {
-  return loloha::bench::RunFig3Panel("adult", /*include_dbitflip=*/true,
-                                     /*bucket_divisor=*/1, argc, argv);
+  return loloha::bench::RunFig3Panel("adult", argc, argv);
 }

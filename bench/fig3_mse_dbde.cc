@@ -4,6 +4,5 @@
 #include "bench/bench_common.h"
 
 int main(int argc, char** argv) {
-  return loloha::bench::RunFig3Panel("db_de", /*include_dbitflip=*/false,
-                                     /*bucket_divisor=*/4, argc, argv);
+  return loloha::bench::RunFig3Panel("db_de", argc, argv);
 }

@@ -5,6 +5,5 @@
 #include "bench/bench_common.h"
 
 int main(int argc, char** argv) {
-  return loloha::bench::RunFig3Panel("db_mt", /*include_dbitflip=*/false,
-                                     /*bucket_divisor=*/4, argc, argv);
+  return loloha::bench::RunFig3Panel("db_mt", argc, argv);
 }

@@ -26,17 +26,10 @@ int main(int argc, char** argv) {
   const bench::HarnessConfig config =
       bench::ParseHarness(cli, "fig4_privacy_loss.csv");
 
-  struct Panel {
-    const char* dataset;
-    uint32_t bucket_divisor;
-  };
-  const Panel panels[] = {
-      {"syn", 1}, {"adult", 1}, {"db_mt", 4}, {"db_de", 4}};
-
   TextTable table({"dataset", "alpha", "eps_inf", "RAPPOR/L-OSUE/L-GRR",
                    "bBitFlipPM", "1BitFlipPM", "OLOLOHA", "BiLOLOHA"});
 
-  for (const Panel& panel : panels) {
+  for (const bench::Fig3Panel& panel : bench::Fig3Panels()) {
     const Dataset data =
         bench::MakeDataset(panel.dataset, config, config.seed);
     const uint32_t b = data.k() / panel.bucket_divisor;

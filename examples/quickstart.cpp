@@ -2,35 +2,53 @@
 // collection steps, end to end through the public API.
 //
 //   $ ./build/examples/quickstart
+//   $ ./build/examples/quickstart --protocol=biloloha:eps_perm=2,eps_first=1
 //
-// Walks through: parameter selection (BiLOLOHA vs OLOLOHA), the client
-// loop (Algorithm 1), server aggregation (Algorithm 2), and the privacy
-// accounting of Definition 3.2.
+// The protocol comes from a declarative ProtocolSpec string (the same
+// grammar every bench accepts): OLOLOHA picks the variance-optimal hash
+// range g (Eq. 6), "loloha:g=2" / "biloloha" fixes g = 2 for the
+// strongest longitudinal protection. Walks through: parameter selection,
+// the client loop (Algorithm 1), server aggregation (Algorithm 2), and
+// the privacy accounting of Definition 3.2.
 
 #include <cstdio>
 #include <vector>
 
 #include "core/loloha.h"
 #include "core/loloha_params.h"
+#include "sim/protocol_spec.h"
+#include "util/cli.h"
 #include "util/histogram.h"
 #include "util/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace loloha;
 
   // Domain: k = 32 categories (say, app screens); budgets ε∞ = 2, ε1 = 1.
   constexpr uint32_t kDomain = 32;
-  const double eps_perm = 2.0;
-  const double eps_first = 1.0;
+  const CommandLine cli(argc, argv);
+  ProtocolSpec spec;
+  std::string error;
+  if (!ProtocolSpec::Parse(
+          cli.GetString("protocol", "ololoha:eps_perm=2,eps_first=1"), &spec,
+          &error)) {
+    std::fprintf(stderr, "--protocol: %s\n", error.c_str());
+    return 2;
+  }
+  if (!spec.IsLolohaVariant()) {
+    std::fprintf(stderr,
+                 "--protocol: this example walks the LOLOHA client/server "
+                 "loop; got '%s'\n",
+                 spec.ToString().c_str());
+    return 2;
+  }
+  const double eps_perm = spec.eps_perm;
 
-  // OLOLOHA picks the variance-optimal hash range g (Eq. 6); BiLOLOHA
-  // would fix g = 2 for the strongest longitudinal protection.
-  const LolohaParams params =
-      MakeOLolohaParams(kDomain, eps_perm, eps_first);
-  std::printf("LOLOHA parameters: g=%u  eps_irr=%.4f  (worst-case "
+  const LolohaParams params = LolohaParamsForSpec(spec, kDomain);
+  std::printf("%s (spec \"%s\"): g=%u  eps_irr=%.4f  (worst-case "
               "longitudinal budget g*eps_inf = %.2f)\n",
-              params.g, params.eps_irr,
-              params.WorstCaseLongitudinalEpsilon());
+              spec.DisplayName().c_str(), spec.ToString().c_str(), params.g,
+              params.eps_irr, params.WorstCaseLongitudinalEpsilon());
 
   // A fleet of n users; user u's true value drifts over time.
   constexpr uint32_t kUsers = 20000;

@@ -12,8 +12,10 @@
 // several times the throughput.
 //
 //   $ ./build/examples/telemetry_monitoring
+//   $ ./build/examples/telemetry_monitoring --protocol=biloloha:eps_perm=1,eps_first=0.4
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,11 +27,13 @@
 #include "server/monitor.h"
 #include "shuffle/amplification.h"
 #include "sim/metrics.h"
+#include "sim/protocol_spec.h"
+#include "util/cli.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 #include "wire/encoding.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace loloha;
 
   // The Syn workload: k = 360 usage buckets (minutes in 6h), users change
@@ -37,23 +41,35 @@ int main() {
   const Dataset data = GenerateSyn(/*n=*/5000, /*k=*/360, /*tau=*/8,
                                    /*p_change=*/0.25, /*seed=*/7);
 
-  // Budget: ε∞ = 1.5 per hash cell, first report at ε1 = 0.6.
-  const double eps_perm = 1.5;
-  const double eps_first = 0.6;
-  const LolohaParams params =
-      MakeOLolohaParams(data.k(), eps_perm, eps_first);
-  std::printf("protocol: OLOLOHA g=%u, report size %zu bytes on the wire\n",
-              params.g, EncodeLolohaReport(0).size());
+  // Budget: ε∞ = 1.5 per hash cell, first report at ε1 = 0.6. Any LOLOHA
+  // spec works here; the server side below is built from the same spec.
+  const CommandLine cli(argc, argv);
+  const ProtocolSpec spec = ProtocolSpec::MustParse(
+      cli.GetString("protocol", "ololoha:eps_perm=1.5,eps_first=0.6"));
+  if (!spec.IsLolohaVariant()) {
+    std::fprintf(stderr,
+                 "--protocol: this deployment runs the LOLOHA collector; "
+                 "got '%s'\n",
+                 spec.ToString().c_str());
+    return 2;
+  }
+  const double eps_perm = spec.eps_perm;
+  const LolohaParams params = LolohaParamsForSpec(spec, data.k());
+  std::printf("protocol: %s g=%u, report size %zu bytes on the wire\n",
+              spec.DisplayName().c_str(), params.g,
+              EncodeLolohaReport(0).size());
 
   Rng rng(99);
   std::vector<LolohaClient> clients;
   clients.reserve(data.n());
 
-  // The collector borrows a process-wide pool for its batched ingestion.
+  // The collector borrows a process-wide pool for its batched ingestion;
+  // the spec string is all MakeCollector needs besides the domain size.
   ThreadPool pool(ThreadPool::HardwareThreads());
   CollectorOptions server_options;
   server_options.pool = &pool;
-  LolohaCollector collector(params, server_options);
+  const std::unique_ptr<Collector> collector =
+      MakeCollector(spec, data.k(), server_options);
 
   // Registration phase: every client's hello ships as one batch.
   std::vector<Message> hellos;
@@ -62,7 +78,7 @@ int main() {
     clients.emplace_back(params, rng);
     hellos.push_back(Message{u, EncodeLolohaHello(clients[u].hash())});
   }
-  if (collector.IngestBatch(hellos) != data.n()) {
+  if (collector->IngestBatch(hellos) != data.n()) {
     std::fprintf(stderr, "hello batch partially rejected\n");
     return 1;
   }
@@ -81,8 +97,8 @@ int main() {
           Message{u, EncodeLolohaReport(clients[u].Report(values[u], rng))});
     }
     ShuffleReports(batch, rng);
-    collector.IngestBatch(batch);
-    estimates.push_back(collector.EndStep());
+    collector->IngestBatch(batch);
+    estimates.push_back(collector->EndStep());
   }
 
   // Trend monitoring over the whole series at once (batched Observe):
@@ -121,7 +137,7 @@ int main() {
               eps_perm, data.n(),
               AmplifiedEpsilon(eps_perm, data.n(), 1e-6));
 
-  const CollectorStats& stats = collector.stats();
+  const CollectorStats& stats = collector->stats();
   std::printf("collector: %llu hellos, %llu reports, %llu rejected\n",
               static_cast<unsigned long long>(stats.hellos_accepted),
               static_cast<unsigned long long>(stats.reports_accepted),

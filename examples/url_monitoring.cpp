@@ -14,6 +14,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/loloha.h"
@@ -40,15 +42,18 @@ int main() {
   const double eps_perm = 2.0;
   const double eps_first = 1.0;
 
+  // Every contender is one declarative spec string; the factory resolves
+  // names, budgets, and protocol extras.
+  const std::string budgets = ":eps_perm=2,eps_first=1";
   TextTable table({"protocol", "bits/report", "worst-case budget",
                    "measured eps_avg", "MSE_avg"});
-  for (const ProtocolId id :
-       {ProtocolId::kRappor, ProtocolId::kLOsue, ProtocolId::kBiLoloha,
-        ProtocolId::kOLoloha}) {
-    const RunResult result =
-        MakeRunner(id, eps_perm, eps_first)->Run(data, 3);
+  for (const std::string& name :
+       {std::string("l-sue"), std::string("l-osue"), std::string("biloloha"),
+        std::string("ololoha")}) {
+    const ProtocolSpec spec = ProtocolSpec::MustParse(name + budgets);
+    const RunResult result = MakeRunner(spec)->Run(data, 3);
     const ProtocolCharacteristics chars =
-        Characteristics(id, k, k, 1, eps_perm, eps_first);
+        Characteristics(spec.id, k, k, 1, spec.eps_perm, spec.eps_first);
     table.AddRow({result.protocol,
                   FormatDouble(result.comm_bits_per_report, 6),
                   FormatDouble(chars.worst_case_budget, 6),
@@ -71,12 +76,14 @@ int main() {
   // Part 2 — the same workload through the deployment surface: batched
   // wire ingestion + trend monitoring.
   // -------------------------------------------------------------------
-  const LolohaParams params = MakeBiLolohaParams(k, eps_perm, eps_first);
+  const ProtocolSpec winner = ProtocolSpec::MustParse("biloloha" + budgets);
+  const LolohaParams params = LolohaParamsForSpec(winner, k);
   Rng rng(23);
   ThreadPool pool(ThreadPool::HardwareThreads());
   CollectorOptions server_options;
   server_options.pool = &pool;
-  LolohaCollector collector(params, server_options);
+  const std::unique_ptr<Collector> collector =
+      MakeCollector(winner, k, server_options);
 
   std::vector<LolohaClient> clients;
   clients.reserve(data.n());
@@ -86,7 +93,7 @@ int main() {
     clients.emplace_back(params, rng);
     hellos.push_back(Message{u, EncodeLolohaHello(clients[u].hash())});
   }
-  collector.IngestBatch(hellos);
+  collector->IngestBatch(hellos);
 
   TrendMonitor monitor(k, data.n(), params.EstimatorFirst(), params.irr,
                        /*smoothing=*/0.4, /*z_threshold=*/5.0);
@@ -102,8 +109,8 @@ int main() {
           Message{u, EncodeLolohaReport(clients[u].Report(values[u], rng))});
     }
     const auto start = std::chrono::steady_clock::now();
-    ingested += collector.IngestBatch(batch);
-    estimates.push_back(collector.EndStep());
+    ingested += collector->IngestBatch(batch);
+    estimates.push_back(collector->EndStep());
     ingest_seconds += std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - start)
                           .count();

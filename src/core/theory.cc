@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/loloha_params.h"
 #include "longitudinal/chain.h"
 #include "oracle/estimator.h"
+#include "oracle/params.h"
 #include "util/check.h"
 
 namespace loloha {
@@ -30,6 +32,8 @@ std::string ProtocolName(ProtocolId id) {
       return "1BitFlipPM";
     case ProtocolId::kBBitFlipPm:
       return "bBitFlipPM";
+    case ProtocolId::kNaiveOlh:
+      return "Naive-OLH";
   }
   return "?";
 }
@@ -76,6 +80,14 @@ double ProtocolApproxVariance(ProtocolId id, double n, uint32_t k,
       return DBitFlipApproxVariance(n, /*b=*/k, /*d=*/1, eps_perm);
     case ProtocolId::kBBitFlipPm:
       return DBitFlipApproxVariance(n, /*b=*/k, /*d=*/k, eps_perm);
+    case ProtocolId::kNaiveOlh: {
+      // One-shot OLH at eps_perm per step: estimator parameters (p, 1/g).
+      const uint32_t g = OlhRange(eps_perm);
+      const double p =
+          std::exp(eps_perm) / (std::exp(eps_perm) + static_cast<double>(g) - 1.0);
+      return OneRoundVariance(
+          n, /*f=*/0.0, PerturbParams{p, 1.0 / static_cast<double>(g)});
+    }
   }
   LOLOHA_CHECK_MSG(false, "unknown protocol");
   return 0.0;
@@ -122,6 +134,12 @@ ProtocolCharacteristics Characteristics(ProtocolId id, uint32_t k, uint32_t b,
           static_cast<double>(std::min(dd + 1, b)) * eps_perm;
       break;
     }
+    case ProtocolId::kNaiveOlh:
+      // Sequential composition: tau * eps_perm, unbounded in tau.
+      out.comm_bits_per_report = std::ceil(std::log2(OlhRange(eps_perm)));
+      out.server_runtime = std::string("n k");
+      out.worst_case_budget = std::numeric_limits<double>::infinity();
+      break;
   }
   return out;
 }

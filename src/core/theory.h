@@ -23,6 +23,7 @@ enum class ProtocolId {
   kOLoloha,      // LOLOHA, g from Eq. (6)
   kOneBitFlipPm, // dBitFlipPM, d = 1
   kBBitFlipPm,   // dBitFlipPM, d = b
+  kNaiveOlh,     // Sec. 2.4 strawman: fresh one-shot OLH per step
 };
 
 // Display name matching the paper's legends.

@@ -1,6 +1,8 @@
 #include "server/collector.h"
 
 #include "oracle/estimator.h"
+#include "sim/protocol_spec.h"
+#include "util/check.h"
 
 namespace loloha {
 
@@ -324,6 +326,29 @@ std::vector<double> DBitFlipCollector::EndStep() {
   support_.assign(b, 0);
   ++step_;
   return estimates;
+}
+
+std::unique_ptr<Collector> MakeCollector(const ProtocolSpec& spec, uint32_t k,
+                                         const CollectorOptions& options) {
+  std::string error;
+  LOLOHA_CHECK_MSG(spec.Validate(&error), error.c_str());
+  switch (spec.id) {
+    case ProtocolId::kBiLoloha:
+    case ProtocolId::kOLoloha:
+      return std::make_unique<LolohaCollector>(LolohaParamsForSpec(spec, k),
+                                               options);
+    case ProtocolId::kOneBitFlipPm:
+    case ProtocolId::kBBitFlipPm: {
+      const uint32_t b = ResolveBuckets(spec, k);
+      const uint32_t d = ResolveD(spec, b);
+      return std::make_unique<DBitFlipCollector>(Bucketizer(k, b), d,
+                                                 spec.eps_perm, options);
+    }
+    default:
+      LOLOHA_CHECK_MSG(false, "no wire collector serves this protocol; "
+                              "supported: loloha and dbitflip variants");
+      return nullptr;
+  }
 }
 
 }  // namespace loloha

@@ -6,10 +6,13 @@
 // aggregation is streaming — a report is folded into the support counts
 // on arrival and never stored.
 //
-// Two collectors are provided: `LolohaCollector` (the paper's protocol;
-// users send one hello carrying their hash, then one cell per step) and
-// `DBitFlipCollector` (hello carries the sampled bucket set, then d bits
-// per step).
+// Both collectors implement the protocol-agnostic `Collector` interface:
+// `LolohaCollector` (the paper's protocol; users send one hello carrying
+// their hash, then one cell per step) and `DBitFlipCollector` (hello
+// carries the sampled bucket set, then d bits per step). Deployments
+// construct them from a declarative ProtocolSpec via MakeCollector(), so
+// ingestion glue (batchers, transport fronts) never names a concrete
+// collector type.
 //
 // Two ingestion paths produce byte-identical stats and estimates:
 //
@@ -27,6 +30,7 @@
 #define LOLOHA_SERVER_COLLECTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -40,6 +44,8 @@
 #include "wire/encoding.h"
 
 namespace loloha {
+
+struct ProtocolSpec;
 
 // Why a message was rejected (for observability; counters are cumulative).
 struct CollectorStats {
@@ -71,35 +77,56 @@ struct CollectorOptions {
   uint32_t num_shards = 0;
 };
 
-class LolohaCollector {
+// The server-side service surface, independent of which protocol's wire
+// messages it consumes. Every implementation keeps two ingestion paths
+// that produce byte-identical stats and estimates (see the file comment).
+class Collector {
+ public:
+  virtual ~Collector() = default;
+
+  // Registers a user's one-time protocol state. Rejects malformed bytes
+  // and re-registration with *different* state (idempotent on identical).
+  virtual bool HandleHello(uint64_t user_id, const std::string& bytes) = 0;
+
+  // Folds one step report into the current step. Rejects unknown users,
+  // malformed bytes, and second reports within the same step.
+  virtual bool HandleReport(uint64_t user_id, const std::string& bytes) = 0;
+
+  // Batched ingestion: message for message and counter for counter
+  // equivalent to dispatching each message through HandleHello (by hello
+  // tag) or HandleReport (any other payload) in order, but the accepted
+  // reports' accumulation runs sharded on the pool. Returns the number of
+  // accepted messages. A batch never spans a step boundary — call
+  // EndStep() between steps as usual.
+  virtual uint64_t IngestBatch(std::span<const Message> batch) = 0;
+
+  // Closes the current step and returns its estimates. Resets per-step
+  // state.
+  virtual std::vector<double> EndStep() = 0;
+
+  virtual const CollectorStats& stats() const = 0;
+  virtual uint64_t registered_users() const = 0;
+};
+
+class LolohaCollector : public Collector {
  public:
   explicit LolohaCollector(const LolohaParams& params,
                            const CollectorOptions& options = {});
 
-  // Registers a user's hash function. Rejects malformed bytes and
-  // re-registration with a *different* hash (idempotent on identical).
-  bool HandleHello(uint64_t user_id, const std::string& bytes);
+  bool HandleHello(uint64_t user_id, const std::string& bytes) override;
 
-  // Folds one step report into the current step. Rejects unknown users,
-  // malformed bytes, and second reports within the same step.
-  bool HandleReport(uint64_t user_id, const std::string& bytes);
+  bool HandleReport(uint64_t user_id, const std::string& bytes) override;
 
-  // Batched ingestion: message for message and counter for counter
-  // equivalent to dispatching each message through HandleHello (tag
-  // kLolohaHello) or HandleReport (any other payload) in order, but the
-  // accepted reports' O(k) support scans run sharded on the pool through
-  // the hash-row + support-count SIMD kernels. Returns the number of
-  // accepted messages. A batch never spans a step boundary — call
-  // EndStep() between steps as usual.
-  uint64_t IngestBatch(std::span<const Message> batch);
+  // The accepted reports' O(k) support scans run through the hash-row +
+  // support-count SIMD kernels.
+  uint64_t IngestBatch(std::span<const Message> batch) override;
 
-  // Closes the current step and returns its estimates (empty vector if no
-  // reports arrived). Resets per-step state.
-  std::vector<double> EndStep();
+  // Returns an empty vector if no reports arrived this step.
+  std::vector<double> EndStep() override;
 
   uint64_t reports_this_step() const { return reports_this_step_; }
-  uint64_t registered_users() const { return hashes_.size(); }
-  const CollectorStats& stats() const { return stats_; }
+  uint64_t registered_users() const override { return hashes_.size(); }
+  const CollectorStats& stats() const override { return stats_; }
 
  private:
   // One accepted (but not yet accumulated) batch report. Pointers into
@@ -127,24 +154,23 @@ class LolohaCollector {
   void MergeShardSupport();
 };
 
-class DBitFlipCollector {
+class DBitFlipCollector : public Collector {
  public:
   DBitFlipCollector(const Bucketizer& bucketizer, uint32_t d, double eps_perm,
                     const CollectorOptions& options = {});
 
-  bool HandleHello(uint64_t user_id, const std::string& bytes);
-  bool HandleReport(uint64_t user_id, const std::string& bytes);
+  bool HandleHello(uint64_t user_id, const std::string& bytes) override;
+  bool HandleReport(uint64_t user_id, const std::string& bytes) override;
 
-  // Batched ingestion; same contract as LolohaCollector::IngestBatch
-  // (hellos dispatch on tag kDBitHello). Accepted reports scatter their d
-  // bits into per-shard privatized support / sampler rows on the pool.
-  uint64_t IngestBatch(std::span<const Message> batch);
+  // Accepted reports scatter their d bits into per-shard privatized
+  // support / sampler rows on the pool.
+  uint64_t IngestBatch(std::span<const Message> batch) override;
 
   // Returns the estimated b-bin bucket histogram for the closed step.
-  std::vector<double> EndStep();
+  std::vector<double> EndStep() override;
 
-  const CollectorStats& stats() const { return stats_; }
-  uint64_t registered_users() const { return sampled_.size(); }
+  const CollectorStats& stats() const override { return stats_; }
+  uint64_t registered_users() const override { return sampled_.size(); }
 
  private:
   struct PendingReport {
@@ -171,6 +197,14 @@ class DBitFlipCollector {
 
   void MergeShardRows();
 };
+
+// Builds the collector serving `spec` over a domain of size k (the domain
+// size is a deployment property, not part of the spec). Supported specs:
+// the LOLOHA variants (hash range from the spec) and the dBitFlipPM
+// variants (bucket layout and d from the spec). Protocols without a wire
+// collector (the UE family, L-GRR, Naive-OLH) CHECK-fail.
+std::unique_ptr<Collector> MakeCollector(const ProtocolSpec& spec, uint32_t k,
+                                         const CollectorOptions& options = {});
 
 }  // namespace loloha
 

@@ -64,4 +64,15 @@ std::vector<std::vector<double>> RunMonteCarloGrid(
   return results;
 }
 
+std::vector<std::vector<double>> RunMonteCarloGrid(
+    std::span<const ProtocolSpec> specs, const RunnerOptions& runner_options,
+    const Dataset& data, const MonteCarloOptions& options,
+    const MonteCarloMetric& metric) {
+  return RunMonteCarloGrid(
+      [&specs, &runner_options](uint32_t config) {
+        return MakeRunner(specs[config], runner_options);
+      },
+      data, static_cast<uint32_t>(specs.size()), options, metric);
+}
+
 }  // namespace loloha

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "data/dataset.h"
@@ -69,6 +70,14 @@ using MonteCarloMetric =
 std::vector<std::vector<double>> RunMonteCarloGrid(
     const MonteCarloRunnerFactory& factory, const Dataset& data,
     uint32_t num_configs, const MonteCarloOptions& options,
+    const MonteCarloMetric& metric);
+
+// Declarative form: one config per ProtocolSpec, instantiated through
+// MakeRunner(spec, runner_options). What the spec-string drivers
+// (bench/bench_common.cc, examples) call.
+std::vector<std::vector<double>> RunMonteCarloGrid(
+    std::span<const ProtocolSpec> specs, const RunnerOptions& runner_options,
+    const Dataset& data, const MonteCarloOptions& options,
     const MonteCarloMetric& metric);
 
 }  // namespace loloha

@@ -1,0 +1,361 @@
+#include "sim/protocol_spec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "core/loloha_params.h"
+#include "util/check.h"
+
+namespace loloha {
+
+namespace {
+
+// Canonical names, one per ProtocolId, in enum order.
+constexpr ProtocolSpecName kRegistry[] = {
+    {ProtocolId::kRappor, "l-sue"},
+    {ProtocolId::kLOsue, "l-osue"},
+    {ProtocolId::kLSoue, "l-soue"},
+    {ProtocolId::kLOue, "l-oue"},
+    {ProtocolId::kLGrr, "l-grr"},
+    {ProtocolId::kBiLoloha, "biloloha"},
+    {ProtocolId::kOLoloha, "ololoha"},
+    {ProtocolId::kOneBitFlipPm, "1bitflip"},
+    {ProtocolId::kBBitFlipPm, "bbitflip"},
+    {ProtocolId::kNaiveOlh, "naive-olh"},
+};
+
+struct SpecAlias {
+  const char* alias;
+  ProtocolId id;
+};
+
+constexpr SpecAlias kAliases[] = {
+    {"rappor", ProtocolId::kRappor},
+    {"1bitflippm", ProtocolId::kOneBitFlipPm},
+    {"bbitflippm", ProtocolId::kBBitFlipPm},
+    {"dbitflip", ProtocolId::kBBitFlipPm},
+    {"dbitflippm", ProtocolId::kBBitFlipPm},
+};
+
+std::string Lowered(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool IsLoloha(ProtocolId id) {
+  return id == ProtocolId::kBiLoloha || id == ProtocolId::kOLoloha;
+}
+
+bool IsDBitFlip(ProtocolId id) {
+  return id == ProtocolId::kOneBitFlipPm || id == ProtocolId::kBBitFlipPm;
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+// Shortest decimal form that parses back to exactly `value`. to_chars is
+// locale-independent (printf %g would emit a decimal comma under some
+// LC_NUMERIC settings, colliding with the grammar's pair separator) and
+// its default form is the shortest round-trip representation.
+std::string FormatShortest(double value) {
+  char buffer[64];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return std::string(buffer, result.ptr);
+}
+
+bool ParseDoubleValue(std::string_view text, double* value) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto result = std::from_chars(begin, end, *value);
+  return result.ec == std::errc() && result.ptr == end;
+}
+
+bool ParseU32Value(std::string_view text, uint32_t* value) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto result = std::from_chars(begin, end, *value);
+  return result.ec == std::errc() && result.ptr == end;
+}
+
+}  // namespace
+
+std::span<const ProtocolSpecName> ProtocolSpecRegistry() {
+  return kRegistry;
+}
+
+const char* ProtocolSpecCanonicalName(ProtocolId id) {
+  for (const ProtocolSpecName& entry : kRegistry) {
+    if (entry.id == id) return entry.name;
+  }
+  LOLOHA_CHECK_MSG(false, "ProtocolId missing from the spec registry");
+  return "?";
+}
+
+bool ProtocolIdFromSpecName(std::string_view name, ProtocolId* id) {
+  const std::string lowered = Lowered(name);
+  for (const ProtocolSpecName& entry : kRegistry) {
+    if (lowered == entry.name) {
+      *id = entry.id;
+      return true;
+    }
+  }
+  for (const SpecAlias& alias : kAliases) {
+    if (lowered == alias.alias) {
+      *id = alias.id;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ProtocolSpec::IsTwoRound() const {
+  return !IsDBitFlip(id) && id != ProtocolId::kNaiveOlh;
+}
+
+bool ProtocolSpec::IsLolohaVariant() const { return IsLoloha(id); }
+
+bool ProtocolSpec::IsDBitFlipVariant() const { return IsDBitFlip(id); }
+
+ProtocolSpec ProtocolSpec::Canonicalized() const {
+  ProtocolSpec out = *this;
+  if (out.id == ProtocolId::kBiLoloha) out.g = 2;
+  if (out.id == ProtocolId::kOneBitFlipPm) out.d = 1;
+  if (!out.IsTwoRound()) out.eps_first = 0.0;
+  return out;
+}
+
+bool ProtocolSpec::Validate(std::string* error) const {
+  if (!std::isfinite(eps_perm) || eps_perm <= 0.0) {
+    return Fail(error, "eps_perm must be a positive finite number");
+  }
+  if (IsTwoRound()) {
+    if (!std::isfinite(eps_first) || eps_first <= 0.0 ||
+        eps_first >= eps_perm) {
+      return Fail(error, "eps_first must satisfy 0 < eps_first < eps_perm");
+    }
+  }
+  if (IsLoloha(id)) {
+    if (g == 1) return Fail(error, "g must be 0 (resolve) or >= 2");
+    if (id == ProtocolId::kBiLoloha && g != 0 && g != 2) {
+      return Fail(error, "biloloha fixes g = 2; use ololoha for other g");
+    }
+  } else if (g != 0) {
+    return Fail(error, "g applies only to the LOLOHA variants");
+  }
+  if (IsDBitFlip(id)) {
+    if (buckets == 1) return Fail(error, "buckets must be 0 (resolve) or >= 2");
+    if (bucket_divisor < 1) return Fail(error, "bucket_divisor must be >= 1");
+    if (id == ProtocolId::kOneBitFlipPm && d > 1) {
+      return Fail(error, "1bitflip fixes d = 1; use bbitflip for other d");
+    }
+  } else {
+    if (d != 0) return Fail(error, "d applies only to the dBitFlipPM variants");
+    if (buckets != 0 || bucket_divisor != 1) {
+      return Fail(error,
+                  "buckets/bucket_divisor apply only to the dBitFlipPM "
+                  "variants");
+    }
+  }
+  return true;
+}
+
+bool ProtocolSpec::Parse(std::string_view text, ProtocolSpec* spec,
+                         std::string* error) {
+  ProtocolSpec out;
+  const size_t colon = text.find(':');
+  const std::string_view name =
+      colon == std::string_view::npos ? text : text.substr(0, colon);
+  if (name.empty()) return Fail(error, "empty protocol name");
+
+  const std::string lowered_name = Lowered(name);
+  // "loloha" is the g-parameterized family name: g = 2 selects BiLOLOHA,
+  // anything else OLOLOHA with that pinned g (0 = Eq. 6). Resolved after
+  // the keys are read.
+  const bool loloha_family = lowered_name == "loloha";
+  if (!loloha_family && !ProtocolIdFromSpecName(lowered_name, &out.id)) {
+    return Fail(error, "unknown protocol name '" + lowered_name + "'");
+  }
+
+  enum Key { kEpsPerm, kEpsFirst, kG, kD, kBuckets, kBucketDivisor, kNumKeys };
+  bool seen[kNumKeys] = {};
+  std::string_view rest = colon == std::string_view::npos
+                              ? std::string_view()
+                              : text.substr(colon + 1);
+  bool more = colon != std::string_view::npos;
+  while (more) {
+    const size_t comma = rest.find(',');
+    const std::string_view pair =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    more = comma != std::string_view::npos;
+    rest = more ? rest.substr(comma + 1) : std::string_view();
+    if (pair.empty()) {
+      return Fail(error, "expected key=value after ':' or ','");
+    }
+
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 == pair.size()) {
+      return Fail(error, "malformed key=value pair '" + std::string(pair) +
+                             "'");
+    }
+    const std::string key = Lowered(pair.substr(0, eq));
+    const std::string_view value = pair.substr(eq + 1);
+
+    Key which;
+    if (key == "eps_perm") {
+      which = kEpsPerm;
+    } else if (key == "eps_first") {
+      which = kEpsFirst;
+    } else if (key == "g") {
+      which = kG;
+    } else if (key == "d") {
+      which = kD;
+    } else if (key == "buckets") {
+      which = kBuckets;
+    } else if (key == "bucket_divisor") {
+      which = kBucketDivisor;
+    } else {
+      return Fail(error, "unknown key '" + key + "'");
+    }
+    if (seen[which]) return Fail(error, "duplicate key '" + key + "'");
+    seen[which] = true;
+
+    bool ok = true;
+    switch (which) {
+      case kEpsPerm:
+        ok = ParseDoubleValue(value, &out.eps_perm);
+        break;
+      case kEpsFirst:
+        ok = ParseDoubleValue(value, &out.eps_first);
+        break;
+      case kG:
+        ok = ParseU32Value(value, &out.g);
+        break;
+      case kD:
+        ok = ParseU32Value(value, &out.d);
+        break;
+      case kBuckets:
+        ok = ParseU32Value(value, &out.buckets);
+        break;
+      case kBucketDivisor:
+        ok = ParseU32Value(value, &out.bucket_divisor);
+        break;
+      case kNumKeys:
+        ok = false;
+        break;
+    }
+    if (!ok) {
+      return Fail(error, "malformed value for '" + key + "': '" +
+                             std::string(value) + "'");
+    }
+  }
+
+  if (loloha_family) {
+    out.id = out.g == 2 ? ProtocolId::kBiLoloha : ProtocolId::kOLoloha;
+  }
+  // Explicit keys that contradict the id are errors; the id-determined
+  // defaults themselves (and the g=0 "resolve" sentinel, which Validate
+  // also accepts) are pinned by Canonicalized() below.
+  if (out.id == ProtocolId::kBiLoloha && seen[kG] && out.g != 0 &&
+      out.g != 2) {
+    return Fail(error, "biloloha fixes g = 2; use ololoha for other g");
+  }
+  if (out.id == ProtocolId::kOneBitFlipPm && seen[kD] && out.d != 1) {
+    return Fail(error, "1bitflip fixes d = 1; use bbitflip for other d");
+  }
+  if (!out.IsTwoRound() && seen[kEpsFirst]) {
+    return Fail(error, "eps_first does not apply to the one-round "
+                       "protocol '" + lowered_name + "'");
+  }
+  out = out.Canonicalized();
+  if (!out.Validate(error)) return false;
+  *spec = out;
+  return true;
+}
+
+ProtocolSpec ProtocolSpec::MustParse(std::string_view text) {
+  ProtocolSpec spec;
+  std::string error;
+  LOLOHA_CHECK_MSG(Parse(text, &spec, &error),
+                   ("bad protocol spec '" + std::string(text) + "': " + error)
+                       .c_str());
+  return spec;
+}
+
+std::string ProtocolSpec::ToString() const {
+  std::string out = ProtocolSpecCanonicalName(id);
+  out += ":eps_perm=" + FormatShortest(eps_perm);
+  if (IsTwoRound()) out += ",eps_first=" + FormatShortest(eps_first);
+  if (g != 0) out += ",g=" + std::to_string(g);
+  if (d != 0) out += ",d=" + std::to_string(d);
+  if (buckets != 0) out += ",buckets=" + std::to_string(buckets);
+  if (bucket_divisor != 1) {
+    out += ",bucket_divisor=" + std::to_string(bucket_divisor);
+  }
+  return out;
+}
+
+std::string ProtocolSpec::DisplayName() const {
+  switch (id) {
+    case ProtocolId::kOLoloha:
+      if (g != 0) return "LOLOHA(g=" + std::to_string(g) + ")";
+      return "OLOLOHA";
+    case ProtocolId::kBBitFlipPm:
+      if (d != 0) return std::to_string(d) + "BitFlipPM";
+      return "bBitFlipPM";
+    default:
+      return ProtocolName(id);
+  }
+}
+
+uint32_t ResolveLolohaG(const ProtocolSpec& spec) {
+  LOLOHA_CHECK_MSG(IsLoloha(spec.id), "spec is not a LOLOHA variant");
+  if (spec.id == ProtocolId::kBiLoloha) return 2;
+  return spec.g == 0 ? OptimalLolohaG(spec.eps_perm, spec.eps_first) : spec.g;
+}
+
+uint32_t ResolveBuckets(const ProtocolSpec& spec, uint32_t k) {
+  LOLOHA_CHECK_MSG(IsDBitFlip(spec.id), "spec is not a dBitFlipPM variant");
+  if (spec.buckets != 0) {
+    LOLOHA_CHECK(spec.buckets >= 2 && spec.buckets <= k);
+    return spec.buckets;
+  }
+  LOLOHA_CHECK(spec.bucket_divisor >= 1);
+  const uint32_t b = k / spec.bucket_divisor;
+  LOLOHA_CHECK_MSG(b >= 2, "bucket divisor too large for this domain");
+  return b;
+}
+
+uint32_t ResolveD(const ProtocolSpec& spec, uint32_t b) {
+  LOLOHA_CHECK_MSG(IsDBitFlip(spec.id), "spec is not a dBitFlipPM variant");
+  if (spec.id == ProtocolId::kOneBitFlipPm) return 1;
+  const uint32_t d = spec.d == 0 ? b : spec.d;
+  LOLOHA_CHECK_MSG(d >= 1 && d <= b, "d must be in [1, b]");
+  return d;
+}
+
+LolohaParams LolohaParamsForSpec(const ProtocolSpec& spec, uint32_t k) {
+  return MakeLolohaParams(k, ResolveLolohaG(spec), spec.eps_perm,
+                          spec.eps_first);
+}
+
+double ApproxVarianceForSpec(const ProtocolSpec& spec, double n, uint32_t k) {
+  if (IsLoloha(spec.id)) {
+    return LolohaApproximateVariance(n, ResolveLolohaG(spec), spec.eps_perm,
+                                     spec.eps_first);
+  }
+  if (IsDBitFlip(spec.id)) {
+    const uint32_t b = ResolveBuckets(spec, k);
+    return DBitFlipApproxVariance(n, b, ResolveD(spec, b), spec.eps_perm);
+  }
+  return ProtocolApproxVariance(spec.id, n, k, spec.eps_perm,
+                                spec.eps_first);
+}
+
+}  // namespace loloha

@@ -1,0 +1,141 @@
+// ProtocolSpec: the library's one declarative protocol description.
+//
+// A spec names a protocol (by its registry name) together with its privacy
+// budgets and protocol extras, and every construction path — simulation
+// runners (sim/runner.h), wire collectors (server/collector.h), and the
+// bench/example drivers — builds from it. New workloads are a spec string,
+// not a new binary.
+//
+// Grammar (see README "Architecture"):
+//
+//   spec       := name [ ":" key "=" value { "," key "=" value } ]
+//   name       := registry name or alias (case-insensitive)
+//   key        := "eps_perm" | "eps_first" | "g" | "d" | "buckets"
+//                 | "bucket_divisor"
+//
+// Examples:
+//
+//   "ololoha:eps_perm=2,eps_first=1"        LOLOHA, g from Eq. (6)
+//   "loloha:g=2,eps_perm=1.0,eps_first=0.5" BiLOLOHA (g = 2 selects it)
+//   "l-osue:eps_perm=1,eps_first=0.4"       the paper's optimized UE chain
+//   "bbitflip:eps_perm=2,bucket_divisor=4"  dBitFlipPM, b = k/4, d = b
+//
+// Parse() validates everything that does not depend on the dataset
+// (budgets, extras on the wrong protocol, malformed numbers); the
+// dataset-dependent resolution (bucket counts vs k) happens in the
+// Resolve* helpers. ToString() produces the canonical form, and
+// Parse(ToString(spec)) == spec for every spec Parse accepts.
+
+#ifndef LOLOHA_SIM_PROTOCOL_SPEC_H_
+#define LOLOHA_SIM_PROTOCOL_SPEC_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "core/theory.h"
+
+namespace loloha {
+
+struct LolohaParams;
+
+struct ProtocolSpec {
+  ProtocolId id = ProtocolId::kBiLoloha;
+  double eps_perm = 1.0;   // ε∞ (Naive-OLH: the per-step budget)
+  double eps_first = 0.5;  // ε1; one-round protocols ignore it (Parse sets 0)
+
+  // Protocol extras. Zero means "resolve from the protocol": g from Eq. (6)
+  // for OLOLOHA, d = b for bBitFlipPM. `buckets` wins over `bucket_divisor`
+  // when nonzero; otherwise b = k / bucket_divisor.
+  uint32_t g = 0;               // LOLOHA hash range
+  uint32_t d = 0;               // dBitFlipPM bits per report
+  uint32_t buckets = 0;         // dBitFlipPM bucket count
+  uint32_t bucket_divisor = 1;  // dBitFlipPM b = k / divisor
+
+  friend bool operator==(const ProtocolSpec&, const ProtocolSpec&) = default;
+
+  // Parses `text` against the grammar above. On failure returns false and,
+  // when `error` is non-null, stores a one-line reason.
+  static bool Parse(std::string_view text, ProtocolSpec* spec,
+                    std::string* error = nullptr);
+
+  // Parse() that LOLOHA_CHECK-fails with the parse error. For call sites
+  // whose spec is a compile-time constant or already-validated user input.
+  static ProtocolSpec MustParse(std::string_view text);
+
+  // Canonical spec string; Parse(ToString()) reproduces this spec exactly
+  // for any spec Parse accepts (and for any spec passing Validate, up to
+  // the one-round eps_first canonicalization).
+  std::string ToString() const;
+
+  // Re-checks every Parse-time invariant on a hand-constructed spec.
+  bool Validate(std::string* error = nullptr) const;
+
+  // Paper-legend display name ("OLOLOHA", "L-GRR", "bBitFlipPM", ...).
+  // Reflects a pinned g ("LOLOHA(g=5)") or d ("16BitFlipPM").
+  std::string DisplayName() const;
+
+  // True for the two-round (PRR ∘ IRR) protocols, which consume eps_first.
+  bool IsTwoRound() const;
+
+  // Protocol-family predicates, for drivers that serve only one family
+  // (e.g. the LOLOHA examples) to reject foreign specs with a usage
+  // message instead of tripping a CHECK deeper in.
+  bool IsLolohaVariant() const;
+  bool IsDBitFlipVariant() const;
+
+  // Copy with the id-determined extras pinned (BiLOLOHA g = 2, 1BitFlipPM
+  // d = 1, one-round eps_first = 0) so equal protocols compare equal.
+  // Parse applies this; programmatic constructors should too.
+  ProtocolSpec Canonicalized() const;
+};
+
+// ---------------------------------------------------------------------------
+// Name registry: exactly one canonical entry per ProtocolId (names are
+// unique; covered by the registry-completeness test), plus aliases.
+// ---------------------------------------------------------------------------
+
+struct ProtocolSpecName {
+  ProtocolId id;
+  const char* name;  // canonical, lowercase
+};
+
+// Every ProtocolId with its canonical spec name, in enum order.
+std::span<const ProtocolSpecName> ProtocolSpecRegistry();
+
+// Canonical spec name for `id` ("ololoha", "l-grr", ...).
+const char* ProtocolSpecCanonicalName(ProtocolId id);
+
+// Resolves a canonical name or alias ("rappor" -> l-sue, "dbitflip" ->
+// bbitflip; case-insensitive). The g-dependent family name "loloha" is
+// resolved by Parse, not here. Returns false for unknown names.
+bool ProtocolIdFromSpecName(std::string_view name, ProtocolId* id);
+
+// ---------------------------------------------------------------------------
+// Dataset-dependent resolution.
+// ---------------------------------------------------------------------------
+
+// The LOLOHA hash range this spec runs at (BiLOLOHA: 2; OLOLOHA: the
+// pinned g, or Eq. (6) when g == 0). Checks the spec is a LOLOHA variant.
+uint32_t ResolveLolohaG(const ProtocolSpec& spec);
+
+// The dBitFlipPM bucket count for a domain of size k (explicit `buckets`
+// wins; otherwise k / bucket_divisor). Checks the result is in [2, k].
+uint32_t ResolveBuckets(const ProtocolSpec& spec, uint32_t k);
+
+// The dBitFlipPM bits-per-report for bucket count `b` (1BitFlipPM: 1;
+// bBitFlipPM: the pinned d, or b when d == 0). Checks d <= b.
+uint32_t ResolveD(const ProtocolSpec& spec, uint32_t b);
+
+// Full LOLOHA parameter derivation for this spec over domain size k.
+LolohaParams LolohaParamsForSpec(const ProtocolSpec& spec, uint32_t k);
+
+// Approximate variance V* for this spec over (n, k), honoring pinned
+// extras — a LOLOHA g or a dBitFlipPM bucket layout — that the id-only
+// ProtocolApproxVariance(id, ...) cannot see.
+double ApproxVarianceForSpec(const ProtocolSpec& spec, double n, uint32_t k);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_SIM_PROTOCOL_SPEC_H_

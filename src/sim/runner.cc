@@ -27,259 +27,301 @@ uint64_t StepSeed(uint64_t seed, uint32_t t) {
   return StreamSeed(seed, kStepStream, t);
 }
 
-// RAPPOR, L-OSUE, L-SOUE, L-OUE.
-class UeRunner : public LongitudinalRunner {
+// Per-protocol trait object for one Run: owns the protocol's population /
+// client state and supplies the only three pieces that differ between
+// protocols — the sharded per-step population scan + estimator fold, the
+// Definition-3.2 accounting, and the Table-1 metadata. The step loop,
+// shard layout, and result assembly live once, in SpecRunner::Run.
+//
+// A session is constructed after the run's PoolLease (so constructors may
+// shard their setup on the pool, e.g. the LOLOHA hash-row precompute) and
+// consumes the run seed exactly like the pre-spec per-protocol runners,
+// keeping Run(data, seed) bit-identical across the redesign.
+class ProtocolSession {
  public:
-  UeRunner(LueVariant variant, double eps_perm, double eps_first,
-           const RunnerOptions& options)
-      : variant_(variant),
-        eps_perm_(eps_perm),
-        eps_first_(eps_first),
-        options_(options) {}
+  ProtocolSession(std::string name, uint32_t bins, double comm_bits)
+      : name_(std::move(name)), bins_(bins), comm_bits_(comm_bits) {}
+  virtual ~ProtocolSession() = default;
 
-  std::string name() const override { return LueVariantName(variant_); }
+  const std::string& name() const { return name_; }
+  uint32_t bins() const { return bins_; }
+  double comm_bits_per_report() const { return comm_bits_; }
 
-  RunResult Run(const Dataset& data, uint64_t seed) const override {
-    const ChainedParams chain = LueChain(variant_, eps_perm_, eps_first_);
-    LongitudinalUePopulation population(data.k(), data.n(), chain);
-    const PoolLease pool(options_.pool, options_.num_threads);
-    const uint32_t shards = options_.num_shards;
+  // One collection step: fold every user's sanitized report into this
+  // step's estimate. `step_seed` is the step's own stream; shard layouts
+  // derive (step_seed, shard) streams so the estimate is bit-identical at
+  // any thread count.
+  virtual std::vector<double> Step(const Dataset& data, uint32_t t,
+                                   uint64_t step_seed, ThreadPool& pool,
+                                   uint32_t shards) = 0;
 
-    RunResult result;
-    result.protocol = name();
-    result.bins = data.k();
-    result.comm_bits_per_report = data.k();
-    result.estimates.reserve(data.tau());
-    for (uint32_t t = 0; t < data.tau(); ++t) {
-      result.estimates.push_back(
-          population.Step(data.StepValues(t), StepSeed(seed, t), *pool,
-                          shards));
-    }
-    result.per_user_epsilon.resize(data.n());
-    for (uint32_t u = 0; u < data.n(); ++u) {
-      result.per_user_epsilon[u] = eps_perm_ * population.DistinctMemos(u);
-    }
-    return result;
+  // Longitudinal privacy spent by `user` after every step ran.
+  virtual double AccountedEpsilon(uint32_t user) const = 0;
+
+ private:
+  std::string name_;
+  uint32_t bins_;
+  double comm_bits_;
+};
+
+// RAPPOR (L-SUE), L-OSUE, L-SOUE, L-OUE.
+class UeSession : public ProtocolSession {
+ public:
+  UeSession(LueVariant variant, const ProtocolSpec& spec, const Dataset& data)
+      : ProtocolSession(LueVariantName(variant), data.k(),
+                        static_cast<double>(data.k())),
+        eps_perm_(spec.eps_perm),
+        population_(data.k(), data.n(),
+                    LueChain(variant, spec.eps_perm, spec.eps_first)) {}
+
+  std::vector<double> Step(const Dataset& data, uint32_t t,
+                           uint64_t step_seed, ThreadPool& pool,
+                           uint32_t shards) override {
+    return population_.Step(data.StepValues(t), step_seed, pool, shards);
+  }
+
+  double AccountedEpsilon(uint32_t user) const override {
+    return eps_perm_ * population_.DistinctMemos(user);
   }
 
  private:
-  LueVariant variant_;
   double eps_perm_;
-  double eps_first_;
-  RunnerOptions options_;
+  LongitudinalUePopulation population_;
 };
 
-class GrrRunner : public LongitudinalRunner {
+class GrrSession : public ProtocolSession {
  public:
-  GrrRunner(double eps_perm, double eps_first, const RunnerOptions& options)
-      : eps_perm_(eps_perm), eps_first_(eps_first), options_(options) {}
+  GrrSession(const ProtocolSpec& spec, const Dataset& data, uint32_t shards)
+      : ProtocolSession("L-GRR", data.k(),
+                        std::ceil(std::log2(data.k()))),
+        eps_perm_(spec.eps_perm),
+        chain_(LGrrChain(spec.eps_perm, spec.eps_first, data.k())),
+        clients_(data.n(), LongitudinalGrrClient(data.k(), chain_)),
+        shard_counts_(shards, data.k()) {}
 
-  std::string name() const override { return "L-GRR"; }
-
-  RunResult Run(const Dataset& data, uint64_t seed) const override {
+  std::vector<double> Step(const Dataset& data, uint32_t t,
+                           uint64_t step_seed, ThreadPool& pool,
+                           uint32_t shards) override {
     const uint32_t k = data.k();
     const uint32_t n = data.n();
-    const ChainedParams chain = LGrrChain(eps_perm_, eps_first_, k);
-    std::vector<LongitudinalGrrClient> clients(
-        n, LongitudinalGrrClient(k, chain));
-    const PoolLease pool(options_.pool, options_.num_threads);
-    const uint32_t shards = options_.num_shards;
+    const uint32_t* values = data.StepValuesData(t);
+    shard_counts_.Clear();
+    pool.ParallelFor(shards, [&](uint32_t shard) {
+      const ShardRange range = ShardBounds(n, shards, shard);
+      Rng rng(StreamSeed(step_seed, shard, 0));
+      uint64_t* counts = shard_counts_.Row(shard);
+      for (uint64_t u = range.begin; u < range.end; ++u) {
+        ++counts[clients_[u].Report(values[u], rng)];
+      }
+    });
+    std::vector<double> counts(k, 0.0);
+    shard_counts_.MergeInto(counts.data());
+    return EstimateFrequenciesChained(counts, static_cast<double>(n),
+                                      chain_.first, chain_.second);
+  }
 
-    RunResult result;
-    result.protocol = name();
-    result.bins = k;
-    result.comm_bits_per_report = std::ceil(std::log2(k));
-    result.estimates.reserve(data.tau());
-    CacheAlignedRows<uint64_t> shard_counts(shards, k);
-    for (uint32_t t = 0; t < data.tau(); ++t) {
-      const uint32_t* values = data.StepValuesData(t);
-      shard_counts.Clear();
-      pool->ParallelFor(shards, [&](uint32_t shard) {
-        const ShardRange range = ShardBounds(n, shards, shard);
-        Rng rng(StreamSeed(StepSeed(seed, t), shard, 0));
-        uint64_t* counts = shard_counts.Row(shard);
-        for (uint64_t u = range.begin; u < range.end; ++u) {
-          ++counts[clients[u].Report(values[u], rng)];
-        }
-      });
-      std::vector<double> counts(k, 0.0);
-      shard_counts.MergeInto(counts.data());
-      result.estimates.push_back(EstimateFrequenciesChained(
-          counts, static_cast<double>(n), chain.first, chain.second));
-    }
-    result.per_user_epsilon.resize(n);
-    for (uint32_t u = 0; u < n; ++u) {
-      result.per_user_epsilon[u] = eps_perm_ * clients[u].distinct_memos();
-    }
-    return result;
+  double AccountedEpsilon(uint32_t user) const override {
+    return eps_perm_ * clients_[user].distinct_memos();
   }
 
  private:
   double eps_perm_;
-  double eps_first_;
-  RunnerOptions options_;
+  ChainedParams chain_;
+  std::vector<LongitudinalGrrClient> clients_;
+  CacheAlignedRows<uint64_t> shard_counts_;
 };
 
-class LolohaRunner : public LongitudinalRunner {
+// BiLOLOHA / OLOLOHA / pinned-g LOLOHA.
+class LolohaSession : public ProtocolSession {
  public:
-  // g == 2 -> BiLOLOHA; g == 0 -> OLOLOHA (Eq. 6); otherwise fixed g.
-  LolohaRunner(uint32_t g, double eps_perm, double eps_first,
-               const RunnerOptions& options)
-      : g_(g),
-        eps_perm_(eps_perm),
-        eps_first_(eps_first),
-        options_(options) {}
+  LolohaSession(const LolohaParams& params, const std::string& name,
+                const Dataset& data, uint64_t seed, ThreadPool& pool,
+                uint32_t shards)
+      : ProtocolSession(name, data.k(),
+                        std::ceil(std::log2(params.g))),
+        eps_perm_(params.eps_perm),
+        // Sharded hash-row precompute (the constructor's dominant cost).
+        population_(params, data.n(), seed, pool, shards) {}
 
-  std::string name() const override {
-    if (g_ == 2) return "BiLOLOHA";
-    if (g_ == 0) return "OLOLOHA";
-    return "LOLOHA(g=" + std::to_string(g_) + ")";
+  std::vector<double> Step(const Dataset& data, uint32_t t,
+                           uint64_t step_seed, ThreadPool& pool,
+                           uint32_t shards) override {
+    return population_.Step(data.StepValues(t), step_seed, pool, shards);
   }
 
-  RunResult Run(const Dataset& data, uint64_t seed) const override {
-    const uint32_t g =
-        g_ == 0 ? OptimalLolohaG(eps_perm_, eps_first_) : g_;
-    const LolohaParams params =
-        MakeLolohaParams(data.k(), g, eps_perm_, eps_first_);
-    const PoolLease pool(options_.pool, options_.num_threads);
-    const uint32_t shards = options_.num_shards;
-    // Sharded hash-row precompute (the constructor's dominant cost).
-    LolohaPopulation population(params, data.n(), seed, *pool, shards);
-
-    RunResult result;
-    result.protocol = name();
-    result.bins = data.k();
-    result.comm_bits_per_report = std::ceil(std::log2(g));
-    result.estimates.reserve(data.tau());
-    for (uint32_t t = 0; t < data.tau(); ++t) {
-      result.estimates.push_back(
-          population.Step(data.StepValues(t), StepSeed(seed, t), *pool,
-                          shards));
-    }
-    result.per_user_epsilon.resize(data.n());
-    for (uint32_t u = 0; u < data.n(); ++u) {
-      result.per_user_epsilon[u] = eps_perm_ * population.DistinctMemos(u);
-    }
-    return result;
+  double AccountedEpsilon(uint32_t user) const override {
+    return eps_perm_ * population_.DistinctMemos(user);
   }
 
  private:
-  uint32_t g_;
   double eps_perm_;
-  double eps_first_;
-  RunnerOptions options_;
+  LolohaPopulation population_;
 };
 
-class DBitFlipRunner : public LongitudinalRunner {
+class DBitFlipSession : public ProtocolSession {
  public:
-  // d == 0 means d = b ("bBitFlipPM"); d == 1 is "1BitFlipPM".
-  DBitFlipRunner(uint32_t d, double eps_perm, RunnerOptions options)
-      : d_(d), eps_perm_(eps_perm), options_(options) {}
+  DBitFlipSession(const ProtocolSpec& spec, const Dataset& data,
+                  uint32_t b, uint32_t d, Rng& rng)
+      : ProtocolSession(spec.DisplayName(), b, static_cast<double>(d)),
+        eps_perm_(spec.eps_perm),
+        population_(Bucketizer(data.k(), b), d, spec.eps_perm, data.n(),
+                    rng) {}
 
-  std::string name() const override {
-    if (d_ == 0) return "bBitFlipPM";
-    if (d_ == 1) return "1BitFlipPM";
-    return std::to_string(d_) + "BitFlipPM";
+  std::vector<double> Step(const Dataset& data, uint32_t t,
+                           uint64_t step_seed, ThreadPool& pool,
+                           uint32_t shards) override {
+    return population_.Step(data.StepValues(t), step_seed, pool, shards);
   }
 
-  RunResult Run(const Dataset& data, uint64_t seed) const override {
-    Rng rng(seed);
-    const uint32_t b = ResolveBuckets(options_, data.k());
-    const uint32_t d = d_ == 0 ? b : d_;
-    const Bucketizer bucketizer(data.k(), b);
-    DBitFlipPopulation population(bucketizer, d, eps_perm_, data.n(), rng);
-    const PoolLease pool(options_.pool, options_.num_threads);
-    const uint32_t shards = options_.num_shards;
-
-    RunResult result;
-    result.protocol = name();
-    result.bins = b;
-    result.comm_bits_per_report = d;
-    result.estimates.reserve(data.tau());
-    for (uint32_t t = 0; t < data.tau(); ++t) {
-      result.estimates.push_back(
-          population.Step(data.StepValues(t), StepSeed(seed, t), *pool,
-                          shards));
-    }
-    result.per_user_epsilon.resize(data.n());
-    for (uint32_t u = 0; u < data.n(); ++u) {
-      result.per_user_epsilon[u] = eps_perm_ * population.DistinctStates(u);
-    }
-    return result;
+  double AccountedEpsilon(uint32_t user) const override {
+    return eps_perm_ * population_.DistinctStates(user);
   }
 
  private:
-  uint32_t d_;
   double eps_perm_;
-  RunnerOptions options_;
+  DBitFlipPopulation population_;
 };
 
 // Fresh one-shot OLH every step (no memoization). Population-style
 // implementation: per-user hash rows are redrawn every step, matching a
 // user that samples a new hash per report.
-class NaiveOlhRunner : public LongitudinalRunner {
+class NaiveOlhSession : public ProtocolSession {
  public:
-  NaiveOlhRunner(double eps_per_step, const RunnerOptions& options)
-      : eps_(eps_per_step), options_(options) {}
+  NaiveOlhSession(const ProtocolSpec& spec, const Dataset& data,
+                  uint32_t shards)
+      : ProtocolSession("Naive-OLH", data.k(),
+                        std::ceil(std::log2(OlhRange(spec.eps_perm)))),
+        eps_(spec.eps_perm),
+        tau_(data.tau()),
+        g_(OlhRange(spec.eps_perm)),
+        client_(data.k(), g_, spec.eps_perm),
+        shard_support_(shards, data.k()) {
+    estimator_.p = client_.params().p;
+    estimator_.q = 1.0 / static_cast<double>(g_);
+  }
 
-  std::string name() const override { return "Naive-OLH"; }
-
-  RunResult Run(const Dataset& data, uint64_t seed) const override {
+  std::vector<double> Step(const Dataset& data, uint32_t t,
+                           uint64_t step_seed, ThreadPool& pool,
+                           uint32_t shards) override {
     const uint32_t k = data.k();
     const uint32_t n = data.n();
-    const uint32_t g = OlhRange(eps_);
-    const LhClient client(k, g, eps_);
-    PerturbParams estimator;
-    estimator.p = client.params().p;
-    estimator.q = 1.0 / static_cast<double>(g);
-    const PoolLease pool(options_.pool, options_.num_threads);
-    const uint32_t shards = options_.num_shards;
-
-    RunResult result;
-    result.protocol = name();
-    result.bins = k;
-    result.comm_bits_per_report = std::ceil(std::log2(g));
-    result.estimates.reserve(data.tau());
-    CacheAlignedRows<uint64_t> shard_support(shards, k);
-    for (uint32_t t = 0; t < data.tau(); ++t) {
-      const uint32_t* values = data.StepValuesData(t);
-      shard_support.Clear();
-      pool->ParallelFor(shards, [&](uint32_t shard) {
-        const ShardRange range = ShardBounds(n, shards, shard);
-        Rng rng(StreamSeed(StepSeed(seed, t), shard, 0));
-        uint64_t* support = shard_support.Row(shard);
-        if (g <= 65535) {
-          // Hash-row + support-count kernels (util/simd.h): evaluate the
-          // report's hash row once per user, then SIMD-compare against the
-          // reported cell in 16-bit lanes, flushing before saturation.
-          std::vector<uint16_t> row(k);
-          U16SupportAccumulator acc(k, support);
-          for (uint64_t u = range.begin; u < range.end; ++u) {
-            const LhReport report = client.Perturb(values[u], rng);
-            HashRowU16(report.hash.a(), report.hash.b(), g, k, row.data());
-            acc.Add(row.data(), static_cast<uint16_t>(report.cell));
-          }
-        } else {
-          for (uint64_t u = range.begin; u < range.end; ++u) {
-            const LhReport report = client.Perturb(values[u], rng);
-            for (uint32_t v = 0; v < k; ++v) {
-              if (report.hash(v) == report.cell) ++support[v];
-            }
+    const uint32_t g = g_;
+    const uint32_t* values = data.StepValuesData(t);
+    shard_support_.Clear();
+    pool.ParallelFor(shards, [&](uint32_t shard) {
+      const ShardRange range = ShardBounds(n, shards, shard);
+      Rng rng(StreamSeed(step_seed, shard, 0));
+      uint64_t* support = shard_support_.Row(shard);
+      if (g <= 65535) {
+        // Hash-row + support-count kernels (util/simd.h): evaluate the
+        // report's hash row once per user, then SIMD-compare against the
+        // reported cell in 16-bit lanes, flushing before saturation.
+        std::vector<uint16_t> row(k);
+        U16SupportAccumulator acc(k, support);
+        for (uint64_t u = range.begin; u < range.end; ++u) {
+          const LhReport report = client_.Perturb(values[u], rng);
+          HashRowU16(report.hash.a(), report.hash.b(), g, k, row.data());
+          acc.Add(row.data(), static_cast<uint16_t>(report.cell));
+        }
+      } else {
+        for (uint64_t u = range.begin; u < range.end; ++u) {
+          const LhReport report = client_.Perturb(values[u], rng);
+          for (uint32_t v = 0; v < k; ++v) {
+            if (report.hash(v) == report.cell) ++support[v];
           }
         }
-      });
-      std::vector<double> counts(k, 0.0);
-      shard_support.MergeInto(counts.data());
-      result.estimates.push_back(EstimateFrequencies(
-          counts, static_cast<double>(n), estimator));
-    }
+      }
+    });
+    std::vector<double> counts(k, 0.0);
+    shard_support_.MergeInto(counts.data());
+    return EstimateFrequencies(counts, static_cast<double>(n), estimator_);
+  }
+
+  double AccountedEpsilon(uint32_t) const override {
     // Sequential composition: every report spends a fresh eps.
-    result.per_user_epsilon.assign(n, eps_ * static_cast<double>(data.tau()));
-    return result;
+    return eps_ * static_cast<double>(tau_);
   }
 
  private:
   double eps_;
+  uint32_t tau_;
+  uint32_t g_;
+  LhClient client_;
+  PerturbParams estimator_;
+  CacheAlignedRows<uint64_t> shard_support_;
+};
+
+// Instantiates the per-protocol session for one Run. Construction-time
+// RNG use mirrors the pre-spec runners exactly: only dBitFlipPM draws from
+// the raw seed's sequential Rng; LOLOHA hands the seed to its sharded
+// population constructor; everything else derives per-step streams only.
+std::unique_ptr<ProtocolSession> MakeSession(const ProtocolSpec& spec,
+                                             const Dataset& data,
+                                             uint64_t seed, ThreadPool& pool,
+                                             uint32_t shards) {
+  switch (spec.id) {
+    case ProtocolId::kRappor:
+      return std::make_unique<UeSession>(LueVariant::kLSue, spec, data);
+    case ProtocolId::kLOsue:
+      return std::make_unique<UeSession>(LueVariant::kLOsue, spec, data);
+    case ProtocolId::kLSoue:
+      return std::make_unique<UeSession>(LueVariant::kLSoue, spec, data);
+    case ProtocolId::kLOue:
+      return std::make_unique<UeSession>(LueVariant::kLOue, spec, data);
+    case ProtocolId::kLGrr:
+      return std::make_unique<GrrSession>(spec, data, shards);
+    case ProtocolId::kBiLoloha:
+    case ProtocolId::kOLoloha:
+      return std::make_unique<LolohaSession>(
+          LolohaParamsForSpec(spec, data.k()), spec.DisplayName(), data,
+          seed, pool, shards);
+    case ProtocolId::kOneBitFlipPm:
+    case ProtocolId::kBBitFlipPm: {
+      Rng rng(seed);
+      const uint32_t b = ResolveBuckets(spec, data.k());
+      const uint32_t d = ResolveD(spec, b);
+      return std::make_unique<DBitFlipSession>(spec, data, b, d, rng);
+    }
+    case ProtocolId::kNaiveOlh:
+      return std::make_unique<NaiveOlhSession>(spec, data, shards);
+  }
+  LOLOHA_CHECK_MSG(false, "unknown protocol id");
+  return nullptr;
+}
+
+// The one concrete runner: every protocol executes the same step loop and
+// accounting over its session trait.
+class SpecRunner : public LongitudinalRunner {
+ public:
+  SpecRunner(const ProtocolSpec& spec, const RunnerOptions& options)
+      : spec_(spec), options_(options) {}
+
+  std::string name() const override { return spec_.DisplayName(); }
+
+  RunResult Run(const Dataset& data, uint64_t seed) const override {
+    const PoolLease pool(options_.pool, options_.num_threads);
+    const uint32_t shards = options_.num_shards;
+    const std::unique_ptr<ProtocolSession> session =
+        MakeSession(spec_, data, seed, *pool, shards);
+
+    RunResult result;
+    result.protocol = session->name();
+    result.bins = session->bins();
+    result.comm_bits_per_report = session->comm_bits_per_report();
+    result.estimates.reserve(data.tau());
+    for (uint32_t t = 0; t < data.tau(); ++t) {
+      result.estimates.push_back(
+          session->Step(data, t, StepSeed(seed, t), *pool, shards));
+    }
+    result.per_user_epsilon.resize(data.n());
+    for (uint32_t u = 0; u < data.n(); ++u) {
+      result.per_user_epsilon[u] = session->AccountedEpsilon(u);
+    }
+    return result;
+  }
+
+ private:
+  ProtocolSpec spec_;
   RunnerOptions options_;
 };
 
@@ -300,10 +342,36 @@ RunnerOptions NormalizeRunnerOptions(RunnerOptions options) {
   return options;
 }
 
+std::unique_ptr<LongitudinalRunner> MakeRunner(const ProtocolSpec& spec,
+                                               const RunnerOptions& raw_options) {
+  std::string error;
+  LOLOHA_CHECK_MSG(spec.Validate(&error), error.c_str());
+  // Resolve thread / shard defaults exactly once; session code relies on
+  // normalized (nonzero) values everywhere.
+  return std::make_unique<SpecRunner>(spec, NormalizeRunnerOptions(raw_options));
+}
+
+std::unique_ptr<LongitudinalRunner> MakeRunner(ProtocolId id, double eps_perm,
+                                               double eps_first,
+                                               const RunnerOptions& options) {
+  ProtocolSpec spec;
+  spec.id = id;
+  spec.eps_perm = eps_perm;
+  spec.eps_first = eps_first;
+  if (spec.IsDBitFlipVariant()) {
+    spec.buckets = options.buckets;
+    spec.bucket_divisor = options.bucket_divisor;
+  }
+  return MakeRunner(spec.Canonicalized(), options);
+}
+
 std::unique_ptr<LongitudinalRunner> MakeNaiveOlhRunner(
     double eps_per_step, const RunnerOptions& options) {
-  return std::make_unique<NaiveOlhRunner>(eps_per_step,
-                                          NormalizeRunnerOptions(options));
+  ProtocolSpec spec;
+  spec.id = ProtocolId::kNaiveOlh;
+  spec.eps_perm = eps_per_step;
+  spec.eps_first = 0.0;
+  return MakeRunner(spec, options);
 }
 
 uint32_t ResolveBuckets(const RunnerOptions& options, uint32_t k) {
@@ -317,40 +385,6 @@ uint32_t ResolveBuckets(const RunnerOptions& options, uint32_t k) {
   return b;
 }
 
-std::unique_ptr<LongitudinalRunner> MakeRunner(ProtocolId id, double eps_perm,
-                                               double eps_first,
-                                               const RunnerOptions& raw_options) {
-  // Resolve thread / shard defaults exactly once; runner code relies on
-  // normalized (nonzero) values everywhere below.
-  const RunnerOptions options = NormalizeRunnerOptions(raw_options);
-  switch (id) {
-    case ProtocolId::kRappor:
-      return std::make_unique<UeRunner>(LueVariant::kLSue, eps_perm,
-                                        eps_first, options);
-    case ProtocolId::kLOsue:
-      return std::make_unique<UeRunner>(LueVariant::kLOsue, eps_perm,
-                                        eps_first, options);
-    case ProtocolId::kLSoue:
-      return std::make_unique<UeRunner>(LueVariant::kLSoue, eps_perm,
-                                        eps_first, options);
-    case ProtocolId::kLOue:
-      return std::make_unique<UeRunner>(LueVariant::kLOue, eps_perm,
-                                        eps_first, options);
-    case ProtocolId::kLGrr:
-      return std::make_unique<GrrRunner>(eps_perm, eps_first, options);
-    case ProtocolId::kBiLoloha:
-      return std::make_unique<LolohaRunner>(2, eps_perm, eps_first, options);
-    case ProtocolId::kOLoloha:
-      return std::make_unique<LolohaRunner>(0, eps_perm, eps_first, options);
-    case ProtocolId::kOneBitFlipPm:
-      return std::make_unique<DBitFlipRunner>(1, eps_perm, options);
-    case ProtocolId::kBBitFlipPm:
-      return std::make_unique<DBitFlipRunner>(0, eps_perm, options);
-  }
-  LOLOHA_CHECK_MSG(false, "unknown protocol id");
-  return nullptr;
-}
-
 std::vector<ProtocolId> Figure3Protocols(bool include_dbitflip) {
   std::vector<ProtocolId> protocols;
   if (include_dbitflip) protocols.push_back(ProtocolId::kBBitFlipPm);
@@ -361,6 +395,18 @@ std::vector<ProtocolId> Figure3Protocols(bool include_dbitflip) {
   if (include_dbitflip) protocols.push_back(ProtocolId::kOneBitFlipPm);
   protocols.push_back(ProtocolId::kLGrr);
   return protocols;
+}
+
+std::vector<ProtocolSpec> Figure3Specs(bool include_dbitflip,
+                                       uint32_t bucket_divisor) {
+  std::vector<ProtocolSpec> specs;
+  for (const ProtocolId id : Figure3Protocols(include_dbitflip)) {
+    ProtocolSpec spec;
+    spec.id = id;
+    if (spec.IsDBitFlipVariant()) spec.bucket_divisor = bucket_divisor;
+    specs.push_back(spec.Canonicalized());
+  }
+  return specs;
 }
 
 }  // namespace loloha

@@ -20,6 +20,7 @@
 
 #include "core/theory.h"
 #include "data/dataset.h"
+#include "sim/protocol_spec.h"
 
 namespace loloha {
 
@@ -42,11 +43,13 @@ struct RunResult {
 // support merges stay negligible.
 inline constexpr uint32_t kDefaultNumShards = 64;
 
-// Options that depend on the dataset or deployment.
+// Options that depend on the deployment (threading only). Protocol
+// parameters — budgets and the dBitFlipPM bucket layout — live on
+// ProtocolSpec.
 struct RunnerOptions {
-  // dBitFlipPM bucket count: 0 means "b = k" (the paper's Syn/Adult
-  // setting); the paper's DB_MT/DB_DE setting is k/4, expressed by
-  // bucket_divisor = 4. An explicit `buckets` wins over the divisor.
+  // DEPRECATED: consumed only by the ProtocolId overload of MakeRunner
+  // below, which copies them into the spec's buckets/bucket_divisor.
+  // Spec-based call sites set the extras on the ProtocolSpec instead.
   uint32_t buckets = 0;
   uint32_t bucket_divisor = 1;
   // Worker threads driving each step's shards (1 = run on the calling
@@ -84,23 +87,37 @@ class LongitudinalRunner {
   virtual RunResult Run(const Dataset& data, uint64_t seed) const = 0;
 };
 
-// Factory covering every protocol of the paper's evaluation.
+// The factory: one generic sharded engine (a per-protocol session trait
+// drives the population step, the estimator fold, and the privacy
+// accounting; the step-loop/shard/accounting shape exists once) covering
+// every registry protocol — the paper's seven methods plus Naive-OLH.
+std::unique_ptr<LongitudinalRunner> MakeRunner(const ProtocolSpec& spec,
+                                               const RunnerOptions& options = {});
+
+// DEPRECATED shim: wraps (id, budgets, options extras) into a ProtocolSpec
+// and forwards. New call sites pass a ProtocolSpec directly.
 std::unique_ptr<LongitudinalRunner> MakeRunner(ProtocolId id, double eps_perm,
                                                double eps_first,
                                                const RunnerOptions& options = {});
 
-// The strawman of Sec. 2.4's introduction: a fresh one-shot OLH report at
-// `eps_per_step` every collection, no memoization. Sequential composition
-// makes the per-user longitudinal loss tau * eps_per_step — the runner
-// accounts it that way — and repeated fresh noise enables averaging
-// attacks. Used by ablations/tests to quantify what memoization buys.
+// DEPRECATED shim for the Sec. 2.4 strawman (spec name "naive-olh"): a
+// fresh one-shot OLH report at `eps_per_step` every collection, no
+// memoization. Sequential composition makes the per-user longitudinal loss
+// tau * eps_per_step — accounted that way — and repeated fresh noise
+// enables averaging attacks. Ablations/tests quantify what memoization
+// buys against it.
 std::unique_ptr<LongitudinalRunner> MakeNaiveOlhRunner(
     double eps_per_step, const RunnerOptions& options = {});
 
 // The evaluation's seven methods, in the paper's legend order.
 std::vector<ProtocolId> Figure3Protocols(bool include_dbitflip);
 
-// Resolves the dBitFlipPM bucket count for a domain of size k.
+// The same legend as ProtocolSpecs carrying the panel's dBitFlipPM bucket
+// layout; budgets are placeholders for the caller's (ε∞, ε1) grid.
+std::vector<ProtocolSpec> Figure3Specs(bool include_dbitflip,
+                                       uint32_t bucket_divisor);
+
+// DEPRECATED: use ResolveBuckets(spec, k) (sim/protocol_spec.h).
 uint32_t ResolveBuckets(const RunnerOptions& options, uint32_t k);
 
 }  // namespace loloha

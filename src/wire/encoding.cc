@@ -1,5 +1,6 @@
 #include "wire/encoding.h"
 
+#include <array>
 #include <cstring>
 
 namespace loloha {
@@ -287,14 +288,54 @@ size_t DecodeLolohaReportBatch(std::span<const Message> batch, uint32_t g,
 
 size_t DecodeDBitReportBatch(std::span<const Message> batch, uint32_t d,
                              uint8_t* bits, uint8_t* ok) {
-  size_t well_formed = 0;
-  std::vector<uint8_t> scratch;
-  for (size_t i = 0; i < batch.size(); ++i) {
-    ok[i] = DecodeDBitReport(batch[i].bytes, d, &scratch) ? 1 : 0;
-    if (ok[i]) {
-      std::memcpy(bits + i * d, scratch.data(), d);
-      ++well_formed;
+  // Packed-bits fast path. dBitFlipPM ingest is decode-bound, and every
+  // well-formed report in a batch has the same fixed size, so the batch
+  // decoder validates each payload inline (exact length, header, count,
+  // zero pad bits — the same checks DecodeDBitReport makes) and unpacks
+  // eight bits per input byte through a byte-spread table, writing
+  // straight into the caller's arena. This skips the scalar path's
+  // per-report scratch vector, per-bit shift loop, and copy-out.
+  static constexpr std::array<std::array<uint8_t, 8>, 256> kSpread = [] {
+    std::array<std::array<uint8_t, 8>, 256> table{};
+    for (uint32_t b = 0; b < 256; ++b) {
+      for (uint32_t i = 0; i < 8; ++i) {
+        table[b][i] = static_cast<uint8_t>((b >> i) & 1);
+      }
     }
+    return table;
+  }();
+  const size_t payload_bytes = (d + 7) / 8;
+  const size_t message_size = 2 + 4 + payload_bytes;  // header, count, bits
+  size_t well_formed = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ok[i] = 0;
+    const std::string& bytes = batch[i].bytes;
+    if (bytes.size() != message_size) continue;
+    const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());
+    if (data[0] != static_cast<uint8_t>(WireType::kDBitReport) ||
+        data[1] != kWireVersion) {
+      continue;
+    }
+    const uint32_t count = static_cast<uint32_t>(data[2]) |
+                           static_cast<uint32_t>(data[3]) << 8 |
+                           static_cast<uint32_t>(data[4]) << 16 |
+                           static_cast<uint32_t>(data[5]) << 24;
+    if (count != d) continue;
+    const uint8_t* packed = data + 6;
+    // Trailing pad bits must be zero (canonical form).
+    if ((d & 7) != 0 && (packed[payload_bytes - 1] >> (d & 7)) != 0) {
+      continue;
+    }
+    uint8_t* out = bits + i * d;
+    const uint32_t full_bytes = d / 8;
+    for (uint32_t w = 0; w < full_bytes; ++w) {
+      std::memcpy(out + w * 8, kSpread[packed[w]].data(), 8);
+    }
+    for (uint32_t j = full_bytes * 8; j < d; ++j) {
+      out[j] = (packed[j >> 3] >> (j & 7)) & 1;
+    }
+    ok[i] = 1;
+    ++well_formed;
   }
   return well_formed;
 }

@@ -1,12 +1,16 @@
-// IngestBatch vs per-report equivalence: the batched ingestion path must
-// be message-for-message and counter-for-counter identical to dispatching
-// each message through HandleHello / HandleReport in order — estimates,
-// CollectorStats, and rejection classification — at every thread count,
-// for well-formed traffic and for adversarial batches (interleaved
-// hellos, mid-batch step boundaries, corrupted wire bytes, duplicates,
-// unknown users).
+// IngestBatch vs per-report equivalence, exercised through the abstract
+// Collector interface: every case constructs its collectors from a
+// declarative ProtocolSpec via MakeCollector, so one parameterized suite
+// covers both implementations (LOLOHA and dBitFlipPM). The batched path
+// must be message-for-message and counter-for-counter identical to
+// dispatching each message through HandleHello / HandleReport in order —
+// estimates, CollectorStats, and rejection classification — at every
+// thread count, for well-formed traffic and for adversarial batches
+// (interleaved hellos, mid-batch step boundaries, corrupted wire bytes,
+// duplicates, unknown users).
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -15,6 +19,7 @@
 
 #include "core/loloha.h"
 #include "server/collector.h"
+#include "sim/protocol_spec.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 #include "wire/encoding.h"
@@ -22,11 +27,8 @@
 namespace loloha {
 namespace {
 
-LolohaParams TestParams() { return MakeLolohaParams(24, 4, 2.0, 1.0); }
-
 // The per-report reference: dispatches exactly like IngestBatch (hellos by
 // tag, everything else through HandleReport) and counts acceptances.
-template <typename Collector>
 uint64_t ApplySerial(Collector& collector, std::span<const Message> batch,
                      WireType hello_tag) {
   uint64_t accepted = 0;
@@ -52,19 +54,19 @@ void ExpectStatsEq(const CollectorStats& batch, const CollectorStats& serial) {
   EXPECT_TRUE(batch == serial);
 }
 
-// Builds tau steps of LOLOHA traffic: a hello batch, then per-step report
-// batches with adversarial messages salted in (duplicates, unknown users,
+// Protocol-tagged traffic: a hello batch, then per-step report batches
+// with adversarial messages salted in (duplicates, unknown users,
 // corrupted bytes, interleaved hellos — including users whose hello
 // arrives mid-batch, after some of their reports).
-struct LolohaTraffic {
+struct Traffic {
   std::vector<Message> hellos;
   std::vector<std::vector<Message>> steps;
 };
 
-LolohaTraffic MakeLolohaTraffic(const LolohaParams& params, uint32_t users,
-                                uint32_t tau, uint64_t seed) {
+Traffic MakeLolohaTraffic(const LolohaParams& params, uint32_t users,
+                          uint32_t tau, uint64_t seed) {
   Rng rng(seed);
-  LolohaTraffic traffic;
+  Traffic traffic;
   std::vector<LolohaClient> clients;
   clients.reserve(users + 2);
   for (uint32_t u = 0; u < users + 2; ++u) clients.emplace_back(params, rng);
@@ -126,118 +128,10 @@ LolohaTraffic MakeLolohaTraffic(const LolohaParams& params, uint32_t users,
   return traffic;
 }
 
-TEST(LolohaCollectorBatchTest, BatchMatchesPerReportAtEveryThreadCount) {
-  const LolohaParams params = TestParams();
-  const LolohaTraffic traffic = MakeLolohaTraffic(params, 300, 3, 77);
-
-  LolohaCollector serial(params);
-  uint64_t serial_accepted =
-      ApplySerial(serial, traffic.hellos, WireType::kLolohaHello);
-  std::vector<std::vector<double>> serial_estimates;
-  std::vector<uint64_t> serial_step_accepted;
-  for (const auto& step : traffic.steps) {
-    serial_step_accepted.push_back(
-        ApplySerial(serial, step, WireType::kLolohaHello));
-    serial_estimates.push_back(serial.EndStep());
-  }
-
-  for (const uint32_t threads : {1u, 2u, 4u}) {
-    ThreadPool pool(threads);
-    CollectorOptions options;
-    options.pool = &pool;
-    options.num_shards = 5;  // deliberately unaligned with the pool width
-    LolohaCollector batched(params, options);
-    EXPECT_EQ(batched.IngestBatch(traffic.hellos), serial_accepted)
-        << "threads=" << threads;
-    for (size_t t = 0; t < traffic.steps.size(); ++t) {
-      EXPECT_EQ(batched.IngestBatch(traffic.steps[t]),
-                serial_step_accepted[t])
-          << "threads=" << threads << " step=" << t;
-      EXPECT_EQ(batched.EndStep(), serial_estimates[t])
-          << "threads=" << threads << " step=" << t;
-    }
-    ExpectStatsEq(batched.stats(), serial.stats());
-    EXPECT_EQ(batched.registered_users(), serial.registered_users());
-  }
-}
-
-TEST(LolohaCollectorBatchTest, ArbitrarySplitsAcrossStepBoundariesMatch) {
-  const LolohaParams params = TestParams();
-  const LolohaTraffic traffic = MakeLolohaTraffic(params, 200, 3, 78);
-
-  LolohaCollector serial(params);
-  ApplySerial(serial, traffic.hellos, WireType::kLolohaHello);
-  std::vector<std::vector<double>> serial_estimates;
-  for (const auto& step : traffic.steps) {
-    ApplySerial(serial, step, WireType::kLolohaHello);
-    serial_estimates.push_back(serial.EndStep());
-  }
-
-  // Feed the same stream in ragged chunks (1, 2, 3, ... messages), with
-  // the step boundary landing mid-chunk-sequence wherever it falls.
-  ThreadPool pool(3);
-  CollectorOptions options;
-  options.pool = &pool;
-  LolohaCollector batched(params, options);
-  size_t chunk = 1;
-  std::span<const Message> hellos(traffic.hellos);
-  while (!hellos.empty()) {
-    const size_t take = std::min(chunk++, hellos.size());
-    batched.IngestBatch(hellos.first(take));
-    hellos = hellos.subspan(take);
-  }
-  for (size_t t = 0; t < traffic.steps.size(); ++t) {
-    std::span<const Message> rest(traffic.steps[t]);
-    while (!rest.empty()) {
-      const size_t take = std::min(chunk, rest.size());
-      chunk = chunk % 5 + 1;
-      batched.IngestBatch(rest.first(take));
-      rest = rest.subspan(take);
-    }
-    EXPECT_EQ(batched.EndStep(), serial_estimates[t]) << "step=" << t;
-  }
-  ExpectStatsEq(batched.stats(), serial.stats());
-}
-
-TEST(LolohaCollectorBatchTest, MixedPerReportAndBatchWithinOneStep) {
-  const LolohaParams params = TestParams();
-  const LolohaTraffic traffic = MakeLolohaTraffic(params, 150, 1, 79);
-
-  LolohaCollector serial(params);
-  ApplySerial(serial, traffic.hellos, WireType::kLolohaHello);
-  ApplySerial(serial, traffic.steps[0], WireType::kLolohaHello);
-  const std::vector<double> expected = serial.EndStep();
-
-  LolohaCollector mixed(params);
-  mixed.IngestBatch(traffic.hellos);
-  const auto& step = traffic.steps[0];
-  const size_t half = step.size() / 2;
-  // First half one message at a time, second half as a batch.
-  ApplySerial(mixed, std::span<const Message>(step).first(half),
-              WireType::kLolohaHello);
-  mixed.IngestBatch(std::span<const Message>(step).subspan(half));
-  EXPECT_EQ(mixed.EndStep(), expected);
-  ExpectStatsEq(mixed.stats(), serial.stats());
-}
-
-TEST(LolohaCollectorBatchTest, EmptyBatchIsANoOp) {
-  LolohaCollector collector(TestParams());
-  EXPECT_EQ(collector.IngestBatch({}), 0u);
-  EXPECT_TRUE(collector.EndStep().empty());
-  EXPECT_TRUE(collector.stats() == CollectorStats{});
-}
-
-// Traffic generator for the dBitFlipPM collector, same adversarial mix.
-struct DBitTraffic {
-  std::vector<Message> hellos;
-  std::vector<std::vector<Message>> steps;
-};
-
-DBitTraffic MakeDBitTraffic(const Bucketizer& bucketizer, uint32_t d,
-                            double eps, uint32_t users, uint32_t tau,
-                            uint64_t seed) {
+Traffic MakeDBitTraffic(const Bucketizer& bucketizer, uint32_t d, double eps,
+                        uint32_t users, uint32_t tau, uint64_t seed) {
   Rng rng(seed);
-  DBitTraffic traffic;
+  Traffic traffic;
   std::vector<DBitFlipClient> clients;
   clients.reserve(users + 1);
   for (uint32_t u = 0; u < users + 1; ++u) {
@@ -285,46 +179,159 @@ DBitTraffic MakeDBitTraffic(const Bucketizer& bucketizer, uint32_t d,
   return traffic;
 }
 
-TEST(DBitFlipCollectorBatchTest, BatchMatchesPerReportAtEveryThreadCount) {
-  const Bucketizer bucketizer(40, 8);
-  const uint32_t d = 5;
-  const double eps = 3.0;
-  const DBitTraffic traffic =
-      MakeDBitTraffic(bucketizer, d, eps, 250, 3, 91);
+// One suite, parameterized by (spec string, domain size): the same
+// equivalence contract holds for every collector MakeCollector can build.
+struct SuiteParam {
+  const char* name;
+  const char* spec;
+  uint32_t k;
+  uint32_t users;
+};
 
-  DBitFlipCollector serial(bucketizer, d, eps);
-  const uint64_t serial_hello_accepted =
-      ApplySerial(serial, traffic.hellos, WireType::kDBitHello);
+class CollectorBatchSuite : public ::testing::TestWithParam<SuiteParam> {
+ protected:
+  ProtocolSpec spec() const {
+    return ProtocolSpec::MustParse(GetParam().spec);
+  }
+  uint32_t k() const { return GetParam().k; }
+
+  std::unique_ptr<Collector> NewCollector(
+      const CollectorOptions& options = {}) const {
+    return MakeCollector(spec(), k(), options);
+  }
+
+  WireType hello_tag() const {
+    return spec().id == ProtocolId::kBiLoloha ||
+                   spec().id == ProtocolId::kOLoloha
+               ? WireType::kLolohaHello
+               : WireType::kDBitHello;
+  }
+
+  Traffic MakeTraffic(uint32_t users, uint32_t tau, uint64_t seed) const {
+    const ProtocolSpec s = spec();
+    if (hello_tag() == WireType::kLolohaHello) {
+      return MakeLolohaTraffic(LolohaParamsForSpec(s, k()), users, tau,
+                               seed);
+    }
+    const uint32_t b = ResolveBuckets(s, k());
+    return MakeDBitTraffic(Bucketizer(k(), b), ResolveD(s, b), s.eps_perm,
+                           users, tau, seed);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, CollectorBatchSuite,
+    ::testing::Values(
+        SuiteParam{"Loloha", "ololoha:g=4,eps_perm=2,eps_first=1", 24, 300},
+        SuiteParam{"DBitFlip", "bbitflip:eps_perm=3,buckets=8,d=5", 40, 250}),
+    [](const ::testing::TestParamInfo<SuiteParam>& info) {
+      return info.param.name;
+    });
+
+TEST_P(CollectorBatchSuite, BatchMatchesPerReportAtEveryThreadCount) {
+  const Traffic traffic = MakeTraffic(GetParam().users, 3, 77);
+
+  const std::unique_ptr<Collector> serial = NewCollector();
+  const uint64_t serial_accepted =
+      ApplySerial(*serial, traffic.hellos, hello_tag());
   std::vector<std::vector<double>> serial_estimates;
   std::vector<uint64_t> serial_step_accepted;
   for (const auto& step : traffic.steps) {
     serial_step_accepted.push_back(
-        ApplySerial(serial, step, WireType::kDBitHello));
-    serial_estimates.push_back(serial.EndStep());
+        ApplySerial(*serial, step, hello_tag()));
+    serial_estimates.push_back(serial->EndStep());
   }
 
   for (const uint32_t threads : {1u, 2u, 4u}) {
     ThreadPool pool(threads);
     CollectorOptions options;
     options.pool = &pool;
-    options.num_shards = 7;
-    DBitFlipCollector batched(bucketizer, d, eps, options);
-    EXPECT_EQ(batched.IngestBatch(traffic.hellos), serial_hello_accepted);
+    options.num_shards = 5;  // deliberately unaligned with the pool width
+    const std::unique_ptr<Collector> batched = NewCollector(options);
+    EXPECT_EQ(batched->IngestBatch(traffic.hellos), serial_accepted)
+        << "threads=" << threads;
     for (size_t t = 0; t < traffic.steps.size(); ++t) {
-      EXPECT_EQ(batched.IngestBatch(traffic.steps[t]),
+      EXPECT_EQ(batched->IngestBatch(traffic.steps[t]),
                 serial_step_accepted[t])
           << "threads=" << threads << " step=" << t;
-      EXPECT_EQ(batched.EndStep(), serial_estimates[t])
+      EXPECT_EQ(batched->EndStep(), serial_estimates[t])
           << "threads=" << threads << " step=" << t;
     }
-    ExpectStatsEq(batched.stats(), serial.stats());
-    EXPECT_EQ(batched.registered_users(), serial.registered_users());
+    ExpectStatsEq(batched->stats(), serial->stats());
+    EXPECT_EQ(batched->registered_users(), serial->registered_users());
   }
+}
+
+TEST_P(CollectorBatchSuite, ArbitrarySplitsAcrossStepBoundariesMatch) {
+  const Traffic traffic = MakeTraffic(200, 3, 78);
+
+  const std::unique_ptr<Collector> serial = NewCollector();
+  ApplySerial(*serial, traffic.hellos, hello_tag());
+  std::vector<std::vector<double>> serial_estimates;
+  for (const auto& step : traffic.steps) {
+    ApplySerial(*serial, step, hello_tag());
+    serial_estimates.push_back(serial->EndStep());
+  }
+
+  // Feed the same stream in ragged chunks (1, 2, 3, ... messages), with
+  // the step boundary landing mid-chunk-sequence wherever it falls.
+  ThreadPool pool(3);
+  CollectorOptions options;
+  options.pool = &pool;
+  const std::unique_ptr<Collector> batched = NewCollector(options);
+  size_t chunk = 1;
+  std::span<const Message> hellos(traffic.hellos);
+  while (!hellos.empty()) {
+    const size_t take = std::min(chunk++, hellos.size());
+    batched->IngestBatch(hellos.first(take));
+    hellos = hellos.subspan(take);
+  }
+  for (size_t t = 0; t < traffic.steps.size(); ++t) {
+    std::span<const Message> rest(traffic.steps[t]);
+    while (!rest.empty()) {
+      const size_t take = std::min(chunk, rest.size());
+      chunk = chunk % 5 + 1;
+      batched->IngestBatch(rest.first(take));
+      rest = rest.subspan(take);
+    }
+    EXPECT_EQ(batched->EndStep(), serial_estimates[t]) << "step=" << t;
+  }
+  ExpectStatsEq(batched->stats(), serial->stats());
+}
+
+TEST_P(CollectorBatchSuite, MixedPerReportAndBatchWithinOneStep) {
+  const Traffic traffic = MakeTraffic(150, 1, 79);
+
+  const std::unique_ptr<Collector> serial = NewCollector();
+  ApplySerial(*serial, traffic.hellos, hello_tag());
+  ApplySerial(*serial, traffic.steps[0], hello_tag());
+  const std::vector<double> expected = serial->EndStep();
+
+  const std::unique_ptr<Collector> mixed = NewCollector();
+  mixed->IngestBatch(traffic.hellos);
+  const auto& step = traffic.steps[0];
+  const size_t half = step.size() / 2;
+  // First half one message at a time, second half as a batch.
+  ApplySerial(*mixed, std::span<const Message>(step).first(half),
+              hello_tag());
+  mixed->IngestBatch(std::span<const Message>(step).subspan(half));
+  EXPECT_EQ(mixed->EndStep(), expected);
+  ExpectStatsEq(mixed->stats(), serial->stats());
+}
+
+TEST_P(CollectorBatchSuite, EmptyBatchIsANoOp) {
+  const std::unique_ptr<Collector> collector = NewCollector();
+  EXPECT_EQ(collector->IngestBatch({}), 0u);
+  EXPECT_EQ(collector->registered_users(), 0u);
+  EXPECT_TRUE(collector->stats() == CollectorStats{});
 }
 
 TEST(DBitFlipCollectorBatchTest, RejectionClassificationMatchesPerReport) {
   // A batch that is *only* adversarial input: every counter must agree.
-  const Bucketizer bucketizer(20, 4);
+  const ProtocolSpec spec =
+      ProtocolSpec::MustParse("bbitflip:eps_perm=2,buckets=4,d=3");
+  const uint32_t k = 20;
+  const Bucketizer bucketizer(k, 4);
   const uint32_t d = 3;
   Rng rng(17);
   DBitFlipClient client(bucketizer, d, 2.0, rng);
@@ -339,14 +346,64 @@ TEST(DBitFlipCollectorBatchTest, RejectionClassificationMatchesPerReport) {
   std::string wrong_count = EncodeDBitHello({0, 1});  // d mismatch
   batch.push_back(Message{6, wrong_count});
 
-  DBitFlipCollector serial(bucketizer, d, 2.0);
+  const std::unique_ptr<Collector> serial = MakeCollector(spec, k);
   const uint64_t serial_accepted =
-      ApplySerial(serial, batch, WireType::kDBitHello);
+      ApplySerial(*serial, batch, WireType::kDBitHello);
 
-  DBitFlipCollector batched(bucketizer, d, 2.0);
-  EXPECT_EQ(batched.IngestBatch(batch), serial_accepted);
-  ExpectStatsEq(batched.stats(), serial.stats());
-  EXPECT_EQ(batched.EndStep(), serial.EndStep());
+  const std::unique_ptr<Collector> batched = MakeCollector(spec, k);
+  EXPECT_EQ(batched->IngestBatch(batch), serial_accepted);
+  ExpectStatsEq(batched->stats(), serial->stats());
+  EXPECT_EQ(batched->EndStep(), serial->EndStep());
+}
+
+// The batch decoder's packed-bits fast path (DecodeDBitReportBatch) must
+// classify exactly like the scalar DecodeDBitReport across the malformed
+// flavours: wrong tag, wrong version, truncated/oversized payload, count
+// mismatch, nonzero pad bits.
+TEST(DBitFlipCollectorBatchTest, PackedBitsFastPathMatchesScalarDecode) {
+  const uint32_t d = 11;  // deliberately not a multiple of 8
+  std::vector<uint8_t> bits(d, 0);
+  for (uint32_t i = 0; i < d; i += 3) bits[i] = 1;
+  const std::string good = EncodeDBitReport(bits);
+
+  std::vector<Message> batch;
+  batch.push_back(Message{0, good});
+  std::string wrong_tag = good;
+  wrong_tag[0] = static_cast<char>(WireType::kUeReport);
+  batch.push_back(Message{1, wrong_tag});
+  std::string wrong_version = good;
+  wrong_version[1] = static_cast<char>(0x7f);
+  batch.push_back(Message{2, wrong_version});
+  std::string truncated = good;
+  truncated.resize(truncated.size() - 1);
+  batch.push_back(Message{3, truncated});
+  std::string oversized = good;
+  oversized.push_back('\0');
+  batch.push_back(Message{4, oversized});
+  std::string dirty_pad = good;
+  dirty_pad.back() = static_cast<char>(0xf8);  // bits 11..15 of pad set
+  batch.push_back(Message{5, dirty_pad});
+  std::vector<uint8_t> wrong_d(d + 1, 0);
+  batch.push_back(Message{6, EncodeDBitReport(wrong_d)});
+  batch.push_back(Message{7, std::string()});
+  batch.push_back(Message{8, good});
+
+  std::vector<uint8_t> arena(batch.size() * d, 0xcc);
+  std::vector<uint8_t> ok(batch.size(), 0xcc);
+  const size_t well_formed = DecodeDBitReportBatch(batch, d, arena.data(),
+                                                   ok.data());
+  EXPECT_EQ(well_formed, 2u);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    std::vector<uint8_t> scalar;
+    EXPECT_EQ(ok[i] != 0, DecodeDBitReport(batch[i].bytes, d, &scalar))
+        << "message " << i;
+    if (ok[i]) {
+      EXPECT_EQ(std::vector<uint8_t>(arena.begin() + i * d,
+                                     arena.begin() + (i + 1) * d),
+                scalar)
+          << "message " << i;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,345 @@
+// ProtocolSpec: Parse/ToString round-trip property, rejection of
+// malformed and out-of-range specs, and registry completeness — every
+// ProtocolId has a unique canonical name, resolves back through the
+// registry, and is constructible end to end (spec string -> runner).
+
+#include "sim/protocol_spec.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/loloha_params.h"
+#include "data/generators.h"
+#include "server/collector.h"
+#include "sim/runner.h"
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+TEST(ProtocolSpecParse, IssueExamples) {
+  ProtocolSpec spec;
+  ASSERT_TRUE(ProtocolSpec::Parse("loloha:g=2,eps_perm=1.0,eps_first=0.5",
+                                  &spec));
+  EXPECT_EQ(spec.id, ProtocolId::kBiLoloha);
+  EXPECT_EQ(spec.g, 2u);
+  EXPECT_DOUBLE_EQ(spec.eps_perm, 1.0);
+  EXPECT_DOUBLE_EQ(spec.eps_first, 0.5);
+
+  ASSERT_TRUE(ProtocolSpec::Parse("loloha:eps_perm=1,eps_first=0.5", &spec));
+  EXPECT_EQ(spec.id, ProtocolId::kOLoloha) << "g unset selects OLOLOHA";
+  EXPECT_EQ(spec.g, 0u);
+
+  ASSERT_TRUE(
+      ProtocolSpec::Parse("bbitflip:eps_perm=2,bucket_divisor=4", &spec));
+  EXPECT_EQ(spec.id, ProtocolId::kBBitFlipPm);
+  EXPECT_EQ(spec.bucket_divisor, 4u);
+  EXPECT_DOUBLE_EQ(spec.eps_first, 0.0) << "one-round: eps_first forced to 0";
+}
+
+TEST(ProtocolSpecParse, NamesAreCaseInsensitiveAndAliased) {
+  ProtocolSpec spec;
+  ASSERT_TRUE(ProtocolSpec::Parse("OLOLOHA:eps_perm=2,eps_first=1", &spec));
+  EXPECT_EQ(spec.id, ProtocolId::kOLoloha);
+  ASSERT_TRUE(ProtocolSpec::Parse("rappor", &spec));
+  EXPECT_EQ(spec.id, ProtocolId::kRappor);
+  ASSERT_TRUE(ProtocolSpec::Parse("dbitflip:eps_perm=1", &spec));
+  EXPECT_EQ(spec.id, ProtocolId::kBBitFlipPm);
+  ASSERT_TRUE(ProtocolSpec::Parse("Naive-OLH:eps_perm=0.25", &spec));
+  EXPECT_EQ(spec.id, ProtocolId::kNaiveOlh);
+}
+
+TEST(ProtocolSpecParse, KeysAcceptedInAnyOrder) {
+  ProtocolSpec a;
+  ProtocolSpec b;
+  ASSERT_TRUE(ProtocolSpec::Parse("ololoha:eps_perm=2,eps_first=1,g=5", &a));
+  ASSERT_TRUE(ProtocolSpec::Parse("ololoha:g=5,eps_first=1,eps_perm=2", &b));
+  EXPECT_EQ(a, b);
+}
+
+// Round-trip property: for every registry protocol and a deterministic
+// sample of budgets/extras, Parse(ToString(spec)) == spec.
+TEST(ProtocolSpecRoundTrip, PropertyOverRegistryAndBudgetSamples) {
+  Rng rng(20230328);
+  uint32_t checked = 0;
+  for (const ProtocolSpecName& entry : ProtocolSpecRegistry()) {
+    for (int i = 0; i < 40; ++i) {
+      ProtocolSpec spec;
+      spec.id = entry.id;
+      // Budgets across magnitudes, including awkward decimal fractions.
+      spec.eps_perm = 0.05 + 10.0 * rng.UniformDouble();
+      spec.eps_first = spec.eps_perm * (0.05 + 0.9 * rng.UniformDouble());
+      if (!spec.IsTwoRound()) spec.eps_first = 0.0;
+      switch (entry.id) {
+        case ProtocolId::kBiLoloha:
+          spec.g = 2;
+          break;
+        case ProtocolId::kOLoloha:
+          spec.g = (i % 3 == 0) ? 0 : 2 + static_cast<uint32_t>(
+                                              rng.UniformInt(30));
+          break;
+        case ProtocolId::kOneBitFlipPm:
+        case ProtocolId::kBBitFlipPm:
+          spec.d = entry.id == ProtocolId::kOneBitFlipPm
+                       ? 1
+                       : static_cast<uint32_t>(rng.UniformInt(8));
+          if (i % 2 == 0) {
+            spec.buckets = 2 + static_cast<uint32_t>(rng.UniformInt(100));
+          } else {
+            spec.bucket_divisor =
+                1 + static_cast<uint32_t>(rng.UniformInt(7));
+          }
+          break;
+        default:
+          break;
+      }
+      ASSERT_TRUE(spec.Validate()) << spec.ToString();
+      const std::string text = spec.ToString();
+      ProtocolSpec reparsed;
+      std::string error;
+      ASSERT_TRUE(ProtocolSpec::Parse(text, &reparsed, &error))
+          << text << ": " << error;
+      EXPECT_EQ(reparsed, spec) << text;
+      EXPECT_EQ(reparsed.ToString(), text) << "canonical form is a fixpoint";
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 40 * ProtocolSpecRegistry().size());
+}
+
+TEST(ProtocolSpecRoundTrip, ParsedSpecsRoundTrip) {
+  for (const char* text : {
+           "loloha:g=2,eps_perm=1.0,eps_first=0.5",
+           "ololoha:eps_perm=2,eps_first=1",
+           "l-osue:eps_perm=1,eps_first=0.4",
+           "bbitflip:eps_perm=2,bucket_divisor=4",
+           "bbitflip:eps_perm=1,d=16,buckets=64",
+           "1bitflip:eps_perm=2",
+           "naive-olh:eps_perm=0.125",
+           "l-grr:eps_perm=3,eps_first=1.2",
+       }) {
+    ProtocolSpec spec;
+    ASSERT_TRUE(ProtocolSpec::Parse(text, &spec)) << text;
+    ProtocolSpec reparsed;
+    ASSERT_TRUE(ProtocolSpec::Parse(spec.ToString(), &reparsed))
+        << spec.ToString();
+    EXPECT_EQ(reparsed, spec) << text;
+  }
+}
+
+TEST(ProtocolSpecParse, RejectsMalformedAndOutOfRange) {
+  for (const char* text : {
+           // Structure.
+           "", ":eps_perm=1", "l-grr:", "l-grr:eps_perm", "l-grr:=1",
+           "l-grr:eps_perm=", "l-grr:eps_perm=1,", "l-grr:,eps_perm=1",
+           "l-grr:eps_perm=1,,eps_first=0.5",
+           // Names and keys.
+           "unknown-protocol", "l-grr:eps=1", "l-grr:budget=1",
+           "l-grr:eps_perm=1,eps_perm=2,eps_first=0.5",
+           // Numbers.
+           "l-grr:eps_perm=abc,eps_first=0.5",
+           "l-grr:eps_perm=1x,eps_first=0.5", "ololoha:g=-3,eps_perm=1",
+           "ololoha:g=4294967296,eps_perm=1,eps_first=0.5",
+           // Budget ranges.
+           "l-grr:eps_perm=0,eps_first=0", "l-grr:eps_perm=-1,eps_first=0.5",
+           "l-grr:eps_perm=inf,eps_first=0.5",
+           "l-sue:eps_perm=1,eps_first=1", "l-sue:eps_perm=1,eps_first=2",
+           "l-sue:eps_perm=1,eps_first=0",
+           // Extras on the wrong protocol / out of range.
+           "l-grr:g=4,eps_perm=1,eps_first=0.5", "loloha:g=1",
+           "biloloha:g=3", "1bitflip:d=2,eps_perm=1",
+           "1bitflip:eps_perm=1,eps_first=0.5",
+           "naive-olh:eps_perm=1,eps_first=0.5",
+           "naive-olh:eps_perm=1,buckets=4", "bbitflip:eps_perm=1,buckets=1",
+           "bbitflip:eps_perm=1,bucket_divisor=0",
+           "l-sue:eps_perm=1,eps_first=0.5,bucket_divisor=4",
+       }) {
+    ProtocolSpec spec;
+    std::string error;
+    EXPECT_FALSE(ProtocolSpec::Parse(text, &spec, &error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(ProtocolSpecRegistryTest, EveryProtocolIdCoveredWithUniqueNames) {
+  std::set<std::string> names;
+  std::set<ProtocolId> ids;
+  for (const ProtocolSpecName& entry : ProtocolSpecRegistry()) {
+    EXPECT_TRUE(names.insert(entry.name).second)
+        << "duplicate name " << entry.name;
+    EXPECT_TRUE(ids.insert(entry.id).second) << "duplicate id";
+    // The canonical name resolves back to its id.
+    ProtocolId resolved;
+    ASSERT_TRUE(ProtocolIdFromSpecName(entry.name, &resolved)) << entry.name;
+    EXPECT_EQ(resolved, entry.id) << entry.name;
+    EXPECT_STREQ(ProtocolSpecCanonicalName(entry.id), entry.name);
+    // Display and paper names exist.
+    EXPECT_NE(ProtocolName(entry.id), "?");
+  }
+  // The registry covers the whole enum: the paper's nine ids + Naive-OLH.
+  EXPECT_EQ(ids.size(), 10u);
+  EXPECT_TRUE(ids.count(ProtocolId::kNaiveOlh));
+}
+
+TEST(ProtocolSpecRegistryTest, EveryRegistryProtocolConstructsAndRuns) {
+  const Dataset data = GenerateSyn(120, 12, 2, 0.25, 5);
+  for (const ProtocolSpecName& entry : ProtocolSpecRegistry()) {
+    const std::string text =
+        std::string(entry.name) + ":eps_perm=2" +
+        (ProtocolSpec::MustParse(entry.name).IsTwoRound() ? ",eps_first=1"
+                                                          : "");
+    const ProtocolSpec spec = ProtocolSpec::MustParse(text);
+    const auto runner = MakeRunner(spec);
+    ASSERT_NE(runner, nullptr) << text;
+    const RunResult result = runner->Run(data, 3);
+    EXPECT_EQ(result.estimates.size(), data.tau()) << text;
+    EXPECT_EQ(result.protocol, spec.DisplayName()) << text;
+    EXPECT_GT(result.bins, 0u) << text;
+  }
+}
+
+TEST(ProtocolSpecResolve, LolohaG) {
+  EXPECT_EQ(ResolveLolohaG(ProtocolSpec::MustParse(
+                "biloloha:eps_perm=2,eps_first=1")),
+            2u);
+  EXPECT_EQ(ResolveLolohaG(ProtocolSpec::MustParse(
+                "ololoha:g=7,eps_perm=2,eps_first=1")),
+            7u);
+  const ProtocolSpec optimal =
+      ProtocolSpec::MustParse("ololoha:eps_perm=2,eps_first=1");
+  EXPECT_EQ(ResolveLolohaG(optimal), OptimalLolohaG(2.0, 1.0));
+  // Full parameter derivation goes through the same resolution.
+  const LolohaParams params = LolohaParamsForSpec(optimal, 64);
+  EXPECT_EQ(params.g, OptimalLolohaG(2.0, 1.0));
+  EXPECT_EQ(params.k, 64u);
+}
+
+TEST(ProtocolSpecResolve, BucketsAndD) {
+  const ProtocolSpec divisor =
+      ProtocolSpec::MustParse("bbitflip:eps_perm=2,bucket_divisor=4");
+  EXPECT_EQ(ResolveBuckets(divisor, 100), 25u);
+  EXPECT_EQ(ResolveD(divisor, 25), 25u);  // d = b by default
+  const ProtocolSpec pinned =
+      ProtocolSpec::MustParse("bbitflip:eps_perm=2,buckets=8,d=3");
+  EXPECT_EQ(ResolveBuckets(pinned, 100), 8u) << "explicit buckets win";
+  EXPECT_EQ(ResolveD(pinned, 8), 3u);
+  const ProtocolSpec one = ProtocolSpec::MustParse("1bitflip:eps_perm=2");
+  EXPECT_EQ(ResolveD(one, 8), 1u);
+}
+
+TEST(ProtocolSpecResolve, ApproxVarianceHonorsPinnedExtras) {
+  const double n = 10000.0;
+  const uint32_t k = 360;
+  // Id-only paths agree with ProtocolApproxVariance...
+  const ProtocolSpec osue =
+      ProtocolSpec::MustParse("l-osue:eps_perm=2,eps_first=1");
+  EXPECT_DOUBLE_EQ(ApproxVarianceForSpec(osue, n, k),
+                   ProtocolApproxVariance(ProtocolId::kLOsue, n, k, 2.0, 1.0));
+  const ProtocolSpec ololoha =
+      ProtocolSpec::MustParse("ololoha:eps_perm=2,eps_first=1");
+  EXPECT_DOUBLE_EQ(
+      ApproxVarianceForSpec(ololoha, n, k),
+      ProtocolApproxVariance(ProtocolId::kOLoloha, n, k, 2.0, 1.0));
+  // ...while pinned extras change the answer the id alone cannot express.
+  const ProtocolSpec pinned_g =
+      ProtocolSpec::MustParse("ololoha:g=16,eps_perm=2,eps_first=1");
+  EXPECT_DOUBLE_EQ(ApproxVarianceForSpec(pinned_g, n, k),
+                   LolohaApproximateVariance(n, 16, 2.0, 1.0));
+  const ProtocolSpec bucketed =
+      ProtocolSpec::MustParse("bbitflip:eps_perm=2,bucket_divisor=4,d=8");
+  EXPECT_DOUBLE_EQ(ApproxVarianceForSpec(bucketed, n, k),
+                   DBitFlipApproxVariance(n, k / 4, 8, 2.0));
+  EXPECT_NE(ApproxVarianceForSpec(bucketed, n, k),
+            ProtocolApproxVariance(ProtocolId::kBBitFlipPm, n, k, 2.0, 0.0));
+}
+
+TEST(ProtocolSpecCanonicalized, PinsIdDeterminedExtras) {
+  ProtocolSpec spec;
+  spec.id = ProtocolId::kBiLoloha;
+  spec.eps_perm = 2.0;
+  spec.eps_first = 1.0;
+  EXPECT_EQ(spec.Canonicalized().g, 2u);
+  spec.id = ProtocolId::kOneBitFlipPm;
+  EXPECT_EQ(spec.Canonicalized().d, 1u);
+  EXPECT_DOUBLE_EQ(spec.Canonicalized().eps_first, 0.0);
+  // Canonicalized specs equal their Parse(ToString) round trip.
+  const ProtocolSpec canonical = spec.Canonicalized();
+  EXPECT_EQ(ProtocolSpec::MustParse(canonical.ToString()), canonical);
+}
+
+TEST(ProtocolSpecDisplayName, MatchesPaperLegend) {
+  EXPECT_EQ(ProtocolSpec::MustParse("l-sue").DisplayName(), "RAPPOR");
+  EXPECT_EQ(ProtocolSpec::MustParse("biloloha").DisplayName(), "BiLOLOHA");
+  EXPECT_EQ(ProtocolSpec::MustParse("ololoha").DisplayName(), "OLOLOHA");
+  EXPECT_EQ(ProtocolSpec::MustParse("ololoha:g=5,eps_perm=1,eps_first=0.5")
+                .DisplayName(),
+            "LOLOHA(g=5)");
+  EXPECT_EQ(ProtocolSpec::MustParse("bbitflip").DisplayName(), "bBitFlipPM");
+  EXPECT_EQ(
+      ProtocolSpec::MustParse("bbitflip:eps_perm=1,d=16").DisplayName(),
+      "16BitFlipPM");
+  EXPECT_EQ(ProtocolSpec::MustParse("naive-olh").DisplayName(), "Naive-OLH");
+}
+
+TEST(ProtocolSpecFactories, SpecPathMatchesDeprecatedOverloads) {
+  // The deprecated (id, budgets, options) overload must construct the
+  // exact same runner as the spec path: identical estimates bit for bit.
+  const Dataset data = GenerateSyn(150, 20, 2, 0.25, 6);
+  RunnerOptions options;
+  options.bucket_divisor = 4;
+  for (const ProtocolId id : Figure3Protocols(true)) {
+    const RunResult legacy =
+        MakeRunner(id, 2.0, 1.0, options)->Run(data, 17);
+    ProtocolSpec spec;
+    spec.id = id;
+    spec.eps_perm = 2.0;
+    spec.eps_first = spec.IsTwoRound() ? 1.0 : 0.0;
+    if (id == ProtocolId::kBiLoloha) spec.g = 2;
+    if (id == ProtocolId::kOneBitFlipPm) spec.d = 1;
+    if (!spec.IsTwoRound()) spec.bucket_divisor = 4;
+    const RunResult fresh = MakeRunner(spec)->Run(data, 17);
+    EXPECT_EQ(legacy.estimates, fresh.estimates) << ProtocolName(id);
+    EXPECT_EQ(legacy.per_user_epsilon, fresh.per_user_epsilon);
+    EXPECT_EQ(legacy.protocol, fresh.protocol);
+  }
+  const RunResult naive_legacy = MakeNaiveOlhRunner(1.5)->Run(data, 19);
+  const RunResult naive_spec =
+      MakeRunner(ProtocolSpec::MustParse("naive-olh:eps_perm=1.5"))
+          ->Run(data, 19);
+  EXPECT_EQ(naive_legacy.estimates, naive_spec.estimates);
+}
+
+TEST(ProtocolSpecFactories, MakeCollectorServesLolohaAndDBitFlip) {
+  for (const char* text : {"biloloha:eps_perm=2,eps_first=1",
+                           "ololoha:g=4,eps_perm=2,eps_first=1",
+                           "bbitflip:eps_perm=3,bucket_divisor=4",
+                           "1bitflip:eps_perm=3,buckets=8"}) {
+    const auto collector =
+        MakeCollector(ProtocolSpec::MustParse(text), /*k=*/32);
+    ASSERT_NE(collector, nullptr) << text;
+    EXPECT_EQ(collector->registered_users(), 0u);
+    EXPECT_EQ(collector->stats(), CollectorStats{});
+  }
+}
+
+TEST(ProtocolSpecFigure3, SpecsMirrorTheLegend) {
+  const std::vector<ProtocolSpec> with = Figure3Specs(true, 1);
+  const std::vector<ProtocolSpec> without = Figure3Specs(false, 4);
+  ASSERT_EQ(with.size(), 7u);
+  ASSERT_EQ(without.size(), 5u);
+  const std::vector<ProtocolId> ids = Figure3Protocols(true);
+  for (size_t i = 0; i < with.size(); ++i) {
+    EXPECT_EQ(with[i].id, ids[i]);
+    ASSERT_TRUE(with[i].Validate());
+  }
+  for (const ProtocolSpec& spec : without) {
+    EXPECT_EQ(spec.bucket_divisor,
+              spec.IsTwoRound() ? 1u : 4u);
+  }
+}
+
+}  // namespace
+}  // namespace loloha

@@ -23,7 +23,8 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Values(ProtocolId::kRappor, ProtocolId::kLOsue,
                     ProtocolId::kLSoue, ProtocolId::kLOue, ProtocolId::kLGrr,
                     ProtocolId::kBiLoloha, ProtocolId::kOLoloha,
-                    ProtocolId::kOneBitFlipPm, ProtocolId::kBBitFlipPm),
+                    ProtocolId::kOneBitFlipPm, ProtocolId::kBBitFlipPm,
+                    ProtocolId::kNaiveOlh),
     [](const testing::TestParamInfo<ProtocolId>& info) {
       std::string name = ProtocolName(info.param);
       for (char& c : name) {
