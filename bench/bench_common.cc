@@ -4,15 +4,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <span>
 
-#include "data/generators.h"
-#include "sim/metrics.h"
-#include "sim/monte_carlo.h"
-#include "sim/runner.h"
 #include "util/check.h"
-#include "util/table.h"
 #include "util/thread_pool.h"
+
+// Source-tree plans/ directory, baked in at configure time so the legacy
+// shims find their plan file no matter where the binary runs from.
+#ifndef LOLOHA_PLANS_DIR
+#define LOLOHA_PLANS_DIR "plans"
+#endif
 
 namespace loloha::bench {
 
@@ -46,49 +46,9 @@ HarnessConfig ParseHarness(const CommandLine& cli,
   return config;
 }
 
-std::vector<double> EpsPermGrid() {
-  std::vector<double> grid;
-  for (int i = 1; i <= 10; ++i) grid.push_back(0.5 * i);
-  return grid;
-}
-
-std::vector<double> AlphaGridFig2() {
-  return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
-}
-
-std::vector<double> AlphaGridFig34() { return {0.4, 0.5, 0.6}; }
-
 Dataset MakeDataset(const std::string& which, const HarnessConfig& config,
                     uint64_t seed) {
-  const uint32_t scale = config.scale;
-  auto scaled = [scale](uint32_t n) {
-    return std::max(n / scale, 50u);
-  };
-  const uint32_t tau_cap = config.quick ? 20u : 0xffffffffu;
-  if (which == "syn") {
-    return GenerateSyn(scaled(10000), 360, std::min(120u, tau_cap), 0.25,
-                       seed);
-  }
-  if (which == "adult") {
-    return GenerateAdultLike(scaled(45222), std::min(260u, tau_cap), seed);
-  }
-  if (which == "db_mt") {
-    return GenerateReplicateWeights("DB_MT", scaled(10336),
-                                    std::min(80u, tau_cap), 0.06, 3, seed);
-  }
-  if (which == "db_de") {
-    return GenerateReplicateWeights("DB_DE", scaled(9123),
-                                    std::min(80u, tau_cap), 0.055, 4, seed);
-  }
-  LOLOHA_CHECK_MSG(false, "unknown dataset name");
-  return GenerateSynPaper(seed);
-}
-
-double Mean(const std::vector<double>& values) {
-  LOLOHA_CHECK(!values.empty());
-  double sum = 0.0;
-  for (const double v : values) sum += v;
-  return sum / static_cast<double>(values.size());
+  return BuildPlanDataset(which, config.scale, config.quick, seed);
 }
 
 std::vector<ProtocolSpec> ParseProtocolSpecs(const CommandLine& cli,
@@ -113,110 +73,92 @@ std::vector<ProtocolSpec> ParseProtocolSpecs(const CommandLine& cli,
   return specs;
 }
 
-std::span<const Fig3Panel> Fig3Panels() {
-  static constexpr Fig3Panel kPanels[] = {
-      {"syn", true, 1},
-      {"adult", true, 1},
-      {"db_mt", false, 4},
-      {"db_de", false, 4},
-  };
-  return kPanels;
-}
-
-const Fig3Panel& Fig3PanelFor(const std::string& dataset_name) {
-  for (const Fig3Panel& panel : Fig3Panels()) {
-    if (dataset_name == panel.dataset) return panel;
+void ApplyPlanOverrides(const CommandLine& cli, ExperimentPlan* plan) {
+  if (cli.HasFlag("full")) plan->scale = 1;
+  const int64_t scale = cli.GetInt("scale", plan->scale);
+  if (scale < 1) {
+    std::fprintf(stderr, "--scale must be >= 1\n");
+    std::exit(2);
   }
-  LOLOHA_CHECK_MSG(false, "unknown fig3 panel dataset");
-  return Fig3Panels().front();
+  plan->scale = static_cast<uint32_t>(scale);
+  const int64_t runs = cli.GetInt("runs", plan->runs);
+  if (runs < 1) {
+    std::fprintf(stderr, "--runs must be >= 1\n");
+    std::exit(2);
+  }
+  plan->runs = static_cast<uint32_t>(runs);
+  const int64_t threads = cli.GetInt("threads", plan->threads);
+  if (threads < 0 || threads > 4096) {
+    std::fprintf(stderr, "--threads must be in [0, 4096] (0 = hardware)\n");
+    std::exit(2);
+  }
+  plan->threads = static_cast<uint32_t>(threads);
+  plan->seed = static_cast<uint64_t>(
+      cli.GetInt("seed", static_cast<int64_t>(plan->seed)));
+  if (cli.HasFlag("quick")) plan->quick = true;
+  plan->csv = cli.GetString("out", plan->csv);
+  plan->json = cli.GetString("json", plan->json);
+  plan->protocols = ParseProtocolSpecs(cli, std::move(plan->protocols));
+  plan->n = cli.GetDouble("n", plan->n);
+  const int64_t k = cli.GetInt("k", plan->k);
+  if (k < 2 || k > 0xffffffff) {
+    std::fprintf(stderr, "--k must be in [2, 2^32)\n");
+    std::exit(2);
+  }
+  plan->k = static_cast<uint32_t>(k);
+  const int64_t b = cli.GetInt("b", plan->b);
+  if (b < 0 || b > 0xffffffff) {
+    std::fprintf(stderr, "--b must be in [0, 2^32) (0 = k)\n");
+    std::exit(2);
+  }
+  plan->b = static_cast<uint32_t>(b);
+  plan->eps = cli.GetDouble("eps", plan->eps);
+  plan->eps1 = cli.GetDouble("eps1", plan->eps1);
 }
 
-int RunFig3Panel(const std::string& dataset_name, int argc, char** argv) {
-  const Fig3Panel* panel = &Fig3PanelFor(dataset_name);
-  const CommandLine cli(argc, argv);
-  const HarnessConfig config =
-      ParseHarness(cli, "fig3_mse_" + dataset_name + ".csv");
-
-  const Dataset data = MakeDataset(dataset_name, config, config.seed);
-  std::printf(
-      "Figure 3 (%s) — MSE_avg (Eq. 7); n=%u (scale 1/%u of paper), k=%u, "
-      "tau=%u, runs=%u\n\n",
-      data.name().c_str(), data.n(), config.scale, data.k(), data.tau(),
-      config.runs);
-
+int RunPlanMain(ExperimentPlan plan, const CommandLine& cli) {
+  ApplyPlanOverrides(cli, &plan);
+  std::string error;
+  if (!plan.Validate(&error)) {
+    std::fprintf(stderr, "plan '%s': %s\n", plan.name.c_str(),
+                 error.c_str());
+    return 2;
+  }
   // One process-wide pool, shared by the Monte-Carlo outer loop and every
-  // runner's inner sharding (the runners borrow it via options.pool and
-  // run their per-step shards inline when already on a pool task). Thread
+  // runner's inner sharding (runners borrow it via options.pool and run
+  // their per-step shards inline when already on a pool task). Thread
   // count never changes the numbers — only wall-clock.
-  ThreadPool pool(config.threads == 0 ? ThreadPool::HardwareThreads()
-                                      : config.threads);
-  RunnerOptions options;
-  options.num_threads = config.threads;
-  options.pool = &pool;
-  const std::vector<ProtocolSpec> legend = ParseProtocolSpecs(
-      cli, Figure3Specs(panel->include_dbitflip, panel->bucket_divisor));
-
-  // Flatten the (alpha, eps, protocol) grid into one spec per Monte-Carlo
-  // config in row-major table order; the grid's budgets override the
-  // legend specs' placeholders.
-  std::vector<ProtocolSpec> cells;
-  for (const double alpha : AlphaGridFig34()) {
-    for (const double eps : EpsPermGrid()) {
-      for (const ProtocolSpec& base : legend) {
-        ProtocolSpec spec = base;
-        spec.eps_perm = eps;
-        spec.eps_first = spec.IsTwoRound() ? alpha * eps : 0.0;
-        cells.push_back(spec);
-      }
-    }
+  ThreadPool pool(plan.threads == 0 ? ThreadPool::HardwareThreads()
+                                    : plan.threads);
+  if (!RunExperimentPlan(plan, &pool, &error)) {
+    std::fprintf(stderr, "plan '%s' failed: %s\n", plan.name.c_str(),
+                 error.c_str());
+    return 1;
   }
-
-  MonteCarloOptions mc;
-  mc.runs = config.runs;
-  mc.base_seed = config.seed;
-  mc.pool = &pool;
-  // Live progress: one dot per completed grid row's worth of cells (the
-  // pre-parallel driver printed one dot per (alpha, eps) row). Cells
-  // finish out of order; the dot count, not their timing, is what a
-  // watcher of a --full run needs.
-  const uint32_t cells_per_dot =
-      static_cast<uint32_t>(legend.size()) * config.runs;
-  mc.progress = [cells_per_dot](uint32_t completed, uint32_t) {
-    if (completed % cells_per_dot == 0) {
-      std::printf(".");
-      std::fflush(stdout);
-    }
-  };
-  const std::vector<std::vector<double>> per_run_mse = RunMonteCarloGrid(
-      std::span<const ProtocolSpec>(cells), options, data, mc,
-      [&](uint32_t, const RunResult& result) {
-        // dBitFlipPM estimates a b-bin histogram; compare it against the
-        // bucketized truth (Sec. 5.2), everything else bin for bin.
-        return result.bins == data.k()
-                   ? MseAvg(data, result.estimates)
-                   : MseAvgBucketed(data, Bucketizer(data.k(), result.bins),
-                                    result.estimates);
-      });
-
-  std::vector<std::string> header = {"alpha", "eps_inf"};
-  for (const ProtocolSpec& spec : legend) header.push_back(spec.DisplayName());
-  TextTable table(header);
-
-  size_t cell = 0;
-  for (const double alpha : AlphaGridFig34()) {
-    for (const double eps : EpsPermGrid()) {
-      std::vector<std::string> row = {FormatDouble(alpha, 2),
-                                      FormatDouble(eps, 3)};
-      for (size_t p = 0; p < legend.size(); ++p) {
-        row.push_back(FormatDouble(Mean(per_run_mse[cell]), 4));
-        ++cell;
-      }
-      table.AddRow(std::move(row));
-    }
-  }
-  std::printf("\n\n%s\n", table.ToString().c_str());
-  if (!config.out_csv.empty()) table.WriteCsv(config.out_csv);
   return 0;
+}
+
+int RunLegacyPlanMain(const std::string& plan_name, int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const std::string candidates[] = {
+      std::string(LOLOHA_PLANS_DIR) + "/" + plan_name + ".plan",
+      "plans/" + plan_name + ".plan",
+  };
+  for (const std::string& path : candidates) {
+    if (!std::filesystem::exists(path)) continue;
+    ExperimentPlan plan;
+    std::string error;
+    if (!LoadExperimentPlan(path, &plan, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    return RunPlanMain(std::move(plan), cli);
+  }
+  std::fprintf(stderr,
+               "plan file '%s.plan' not found (looked in '%s' and "
+               "'plans/')\n",
+               plan_name.c_str(), LOLOHA_PLANS_DIR);
+  return 2;
 }
 
 }  // namespace loloha::bench

@@ -1,29 +1,30 @@
-// Shared harness for the figure/table reproduction binaries.
+// Shared harness for the benchmark binaries.
 //
-// Every binary accepts:
-//   --full           paper-scale n and runs (slow on one core)
-//   --scale=S        divide n by S (default 5 unless --full)
-//   --runs=R         Monte-Carlo repetitions (default 2, paper used 20)
-//   --threads=T      worker threads (default 1; 0 = all hardware threads).
-//                    The fig3 panels build ONE shared ThreadPool of T
-//                    threads and parallelize the Monte-Carlo runs x
-//                    protocols outer loop on it (sim/monte_carlo.h); the
-//                    runners borrow the same pool for their inner per-step
-//                    sharding. Estimates are byte-identical for every T —
-//                    only wall-clock changes. The remaining figures/tables
-//                    evaluate closed forms or per-client paths and run
-//                    single-threaded.
-//   --seed=N         base seed (default 20230328, the EDBT'23 date)
-//   --out=PATH.csv   where to write the CSV copy of the printed table
-//                    (default: results/<binary>.csv, directory auto-created)
+// The paper's figure/table reproductions are declarative ExperimentPlans
+// (sim/experiment.h): each lives in plans/<name>.plan and runs through
+// the one `loloha_experiments --plan=<file>` driver. The legacy
+// per-figure binaries are 3-line shims over RunLegacyPlanMain, kept one
+// release for bit-equivalence gating of the plan-driven path.
 //
-// The protocol-grid binaries additionally accept
-//   --protocols=S    semicolon-separated ProtocolSpec strings
-//                    (sim/protocol_spec.h), e.g.
-//                    --protocols="ololoha;l-grr;bbitflip:bucket_divisor=4".
-//                    Replaces the panel's default paper legend; the panel's
-//                    (ε∞, α) grid overrides each spec's budgets, so only
-//                    the protocol and its structural extras matter here.
+// Every plan-driven binary accepts the plan-override flags:
+//   --quick          smoke mode (scale >= 20, one run, tau <= 20)
+//   --full           paper-scale n (scale = 1; slow on one core)
+//   --scale=S        divide dataset n by S
+//   --runs=R         Monte-Carlo repetitions
+//   --threads=T      worker threads (0 = all hardware threads). One shared
+//                    ThreadPool drives the Monte-Carlo (runs x protocols)
+//                    outer loop AND the runners' inner per-step shards;
+//                    results are byte-identical for every T.
+//   --seed=N         base seed
+//   --out=PATH.csv   CSV artifact path ([output] csv override)
+//   --json=PATH      JSON artifact path ([output] json override)
+//   --protocols=S    semicolon-separated ProtocolSpec strings replacing
+//                    the plan's legend (the plan's (eps_inf, alpha) grid
+//                    overrides each spec's budget placeholders)
+//   --n= --k= --b= --eps= --eps1=   kind-specific scalar overrides
+//
+// The ablation/perf benches below predate the plan layer and still use
+// HarnessConfig directly.
 //
 // Scaling note: the protocols' MSE is (in expectation) proportional to
 // 1/n, so dividing n by S preserves every comparison in Fig. 3 (who wins,
@@ -34,11 +35,11 @@
 #define LOLOHA_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
-#include <span>
 #include <string>
 #include <vector>
 
 #include "data/dataset.h"
+#include "sim/experiment.h"
 #include "sim/protocol_spec.h"
 #include "util/cli.h"
 
@@ -56,19 +57,12 @@ struct HarnessConfig {
 HarnessConfig ParseHarness(const CommandLine& cli,
                            const std::string& default_out);
 
-// The paper's privacy grids.
-std::vector<double> EpsPermGrid();                 // 0.5, 1.0, ..., 5.0
-std::vector<double> AlphaGridFig2();               // 0.1 ... 0.6
-std::vector<double> AlphaGridFig34();              // 0.4, 0.5, 0.6
-
 // Builds one of the paper's four datasets with n divided by
 // `config.scale` (and tau capped in --quick mode). `which` is one of
-// "syn", "adult", "db_mt", "db_de".
+// "syn", "adult", "db_mt", "db_de". Thin wrapper over BuildPlanDataset —
+// plan-driven and harness-driven runs construct identical bytes.
 Dataset MakeDataset(const std::string& which, const HarnessConfig& config,
                     uint64_t seed);
-
-// Mean of `values`.
-double Mean(const std::vector<double>& values);
 
 // Parses the --protocols= flag (semicolon-separated spec strings) into
 // specs, or returns `defaults` when the flag is absent. Exits with a
@@ -76,24 +70,20 @@ double Mean(const std::vector<double>& values);
 std::vector<ProtocolSpec> ParseProtocolSpecs(const CommandLine& cli,
                                              std::vector<ProtocolSpec> defaults);
 
-// One Fig. 3 panel's evaluation settings (Sec. 5.2): dBitFlipPM is
-// excluded on the DB_* panels and runs at b = k/4 there. Shared by the
-// four fig3 MSE panels and the fig4 accounting bench.
-struct Fig3Panel {
-  const char* dataset;
-  bool include_dbitflip;
-  uint32_t bucket_divisor;
-};
-std::span<const Fig3Panel> Fig3Panels();
-const Fig3Panel& Fig3PanelFor(const std::string& dataset_name);
+// Applies the plan-override flags documented above to a loaded plan.
+// Exits with a usage message on a malformed value.
+void ApplyPlanOverrides(const CommandLine& cli, ExperimentPlan* plan);
 
-// Shared driver for the four Fig. 3 panels: runs the legend (the paper's
-// default, or --protocols= spec strings) over the named dataset for the
-// full (ε∞, α) grid and prints/persists MSE_avg rows. The per-panel
-// settings — dBitFlipPM inclusion (excluded for the DB_* panels, whose
-// b < k histograms are not comparable, Sec. 5.2) and the paper's bucket
-// divisor (b = k or b = k/4) — are looked up from the dataset name.
-int RunFig3Panel(const std::string& dataset_name, int argc, char** argv);
+// Runs a loaded plan end to end: overrides applied, thread pool sized
+// from the plan, sinks from its [output] section. Returns the process
+// exit code (0 = success).
+int RunPlanMain(ExperimentPlan plan, const CommandLine& cli);
+
+// Legacy figure/table shim: loads plans/<plan_name>.plan — from the
+// source tree's plans/ directory (baked in at configure time) or ./plans
+// — applies the override flags, and runs. The legacy binaries are
+// 3-line mains over this.
+int RunLegacyPlanMain(const std::string& plan_name, int argc, char** argv);
 
 }  // namespace loloha::bench
 

@@ -1,44 +1,9 @@
-// Figure 1: optimal hash-range g (Eq. 6) as a function of the longitudinal
-// budget ε∞ for first-report fractions α in {0.1, ..., 0.6}.
-//
-// Also cross-checks every grid point against the brute-force argmin of V*
-// (a mismatch would indicate a regression in Eq. 6).
-
-#include <cstdio>
-#include <string>
+// Figure 1 shim: the sweep is plans/fig1_optimal_g.plan — prefer
+// `loloha_experiments --plan=plans/fig1_optimal_g.plan`. Kept one
+// release for bit-equivalence gating of the plan-driven driver.
 
 #include "bench/bench_common.h"
-#include "core/loloha_params.h"
-#include "util/table.h"
 
 int main(int argc, char** argv) {
-  using namespace loloha;
-  const CommandLine cli(argc, argv);
-  const bench::HarnessConfig config =
-      bench::ParseHarness(cli, "fig1_optimal_g.csv");
-
-  std::vector<std::string> header = {"eps_inf"};
-  for (const double alpha : bench::AlphaGridFig2()) {
-    header.push_back("alpha=" + FormatDouble(alpha, 2));
-  }
-  header.push_back("bruteforce_mismatches");
-  TextTable table(header);
-
-  for (const double eps : bench::EpsPermGrid()) {
-    std::vector<std::string> row = {FormatDouble(eps, 3)};
-    int mismatches = 0;
-    for (const double alpha : bench::AlphaGridFig2()) {
-      const uint32_t g = OptimalLolohaG(eps, alpha * eps);
-      const uint32_t g_bf = BruteForceOptimalG(eps, alpha * eps, 1e4);
-      if (g != g_bf) ++mismatches;
-      row.push_back(std::to_string(g));
-    }
-    row.push_back(std::to_string(mismatches));
-    table.AddRow(std::move(row));
-  }
-
-  std::printf("Figure 1 — optimal g (Eq. 6) per (eps_inf, alpha)\n\n%s\n",
-              table.ToString().c_str());
-  if (!config.out_csv.empty()) table.WriteCsv(config.out_csv);
-  return 0;
+  return loloha::bench::RunLegacyPlanMain("fig1_optimal_g", argc, argv);
 }

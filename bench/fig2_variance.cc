@@ -1,53 +1,9 @@
-// Figure 2: numerical approximate variance V* (Eq. 5) of the paper's
-// double-randomization legend (or any --protocols= spec list) at
-// n = 10000, for ε∞ in [0.5, 5] and ε1 = αε∞ with α in {0.1, ..., 0.6}.
-// One block of rows per α, matching the paper's six panels.
-
-#include <cstdio>
-#include <vector>
+// Figure 2 shim: the V* sweep is plans/fig2_variance.plan — prefer
+// `loloha_experiments --plan=plans/fig2_variance.plan`. Kept one release
+// for bit-equivalence gating of the plan-driven driver.
 
 #include "bench/bench_common.h"
-#include "core/theory.h"
-#include "util/table.h"
 
 int main(int argc, char** argv) {
-  using namespace loloha;
-  const CommandLine cli(argc, argv);
-  const bench::HarnessConfig config =
-      bench::ParseHarness(cli, "fig2_variance.csv");
-  const double n = cli.GetDouble("n", 10000.0);
-  const uint32_t k = 360;  // only L-GRR (not plotted) depends on k
-
-  std::vector<ProtocolSpec> legend;
-  for (const ProtocolId id : Figure2Protocols()) {
-    ProtocolSpec spec;
-    spec.id = id;
-    legend.push_back(spec.Canonicalized());
-  }
-  legend = bench::ParseProtocolSpecs(cli, std::move(legend));
-
-  std::vector<std::string> header = {"alpha", "eps_inf"};
-  for (const ProtocolSpec& spec : legend) header.push_back(spec.DisplayName());
-  TextTable table(header);
-  for (const double alpha : bench::AlphaGridFig2()) {
-    for (const double eps : bench::EpsPermGrid()) {
-      std::vector<std::string> row = {FormatDouble(alpha, 2),
-                                      FormatDouble(eps, 3)};
-      for (const ProtocolSpec& base : legend) {
-        // V* honors pinned extras (a fixed g, a bucket layout); the grid
-        // overrides the budgets, as in the fig3 panels.
-        ProtocolSpec spec = base;
-        spec.eps_perm = eps;
-        spec.eps_first = spec.IsTwoRound() ? alpha * eps : 0.0;
-        row.push_back(FormatDouble(ApproxVarianceForSpec(spec, n, k)));
-      }
-      table.AddRow(std::move(row));
-    }
-  }
-
-  std::printf(
-      "Figure 2 — approximate variance V* (Eq. 5), n=%.0f\n\n%s\n", n,
-      table.ToString().c_str());
-  if (!config.out_csv.empty()) table.WriteCsv(config.out_csv);
-  return 0;
+  return loloha::bench::RunLegacyPlanMain("fig2_variance", argc, argv);
 }

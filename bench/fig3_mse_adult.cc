@@ -1,9 +1,9 @@
-// Figure 3b: MSE_avg on the Adult-like dataset (k = 96, n = 45222,
-// tau = 260; see DESIGN.md for the offline substitution). dBitFlipPM runs
-// with b = k as in the paper.
+// Figure 3b shim: the panel is plans/fig3_adult.plan — prefer
+// `loloha_experiments --plan=plans/fig3_adult.plan`. Kept one release for
+// bit-equivalence gating of the plan-driven driver.
 
 #include "bench/bench_common.h"
 
 int main(int argc, char** argv) {
-  return loloha::bench::RunFig3Panel("adult", argc, argv);
+  return loloha::bench::RunLegacyPlanMain("fig3_adult", argc, argv);
 }

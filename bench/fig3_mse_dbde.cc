@@ -1,8 +1,9 @@
-// Figure 3d: MSE_avg on the DB_DE-like replicate-weight dataset
-// (k ~ 1234, n = 9123, tau = 80). dBitFlipPM excluded (b = k/4).
+// Figure 3d shim: the panel is plans/fig3_dbde.plan — prefer
+// `loloha_experiments --plan=plans/fig3_dbde.plan`. Kept one release for
+// bit-equivalence gating of the plan-driven driver.
 
 #include "bench/bench_common.h"
 
 int main(int argc, char** argv) {
-  return loloha::bench::RunFig3Panel("db_de", argc, argv);
+  return loloha::bench::RunLegacyPlanMain("fig3_dbde", argc, argv);
 }

@@ -1,9 +1,9 @@
-// Figure 3c: MSE_avg on the DB_MT-like replicate-weight dataset
-// (k ~ 1412, n = 10336, tau = 80). dBitFlipPM is excluded, as in the
-// paper: with b = k/4 its b-bin histogram is not comparable.
+// Figure 3c shim: the panel is plans/fig3_dbmt.plan — prefer
+// `loloha_experiments --plan=plans/fig3_dbmt.plan`. Kept one release for
+// bit-equivalence gating of the plan-driven driver.
 
 #include "bench/bench_common.h"
 
 int main(int argc, char** argv) {
-  return loloha::bench::RunFig3Panel("db_mt", argc, argv);
+  return loloha::bench::RunLegacyPlanMain("fig3_dbmt", argc, argv);
 }

@@ -1,9 +1,9 @@
-// Figure 3a: MSE_avg on the Syn dataset (k = 360, n = 10000, tau = 120,
-// p_ch = 0.25), seven methods, eps grid x alpha in {0.4, 0.5, 0.6}.
-// dBitFlipPM runs with b = k as in the paper.
+// Figure 3a shim: the panel is plans/fig3_syn.plan — prefer
+// `loloha_experiments --plan=plans/fig3_syn.plan`. Kept one release for
+// bit-equivalence gating of the plan-driven driver.
 
 #include "bench/bench_common.h"
 
 int main(int argc, char** argv) {
-  return loloha::bench::RunFig3Panel("syn", argc, argv);
+  return loloha::bench::RunLegacyPlanMain("fig3_syn", argc, argv);
 }

@@ -1,64 +1,9 @@
-// Figure 4 (a-d): averaged empirical longitudinal privacy loss ε̌_avg
-// (Eq. 8) for all seven methods over all four datasets, eps grid x alpha
-// in {0.4, 0.5, 0.6}.
-//
-// The accounting of Definition 3.2 depends only on the users' true
-// sequences plus the protocol's per-user randomness (hash function /
-// sampled set), so this binary uses the dedicated accountant instead of
-// full mechanism runs; integration tests check that the two paths agree.
-//
-// Per the paper: RAPPOR, L-OSUE, L-GRR share value-memo accounting;
-// dBitFlipPM uses b = k on Syn/Adult and b = k/4 on DB_MT/DB_DE.
-
-#include <cstdio>
-#include <string>
-#include <vector>
+// Figure 4 shim: the accounting sweep is plans/fig4_privacy_loss.plan —
+// prefer `loloha_experiments --plan=plans/fig4_privacy_loss.plan`. Kept
+// one release for bit-equivalence gating of the plan-driven driver.
 
 #include "bench/bench_common.h"
-#include "core/loloha_params.h"
-#include "sim/accountant.h"
-#include "sim/metrics.h"
-#include "util/table.h"
 
 int main(int argc, char** argv) {
-  using namespace loloha;
-  const CommandLine cli(argc, argv);
-  const bench::HarnessConfig config =
-      bench::ParseHarness(cli, "fig4_privacy_loss.csv");
-
-  TextTable table({"dataset", "alpha", "eps_inf", "RAPPOR/L-OSUE/L-GRR",
-                   "bBitFlipPM", "1BitFlipPM", "OLOLOHA", "BiLOLOHA"});
-
-  for (const bench::Fig3Panel& panel : bench::Fig3Panels()) {
-    const Dataset data =
-        bench::MakeDataset(panel.dataset, config, config.seed);
-    const uint32_t b = data.k() / panel.bucket_divisor;
-    std::printf("%s: n=%u k=%u tau=%u b=%u (avg %.1f distinct values/user)\n",
-                data.name().c_str(), data.n(), data.k(), data.tau(), b,
-                data.MeanDistinctValuesPerUser());
-    for (const double alpha : bench::AlphaGridFig34()) {
-      for (const double eps : bench::EpsPermGrid()) {
-        const double value_memo = EpsAvg(ValueMemoEpsilons(data, eps));
-        const double b_bit =
-            EpsAvg(DBitFlipEpsilons(data, b, b, eps, config.seed + 1));
-        const double one_bit =
-            EpsAvg(DBitFlipEpsilons(data, b, 1, eps, config.seed + 2));
-        const uint32_t g_opt = OptimalLolohaG(eps, alpha * eps);
-        const double ololoha =
-            EpsAvg(LolohaEpsilons(data, g_opt, eps, config.seed + 3));
-        const double biloloha =
-            EpsAvg(LolohaEpsilons(data, 2, eps, config.seed + 4));
-        table.AddRow({data.name(), FormatDouble(alpha, 2),
-                      FormatDouble(eps, 3), FormatDouble(value_memo, 5),
-                      FormatDouble(b_bit, 5), FormatDouble(one_bit, 5),
-                      FormatDouble(ololoha, 5),
-                      FormatDouble(biloloha, 5)});
-      }
-    }
-  }
-
-  std::printf("\nFigure 4 — averaged longitudinal privacy loss (Eq. 8)\n\n%s\n",
-              table.ToString().c_str());
-  if (!config.out_csv.empty()) table.WriteCsv(config.out_csv);
-  return 0;
+  return loloha::bench::RunLegacyPlanMain("fig4_privacy_loss", argc, argv);
 }

@@ -1,0 +1,54 @@
+// loloha_experiments: the one driver for every figure/table reproduction
+// and any new scenario — experiments are plan files, not binaries.
+//
+//   loloha_experiments --plan=plans/fig3_syn.plan [--quick] [--threads=T]
+//                      [--out=PATH.csv] [--json=PATH] [--runs=R]
+//                      [--scale=S] [--seed=N] [--protocols=SPECS] ...
+//   loloha_experiments --plan=plans/fig2_variance.plan --validate
+//   loloha_experiments --list-protocols
+//
+// --validate parses the plan, applies the overrides, validates, prints
+// the canonical plan text, and exits without running. --list-protocols
+// prints the ProtocolSpec registry (names, aliases, extras, V*
+// availability). See bench/bench_common.h for the full override list and
+// README "Experiments" for the plan-file grammar.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "sim/experiment.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace loloha;
+  const CommandLine cli(argc, argv);
+  if (cli.HasFlag("list-protocols")) {
+    PrintProtocolRegistry(stdout);
+    return 0;
+  }
+  const std::string plan_path = cli.GetString("plan", "");
+  if (plan_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: loloha_experiments --plan=<file.plan> [overrides]\n"
+                 "       loloha_experiments --plan=<file.plan> --validate\n"
+                 "       loloha_experiments --list-protocols\n");
+    return 2;
+  }
+  ExperimentPlan plan;
+  std::string error;
+  if (!LoadExperimentPlan(plan_path, &plan, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  if (cli.HasFlag("validate")) {
+    bench::ApplyPlanOverrides(cli, &plan);
+    if (!plan.Validate(&error)) {
+      std::fprintf(stderr, "plan '%s': %s\n", plan.name.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    std::printf("%s", plan.ToString().c_str());
+    return 0;
+  }
+  return bench::RunPlanMain(std::move(plan), cli);
+}

@@ -1,58 +1,9 @@
-// Table 1: theoretical comparison — communication bits per user per time
-// step, server run-time class, and worst-case longitudinal privacy budget
-// under Definition 3.2. Printed symbolically and instantiated on the
-// paper's Syn configuration (k = 360, b = k, d in {1, b}, ε∞ = 1).
-
-#include <cmath>
-#include <cstdio>
+// Table 1 shim: the comparison is plans/table1_comparison.plan — prefer
+// `loloha_experiments --plan=plans/table1_comparison.plan`. Kept one
+// release for bit-equivalence gating of the plan-driven driver.
 
 #include "bench/bench_common.h"
-#include "core/loloha_params.h"
-#include "core/theory.h"
-#include "util/table.h"
 
 int main(int argc, char** argv) {
-  using namespace loloha;
-  const CommandLine cli(argc, argv);
-  const bench::HarnessConfig config =
-      bench::ParseHarness(cli, "table1_comparison.csv");
-
-  const uint32_t k = static_cast<uint32_t>(cli.GetInt("k", 360));
-  const uint32_t b = static_cast<uint32_t>(cli.GetInt("b", k));
-  const double eps = cli.GetDouble("eps", 1.0);
-  const double eps1 = cli.GetDouble("eps1", 0.5 * eps);
-
-  TextTable table({"protocol", "comm bits/report", "server run-time",
-                   "privacy budget (symbolic)", "budget at eps_inf=" +
-                       FormatDouble(eps, 3)});
-
-  struct Row {
-    ProtocolId id;
-    const char* symbolic;
-  };
-  const Row rows[] = {
-      {ProtocolId::kBiLoloha, "g eps_inf (g = 2)"},
-      {ProtocolId::kOLoloha, "g eps_inf (g = Eq. 6)"},
-      {ProtocolId::kLGrr, "k eps_inf"},
-      {ProtocolId::kRappor, "k eps_inf"},
-      {ProtocolId::kLOsue, "k eps_inf"},
-      {ProtocolId::kOneBitFlipPm, "min(d+1, b) eps_inf (d = 1)"},
-      {ProtocolId::kBBitFlipPm, "min(d+1, b) eps_inf (d = b)"},
-  };
-  for (const Row& row : rows) {
-    const ProtocolCharacteristics c =
-        Characteristics(row.id, k, b, 1, eps, eps1);
-    table.AddRow({c.name, FormatDouble(c.comm_bits_per_report, 6),
-                  c.server_runtime, row.symbolic,
-                  FormatDouble(c.worst_case_budget, 6)});
-  }
-
-  std::printf(
-      "Table 1 — theoretical comparison (k=%u, b=%u, eps_inf=%g, "
-      "eps1=%g)\n\n%s\n",
-      k, b, eps, eps1, table.ToString().c_str());
-  std::printf("OLOLOHA resolved g = %u at (eps_inf=%g, eps1=%g)\n",
-              OptimalLolohaG(eps, eps1), eps, eps1);
-  if (!config.out_csv.empty()) table.WriteCsv(config.out_csv);
-  return 0;
+  return loloha::bench::RunLegacyPlanMain("table1_comparison", argc, argv);
 }

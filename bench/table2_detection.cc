@@ -1,66 +1,9 @@
-// Table 2: percentage of users for which the server can identify ALL
-// bucket-change points of their sequence under dBitFlipPM (no second
-// randomization round), for d = 1 and d = b, over all four datasets and
-// the ε∞ grid. Syn/Adult use b = k; DB_MT/DB_DE use b = k/4, as in the
-// paper.
-
-#include <cstdio>
-#include <string>
-#include <vector>
+// Table 2 shim: the detection attack is plans/table2_detection.plan —
+// prefer `loloha_experiments --plan=plans/table2_detection.plan`. Kept
+// one release for bit-equivalence gating of the plan-driven driver.
 
 #include "bench/bench_common.h"
-#include "sim/attack.h"
-#include "util/table.h"
 
 int main(int argc, char** argv) {
-  using namespace loloha;
-  const CommandLine cli(argc, argv);
-  const bench::HarnessConfig config =
-      bench::ParseHarness(cli, "table2_detection.csv");
-
-  struct Panel {
-    const char* dataset;
-    uint32_t bucket_divisor;
-  };
-  const Panel panels[] = {
-      {"syn", 1}, {"adult", 1}, {"db_mt", 4}, {"db_de", 4}};
-
-  TextTable table(
-      {"eps_inf", "d=1 Syn", "d=1 Adult", "d=1 DB_MT", "d=1 DB_DE",
-       "d=b Syn", "d=b Adult", "d=b DB_MT", "d=b DB_DE"});
-
-  std::vector<Dataset> datasets;
-  std::vector<uint32_t> buckets;
-  for (const Panel& panel : panels) {
-    datasets.push_back(
-        bench::MakeDataset(panel.dataset, config, config.seed));
-    buckets.push_back(datasets.back().k() / panel.bucket_divisor);
-    std::printf("%s: n=%u k=%u tau=%u b=%u\n",
-                datasets.back().name().c_str(), datasets.back().n(),
-                datasets.back().k(), datasets.back().tau(),
-                buckets.back());
-  }
-
-  for (const double eps : bench::EpsPermGrid()) {
-    std::vector<std::string> row = {FormatDouble(eps, 3)};
-    for (const uint32_t d_is_b : {0u, 1u}) {
-      for (size_t i = 0; i < datasets.size(); ++i) {
-        const uint32_t b = buckets[i];
-        const uint32_t d = d_is_b ? b : 1u;
-        const DetectionResult result = DBitFlipDetection(
-            datasets[i], b, d, eps, config.seed + 31 * i + d);
-        row.push_back(FormatDouble(result.PercentFullyDetected(), 4) + "%");
-      }
-    }
-    table.AddRow(std::move(row));
-    std::printf(".");
-    std::fflush(stdout);
-  }
-
-  std::printf(
-      "\n\nTable 2 — %% of users with ALL bucket changes detected "
-      "(dBitFlipPM)\n\n%s\n",
-      table.ToString().c_str());
-  if (!config.out_csv.empty()) table.WriteCsv(config.out_csv);
-  return 0;
+  return loloha::bench::RunLegacyPlanMain("table2_detection", argc, argv);
 }

@@ -3,6 +3,7 @@
 //
 //   $ ./build/examples/quickstart
 //   $ ./build/examples/quickstart --protocol=biloloha:eps_perm=2,eps_first=1
+//   $ ./build/examples/quickstart --list-protocols
 //
 // The protocol comes from a declarative ProtocolSpec string (the same
 // grammar every bench accepts): OLOLOHA picks the variance-optimal hash
@@ -16,6 +17,7 @@
 
 #include "core/loloha.h"
 #include "core/loloha_params.h"
+#include "sim/experiment.h"
 #include "sim/protocol_spec.h"
 #include "util/cli.h"
 #include "util/histogram.h"
@@ -27,6 +29,10 @@ int main(int argc, char** argv) {
   // Domain: k = 32 categories (say, app screens); budgets ε∞ = 2, ε1 = 1.
   constexpr uint32_t kDomain = 32;
   const CommandLine cli(argc, argv);
+  if (cli.HasFlag("list-protocols")) {
+    PrintProtocolRegistry(stdout);
+    return 0;
+  }
   ProtocolSpec spec;
   std::string error;
   if (!ProtocolSpec::Parse(

@@ -1,0 +1,1131 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/loloha_params.h"
+#include "data/generators.h"
+#include "sim/accountant.h"
+#include "sim/attack.h"
+#include "sim/metrics.h"
+#include "sim/monte_carlo.h"
+#include "sim/runner.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+// Configure-time provenance stamp (CMake: git describe --always --dirty).
+#ifndef LOLOHA_GIT_DESCRIBE
+#define LOLOHA_GIT_DESCRIBE "unknown"
+#endif
+
+namespace loloha {
+
+namespace {
+
+struct KindName {
+  ExperimentKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {ExperimentKind::kMse, "mse"},
+    {ExperimentKind::kVariance, "variance"},
+    {ExperimentKind::kOptimalG, "optimal_g"},
+    {ExperimentKind::kPrivacyLoss, "privacy_loss"},
+    {ExperimentKind::kComparison, "comparison"},
+    {ExperimentKind::kDetection, "detection"},
+};
+
+constexpr const char* kDatasetNames[] = {"syn", "adult", "db_mt", "db_de"};
+
+bool IsKnownDataset(std::string_view name) {
+  for (const char* known : kDatasetNames) {
+    if (name == known) return true;
+  }
+  return false;
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+// Shortest decimal form that parses back to exactly `value` (same
+// contract as ProtocolSpec::ToString: the plan round-trip is exact).
+std::string FormatShortest(double value) {
+  char buffer[64];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return std::string(buffer, result.ptr);
+}
+
+bool ParseDoubleValue(std::string_view text, double* value) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto result = std::from_chars(begin, end, *value);
+  return result.ec == std::errc() && result.ptr == end;
+}
+
+template <typename UInt>
+bool ParseUIntValue(std::string_view text, UInt* value) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto result = std::from_chars(begin, end, *value);
+  return result.ec == std::errc() && result.ptr == end;
+}
+
+bool FailAt(std::string* error, size_t line, const std::string& message) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line) + ": " + message;
+  }
+  return false;
+}
+
+bool FailPlan(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+// Splits on `sep`, trimming each element; empty elements are an error the
+// caller reports with the line number.
+bool SplitList(std::string_view text, char sep,
+               std::vector<std::string>* out) {
+  out->clear();
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    const size_t end = std::min(text.find(sep, begin), text.size());
+    const std::string_view token = Trim(text.substr(begin, end - begin));
+    if (token.empty()) return false;
+    out->emplace_back(token);
+    begin = end + 1;
+  }
+  return true;
+}
+
+std::string JoinList(const std::vector<std::string>& items,
+                     const char* sep) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+const char* RequirementName(ExperimentKind kind) {
+  return ExperimentKindName(kind);
+}
+
+// ---------------------------------------------------------------------------
+// Execution helpers.
+// ---------------------------------------------------------------------------
+
+struct EffectiveRun {
+  uint32_t scale;
+  uint32_t runs;
+};
+
+// Quick mode mirrors the legacy harness: scale floors at 20, one run,
+// tau capped at 20 (the cap lives in BuildPlanDataset).
+EffectiveRun Effective(const ExperimentPlan& plan) {
+  EffectiveRun eff{plan.scale, plan.runs};
+  if (plan.quick) {
+    eff.scale = std::max(eff.scale, 20u);
+    eff.runs = 1;
+  }
+  return eff;
+}
+
+[[gnu::format(printf, 2, 3)]]
+void Log(std::FILE* log, const char* format, ...) {
+  if (log == nullptr) return;
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(log, format, args);
+  va_end(args);
+  std::fflush(log);
+}
+
+ArtifactMeta MetaFor(const ExperimentPlan& plan, std::string table,
+                     std::string suffix) {
+  ArtifactMeta meta;
+  meta.plan_name = plan.name;
+  meta.kind = ExperimentKindName(plan.kind);
+  meta.table = std::move(table);
+  meta.suffix = std::move(suffix);
+  meta.seed = plan.seed;
+  meta.git_describe = GitDescribe();
+  return meta;
+}
+
+bool EmitTable(const TextTable& table, const ArtifactMeta& meta,
+               std::span<ResultSink* const> sinks, std::string* error,
+               std::FILE* log) {
+  Log(log, "\n%s\n", table.ToString().c_str());
+  for (ResultSink* sink : sinks) {
+    if (!sink->Write(table, meta)) {
+      return FailPlan(error, "result sink failed writing table '" +
+                                 meta.table + "'");
+    }
+  }
+  return true;
+}
+
+uint32_t DivisorFor(const ExperimentPlan& plan, size_t dataset_index) {
+  if (plan.bucket_divisors.empty()) return 1;
+  return plan.bucket_divisors[dataset_index];
+}
+
+// dBitFlipPM bucket count for dataset `i`, as a plan error (not a CHECK
+// abort) when the plan's divisor is too large for the dataset's domain —
+// divisors are user-editable text now, not the old hard-coded table.
+bool ResolvePlanBuckets(const ExperimentPlan& plan, size_t i,
+                        const Dataset& data, uint32_t* b,
+                        std::string* error) {
+  const uint32_t divisor = DivisorFor(plan, i);
+  *b = data.k() / divisor;
+  if (*b < 2) {
+    return FailPlan(error, "bucket_divisor " + std::to_string(divisor) +
+                               " too large for dataset '" +
+                               plan.datasets[i] + "' (k = " +
+                               std::to_string(data.k()) + ")");
+  }
+  return true;
+}
+
+// Fig. 3 family: the Monte-Carlo MSE_avg grid over each dataset. The
+// (α, ε∞, protocol) grid flattens row-major into one ProtocolSpec per
+// Monte-Carlo config — byte-identical to the legacy per-figure mains.
+bool RunMse(const ExperimentPlan& plan, ThreadPool* pool,
+            std::span<ResultSink* const> sinks, std::string* error,
+            std::FILE* log) {
+  const EffectiveRun eff = Effective(plan);
+  const bool multi = plan.datasets.size() > 1;
+  for (const std::string& which : plan.datasets) {
+    const Dataset data =
+        BuildPlanDataset(which, eff.scale, plan.quick, plan.seed);
+    Log(log,
+        "%s [mse] %s — MSE_avg (Eq. 7); n=%u (scale 1/%u of paper), k=%u, "
+        "tau=%u, runs=%u\n\n",
+        plan.name.c_str(), data.name().c_str(), data.n(), eff.scale,
+        data.k(), data.tau(), eff.runs);
+
+    RunnerOptions options;
+    options.num_threads = plan.threads;
+    options.pool = pool;
+
+    // Grid budgets override the legend specs' placeholders, exactly like
+    // the --protocols= bench flag.
+    std::vector<ProtocolSpec> cells;
+    cells.reserve(plan.alpha.size() * plan.eps_perm.size() *
+                  plan.protocols.size());
+    for (const double alpha : plan.alpha) {
+      for (const double eps : plan.eps_perm) {
+        for (const ProtocolSpec& base : plan.protocols) {
+          ProtocolSpec spec = base;
+          spec.eps_perm = eps;
+          spec.eps_first = spec.IsTwoRound() ? alpha * eps : 0.0;
+          cells.push_back(spec);
+        }
+      }
+    }
+
+    MonteCarloOptions mc;
+    mc.runs = eff.runs;
+    mc.base_seed = plan.seed;
+    mc.pool = pool;
+    const uint32_t cells_per_dot =
+        static_cast<uint32_t>(plan.protocols.size()) * eff.runs;
+    if (log != nullptr) {
+      mc.progress = [cells_per_dot, log](uint32_t completed, uint32_t) {
+        if (completed % cells_per_dot == 0) {
+          std::fprintf(log, ".");
+          std::fflush(log);
+        }
+      };
+    }
+    const std::vector<std::vector<double>> per_run_mse = RunMonteCarloGrid(
+        std::span<const ProtocolSpec>(cells), options, data, mc,
+        [&](uint32_t, const RunResult& result) {
+          // dBitFlipPM estimates a b-bin histogram; compare it against
+          // the bucketized truth (Sec. 5.2), everything else bin for bin.
+          return result.bins == data.k()
+                     ? MseAvg(data, result.estimates)
+                     : MseAvgBucketed(data,
+                                      Bucketizer(data.k(), result.bins),
+                                      result.estimates);
+        });
+
+    std::vector<std::string> header = {"alpha", "eps_inf"};
+    for (const ProtocolSpec& spec : plan.protocols) {
+      header.push_back(spec.DisplayName());
+    }
+    TextTable table(header);
+    size_t cell = 0;
+    for (const double alpha : plan.alpha) {
+      for (const double eps : plan.eps_perm) {
+        std::vector<std::string> row = {FormatDouble(alpha, 2),
+                                        FormatDouble(eps, 3)};
+        for (size_t p = 0; p < plan.protocols.size(); ++p) {
+          double sum = 0.0;
+          for (const double v : per_run_mse[cell]) sum += v;
+          row.push_back(FormatDouble(
+              sum / static_cast<double>(per_run_mse[cell].size()), 4));
+          ++cell;
+        }
+        table.AddRow(std::move(row));
+      }
+    }
+    Log(log, "\n");
+    if (!EmitTable(table, MetaFor(plan, which, multi ? "_" + which : ""),
+                   sinks, error, log)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Fig. 2: closed-form approximate variance V* (Eq. 5) — no simulation.
+bool RunVariance(const ExperimentPlan& plan,
+                 std::span<ResultSink* const> sinks, std::string* error,
+                 std::FILE* log) {
+  std::vector<std::string> header = {"alpha", "eps_inf"};
+  for (const ProtocolSpec& spec : plan.protocols) {
+    header.push_back(spec.DisplayName());
+  }
+  TextTable table(header);
+  for (const double alpha : plan.alpha) {
+    for (const double eps : plan.eps_perm) {
+      std::vector<std::string> row = {FormatDouble(alpha, 2),
+                                      FormatDouble(eps, 3)};
+      for (const ProtocolSpec& base : plan.protocols) {
+        // V* honors pinned extras (a fixed g, a bucket layout); the grid
+        // overrides the budgets, as in the MSE panels.
+        ProtocolSpec spec = base;
+        spec.eps_perm = eps;
+        spec.eps_first = spec.IsTwoRound() ? alpha * eps : 0.0;
+        row.push_back(
+            FormatDouble(ApproxVarianceForSpec(spec, plan.n, plan.k)));
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  Log(log, "%s [variance] — approximate variance V* (Eq. 5), n=%.0f\n",
+      plan.name.c_str(), plan.n);
+  return EmitTable(table, MetaFor(plan, plan.name, ""), sinks, error, log);
+}
+
+// Fig. 1: optimal hash range g (Eq. 6) per (ε∞, α), cross-checked
+// against the brute-force argmin of V*.
+bool RunOptimalG(const ExperimentPlan& plan,
+                 std::span<ResultSink* const> sinks, std::string* error,
+                 std::FILE* log) {
+  std::vector<std::string> header = {"eps_inf"};
+  for (const double alpha : plan.alpha) {
+    header.push_back("alpha=" + FormatDouble(alpha, 2));
+  }
+  header.push_back("bruteforce_mismatches");
+  TextTable table(header);
+  for (const double eps : plan.eps_perm) {
+    std::vector<std::string> row = {FormatDouble(eps, 3)};
+    int mismatches = 0;
+    for (const double alpha : plan.alpha) {
+      const uint32_t g = OptimalLolohaG(eps, alpha * eps);
+      const uint32_t g_bf = BruteForceOptimalG(eps, alpha * eps, 1e4);
+      if (g != g_bf) ++mismatches;
+      row.push_back(std::to_string(g));
+    }
+    row.push_back(std::to_string(mismatches));
+    table.AddRow(std::move(row));
+  }
+  Log(log, "%s [optimal_g] — optimal g (Eq. 6) per (eps_inf, alpha)\n",
+      plan.name.c_str());
+  return EmitTable(table, MetaFor(plan, plan.name, ""), sinks, error, log);
+}
+
+// Fig. 4: averaged empirical longitudinal privacy loss ε̌_avg (Eq. 8)
+// via the dedicated accountant (integration tests pin it to full runs).
+bool RunPrivacyLoss(const ExperimentPlan& plan,
+                    std::span<ResultSink* const> sinks, std::string* error,
+                    std::FILE* log) {
+  const EffectiveRun eff = Effective(plan);
+  TextTable table({"dataset", "alpha", "eps_inf", "RAPPOR/L-OSUE/L-GRR",
+                   "bBitFlipPM", "1BitFlipPM", "OLOLOHA", "BiLOLOHA"});
+  for (size_t i = 0; i < plan.datasets.size(); ++i) {
+    const Dataset data =
+        BuildPlanDataset(plan.datasets[i], eff.scale, plan.quick, plan.seed);
+    uint32_t b = 0;
+    if (!ResolvePlanBuckets(plan, i, data, &b, error)) return false;
+    Log(log, "%s: n=%u k=%u tau=%u b=%u (avg %.1f distinct values/user)\n",
+        data.name().c_str(), data.n(), data.k(), data.tau(), b,
+        data.MeanDistinctValuesPerUser());
+    for (const double alpha : plan.alpha) {
+      for (const double eps : plan.eps_perm) {
+        const double value_memo = EpsAvg(ValueMemoEpsilons(data, eps));
+        const double b_bit =
+            EpsAvg(DBitFlipEpsilons(data, b, b, eps, plan.seed + 1));
+        const double one_bit =
+            EpsAvg(DBitFlipEpsilons(data, b, 1, eps, plan.seed + 2));
+        const uint32_t g_opt = OptimalLolohaG(eps, alpha * eps);
+        const double ololoha =
+            EpsAvg(LolohaEpsilons(data, g_opt, eps, plan.seed + 3));
+        const double biloloha =
+            EpsAvg(LolohaEpsilons(data, 2, eps, plan.seed + 4));
+        table.AddRow({data.name(), FormatDouble(alpha, 2),
+                      FormatDouble(eps, 3), FormatDouble(value_memo, 5),
+                      FormatDouble(b_bit, 5), FormatDouble(one_bit, 5),
+                      FormatDouble(ololoha, 5), FormatDouble(biloloha, 5)});
+      }
+    }
+  }
+  Log(log,
+      "\n%s [privacy_loss] — averaged longitudinal privacy loss (Eq. 8)\n",
+      plan.name.c_str());
+  return EmitTable(table, MetaFor(plan, plan.name, ""), sinks, error, log);
+}
+
+// Table 1: theoretical comparison, instantiated at the plan's (k, b,
+// eps, eps1) point.
+bool RunComparison(const ExperimentPlan& plan,
+                   std::span<ResultSink* const> sinks, std::string* error,
+                   std::FILE* log) {
+  const uint32_t k = plan.k;
+  const uint32_t b = plan.b == 0 ? k : plan.b;
+  const double eps = plan.eps;
+  const double eps1 = plan.eps1 == 0.0 ? 0.5 * eps : plan.eps1;
+
+  TextTable table({"protocol", "comm bits/report", "server run-time",
+                   "privacy budget (symbolic)",
+                   "budget at eps_inf=" + FormatDouble(eps, 3)});
+  struct Row {
+    ProtocolId id;
+    const char* symbolic;
+  };
+  const Row rows[] = {
+      {ProtocolId::kBiLoloha, "g eps_inf (g = 2)"},
+      {ProtocolId::kOLoloha, "g eps_inf (g = Eq. 6)"},
+      {ProtocolId::kLGrr, "k eps_inf"},
+      {ProtocolId::kRappor, "k eps_inf"},
+      {ProtocolId::kLOsue, "k eps_inf"},
+      {ProtocolId::kOneBitFlipPm, "min(d+1, b) eps_inf (d = 1)"},
+      {ProtocolId::kBBitFlipPm, "min(d+1, b) eps_inf (d = b)"},
+  };
+  for (const Row& row : rows) {
+    const ProtocolCharacteristics c =
+        Characteristics(row.id, k, b, 1, eps, eps1);
+    table.AddRow({c.name, FormatDouble(c.comm_bits_per_report, 6),
+                  c.server_runtime, row.symbolic,
+                  FormatDouble(c.worst_case_budget, 6)});
+  }
+  Log(log,
+      "%s [comparison] — theoretical comparison (k=%u, b=%u, eps_inf=%g, "
+      "eps1=%g); OLOLOHA resolved g = %u\n",
+      plan.name.c_str(), k, b, eps, eps1, OptimalLolohaG(eps, eps1));
+  return EmitTable(table, MetaFor(plan, plan.name, ""), sinks, error, log);
+}
+
+// Table 2: dBitFlipPM bucket-change detection attack, d in {1, b}.
+bool RunDetection(const ExperimentPlan& plan,
+                  std::span<ResultSink* const> sinks, std::string* error,
+                  std::FILE* log) {
+  const EffectiveRun eff = Effective(plan);
+  std::vector<Dataset> datasets;
+  std::vector<uint32_t> buckets;
+  for (size_t i = 0; i < plan.datasets.size(); ++i) {
+    datasets.push_back(
+        BuildPlanDataset(plan.datasets[i], eff.scale, plan.quick, plan.seed));
+    uint32_t b = 0;
+    if (!ResolvePlanBuckets(plan, i, datasets.back(), &b, error)) {
+      return false;
+    }
+    buckets.push_back(b);
+    Log(log, "%s: n=%u k=%u tau=%u b=%u\n", datasets.back().name().c_str(),
+        datasets.back().n(), datasets.back().k(), datasets.back().tau(),
+        buckets.back());
+  }
+
+  std::vector<std::string> header = {"eps_inf"};
+  for (const uint32_t d_is_b : {0u, 1u}) {
+    for (const Dataset& data : datasets) {
+      header.push_back((d_is_b ? "d=b " : "d=1 ") + data.name());
+    }
+  }
+  TextTable table(header);
+  for (const double eps : plan.eps_perm) {
+    std::vector<std::string> row = {FormatDouble(eps, 3)};
+    for (const uint32_t d_is_b : {0u, 1u}) {
+      for (size_t i = 0; i < datasets.size(); ++i) {
+        const uint32_t b = buckets[i];
+        const uint32_t d = d_is_b ? b : 1u;
+        const DetectionResult result = DBitFlipDetection(
+            datasets[i], b, d, eps, plan.seed + 31 * i + d);
+        row.push_back(FormatDouble(result.PercentFullyDetected(), 4) + "%");
+      }
+    }
+    table.AddRow(std::move(row));
+    Log(log, ".");
+  }
+  Log(log,
+      "\n\n%s [detection] — %% of users with ALL bucket changes detected "
+      "(dBitFlipPM)\n",
+      plan.name.c_str());
+  return EmitTable(table, MetaFor(plan, plan.name, ""), sinks, error, log);
+}
+
+// ---------------------------------------------------------------------------
+// Sink helpers.
+// ---------------------------------------------------------------------------
+
+// "<stem><suffix><ext>" for multi-table plans; `path` untouched otherwise.
+std::string SuffixedPath(const std::string& path,
+                         const std::string& suffix) {
+  if (suffix.empty()) return path;
+  const std::filesystem::path p(path);
+  std::filesystem::path out = p.parent_path();
+  out /= p.stem().string() + suffix + p.extension().string();
+  return out.string();
+}
+
+void EnsureParentDirectory(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // best effort
+  }
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ProvenanceJson(const ArtifactMeta& meta) {
+  std::string out = "{\"plan\": \"" + JsonEscape(meta.plan_name) +
+                    "\", \"kind\": \"" + JsonEscape(meta.kind) +
+                    "\", \"table\": \"" + JsonEscape(meta.table) +
+                    "\", \"seed\": " + std::to_string(meta.seed) +
+                    ", \"git\": \"" + JsonEscape(meta.git_describe) + "\"";
+  return out;  // caller closes the object (or extends it)
+}
+
+bool WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << bytes;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+const char* ExperimentKindName(ExperimentKind kind) {
+  for (const KindName& entry : kKindNames) {
+    if (entry.kind == kind) return entry.name;
+  }
+  LOLOHA_CHECK_MSG(false, "unknown experiment kind");
+  return "?";
+}
+
+bool ExperimentKindFromName(std::string_view name, ExperimentKind* kind) {
+  for (const KindName& entry : kKindNames) {
+    if (name == entry.name) {
+      *kind = entry.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ExperimentPlan::Validate(std::string* error) const {
+  if (name.empty()) return FailPlan(error, "plan has no name");
+  for (const std::string& dataset : datasets) {
+    if (!IsKnownDataset(dataset)) {
+      return FailPlan(error, "unknown dataset '" + dataset + "'");
+    }
+  }
+  if (!bucket_divisors.empty() &&
+      bucket_divisors.size() != datasets.size()) {
+    return FailPlan(error,
+                    "bucket_divisors must be empty or match datasets "
+                    "element for element");
+  }
+  for (const uint32_t divisor : bucket_divisors) {
+    if (divisor < 1) return FailPlan(error, "bucket divisors must be >= 1");
+  }
+  for (const ProtocolSpec& spec : protocols) {
+    std::string spec_error;
+    if (!spec.Validate(&spec_error)) {
+      return FailPlan(error, "protocol '" + spec.ToString() +
+                                 "': " + spec_error);
+    }
+  }
+  for (const double eps : eps_perm) {
+    if (!std::isfinite(eps) || eps <= 0.0) {
+      return FailPlan(error, "eps_perm grid values must be positive");
+    }
+  }
+  for (const double a : alpha) {
+    if (!std::isfinite(a) || a <= 0.0 || a >= 1.0) {
+      return FailPlan(error, "alpha grid values must be in (0, 1)");
+    }
+  }
+  if (runs < 1) return FailPlan(error, "runs must be >= 1");
+  if (scale < 1) return FailPlan(error, "scale must be >= 1");
+  if (threads > 4096) {
+    return FailPlan(error, "threads must be in [0, 4096] (0 = hardware)");
+  }
+
+  const bool needs_datasets = kind == ExperimentKind::kMse ||
+                              kind == ExperimentKind::kPrivacyLoss ||
+                              kind == ExperimentKind::kDetection;
+  const bool needs_protocols =
+      kind == ExperimentKind::kMse || kind == ExperimentKind::kVariance;
+  const bool needs_alpha = kind != ExperimentKind::kComparison &&
+                           kind != ExperimentKind::kDetection;
+  const bool needs_eps_grid = kind != ExperimentKind::kComparison;
+  if (needs_datasets && datasets.empty()) {
+    return FailPlan(error, std::string(RequirementName(kind)) +
+                               " plans need at least one dataset");
+  }
+  if (needs_protocols && protocols.empty()) {
+    return FailPlan(error, std::string(RequirementName(kind)) +
+                               " plans need at least one protocol");
+  }
+  if (needs_eps_grid && eps_perm.empty()) {
+    return FailPlan(error, std::string(RequirementName(kind)) +
+                               " plans need an eps_perm grid");
+  }
+  if (needs_alpha && alpha.empty()) {
+    return FailPlan(error, std::string(RequirementName(kind)) +
+                               " plans need an alpha grid");
+  }
+
+  if (!std::isfinite(n) || n <= 0.0) {
+    return FailPlan(error, "n must be a positive finite number");
+  }
+  if (k < 2) return FailPlan(error, "k must be >= 2");
+  if (b != 0 && (b < 2 || b > k)) {
+    return FailPlan(error, "b must be 0 (= k) or in [2, k]");
+  }
+  if (!std::isfinite(eps) || eps <= 0.0) {
+    return FailPlan(error, "eps must be a positive finite number");
+  }
+  if (eps1 != 0.0 &&
+      (!std::isfinite(eps1) || eps1 <= 0.0 || eps1 >= eps)) {
+    return FailPlan(error, "eps1 must be 0 (= eps/2) or in (0, eps)");
+  }
+  return true;
+}
+
+bool ParseExperimentPlan(std::string_view text, ExperimentPlan* plan,
+                         std::string* error) {
+  ExperimentPlan out;
+  // Every assigned value is validated at its line; the cross-field
+  // Validate pass below catches structural problems (missing sections).
+  enum Section { kNone, kExperiment, kGrid, kRun, kOutput };
+  Section section = kNone;
+  std::vector<std::string> seen;  // "section.key" duplicates
+
+  size_t line_number = 0;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    const size_t end = std::min(text.find('\n', begin), text.size());
+    const std::string_view raw = text.substr(begin, end - begin);
+    begin = end + 1;
+    ++line_number;
+
+    // Comments are whole lines only ('#' as the first non-space char); a
+    // mid-line '#' stays literal so values — output paths in particular —
+    // may contain one, and the ToString round-trip stays exact.
+    const std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return FailAt(error, line_number, "unterminated section header '" +
+                                              std::string(line) + "'");
+      }
+      const std::string_view name = Trim(line.substr(1, line.size() - 2));
+      if (name == "experiment") {
+        section = kExperiment;
+      } else if (name == "grid") {
+        section = kGrid;
+      } else if (name == "run") {
+        section = kRun;
+      } else if (name == "output") {
+        section = kOutput;
+      } else {
+        return FailAt(error, line_number,
+                      "unknown section '[" + std::string(name) + "]'");
+      }
+      continue;
+    }
+
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return FailAt(error, line_number, "expected 'key = value', got '" +
+                                            std::string(line) + "'");
+    }
+    const std::string key{Trim(line.substr(0, eq))};
+    const std::string_view value = Trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return FailAt(error, line_number, "empty key before '='");
+    }
+    if (value.empty()) {
+      return FailAt(error, line_number, "empty value for key '" + key + "'");
+    }
+    if (section == kNone) {
+      return FailAt(error, line_number,
+                    "key '" + key + "' outside any [section]");
+    }
+
+    const std::string section_names[] = {"", "experiment", "grid", "run",
+                                         "output"};
+    const std::string qualified = section_names[section] + "." + key;
+    if (std::find(seen.begin(), seen.end(), qualified) != seen.end()) {
+      return FailAt(error, line_number, "duplicate key '" + key + "' in [" +
+                                            section_names[section] + "]");
+    }
+    seen.push_back(qualified);
+
+    auto bad_value = [&](const char* what) {
+      return FailAt(error, line_number, "malformed " + std::string(what) +
+                                            " for '" + key + "': '" +
+                                            std::string(value) + "'");
+    };
+
+    switch (section) {
+      case kExperiment: {
+        if (key == "name") {
+          out.name = std::string(value);
+        } else if (key == "kind") {
+          if (!ExperimentKindFromName(value, &out.kind)) {
+            return FailAt(error, line_number, "unknown experiment kind '" +
+                                                  std::string(value) + "'");
+          }
+        } else if (key == "datasets") {
+          if (!SplitList(value, ',', &out.datasets)) {
+            return bad_value("dataset list");
+          }
+          for (const std::string& dataset : out.datasets) {
+            if (!IsKnownDataset(dataset)) {
+              return FailAt(error, line_number, "unknown dataset '" +
+                                                    dataset + "'");
+            }
+          }
+        } else if (key == "bucket_divisors") {
+          std::vector<std::string> tokens;
+          if (!SplitList(value, ',', &tokens)) {
+            return bad_value("bucket_divisors list");
+          }
+          out.bucket_divisors.clear();
+          for (const std::string& token : tokens) {
+            uint32_t divisor = 0;
+            if (!ParseUIntValue(token, &divisor) || divisor < 1) {
+              return FailAt(error, line_number,
+                            "bucket divisor '" + token +
+                                "' is not a positive integer");
+            }
+            out.bucket_divisors.push_back(divisor);
+          }
+        } else if (key == "protocols") {
+          std::vector<std::string> tokens;
+          if (!SplitList(value, ';', &tokens)) {
+            return bad_value("protocol list");
+          }
+          out.protocols.clear();
+          for (const std::string& token : tokens) {
+            ProtocolSpec spec;
+            std::string spec_error;
+            if (!ProtocolSpec::Parse(token, &spec, &spec_error)) {
+              return FailAt(error, line_number, "bad protocol spec '" +
+                                                    token + "': " +
+                                                    spec_error);
+            }
+            out.protocols.push_back(spec);
+          }
+        } else if (key == "n") {
+          if (!ParseDoubleValue(value, &out.n)) return bad_value("number");
+          if (!std::isfinite(out.n) || out.n <= 0.0) {
+            return FailAt(error, line_number, "n must be positive");
+          }
+        } else if (key == "k") {
+          if (!ParseUIntValue(value, &out.k)) return bad_value("integer");
+          if (out.k < 2) {
+            return FailAt(error, line_number, "k must be >= 2");
+          }
+        } else if (key == "b") {
+          if (!ParseUIntValue(value, &out.b)) return bad_value("integer");
+        } else if (key == "eps") {
+          if (!ParseDoubleValue(value, &out.eps)) return bad_value("number");
+          if (!std::isfinite(out.eps) || out.eps <= 0.0) {
+            return FailAt(error, line_number, "eps must be positive");
+          }
+        } else if (key == "eps1") {
+          if (!ParseDoubleValue(value, &out.eps1)) {
+            return bad_value("number");
+          }
+        } else {
+          return FailAt(error, line_number,
+                        "unknown key '" + key + "' in [experiment]");
+        }
+        break;
+      }
+      case kGrid: {
+        std::vector<double>* grid = nullptr;
+        if (key == "eps_perm") {
+          grid = &out.eps_perm;
+        } else if (key == "alpha") {
+          grid = &out.alpha;
+        } else {
+          return FailAt(error, line_number,
+                        "unknown key '" + key + "' in [grid]");
+        }
+        std::vector<std::string> tokens;
+        if (!SplitList(value, ',', &tokens)) return bad_value("list");
+        grid->clear();
+        for (const std::string& token : tokens) {
+          double v = 0.0;
+          if (!ParseDoubleValue(token, &v)) {
+            return FailAt(error, line_number, "malformed number '" + token +
+                                                  "' in '" + key + "'");
+          }
+          if (key == "eps_perm" && (!std::isfinite(v) || v <= 0.0)) {
+            return FailAt(error, line_number,
+                          "eps_perm values must be positive, got '" +
+                              token + "'");
+          }
+          if (key == "alpha" && (!std::isfinite(v) || v <= 0.0 || v >= 1.0)) {
+            return FailAt(error, line_number,
+                          "alpha values must be in (0, 1), got '" + token +
+                              "'");
+          }
+          grid->push_back(v);
+        }
+        break;
+      }
+      case kRun: {
+        if (key == "runs") {
+          if (!ParseUIntValue(value, &out.runs)) return bad_value("integer");
+          if (out.runs < 1) {
+            return FailAt(error, line_number, "runs must be >= 1");
+          }
+        } else if (key == "threads") {
+          if (!ParseUIntValue(value, &out.threads)) {
+            return bad_value("integer");
+          }
+          if (out.threads > 4096) {
+            return FailAt(error, line_number,
+                          "threads must be in [0, 4096] (0 = hardware)");
+          }
+        } else if (key == "scale") {
+          if (!ParseUIntValue(value, &out.scale)) {
+            return bad_value("integer");
+          }
+          if (out.scale < 1) {
+            return FailAt(error, line_number, "scale must be >= 1");
+          }
+        } else if (key == "seed") {
+          if (!ParseUIntValue(value, &out.seed)) return bad_value("integer");
+        } else if (key == "quick") {
+          if (value == "true") {
+            out.quick = true;
+          } else if (value == "false") {
+            out.quick = false;
+          } else {
+            return FailAt(error, line_number,
+                          "quick must be 'true' or 'false', got '" +
+                              std::string(value) + "'");
+          }
+        } else {
+          return FailAt(error, line_number,
+                        "unknown key '" + key + "' in [run]");
+        }
+        break;
+      }
+      case kOutput: {
+        if (key == "csv") {
+          out.csv = std::string(value);
+        } else if (key == "json") {
+          out.json = std::string(value);
+        } else {
+          return FailAt(error, line_number,
+                        "unknown key '" + key + "' in [output]");
+        }
+        break;
+      }
+      case kNone:
+        break;  // unreachable: handled above
+    }
+  }
+
+  if (!out.Validate(error)) return false;
+  *plan = out;
+  return true;
+}
+
+bool LoadExperimentPlan(const std::string& path, ExperimentPlan* plan,
+                        std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return FailPlan(error, path + ": cannot open plan file");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string parse_error;
+  if (!ParseExperimentPlan(buffer.str(), plan, &parse_error)) {
+    return FailPlan(error, path + ": " + parse_error);
+  }
+  return true;
+}
+
+std::string ExperimentPlan::ToString() const {
+  std::string out = "[experiment]\n";
+  out += "name = " + name + "\n";
+  out += "kind = " + std::string(ExperimentKindName(kind)) + "\n";
+  if (!datasets.empty()) {
+    out += "datasets = " + JoinList(datasets, ", ") + "\n";
+  }
+  if (!bucket_divisors.empty()) {
+    std::vector<std::string> tokens;
+    for (const uint32_t divisor : bucket_divisors) {
+      tokens.push_back(std::to_string(divisor));
+    }
+    out += "bucket_divisors = " + JoinList(tokens, ", ") + "\n";
+  }
+  if (!protocols.empty()) {
+    std::vector<std::string> tokens;
+    for (const ProtocolSpec& spec : protocols) {
+      tokens.push_back(spec.ToString());
+    }
+    out += "protocols = " + JoinList(tokens, "; ") + "\n";
+  }
+  out += "n = " + FormatShortest(n) + "\n";
+  out += "k = " + std::to_string(k) + "\n";
+  out += "b = " + std::to_string(b) + "\n";
+  out += "eps = " + FormatShortest(eps) + "\n";
+  out += "eps1 = " + FormatShortest(eps1) + "\n";
+
+  out += "\n[grid]\n";
+  if (!eps_perm.empty()) {
+    std::vector<std::string> tokens;
+    for (const double v : eps_perm) tokens.push_back(FormatShortest(v));
+    out += "eps_perm = " + JoinList(tokens, ", ") + "\n";
+  }
+  if (!alpha.empty()) {
+    std::vector<std::string> tokens;
+    for (const double v : alpha) tokens.push_back(FormatShortest(v));
+    out += "alpha = " + JoinList(tokens, ", ") + "\n";
+  }
+
+  out += "\n[run]\n";
+  out += "runs = " + std::to_string(runs) + "\n";
+  out += "threads = " + std::to_string(threads) + "\n";
+  out += "scale = " + std::to_string(scale) + "\n";
+  out += "seed = " + std::to_string(seed) + "\n";
+  out += "quick = " + std::string(quick ? "true" : "false") + "\n";
+
+  out += "\n[output]\n";
+  if (!csv.empty()) out += "csv = " + csv + "\n";
+  if (!json.empty()) out += "json = " + json + "\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sinks.
+// ---------------------------------------------------------------------------
+
+std::string GitDescribe() { return LOLOHA_GIT_DESCRIBE; }
+
+CsvSink::CsvSink(std::string path) : path_(std::move(path)) {}
+
+bool CsvSink::Write(const TextTable& table, const ArtifactMeta& meta) {
+  const std::string path = SuffixedPath(path_, meta.suffix);
+  EnsureParentDirectory(path);
+  // The CSV bytes are exactly TextTable::WriteCsv — the legacy mains'
+  // output — so plan-driven artifacts stay byte-comparable. Provenance
+  // goes in the sidecar instead of a CSV comment for the same reason.
+  if (!table.WriteCsv(path)) return false;
+  return WriteFileBytes(path + ".meta.json", ProvenanceJson(meta) + "}\n");
+}
+
+JsonSink::JsonSink(std::string path) : path_(std::move(path)) {}
+
+bool JsonSink::Write(const TextTable& table, const ArtifactMeta& meta) {
+  const std::string path = SuffixedPath(path_, meta.suffix);
+  EnsureParentDirectory(path);
+  // Appended piecewise (not via operator+ chains of char literals): GCC
+  // 12's -Wrestrict false-positives on those under -O3 (PR 105329).
+  std::string out = ProvenanceJson(meta);
+  out += ", \"header\": [";
+  for (size_t i = 0; i < table.header().size(); ++i) {
+    if (i > 0) out += ", ";
+    out += '"';
+    out += JsonEscape(table.header()[i]);
+    out += '"';
+  }
+  out += "], \"rows\": [";
+  for (size_t r = 0; r < table.rows().size(); ++r) {
+    if (r > 0) out += ", ";
+    out += '[';
+    const std::vector<std::string>& row = table.rows()[r];
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ", ";
+      out += '"';
+      out += JsonEscape(row[c]);
+      out += '"';
+    }
+    out += ']';
+  }
+  out += "]}\n";
+  return WriteFileBytes(path, out);
+}
+
+std::vector<std::unique_ptr<ResultSink>> MakePlanSinks(
+    const ExperimentPlan& plan) {
+  std::vector<std::unique_ptr<ResultSink>> sinks;
+  if (!plan.csv.empty()) sinks.push_back(std::make_unique<CsvSink>(plan.csv));
+  if (!plan.json.empty()) {
+    sinks.push_back(std::make_unique<JsonSink>(plan.json));
+  }
+  return sinks;
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------------
+
+Dataset BuildPlanDataset(const std::string& which, uint32_t scale, bool quick,
+                         uint64_t seed) {
+  LOLOHA_CHECK(scale >= 1);
+  auto scaled = [scale](uint32_t n) { return std::max(n / scale, 50u); };
+  const uint32_t tau_cap = quick ? 20u : 0xffffffffu;
+  if (which == "syn") {
+    return GenerateSyn(scaled(10000), 360, std::min(120u, tau_cap), 0.25,
+                       seed);
+  }
+  if (which == "adult") {
+    return GenerateAdultLike(scaled(45222), std::min(260u, tau_cap), seed);
+  }
+  if (which == "db_mt") {
+    return GenerateReplicateWeights("DB_MT", scaled(10336),
+                                    std::min(80u, tau_cap), 0.06, 3, seed);
+  }
+  if (which == "db_de") {
+    return GenerateReplicateWeights("DB_DE", scaled(9123),
+                                    std::min(80u, tau_cap), 0.055, 4, seed);
+  }
+  LOLOHA_CHECK_MSG(false, "unknown dataset name");
+  return GenerateSynPaper(seed);
+}
+
+bool RunExperimentPlan(const ExperimentPlan& plan, ThreadPool* pool,
+                       std::span<ResultSink* const> sinks,
+                       std::string* error, std::FILE* log) {
+  std::string validate_error;
+  if (!plan.Validate(&validate_error)) {
+    return FailPlan(error, "plan '" + plan.name + "': " + validate_error);
+  }
+  switch (plan.kind) {
+    case ExperimentKind::kMse:
+      return RunMse(plan, pool, sinks, error, log);
+    case ExperimentKind::kVariance:
+      return RunVariance(plan, sinks, error, log);
+    case ExperimentKind::kOptimalG:
+      return RunOptimalG(plan, sinks, error, log);
+    case ExperimentKind::kPrivacyLoss:
+      return RunPrivacyLoss(plan, sinks, error, log);
+    case ExperimentKind::kComparison:
+      return RunComparison(plan, sinks, error, log);
+    case ExperimentKind::kDetection:
+      return RunDetection(plan, sinks, error, log);
+  }
+  return FailPlan(error, "unknown experiment kind");
+}
+
+bool RunExperimentPlan(const ExperimentPlan& plan, ThreadPool* pool,
+                       std::string* error, std::FILE* log) {
+  const std::vector<std::unique_ptr<ResultSink>> sinks = MakePlanSinks(plan);
+  std::vector<ResultSink*> borrowed;
+  borrowed.reserve(sinks.size());
+  for (const std::unique_ptr<ResultSink>& sink : sinks) {
+    borrowed.push_back(sink.get());
+  }
+  return RunExperimentPlan(plan, pool, borrowed, error, log);
+}
+
+void PrintProtocolRegistry(std::FILE* out) {
+  // One row per registry id, straight from protocol_spec.cc. The V*
+  // column demonstrates formula availability by evaluating
+  // ApproxVarianceForSpec at the paper's Syn reference point.
+  TextTable table({"name", "display", "aliases", "extras", "rounds",
+                   "V* @ n=1e4,k=360,eps=1,eps1=0.5"});
+  for (const ProtocolSpecName& entry : ProtocolSpecRegistry()) {
+    ProtocolSpec spec;
+    spec.id = entry.id;
+    spec = spec.Canonicalized();
+    std::string aliases;
+    for (const ProtocolSpecAlias& alias : ProtocolSpecAliasRegistry()) {
+      if (alias.id == entry.id) {
+        if (!aliases.empty()) aliases += ", ";
+        aliases += alias.alias;
+      }
+    }
+    if (aliases.empty()) aliases = "-";
+    const std::string extras = spec.IsLolohaVariant()
+                                   ? "g"
+                                   : (spec.IsDBitFlipVariant()
+                                          ? "d, buckets, bucket_divisor"
+                                          : "-");
+    table.AddRow({entry.name, spec.DisplayName(), aliases, extras,
+                  spec.IsTwoRound() ? "2 (PRR+IRR)" : "1",
+                  FormatDouble(ApproxVarianceForSpec(spec, 1e4, 360))});
+  }
+  std::fprintf(out, "%s", table.ToString().c_str());
+  std::fprintf(
+      out,
+      "\nSpec grammar: name[:key=value,...] with keys eps_perm, eps_first "
+      "(two-round only)\nand the extras above; \"loloha:g=N\" selects "
+      "BiLOLOHA (N = 2) or LOLOHA(g=N).\n");
+}
+
+}  // namespace loloha

@@ -1,0 +1,228 @@
+// ExperimentPlan: the declarative experiment layer over ProtocolSpec.
+//
+// PR 4 made every protocol a parseable value; this header does the same
+// for whole experiments. A plan names an experiment kind (one per paper
+// figure/table family), its dataset(s), a protocol legend (ProtocolSpec
+// strings), the privacy-budget grids, the Monte-Carlo settings, and the
+// output artifacts — and RunExperimentPlan lowers it onto
+// RunMonteCarloGrid / the closed-form evaluators. Reproducing a paper
+// figure, or exploring a new scenario, is editing a text file
+// (see plans/*.plan), not writing a main().
+//
+// Plan-file grammar (README "Experiments" has a worked example):
+//
+//   plan      := { line }
+//   line      := comment | section | pair | blank
+//   comment   := line whose first non-space character is "#"
+//                (a mid-line "#" is part of the value)
+//   section   := "[" name "]"        ; experiment | grid | run | output
+//   pair      := key "=" value
+//
+//   [experiment]  name, kind, datasets, bucket_divisors, protocols,
+//                 n, k, b, eps, eps1
+//   [grid]        eps_perm, alpha            (comma-separated lists)
+//   [run]         runs, threads, scale, seed, quick
+//   [output]      csv, json
+//
+// `protocols` is a semicolon-separated list of ProtocolSpec strings
+// (sim/protocol_spec.h); the grid's (ε∞, ε1 = α·ε∞) overrides each
+// spec's budget placeholders, exactly like the --protocols= bench flag.
+// Parse errors and value validation name the offending line number.
+// ToString() emits the canonical form; ParseExperimentPlan(ToString(p))
+// reproduces p exactly for every plan that validates.
+//
+// Determinism: a plan pins base seed, per-cell streams come from
+// MonteCarloSeed, and thread count never changes any number — the CSV a
+// plan produces is byte-identical at every --threads value.
+
+#ifndef LOLOHA_SIM_EXPERIMENT_H_
+#define LOLOHA_SIM_EXPERIMENT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/dataset.h"
+#include "sim/protocol_spec.h"
+#include "util/table.h"
+
+namespace loloha {
+
+class ThreadPool;
+
+// One kind per figure/table family of conf_edbt_ArcoleziPPG23.
+enum class ExperimentKind {
+  kMse,          // Fig. 3: Monte-Carlo MSE_avg grid over a dataset
+  kVariance,     // Fig. 2: closed-form approximate variance V* (Eq. 5)
+  kOptimalG,     // Fig. 1: optimal hash range g (Eq. 6) + brute-force check
+  kPrivacyLoss,  // Fig. 4: averaged empirical longitudinal loss (Eq. 8)
+  kComparison,   // Table 1: communication / run-time / worst-case budget
+  kDetection,    // Table 2: dBitFlipPM bucket-change detection attack
+};
+
+// Canonical lowercase kind name ("mse", "variance", ...).
+const char* ExperimentKindName(ExperimentKind kind);
+bool ExperimentKindFromName(std::string_view name, ExperimentKind* kind);
+
+struct ExperimentPlan {
+  std::string name;  // artifact stamp; required
+  ExperimentKind kind = ExperimentKind::kMse;
+
+  // Datasets by harness name ("syn", "adult", "db_mt", "db_de"); the
+  // dBitFlipPM bucket divisor per dataset (privacy_loss/detection kinds)
+  // parallels it — empty means all 1 (b = k).
+  std::vector<std::string> datasets;
+  std::vector<uint32_t> bucket_divisors;
+
+  // The legend, in table-column order. Canonical specs (Parse applies
+  // ProtocolSpec::Canonicalized); budgets are placeholders for the grid.
+  std::vector<ProtocolSpec> protocols;
+
+  // Budget grids: the drivers evaluate every (α, ε∞) pair with
+  // ε1 = α·ε∞ for the two-round protocols. Explicit lists, no range
+  // syntax — range expansion would not round-trip doubles exactly.
+  std::vector<double> eps_perm;
+  std::vector<double> alpha;
+
+  // Monte-Carlo / execution settings (kMse; others use seed only).
+  uint32_t runs = 2;
+  uint32_t threads = 1;  // 0 = hardware concurrency
+  uint32_t scale = 5;    // divide dataset n by this (1 = paper scale)
+  bool quick = false;    // smoke mode: scale >= 20, runs = 1, tau <= 20
+  uint64_t seed = 20230328;
+
+  // Kind-specific scalars: kVariance uses (n, k); kComparison uses
+  // (k, b, eps, eps1) with b = 0 meaning k and eps1 = 0 meaning eps/2.
+  double n = 10000.0;
+  uint32_t k = 360;
+  uint32_t b = 0;
+  double eps = 1.0;
+  double eps1 = 0.0;
+
+  // Output artifacts; empty = that sink is off. Multi-table plans (more
+  // than one dataset under kMse) append "_<dataset>" to the stem.
+  std::string csv;
+  std::string json;
+
+  friend bool operator==(const ExperimentPlan&, const ExperimentPlan&) =
+      default;
+
+  // Canonical plan text; ParseExperimentPlan(ToString()) == *this for any
+  // plan that validates.
+  std::string ToString() const;
+
+  // Cross-field validation (per-line value checks happen at parse time).
+  bool Validate(std::string* error = nullptr) const;
+};
+
+// Parses plan text against the grammar above. On failure returns false
+// and, when `error` is non-null, stores a reason naming the offending
+// line ("line 7: ...") for every malformed line or value.
+bool ParseExperimentPlan(std::string_view text, ExperimentPlan* plan,
+                         std::string* error = nullptr);
+
+// Reads `path` and parses it; the error is prefixed with the path.
+bool LoadExperimentPlan(const std::string& path, ExperimentPlan* plan,
+                        std::string* error = nullptr);
+
+// ---------------------------------------------------------------------------
+// Result sinks: one Write per produced table, stamped with provenance.
+// ---------------------------------------------------------------------------
+
+// Provenance attached to every artifact a plan produces.
+struct ArtifactMeta {
+  std::string plan_name;
+  std::string kind;
+  std::string table;   // dataset name, or the plan name for 1-table kinds
+  std::string suffix;  // "" for single-table plans, "_<dataset>" otherwise
+  uint64_t seed = 0;
+  std::string git_describe;
+
+  friend bool operator==(const ArtifactMeta&, const ArtifactMeta&) = default;
+};
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  // Persists one finished table. Returns false on I/O failure (the plan
+  // runner reports it and fails the run).
+  virtual bool Write(const TextTable& table, const ArtifactMeta& meta) = 0;
+};
+
+// Writes the table bytes as CSV to `path` (parent directories are
+// created) — byte-identical to TextTable::WriteCsv, so plan-driven CSVs
+// match the legacy mains bit for bit — and the provenance stamp as a
+// `<path>.meta.json` sidecar (stamping inside the CSV would break that
+// bit-equivalence gate).
+class CsvSink : public ResultSink {
+ public:
+  explicit CsvSink(std::string path);
+  bool Write(const TextTable& table, const ArtifactMeta& meta) override;
+
+ private:
+  std::string path_;
+};
+
+// Writes one JSON document per table: provenance inline plus the header
+// and rows (all cells as strings, exactly as tabulated).
+class JsonSink : public ResultSink {
+ public:
+  explicit JsonSink(std::string path);
+  bool Write(const TextTable& table, const ArtifactMeta& meta) override;
+
+ private:
+  std::string path_;
+};
+
+// Discards everything (smoke runs, tests).
+class NullSink : public ResultSink {
+ public:
+  bool Write(const TextTable&, const ArtifactMeta&) override { return true; }
+};
+
+// The build's `git describe --always --dirty` stamp (configure-time;
+// "unknown" outside a git checkout).
+std::string GitDescribe();
+
+// The sinks a plan's [output] section declares, in csv-then-json order.
+std::vector<std::unique_ptr<ResultSink>> MakePlanSinks(
+    const ExperimentPlan& plan);
+
+// ---------------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------------
+
+// Runs the plan end to end: builds datasets, lowers the grid onto
+// RunMonteCarloGrid's span-of-specs overload (kMse) or the closed-form
+// evaluators, prints captions/tables to `log` (null = silent), and hands
+// every finished table to each sink. Returns false (with `error`) on a
+// validation or sink failure. `pool` is borrowed for the Monte-Carlo
+// cells and the runners' inner sharding; null runs serially.
+bool RunExperimentPlan(const ExperimentPlan& plan, ThreadPool* pool,
+                       std::span<ResultSink* const> sinks,
+                       std::string* error = nullptr, std::FILE* log = stdout);
+
+// Convenience overload: sinks from MakePlanSinks(plan).
+bool RunExperimentPlan(const ExperimentPlan& plan, ThreadPool* pool,
+                       std::string* error = nullptr, std::FILE* log = stdout);
+
+// Builds one of the paper's four datasets ("syn", "adult", "db_mt",
+// "db_de") with n divided by `scale` (and tau capped at 20 in quick
+// mode). The single dataset-construction path for plans and the legacy
+// bench harness — identical bytes from either entry point.
+Dataset BuildPlanDataset(const std::string& which, uint32_t scale, bool quick,
+                         uint64_t seed);
+
+// Prints the protocol registry — canonical name, aliases, extras keys,
+// rounds, and V* formula availability — straight from protocol_spec.cc
+// (the --list-protocols table of loloha_experiments and quickstart).
+void PrintProtocolRegistry(std::FILE* out);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_SIM_EXPERIMENT_H_

@@ -26,12 +26,7 @@ constexpr ProtocolSpecName kRegistry[] = {
     {ProtocolId::kNaiveOlh, "naive-olh"},
 };
 
-struct SpecAlias {
-  const char* alias;
-  ProtocolId id;
-};
-
-constexpr SpecAlias kAliases[] = {
+constexpr ProtocolSpecAlias kAliases[] = {
     {"rappor", ProtocolId::kRappor},
     {"1bitflippm", ProtocolId::kOneBitFlipPm},
     {"bbitflippm", ProtocolId::kBBitFlipPm},
@@ -90,6 +85,10 @@ std::span<const ProtocolSpecName> ProtocolSpecRegistry() {
   return kRegistry;
 }
 
+std::span<const ProtocolSpecAlias> ProtocolSpecAliasRegistry() {
+  return kAliases;
+}
+
 const char* ProtocolSpecCanonicalName(ProtocolId id) {
   for (const ProtocolSpecName& entry : kRegistry) {
     if (entry.id == id) return entry.name;
@@ -106,7 +105,7 @@ bool ProtocolIdFromSpecName(std::string_view name, ProtocolId* id) {
       return true;
     }
   }
-  for (const SpecAlias& alias : kAliases) {
+  for (const ProtocolSpecAlias& alias : kAliases) {
     if (lowered == alias.alias) {
       *id = alias.id;
       return true;

@@ -104,6 +104,14 @@ struct ProtocolSpecName {
 // Every ProtocolId with its canonical spec name, in enum order.
 std::span<const ProtocolSpecName> ProtocolSpecRegistry();
 
+// Accepted alternate spellings ("rappor" -> l-sue, "dbitflip" ->
+// bbitflip, ...). What --list-protocols prints next to each name.
+struct ProtocolSpecAlias {
+  const char* alias;  // lowercase
+  ProtocolId id;
+};
+std::span<const ProtocolSpecAlias> ProtocolSpecAliasRegistry();
+
 // Canonical spec name for `id` ("ololoha", "l-grr", ...).
 const char* ProtocolSpecCanonicalName(ProtocolId id);
 

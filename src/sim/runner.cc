@@ -351,40 +351,6 @@ std::unique_ptr<LongitudinalRunner> MakeRunner(const ProtocolSpec& spec,
   return std::make_unique<SpecRunner>(spec, NormalizeRunnerOptions(raw_options));
 }
 
-std::unique_ptr<LongitudinalRunner> MakeRunner(ProtocolId id, double eps_perm,
-                                               double eps_first,
-                                               const RunnerOptions& options) {
-  ProtocolSpec spec;
-  spec.id = id;
-  spec.eps_perm = eps_perm;
-  spec.eps_first = eps_first;
-  if (spec.IsDBitFlipVariant()) {
-    spec.buckets = options.buckets;
-    spec.bucket_divisor = options.bucket_divisor;
-  }
-  return MakeRunner(spec.Canonicalized(), options);
-}
-
-std::unique_ptr<LongitudinalRunner> MakeNaiveOlhRunner(
-    double eps_per_step, const RunnerOptions& options) {
-  ProtocolSpec spec;
-  spec.id = ProtocolId::kNaiveOlh;
-  spec.eps_perm = eps_per_step;
-  spec.eps_first = 0.0;
-  return MakeRunner(spec, options);
-}
-
-uint32_t ResolveBuckets(const RunnerOptions& options, uint32_t k) {
-  if (options.buckets != 0) {
-    LOLOHA_CHECK(options.buckets >= 2 && options.buckets <= k);
-    return options.buckets;
-  }
-  LOLOHA_CHECK(options.bucket_divisor >= 1);
-  const uint32_t b = k / options.bucket_divisor;
-  LOLOHA_CHECK_MSG(b >= 2, "bucket divisor too large for this domain");
-  return b;
-}
-
 std::vector<ProtocolId> Figure3Protocols(bool include_dbitflip) {
   std::vector<ProtocolId> protocols;
   if (include_dbitflip) protocols.push_back(ProtocolId::kBBitFlipPm);

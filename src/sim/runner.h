@@ -47,11 +47,6 @@ inline constexpr uint32_t kDefaultNumShards = 64;
 // parameters — budgets and the dBitFlipPM bucket layout — live on
 // ProtocolSpec.
 struct RunnerOptions {
-  // DEPRECATED: consumed only by the ProtocolId overload of MakeRunner
-  // below, which copies them into the spec's buckets/bucket_divisor.
-  // Spec-based call sites set the extras on the ProtocolSpec instead.
-  uint32_t buckets = 0;
-  uint32_t bucket_divisor = 1;
   // Worker threads driving each step's shards (1 = run on the calling
   // thread only; 0 = std::thread::hardware_concurrency()). Does not affect
   // the output: estimates are bit-identical for every value.
@@ -73,8 +68,8 @@ uint32_t ResolveNumThreads(const RunnerOptions& options);
 uint32_t ResolveNumShards(const RunnerOptions& options);
 
 // Copy of `options` with num_threads / num_shards resolved to their
-// effective nonzero values. MakeRunner / MakeNaiveOlhRunner normalize once
-// at construction, so runner code never re-resolves per call site.
+// effective nonzero values. MakeRunner normalizes once at construction,
+// so runner code never re-resolves per call site.
 RunnerOptions NormalizeRunnerOptions(RunnerOptions options);
 
 class LongitudinalRunner {
@@ -94,21 +89,6 @@ class LongitudinalRunner {
 std::unique_ptr<LongitudinalRunner> MakeRunner(const ProtocolSpec& spec,
                                                const RunnerOptions& options = {});
 
-// DEPRECATED shim: wraps (id, budgets, options extras) into a ProtocolSpec
-// and forwards. New call sites pass a ProtocolSpec directly.
-std::unique_ptr<LongitudinalRunner> MakeRunner(ProtocolId id, double eps_perm,
-                                               double eps_first,
-                                               const RunnerOptions& options = {});
-
-// DEPRECATED shim for the Sec. 2.4 strawman (spec name "naive-olh"): a
-// fresh one-shot OLH report at `eps_per_step` every collection, no
-// memoization. Sequential composition makes the per-user longitudinal loss
-// tau * eps_per_step — accounted that way — and repeated fresh noise
-// enables averaging attacks. Ablations/tests quantify what memoization
-// buys against it.
-std::unique_ptr<LongitudinalRunner> MakeNaiveOlhRunner(
-    double eps_per_step, const RunnerOptions& options = {});
-
 // The evaluation's seven methods, in the paper's legend order.
 std::vector<ProtocolId> Figure3Protocols(bool include_dbitflip);
 
@@ -116,9 +96,6 @@ std::vector<ProtocolId> Figure3Protocols(bool include_dbitflip);
 // layout; budgets are placeholders for the caller's (ε∞, ε1) grid.
 std::vector<ProtocolSpec> Figure3Specs(bool include_dbitflip,
                                        uint32_t bucket_divisor);
-
-// DEPRECATED: use ResolveBuckets(spec, k) (sim/protocol_spec.h).
-uint32_t ResolveBuckets(const RunnerOptions& options, uint32_t k);
 
 }  // namespace loloha
 

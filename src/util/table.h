@@ -30,6 +30,10 @@ class TextTable {
 
   size_t num_rows() const { return rows_.size(); }
 
+  // Raw cells, for sinks that re-serialize the table (e.g. JSON).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

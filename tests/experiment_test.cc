@@ -1,0 +1,407 @@
+// ExperimentPlan: parse/ToString round-trip property, malformed-plan
+// rejection with line numbers, sink behavior, and the RunExperimentPlan
+// bit-identity gate against a direct RunMonteCarloGrid call.
+
+#include "sim/experiment.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "sim/metrics.h"
+#include "sim/monte_carlo.h"
+#include "sim/runner.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace loloha {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property.
+// ---------------------------------------------------------------------------
+
+TEST(ExperimentPlanRoundTrip, CheckedInStylePlan) {
+  const char* text =
+      "# Figure 3a\n"
+      "[experiment]\n"
+      "name = fig3_syn\n"
+      "kind = mse\n"
+      "datasets = syn\n"
+      "protocols = bbitflip; l-osue; ololoha; l-sue; biloloha; 1bitflip; "
+      "l-grr\n"
+      "\n"
+      "[grid]\n"
+      "eps_perm = 0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5\n"
+      "alpha = 0.4, 0.5, 0.6\n"
+      "\n"
+      "[run]\n"
+      "runs = 2\n"
+      "threads = 1\n"
+      "scale = 5\n"
+      "seed = 20230328\n"
+      "\n"
+      "[output]\n"
+      "csv = results/fig3_mse_syn.csv\n";
+  ExperimentPlan plan;
+  std::string error;
+  ASSERT_TRUE(ParseExperimentPlan(text, &plan, &error)) << error;
+  EXPECT_EQ(plan.name, "fig3_syn");
+  EXPECT_EQ(plan.kind, ExperimentKind::kMse);
+  EXPECT_EQ(plan.datasets, std::vector<std::string>{"syn"});
+  EXPECT_EQ(plan.protocols.size(), 7u);
+  EXPECT_EQ(plan.eps_perm.size(), 10u);
+  EXPECT_EQ(plan.alpha, (std::vector<double>{0.4, 0.5, 0.6}));
+  EXPECT_EQ(plan.csv, "results/fig3_mse_syn.csv");
+
+  ExperimentPlan again;
+  ASSERT_TRUE(ParseExperimentPlan(plan.ToString(), &again, &error)) << error;
+  EXPECT_EQ(again, plan);
+}
+
+TEST(ExperimentPlanRoundTrip, PropertyOverSampledPlans) {
+  // ToString must reproduce every field exactly (doubles included: the
+  // shortest-round-trip formatter guarantees bit equality after reparse).
+  const char* spec_pool[] = {
+      "biloloha", "ololoha:g=5,eps_perm=2,eps_first=0.5", "l-grr",
+      "l-osue:eps_perm=3,eps_first=1", "l-sue", "naive-olh:eps_perm=1.5",
+      "bbitflip:eps_perm=2,bucket_divisor=4", "1bitflip:eps_perm=1",
+      "bbitflip:eps_perm=2,buckets=16,d=5", "l-soue", "l-oue"};
+  const ExperimentKind kinds[] = {
+      ExperimentKind::kMse, ExperimentKind::kVariance,
+      ExperimentKind::kOptimalG, ExperimentKind::kPrivacyLoss,
+      ExperimentKind::kComparison, ExperimentKind::kDetection};
+  const char* dataset_pool[] = {"syn", "adult", "db_mt", "db_de"};
+
+  Rng rng(0x91a2);
+  for (int sample = 0; sample < 200; ++sample) {
+    ExperimentPlan plan;
+    plan.name = "sampled_" + std::to_string(sample);
+    plan.kind = kinds[rng.UniformInt(6)];
+    const size_t num_datasets = 1 + rng.UniformInt(4);
+    for (size_t i = 0; i < num_datasets; ++i) {
+      plan.datasets.push_back(dataset_pool[i]);
+    }
+    if (rng.Bernoulli(0.5)) {
+      for (size_t i = 0; i < num_datasets; ++i) {
+        plan.bucket_divisors.push_back(
+            1 + static_cast<uint32_t>(rng.UniformInt(8)));
+      }
+    }
+    const size_t num_protocols = 1 + rng.UniformInt(4);
+    for (size_t i = 0; i < num_protocols; ++i) {
+      plan.protocols.push_back(
+          ProtocolSpec::MustParse(spec_pool[rng.UniformInt(11)]));
+    }
+    const size_t num_eps = 1 + rng.UniformInt(6);
+    for (size_t i = 0; i < num_eps; ++i) {
+      plan.eps_perm.push_back(0.1 + 5.0 * rng.UniformDouble());
+    }
+    const size_t num_alpha = 1 + rng.UniformInt(4);
+    for (size_t i = 0; i < num_alpha; ++i) {
+      plan.alpha.push_back(0.05 + 0.9 * rng.UniformDouble());
+    }
+    plan.runs = 1 + static_cast<uint32_t>(rng.UniformInt(20));
+    plan.threads = static_cast<uint32_t>(rng.UniformInt(9));
+    plan.scale = 1 + static_cast<uint32_t>(rng.UniformInt(100));
+    plan.quick = rng.Bernoulli(0.5);
+    plan.seed = rng.UniformU64();
+    plan.n = 100.0 + 1e5 * rng.UniformDouble();
+    plan.k = 2 + static_cast<uint32_t>(rng.UniformInt(1000));
+    plan.b = rng.Bernoulli(0.5)
+                 ? 0
+                 : 2 + static_cast<uint32_t>(rng.UniformInt(plan.k - 1));
+    plan.eps = 0.1 + 4.0 * rng.UniformDouble();
+    plan.eps1 = rng.Bernoulli(0.5) ? 0.0 : 0.5 * plan.eps;
+    if (rng.Bernoulli(0.7)) plan.csv = "results/out.csv";
+    if (rng.Bernoulli(0.3)) plan.json = "results/out.json";
+
+    std::string error;
+    ASSERT_TRUE(plan.Validate(&error)) << error;
+    ExperimentPlan reparsed;
+    ASSERT_TRUE(ParseExperimentPlan(plan.ToString(), &reparsed, &error))
+        << error << "\n"
+        << plan.ToString();
+    EXPECT_EQ(reparsed, plan) << plan.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed plans: every rejection names its line.
+// ---------------------------------------------------------------------------
+
+struct MalformedCase {
+  const char* label;
+  const char* text;
+  int line;              // asserted to appear as "line N:"
+  const char* fragment;  // asserted substring of the message
+};
+
+class MalformedPlan : public testing::TestWithParam<MalformedCase> {};
+
+TEST_P(MalformedPlan, RejectedWithLineNumber) {
+  const MalformedCase& c = GetParam();
+  ExperimentPlan plan;
+  std::string error;
+  ASSERT_FALSE(ParseExperimentPlan(c.text, &plan, &error)) << c.text;
+  EXPECT_NE(error.find("line " + std::to_string(c.line) + ":"),
+            std::string::npos)
+      << "error was: " << error;
+  EXPECT_NE(error.find(c.fragment), std::string::npos)
+      << "error was: " << error;
+}
+
+constexpr MalformedCase kMalformedCases[] = {
+    {"UnterminatedSection", "[experiment\nname = x", 1, "unterminated"},
+    {"UnknownSection", "[bogus]\n", 1, "unknown section"},
+    {"KeyOutsideSection", "name = x\n", 1, "outside any [section]"},
+    {"MissingEquals", "[experiment]\nname\n", 2, "expected 'key = value'"},
+    {"EmptyKey", "[experiment]\n= 5\n", 2, "empty key"},
+    {"EmptyValue", "[experiment]\nname =\n", 2, "empty value"},
+    {"UnknownExperimentKey", "[experiment]\nfoo = 1\n", 2, "unknown key"},
+    {"DuplicateKey", "[experiment]\nname = a\nname = b\n", 3, "duplicate"},
+    {"UnknownKind", "[experiment]\nkind = nope\n", 2,
+     "unknown experiment kind"},
+    {"UnknownDataset", "[experiment]\ndatasets = syn, mars\n", 2,
+     "unknown dataset"},
+    {"EmptyListElement", "[experiment]\ndatasets = syn,,adult\n", 2,
+     "malformed dataset list"},
+    {"BadProtocolSpec", "[experiment]\nprotocols = biloloha; blah\n", 2,
+     "bad protocol spec"},
+    {"ZeroBucketDivisor", "[experiment]\nbucket_divisors = 1, 0\n", 2,
+     "positive integer"},
+    {"NonNumericDivisor", "[experiment]\nbucket_divisors = x\n", 2,
+     "positive integer"},
+    {"NegativeN", "[experiment]\nn = -3\n", 2, "n must be positive"},
+    {"TinyK", "[experiment]\nk = 1\n", 2, "k must be >= 2"},
+    {"ZeroEps", "[experiment]\neps = 0\n", 2, "eps must be positive"},
+    {"BadEpsValue", "[experiment]\neps = zero\n", 2, "malformed number"},
+    {"BadGridNumber", "[grid]\neps_perm = 1, zero\n", 2,
+     "malformed number"},
+    {"NegativeGridEps", "[grid]\neps_perm = 1, -1\n", 2,
+     "must be positive"},
+    {"AlphaOutOfRange", "[grid]\nalpha = 0.5, 1.5\n", 2, "in (0, 1)"},
+    {"AlphaZero", "[grid]\nalpha = 0\n", 2, "in (0, 1)"},
+    {"UnknownGridKey", "[grid]\nfoo = 1\n", 2, "unknown key"},
+    {"ZeroRuns", "[run]\nruns = 0\n", 2, "runs must be >= 1"},
+    {"TooManyThreads", "[run]\nthreads = 9999\n", 2, "[0, 4096]"},
+    {"ZeroScale", "[run]\nscale = 0\n", 2, "scale must be >= 1"},
+    {"BadSeed", "[run]\nseed = abc\n", 2, "malformed integer"},
+    {"BadQuick", "[run]\nquick = maybe\n", 2, "'true' or 'false'"},
+    {"UnknownRunKey", "[run]\nwarmup = 3\n", 2, "unknown key"},
+    {"UnknownOutputKey", "[output]\nxml = out.xml\n", 2, "unknown key"},
+    {"LateLineNumber",
+     "[experiment]\nname = x\nkind = mse\n\n# comment\n[grid]\nalpha = 2\n",
+     7, "in (0, 1)"},
+};
+
+INSTANTIATE_TEST_SUITE_P(AllCases, MalformedPlan,
+                         testing::ValuesIn(kMalformedCases),
+                         [](const auto& info) {
+                           return std::string(info.param.label);
+                         });
+
+TEST(ExperimentPlanValidate, CrossFieldErrors) {
+  ExperimentPlan plan;
+  plan.name = "x";
+  plan.kind = ExperimentKind::kMse;
+  std::string error;
+  EXPECT_FALSE(plan.Validate(&error));  // no datasets/protocols/grids
+  EXPECT_NE(error.find("dataset"), std::string::npos);
+
+  plan.datasets = {"syn"};
+  plan.bucket_divisors = {1, 4};  // arity mismatch
+  EXPECT_FALSE(plan.Validate(&error));
+  EXPECT_NE(error.find("bucket_divisors"), std::string::npos);
+
+  plan.bucket_divisors.clear();
+  plan.protocols = {ProtocolSpec::MustParse("biloloha")};
+  plan.eps_perm = {1.0};
+  plan.alpha = {0.5};
+  EXPECT_TRUE(plan.Validate(&error)) << error;
+
+  plan.name.clear();
+  EXPECT_FALSE(plan.Validate(&error));
+  EXPECT_NE(error.find("name"), std::string::npos);
+}
+
+TEST(ExperimentPlanParse, MidLineHashIsPartOfTheValue) {
+  // Comments are whole lines only; '#' inside a value (an output path,
+  // say) must survive parsing and the ToString round-trip.
+  const char* text =
+      "# leading comment\n"
+      "[experiment]\n"
+      "name = run#7\n"
+      "kind = optimal_g\n"
+      "[grid]\n"
+      "eps_perm = 1\n"
+      "alpha = 0.5\n"
+      "[output]\n"
+      "csv = results/out#1.csv\n";
+  ExperimentPlan plan;
+  std::string error;
+  ASSERT_TRUE(ParseExperimentPlan(text, &plan, &error)) << error;
+  EXPECT_EQ(plan.name, "run#7");
+  EXPECT_EQ(plan.csv, "results/out#1.csv");
+  ExperimentPlan again;
+  ASSERT_TRUE(ParseExperimentPlan(plan.ToString(), &again, &error)) << error;
+  EXPECT_EQ(again, plan);
+}
+
+TEST(RunExperimentPlanTest, OversizedBucketDivisorIsAPlanError) {
+  ExperimentPlan plan;
+  plan.name = "bad_divisor";
+  plan.kind = ExperimentKind::kPrivacyLoss;
+  plan.datasets = {"syn"};
+  plan.bucket_divisors = {1000};  // k = 360 -> b = 0
+  plan.eps_perm = {1.0};
+  plan.alpha = {0.5};
+  plan.scale = 100;
+  plan.quick = true;
+  NullSink sink;
+  ResultSink* sinks[] = {&sink};
+  std::string error;
+  EXPECT_FALSE(RunExperimentPlan(plan, nullptr, sinks, &error, nullptr));
+  EXPECT_NE(error.find("too large"), std::string::npos) << error;
+}
+
+TEST(ExperimentPlanLoad, MissingFileNamesPath) {
+  ExperimentPlan plan;
+  std::string error;
+  EXPECT_FALSE(LoadExperimentPlan("/nonexistent/x.plan", &plan, &error));
+  EXPECT_NE(error.find("/nonexistent/x.plan"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// RunExperimentPlan: CSV bit-identity against a direct RunMonteCarloGrid
+// call, at 1 and 4 threads.
+// ---------------------------------------------------------------------------
+
+TEST(RunExperimentPlanTest, MseCsvBitIdenticalToDirectMonteCarloGrid) {
+  ExperimentPlan plan;
+  plan.name = "smoke_mse";
+  plan.kind = ExperimentKind::kMse;
+  plan.datasets = {"syn"};
+  plan.protocols = {ProtocolSpec::MustParse("biloloha"),
+                    ProtocolSpec::MustParse("l-grr")};
+  plan.eps_perm = {1.0, 2.0};
+  plan.alpha = {0.5};
+  plan.runs = 2;
+  plan.scale = 100;
+  plan.quick = true;  // tau capped at 20, one effective run
+  plan.seed = 4242;
+
+  // The ground truth: the same grid lowered by hand onto
+  // RunMonteCarloGrid's span-of-specs overload, serially (pool = null).
+  const Dataset data =
+      BuildPlanDataset("syn", /*scale=*/100, /*quick=*/true, plan.seed);
+  std::vector<ProtocolSpec> cells;
+  for (const double alpha : plan.alpha) {
+    for (const double eps : plan.eps_perm) {
+      for (const ProtocolSpec& base : plan.protocols) {
+        ProtocolSpec spec = base;
+        spec.eps_perm = eps;
+        spec.eps_first = spec.IsTwoRound() ? alpha * eps : 0.0;
+        cells.push_back(spec);
+      }
+    }
+  }
+  MonteCarloOptions mc;
+  mc.runs = 1;  // quick mode
+  mc.base_seed = plan.seed;
+  const std::vector<std::vector<double>> per_run = RunMonteCarloGrid(
+      std::span<const ProtocolSpec>(cells), RunnerOptions{}, data, mc,
+      [&](uint32_t, const RunResult& result) {
+        return MseAvg(data, result.estimates);
+      });
+  TextTable expected({"alpha", "eps_inf", "BiLOLOHA", "L-GRR"});
+  size_t cell = 0;
+  for (const double alpha : plan.alpha) {
+    for (const double eps : plan.eps_perm) {
+      std::vector<std::string> row = {FormatDouble(alpha, 2),
+                                      FormatDouble(eps, 3)};
+      for (size_t p = 0; p < plan.protocols.size(); ++p) {
+        row.push_back(FormatDouble(per_run[cell][0], 4));
+        ++cell;
+      }
+      expected.AddRow(std::move(row));
+    }
+  }
+  const std::string expected_csv = expected.ToCsv();
+
+  for (const uint32_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    plan.threads = threads;
+    const std::string path =
+        TempPath("experiment_smoke_t" + std::to_string(threads) + ".csv");
+    CsvSink sink(path);
+    ResultSink* sinks[] = {&sink};
+    std::string error;
+    ASSERT_TRUE(
+        RunExperimentPlan(plan, &pool, sinks, &error, /*log=*/nullptr))
+        << error;
+    EXPECT_EQ(ReadFileBytes(path), expected_csv) << "threads=" << threads;
+
+    // Provenance sidecar: plan name, seed, git stamp.
+    const std::string meta = ReadFileBytes(path + ".meta.json");
+    EXPECT_NE(meta.find("\"plan\": \"smoke_mse\""), std::string::npos);
+    EXPECT_NE(meta.find("\"seed\": 4242"), std::string::npos);
+    EXPECT_NE(meta.find("\"git\": \""), std::string::npos);
+  }
+}
+
+TEST(RunExperimentPlanTest, JsonSinkEmbedsProvenanceAndRows) {
+  ExperimentPlan plan;
+  plan.name = "smoke_comparison";
+  plan.kind = ExperimentKind::kComparison;
+  plan.k = 16;
+  plan.seed = 7;
+  const std::string path = TempPath("experiment_smoke_comparison.json");
+  JsonSink sink(path);
+  ResultSink* sinks[] = {&sink};
+  std::string error;
+  ASSERT_TRUE(RunExperimentPlan(plan, nullptr, sinks, &error, nullptr))
+      << error;
+  const std::string json = ReadFileBytes(path);
+  EXPECT_NE(json.find("\"plan\": \"smoke_comparison\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"comparison\""), std::string::npos);
+  EXPECT_NE(json.find("\"header\": [\"protocol\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\": [[\"BiLOLOHA\""), std::string::npos);
+}
+
+TEST(RunExperimentPlanTest, NullSinkAndInvalidPlan) {
+  ExperimentPlan plan;  // no name -> invalid
+  NullSink sink;
+  ResultSink* sinks[] = {&sink};
+  std::string error;
+  EXPECT_FALSE(RunExperimentPlan(plan, nullptr, sinks, &error, nullptr));
+  EXPECT_NE(error.find("name"), std::string::npos);
+
+  plan.name = "null_sink";
+  plan.kind = ExperimentKind::kOptimalG;
+  plan.eps_perm = {0.5, 1.0};
+  plan.alpha = {0.3};
+  EXPECT_TRUE(RunExperimentPlan(plan, nullptr, sinks, &error, nullptr))
+      << error;
+}
+
+}  // namespace
+}  // namespace loloha

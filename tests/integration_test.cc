@@ -29,10 +29,14 @@ Dataset EvalDataset(uint64_t seed) {
 
 double RunMse(ProtocolId id, const Dataset& data, double eps, double eps1,
               uint64_t seed, int runs = 2) {
+  ProtocolSpec spec;
+  spec.id = id;
+  spec.eps_perm = eps;
+  spec.eps_first = eps1;
+  spec = spec.Canonicalized();
   double total = 0.0;
   for (int r = 0; r < runs; ++r) {
-    const RunResult result =
-        MakeRunner(id, eps, eps1)->Run(data, seed + 1000 * r);
+    const RunResult result = MakeRunner(spec)->Run(data, seed + 1000 * r);
     total += MseAvg(data, result.estimates);
   }
   return total / runs;
@@ -115,7 +119,8 @@ TEST(Figure4Shape, RunnersAgreeWithAccountant) {
   // case, where both are exact.
   const Dataset data = GenerateSyn(500, 30, 10, 0.4, 7);
   const RunResult rappor =
-      MakeRunner(ProtocolId::kRappor, 2.0, 1.0)->Run(data, 24);
+      MakeRunner(ProtocolSpec::MustParse("l-sue:eps_perm=2,eps_first=1"))
+          ->Run(data, 24);
   const std::vector<double> offline = ValueMemoEpsilons(data, 2.0);
   ASSERT_EQ(rappor.per_user_epsilon.size(), offline.size());
   for (size_t u = 0; u < offline.size(); ++u) {
@@ -126,7 +131,8 @@ TEST(Figure4Shape, RunnersAgreeWithAccountant) {
 TEST(Figure4Shape, LolohaRunnerMatchesAccountantInDistribution) {
   const Dataset data = GenerateSyn(2000, 30, 10, 0.4, 8);
   const RunResult bi =
-      MakeRunner(ProtocolId::kBiLoloha, 2.0, 1.0)->Run(data, 25);
+      MakeRunner(ProtocolSpec::MustParse("biloloha:eps_perm=2,eps_first=1"))
+          ->Run(data, 25);
   const double online = EpsAvg(bi.per_user_epsilon);
   const double offline = EpsAvg(LolohaEpsilons(data, 2, 2.0, 26));
   EXPECT_NEAR(online, offline, 0.15);

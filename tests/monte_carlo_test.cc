@@ -23,8 +23,15 @@ constexpr uint64_t kSeed = 20230328;
 std::vector<std::vector<double>> RunGrid(const Dataset& data,
                                          ThreadPool* pool,
                                          uint32_t num_threads) {
-  const std::vector<ProtocolId> grid = {
-      ProtocolId::kBiLoloha, ProtocolId::kLOsue, ProtocolId::kLGrr};
+  std::vector<ProtocolSpec> grid;
+  for (const ProtocolId id :
+       {ProtocolId::kBiLoloha, ProtocolId::kLOsue, ProtocolId::kLGrr}) {
+    ProtocolSpec spec;
+    spec.id = id;
+    spec.eps_perm = 2.0;
+    spec.eps_first = 1.0;
+    grid.push_back(spec.Canonicalized());
+  }
   RunnerOptions options;
   options.num_threads = num_threads;
   options.pool = pool;
@@ -33,7 +40,7 @@ std::vector<std::vector<double>> RunGrid(const Dataset& data,
   mc.base_seed = kSeed;
   mc.pool = pool;
   return RunMonteCarloGrid(
-      [&](uint32_t c) { return MakeRunner(grid[c], 2.0, 1.0, options); },
+      [&](uint32_t c) { return MakeRunner(grid[c], options); },
       data, static_cast<uint32_t>(grid.size()), mc,
       [&](uint32_t, const RunResult& result) {
         return MseAvg(data, result.estimates);
@@ -91,7 +98,8 @@ TEST(MonteCarloTest, ProgressReportsEveryCellAndEndsAtTotal) {
     };
     RunMonteCarloGrid(
         [&](uint32_t) {
-          return MakeRunner(ProtocolId::kBiLoloha, 2.0, 1.0, {});
+          return MakeRunner(ProtocolSpec::MustParse(
+              "biloloha:eps_perm=2,eps_first=1"));
         },
         data, 4, mc, [](uint32_t, const RunResult&) { return 0.0; });
     EXPECT_EQ(calls.load(), 12u) << "threads=" << threads;
@@ -106,7 +114,8 @@ TEST(MonteCarloTest, MetricReceivesConfigIndex) {
   mc.base_seed = kSeed;
   const auto grid = RunMonteCarloGrid(
       [&](uint32_t) {
-        return MakeRunner(ProtocolId::kBiLoloha, 2.0, 1.0, {});
+        return MakeRunner(ProtocolSpec::MustParse(
+              "biloloha:eps_perm=2,eps_first=1"));
       },
       data, 4, mc,
       [](uint32_t config, const RunResult&) {

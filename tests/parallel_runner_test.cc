@@ -25,11 +25,19 @@ constexpr double kEps = 2.0;
 constexpr double kEps1 = 1.0;
 constexpr uint64_t kSeed = 20230328;
 
+ProtocolSpec SpecFor(ProtocolId id) {
+  ProtocolSpec spec;
+  spec.id = id;
+  spec.eps_perm = kEps;
+  spec.eps_first = kEps1;
+  return spec.Canonicalized();
+}
+
 RunResult RunWithThreads(ProtocolId id, const Dataset& data,
                          uint32_t num_threads) {
   RunnerOptions options;
   options.num_threads = num_threads;
-  return MakeRunner(id, kEps, kEps1, options)->Run(data, kSeed);
+  return MakeRunner(SpecFor(id), options)->Run(data, kSeed);
 }
 
 class ParallelSweep : public testing::TestWithParam<ProtocolId> {};
@@ -65,7 +73,7 @@ TEST_P(ParallelSweep, HardwareThreadCountAlsoIdentical) {
   RunnerOptions hw;
   hw.num_threads = 0;  // resolve to hardware_concurrency()
   const RunResult automatic =
-      MakeRunner(GetParam(), kEps, kEps1, hw)->Run(data, kSeed);
+      MakeRunner(SpecFor(GetParam()), hw)->Run(data, kSeed);
   const RunResult sequential = RunWithThreads(GetParam(), data, 1);
   EXPECT_EQ(automatic.estimates, sequential.estimates);
 }
@@ -77,7 +85,10 @@ TEST(ParallelRunnerTest, NaiveOlhBitIdenticalAcrossThreadCounts) {
   for (int i = 0; i < 3; ++i) {
     RunnerOptions options;
     options.num_threads = threads[i];
-    results[i] = MakeNaiveOlhRunner(kEps, options)->Run(data, kSeed);
+    ProtocolSpec naive;
+    naive.id = ProtocolId::kNaiveOlh;
+    naive.eps_perm = kEps;
+    results[i] = MakeRunner(naive.Canonicalized(), options)->Run(data, kSeed);
   }
   EXPECT_EQ(results[0].estimates, results[1].estimates);
   EXPECT_EQ(results[0].estimates, results[2].estimates);
@@ -89,8 +100,8 @@ TEST(ParallelRunnerTest, ShardCountChangesTheStreamsButStaysDeterministic) {
   a.num_shards = 8;
   RunnerOptions b;
   b.num_shards = 16;
-  const auto runner_a = MakeRunner(ProtocolId::kBiLoloha, kEps, kEps1, a);
-  const auto runner_b = MakeRunner(ProtocolId::kBiLoloha, kEps, kEps1, b);
+  const auto runner_a = MakeRunner(SpecFor(ProtocolId::kBiLoloha), a);
+  const auto runner_b = MakeRunner(SpecFor(ProtocolId::kBiLoloha), b);
   const RunResult a1 = runner_a->Run(data, kSeed);
   const RunResult a2 = runner_a->Run(data, kSeed);
   const RunResult b1 = runner_b->Run(data, kSeed);
@@ -113,14 +124,10 @@ TEST(ParallelRunnerTest, ResolveHelpers) {
 TEST(ParallelRunnerTest, NormalizeResolvesOnceAndPreservesTheRest) {
   ThreadPool pool(2);
   RunnerOptions options;
-  options.buckets = 9;
-  options.bucket_divisor = 3;
   options.pool = &pool;
   const RunnerOptions normalized = NormalizeRunnerOptions(options);
   EXPECT_EQ(normalized.num_threads, 1u);
   EXPECT_EQ(normalized.num_shards, kDefaultNumShards);
-  EXPECT_EQ(normalized.buckets, 9u);
-  EXPECT_EQ(normalized.bucket_divisor, 3u);
   EXPECT_EQ(normalized.pool, &pool);
 
   RunnerOptions hardware;

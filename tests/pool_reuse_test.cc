@@ -129,6 +129,15 @@ TEST(PoolLeaseTest, BorrowsWhenGivenAndOwnsOtherwise) {
   EXPECT_EQ(owned->num_threads(), 2u);
 }
 
+// Canonical spec at the suite's budgets (eps = 2, eps1 = 1).
+ProtocolSpec SpecFor(ProtocolId id) {
+  ProtocolSpec spec;
+  spec.id = id;
+  spec.eps_perm = 2.0;
+  spec.eps_first = 1.0;
+  return spec.Canonicalized();
+}
+
 // The tentpole property: a runner borrowing a shared pool must produce
 // byte-identical output to the same runner with a private pool, at every
 // pool size, including when the Run itself executes inside a pool task.
@@ -142,14 +151,14 @@ TEST(PoolReuseTest, BorrowedPoolBitIdenticalToOwnedPool) {
   for (const ProtocolId id : protocols) {
     RunnerOptions owned;
     owned.num_threads = 1;
-    const RunResult baseline = MakeRunner(id, 2.0, 1.0, owned)->Run(data, seed);
+    const RunResult baseline = MakeRunner(SpecFor(id), owned)->Run(data, seed);
 
     for (const uint32_t threads : {1u, 4u}) {
       ThreadPool shared(threads);
       RunnerOptions borrowed;
       borrowed.num_threads = threads;
       borrowed.pool = &shared;
-      const auto runner = MakeRunner(id, 2.0, 1.0, borrowed);
+      const auto runner = MakeRunner(SpecFor(id), borrowed);
 
       // Direct call from the driving thread.
       const RunResult direct = runner->Run(data, seed);
@@ -183,7 +192,7 @@ TEST(PoolReuseTest, ConcurrentRunsOnSharedPoolMatchSerialRuns) {
     RunnerOptions options;
     options.num_threads = 1;
     for (size_t i = 0; i < grid.size(); ++i) {
-      serial[i] = MakeRunner(grid[i], 2.0, 1.0, options)->Run(data, 100 + i);
+      serial[i] = MakeRunner(SpecFor(grid[i]), options)->Run(data, 100 + i);
     }
   }
 
@@ -195,7 +204,7 @@ TEST(PoolReuseTest, ConcurrentRunsOnSharedPoolMatchSerialRuns) {
   WaitGroup wg;
   for (size_t i = 0; i < grid.size(); ++i) {
     pool.Submit(wg, [&, i] {
-      parallel[i] = MakeRunner(grid[i], 2.0, 1.0, options)->Run(data, 100 + i);
+      parallel[i] = MakeRunner(SpecFor(grid[i]), options)->Run(data, 100 + i);
     });
   }
   pool.Wait(wg);

@@ -284,32 +284,35 @@ TEST(ProtocolSpecDisplayName, MatchesPaperLegend) {
   EXPECT_EQ(ProtocolSpec::MustParse("naive-olh").DisplayName(), "Naive-OLH");
 }
 
-TEST(ProtocolSpecFactories, SpecPathMatchesDeprecatedOverloads) {
-  // The deprecated (id, budgets, options) overload must construct the
-  // exact same runner as the spec path: identical estimates bit for bit.
+TEST(ProtocolSpecFactories, StringPathMatchesProgrammaticSpecs) {
+  // Parsing a spec string and constructing the spec by hand must build
+  // the exact same runner: identical estimates bit for bit.
   const Dataset data = GenerateSyn(150, 20, 2, 0.25, 6);
-  RunnerOptions options;
-  options.bucket_divisor = 4;
   for (const ProtocolId id : Figure3Protocols(true)) {
-    const RunResult legacy =
-        MakeRunner(id, 2.0, 1.0, options)->Run(data, 17);
     ProtocolSpec spec;
     spec.id = id;
     spec.eps_perm = 2.0;
     spec.eps_first = spec.IsTwoRound() ? 1.0 : 0.0;
-    if (id == ProtocolId::kBiLoloha) spec.g = 2;
-    if (id == ProtocolId::kOneBitFlipPm) spec.d = 1;
     if (!spec.IsTwoRound()) spec.bucket_divisor = 4;
-    const RunResult fresh = MakeRunner(spec)->Run(data, 17);
-    EXPECT_EQ(legacy.estimates, fresh.estimates) << ProtocolName(id);
-    EXPECT_EQ(legacy.per_user_epsilon, fresh.per_user_epsilon);
-    EXPECT_EQ(legacy.protocol, fresh.protocol);
+    spec = spec.Canonicalized();
+    const ProtocolSpec parsed = ProtocolSpec::MustParse(spec.ToString());
+    ASSERT_EQ(parsed, spec) << ProtocolName(id);
+    const RunResult programmatic = MakeRunner(spec)->Run(data, 17);
+    const RunResult from_string = MakeRunner(parsed)->Run(data, 17);
+    EXPECT_EQ(programmatic.estimates, from_string.estimates)
+        << ProtocolName(id);
+    EXPECT_EQ(programmatic.per_user_epsilon, from_string.per_user_epsilon);
+    EXPECT_EQ(programmatic.protocol, from_string.protocol);
   }
-  const RunResult naive_legacy = MakeNaiveOlhRunner(1.5)->Run(data, 19);
+  ProtocolSpec naive;
+  naive.id = ProtocolId::kNaiveOlh;
+  naive.eps_perm = 1.5;
+  const RunResult naive_programmatic =
+      MakeRunner(naive.Canonicalized())->Run(data, 19);
   const RunResult naive_spec =
       MakeRunner(ProtocolSpec::MustParse("naive-olh:eps_perm=1.5"))
           ->Run(data, 19);
-  EXPECT_EQ(naive_legacy.estimates, naive_spec.estimates);
+  EXPECT_EQ(naive_programmatic.estimates, naive_spec.estimates);
 }
 
 TEST(ProtocolSpecFactories, MakeCollectorServesLolohaAndDBitFlip) {

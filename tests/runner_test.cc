@@ -16,6 +16,17 @@ namespace {
 constexpr double kEps = 2.0;
 constexpr double kEps1 = 1.0;
 
+// Canonical spec for `id` at the suite's budgets (one-round protocols
+// drop eps_first via Canonicalized, matching Parse).
+ProtocolSpec SpecFor(ProtocolId id, double eps_perm = kEps,
+                     double eps_first = kEps1) {
+  ProtocolSpec spec;
+  spec.id = id;
+  spec.eps_perm = eps_perm;
+  spec.eps_first = eps_first;
+  return spec.Canonicalized();
+}
+
 class RunnerSweep : public testing::TestWithParam<ProtocolId> {};
 
 INSTANTIATE_TEST_SUITE_P(
@@ -35,7 +46,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST_P(RunnerSweep, ProducesFullEstimateMatrix) {
   const Dataset data = GenerateSyn(400, 24, 6, 0.25, 1);
-  const auto runner = MakeRunner(GetParam(), kEps, kEps1);
+  const auto runner = MakeRunner(SpecFor(GetParam()));
   const RunResult result = runner->Run(data, 42);
   EXPECT_EQ(result.estimates.size(), data.tau());
   for (const auto& row : result.estimates) {
@@ -47,7 +58,7 @@ TEST_P(RunnerSweep, ProducesFullEstimateMatrix) {
 
 TEST_P(RunnerSweep, DeterministicForSeed) {
   const Dataset data = GenerateSyn(200, 16, 4, 0.25, 2);
-  const auto runner = MakeRunner(GetParam(), kEps, kEps1);
+  const auto runner = MakeRunner(SpecFor(GetParam()));
   const RunResult a = runner->Run(data, 7);
   const RunResult b = runner->Run(data, 7);
   EXPECT_EQ(a.estimates, b.estimates);
@@ -58,7 +69,7 @@ TEST_P(RunnerSweep, EstimatesAreUsefullyAccurate) {
   // A coarse end-to-end sanity bound: with n = 4000 users and eps = 2 the
   // per-step MSE must be far below the trivial all-zeros predictor.
   const Dataset data = GenerateZipf(4000, 16, 4, 1.5, 0.2, 3);
-  const auto runner = MakeRunner(GetParam(), kEps, kEps1);
+  const auto runner = MakeRunner(SpecFor(GetParam()));
   const RunResult result = runner->Run(data, 11);
   if (result.bins != data.k()) GTEST_SKIP() << "bucketized estimates";
   const double mse = MseAvg(data, result.estimates);
@@ -69,7 +80,7 @@ TEST_P(RunnerSweep, EstimatesAreUsefullyAccurate) {
 
 TEST_P(RunnerSweep, PrivacySpendPositiveAndBounded) {
   const Dataset data = GenerateSyn(300, 20, 8, 0.5, 4);
-  const auto runner = MakeRunner(GetParam(), kEps, kEps1);
+  const auto runner = MakeRunner(SpecFor(GetParam()));
   const RunResult result = runner->Run(data, 5);
   for (const double e : result.per_user_epsilon) {
     EXPECT_GE(e, kEps);
@@ -80,7 +91,7 @@ TEST_P(RunnerSweep, PrivacySpendPositiveAndBounded) {
 TEST(RunnerTest, LolohaPrivacyBoundedByGEps) {
   const Dataset data = GenerateSyn(300, 20, 12, 0.5, 6);
   const RunResult bi =
-      MakeRunner(ProtocolId::kBiLoloha, kEps, kEps1)->Run(data, 7);
+      MakeRunner(SpecFor(ProtocolId::kBiLoloha))->Run(data, 7);
   for (const double e : bi.per_user_epsilon) {
     EXPECT_LE(e, 2 * kEps);
   }
@@ -89,7 +100,7 @@ TEST(RunnerTest, LolohaPrivacyBoundedByGEps) {
 TEST(RunnerTest, OneBitFlipPrivacyBoundedByTwoEps) {
   const Dataset data = GenerateSyn(300, 20, 12, 0.5, 8);
   const RunResult result =
-      MakeRunner(ProtocolId::kOneBitFlipPm, kEps, kEps1)->Run(data, 9);
+      MakeRunner(SpecFor(ProtocolId::kOneBitFlipPm))->Run(data, 9);
   for (const double e : result.per_user_epsilon) {
     EXPECT_LE(e, 2 * kEps);
   }
@@ -97,22 +108,11 @@ TEST(RunnerTest, OneBitFlipPrivacyBoundedByTwoEps) {
 
 TEST(RunnerTest, DBitFlipBucketDivisor) {
   const Dataset data = GenerateSyn(200, 40, 3, 0.25, 10);
-  RunnerOptions options;
-  options.bucket_divisor = 4;
-  const RunResult result =
-      MakeRunner(ProtocolId::kBBitFlipPm, kEps, kEps1, options)
-          ->Run(data, 11);
+  ProtocolSpec spec = SpecFor(ProtocolId::kBBitFlipPm);
+  spec.bucket_divisor = 4;
+  const RunResult result = MakeRunner(spec)->Run(data, 11);
   EXPECT_EQ(result.bins, 10u);
   EXPECT_DOUBLE_EQ(result.comm_bits_per_report, 10.0);  // d = b
-}
-
-TEST(RunnerTest, ResolveBucketsExplicitWins) {
-  RunnerOptions options;
-  options.buckets = 7;
-  options.bucket_divisor = 4;
-  EXPECT_EQ(ResolveBuckets(options, 100), 7u);
-  options.buckets = 0;
-  EXPECT_EQ(ResolveBuckets(options, 100), 25u);
 }
 
 TEST(RunnerTest, Figure3ProtocolOrder) {
@@ -122,7 +122,7 @@ TEST(RunnerTest, Figure3ProtocolOrder) {
 
 TEST(NaiveOlhRunnerTest, AccurateButBudgetExplodes) {
   const Dataset data = GenerateZipf(3000, 16, 6, 1.5, 0.2, 12);
-  const auto runner = MakeNaiveOlhRunner(kEps);
+  const auto runner = MakeRunner(SpecFor(ProtocolId::kNaiveOlh));
   const RunResult result = runner->Run(data, 13);
   EXPECT_EQ(result.protocol, "Naive-OLH");
   EXPECT_EQ(result.estimates.size(), data.tau());
@@ -135,9 +135,9 @@ TEST(NaiveOlhRunnerTest, AccurateButBudgetExplodes) {
 
 TEST(NaiveOlhRunnerTest, MemoizationBeatsNaiveOnPrivacyAtSimilarUtility) {
   const Dataset data = GenerateSyn(2000, 24, 10, 0.25, 14);
-  const RunResult naive = MakeNaiveOlhRunner(kEps)->Run(data, 15);
+  const RunResult naive = MakeRunner(SpecFor(ProtocolId::kNaiveOlh))->Run(data, 15);
   const RunResult bi =
-      MakeRunner(ProtocolId::kBiLoloha, kEps, kEps1)->Run(data, 16);
+      MakeRunner(SpecFor(ProtocolId::kBiLoloha))->Run(data, 16);
   // Naive budget: tau * eps = 20 eps; BiLOLOHA: at most g = 2 memos, so at
   // most 2 eps per user — a worst-case ratio of exactly tau / g = 5.
   for (uint32_t u = 0; u < data.n(); ++u) {
@@ -150,10 +150,10 @@ TEST(NaiveOlhRunnerTest, MemoizationBeatsNaiveOnPrivacyAtSimilarUtility) {
 }
 
 TEST(RunnerTest, NamesMatchProtocolIds) {
-  EXPECT_EQ(MakeRunner(ProtocolId::kRappor, kEps, kEps1)->name(), "RAPPOR");
-  EXPECT_EQ(MakeRunner(ProtocolId::kBiLoloha, kEps, kEps1)->name(),
+  EXPECT_EQ(MakeRunner(SpecFor(ProtocolId::kRappor))->name(), "RAPPOR");
+  EXPECT_EQ(MakeRunner(SpecFor(ProtocolId::kBiLoloha))->name(),
             "BiLOLOHA");
-  EXPECT_EQ(MakeRunner(ProtocolId::kBBitFlipPm, kEps, kEps1)->name(),
+  EXPECT_EQ(MakeRunner(SpecFor(ProtocolId::kBBitFlipPm))->name(),
             "bBitFlipPM");
 }
 

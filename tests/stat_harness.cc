@@ -123,7 +123,11 @@ MseAcceptance MseAgainstTheory(ProtocolId id, const Dataset& data,
                                double eps_perm, double eps_first,
                                uint32_t runs, uint64_t base_seed) {
   LOLOHA_CHECK(runs >= 1);
-  const auto runner = MakeRunner(id, eps_perm, eps_first);
+  ProtocolSpec spec;
+  spec.id = id;
+  spec.eps_perm = eps_perm;
+  spec.eps_first = eps_first;
+  const auto runner = MakeRunner(spec.Canonicalized());
   MseAcceptance acceptance;
   for (uint32_t run = 0; run < runs; ++run) {
     const RunResult result =
