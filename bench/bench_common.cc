@@ -8,12 +8,6 @@
 #include "util/check.h"
 #include "util/thread_pool.h"
 
-// Source-tree plans/ directory, baked in at configure time so the legacy
-// shims find their plan file no matter where the binary runs from.
-#ifndef LOLOHA_PLANS_DIR
-#define LOLOHA_PLANS_DIR "plans"
-#endif
-
 namespace loloha::bench {
 
 HarnessConfig ParseHarness(const CommandLine& cli,
@@ -136,29 +130,6 @@ int RunPlanMain(ExperimentPlan plan, const CommandLine& cli) {
     return 1;
   }
   return 0;
-}
-
-int RunLegacyPlanMain(const std::string& plan_name, int argc, char** argv) {
-  const CommandLine cli(argc, argv);
-  const std::string candidates[] = {
-      std::string(LOLOHA_PLANS_DIR) + "/" + plan_name + ".plan",
-      "plans/" + plan_name + ".plan",
-  };
-  for (const std::string& path : candidates) {
-    if (!std::filesystem::exists(path)) continue;
-    ExperimentPlan plan;
-    std::string error;
-    if (!LoadExperimentPlan(path, &plan, &error)) {
-      std::fprintf(stderr, "%s\n", error.c_str());
-      return 2;
-    }
-    return RunPlanMain(std::move(plan), cli);
-  }
-  std::fprintf(stderr,
-               "plan file '%s.plan' not found (looked in '%s' and "
-               "'plans/')\n",
-               plan_name.c_str(), LOLOHA_PLANS_DIR);
-  return 2;
 }
 
 }  // namespace loloha::bench

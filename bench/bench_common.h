@@ -2,9 +2,7 @@
 //
 // The paper's figure/table reproductions are declarative ExperimentPlans
 // (sim/experiment.h): each lives in plans/<name>.plan and runs through
-// the one `loloha_experiments --plan=<file>` driver. The legacy
-// per-figure binaries are 3-line shims over RunLegacyPlanMain, kept one
-// release for bit-equivalence gating of the plan-driven path.
+// the one `loloha_experiments --plan=<file>` driver.
 //
 // Every plan-driven binary accepts the plan-override flags:
 //   --quick          smoke mode (scale >= 20, one run, tau <= 20)
@@ -78,12 +76,6 @@ void ApplyPlanOverrides(const CommandLine& cli, ExperimentPlan* plan);
 // from the plan, sinks from its [output] section. Returns the process
 // exit code (0 = success).
 int RunPlanMain(ExperimentPlan plan, const CommandLine& cli);
-
-// Legacy figure/table shim: loads plans/<plan_name>.plan — from the
-// source tree's plans/ directory (baked in at configure time) or ./plans
-// — applies the override flags, and runs. The legacy binaries are
-// 3-line mains over this.
-int RunLegacyPlanMain(const std::string& plan_name, int argc, char** argv);
 
 }  // namespace loloha::bench
 

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Verifies clang-format (config: .clang-format) over CHANGED files only —
+# the tree predates the config, so formatting is ratcheted in with the
+# code people actually touch instead of one big-bang reformat.
+#
+# Usage:
+#   scripts/check_format.sh [base_ref]
+#
+#   Checks C++ files changed relative to base_ref (default: origin/main
+#   if it exists, else HEAD~1), plus any staged/unstaged changes. Pass a
+#   ref explicitly in CI: scripts/check_format.sh "$GITHUB_BASE_SHA".
+#
+# Exit codes: 0 clean or tool unavailable (skipped with a notice; CI
+# installs clang-format and enforces), 1 files need formatting, 2 error.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root" || exit 2
+
+fmt_bin="${CLANG_FORMAT:-}"
+if [ -z "$fmt_bin" ]; then
+  for cand in clang-format clang-format-18 clang-format-17 clang-format-16 \
+              clang-format-15 clang-format-14; do
+    if command -v "$cand" >/dev/null 2>&1; then fmt_bin="$cand"; break; fi
+  done
+fi
+if [ -z "$fmt_bin" ]; then
+  echo "check_format: clang-format not found — skipping (set CLANG_FORMAT" \
+       "or install clang-format; CI runs this gate)" >&2
+  exit 0
+fi
+
+base_ref="${1:-}"
+if [ -z "$base_ref" ]; then
+  if git rev-parse --verify -q origin/main >/dev/null; then
+    base_ref="origin/main"
+  else
+    base_ref="HEAD~1"
+  fi
+fi
+
+# Changed vs base, plus working-tree changes; deleted files drop out via
+# --diff-filter. testdata fixtures are deliberately unformatted C++.
+mapfile -t files < <(
+  { git diff --name-only --diff-filter=ACMR "$base_ref" -- \
+      '*.cc' '*.cpp' '*.h' '*.hpp';
+    git diff --name-only --diff-filter=ACMR -- \
+      '*.cc' '*.cpp' '*.h' '*.hpp'; } \
+    | sort -u | grep -v '^tools/testdata/' || true)
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "check_format: no changed C++ files vs $base_ref"
+  exit 0
+fi
+
+echo "check_format: $fmt_bin --dry-run over ${#files[@]} changed file(s)" \
+     "(base: $base_ref)"
+status=0
+for f in "${files[@]}"; do
+  [ -f "$f" ] || continue
+  if ! "$fmt_bin" --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f" >&2
+    status=1
+  fi
+done
+if [ "$status" -ne 0 ]; then
+  echo "check_format: run '$fmt_bin -i <file>' on the files above" >&2
+fi
+exit "$status"

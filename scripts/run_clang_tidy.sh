@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the repo's own translation
+# units using a compile_commands.json produced by CMake
+# (CMAKE_EXPORT_COMPILE_COMMANDS is ON by default in this tree).
+#
+# Usage:
+#   scripts/run_clang_tidy.sh [build_dir] [-- extra clang-tidy args]
+#
+#   build_dir defaults to ./build; it must contain compile_commands.json
+#   (run `cmake -B build -S .` first).
+#
+# Exit codes: 0 clean or tool unavailable (skipped with a notice on
+# stderr — keeps local gcc-only setups green; CI installs clang-tidy and
+# the job fails on findings there), 1 findings, 2 usage error.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift $(( $# > 0 ? 1 : 0 )) || true
+if [ "${1:-}" = "--" ]; then shift; fi
+
+tidy_bin="${CLANG_TIDY:-}"
+if [ -z "$tidy_bin" ]; then
+  for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+              clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then tidy_bin="$cand"; break; fi
+  done
+fi
+if [ -z "$tidy_bin" ]; then
+  echo "run_clang_tidy: clang-tidy not found — skipping (set CLANG_TIDY" \
+       "or install clang-tidy; CI runs this gate)" >&2
+  exit 0
+fi
+
+db="$build_dir/compile_commands.json"
+if [ ! -f "$db" ]; then
+  echo "run_clang_tidy: $db not found — configure first:" \
+       "cmake -B $build_dir -S $repo_root" >&2
+  exit 2
+fi
+
+# Our own TUs only: the compilation database also contains GTest/benchmark
+# TUs when those are vendored, and third-party code is not ours to lint.
+mapfile -t sources < <(
+  python3 - "$db" "$repo_root" <<'EOF'
+import json, os, sys
+db, root = sys.argv[1], os.path.realpath(sys.argv[2])
+seen = set()
+for entry in json.load(open(db)):
+    path = os.path.realpath(
+        os.path.join(entry.get("directory", ""), entry["file"]))
+    rel = os.path.relpath(path, root)
+    if rel.startswith(("src/", "bench/", "tests/", "examples/")) \
+            and rel not in seen:
+        seen.add(rel)
+        print(path)
+EOF
+)
+if [ "${#sources[@]}" -eq 0 ]; then
+  echo "run_clang_tidy: no repo sources in $db" >&2
+  exit 2
+fi
+
+echo "run_clang_tidy: $tidy_bin over ${#sources[@]} translation units"
+status=0
+# One TU at a time keeps the 1-job memory profile flat; clang-tidy's own
+# -j support varies across versions.
+for src in "${sources[@]}"; do
+  "$tidy_bin" -p "$build_dir" --quiet "$@" "$src" || status=1
+done
+if [ "$status" -ne 0 ]; then
+  echo "run_clang_tidy: findings above — fix them or adjust .clang-tidy" \
+       "with a curation note" >&2
+fi
+exit "$status"

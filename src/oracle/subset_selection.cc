@@ -66,6 +66,8 @@ std::vector<uint32_t> SubsetSelectionClient::Perturb(uint32_t value,
   std::vector<uint32_t> subset;
   subset.reserve(w_);
   if (include) subset.push_back(value);
+  // Hash order is erased by the sort below; it never reaches the result.
+  // lint:allow(unordered-iteration)
   for (const uint32_t r : drawn) {
     subset.push_back(r >= value ? r + 1 : r);
   }

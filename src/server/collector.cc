@@ -29,6 +29,12 @@ LolohaCollector::LolohaCollector(const LolohaParams& params,
 
 bool LolohaCollector::HandleHello(uint64_t user_id,
                                   const std::string& bytes) {
+  MutexLock lock(mu_);
+  return HandleHelloLocked(user_id, bytes);
+}
+
+bool LolohaCollector::HandleHelloLocked(uint64_t user_id,
+                                        const std::string& bytes) {
   UniversalHash hash;
   if (!DecodeLolohaHello(bytes, params_.g, &hash)) {
     ++stats_.rejected_malformed;
@@ -47,6 +53,7 @@ bool LolohaCollector::HandleHello(uint64_t user_id,
 
 bool LolohaCollector::HandleReport(uint64_t user_id,
                                    const std::string& bytes) {
+  MutexLock lock(mu_);
   const auto it = hashes_.find(user_id);
   if (it == hashes_.end()) {
     ++stats_.rejected_unknown_user;
@@ -77,10 +84,15 @@ uint64_t LolohaCollector::IngestBatch(std::span<const Message> batch) {
   if (batch.empty()) return 0;
 
   // Pass 1 — bulk payload validation (pure per message, independent of
-  // session state).
+  // session state; runs before the lock).
   std::vector<uint32_t> cells(batch.size());
   std::vector<uint8_t> ok(batch.size());
   DecodeLolohaReportBatch(batch, params_.g, cells.data(), ok.data());
+
+  // The whole batch folds atomically: the lock spans bookkeeping and the
+  // sharded accumulation, so a concurrent per-report caller observes the
+  // batch entirely before or entirely after its own message.
+  MutexLock lock(mu_);
 
   // Pass 2 — serial session bookkeeping in arrival order. Classification
   // per message is exactly HandleHello/HandleReport's: hellos by tag, and
@@ -93,7 +105,7 @@ uint64_t LolohaCollector::IngestBatch(std::span<const Message> batch) {
     WireType type = WireType::kLolohaHello;
     if (PeekWireType(message.bytes, &type) &&
         type == WireType::kLolohaHello) {
-      accepted += HandleHello(message.user_id, message.bytes) ? 1 : 0;
+      accepted += HandleHelloLocked(message.user_id, message.bytes) ? 1 : 0;
       continue;
     }
     const auto it = hashes_.find(message.user_id);
@@ -120,16 +132,24 @@ uint64_t LolohaCollector::IngestBatch(std::span<const Message> batch) {
 
   // Pass 3 — sharded support accumulation. Integer adds into disjoint
   // privatized rows: totals are independent of the shard layout, so the
-  // merged counts are byte-identical to the per-report fold.
+  // merged counts are byte-identical to the per-report fold. The workers
+  // receive the guarded state through locals captured while mu_ is held:
+  // each shard writes only its own row, pending is read-only, and the
+  // ParallelFor barrier sequences every write before the return — the
+  // partition plus the barrier stand in for the lock the workers (which
+  // run on pool threads, not this one) cannot take.
   if (!pending_.empty()) {
     const uint32_t k = params_.k;
     const uint32_t g = params_.g;
     shard_support_dirty_ = true;
-    pool_->ParallelFor(num_shards_, [&](uint32_t shard) {
+    const std::span<const PendingReport> pending(pending_);
+    CacheAlignedRows<uint64_t>& shard_support = shard_support_;
+    const uint32_t num_shards = num_shards_;
+    pool_->ParallelFor(num_shards, [&, pending](uint32_t shard) {
       const ShardRange range =
-          ShardBounds(pending_.size(), num_shards_, shard);
+          ShardBounds(pending.size(), num_shards, shard);
       if (range.begin == range.end) return;
-      uint64_t* wide = shard_support_.Row(shard);
+      uint64_t* wide = shard_support.Row(shard);
       if (g <= 65535) {
         // Hash-row + support-count kernels: one strength-reduced row fill
         // per report, then a SIMD compare against the reported cell
@@ -137,13 +157,13 @@ uint64_t LolohaCollector::IngestBatch(std::span<const Message> batch) {
         std::vector<uint16_t> row(k);
         U16SupportAccumulator acc(k, wide);
         for (uint64_t i = range.begin; i < range.end; ++i) {
-          const PendingReport& report = pending_[i];
+          const PendingReport& report = pending[i];
           HashRowU16(report.hash->a(), report.hash->b(), g, k, row.data());
           acc.Add(row.data(), static_cast<uint16_t>(report.cell));
         }
       } else {
         for (uint64_t i = range.begin; i < range.end; ++i) {
-          const PendingReport& report = pending_[i];
+          const PendingReport& report = pending[i];
           for (uint32_t v = 0; v < k; ++v) {
             if ((*report.hash)(v) == report.cell) ++wide[v];
           }
@@ -163,6 +183,7 @@ void LolohaCollector::MergeShardSupport() {
 }
 
 std::vector<double> LolohaCollector::EndStep() {
+  MutexLock lock(mu_);
   MergeShardSupport();
   std::vector<double> estimates;
   if (reports_this_step_ > 0) {
@@ -194,6 +215,12 @@ DBitFlipCollector::DBitFlipCollector(const Bucketizer& bucketizer, uint32_t d,
 
 bool DBitFlipCollector::HandleHello(uint64_t user_id,
                                     const std::string& bytes) {
+  MutexLock lock(mu_);
+  return HandleHelloLocked(user_id, bytes);
+}
+
+bool DBitFlipCollector::HandleHelloLocked(uint64_t user_id,
+                                          const std::string& bytes) {
   std::vector<uint32_t> sampled;
   if (!DecodeDBitHello(bytes, bucketizer_.b(), d_, &sampled)) {
     ++stats_.rejected_malformed;
@@ -212,6 +239,7 @@ bool DBitFlipCollector::HandleHello(uint64_t user_id,
 
 bool DBitFlipCollector::HandleReport(uint64_t user_id,
                                      const std::string& bytes) {
+  MutexLock lock(mu_);
   const auto it = sampled_.find(user_id);
   if (it == sampled_.end()) {
     ++stats_.rejected_unknown_user;
@@ -241,6 +269,10 @@ bool DBitFlipCollector::HandleReport(uint64_t user_id,
 uint64_t DBitFlipCollector::IngestBatch(std::span<const Message> batch) {
   if (batch.empty()) return 0;
 
+  // Whole-batch atomicity, as in LolohaCollector::IngestBatch. Taken
+  // before pass 1 here: the decode target is the member bits arena.
+  MutexLock lock(mu_);
+
   // Pass 1 — bulk payload validation into the bits arena.
   bits_arena_.assign(batch.size() * d_, 0);
   std::vector<uint8_t> ok(batch.size());
@@ -253,7 +285,7 @@ uint64_t DBitFlipCollector::IngestBatch(std::span<const Message> batch) {
     const Message& message = batch[i];
     WireType type = WireType::kDBitHello;
     if (PeekWireType(message.bytes, &type) && type == WireType::kDBitHello) {
-      accepted += HandleHello(message.user_id, message.bytes) ? 1 : 0;
+      accepted += HandleHelloLocked(message.user_id, message.bytes) ? 1 : 0;
       continue;
     }
     const auto it = sampled_.find(message.user_id);
@@ -279,19 +311,26 @@ uint64_t DBitFlipCollector::IngestBatch(std::span<const Message> batch) {
   }
 
   // Pass 3 — sharded scatter of each report's d bits into privatized
-  // support / sampler rows.
+  // support / sampler rows. Guarded state reaches the pool workers via
+  // locals captured under mu_ — disjoint rows + the ParallelFor barrier
+  // replace the lock (see LolohaCollector::IngestBatch pass 3).
   if (!pending_.empty()) {
     shard_rows_dirty_ = true;
-    pool_->ParallelFor(num_shards_, [&](uint32_t shard) {
+    const std::span<const PendingReport> pending(pending_);
+    CacheAlignedRows<uint64_t>& shard_support = shard_support_;
+    CacheAlignedRows<uint64_t>& shard_samplers = shard_samplers_;
+    const uint32_t num_shards = num_shards_;
+    const uint32_t d = d_;
+    pool_->ParallelFor(num_shards, [&, pending](uint32_t shard) {
       const ShardRange range =
-          ShardBounds(pending_.size(), num_shards_, shard);
+          ShardBounds(pending.size(), num_shards, shard);
       if (range.begin == range.end) return;
-      uint64_t* sup = shard_support_.Row(shard);
-      uint64_t* samp = shard_samplers_.Row(shard);
+      uint64_t* sup = shard_support.Row(shard);
+      uint64_t* samp = shard_samplers.Row(shard);
       for (uint64_t i = range.begin; i < range.end; ++i) {
-        const PendingReport& report = pending_[i];
+        const PendingReport& report = pending[i];
         const std::vector<uint32_t>& sampled = *report.sampled;
-        for (uint32_t l = 0; l < d_; ++l) {
+        for (uint32_t l = 0; l < d; ++l) {
           ++samp[sampled[l]];
           sup[sampled[l]] += report.bits[l];
         }
@@ -312,6 +351,7 @@ void DBitFlipCollector::MergeShardRows() {
 }
 
 std::vector<double> DBitFlipCollector::EndStep() {
+  MutexLock lock(mu_);
   MergeShardRows();
   const uint32_t b = bucketizer_.b();
   std::vector<double> estimates(b, 0.0);

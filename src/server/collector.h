@@ -25,6 +25,16 @@
 //     reports are sharded across the borrowed thread pool, accumulating
 //     support counts through the SIMD kernels (util/simd.h) into
 //     per-shard cache-line-privatized rows that EndStep() merges.
+//
+// Thread safety: collectors are internally synchronized. Session state
+// and counters are guarded by one per-collector mutex (Clang Thread
+// Safety Analysis enforces the discipline at compile time — see
+// util/thread_annotations.h), so concurrent connections may call
+// HandleHello / HandleReport / IngestBatch on the same collector; calls
+// serialize in lock-acquisition order. The sharded accumulation inside
+// IngestBatch runs while the batch lock is held: pool workers write only
+// disjoint per-shard rows and the ParallelFor barrier orders them before
+// the merge, so the rows themselves need no lock.
 
 #ifndef LOLOHA_SERVER_COLLECTOR_H_
 #define LOLOHA_SERVER_COLLECTOR_H_
@@ -40,6 +50,7 @@
 #include "longitudinal/dbitflip.h"
 #include "util/hash.h"
 #include "util/simd.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "wire/encoding.h"
 
@@ -104,7 +115,9 @@ class Collector {
   // state.
   virtual std::vector<double> EndStep() = 0;
 
-  virtual const CollectorStats& stats() const = 0;
+  // Snapshot of the cumulative counters (by value: the live counters are
+  // mutex-guarded and keep moving under concurrent ingestion).
+  virtual CollectorStats stats() const = 0;
   virtual uint64_t registered_users() const = 0;
 };
 
@@ -124,9 +137,18 @@ class LolohaCollector : public Collector {
   // Returns an empty vector if no reports arrived this step.
   std::vector<double> EndStep() override;
 
-  uint64_t reports_this_step() const { return reports_this_step_; }
-  uint64_t registered_users() const override { return hashes_.size(); }
-  const CollectorStats& stats() const override { return stats_; }
+  uint64_t reports_this_step() const {
+    MutexLock lock(mu_);
+    return reports_this_step_;
+  }
+  uint64_t registered_users() const override {
+    MutexLock lock(mu_);
+    return hashes_.size();
+  }
+  CollectorStats stats() const override {
+    MutexLock lock(mu_);
+    return stats_;
+  }
 
  private:
   // One accepted (but not yet accumulated) batch report. Pointers into
@@ -136,22 +158,29 @@ class LolohaCollector : public Collector {
     uint32_t cell = 0;
   };
 
+  bool HandleHelloLocked(uint64_t user_id, const std::string& bytes)
+      LOLOHA_REQUIRES(mu_);
+  void MergeShardSupport() LOLOHA_REQUIRES(mu_);
+
   LolohaParams params_;
   PoolLease pool_;
   uint32_t num_shards_;
-  std::unordered_map<uint64_t, UniversalHash> hashes_;
-  std::unordered_map<uint64_t, uint32_t> reported_step_;  // user -> step no.
-  uint32_t step_ = 0;
-  uint64_t reports_this_step_ = 0;
-  std::vector<uint64_t> support_;
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, UniversalHash> hashes_ LOLOHA_GUARDED_BY(mu_);
+  // user -> step no.
+  std::unordered_map<uint64_t, uint32_t> reported_step_ LOLOHA_GUARDED_BY(mu_);
+  uint32_t step_ LOLOHA_GUARDED_BY(mu_) = 0;
+  uint64_t reports_this_step_ LOLOHA_GUARDED_BY(mu_) = 0;
+  std::vector<uint64_t> support_ LOLOHA_GUARDED_BY(mu_);
   // Per-shard privatized support rows filled by IngestBatch, merged into
-  // support_ by EndStep().
-  CacheAlignedRows<uint64_t> shard_support_;
-  bool shard_support_dirty_ = false;
-  std::vector<PendingReport> pending_;  // per-batch scratch
-  CollectorStats stats_;
-
-  void MergeShardSupport();
+  // support_ by EndStep(). Guarded by mu_ between batches; within one
+  // IngestBatch (which holds mu_ throughout) the pool workers write
+  // disjoint rows behind the ParallelFor barrier.
+  CacheAlignedRows<uint64_t> shard_support_ LOLOHA_GUARDED_BY(mu_);
+  bool shard_support_dirty_ LOLOHA_GUARDED_BY(mu_) = false;
+  // per-batch scratch
+  std::vector<PendingReport> pending_ LOLOHA_GUARDED_BY(mu_);
+  CollectorStats stats_ LOLOHA_GUARDED_BY(mu_);
 };
 
 class DBitFlipCollector : public Collector {
@@ -169,8 +198,14 @@ class DBitFlipCollector : public Collector {
   // Returns the estimated b-bin bucket histogram for the closed step.
   std::vector<double> EndStep() override;
 
-  const CollectorStats& stats() const override { return stats_; }
-  uint64_t registered_users() const override { return sampled_.size(); }
+  CollectorStats stats() const override {
+    MutexLock lock(mu_);
+    return stats_;
+  }
+  uint64_t registered_users() const override {
+    MutexLock lock(mu_);
+    return sampled_.size();
+  }
 
  private:
   struct PendingReport {
@@ -178,24 +213,32 @@ class DBitFlipCollector : public Collector {
     const uint8_t* bits = nullptr;                   // d bits in bits_arena_
   };
 
+  bool HandleHelloLocked(uint64_t user_id, const std::string& bytes)
+      LOLOHA_REQUIRES(mu_);
+  void MergeShardRows() LOLOHA_REQUIRES(mu_);
+
   Bucketizer bucketizer_;
   uint32_t d_;
   PerturbParams params_;
   PoolLease pool_;
   uint32_t num_shards_;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> sampled_;
-  std::unordered_map<uint64_t, uint32_t> reported_step_;
-  uint32_t step_ = 0;
-  std::vector<uint64_t> samplers_per_bucket_;  // n_j over reporters
-  std::vector<uint64_t> support_;
-  CacheAlignedRows<uint64_t> shard_support_;
-  CacheAlignedRows<uint64_t> shard_samplers_;
-  bool shard_rows_dirty_ = false;
-  std::vector<uint8_t> bits_arena_;  // per-batch decoded bits, batch x d
-  std::vector<PendingReport> pending_;
-  CollectorStats stats_;
-
-  void MergeShardRows();
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> sampled_
+      LOLOHA_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, uint32_t> reported_step_ LOLOHA_GUARDED_BY(mu_);
+  uint32_t step_ LOLOHA_GUARDED_BY(mu_) = 0;
+  // n_j over reporters
+  std::vector<uint64_t> samplers_per_bucket_ LOLOHA_GUARDED_BY(mu_);
+  std::vector<uint64_t> support_ LOLOHA_GUARDED_BY(mu_);
+  // Guarded between batches; written as disjoint per-shard rows behind
+  // the ParallelFor barrier within a batch (see collector.cc pass 3).
+  CacheAlignedRows<uint64_t> shard_support_ LOLOHA_GUARDED_BY(mu_);
+  CacheAlignedRows<uint64_t> shard_samplers_ LOLOHA_GUARDED_BY(mu_);
+  bool shard_rows_dirty_ LOLOHA_GUARDED_BY(mu_) = false;
+  // per-batch decoded bits, batch x d
+  std::vector<uint8_t> bits_arena_ LOLOHA_GUARDED_BY(mu_);
+  std::vector<PendingReport> pending_ LOLOHA_GUARDED_BY(mu_);
+  CollectorStats stats_ LOLOHA_GUARDED_BY(mu_);
 };
 
 // Builds the collector serving `spec` over a domain of size k (the domain

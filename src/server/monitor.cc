@@ -41,6 +41,12 @@ double TrendMonitor::NoiseStdDev(double f) const {
 
 std::vector<TrendAlert> TrendMonitor::Observe(
     const std::vector<double>& estimates) {
+  MutexLock lock(mu_);
+  return ObserveLocked(estimates);
+}
+
+std::vector<TrendAlert> TrendMonitor::ObserveLocked(
+    const std::vector<double>& estimates) {
   LOLOHA_CHECK(estimates.size() == k_);
   std::vector<TrendAlert> alerts;
   if (steps_ == 0) {
@@ -64,9 +70,12 @@ std::vector<TrendAlert> TrendMonitor::Observe(
 
 std::vector<TrendAlert> TrendMonitor::Observe(
     std::span<const std::vector<double>> steps) {
+  // One lock for the whole span: a batched catch-up folds atomically with
+  // respect to concurrent single-step observers.
+  MutexLock lock(mu_);
   std::vector<TrendAlert> alerts;
   for (const std::vector<double>& estimates : steps) {
-    std::vector<TrendAlert> step_alerts = Observe(estimates);
+    std::vector<TrendAlert> step_alerts = ObserveLocked(estimates);
     alerts.insert(alerts.end(), step_alerts.begin(), step_alerts.end());
   }
   return alerts;

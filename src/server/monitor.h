@@ -8,6 +8,11 @@
 // the current estimate). Because the noise floor is derived from the
 // protocol parameters rather than fitted, the false-positive rate is
 // directly controlled by the z threshold.
+//
+// Thread safety: internally synchronized. The EWMA state is guarded by a
+// mutex (compile-time checked under clang, see util/thread_annotations.h),
+// so several ingestion fronts may feed one monitor; each Observe call —
+// including the whole span of a batched call — folds atomically.
 
 #ifndef LOLOHA_SERVER_MONITOR_H_
 #define LOLOHA_SERVER_MONITOR_H_
@@ -17,6 +22,7 @@
 #include <vector>
 
 #include "oracle/params.h"
+#include "util/thread_annotations.h"
 
 namespace loloha {
 
@@ -54,24 +60,36 @@ class TrendMonitor {
   // alerts are concatenated in step order.
   std::vector<TrendAlert> Observe(std::span<const std::vector<double>> steps);
 
-  // Current smoothed baseline per value.
-  const std::vector<double>& baseline() const { return baseline_; }
+  // Snapshot of the current smoothed baseline per value (by value: the
+  // live EWMA keeps moving under concurrent Observe calls).
+  std::vector<double> baseline() const {
+    MutexLock lock(mu_);
+    return baseline_;
+  }
 
-  uint32_t steps_observed() const { return steps_; }
+  uint32_t steps_observed() const {
+    MutexLock lock(mu_);
+    return steps_;
+  }
 
   // The noise standard deviation the monitor assumes for an estimate at
-  // frequency f (exposed for tests and threshold tuning).
+  // frequency f (exposed for tests and threshold tuning). Pure in the
+  // protocol parameters — no lock involved.
   double NoiseStdDev(double f) const;
 
  private:
+  std::vector<TrendAlert> ObserveLocked(const std::vector<double>& estimates)
+      LOLOHA_REQUIRES(mu_);
+
   uint32_t k_;
   double n_;
   PerturbParams first_;
   PerturbParams second_;
   double smoothing_;
   double z_threshold_;
-  std::vector<double> baseline_;
-  uint32_t steps_ = 0;
+  mutable Mutex mu_;
+  std::vector<double> baseline_ LOLOHA_GUARDED_BY(mu_);
+  uint32_t steps_ LOLOHA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace loloha

@@ -600,8 +600,8 @@ bool ExperimentPlan::Validate(std::string* error) const {
                                  "': " + spec_error);
     }
   }
-  for (const double eps : eps_perm) {
-    if (!std::isfinite(eps) || eps <= 0.0) {
+  for (const double e : eps_perm) {
+    if (!std::isfinite(e) || e <= 0.0) {
       return FailPlan(error, "eps_perm grid values must be positive");
     }
   }

@@ -1,9 +1,8 @@
 #include "sim/monte_carlo.h"
 
-#include <atomic>
-
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace loloha {
@@ -29,15 +28,22 @@ std::vector<std::vector<double>> RunMonteCarloGrid(
   for (auto& row : results) row.resize(options.runs);
 
   const uint32_t total = num_configs * options.runs;
-  std::atomic<uint32_t> completed{0};
+  // Shared progress counter plus callback serialization. A mutex-guarded
+  // struct rather than an atomic: the guard also serializes the user's
+  // progress callback, and clang's thread-safety analysis then checks the
+  // discipline at compile time.
+  struct ProgressState {
+    Mutex mu;
+    uint32_t completed LOLOHA_GUARDED_BY(mu) = 0;
+  } progress;
   const auto run_cell = [&](uint32_t config, uint32_t run) {
     const std::unique_ptr<LongitudinalRunner> runner = factory(config);
     const RunResult result =
         runner->Run(data, MonteCarloSeed(options.base_seed, config, run));
     results[config][run] = metric(config, result);
     if (options.progress) {
-      options.progress(completed.fetch_add(1, std::memory_order_relaxed) + 1,
-                       total);
+      MutexLock lock(progress.mu);
+      options.progress(++progress.completed, total);
     }
   };
 

@@ -43,13 +43,11 @@ struct MonteCarloOptions {
   // pool size by construction.
   ThreadPool* pool = nullptr;
   // Invoked exactly once per finished cell with (cells_completed,
-  // cells_total), where cells_completed is that cell's slot in the atomic
-  // completion count (exactly one call carries total). Calls may arrive
-  // out of order — a descheduled thread can deliver a lower count after a
-  // higher one — so treat the values as a progress sample, not a
-  // completion signal; RunMonteCarloGrid returning is the completion
-  // signal. Called concurrently from pool threads — must be thread-safe
-  // (a printf progress dot is fine). Null disables.
+  // cells_total). Invocations are serialized under the driver's progress
+  // mutex and carry a strictly increasing count (exactly one call carries
+  // total) — the callback itself needs no synchronization of its own.
+  // Treat the values as a progress sample, not a completion signal;
+  // RunMonteCarloGrid returning is the completion signal. Null disables.
   std::function<void(uint32_t completed, uint32_t total)> progress;
 };
 

@@ -65,7 +65,7 @@ inline constexpr size_t kVecBytes = kSimdWidthBytes == 0 ? 16
                                                          : kSimdWidthBytes;
 inline constexpr size_t kU16Lanes = kVecBytes / sizeof(uint16_t);
 
-typedef uint16_t U16Vec __attribute__((vector_size(kVecBytes)));
+using U16Vec = uint16_t __attribute__((vector_size(kVecBytes)));
 
 inline U16Vec LoadU16(const uint16_t* p) {
   U16Vec v;

@@ -36,12 +36,12 @@ ThreadPool::ThreadPool(uint32_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     LOLOHA_CHECK_MSG(tasks_.empty(),
                      "ThreadPool destroyed with queued tasks; Wait first");
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -60,8 +60,8 @@ void ThreadPool::RunShards(Job& job) {
     if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         job.num_shards) {
       // Lock pairs the notification with the caller's predicate check.
-      std::lock_guard<std::mutex> lock(mu_);
-      done_cv_.notify_all();
+      MutexLock lock(mu_);
+      done_cv_.NotifyAll();
     }
   }
 }
@@ -70,11 +70,11 @@ void ThreadPool::RunTask(Task& task) {
   task.fn();
   bool finished = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     LOLOHA_DCHECK(task.wg->pending_ > 0);
     finished = --task.wg->pending_ == 0;
   }
-  if (finished) done_cv_.notify_all();
+  if (finished) done_cv_.NotifyAll();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -84,8 +84,9 @@ void ThreadPool::WorkerLoop() {
     Task task;
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
+      MutexLock lock(mu_);
+      work_cv_.Wait(lock, [&] {
+        mu_.AssertHeld();  // cv predicates run with the lock held
         return stop_ || !tasks_.empty() ||
                (current_job_ != nullptr && epoch_ != seen_epoch);
       });
@@ -111,13 +112,13 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::Submit(WaitGroup& wg, std::function<void()> fn) {
   LOLOHA_DCHECK(fn != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++wg.pending_;
     tasks_.push_back(Task{std::move(fn), &wg});
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   // A thread blocked in Wait also consumes tasks; wake it too.
-  done_cv_.notify_all();
+  done_cv_.NotifyAll();
 }
 
 void ThreadPool::Wait(WaitGroup& wg) {
@@ -126,9 +127,11 @@ void ThreadPool::Wait(WaitGroup& wg) {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      done_cv_.wait(lock,
-                    [&] { return wg.pending_ == 0 || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      done_cv_.Wait(lock, [&] {
+        mu_.AssertHeld();  // cv predicates run with the lock held
+        return wg.pending_ == 0 || !tasks_.empty();
+      });
       if (wg.pending_ == 0) return;
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -154,20 +157,21 @@ void ThreadPool::ParallelFor(uint32_t num_shards,
   }
   auto job = std::make_shared<Job>(fn, num_shards);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     LOLOHA_CHECK_MSG(current_job_ == nullptr,
                      "only one thread may drive ParallelFor at a time");
     current_job_ = job;
     ++epoch_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   {
     ActivePoolScope scope(this);
     RunShards(*job);
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] {
+    MutexLock lock(mu_);
+    done_cv_.Wait(lock, [&] {
+      // Reads only the job's atomic; no guarded member involved.
       return job->done.load(std::memory_order_acquire) == num_shards;
     });
     current_job_ = nullptr;

@@ -21,14 +21,14 @@
 #define LOLOHA_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace loloha {
 
@@ -62,7 +62,11 @@ class WaitGroup {
 
  private:
   friend class ThreadPool;
-  int64_t pending_ = 0;  // guarded by the owning pool's mu_
+  // Guarded by the owning pool's mu_. The binding is dynamic (first use),
+  // so it cannot carry a LOLOHA_GUARDED_BY annotation — every access
+  // lives in ThreadPool methods that hold mu_, which the analysis checks
+  // through those methods' own annotations.
+  int64_t pending_ = 0;
 };
 
 class ThreadPool {
@@ -82,13 +86,13 @@ class ThreadPool {
   // registers it with `wg`. Tasks may Submit further tasks and may call
   // ParallelFor on this pool (which then runs inline); they must not call
   // Wait.
-  void Submit(WaitGroup& wg, std::function<void()> fn);
+  void Submit(WaitGroup& wg, std::function<void()> fn) LOLOHA_EXCLUDES(mu_);
 
   // Blocks until every task registered with `wg` has finished. The calling
   // thread drains queued tasks while it waits, so Submit + Wait makes
   // progress even on a pool of 1 (which has no workers). Must be called
   // from outside the pool (not from within a task).
-  void Wait(WaitGroup& wg);
+  void Wait(WaitGroup& wg) LOLOHA_EXCLUDES(mu_);
 
   // Invokes fn(shard) exactly once for every shard in [0, num_shards),
   // distributed over the workers plus the calling thread, and returns when
@@ -96,8 +100,8 @@ class ThreadPool {
   // executing this pool's work (a Submit task or an enclosing ParallelFor
   // shard), the shards run inline on the calling thread, in order. At most
   // one thread from outside the pool may drive ParallelFor at a time.
-  void ParallelFor(uint32_t num_shards,
-                   const std::function<void(uint32_t)>& fn);
+  void ParallelFor(uint32_t num_shards, const std::function<void(uint32_t)>& fn)
+      LOLOHA_EXCLUDES(mu_);
 
   // True when the calling thread is currently executing work scheduled on
   // this pool (worker thread, Wait-drained task, or ParallelFor shard).
@@ -126,18 +130,18 @@ class ThreadPool {
     WaitGroup* wg = nullptr;
   };
 
-  void WorkerLoop();
-  void RunShards(Job& job);
-  void RunTask(Task& task);
+  void WorkerLoop() LOLOHA_EXCLUDES(mu_);
+  void RunShards(Job& job) LOLOHA_EXCLUDES(mu_);
+  void RunTask(Task& task) LOLOHA_EXCLUDES(mu_);
 
   uint32_t num_threads_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::deque<Task> tasks_;            // guarded by mu_
-  std::shared_ptr<Job> current_job_;  // guarded by mu_
-  uint64_t epoch_ = 0;                // guarded by mu_; bumped per job
-  bool stop_ = false;                 // guarded by mu_
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  std::deque<Task> tasks_ LOLOHA_GUARDED_BY(mu_);
+  std::shared_ptr<Job> current_job_ LOLOHA_GUARDED_BY(mu_);
+  uint64_t epoch_ LOLOHA_GUARDED_BY(mu_) = 0;  // bumped per job
+  bool stop_ LOLOHA_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -224,8 +224,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(
         SuiteParam{"Loloha", "ololoha:g=4,eps_perm=2,eps_first=1", 24, 300},
         SuiteParam{"DBitFlip", "bbitflip:eps_perm=3,buckets=8,d=5", 40, 250}),
-    [](const ::testing::TestParamInfo<SuiteParam>& info) {
-      return info.param.name;
+    // Named param_info: INSTANTIATE_TEST_SUITE_P splices the lambda into
+    // a gtest function whose own parameter is `info` (-Wshadow).
+    [](const ::testing::TestParamInfo<SuiteParam>& param_info) {
+      return param_info.param.name;
     });
 
 TEST_P(CollectorBatchSuite, BatchMatchesPerReportAtEveryThreadCount) {

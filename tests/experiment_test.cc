@@ -215,8 +215,10 @@ constexpr MalformedCase kMalformedCases[] = {
 
 INSTANTIATE_TEST_SUITE_P(AllCases, MalformedPlan,
                          testing::ValuesIn(kMalformedCases),
-                         [](const auto& info) {
-                           return std::string(info.param.label);
+                         // param_info: the macro's own parameter is
+                         // `info` (-Wshadow).
+                         [](const auto& param_info) {
+                           return std::string(param_info.param.label);
                          });
 
 TEST(ExperimentPlanValidate, CrossFieldErrors) {

@@ -36,8 +36,10 @@ INSTANTIATE_TEST_SUITE_P(
                     ProtocolId::kBiLoloha, ProtocolId::kOLoloha,
                     ProtocolId::kOneBitFlipPm, ProtocolId::kBBitFlipPm,
                     ProtocolId::kNaiveOlh),
-    [](const testing::TestParamInfo<ProtocolId>& info) {
-      std::string name = ProtocolName(info.param);
+    // Named param_info: INSTANTIATE_TEST_SUITE_P splices the lambda into
+    // a gtest function whose own parameter is `info` (-Wshadow).
+    [](const testing::TestParamInfo<ProtocolId>& param_info) {
+      std::string name = ProtocolName(param_info.param);
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

@@ -1,0 +1,389 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: rules no generic static analyzer knows.
+
+Every result this repo produces rests on two contracts that generic
+tools cannot check:
+
+  * Determinism — ``Run(data, seed)`` is bit-identical at any thread
+    count, on any toolchain. All randomness therefore flows through the
+    repo's own ``loloha::Rng`` / ``StreamSeed`` (util/rng.h) and
+    ``util/binomial.h``; standard-library engines and distributions are
+    banned (their draw sequences are implementation-defined, and
+    ``std::binomial_distribution`` additionally races on glibc's
+    ``signgam``, see util/binomial.h).
+  * Ordering — iterating a ``std::unordered_map``/``set`` in library
+    code visits elements in a hash-seed- and toolchain-dependent order;
+    if that order reaches a result (an estimate vector, a CSV row, an
+    RNG draw) bit-identity is gone.
+
+Rules (each line shows the rule id used by the escape hatch):
+
+  nondeterministic-rng   std::random_device / std::rand / srand /
+                         std::mt19937 & friends, anywhere in C++ code.
+  binomial-outside-util  std::binomial_distribution outside
+                         src/util/binomial.{h,cc}.
+  unordered-iteration    range-for or .begin() iteration over a
+                         std::unordered_map/set variable, in src/ only.
+  banned-include         <iostream>, <ctime>, <time.h>, <random> in
+                         src/ (the library is printf-based; wall-clock
+                         time and std <random> have no business in
+                         result-producing code).
+  test-registration      every tests/*_test.cc is registered with CMake
+                         (explicitly or via the tests/*_test.cc glob)
+                         and actually defines a TEST.
+
+Escape hatch: append ``// lint:allow(<rule-id>)`` to the flagged line,
+or put it on its own line directly above, with a comment saying why.
+Policy: an allow must state the discipline that replaces the rule (e.g.
+"sorted immediately below, order cannot escape").
+
+Usage:
+  tools/lint_invariants.py [--root DIR]   # lint the tree (default: repo root)
+  tools/lint_invariants.py --self-test    # run the fixture suite
+
+Exit codes: 0 clean, 1 violations found, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+CPP_SUFFIXES = (".cc", ".cpp", ".h", ".hpp")
+SKIP_DIRS = {"build", ".git", "testdata", "third_party"}
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
+
+# Tokens banned everywhere C++ lives: every one of these draws from an
+# implementation-defined sequence (or a global seed), which breaks the
+# cross-toolchain bit-identity contract.
+NONDET_RNG_RE = re.compile(
+    r"std::random_device|std::rand\b|(?<![\w:])srand\s*\(|std::mt19937"
+    r"|std::minstd_rand|std::default_random_engine|std::ranlux\w*"
+    r"|std::knuth_b\b"
+)
+
+BINOMIAL_RE = re.compile(r"std::binomial_distribution")
+BINOMIAL_ALLOWED_FILES = ("src/util/binomial.h", "src/util/binomial.cc")
+
+BANNED_INCLUDES = {
+    "<iostream>": "src/ is printf-based (no static-init fiasco, no sync)",
+    "<ctime>": "wall-clock time in result-producing code breaks replay",
+    "<time.h>": "wall-clock time in result-producing code breaks replay",
+    "<random>": "std distributions are toolchain-defined; use util/rng.h",
+}
+INCLUDE_RE = re.compile(r"^\s*#\s*include\s*(<[^>]+>)")
+
+# One level of template nesting is enough for every declaration in the
+# tree (values like std::vector<uint32_t> nest once).
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set)\s*<(?:[^<>]|<[^<>]*>)*>\s*&?\s*(\w+)"
+)
+
+TEST_MACRO_RE = re.compile(r"^\s*(?:TEST|TEST_F|TEST_P|TYPED_TEST)\s*\(",
+                           re.MULTILINE)
+TEST_GLOB_RE = re.compile(r"file\s*\(\s*GLOB[^)]*tests/\*_test\.cc", re.DOTALL)
+
+
+@dataclass
+class Violation:
+    path: str
+    line: int  # 1-based; 0 = file-level
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line breaks.
+
+    Keeps column positions roughly stable so reported line numbers match
+    the raw file. Raw strings are handled well enough for lint purposes
+    (the tree does not use exotic delimiters).
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:j]))
+            i = j
+        elif c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append('"' + " " * max(0, j - i - 2) +
+                       ('"' if j - i >= 2 else ""))
+            i = j
+        elif c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append("'" + " " * max(0, j - i - 2) +
+                       ("'" if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def collect_allows(raw_lines: list[str]) -> dict[int, set[str]]:
+    """Maps 1-based line numbers to the rule ids allowed on that line.
+
+    An allow comment covers its own line and, when it is the only thing
+    on its line, the next line as well.
+    """
+    allows: dict[int, set[str]] = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",")}
+        allows.setdefault(idx, set()).update(rules)
+        if line.strip().startswith("//"):
+            allows.setdefault(idx + 1, set()).update(rules)
+    return allows
+
+
+def is_allowed(allows: dict[int, set[str]], line: int, rule: str) -> bool:
+    return rule in allows.get(line, set())
+
+
+def lint_cpp_file(rel_path: str, text: str) -> list[Violation]:
+    """Lints one C++ file; `rel_path` is repo-relative with / separators."""
+    raw_lines = text.splitlines()
+    clean = strip_comments_and_strings(text)
+    clean_lines = clean.splitlines()
+    allows = collect_allows(raw_lines)
+    violations: list[Violation] = []
+    in_src = rel_path.startswith("src/")
+
+    def flag(line_no: int, rule: str, message: str) -> None:
+        if not is_allowed(allows, line_no, rule):
+            violations.append(Violation(rel_path, line_no, rule, message))
+
+    for line_no, line in enumerate(clean_lines, start=1):
+        m = NONDET_RNG_RE.search(line)
+        if m:
+            flag(line_no, "nondeterministic-rng",
+                 f"'{m.group(0).strip()}' breaks seed-reproducibility; "
+                 "use loloha::Rng / StreamSeed (util/rng.h)")
+        if BINOMIAL_RE.search(line) and rel_path not in BINOMIAL_ALLOWED_FILES:
+            flag(line_no, "binomial-outside-util",
+                 "std::binomial_distribution races on glibc signgam and "
+                 "draws toolchain-dependent sequences; use util/binomial.h")
+        if in_src:
+            inc = INCLUDE_RE.match(line)
+            if inc and inc.group(1) in BANNED_INCLUDES:
+                flag(line_no, "banned-include",
+                     f"{inc.group(1)} is banned in src/: "
+                     f"{BANNED_INCLUDES[inc.group(1)]}")
+
+    if in_src:
+        violations.extend(
+            lint_unordered_iteration(rel_path, clean, clean_lines, allows))
+    return violations
+
+
+def lint_unordered_iteration(rel_path: str, clean: str,
+                             clean_lines: list[str],
+                             allows: dict[int, set[str]]) -> list[Violation]:
+    """Flags iteration over unordered containers declared in this file.
+
+    Heuristic by design: it resolves variable names, not types through
+    call chains — the contract is "if you iterate an unordered container
+    in library code, either sort the result and say so in a lint:allow,
+    or use an ordered/indexed structure".
+    """
+    names = set(UNORDERED_DECL_RE.findall(clean))
+    if not names:
+        return []
+    alt = "|".join(re.escape(n) for n in sorted(names))
+    # for (x : name) / for (x : *name) / for (x : obj.name / obj->name)
+    range_for = re.compile(
+        r"for\s*\([^;)]*:\s*\*?\s*(?:[\w.\->]+(?:\.|->))?(" + alt + r")\s*\)")
+    # name.begin() / name.cbegin() inside a for/while header or iterator init
+    iter_begin = re.compile(r"\b(" + alt + r")\s*\.\s*c?begin\s*\(")
+    violations: list[Violation] = []
+    for line_no, line in enumerate(clean_lines, start=1):
+        m = range_for.search(line) or iter_begin.search(line)
+        if m and not is_allowed(allows, line_no, "unordered-iteration"):
+            violations.append(Violation(
+                rel_path, line_no, "unordered-iteration",
+                f"iterating unordered container '{m.group(1)}' — order is "
+                "hash/toolchain-dependent and must not reach results; sort "
+                "first (then lint:allow with that justification) or use an "
+                "ordered structure"))
+    return violations
+
+
+def lint_test_registration(cmake_text: str,
+                           test_files: dict[str, str]) -> list[Violation]:
+    """`test_files` maps tests/<name>_test.cc -> file content."""
+    violations: list[Violation] = []
+    has_glob = bool(TEST_GLOB_RE.search(cmake_text))
+    for rel_path, content in sorted(test_files.items()):
+        base = os.path.basename(rel_path)
+        if not has_glob and base not in cmake_text:
+            violations.append(Violation(
+                rel_path, 0, "test-registration",
+                f"{base} is not registered in CMakeLists.txt (no "
+                "tests/*_test.cc glob and not named explicitly) — it "
+                "would silently never run"))
+        if not TEST_MACRO_RE.search(strip_comments_and_strings(content)):
+            violations.append(Violation(
+                rel_path, 0, "test-registration",
+                "file matches tests/*_test.cc but defines no "
+                "TEST/TEST_F/TEST_P — the registered binary would be "
+                "empty"))
+    return violations
+
+
+def iter_cpp_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in sorted(dirnames) if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.endswith(CPP_SUFFIXES):
+                full = os.path.join(dirpath, name)
+                yield os.path.relpath(full, root).replace(os.sep, "/"), full
+
+
+def lint_tree(root: str) -> list[Violation]:
+    violations: list[Violation] = []
+    test_files: dict[str, str] = {}
+    for rel_path, full in iter_cpp_files(root):
+        with open(full, encoding="utf-8") as f:
+            text = f.read()
+        violations.extend(lint_cpp_file(rel_path, text))
+        if rel_path.startswith("tests/") and rel_path.endswith("_test.cc"):
+            test_files[rel_path] = text
+    cmake_path = os.path.join(root, "CMakeLists.txt")
+    if os.path.exists(cmake_path):
+        with open(cmake_path, encoding="utf-8") as f:
+            violations.extend(lint_test_registration(f.read(), test_files))
+    return violations
+
+
+# --------------------------------------------------------------------------
+# Self-test over tools/testdata/ fixtures.
+#
+# Each fixture declares its pretend repo path on line 1:
+#     // lint-fixture-path: src/foo/bar.cc
+# and the rule(s) it must trigger on line 2:
+#     // lint-fixture-expect: rule-id [rule-id ...]   (or "clean")
+# --------------------------------------------------------------------------
+
+FIXTURE_PATH_RE = re.compile(r"//\s*lint-fixture-path:\s*(\S+)")
+FIXTURE_EXPECT_RE = re.compile(r"//\s*lint-fixture-expect:\s*(.+)")
+
+
+def run_self_test(testdata_dir: str) -> int:
+    failures = 0
+    fixtures = sorted(f for f in os.listdir(testdata_dir)
+                      if f.endswith(CPP_SUFFIXES))
+    if not fixtures:
+        print(f"self-test: no fixtures in {testdata_dir}", file=sys.stderr)
+        return 1
+    for name in fixtures:
+        with open(os.path.join(testdata_dir, name), encoding="utf-8") as f:
+            text = f.read()
+        path_m = FIXTURE_PATH_RE.search(text)
+        expect_m = FIXTURE_EXPECT_RE.search(text)
+        if not path_m or not expect_m:
+            print(f"self-test FAIL {name}: missing lint-fixture-path / "
+                  "lint-fixture-expect header", file=sys.stderr)
+            failures += 1
+            continue
+        expected = set(expect_m.group(1).split())
+        expected.discard("clean")
+        got = {v.rule for v in lint_cpp_file(path_m.group(1), text)}
+        if got != expected:
+            print(f"self-test FAIL {name}: expected rules "
+                  f"{sorted(expected) or ['clean']}, got "
+                  f"{sorted(got) or ['clean']}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"self-test ok   {name}: {sorted(got) or ['clean']}")
+
+    failures += run_registration_self_test()
+    if failures:
+        print(f"self-test: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print(f"self-test: {len(fixtures)} fixtures + registration cases pass")
+    return 0
+
+
+def run_registration_self_test() -> int:
+    """In-memory cases for the repo-level test-registration rule."""
+    cases = [
+        # (cmake, files, expected number of violations, label)
+        ("file(GLOB T CONFIGURE_DEPENDS tests/*_test.cc)",
+         {"tests/a_test.cc": "TEST(A, B) {}"}, 0, "glob+TEST"),
+        ("add_executable(a_test tests/a_test.cc)",
+         {"tests/a_test.cc": "TEST(A, B) {}"}, 0, "explicit+TEST"),
+        ("# nothing registered",
+         {"tests/a_test.cc": "TEST(A, B) {}"}, 1, "unregistered"),
+        ("file(GLOB T CONFIGURE_DEPENDS tests/*_test.cc)",
+         {"tests/a_test.cc": "// TEST(A, B) only in a comment"}, 1,
+         "no TEST macro"),
+    ]
+    failures = 0
+    for cmake, files, want, label in cases:
+        got = len(lint_test_registration(cmake, files))
+        if got != want:
+            print(f"self-test FAIL registration[{label}]: expected {want} "
+                  f"violation(s), got {got}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"self-test ok   registration[{label}]")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="Repo-invariant linter (see module docstring)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the tools/testdata fixture suite")
+    args = parser.parse_args(argv)
+
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    if args.self_test:
+        return run_self_test(os.path.join(script_dir, "testdata"))
+
+    root = args.root or os.path.dirname(script_dir)
+    violations = lint_tree(root)
+    for v in violations:
+        print(v, file=sys.stderr)
+    if violations:
+        print(f"lint_invariants: {len(violations)} violation(s). Each rule "
+              "has a reason — see tools/lint_invariants.py; if the code is "
+              "right and the rule is wrong here, add "
+              "'// lint:allow(<rule>)' with a justification.",
+              file=sys.stderr)
+        return 1
+    print("lint_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,8 @@
+// lint-fixture-path: src/data/fixture.cc
+// lint-fixture-expect: banned-include
+//
+// src/ is printf-based and replay-deterministic: <iostream>, <ctime>,
+// <time.h> and <random> are all banned there.
+#include <iostream>
+
+void Print() { std::cout << "hello\n"; }

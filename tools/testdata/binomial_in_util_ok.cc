@@ -1,0 +1,11 @@
+// lint-fixture-path: src/util/binomial.cc
+// lint-fixture-expect: clean
+//
+// Inside the sanctioned home the same token is fine — this is where the
+// deterministic replacement compares itself against the std reference.
+#include <cstdint>
+
+uint64_t Reference(uint64_t n, double p) {
+  std::binomial_distribution<uint64_t> dist(n, p);
+  return dist.min();
+}

@@ -1,0 +1,12 @@
+// lint-fixture-path: src/oracle/fixture.cc
+// lint-fixture-expect: binomial-outside-util
+//
+// std::binomial_distribution is confined to src/util/binomial.{h,cc}:
+// glibc's implementation races on the global signgam (PR 2 incident) and
+// its draw sequence is toolchain-defined.
+#include <cstdint>
+
+uint64_t DrawCount(uint64_t n, double p) {
+  std::binomial_distribution<uint64_t> dist(n, p);
+  return dist.min();
+}

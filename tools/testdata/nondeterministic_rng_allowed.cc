@@ -1,0 +1,14 @@
+// lint-fixture-path: src/sim/fixture.cc
+// lint-fixture-expect: clean
+//
+// The same violation as nondeterministic_rng_bad.cc, suppressed by the
+// escape hatch — both placements the linter supports.
+#include <cstdint>
+
+uint32_t Draw() {
+  // Fixture-only: comparing draw sequences against the std engine.
+  // lint:allow(nondeterministic-rng)
+  std::mt19937 gen_above(42);
+  std::mt19937 gen_inline(42);  // lint:allow(nondeterministic-rng)
+  return static_cast<uint32_t>(gen_above() + gen_inline());
+}

@@ -1,0 +1,11 @@
+// lint-fixture-path: src/sim/fixture.cc
+// lint-fixture-expect: nondeterministic-rng
+//
+// Any std engine breaks the Run(data, seed) bit-identity contract: the
+// linter must flag it even though the surrounding code compiles fine.
+#include <cstdint>
+
+uint32_t Draw() {
+  std::mt19937 gen(42);
+  return static_cast<uint32_t>(gen());
+}

@@ -1,0 +1,15 @@
+// lint-fixture-path: src/util/fixture.cc
+// lint-fixture-expect: clean
+//
+// Banned tokens in comments and string literals must NOT trigger: the
+// linter scans code, not prose. This file mentions std::mt19937,
+// std::rand, std::random_device and std::binomial_distribution — all in
+// comments — and ships the strings below as data.
+#include <cstdint>
+
+// Unlike std::binomial_distribution, this helper is deterministic.
+/* Historical note: an early draft used std::mt19937 seeded from
+   std::random_device — both banned now. */
+const char* Describe() {
+  return "not std::rand, and no std::unordered_map iteration either";
+}

@@ -1,0 +1,20 @@
+// lint-fixture-path: src/core/fixture.cc
+// lint-fixture-expect: clean
+//
+// The sanctioned pattern: iterate, then sort immediately so the hash
+// order cannot escape — stated in the allow justification.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+std::vector<uint32_t> Sorted(const std::unordered_set<uint32_t>& values) {
+  std::vector<uint32_t> out;
+  // Order is erased by the sort below; hash order never reaches results.
+  // lint:allow(unordered-iteration)
+  for (const uint32_t v : values) {
+    out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}

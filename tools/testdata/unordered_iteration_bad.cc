@@ -1,0 +1,17 @@
+// lint-fixture-path: src/core/fixture.cc
+// lint-fixture-expect: unordered-iteration
+//
+// Iteration order of an unordered container is hash- and
+// toolchain-dependent; in src/ it must never feed a result.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+std::vector<uint32_t> Keys(const std::unordered_map<uint32_t, double>& m) {
+  std::unordered_map<uint32_t, double> counts = m;
+  std::vector<uint32_t> keys;
+  for (const auto& [key, value] : counts) {
+    keys.push_back(key);
+  }
+  return keys;
+}

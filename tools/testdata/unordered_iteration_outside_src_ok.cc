@@ -1,0 +1,14 @@
+// lint-fixture-path: tests/fixture_test_helper.cc
+// lint-fixture-expect: clean
+//
+// The unordered-iteration rule is scoped to src/ — tests and benches may
+// iterate freely (their output is asserted, not shipped).
+#include <cstdint>
+#include <unordered_set>
+
+uint64_t Sum(const std::unordered_set<uint32_t>& values) {
+  std::unordered_set<uint32_t> copy = values;
+  uint64_t sum = 0;
+  for (const uint32_t v : copy) sum += v;
+  return sum;
+}
