@@ -1,0 +1,410 @@
+// Loopback load generator for loloha_server's ingestion front — and the
+// end-to-end proof that the network path changes nothing: after driving
+// hundreds of thousands of users through TCP framing, the event loop,
+// and the shard queues, the server's per-step estimates must be
+// byte-identical to a direct in-process IngestBatch over the same
+// pre-encoded traffic, and the collector counters must match exactly.
+//
+// Traffic model per protocol (LOLOHA and dBitFlipPM rows): every user is
+// pinned to connection `user %% connections`; client threads split the
+// connections. A hello storm registers the fleet (each connection ends
+// its burst with a kBarrier and waits for the ack), then each collection
+// step sends one report per user the same way, and a separate control
+// connection closes the step with kEndStep and decodes the kEstimates
+// reply. The final kShutdown drains the server gracefully.
+//
+//   --users=N        users per protocol row (default 200000; --quick: 2000)
+//   --k=K            LOLOHA domain size (default 1024; --quick: 256)
+//   --g=G            LOLOHA hash range (default 8)
+//   --steps=T        collection steps (default 2)
+//   --connections=C  TCP connections (default 8; --quick: 2)
+//   --threads=W      client sender threads (default 4; --quick: 2)
+//   --shards=S       server collector shards (default 4; --quick: 2)
+//   --flush-batch=N  server flush size (default 4096)
+//   --queue-cap=N    server per-shard queue bound (default 8)
+//   --json=PATH      write results as JSON (CI uploads BENCH_server_net.json)
+//
+// Exits nonzero if any row diverges from the direct-ingestion reference.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/loloha.h"
+#include "core/loloha_params.h"
+#include "longitudinal/dbitflip.h"
+#include "server/collector.h"
+#include "server/net/framing.h"
+#include "server/net/ingest_server.h"
+#include "sim/protocol_spec.h"
+#include "util/check.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "wire/encoding.h"
+
+namespace {
+
+using namespace loloha;
+
+struct LoadConfig {
+  uint32_t users = 200000;
+  uint32_t k = 1024;
+  uint32_t g = 8;
+  uint32_t steps = 2;
+  uint32_t connections = 8;
+  uint32_t threads = 4;
+  uint32_t shards = 4;
+  uint32_t flush_batch = 4096;
+  uint32_t queue_cap = 8;
+  uint64_t seed = 20230328;
+};
+
+struct LoadRow {
+  std::string name;
+  uint64_t reports = 0;
+  double hello_s = 0.0;
+  double report_s = 0.0;
+  bool identical = false;
+};
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Blocking client-side socket plumbing.
+// ---------------------------------------------------------------------------
+
+int ConnectLoopback(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(fd);
+    return -1;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void WriteAll(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    LOLOHA_CHECK_MSG(n > 0, "client write failed");
+    off += static_cast<size_t>(n);
+  }
+}
+
+void ReadExact(int fd, char* buf, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = read(fd, buf + off, size - off);
+    if (n < 0 && errno == EINTR) continue;
+    LOLOHA_CHECK_MSG(n > 0, "client read failed (server closed early?)");
+    off += static_cast<size_t>(n);
+  }
+}
+
+uint32_t HeaderPayloadLen(const char* header) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(header[i])) << (8 * i);
+  }
+  return v;
+}
+
+// Reads one whole frame and returns it through the library parser, so the
+// client exercises the same decode path the docs specify.
+Frame ReadFrame(int fd) {
+  char header[kFrameHeaderBytes];
+  ReadExact(fd, header, sizeof(header));
+  const uint32_t payload_len = HeaderPayloadLen(header);
+  std::string payload(payload_len, '\0');
+  if (payload_len > 0) ReadExact(fd, payload.data(), payload_len);
+  FrameParser parser;
+  parser.Feed(header, sizeof(header));
+  parser.Feed(payload.data(), payload.size());
+  Frame frame;
+  LOLOHA_CHECK_MSG(parser.Next(&frame) == FrameStatus::kFrame,
+                   "malformed frame from server");
+  return frame;
+}
+
+void ExpectBarrierAck(int fd) {
+  const Frame frame = ReadFrame(fd);
+  LOLOHA_CHECK_MSG(frame.type == FrameType::kBarrierAck,
+                   "expected kBarrierAck");
+}
+
+// ---------------------------------------------------------------------------
+// The load drive.
+// ---------------------------------------------------------------------------
+
+// Sends `messages[u]` for every user pinned to each connection, fences
+// every connection with kBarrier/kBarrierAck, and returns once all acks
+// arrived (i.e. the server has decoded and queued everything sent).
+void DrivePhase(const std::vector<int>& conns,
+                const std::vector<Message>& messages,
+                const LoadConfig& config) {
+  std::vector<std::thread> workers;
+  workers.reserve(config.threads);
+  for (uint32_t w = 0; w < config.threads; ++w) {
+    workers.emplace_back([&, w] {
+      for (size_t c = w; c < conns.size(); c += config.threads) {
+        std::string buf;
+        for (size_t u = c; u < messages.size(); u += conns.size()) {
+          AppendDataFrame(messages[u].user_id, messages[u].bytes, &buf);
+        }
+        AppendControlFrame(FrameType::kBarrier, &buf);
+        WriteAll(conns[c], buf);
+        ExpectBarrierAck(conns[c]);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+LoadRow RunProtocol(const std::string& name, const ProtocolSpec& spec,
+                    const std::vector<Message>& hellos,
+                    const std::vector<std::vector<Message>>& steps,
+                    const LoadConfig& config) {
+  LoadRow row;
+  row.name = name;
+  for (const auto& step : steps) row.reports += step.size();
+
+  // The in-process reference: one collector, direct IngestBatch.
+  std::vector<std::vector<double>> reference;
+  CollectorStats reference_stats;
+  {
+    const std::unique_ptr<Collector> collector =
+        MakeCollector(spec, config.k, CollectorOptions{});
+    collector->IngestBatch(hellos);
+    for (const auto& step : steps) {
+      collector->IngestBatch(step);
+      reference.push_back(collector->EndStep());
+    }
+    reference_stats = collector->stats();
+  }
+
+  IngestServerConfig server_config;
+  server_config.num_shards = config.shards;
+  server_config.flush_max_batch = config.flush_batch;
+  server_config.queue_capacity = config.queue_cap;
+  IngestServer server(spec, config.k, server_config);
+  LOLOHA_CHECK_MSG(server.Start(), "cannot start loopback server");
+  std::thread server_thread([&server] { server.Run(); });
+
+  std::vector<int> conns(config.connections, -1);
+  for (int& fd : conns) {
+    fd = ConnectLoopback(server.port());
+    LOLOHA_CHECK_MSG(fd >= 0, "cannot connect to loopback server");
+  }
+  const int control = ConnectLoopback(server.port());
+  LOLOHA_CHECK_MSG(control >= 0, "cannot connect control connection");
+
+  {
+    const auto start = std::chrono::steady_clock::now();
+    DrivePhase(conns, hellos, config);
+    row.hello_s = SecondsSince(start);
+  }
+  std::vector<std::vector<double>> observed;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    std::string end_step;
+    AppendControlFrame(FrameType::kEndStep, &end_step);
+    for (const auto& step : steps) {
+      DrivePhase(conns, step, config);
+      // All connections acked: the step's traffic is queued. Close the
+      // step and take the server's estimates, bit for bit.
+      WriteAll(control, end_step);
+      const Frame frame = ReadFrame(control);
+      LOLOHA_CHECK_MSG(frame.type == FrameType::kEstimates,
+                       "expected kEstimates");
+      observed.push_back(frame.estimates);
+    }
+    row.report_s = SecondsSince(start);
+  }
+
+  for (const int fd : conns) close(fd);
+  std::string shutdown;
+  AppendControlFrame(FrameType::kShutdown, &shutdown);
+  WriteAll(control, shutdown);
+  server_thread.join();
+  close(control);
+
+  const IngestServerStats server_stats = server.server_stats();
+  row.identical = observed == reference &&
+                  server.step_estimates() == reference &&
+                  server.TotalStats() == reference_stats &&
+                  server_stats.protocol_errors == 0;
+  std::printf(".");
+  std::fflush(stdout);
+  return row;
+}
+
+void WriteJson(const std::string& path, const LoadConfig& config,
+               const std::vector<LoadRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("WARNING: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"bench_client_load\",\n"
+               "  \"users\": %u,\n  \"k\": %u,\n  \"steps\": %u,\n"
+               "  \"connections\": %u,\n  \"threads\": %u,\n"
+               "  \"shards\": %u,\n  \"results\": [\n",
+               config.users, config.k, config.steps, config.connections,
+               config.threads, config.shards);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const LoadRow& row = rows[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"reports\": %llu, "
+        "\"hello_rps\": %.0f, \"report_rps\": %.0f, \"identical\": %s}%s\n",
+        row.name.c_str(), static_cast<unsigned long long>(row.reports),
+        static_cast<double>(row.reports) / static_cast<double>(config.steps) /
+            row.hello_s,
+        static_cast<double>(row.reports) / row.report_s,
+        row.identical ? "true" : "false", i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("JSON written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  LoadConfig config;
+  const bool quick = cli.HasFlag("quick");
+  config.users =
+      static_cast<uint32_t>(cli.GetInt("users", quick ? 2000 : config.users));
+  config.k = static_cast<uint32_t>(cli.GetInt("k", quick ? 256 : config.k));
+  config.g = static_cast<uint32_t>(cli.GetInt("g", config.g));
+  config.steps = static_cast<uint32_t>(cli.GetInt("steps", config.steps));
+  config.connections = static_cast<uint32_t>(
+      cli.GetInt("connections", quick ? 2 : config.connections));
+  config.threads = static_cast<uint32_t>(
+      cli.GetInt("threads", quick ? 2 : config.threads));
+  config.shards =
+      static_cast<uint32_t>(cli.GetInt("shards", quick ? 2 : config.shards));
+  config.flush_batch =
+      static_cast<uint32_t>(cli.GetInt("flush-batch", config.flush_batch));
+  config.queue_cap =
+      static_cast<uint32_t>(cli.GetInt("queue-cap", config.queue_cap));
+  config.seed = static_cast<uint64_t>(cli.GetInt("seed", config.seed));
+  if (config.connections == 0) config.connections = 1;
+  if (config.threads == 0) config.threads = 1;
+
+  std::printf(
+      "Network ingestion — loopback load against loloha_server's front\n"
+      "users=%u, k=%u, steps=%u, connections=%u, client threads=%u, "
+      "server shards=%u\n\n",
+      config.users, config.k, config.steps, config.connections,
+      config.threads, config.shards);
+
+  std::vector<LoadRow> rows;
+  Rng rng(config.seed);
+
+  {
+    ProtocolSpec spec;
+    spec.id = config.g == 2 ? ProtocolId::kBiLoloha : ProtocolId::kOLoloha;
+    spec.g = config.g;
+    spec.eps_perm = 2.0;
+    spec.eps_first = 1.0;
+    const LolohaParams params = LolohaParamsForSpec(spec, config.k);
+    std::vector<LolohaClient> clients;
+    clients.reserve(config.users);
+    std::vector<Message> hellos;
+    hellos.reserve(config.users);
+    for (uint32_t u = 0; u < config.users; ++u) {
+      clients.emplace_back(params, rng);
+      hellos.push_back(Message{u, EncodeLolohaHello(clients[u].hash())});
+    }
+    std::vector<std::vector<Message>> steps(config.steps);
+    for (uint32_t t = 0; t < config.steps; ++t) {
+      steps[t].reserve(config.users);
+      for (uint32_t u = 0; u < config.users; ++u) {
+        steps[t].push_back(Message{
+            u,
+            EncodeLolohaReport(clients[u].Report((u + t) % config.k, rng))});
+      }
+    }
+    rows.push_back(RunProtocol("LOLOHA", spec, hellos, steps, config));
+  }
+
+  {
+    ProtocolSpec spec;
+    spec.id = ProtocolId::kBBitFlipPm;
+    spec.eps_perm = 3.0;
+    spec.eps_first = 0.0;
+    spec.buckets = std::max(config.k / 4, 2u);
+    spec.d = std::min(16u, spec.buckets);
+    const Bucketizer bucketizer(config.k, spec.buckets);
+    std::vector<DBitFlipClient> clients;
+    clients.reserve(config.users);
+    std::vector<Message> hellos;
+    hellos.reserve(config.users);
+    for (uint32_t u = 0; u < config.users; ++u) {
+      clients.emplace_back(bucketizer, spec.d, spec.eps_perm, rng);
+      hellos.push_back(Message{u, EncodeDBitHello(clients[u].sampled())});
+    }
+    std::vector<std::vector<Message>> steps(config.steps);
+    for (uint32_t t = 0; t < config.steps; ++t) {
+      steps[t].reserve(config.users);
+      for (uint32_t u = 0; u < config.users; ++u) {
+        const DBitReport report =
+            clients[u].Report((3 * u + t) % config.k, rng);
+        steps[t].push_back(Message{u, EncodeDBitReport(report.bits)});
+      }
+    }
+    rows.push_back(RunProtocol("dBitFlipPM", spec, hellos, steps, config));
+  }
+  std::printf("\n\n");
+
+  TextTable table(
+      {"protocol", "reports", "hello r/s", "report r/s", "identical"});
+  bool all_identical = true;
+  for (const LoadRow& row : rows) {
+    table.AddRow(
+        {row.name, std::to_string(row.reports),
+         FormatDouble(static_cast<double>(row.reports) /
+                          static_cast<double>(config.steps) / row.hello_s,
+                      0),
+         FormatDouble(static_cast<double>(row.reports) / row.report_s, 0),
+         row.identical ? "yes" : "NO"});
+    all_identical = all_identical && row.identical;
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  const std::string json_path = cli.GetString("json", "");
+  if (!json_path.empty()) WriteJson(json_path, config, rows);
+  if (!all_identical) {
+    std::printf(
+        "ERROR: network path diverged from direct in-process ingestion\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// loloha_server: the standalone network ingestion server.
+//
+// Binds the TCP ingestion front (server/net/ingest_server.h) for one
+// protocol deployment and runs until SIGINT/SIGTERM or a kShutdown
+// frame, then drains gracefully and prints the final counters. Drive it
+// with bench_client_load (loopback load + byte-identity check) or any
+// client speaking docs/WIRE_PROTOCOL.md. Operational guidance — flag
+// tuning, backpressure semantics, the --stats format — lives in
+// docs/OPERATIONS.md.
+//
+//   --spec=S          protocol spec (default "ololoha:eps_perm=2,eps_first=1")
+//   --k=K             domain size (default 1024)
+//   --port=P          ingest port (default 7570; 0 = ephemeral)
+//   --stats-port=P    stats port (default 7571; 0 = ephemeral)
+//   --no-stats        disable the stats endpoint
+//   --shards=N        collector shards, users split by id %% N (default 4)
+//   --flush-batch=N   flush a shard batch at N messages (default 4096)
+//   --flush-ms=T      ... or after T milliseconds (default 10)
+//   --queue-cap=N     bounded per-shard queue, in batches (default 8)
+//   --threads=T       ingest pool width per shard collector (default 1)
+//   --monitor         enable TrendMonitor alerts over the step estimates
+//   --z=Z             monitor alert threshold (default 4.0)
+
+#include <csignal>
+#include <cstdio>
+
+#include "server/net/ingest_server.h"
+#include "sim/protocol_spec.h"
+#include "util/cli.h"
+
+namespace {
+
+loloha::IngestServer* g_server = nullptr;
+
+// Stop() only writes an atomic and an eventfd — async-signal-safe.
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->Stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace loloha;
+  const CommandLine cli(argc, argv);
+
+  const std::string spec_text =
+      cli.GetString("spec", "ololoha:eps_perm=2,eps_first=1");
+  ProtocolSpec spec;
+  std::string error;
+  if (!ProtocolSpec::Parse(spec_text, &spec, &error)) {
+    std::printf("ERROR: bad --spec \"%s\": %s\n", spec_text.c_str(),
+                error.c_str());
+    return 1;
+  }
+  if (!spec.IsLolohaVariant() && !spec.IsDBitFlipVariant()) {
+    std::printf("ERROR: --spec %s has no wire collector (serve a LOLOHA or "
+                "dBitFlipPM variant)\n",
+                spec_text.c_str());
+    return 1;
+  }
+  const uint32_t k = static_cast<uint32_t>(cli.GetInt("k", 1024));
+
+  IngestServerConfig config;
+  config.port = static_cast<uint16_t>(cli.GetInt("port", 7570));
+  config.enable_stats = !cli.HasFlag("no-stats");
+  config.stats_port = static_cast<uint16_t>(cli.GetInt("stats-port", 7571));
+  config.num_shards = static_cast<uint32_t>(cli.GetInt("shards", 4));
+  config.flush_max_batch =
+      static_cast<uint32_t>(cli.GetInt("flush-batch", 4096));
+  config.flush_deadline_ms = static_cast<uint32_t>(cli.GetInt("flush-ms", 10));
+  config.queue_capacity = static_cast<uint32_t>(cli.GetInt("queue-cap", 8));
+  config.collector_options.num_threads =
+      static_cast<uint32_t>(cli.GetInt("threads", 1));
+  config.enable_monitor = cli.HasFlag("monitor");
+  config.monitor_z_threshold = cli.GetDouble("z", 4.0);
+
+  IngestServer server(spec, k, config);
+  if (!server.Start()) {
+    std::printf("ERROR: cannot bind %s:%u (stats %u)\n",
+                config.bind_address.c_str(), config.port, config.stats_port);
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  std::printf("loloha_server: %s over k=%u\n", spec.DisplayName().c_str(), k);
+  std::printf("listening on %s:%u", config.bind_address.c_str(),
+              server.port());
+  if (config.enable_stats) std::printf(", stats on :%u", server.stats_port());
+  std::printf("  (shards=%u, flush=%u msgs / %u ms, queue=%u batches)\n",
+              config.num_shards, config.flush_max_batch,
+              config.flush_deadline_ms, config.queue_capacity);
+  std::fflush(stdout);
+
+  server.Run();
+  g_server = nullptr;
+
+  const CollectorStats totals = server.TotalStats();
+  const IngestServerStats stats = server.server_stats();
+  std::printf(
+      "shutdown: %llu steps, %llu users, %llu hellos, %llu reports, "
+      "%llu rejects, %llu protocol errors, %llu stalls\n",
+      static_cast<unsigned long long>(stats.steps_completed),
+      static_cast<unsigned long long>(server.TotalRegisteredUsers()),
+      static_cast<unsigned long long>(totals.hellos_accepted),
+      static_cast<unsigned long long>(totals.reports_accepted),
+      static_cast<unsigned long long>(totals.rejected_malformed +
+                                      totals.rejected_unknown_user +
+                                      totals.rejected_duplicate),
+      static_cast<unsigned long long>(stats.protocol_errors),
+      static_cast<unsigned long long>(stats.backpressure_stalls));
+  return 0;
+}

@@ -19,6 +19,24 @@ uint32_t ResolveIngestShards(const CollectorOptions& options) {
 
 }  // namespace
 
+void MergeStepAggregate(const StepAggregate& from, StepAggregate* into) {
+  if (into->support.empty() && into->samplers.empty() && into->reports == 0) {
+    *into = from;
+    return;
+  }
+  LOLOHA_CHECK_MSG(from.support.size() == into->support.size() &&
+                       from.samplers.size() == into->samplers.size(),
+                   "aggregate shapes differ — collectors built from "
+                   "different specs cannot merge");
+  for (size_t v = 0; v < from.support.size(); ++v) {
+    into->support[v] += from.support[v];
+  }
+  for (size_t j = 0; j < from.samplers.size(); ++j) {
+    into->samplers[j] += from.samplers[j];
+  }
+  into->reports += from.reports;
+}
+
 LolohaCollector::LolohaCollector(const LolohaParams& params,
                                  const CollectorOptions& options)
     : params_(params),
@@ -183,18 +201,31 @@ void LolohaCollector::MergeShardSupport() {
 }
 
 std::vector<double> LolohaCollector::EndStep() {
+  return EstimateAggregate(EndStepAggregate());
+}
+
+StepAggregate LolohaCollector::EndStepAggregate() {
   MutexLock lock(mu_);
   MergeShardSupport();
-  std::vector<double> estimates;
-  if (reports_this_step_ > 0) {
-    std::vector<double> counts(support_.begin(), support_.end());
-    estimates = EstimateFrequenciesChained(
-        counts, static_cast<double>(reports_this_step_),
-        params_.EstimatorFirst(), params_.irr);
-  }
+  StepAggregate aggregate;
+  aggregate.support = std::move(support_);
+  aggregate.reports = reports_this_step_;
   support_.assign(params_.k, 0);
   reports_this_step_ = 0;
   ++step_;
+  return aggregate;
+}
+
+std::vector<double> LolohaCollector::EstimateAggregate(
+    const StepAggregate& aggregate) const {
+  std::vector<double> estimates;
+  if (aggregate.reports > 0) {
+    std::vector<double> counts(aggregate.support.begin(),
+                               aggregate.support.end());
+    estimates = EstimateFrequenciesChained(
+        counts, static_cast<double>(aggregate.reports),
+        params_.EstimatorFirst(), params_.irr);
+  }
   return estimates;
 }
 
@@ -262,6 +293,7 @@ bool DBitFlipCollector::HandleReport(uint64_t user_id,
     ++samplers_per_bucket_[sampled[l]];
     support_[sampled[l]] += bits[l];
   }
+  ++reports_this_step_;
   ++stats_.reports_accepted;
   return true;
 }
@@ -306,6 +338,7 @@ uint64_t DBitFlipCollector::IngestBatch(std::span<const Message> batch) {
     reported_step_[message.user_id] = step_ + 1;
     pending_.push_back(
         PendingReport{&it->second, &bits_arena_[i * d_]});
+    ++reports_this_step_;
     ++stats_.reports_accepted;
     ++accepted;
   }
@@ -351,20 +384,35 @@ void DBitFlipCollector::MergeShardRows() {
 }
 
 std::vector<double> DBitFlipCollector::EndStep() {
+  return EstimateAggregate(EndStepAggregate());
+}
+
+StepAggregate DBitFlipCollector::EndStepAggregate() {
   MutexLock lock(mu_);
   MergeShardRows();
   const uint32_t b = bucketizer_.b();
-  std::vector<double> estimates(b, 0.0);
-  for (uint32_t j = 0; j < b; ++j) {
-    if (samplers_per_bucket_[j] == 0) continue;
-    estimates[j] =
-        EstimateFrequency(static_cast<double>(support_[j]),
-                          static_cast<double>(samplers_per_bucket_[j]),
-                          params_);
-  }
+  StepAggregate aggregate;
+  aggregate.support = std::move(support_);
+  aggregate.samplers = std::move(samplers_per_bucket_);
+  aggregate.reports = reports_this_step_;
   samplers_per_bucket_.assign(b, 0);
   support_.assign(b, 0);
+  reports_this_step_ = 0;
   ++step_;
+  return aggregate;
+}
+
+std::vector<double> DBitFlipCollector::EstimateAggregate(
+    const StepAggregate& aggregate) const {
+  const uint32_t b = bucketizer_.b();
+  std::vector<double> estimates(b, 0.0);
+  for (uint32_t j = 0; j < b; ++j) {
+    if (aggregate.samplers[j] == 0) continue;
+    estimates[j] =
+        EstimateFrequency(static_cast<double>(aggregate.support[j]),
+                          static_cast<double>(aggregate.samplers[j]),
+                          params_);
+  }
   return estimates;
 }
 

@@ -70,6 +70,28 @@ struct CollectorStats {
                          const CollectorStats&) = default;
 };
 
+// Raw integer accumulators of one closed collection step. Exposed so a
+// sharded front (N collectors partitioned by user id — see
+// server/net/ingest_server.h) can combine steps across shards exactly:
+// every field is an integer sum, so element-wise addition is associative
+// and estimating the merged aggregate is byte-identical to a single
+// collector fed the union of the shards' traffic.
+struct StepAggregate {
+  // Per-value (LOLOHA) or per-bucket (dBitFlipPM) support sums.
+  std::vector<uint64_t> support;
+  // dBitFlipPM: reporters sampling each bucket (n_j). Empty for LOLOHA.
+  std::vector<uint64_t> samplers;
+  // Reports accepted into the step.
+  uint64_t reports = 0;
+
+  friend bool operator==(const StepAggregate&,
+                         const StepAggregate&) = default;
+};
+
+// Element-wise sum of `from` into `into`. An empty `into` adopts `from`'s
+// shape; shapes must otherwise match (CHECK-enforced).
+void MergeStepAggregate(const StepAggregate& from, StepAggregate* into);
+
 // Shard count used when CollectorOptions::num_shards is 0.
 inline constexpr uint32_t kDefaultIngestShards = 16;
 
@@ -112,8 +134,19 @@ class Collector {
   virtual uint64_t IngestBatch(std::span<const Message> batch) = 0;
 
   // Closes the current step and returns its estimates. Resets per-step
-  // state.
+  // state. Equivalent — byte for byte — to
+  // EstimateAggregate(EndStepAggregate()).
   virtual std::vector<double> EndStep() = 0;
+
+  // Closes the current step like EndStep() but returns the raw integer
+  // accumulators instead of estimates, so a sharded deployment can sum
+  // aggregates across collectors (MergeStepAggregate) before estimating.
+  virtual StepAggregate EndStepAggregate() = 0;
+
+  // The estimator fold over a (possibly merged) aggregate. Pure in the
+  // construction parameters — takes no lock, never touches step state.
+  virtual std::vector<double> EstimateAggregate(
+      const StepAggregate& aggregate) const = 0;
 
   // Snapshot of the cumulative counters (by value: the live counters are
   // mutex-guarded and keep moving under concurrent ingestion).
@@ -136,6 +169,10 @@ class LolohaCollector : public Collector {
 
   // Returns an empty vector if no reports arrived this step.
   std::vector<double> EndStep() override;
+
+  StepAggregate EndStepAggregate() override;
+  std::vector<double> EstimateAggregate(
+      const StepAggregate& aggregate) const override;
 
   uint64_t reports_this_step() const {
     MutexLock lock(mu_);
@@ -198,6 +235,10 @@ class DBitFlipCollector : public Collector {
   // Returns the estimated b-bin bucket histogram for the closed step.
   std::vector<double> EndStep() override;
 
+  StepAggregate EndStepAggregate() override;
+  std::vector<double> EstimateAggregate(
+      const StepAggregate& aggregate) const override;
+
   CollectorStats stats() const override {
     MutexLock lock(mu_);
     return stats_;
@@ -227,6 +268,7 @@ class DBitFlipCollector : public Collector {
       LOLOHA_GUARDED_BY(mu_);
   std::unordered_map<uint64_t, uint32_t> reported_step_ LOLOHA_GUARDED_BY(mu_);
   uint32_t step_ LOLOHA_GUARDED_BY(mu_) = 0;
+  uint64_t reports_this_step_ LOLOHA_GUARDED_BY(mu_) = 0;
   // n_j over reporters
   std::vector<uint64_t> samplers_per_bucket_ LOLOHA_GUARDED_BY(mu_);
   std::vector<uint64_t> support_ LOLOHA_GUARDED_BY(mu_);

@@ -1,0 +1,75 @@
+// Minimal level-triggered epoll event loop.
+//
+// One thread owns the loop and drives Poll(); callbacks run on that
+// thread, so loop-owned state (connection buffers, pending batches)
+// needs no lock. The only cross-thread entry point is Wakeup(), which
+// pokes an eventfd so a Poll() blocked in epoll_wait returns — that is
+// how the ingest server's shard workers signal "queue has space" and how
+// Stop() interrupts a parked loop.
+//
+// Level-triggered by choice: the ingest server gates backpressure by
+// dropping EPOLLIN from a connection's interest set and re-adding it
+// later, which is only race-free under level semantics (any bytes that
+// arrived while gated re-arm the fd the moment EPOLLIN returns).
+//
+// The loop never owns file descriptors — callers open, register, and
+// close them. Remove() only detaches; a callback may Remove() (and then
+// close) any fd, including its own, mid-dispatch: Poll() re-checks
+// registration before every callback, so events already harvested for a
+// removed fd are dropped, never dispatched stale.
+
+#ifndef LOLOHA_SERVER_NET_EVENT_LOOP_H_
+#define LOLOHA_SERVER_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+namespace loloha {
+
+class EventLoop {
+ public:
+  // Receives the ready epoll event mask (EPOLLIN | EPOLLOUT | ...).
+  using Callback = std::function<void(uint32_t)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // False when epoll/eventfd creation failed at construction; every
+  // other method is a safe no-op in that state.
+  bool ok() const { return epoll_fd_ >= 0 && wake_fd_ >= 0; }
+
+  // Registers `fd` with interest mask `events`. One callback per fd.
+  bool Add(int fd, uint32_t events, Callback callback);
+
+  // Replaces the interest mask of a registered fd (the callback stays).
+  // An empty mask parks the fd: registered but silent — the gating idiom.
+  bool Modify(int fd, uint32_t events);
+
+  // Detaches the fd from the loop. The caller still owns (and closes) it.
+  void Remove(int fd);
+
+  // Waits up to `timeout_ms` for events (-1 = no timeout) and dispatches
+  // callbacks. Returns the number of callbacks dispatched (0 on timeout
+  // or spurious wake), -1 on epoll_wait failure. Wakeup() counts as a
+  // wake but dispatches nothing.
+  int Poll(int timeout_ms);
+
+  // Thread-safe: makes the current (or next) Poll return promptly.
+  void Wakeup();
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  // Ordered map: the loop's per-event lookups don't need hashing, and
+  // deterministic iteration keeps the container clear of the repo's
+  // unordered-iteration lint should a sweep ever be added.
+  std::map<int, Callback> callbacks_;
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_SERVER_NET_EVENT_LOOP_H_

@@ -1,0 +1,143 @@
+#include "server/net/framing.h"
+
+#include <bit>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace loloha {
+
+namespace {
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32(const char* data) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* data) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data[i])) << (8 * i);
+  }
+  return v;
+}
+
+bool IsEmptyControl(FrameType type) {
+  return type == FrameType::kBarrier || type == FrameType::kBarrierAck ||
+         type == FrameType::kEndStep || type == FrameType::kShutdown;
+}
+
+void PutHeader(uint32_t payload_len, FrameType type, std::string* out) {
+  PutU32(payload_len, out);
+  out->push_back(static_cast<char>(type));
+}
+
+}  // namespace
+
+void AppendDataFrame(uint64_t user_id, const std::string& message_bytes,
+                     std::string* out) {
+  PutHeader(static_cast<uint32_t>(8 + message_bytes.size()), FrameType::kData,
+            out);
+  PutU64(user_id, out);
+  out->append(message_bytes);
+}
+
+void AppendControlFrame(FrameType type, std::string* out) {
+  LOLOHA_CHECK_MSG(IsEmptyControl(type),
+                   "not an empty-payload control frame type");
+  PutHeader(0, type, out);
+}
+
+void AppendEstimatesFrame(std::span<const double> estimates,
+                          std::string* out) {
+  PutHeader(static_cast<uint32_t>(4 + 8 * estimates.size()),
+            FrameType::kEstimates, out);
+  PutU32(static_cast<uint32_t>(estimates.size()), out);
+  for (const double e : estimates) PutU64(std::bit_cast<uint64_t>(e), out);
+}
+
+void FrameParser::Feed(const char* data, size_t size) {
+  if (error_) return;  // the stream is already dead; drop the bytes
+  // Compact before growing: everything below pos_ is consumed.
+  if (pos_ > 0 && (pos_ == buffer_.size() || pos_ >= 64 * 1024)) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+FrameStatus FrameParser::Next(Frame* frame) {
+  if (error_) return FrameStatus::kError;
+  const size_t available = buffer_.size() - pos_;
+  if (available < kFrameHeaderBytes) return FrameStatus::kNeedMore;
+  const char* header = buffer_.data() + pos_;
+  const uint32_t payload_len = GetU32(header);
+  const uint8_t raw_type = static_cast<uint8_t>(header[4]);
+  if (payload_len > max_payload_ ||
+      raw_type < static_cast<uint8_t>(FrameType::kData) ||
+      raw_type > static_cast<uint8_t>(FrameType::kShutdown)) {
+    error_ = true;
+    return FrameStatus::kError;
+  }
+  if (available < kFrameHeaderBytes + payload_len) {
+    return FrameStatus::kNeedMore;
+  }
+  const FrameType type = static_cast<FrameType>(raw_type);
+  const char* payload = header + kFrameHeaderBytes;
+
+  frame->type = type;
+  frame->message = Message{};
+  frame->estimates.clear();
+  switch (type) {
+    case FrameType::kData:
+      if (payload_len < 8) {
+        error_ = true;
+        return FrameStatus::kError;
+      }
+      frame->message.user_id = GetU64(payload);
+      frame->message.bytes.assign(payload + 8, payload_len - 8);
+      break;
+    case FrameType::kEstimates: {
+      if (payload_len < 4) {
+        error_ = true;
+        return FrameStatus::kError;
+      }
+      const uint32_t count = GetU32(payload);
+      if (payload_len != 4 + 8ull * count) {
+        error_ = true;
+        return FrameStatus::kError;
+      }
+      frame->estimates.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        frame->estimates[i] =
+            std::bit_cast<double>(GetU64(payload + 4 + 8ull * i));
+      }
+      break;
+    }
+    default:
+      if (payload_len != 0) {
+        error_ = true;
+        return FrameStatus::kError;
+      }
+      break;
+  }
+  pos_ += kFrameHeaderBytes + payload_len;
+  return FrameStatus::kFrame;
+}
+
+}  // namespace loloha

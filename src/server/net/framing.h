@@ -1,0 +1,114 @@
+// Length-delimited framing for the TCP ingestion front.
+//
+// TCP is a byte stream; this module maps it onto the repo's message
+// layer (wire/encoding.h). Every frame is
+//
+//   u32 payload_len (LE) | u8 frame_type | payload[payload_len]
+//
+// and the payload of a data frame is `u64 user_id (LE) | message bytes`,
+// i.e. exactly one wire-encoded hello/report with its sender tag — the
+// `Message` the collectors ingest. Control frames sequence the stream:
+// kBarrier/kBarrierAck give a client a per-connection "everything I sent
+// is decoded" handshake, kEndStep closes the global collection step (the
+// server replies kEstimates, whose payload carries the estimates as raw
+// IEEE-754 bit patterns so a client sees the exact doubles the server
+// computed), and kShutdown asks the server to drain and exit.
+//
+// Decode-side validation mirrors wire/encoding.h: a malformed byte
+// stream never crashes the server. FrameParser returns kError on any
+// structural violation (oversized length, unknown type, payload shape
+// mismatch) and stays in the error state — the connection is beyond
+// resynchronization and must be closed. Truncation is not an error
+// until the peer hangs up: kNeedMore simply awaits more bytes.
+//
+// The full layout, versioning rules, and worked hex examples live in
+// docs/WIRE_PROTOCOL.md.
+
+#ifndef LOLOHA_SERVER_NET_FRAMING_H_
+#define LOLOHA_SERVER_NET_FRAMING_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "wire/encoding.h"
+
+namespace loloha {
+
+enum class FrameType : uint8_t {
+  kData = 1,        // client -> server: u64 user_id + wire message bytes
+  kBarrier = 2,     // client -> server: empty; request a kBarrierAck
+  kBarrierAck = 3,  // server -> client: empty; all prior frames decoded
+  kEndStep = 4,     // client -> server: empty; close the collection step
+  kEstimates = 5,   // server -> client: u32 count + count x f64 (LE bits)
+  kShutdown = 6,    // client -> server: empty; drain and exit gracefully
+};
+
+// Frame header: u32 payload length + u8 type.
+inline constexpr size_t kFrameHeaderBytes = 5;
+
+// Default FrameParser payload cap. Generous: the largest legitimate
+// payload is a kData frame around one wire message (tens of bytes for
+// every protocol in the tree).
+inline constexpr uint32_t kDefaultMaxFramePayload = 1u << 20;
+
+// One parsed frame. `message` is meaningful for kData, `estimates` for
+// kEstimates; both are empty otherwise.
+struct Frame {
+  FrameType type = FrameType::kBarrier;
+  Message message;
+  std::vector<double> estimates;
+};
+
+// ---------------------------------------------------------------------------
+// Encoders (infallible). All append to `out` so a caller can pack many
+// frames into one buffer and hand the kernel a single write.
+// ---------------------------------------------------------------------------
+
+void AppendDataFrame(uint64_t user_id, const std::string& message_bytes,
+                     std::string* out);
+// `type` must be one of the empty-payload control types (kBarrier,
+// kBarrierAck, kEndStep, kShutdown); CHECK-fails otherwise.
+void AppendControlFrame(FrameType type, std::string* out);
+void AppendEstimatesFrame(std::span<const double> estimates,
+                          std::string* out);
+
+// ---------------------------------------------------------------------------
+// Decoder.
+// ---------------------------------------------------------------------------
+
+enum class FrameStatus {
+  kFrame,     // one frame extracted
+  kNeedMore,  // buffered bytes form no complete frame yet
+  kError,     // structural violation; the stream cannot be resynced
+};
+
+// Incremental frame extractor over an append-only byte buffer. Feed()
+// whatever the socket produced, then call Next() until it stops
+// returning kFrame. Not thread-safe; one parser per connection.
+class FrameParser {
+ public:
+  explicit FrameParser(uint32_t max_payload = kDefaultMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void Feed(const char* data, size_t size);
+
+  // Extracts the next frame into *frame. After kError every further call
+  // returns kError (the error is sticky).
+  FrameStatus Next(Frame* frame);
+
+  // Bytes fed but not yet consumed by a returned frame. Nonzero at EOF
+  // means the peer hung up mid-frame (a truncated frame).
+  size_t buffered() const { return buffer_.size() - pos_; }
+
+ private:
+  uint32_t max_payload_;
+  std::string buffer_;
+  size_t pos_ = 0;
+  bool error_ = false;
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_SERVER_NET_FRAMING_H_

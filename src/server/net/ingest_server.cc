@@ -1,0 +1,584 @@
+#include "server/net/ingest_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <utility>
+
+#include "util/check.h"
+
+namespace loloha {
+
+namespace {
+
+void AppendStatLine(const char* key, uint64_t value, std::string* out) {
+  char line[96];
+  std::snprintf(line, sizeof(line), "%s: %llu\n", key,
+                static_cast<unsigned long long>(value));
+  out->append(line);
+}
+
+}  // namespace
+
+IngestServer::IngestServer(const ProtocolSpec& spec, uint32_t k,
+                           const IngestServerConfig& config)
+    : spec_(spec.Canonicalized()), k_(k), config_(config) {
+  if (config_.num_shards == 0) config_.num_shards = 1;
+  if (config_.flush_max_batch == 0) config_.flush_max_batch = 1;
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  for (uint32_t i = 0; i < config_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->collector = MakeCollector(spec_, k_, config_.collector_options);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+IngestServer::~IngestServer() {
+  StopWorkers();
+  for (const auto& [fd, conn] : connections_) close(fd);
+  connections_.clear();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (stats_listen_fd_ >= 0) close(stats_listen_fd_);
+}
+
+bool IngestServer::SetupListener(uint16_t want_port, int* fd_out,
+                                 uint16_t* got_port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(want_port);
+  if (inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1 ||
+      bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, 128) != 0) {
+    close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    close(fd);
+    return false;
+  }
+  *got_port = ntohs(bound.sin_port);
+  *fd_out = fd;
+  return true;
+}
+
+bool IngestServer::Start() {
+  LOLOHA_CHECK_MSG(!started_, "IngestServer::Start() called twice");
+  if (!loop_.ok()) return false;
+  if (!SetupListener(config_.port, &listen_fd_, &port_)) return false;
+  loop_.Add(listen_fd_, EPOLLIN,
+            [this](uint32_t) { OnAccept(listen_fd_, /*is_stats=*/false); });
+  if (config_.enable_stats) {
+    if (!SetupListener(config_.stats_port, &stats_listen_fd_, &stats_port_)) {
+      loop_.Remove(listen_fd_);
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    loop_.Add(stats_listen_fd_, EPOLLIN,
+              [this](uint32_t) { OnAccept(stats_listen_fd_, /*is_stats=*/true); });
+  }
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->worker = std::thread([this, s] { WorkerLoop(s); });
+  }
+  started_ = true;
+  return true;
+}
+
+void IngestServer::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  loop_.Wakeup();
+}
+
+void IngestServer::Run() {
+  LOLOHA_CHECK_MSG(started_, "IngestServer::Run() before Start()");
+  while (!stop_.load(std::memory_order_relaxed)) {
+    loop_.Poll(NextTimeoutMs());
+    if (stop_.load(std::memory_order_relaxed)) break;
+    RetryStalledPushes();
+    FlushDueShards();
+  }
+  // Graceful drain: every decoded message reaches its collector before
+  // the workers stop and the sockets close.
+  FlushAllAndDrain();
+  StopWorkers();
+  while (!connections_.empty()) CloseConnection(connections_.begin()->first);
+  if (listen_fd_ >= 0) {
+    loop_.Remove(listen_fd_);
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (stats_listen_fd_ >= 0) {
+    loop_.Remove(stats_listen_fd_);
+    close(stats_listen_fd_);
+    stats_listen_fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shard workers.
+// ---------------------------------------------------------------------------
+
+void IngestServer::WorkerLoop(Shard* shard) {
+  for (;;) {
+    std::vector<Message> batch;
+    {
+      MutexLock lock(shard->mu);
+      shard->cv_work.Wait(lock, [shard] {
+        shard->mu.AssertHeld();
+        return shard->stop || !shard->queue.empty();
+      });
+      if (shard->queue.empty()) return;  // stop requested and fully drained
+      batch = std::move(shard->queue.front());
+      shard->queue.pop_front();
+      shard->busy = true;
+    }
+    // Space just freed: the loop may be parked on a stalled batch.
+    shard->cv_space.NotifyAll();
+    loop_.Wakeup();
+    shard->collector->IngestBatch(batch);
+    {
+      MutexLock lock(shard->mu);
+      shard->busy = false;
+    }
+    shard->cv_space.NotifyAll();
+  }
+}
+
+void IngestServer::StopWorkers() {
+  for (auto& shard : shards_) {
+    {
+      MutexLock lock(shard->mu);
+      shard->stop = true;
+    }
+    shard->cv_work.NotifyAll();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+bool IngestServer::TryPush(Shard* shard, std::vector<Message>* batch) {
+  {
+    MutexLock lock(shard->mu);
+    if (shard->queue.size() >= config_.queue_capacity) return false;
+    shard->queue.push_back(std::move(*batch));
+  }
+  batch->clear();
+  shard->cv_work.NotifyOne();
+  return true;
+}
+
+void IngestServer::BlockingPush(Shard* shard, std::vector<Message> batch) {
+  {
+    MutexLock lock(shard->mu);
+    shard->cv_space.Wait(lock, [this, shard] {
+      shard->mu.AssertHeld();
+      return shard->queue.size() < config_.queue_capacity;
+    });
+    shard->queue.push_back(std::move(batch));
+  }
+  shard->cv_work.NotifyOne();
+}
+
+// ---------------------------------------------------------------------------
+// Flush policy and backpressure (loop thread).
+// ---------------------------------------------------------------------------
+
+void IngestServer::FlushShard(Shard* shard, FlushReason reason) {
+  // A stalled batch must enter the queue first (per-shard FIFO is what
+  // keeps a user's hello ordered before their reports).
+  if (shard->has_stalled || shard->pending.empty()) return;
+  switch (reason) {
+    case FlushReason::kSize:
+      ++stats_.batches_flushed_size;
+      break;
+    case FlushReason::kDeadline:
+      ++stats_.batches_flushed_deadline;
+      break;
+    case FlushReason::kBarrier:
+      ++stats_.batches_flushed_barrier;
+      break;
+  }
+  if (!TryPush(shard, &shard->pending)) {
+    shard->stalled = std::move(shard->pending);
+    shard->pending.clear();
+    shard->has_stalled = true;
+    ++stats_.backpressure_stalls;
+    GateInput();
+  }
+}
+
+void IngestServer::RetryStalledPushes() {
+  if (!gated_) return;
+  bool any_left = false;
+  for (auto& shard : shards_) {
+    if (!shard->has_stalled) continue;
+    if (TryPush(shard.get(), &shard->stalled)) {
+      shard->has_stalled = false;
+    } else {
+      any_left = true;
+    }
+  }
+  if (!any_left) UngateInput();
+}
+
+void IngestServer::GateInput() {
+  if (gated_) return;
+  gated_ = true;
+  for (auto& [fd, conn] : connections_) UpdateInterest(conn.get());
+}
+
+void IngestServer::UngateInput() {
+  if (!gated_) return;
+  gated_ = false;
+  // Frames decoded while gated sat in their connections' parser buffers
+  // (the socket re-arms via level triggering, the parser does not).
+  // Re-process them now; any one may stall and re-gate, in which case
+  // the rest stay buffered for the next ungate.
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+  for (const int fd : fds) {
+    if (gated_) return;
+    const auto it = connections_.find(fd);
+    if (it == connections_.end() || it->second->is_stats) continue;
+    DrainParser(it->second.get());
+  }
+  if (gated_) return;
+  for (auto& [fd, conn] : connections_) UpdateInterest(conn.get());
+}
+
+int IngestServer::NextTimeoutMs() const {
+  int timeout = -1;
+  const auto now = std::chrono::steady_clock::now();
+  for (const auto& shard : shards_) {
+    if (shard->pending.empty() || shard->has_stalled) continue;
+    const auto remaining =
+        std::chrono::ceil<std::chrono::milliseconds>(shard->deadline - now)
+            .count();
+    const int ms = remaining < 0 ? 0 : static_cast<int>(remaining);
+    if (timeout < 0 || ms < timeout) timeout = ms;
+  }
+  return timeout;
+}
+
+void IngestServer::FlushDueShards() {
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& shard : shards_) {
+    if (shard->pending.empty() || shard->has_stalled) continue;
+    if (now >= shard->deadline) FlushShard(shard.get(), FlushReason::kDeadline);
+  }
+}
+
+void IngestServer::FlushAllAndDrain() {
+  for (auto& shard : shards_) {
+    if (shard->has_stalled) {
+      BlockingPush(shard.get(), std::move(shard->stalled));
+      shard->stalled.clear();
+      shard->has_stalled = false;
+    }
+    if (!shard->pending.empty()) {
+      ++stats_.batches_flushed_barrier;
+      BlockingPush(shard.get(), std::move(shard->pending));
+      shard->pending.clear();
+    }
+  }
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    MutexLock lock(s->mu);
+    s->cv_space.Wait(lock, [s] {
+      s->mu.AssertHeld();
+      return s->queue.empty() && !s->busy;
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Connections (loop thread).
+// ---------------------------------------------------------------------------
+
+void IngestServer::OnAccept(int listen_fd, bool is_stats) {
+  for (;;) {
+    const int fd =
+        accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or a transient error; listener stays armed
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>(config_.max_frame_payload);
+    conn->fd = fd;
+    conn->is_stats = is_stats;
+    conn->close_after_write = is_stats;
+    Connection* raw = conn.get();
+    connections_[fd] = std::move(conn);
+    ++stats_.connections_accepted;
+    ++stats_.connections_active;
+    uint32_t mask = 0;
+    if (!is_stats && !gated_) mask = EPOLLIN;
+    loop_.Add(fd, mask, [this, fd](uint32_t events) {
+      OnConnectionEvent(fd, events);
+    });
+    // A stats connection gets one snapshot, then closes once it drains.
+    if (is_stats) SendBytes(raw, BuildStatsText());
+  }
+}
+
+void IngestServer::CloseConnection(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  loop_.Remove(fd);
+  close(fd);
+  connections_.erase(it);
+  ++stats_.connections_closed;
+  --stats_.connections_active;
+}
+
+void IngestServer::UpdateInterest(Connection* conn) {
+  uint32_t mask = 0;
+  if (!conn->is_stats && !gated_) mask |= EPOLLIN;
+  if (conn->out_pos < conn->out.size()) mask |= EPOLLOUT;
+  loop_.Modify(conn->fd, mask);
+}
+
+bool IngestServer::SendBytes(Connection* conn, const std::string& bytes) {
+  conn->out.append(bytes);
+  return FlushWrites(conn);
+}
+
+bool IngestServer::FlushWrites(Connection* conn) {
+  while (conn->out_pos < conn->out.size()) {
+    const ssize_t n = write(conn->fd, conn->out.data() + conn->out_pos,
+                            conn->out.size() - conn->out_pos);
+    if (n > 0) {
+      conn->out_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    CloseConnection(conn->fd);
+    return false;
+  }
+  if (conn->out_pos == conn->out.size()) {
+    conn->out.clear();
+    conn->out_pos = 0;
+    if (conn->close_after_write) {
+      CloseConnection(conn->fd);
+      return false;
+    }
+  }
+  UpdateInterest(conn);
+  return true;
+}
+
+void IngestServer::OnConnectionEvent(int fd, uint32_t events) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection* conn = it->second.get();
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    CloseConnection(fd);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    if (!FlushWrites(conn)) return;
+  }
+  if ((events & EPOLLIN) && !conn->is_stats) {
+    char buf[64 * 1024];
+    for (;;) {
+      // Gated mid-read: stop pulling bytes; the kernel buffer fills and
+      // TCP flow control pushes back on the client.
+      if (gated_) break;
+      const ssize_t n = read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        conn->parser.Feed(buf, static_cast<size_t>(n));
+        if (!DrainParser(conn)) return;
+        continue;
+      }
+      if (n == 0) {
+        // EOF. Bytes still buffered mean the peer died mid-frame.
+        if (conn->parser.buffered() > 0) ++stats_.protocol_errors;
+        CloseConnection(fd);
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConnection(fd);
+      return;
+    }
+  }
+}
+
+bool IngestServer::DrainParser(Connection* conn) {
+  Frame frame;
+  for (;;) {
+    if (gated_) return true;  // leave parsed frames buffered until ungate
+    const FrameStatus status = conn->parser.Next(&frame);
+    if (status == FrameStatus::kNeedMore) return true;
+    if (status == FrameStatus::kError) {
+      ++stats_.protocol_errors;
+      CloseConnection(conn->fd);
+      return false;
+    }
+    if (!ProcessFrame(conn, &frame)) return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Frame semantics (loop thread).
+// ---------------------------------------------------------------------------
+
+bool IngestServer::ProcessFrame(Connection* conn, Frame* frame) {
+  switch (frame->type) {
+    case FrameType::kData:
+      ++stats_.frames_data;
+      RouteData(std::move(frame->message));
+      return true;
+    case FrameType::kBarrier: {
+      ++stats_.frames_control;
+      // Everything this connection sent before the barrier is decoded
+      // (frames process in order) and — after this flush — queued on its
+      // shard, so per-shard FIFO orders it before any later report.
+      for (auto& shard : shards_) {
+        FlushShard(shard.get(), FlushReason::kBarrier);
+      }
+      std::string reply;
+      AppendControlFrame(FrameType::kBarrierAck, &reply);
+      return SendBytes(conn, reply);
+    }
+    case FrameType::kEndStep:
+      ++stats_.frames_control;
+      return DoEndStep(conn);
+    case FrameType::kShutdown:
+      ++stats_.frames_control;
+      stop_.store(true, std::memory_order_relaxed);
+      return true;
+    case FrameType::kBarrierAck:
+    case FrameType::kEstimates:
+      // Server-to-client frames arriving at the server: protocol error.
+      ++stats_.protocol_errors;
+      CloseConnection(conn->fd);
+      return false;
+  }
+  return true;
+}
+
+void IngestServer::RouteData(Message message) {
+  Shard* shard = shards_[message.user_id % shards_.size()].get();
+  if (shard->pending.empty()) {
+    shard->deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(config_.flush_deadline_ms);
+  }
+  shard->pending.push_back(std::move(message));
+  if (shard->pending.size() >= config_.flush_max_batch) {
+    FlushShard(shard, FlushReason::kSize);
+  }
+}
+
+bool IngestServer::DoEndStep(Connection* conn) {
+  // kEndStep is never processed while gated (DrainParser parks frames),
+  // so the blocking flush below starts from an ungated loop and the
+  // workers drain it without deadlock.
+  FlushAllAndDrain();
+  StepAggregate merged;
+  for (auto& shard : shards_) {
+    MergeStepAggregate(shard->collector->EndStepAggregate(), &merged);
+  }
+  std::vector<double> estimates =
+      shards_.front()->collector->EstimateAggregate(merged);
+  if (config_.enable_monitor && !estimates.empty()) {
+    if (!monitor_) {
+      // n = the first non-empty step's report count: the natural scale
+      // for the monitor's noise floor in a steady-state deployment.
+      const double n = static_cast<double>(merged.reports);
+      if (spec_.IsLolohaVariant()) {
+        const LolohaParams params = LolohaParamsForSpec(spec_, k_);
+        monitor_.emplace(static_cast<uint32_t>(estimates.size()), n,
+                         params.EstimatorFirst(), params.irr,
+                         config_.monitor_smoothing,
+                         config_.monitor_z_threshold);
+      } else {
+        monitor_.emplace(static_cast<uint32_t>(estimates.size()), n,
+                         SueParams(spec_.eps_perm), config_.monitor_smoothing,
+                         config_.monitor_z_threshold);
+      }
+    }
+    stats_.monitor_alerts += monitor_->Observe(estimates).size();
+  }
+  ++stats_.steps_completed;
+  std::string reply;
+  AppendEstimatesFrame(estimates, &reply);
+  step_estimates_.push_back(std::move(estimates));
+  return SendBytes(conn, reply);
+}
+
+// ---------------------------------------------------------------------------
+// Observability.
+// ---------------------------------------------------------------------------
+
+CollectorStats IngestServer::TotalStats() const {
+  CollectorStats totals;
+  for (const auto& shard : shards_) {
+    const CollectorStats s = shard->collector->stats();
+    totals.hellos_accepted += s.hellos_accepted;
+    totals.reports_accepted += s.reports_accepted;
+    totals.rejected_malformed += s.rejected_malformed;
+    totals.rejected_unknown_user += s.rejected_unknown_user;
+    totals.rejected_duplicate += s.rejected_duplicate;
+  }
+  return totals;
+}
+
+uint64_t IngestServer::TotalRegisteredUsers() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->collector->registered_users();
+  }
+  return total;
+}
+
+std::string IngestServer::BuildStatsText() const {
+  std::string text = "loloha_ingest_server\n";
+  text += "protocol: " + spec_.ToString() + "\n";
+  AppendStatLine("k", k_, &text);
+  AppendStatLine("shards", shards_.size(), &text);
+  AppendStatLine("steps_completed", stats_.steps_completed, &text);
+  AppendStatLine("registered_users", TotalRegisteredUsers(), &text);
+  const CollectorStats totals = TotalStats();
+  AppendStatLine("hellos_accepted", totals.hellos_accepted, &text);
+  AppendStatLine("reports_accepted", totals.reports_accepted, &text);
+  AppendStatLine("rejected_malformed", totals.rejected_malformed, &text);
+  AppendStatLine("rejected_unknown_user", totals.rejected_unknown_user, &text);
+  AppendStatLine("rejected_duplicate", totals.rejected_duplicate, &text);
+  AppendStatLine("connections_active", stats_.connections_active, &text);
+  AppendStatLine("connections_accepted", stats_.connections_accepted, &text);
+  AppendStatLine("frames_data", stats_.frames_data, &text);
+  AppendStatLine("frames_control", stats_.frames_control, &text);
+  AppendStatLine("protocol_errors", stats_.protocol_errors, &text);
+  AppendStatLine("batches_flushed_size", stats_.batches_flushed_size, &text);
+  AppendStatLine("batches_flushed_deadline", stats_.batches_flushed_deadline,
+                 &text);
+  AppendStatLine("batches_flushed_barrier", stats_.batches_flushed_barrier,
+                 &text);
+  AppendStatLine("backpressure_stalls", stats_.backpressure_stalls, &text);
+  AppendStatLine("monitor_enabled", config_.enable_monitor ? 1 : 0, &text);
+  AppendStatLine("monitor_steps_observed",
+                 monitor_ ? monitor_->steps_observed() : 0, &text);
+  AppendStatLine("monitor_alerts", stats_.monitor_alerts, &text);
+  return text;
+}
+
+}  // namespace loloha

@@ -1,0 +1,245 @@
+// The network ingestion front: a TCP server feeding sharded collectors.
+//
+// One epoll event-loop thread (server/net/event_loop.h) accepts
+// length-framed connections (server/net/framing.h), accumulates decoded
+// `Message`s into per-shard batches, and hands full batches to N shard
+// workers, each owning a private Collector built from the same
+// ProtocolSpec. Shards partition users by `user_id % N`, so a user's
+// whole session (hello, dedup state, reports) lives in exactly one
+// collector and ingest scales across cores with no lock shared between
+// shards. A collection step closes on a kEndStep frame: the loop
+// flushes and drains every shard, sums the shards' integer
+// StepAggregates (server/collector.h), and estimates the merged
+// aggregate — byte-identical to one collector fed the same traffic,
+// which bench_client_load and tests/ingest_server_test.cc assert.
+//
+// Flush policy: a shard's pending batch is cut when it reaches
+// `flush_max_batch` messages or has been open for `flush_deadline_ms`
+// (epoll's timeout doubles as the flush timer), or unconditionally at a
+// step/shutdown barrier.
+//
+// Backpressure: each shard's batch queue is bounded. When a push would
+// overflow, the batch parks as the shard's stalled batch and the loop
+// gates ingestion — EPOLLIN is dropped from every connection, so bytes
+// queue in the kernel and TCP flow control pushes back on clients.
+// Workers wake the loop as they drain; the stalled batch is retried,
+// buffered frames are re-processed, and EPOLLIN returns.
+//
+// Observability: a second listening port serves a plain-text stats
+// snapshot per connection (`key: value` lines — CollectorStats sums,
+// frame/flush/backpressure counters, TrendMonitor alerts) and closes.
+// Format documented in docs/OPERATIONS.md.
+//
+// Threading: Start() spawns the shard workers; Run() is the event loop
+// and must be driven by exactly one thread; Stop() may be called from
+// any thread (including a signal handler — it only writes an atomic and
+// an eventfd). port()/stats_port() are valid after Start();
+// step_estimates() and server_stats() are stable once Run() returns.
+// TotalStats() is safe at any time (collectors are internally
+// synchronized).
+
+#ifndef LOLOHA_SERVER_NET_INGEST_SERVER_H_
+#define LOLOHA_SERVER_NET_INGEST_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/collector.h"
+#include "server/monitor.h"
+#include "server/net/event_loop.h"
+#include "server/net/framing.h"
+#include "sim/protocol_spec.h"
+#include "util/thread_annotations.h"
+
+namespace loloha {
+
+struct IngestServerConfig {
+  // Listen address for both ports. Port 0 binds an ephemeral port —
+  // read the kernel's choice back via port() / stats_port().
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;
+  bool enable_stats = true;
+  uint16_t stats_port = 0;
+
+  // Collector shards (users partitioned by user_id % num_shards).
+  uint32_t num_shards = 1;
+
+  // Flush policy: cut a shard's pending batch at this many messages ...
+  uint32_t flush_max_batch = 4096;
+  // ... or when the batch has been open this long.
+  uint32_t flush_deadline_ms = 10;
+
+  // Bounded per-shard queue, in batches; the backpressure threshold.
+  uint32_t queue_capacity = 8;
+
+  // FrameParser payload cap per connection.
+  uint32_t max_frame_payload = kDefaultMaxFramePayload;
+
+  // Optional TrendMonitor over the per-step estimates, constructed at
+  // the first non-empty step (n = that step's report count).
+  bool enable_monitor = false;
+  double monitor_smoothing = 0.4;
+  double monitor_z_threshold = 4.0;
+
+  // Per-shard collector threading (see CollectorOptions). The default
+  // single-threaded collectors are right when num_shards covers the
+  // cores; a borrowed pool composes with fewer, fatter shards.
+  CollectorOptions collector_options;
+};
+
+// Loop-thread counters (returned by value; see server_stats()).
+struct IngestServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t connections_active = 0;
+  uint64_t frames_data = 0;
+  uint64_t frames_control = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t batches_flushed_size = 0;
+  uint64_t batches_flushed_deadline = 0;
+  uint64_t batches_flushed_barrier = 0;
+  uint64_t backpressure_stalls = 0;
+  uint64_t steps_completed = 0;
+  uint64_t monitor_alerts = 0;
+
+  friend bool operator==(const IngestServerStats&,
+                         const IngestServerStats&) = default;
+};
+
+class IngestServer {
+ public:
+  // `spec` must name a protocol MakeCollector serves (the LOLOHA and
+  // dBitFlipPM variants); `k` is the deployment's domain size.
+  IngestServer(const ProtocolSpec& spec, uint32_t k,
+               const IngestServerConfig& config);
+  ~IngestServer();
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  // Binds and listens on both ports and spawns the shard workers.
+  // Returns false (with the sockets torn down) on any setup failure.
+  bool Start();
+
+  // The event loop. Blocks until Stop() or a kShutdown frame, then
+  // drains every shard gracefully before returning. Call at most once,
+  // after a successful Start().
+  void Run();
+
+  // Thread- and signal-safe shutdown request.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  uint16_t stats_port() const { return stats_port_; }
+
+  // Estimates of every closed step, in step order. Stable after Run()
+  // returns (mutated only by the loop thread).
+  const std::vector<std::vector<double>>& step_estimates() const {
+    return step_estimates_;
+  }
+
+  // Sum of the shard collectors' counters. Safe from any thread.
+  CollectorStats TotalStats() const;
+  uint64_t TotalRegisteredUsers() const;
+
+  // Snapshot of the loop counters. Safe from the loop thread, or from
+  // any thread once Run() has returned.
+  IngestServerStats server_stats() const { return stats_; }
+
+ private:
+  struct Connection {
+    explicit Connection(uint32_t max_payload) : parser(max_payload) {}
+    int fd = -1;
+    FrameParser parser;
+    std::string out;      // unwritten reply bytes
+    size_t out_pos = 0;   // already-written prefix of `out`
+    bool is_stats = false;
+    bool close_after_write = false;
+  };
+
+  // Queue state is shared with the shard's worker thread and guarded by
+  // `mu`; `pending`/`stalled`/`deadline` belong to the loop thread alone.
+  struct Shard {
+    std::unique_ptr<Collector> collector;
+
+    std::vector<Message> pending;
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_stalled = false;
+    std::vector<Message> stalled;
+
+    Mutex mu;
+    CondVar cv_work;   // worker waits for batches / stop
+    CondVar cv_space;  // loop waits for queue space / drain
+    std::deque<std::vector<Message>> queue LOLOHA_GUARDED_BY(mu);
+    bool busy LOLOHA_GUARDED_BY(mu) = false;
+    bool stop LOLOHA_GUARDED_BY(mu) = false;
+    std::thread worker;
+  };
+
+  enum class FlushReason { kSize, kDeadline, kBarrier };
+
+  bool SetupListener(uint16_t want_port, int* fd, uint16_t* got_port);
+  void WorkerLoop(Shard* shard);
+  void StopWorkers();
+
+  void OnAccept(int listen_fd, bool is_stats);
+  void OnConnectionEvent(int fd, uint32_t events);
+  // Returns false when the connection was closed.
+  bool DrainParser(Connection* conn);
+  bool ProcessFrame(Connection* conn, Frame* frame);
+  void RouteData(Message message);
+  void CloseConnection(int fd);
+
+  // Both return false when the connection was closed (write error, or an
+  // intentional close once a close_after_write connection drains).
+  bool SendBytes(Connection* conn, const std::string& bytes);
+  bool FlushWrites(Connection* conn);
+  void UpdateInterest(Connection* conn);
+
+  // On success moves *batch into the shard queue (leaving it empty); on a
+  // full queue returns false with *batch untouched.
+  bool TryPush(Shard* shard, std::vector<Message>* batch);
+  void BlockingPush(Shard* shard, std::vector<Message> batch);
+  void FlushShard(Shard* shard, FlushReason reason);
+  void FlushAllAndDrain();
+  void RetryStalledPushes();
+  void GateInput();
+  void UngateInput();
+  int NextTimeoutMs() const;
+  void FlushDueShards();
+
+  bool DoEndStep(Connection* conn);
+  std::string BuildStatsText() const;
+
+  ProtocolSpec spec_;
+  uint32_t k_;
+  IngestServerConfig config_;
+
+  EventLoop loop_;
+  int listen_fd_ = -1;
+  int stats_listen_fd_ = -1;
+  uint16_t port_ = 0;
+  uint16_t stats_port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stop_{false};
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<int, std::unique_ptr<Connection>> connections_;
+  bool gated_ = false;
+
+  std::vector<std::vector<double>> step_estimates_;
+  std::optional<TrendMonitor> monitor_;
+  IngestServerStats stats_;
+};
+
+}  // namespace loloha
+
+#endif  // LOLOHA_SERVER_NET_INGEST_SERVER_H_

@@ -1,0 +1,183 @@
+// The sharding identity behind the network front (server/net): N
+// collectors partitioned by user id, their integer StepAggregates summed
+// and estimated once, must reproduce a single collector's EndStep()
+// byte for byte.
+
+#include "server/collector.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/loloha.h"
+#include "core/loloha_params.h"
+#include "longitudinal/dbitflip.h"
+#include "sim/protocol_spec.h"
+#include "util/rng.h"
+#include "wire/encoding.h"
+
+namespace loloha {
+namespace {
+
+constexpr uint32_t kUsers = 4000;
+constexpr uint32_t kDomain = 64;
+constexpr uint32_t kSteps = 3;
+
+// One hello and kSteps reports per user, pre-encoded with a fixed seed.
+struct Traffic {
+  std::vector<Message> hellos;
+  std::vector<std::vector<Message>> steps;
+};
+
+Traffic LolohaTraffic(const ProtocolSpec& spec, uint64_t seed) {
+  const LolohaParams params = LolohaParamsForSpec(spec, kDomain);
+  Rng rng(seed);
+  Traffic traffic;
+  std::vector<LolohaClient> clients;
+  clients.reserve(kUsers);
+  for (uint32_t u = 0; u < kUsers; ++u) {
+    clients.emplace_back(params, rng);
+    traffic.hellos.push_back(Message{u, EncodeLolohaHello(clients[u].hash())});
+  }
+  traffic.steps.resize(kSteps);
+  for (uint32_t t = 0; t < kSteps; ++t) {
+    for (uint32_t u = 0; u < kUsers; ++u) {
+      traffic.steps[t].push_back(Message{
+          u, EncodeLolohaReport(clients[u].Report((u + t) % kDomain, rng))});
+    }
+  }
+  return traffic;
+}
+
+Traffic DBitFlipTraffic(const ProtocolSpec& spec, uint64_t seed) {
+  const Bucketizer bucketizer(kDomain, spec.buckets);
+  Rng rng(seed);
+  Traffic traffic;
+  std::vector<DBitFlipClient> clients;
+  clients.reserve(kUsers);
+  for (uint32_t u = 0; u < kUsers; ++u) {
+    clients.emplace_back(bucketizer, spec.d, spec.eps_perm, rng);
+    traffic.hellos.push_back(Message{u, EncodeDBitHello(clients[u].sampled())});
+  }
+  traffic.steps.resize(kSteps);
+  for (uint32_t t = 0; t < kSteps; ++t) {
+    for (uint32_t u = 0; u < kUsers; ++u) {
+      traffic.steps[t].push_back(Message{
+          u, EncodeDBitReport(clients[u].Report((2 * u + t) % kDomain, rng)
+                                  .bits)});
+    }
+  }
+  return traffic;
+}
+
+Traffic MakeTraffic(const ProtocolSpec& spec, uint64_t seed) {
+  return spec.IsLolohaVariant() ? LolohaTraffic(spec, seed)
+                                : DBitFlipTraffic(spec, seed);
+}
+
+class CollectorAggregateTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CollectorAggregateTest, EndStepEqualsEstimateOfAggregate) {
+  const ProtocolSpec spec = ProtocolSpec::MustParse(GetParam());
+  const Traffic traffic = MakeTraffic(spec, 11);
+
+  const std::unique_ptr<Collector> direct = MakeCollector(spec, kDomain);
+  const std::unique_ptr<Collector> via_aggregate = MakeCollector(spec, kDomain);
+  direct->IngestBatch(traffic.hellos);
+  via_aggregate->IngestBatch(traffic.hellos);
+  for (const auto& step : traffic.steps) {
+    direct->IngestBatch(step);
+    via_aggregate->IngestBatch(step);
+    const std::vector<double> from_end_step = direct->EndStep();
+    const StepAggregate aggregate = via_aggregate->EndStepAggregate();
+    EXPECT_EQ(aggregate.reports, step.size());
+    EXPECT_EQ(from_end_step, via_aggregate->EstimateAggregate(aggregate));
+  }
+  EXPECT_EQ(direct->stats(), via_aggregate->stats());
+}
+
+TEST_P(CollectorAggregateTest, FourWayShardMergeIsByteIdentical) {
+  const ProtocolSpec spec = ProtocolSpec::MustParse(GetParam());
+  const Traffic traffic = MakeTraffic(spec, 29);
+  constexpr uint32_t kShards = 4;
+
+  const std::unique_ptr<Collector> direct = MakeCollector(spec, kDomain);
+  std::vector<std::unique_ptr<Collector>> shards;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    shards.push_back(MakeCollector(spec, kDomain));
+  }
+
+  const auto route = [&](const std::vector<Message>& messages) {
+    std::vector<std::vector<Message>> parts(kShards);
+    for (const Message& message : messages) {
+      parts[message.user_id % kShards].push_back(message);
+    }
+    for (uint32_t s = 0; s < kShards; ++s) shards[s]->IngestBatch(parts[s]);
+  };
+
+  direct->IngestBatch(traffic.hellos);
+  route(traffic.hellos);
+  for (const auto& step : traffic.steps) {
+    direct->IngestBatch(step);
+    route(step);
+    StepAggregate merged;
+    for (uint32_t s = 0; s < kShards; ++s) {
+      MergeStepAggregate(shards[s]->EndStepAggregate(), &merged);
+    }
+    EXPECT_EQ(merged.reports, step.size());
+    // Bit-for-bit: integer sums commute across the shard split, and the
+    // float estimator runs exactly once on the merged sums.
+    EXPECT_EQ(direct->EndStep(), shards[0]->EstimateAggregate(merged));
+  }
+
+  CollectorStats sharded_totals;
+  uint64_t sharded_users = 0;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    const CollectorStats stats = shards[s]->stats();
+    sharded_totals.hellos_accepted += stats.hellos_accepted;
+    sharded_totals.reports_accepted += stats.reports_accepted;
+    sharded_totals.rejected_malformed += stats.rejected_malformed;
+    sharded_totals.rejected_unknown_user += stats.rejected_unknown_user;
+    sharded_totals.rejected_duplicate += stats.rejected_duplicate;
+    sharded_users += shards[s]->registered_users();
+  }
+  EXPECT_EQ(direct->stats(), sharded_totals);
+  EXPECT_EQ(direct->registered_users(), sharded_users);
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, CollectorAggregateTest,
+                         ::testing::Values("ololoha:eps_perm=2,eps_first=1",
+                                           "loloha:g=2,eps_perm=2,eps_first=1",
+                                           "bbitflip:eps_perm=3,buckets=16,d=8",
+                                           "1bitflip:eps_perm=2,buckets=16"));
+
+TEST(MergeStepAggregateTest, EmptyTargetAdoptsShape) {
+  StepAggregate from;
+  from.support = {1, 2, 3};
+  from.samplers = {4, 5, 6};
+  from.reports = 7;
+  StepAggregate into;
+  MergeStepAggregate(from, &into);
+  EXPECT_EQ(into, from);
+  MergeStepAggregate(from, &into);
+  EXPECT_EQ(into.support, (std::vector<uint64_t>{2, 4, 6}));
+  EXPECT_EQ(into.samplers, (std::vector<uint64_t>{8, 10, 12}));
+  EXPECT_EQ(into.reports, 14u);
+}
+
+TEST(MergeStepAggregateTest, EmptyStepsMergeToEmptyEstimates) {
+  const ProtocolSpec spec =
+      ProtocolSpec::MustParse("ololoha:eps_perm=2,eps_first=1");
+  const std::unique_ptr<Collector> a = MakeCollector(spec, kDomain);
+  const std::unique_ptr<Collector> b = MakeCollector(spec, kDomain);
+  StepAggregate merged;
+  MergeStepAggregate(a->EndStepAggregate(), &merged);
+  MergeStepAggregate(b->EndStepAggregate(), &merged);
+  EXPECT_EQ(merged.reports, 0u);
+  EXPECT_TRUE(a->EstimateAggregate(merged).empty());
+}
+
+}  // namespace
+}  // namespace loloha

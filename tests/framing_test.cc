@@ -1,0 +1,213 @@
+#include "server/net/framing.h"
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace loloha {
+namespace {
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+// Hand-built frame with any (possibly illegal) type/payload combination.
+std::string RawFrame(uint8_t type, const std::string& payload) {
+  std::string out;
+  PutU32(static_cast<uint32_t>(payload.size()), &out);
+  out.push_back(static_cast<char>(type));
+  out.append(payload);
+  return out;
+}
+
+TEST(FramingTest, DataFrameRoundTrip) {
+  std::string buf;
+  AppendDataFrame(0x1122334455667788ull, std::string("\x07\x01payload", 9),
+                  &buf);
+  EXPECT_EQ(buf.size(), kFrameHeaderBytes + 8 + 9);
+
+  FrameParser parser;
+  parser.Feed(buf.data(), buf.size());
+  Frame frame;
+  ASSERT_EQ(parser.Next(&frame), FrameStatus::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kData);
+  EXPECT_EQ(frame.message.user_id, 0x1122334455667788ull);
+  EXPECT_EQ(frame.message.bytes, std::string("\x07\x01payload", 9));
+  EXPECT_EQ(parser.Next(&frame), FrameStatus::kNeedMore);
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(FramingTest, EmptyMessageBytesAreLegal) {
+  std::string buf;
+  AppendDataFrame(7, "", &buf);
+  FrameParser parser;
+  parser.Feed(buf.data(), buf.size());
+  Frame frame;
+  ASSERT_EQ(parser.Next(&frame), FrameStatus::kFrame);
+  EXPECT_EQ(frame.message.user_id, 7u);
+  EXPECT_TRUE(frame.message.bytes.empty());
+}
+
+TEST(FramingTest, ControlFramesRoundTrip) {
+  const FrameType kTypes[] = {FrameType::kBarrier, FrameType::kBarrierAck,
+                              FrameType::kEndStep, FrameType::kShutdown};
+  std::string buf;
+  for (const FrameType type : kTypes) AppendControlFrame(type, &buf);
+
+  FrameParser parser;
+  parser.Feed(buf.data(), buf.size());
+  Frame frame;
+  for (const FrameType type : kTypes) {
+    ASSERT_EQ(parser.Next(&frame), FrameStatus::kFrame);
+    EXPECT_EQ(frame.type, type);
+    EXPECT_TRUE(frame.message.bytes.empty());
+    EXPECT_TRUE(frame.estimates.empty());
+  }
+  EXPECT_EQ(parser.Next(&frame), FrameStatus::kNeedMore);
+}
+
+TEST(FramingTest, EstimatesCarryExactDoubleBits) {
+  // The frame promises bit-exact doubles; include values that would not
+  // survive a decimal text round-trip at default precision.
+  const std::vector<double> estimates = {
+      0.0,
+      -0.0,
+      1.0 / 3.0,
+      -2.5e-300,
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+  };
+  std::string buf;
+  AppendEstimatesFrame(estimates, &buf);
+  EXPECT_EQ(buf.size(), kFrameHeaderBytes + 4 + 8 * estimates.size());
+
+  FrameParser parser;
+  parser.Feed(buf.data(), buf.size());
+  Frame frame;
+  ASSERT_EQ(parser.Next(&frame), FrameStatus::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kEstimates);
+  ASSERT_EQ(frame.estimates.size(), estimates.size());
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(frame.estimates[i]),
+              std::bit_cast<uint64_t>(estimates[i]))
+        << "estimate " << i;
+  }
+}
+
+TEST(FramingTest, EmptyEstimatesFrame) {
+  std::string buf;
+  AppendEstimatesFrame({}, &buf);
+  FrameParser parser;
+  parser.Feed(buf.data(), buf.size());
+  Frame frame;
+  ASSERT_EQ(parser.Next(&frame), FrameStatus::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kEstimates);
+  EXPECT_TRUE(frame.estimates.empty());
+}
+
+TEST(FramingTest, ByteAtATimeFeedReassemblesFrames) {
+  std::string buf;
+  AppendDataFrame(42, "abc", &buf);
+  AppendControlFrame(FrameType::kBarrier, &buf);
+  AppendEstimatesFrame(std::vector<double>{0.25, 0.75}, &buf);
+
+  FrameParser parser;
+  Frame frame;
+  std::vector<FrameType> seen;
+  for (const char byte : buf) {
+    parser.Feed(&byte, 1);
+    while (parser.Next(&frame) == FrameStatus::kFrame) {
+      seen.push_back(frame.type);
+    }
+  }
+  EXPECT_EQ(seen, (std::vector<FrameType>{FrameType::kData,
+                                          FrameType::kBarrier,
+                                          FrameType::kEstimates}));
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(FramingTest, TruncatedFrameNeedsMoreNotError) {
+  std::string buf;
+  AppendDataFrame(9, "abcdef", &buf);
+  FrameParser parser;
+  parser.Feed(buf.data(), buf.size() - 1);  // everything but the last byte
+  Frame frame;
+  EXPECT_EQ(parser.Next(&frame), FrameStatus::kNeedMore);
+  EXPECT_EQ(parser.buffered(), buf.size() - 1);
+  parser.Feed(buf.data() + buf.size() - 1, 1);
+  EXPECT_EQ(parser.Next(&frame), FrameStatus::kFrame);
+}
+
+TEST(FramingTest, OversizedPayloadIsError) {
+  FrameParser parser(/*max_payload=*/64);
+  const std::string raw = RawFrame(
+      static_cast<uint8_t>(FrameType::kData), std::string(65, 'x'));
+  // The header alone condemns the stream; the payload need not arrive.
+  parser.Feed(raw.data(), kFrameHeaderBytes);
+  Frame frame;
+  EXPECT_EQ(parser.Next(&frame), FrameStatus::kError);
+}
+
+TEST(FramingTest, UnknownFrameTypeIsError) {
+  for (const uint8_t type : {uint8_t{0}, uint8_t{7}, uint8_t{0xff}}) {
+    FrameParser parser;
+    const std::string raw = RawFrame(type, "");
+    parser.Feed(raw.data(), raw.size());
+    Frame frame;
+    EXPECT_EQ(parser.Next(&frame), FrameStatus::kError) << unsigned{type};
+  }
+}
+
+TEST(FramingTest, ControlFrameWithPayloadIsError) {
+  FrameParser parser;
+  const std::string raw =
+      RawFrame(static_cast<uint8_t>(FrameType::kBarrier), "x");
+  parser.Feed(raw.data(), raw.size());
+  Frame frame;
+  EXPECT_EQ(parser.Next(&frame), FrameStatus::kError);
+}
+
+TEST(FramingTest, DataFrameShorterThanUserIdIsError) {
+  FrameParser parser;
+  const std::string raw =
+      RawFrame(static_cast<uint8_t>(FrameType::kData), "1234567");
+  parser.Feed(raw.data(), raw.size());
+  Frame frame;
+  EXPECT_EQ(parser.Next(&frame), FrameStatus::kError);
+}
+
+TEST(FramingTest, EstimatesCountMismatchIsError) {
+  // Count says 3 doubles, payload carries 2.
+  std::string payload;
+  PutU32(3, &payload);
+  payload.append(16, '\0');
+  FrameParser parser;
+  const std::string raw =
+      RawFrame(static_cast<uint8_t>(FrameType::kEstimates), payload);
+  parser.Feed(raw.data(), raw.size());
+  Frame frame;
+  EXPECT_EQ(parser.Next(&frame), FrameStatus::kError);
+}
+
+TEST(FramingTest, ErrorIsSticky) {
+  FrameParser parser;
+  const std::string bad = RawFrame(0, "");
+  parser.Feed(bad.data(), bad.size());
+  Frame frame;
+  ASSERT_EQ(parser.Next(&frame), FrameStatus::kError);
+  // A perfectly valid frame after the violation changes nothing: the
+  // stream cannot be resynchronized.
+  std::string good;
+  AppendControlFrame(FrameType::kBarrier, &good);
+  parser.Feed(good.data(), good.size());
+  EXPECT_EQ(parser.Next(&frame), FrameStatus::kError);
+}
+
+}  // namespace
+}  // namespace loloha

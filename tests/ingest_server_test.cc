@@ -1,0 +1,491 @@
+// Loopback end-to-end tests for the TCP ingestion front: a real server
+// thread, real sockets, and the PR's central claim — estimates and
+// counters byte-identical to direct in-process ingestion at any shard
+// count — plus the failure paths (malformed wire payloads, garbage
+// frames, truncation at EOF) and the stats endpoint.
+
+#include "server/net/ingest_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/loloha.h"
+#include "core/loloha_params.h"
+#include "longitudinal/dbitflip.h"
+#include "server/collector.h"
+#include "server/net/framing.h"
+#include "sim/protocol_spec.h"
+#include "util/rng.h"
+#include "wire/encoding.h"
+
+namespace loloha {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Blocking loopback client helpers.
+// ---------------------------------------------------------------------------
+
+int ConnectLoopback(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(fd);
+    return -1;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool WriteAll(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadExact(int fd, char* buf, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = read(fd, buf + off, size - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+uint32_t HeaderPayloadLen(const char* header) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(header[i])) << (8 * i);
+  }
+  return v;
+}
+
+bool ReadFrame(int fd, Frame* frame) {
+  char header[kFrameHeaderBytes];
+  if (!ReadExact(fd, header, sizeof(header))) return false;
+  const uint32_t payload_len = HeaderPayloadLen(header);
+  std::string payload(payload_len, '\0');
+  if (payload_len > 0 && !ReadExact(fd, payload.data(), payload_len)) {
+    return false;
+  }
+  FrameParser parser;
+  parser.Feed(header, sizeof(header));
+  parser.Feed(payload.data(), payload.size());
+  return parser.Next(frame) == FrameStatus::kFrame;
+}
+
+// Reads until the peer closes — the stats endpoint's one-shot contract.
+std::string ReadUntilEof(int fd) {
+  std::string text;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return text;
+    text.append(buf, static_cast<size_t>(n));
+  }
+}
+
+// A server running on its own thread, stopped and joined on scope exit.
+class ServerFixture {
+ public:
+  ServerFixture(const ProtocolSpec& spec, uint32_t k,
+                const IngestServerConfig& config)
+      : server_(spec, k, config) {
+    start_ok_ = server_.Start();
+    if (start_ok_) thread_ = std::thread([this] { server_.Run(); });
+  }
+  ~ServerFixture() { Join(); }
+
+  // Idempotent; after the first call the server is fully drained.
+  void Join() {
+    if (thread_.joinable()) {
+      server_.Stop();
+      thread_.join();
+    }
+  }
+
+  // Waits for the server to exit on its own (a kShutdown frame) instead
+  // of forcing Stop() — Stop() can win the race against frames still
+  // sitting unread in kernel socket buffers.
+  void AwaitExit() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  bool start_ok() const { return start_ok_; }
+  IngestServer& server() { return server_; }
+
+ private:
+  IngestServer server_;
+  bool start_ok_ = false;
+  std::thread thread_;
+};
+
+// ---------------------------------------------------------------------------
+// Traffic (pre-encoded, fixed seed).
+// ---------------------------------------------------------------------------
+
+struct Traffic {
+  std::vector<Message> hellos;
+  std::vector<std::vector<Message>> steps;
+};
+
+constexpr uint32_t kUsers = 600;
+constexpr uint32_t kDomain = 32;
+constexpr uint32_t kSteps = 2;
+
+Traffic MakeTraffic(const ProtocolSpec& spec, uint64_t seed) {
+  Rng rng(seed);
+  Traffic traffic;
+  traffic.steps.resize(kSteps);
+  if (spec.IsLolohaVariant()) {
+    const LolohaParams params = LolohaParamsForSpec(spec, kDomain);
+    std::vector<LolohaClient> clients;
+    for (uint32_t u = 0; u < kUsers; ++u) {
+      clients.emplace_back(params, rng);
+      traffic.hellos.push_back(
+          Message{u, EncodeLolohaHello(clients[u].hash())});
+    }
+    for (uint32_t t = 0; t < kSteps; ++t) {
+      for (uint32_t u = 0; u < kUsers; ++u) {
+        traffic.steps[t].push_back(Message{
+            u, EncodeLolohaReport(clients[u].Report((u + t) % kDomain, rng))});
+      }
+    }
+  } else {
+    const Bucketizer bucketizer(kDomain, spec.buckets);
+    std::vector<DBitFlipClient> clients;
+    for (uint32_t u = 0; u < kUsers; ++u) {
+      clients.emplace_back(bucketizer, spec.d, spec.eps_perm, rng);
+      traffic.hellos.push_back(
+          Message{u, EncodeDBitHello(clients[u].sampled())});
+    }
+    for (uint32_t t = 0; t < kSteps; ++t) {
+      for (uint32_t u = 0; u < kUsers; ++u) {
+        traffic.steps[t].push_back(Message{
+            u,
+            EncodeDBitReport(clients[u].Report((u + t) % kDomain, rng).bits)});
+      }
+    }
+  }
+  return traffic;
+}
+
+// Sends messages[u] over connection u % conns.size(), fences each
+// connection with a barrier, and waits for every ack.
+void SendPhase(const std::vector<int>& conns,
+               const std::vector<Message>& messages) {
+  for (size_t c = 0; c < conns.size(); ++c) {
+    std::string buf;
+    for (size_t u = c; u < messages.size(); u += conns.size()) {
+      AppendDataFrame(messages[u].user_id, messages[u].bytes, &buf);
+    }
+    AppendControlFrame(FrameType::kBarrier, &buf);
+    ASSERT_TRUE(WriteAll(conns[c], buf));
+  }
+  for (const int fd : conns) {
+    Frame frame;
+    ASSERT_TRUE(ReadFrame(fd, &frame));
+    ASSERT_EQ(frame.type, FrameType::kBarrierAck);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identity across the network path, spec x shard count.
+// ---------------------------------------------------------------------------
+
+class IngestServerIdentityTest
+    : public ::testing::TestWithParam<std::tuple<const char*, uint32_t>> {};
+
+TEST_P(IngestServerIdentityTest, MatchesDirectIngestExactly) {
+  const ProtocolSpec spec = ProtocolSpec::MustParse(std::get<0>(GetParam()));
+  const uint32_t shards = std::get<1>(GetParam());
+  const Traffic traffic = MakeTraffic(spec, 97);
+
+  std::vector<std::vector<double>> reference;
+  CollectorStats reference_stats;
+  {
+    const std::unique_ptr<Collector> collector = MakeCollector(spec, kDomain);
+    collector->IngestBatch(traffic.hellos);
+    for (const auto& step : traffic.steps) {
+      collector->IngestBatch(step);
+      reference.push_back(collector->EndStep());
+    }
+    reference_stats = collector->stats();
+  }
+
+  IngestServerConfig config;
+  config.num_shards = shards;
+  config.flush_max_batch = 64;  // exercise multiple flushes per step
+  ServerFixture fixture(spec, kDomain, config);
+  ASSERT_TRUE(fixture.start_ok());
+
+  std::vector<int> conns;
+  for (int c = 0; c < 3; ++c) {
+    const int fd = ConnectLoopback(fixture.server().port());
+    ASSERT_GE(fd, 0);
+    conns.push_back(fd);
+  }
+  const int control = ConnectLoopback(fixture.server().port());
+  ASSERT_GE(control, 0);
+
+  SendPhase(conns, traffic.hellos);
+  std::vector<std::vector<double>> observed;
+  std::string end_step;
+  AppendControlFrame(FrameType::kEndStep, &end_step);
+  for (const auto& step : traffic.steps) {
+    SendPhase(conns, step);
+    ASSERT_TRUE(WriteAll(control, end_step));
+    Frame frame;
+    ASSERT_TRUE(ReadFrame(control, &frame));
+    ASSERT_EQ(frame.type, FrameType::kEstimates);
+    observed.push_back(frame.estimates);
+  }
+  for (const int fd : conns) close(fd);
+  close(control);
+  fixture.Join();
+
+  // The central contract: the network front changes nothing, bit for bit.
+  EXPECT_EQ(observed, reference);
+  EXPECT_EQ(fixture.server().step_estimates(), reference);
+  EXPECT_EQ(fixture.server().TotalStats(), reference_stats);
+  EXPECT_EQ(fixture.server().TotalRegisteredUsers(), kUsers);
+  const IngestServerStats stats = fixture.server().server_stats();
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_EQ(stats.steps_completed, kSteps);
+  EXPECT_EQ(stats.frames_data, uint64_t{kUsers} * (1 + kSteps));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecsAndShards, IngestServerIdentityTest,
+    ::testing::Combine(::testing::Values("ololoha:eps_perm=2,eps_first=1",
+                                         "bbitflip:eps_perm=3,buckets=8,d=4"),
+                       ::testing::Values(1u, 4u)));
+
+// ---------------------------------------------------------------------------
+// Failure paths and observability.
+// ---------------------------------------------------------------------------
+
+ProtocolSpec TestSpec() {
+  return ProtocolSpec::MustParse("ololoha:eps_perm=2,eps_first=1");
+}
+
+TEST(IngestServerTest, MalformedWirePayloadIsCountedNotFatal) {
+  const ProtocolSpec spec = TestSpec();
+  const Traffic traffic = MakeTraffic(spec, 3);
+  ServerFixture fixture(spec, kDomain, IngestServerConfig{});
+  ASSERT_TRUE(fixture.start_ok());
+  const int fd = ConnectLoopback(fixture.server().port());
+  ASSERT_GE(fd, 0);
+
+  // Register user 0, then send a structurally valid frame whose payload
+  // is garbage to the wire decoder: the collector rejects the message
+  // (and an unregistered sender's likewise), the connection lives.
+  std::string buf;
+  AppendDataFrame(0, traffic.hellos[0].bytes, &buf);
+  AppendDataFrame(0, "not a wire message", &buf);
+  AppendDataFrame(999999, "also not a wire message", &buf);
+  AppendControlFrame(FrameType::kBarrier, &buf);
+  ASSERT_TRUE(WriteAll(fd, buf));
+  Frame frame;
+  ASSERT_TRUE(ReadFrame(fd, &frame));
+  EXPECT_EQ(frame.type, FrameType::kBarrierAck);
+  close(fd);
+  fixture.Join();
+
+  const CollectorStats stats = fixture.server().TotalStats();
+  EXPECT_EQ(stats.hellos_accepted, 1u);
+  EXPECT_EQ(stats.rejected_malformed, 1u);
+  EXPECT_EQ(stats.rejected_unknown_user, 1u);
+  EXPECT_EQ(fixture.server().server_stats().protocol_errors, 0u);
+}
+
+TEST(IngestServerTest, GarbageFrameClosesConnectionServerSurvives) {
+  ServerFixture fixture(TestSpec(), kDomain, IngestServerConfig{});
+  ASSERT_TRUE(fixture.start_ok());
+  const int bad = ConnectLoopback(fixture.server().port());
+  ASSERT_GE(bad, 0);
+
+  // Frame type 0 is a framing violation: the server must close this
+  // connection (we observe EOF) without taking the process down.
+  ASSERT_TRUE(WriteAll(bad, std::string("\x00\x00\x00\x00\x00", 5)));
+  char byte;
+  EXPECT_FALSE(ReadExact(bad, &byte, 1));  // EOF: closed by the server
+  close(bad);
+
+  // The server still serves a healthy connection afterwards.
+  const int good = ConnectLoopback(fixture.server().port());
+  ASSERT_GE(good, 0);
+  std::string barrier;
+  AppendControlFrame(FrameType::kBarrier, &barrier);
+  ASSERT_TRUE(WriteAll(good, barrier));
+  Frame frame;
+  ASSERT_TRUE(ReadFrame(good, &frame));
+  EXPECT_EQ(frame.type, FrameType::kBarrierAck);
+  close(good);
+  fixture.Join();
+  EXPECT_EQ(fixture.server().server_stats().protocol_errors, 1u);
+}
+
+TEST(IngestServerTest, TruncatedFrameAtEofIsProtocolError) {
+  ServerFixture fixture(TestSpec(), kDomain, IngestServerConfig{});
+  ASSERT_TRUE(fixture.start_ok());
+  const int fd = ConnectLoopback(fixture.server().port());
+  ASSERT_GE(fd, 0);
+
+  std::string buf;
+  AppendDataFrame(1, "abcdefgh", &buf);
+  // Send all but the tail and hang up mid-frame. Fence with a second
+  // connection's barrier so the bytes are processed before Join.
+  ASSERT_TRUE(WriteAll(fd, buf.substr(0, buf.size() - 3)));
+  close(fd);
+
+  const int fence = ConnectLoopback(fixture.server().port());
+  ASSERT_GE(fence, 0);
+  std::string barrier;
+  AppendControlFrame(FrameType::kBarrier, &barrier);
+  ASSERT_TRUE(WriteAll(fence, barrier));
+  Frame frame;
+  ASSERT_TRUE(ReadFrame(fence, &frame));
+  close(fence);
+  fixture.Join();
+  EXPECT_EQ(fixture.server().server_stats().protocol_errors, 1u);
+}
+
+TEST(IngestServerTest, StatsEndpointServesSnapshotAndCloses) {
+  const ProtocolSpec spec = TestSpec();
+  const Traffic traffic = MakeTraffic(spec, 5);
+  ServerFixture fixture(spec, kDomain, IngestServerConfig{});
+  ASSERT_TRUE(fixture.start_ok());
+
+  const int fd = ConnectLoopback(fixture.server().port());
+  ASSERT_GE(fd, 0);
+  SendPhase({fd}, traffic.hellos);
+
+  const int stats_fd = ConnectLoopback(fixture.server().stats_port());
+  ASSERT_GE(stats_fd, 0);
+  const std::string text = ReadUntilEof(stats_fd);
+  close(stats_fd);
+  close(fd);
+  fixture.Join();
+
+  EXPECT_NE(text.find("loloha_ingest_server\n"), std::string::npos);
+  EXPECT_NE(text.find("protocol: " + spec.ToString() + "\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("registered_users: 600\n"), std::string::npos);
+  EXPECT_NE(text.find("hellos_accepted: 600\n"), std::string::npos);
+  EXPECT_NE(text.find("protocol_errors: 0\n"), std::string::npos);
+}
+
+TEST(IngestServerTest, ShutdownFrameDrainsAndStops) {
+  const ProtocolSpec spec = TestSpec();
+  const Traffic traffic = MakeTraffic(spec, 17);
+  IngestServerConfig config;
+  config.num_shards = 2;
+  ServerFixture fixture(spec, kDomain, config);
+  ASSERT_TRUE(fixture.start_ok());
+
+  const int fd = ConnectLoopback(fixture.server().port());
+  ASSERT_GE(fd, 0);
+  // No barrier: the shutdown drain alone must deliver every hello.
+  std::string buf;
+  for (const Message& hello : traffic.hellos) {
+    AppendDataFrame(hello.user_id, hello.bytes, &buf);
+  }
+  AppendControlFrame(FrameType::kShutdown, &buf);
+  ASSERT_TRUE(WriteAll(fd, buf));
+
+  fixture.AwaitExit();  // returns only because kShutdown stopped the loop
+  close(fd);
+  EXPECT_EQ(fixture.server().TotalStats().hellos_accepted, kUsers);
+  EXPECT_EQ(fixture.server().server_stats().connections_active, 0u);
+}
+
+TEST(IngestServerTest, MonitorObservesSteps) {
+  const ProtocolSpec spec = TestSpec();
+  const Traffic traffic = MakeTraffic(spec, 23);
+  IngestServerConfig config;
+  config.enable_monitor = true;
+  ServerFixture fixture(spec, kDomain, config);
+  ASSERT_TRUE(fixture.start_ok());
+
+  const int fd = ConnectLoopback(fixture.server().port());
+  ASSERT_GE(fd, 0);
+  SendPhase({fd}, traffic.hellos);
+  std::string end_step;
+  AppendControlFrame(FrameType::kEndStep, &end_step);
+  for (const auto& step : traffic.steps) {
+    SendPhase({fd}, step);
+    ASSERT_TRUE(WriteAll(fd, end_step));
+    Frame frame;
+    ASSERT_TRUE(ReadFrame(fd, &frame));
+    ASSERT_EQ(frame.type, FrameType::kEstimates);
+  }
+
+  const int stats_fd = ConnectLoopback(fixture.server().stats_port());
+  ASSERT_GE(stats_fd, 0);
+  const std::string text = ReadUntilEof(stats_fd);
+  close(stats_fd);
+  close(fd);
+  fixture.Join();
+  EXPECT_NE(text.find("monitor_enabled: 1\n"), std::string::npos);
+  EXPECT_NE(text.find("monitor_steps_observed: 2\n"), std::string::npos);
+}
+
+TEST(IngestServerTest, BackpressureStallsResolveWithoutLoss) {
+  const ProtocolSpec spec = TestSpec();
+  const Traffic traffic = MakeTraffic(spec, 41);
+  IngestServerConfig config;
+  config.num_shards = 1;
+  config.flush_max_batch = 4;  // tiny batches ...
+  config.queue_capacity = 1;   // ... into a queue of one: constant stalls
+  ServerFixture fixture(spec, kDomain, config);
+  ASSERT_TRUE(fixture.start_ok());
+
+  const int fd = ConnectLoopback(fixture.server().port());
+  ASSERT_GE(fd, 0);
+  SendPhase({fd}, traffic.hellos);
+  std::string end_step;
+  AppendControlFrame(FrameType::kEndStep, &end_step);
+  SendPhase({fd}, traffic.steps[0]);
+  ASSERT_TRUE(WriteAll(fd, end_step));
+  Frame frame;
+  ASSERT_TRUE(ReadFrame(fd, &frame));
+  ASSERT_EQ(frame.type, FrameType::kEstimates);
+  close(fd);
+  fixture.Join();
+
+  // Gating may or may not trigger depending on timing, but nothing is
+  // ever dropped.
+  const CollectorStats stats = fixture.server().TotalStats();
+  EXPECT_EQ(stats.hellos_accepted, kUsers);
+  EXPECT_EQ(stats.reports_accepted, kUsers);
+  EXPECT_EQ(fixture.server().server_stats().protocol_errors, 0u);
+}
+
+}  // namespace
+}  // namespace loloha
