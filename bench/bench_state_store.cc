@@ -1,0 +1,481 @@
+// bench_state_store: memory and checkpoint cost of the user-state
+// backends (server/store/user_state_store.h), plus the snapshot/restore
+// smoke that gates the format end to end.
+//
+// Phase 1 — memory: registers N synthetic users (ids = Mix64(u), the
+// same keys a real deployment hashes) into MapStore and FlatStore with
+// the LOLOHA 16-byte slot, both Reserved up front, and reports resident
+// bytes/user plus insert/find throughput. The run FAILS (nonzero exit)
+// unless FlatStore's bytes/user is at most half of MapStore's — the
+// compaction claim docs/STATE_BACKENDS.md makes.
+//
+// Phase 2 — snapshot: serializes the flat table through the mmap
+// writer (server/store/snapshot_file.h), reads it back, and verifies
+// the round trip reproduces the exact image; reports file bytes and
+// write/read MB/s.
+//
+// Phase 3 (--server-smoke) — loopback recovery: drives a small LOLOHA
+// fleet through a snapshotting IngestServer, shuts it down after step
+// 1, starts a fresh server from the shard snapshots, drives step 2,
+// and requires estimates AND cumulative collector counters to be
+// byte-identical to one uninterrupted in-process collector. This is
+// the `smoke.snapshot_restore` ctest leg.
+//
+//   --users=N        synthetic users for phases 1-2 (default 10000000;
+//                    --quick: 200000)
+//   --quick          small sizes for CI (also enables nothing else)
+//   --server-smoke   run phase 3 (fixed small size, independent of N)
+//   --json=PATH      write results as JSON (CI uploads
+//                    BENCH_state_store.json)
+//
+// Exits nonzero if the memory gate, a round-trip check, or the smoke
+// fails.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/loloha.h"
+#include "core/loloha_params.h"
+#include "server/collector.h"
+#include "server/net/framing.h"
+#include "server/net/ingest_server.h"
+#include "server/store/snapshot_file.h"
+#include "server/store/user_state_store.h"
+#include "sim/protocol_spec.h"
+#include "util/check.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "wire/encoding.h"
+
+namespace {
+
+using namespace loloha;
+
+constexpr uint32_t kSlotBytes = LolohaCollector::kSlotBytes;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::string PidLocalPath(const char* stem, const char* ext) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s_%d%s", stem,
+                static_cast<int>(getpid()), ext);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: bytes/user and raw table throughput.
+// ---------------------------------------------------------------------------
+
+struct MemoryRow {
+  std::string name;
+  uint64_t users = 0;
+  uint64_t bytes = 0;
+  double bytes_per_user = 0.0;
+  double insert_mops = 0.0;
+  double find_mops = 0.0;
+};
+
+MemoryRow MeasureBackend(StoreKind kind, uint64_t users) {
+  MemoryRow row;
+  row.name = StoreKindName(kind);
+  row.users = users;
+
+  StoreConfig config;
+  config.kind = kind;
+  config.reserve_users = users;
+  const std::unique_ptr<UserStateStore> store =
+      MakeUserStateStore(config, kSlotBytes);
+
+  const auto insert_start = std::chrono::steady_clock::now();
+  for (uint64_t u = 0; u < users; ++u) {
+    const uint64_t id = Mix64(u);
+    const UserRef ref = store->Insert(id);
+    std::memcpy(ref.state, &id, sizeof(id));
+    std::memcpy(ref.state + 8, &u, sizeof(u));
+  }
+  const double insert_s = SecondsSince(insert_start);
+
+  const auto find_start = std::chrono::steady_clock::now();
+  uint64_t found = 0;
+  for (uint64_t u = 0; u < users; ++u) {
+    found += store->Find(Mix64(u)) ? 1 : 0;
+  }
+  const double find_s = SecondsSince(find_start);
+  LOLOHA_CHECK_MSG(found == users, "backend lost registered users");
+  LOLOHA_CHECK(store->user_count() == users);
+
+  row.bytes = store->MemoryBytes();
+  row.bytes_per_user =
+      static_cast<double>(row.bytes) / static_cast<double>(users);
+  row.insert_mops = static_cast<double>(users) / insert_s / 1e6;
+  row.find_mops = static_cast<double>(users) / find_s / 1e6;
+  std::printf(".");
+  std::fflush(stdout);
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: snapshot write/read throughput + round-trip identity.
+// ---------------------------------------------------------------------------
+
+struct SnapshotRow {
+  uint64_t file_bytes = 0;
+  double write_mbps = 0.0;
+  double read_mbps = 0.0;
+  bool roundtrip_identical = false;
+};
+
+SnapshotRow MeasureSnapshot(uint64_t users) {
+  SnapshotRow row;
+
+  StoreConfig config;
+  config.kind = StoreKind::kFlat;
+  config.reserve_users = users;
+  const std::unique_ptr<UserStateStore> store =
+      MakeUserStateStore(config, kSlotBytes);
+  for (uint64_t u = 0; u < users; ++u) {
+    const uint64_t id = Mix64(u);
+    const UserRef ref = store->Insert(id);
+    std::memcpy(ref.state, &id, sizeof(id));
+    std::memcpy(ref.state + 8, &u, sizeof(u));
+  }
+
+  SnapshotContext context;
+  context.signature = "bench_state_store loloha-shaped";
+  context.step = 7;
+  context.aux.assign(40, '\x5a');
+  const SnapshotData data = BuildSnapshotData(*store, context);
+  row.file_bytes = SnapshotByteSize(data);
+
+  const std::string path = PidLocalPath("bench_state_store", ".snap");
+  std::string error;
+  const auto write_start = std::chrono::steady_clock::now();
+  LOLOHA_CHECK_MSG(WriteSnapshotFile(path, data, &error), error.c_str());
+  const double write_s = SecondsSince(write_start);
+
+  SnapshotData restored;
+  const auto read_start = std::chrono::steady_clock::now();
+  LOLOHA_CHECK_MSG(ReadSnapshotFile(path, &restored, &error), error.c_str());
+  const double read_s = SecondsSince(read_start);
+  std::remove(path.c_str());
+
+  row.roundtrip_identical = restored == data;
+  const double mb = static_cast<double>(row.file_bytes) / (1024.0 * 1024.0);
+  row.write_mbps = mb / write_s;
+  row.read_mbps = mb / read_s;
+  std::printf(".");
+  std::fflush(stdout);
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3: loopback snapshot/restore smoke (the ctest leg).
+// ---------------------------------------------------------------------------
+
+// Minimal blocking client — bench_client_load's plumbing, single-threaded.
+int ConnectLoopback(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(fd);
+    return -1;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void WriteAll(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    LOLOHA_CHECK_MSG(n > 0, "client write failed");
+    off += static_cast<size_t>(n);
+  }
+}
+
+void ReadExact(int fd, char* buf, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = read(fd, buf + off, size - off);
+    if (n < 0 && errno == EINTR) continue;
+    LOLOHA_CHECK_MSG(n > 0, "client read failed (server closed early?)");
+    off += static_cast<size_t>(n);
+  }
+}
+
+Frame ReadFrame(int fd) {
+  char header[kFrameHeaderBytes];
+  ReadExact(fd, header, sizeof(header));
+  uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<uint32_t>(static_cast<uint8_t>(header[i]))
+                   << (8 * i);
+  }
+  std::string payload(payload_len, '\0');
+  if (payload_len > 0) ReadExact(fd, payload.data(), payload_len);
+  FrameParser parser;
+  parser.Feed(header, sizeof(header));
+  parser.Feed(payload.data(), payload.size());
+  Frame frame;
+  LOLOHA_CHECK_MSG(parser.Next(&frame) == FrameStatus::kFrame,
+                   "malformed frame from server");
+  return frame;
+}
+
+// Drives one phase of traffic over a single connection and fences it.
+void SendPhase(int fd, const std::vector<Message>& messages) {
+  std::string buf;
+  for (const Message& message : messages) {
+    AppendDataFrame(message.user_id, message.bytes, &buf);
+  }
+  AppendControlFrame(FrameType::kBarrier, &buf);
+  WriteAll(fd, buf);
+  LOLOHA_CHECK_MSG(ReadFrame(fd).type == FrameType::kBarrierAck,
+                   "expected kBarrierAck");
+}
+
+std::vector<double> EndStepOver(int control) {
+  std::string end_step;
+  AppendControlFrame(FrameType::kEndStep, &end_step);
+  WriteAll(control, end_step);
+  const Frame frame = ReadFrame(control);
+  LOLOHA_CHECK_MSG(frame.type == FrameType::kEstimates, "expected kEstimates");
+  return frame.estimates;
+}
+
+void ShutdownServer(int control, std::thread* server_thread) {
+  std::string shutdown;
+  AppendControlFrame(FrameType::kShutdown, &shutdown);
+  WriteAll(control, shutdown);
+  server_thread->join();
+  close(control);
+}
+
+IngestServerConfig SmokeServerConfig(const std::string& dir, bool restore) {
+  IngestServerConfig config;
+  config.num_shards = 2;
+  config.enable_stats = false;
+  config.collector_options.store.kind = StoreKind::kSnapshot;
+  config.snapshot_dir = dir;
+  config.restore_snapshots = restore;
+  return config;
+}
+
+bool RunServerSmoke() {
+  const uint32_t users = 1500;
+  const uint32_t k = 256;
+  ProtocolSpec spec;
+  spec.id = ProtocolId::kOLoloha;
+  spec.g = 8;
+  spec.eps_perm = 2.0;
+  spec.eps_first = 1.0;
+
+  Rng rng(20230807);
+  const LolohaParams params = LolohaParamsForSpec(spec, k);
+  std::vector<LolohaClient> clients;
+  clients.reserve(users);
+  std::vector<Message> hellos;
+  hellos.reserve(users);
+  for (uint32_t u = 0; u < users; ++u) {
+    clients.emplace_back(params, rng);
+    hellos.push_back(Message{u, EncodeLolohaHello(clients[u].hash())});
+  }
+  std::vector<std::vector<Message>> steps(2);
+  for (uint32_t t = 0; t < 2; ++t) {
+    steps[t].reserve(users);
+    for (uint32_t u = 0; u < users; ++u) {
+      steps[t].push_back(
+          Message{u, EncodeLolohaReport(clients[u].Report((u + t) % k, rng))});
+    }
+  }
+
+  // Uninterrupted reference: one in-process collector over both steps.
+  std::vector<std::vector<double>> reference;
+  CollectorStats reference_stats;
+  {
+    const std::unique_ptr<Collector> collector =
+        MakeCollector(spec, k, CollectorOptions{});
+    collector->IngestBatch(hellos);
+    for (const auto& step : steps) {
+      collector->IngestBatch(step);
+      reference.push_back(collector->EndStep());
+    }
+    reference_stats = collector->stats();
+  }
+
+  const std::string dir = PidLocalPath("bench_state_store_smoke", "");
+  LOLOHA_CHECK_MSG(::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST,
+                   "cannot create smoke snapshot dir");
+
+  // Run 1: hellos + step 1, checkpoint at EndStep, graceful shutdown.
+  std::vector<double> step1;
+  {
+    IngestServer server(spec, k, SmokeServerConfig(dir, false));
+    LOLOHA_CHECK_MSG(server.Start(), "cannot start smoke server");
+    std::thread server_thread([&server] { server.Run(); });
+    const int conn = ConnectLoopback(server.port());
+    const int control = ConnectLoopback(server.port());
+    LOLOHA_CHECK(conn >= 0 && control >= 0);
+    SendPhase(conn, hellos);
+    SendPhase(conn, steps[0]);
+    step1 = EndStepOver(control);
+    close(conn);
+    ShutdownServer(control, &server_thread);
+  }
+
+  // Run 2: a fresh server restored from the shard snapshots finishes
+  // the deployment.
+  std::vector<double> step2;
+  CollectorStats resumed_stats;
+  uint64_t shards_restored = 0;
+  uint64_t users_restored = 0;
+  {
+    IngestServer server(spec, k, SmokeServerConfig(dir, true));
+    LOLOHA_CHECK_MSG(server.Start(), "cannot restore smoke server");
+    shards_restored = server.server_stats().shards_restored;
+    users_restored = server.TotalRegisteredUsers();
+    std::thread server_thread([&server] { server.Run(); });
+    const int conn = ConnectLoopback(server.port());
+    const int control = ConnectLoopback(server.port());
+    LOLOHA_CHECK(conn >= 0 && control >= 0);
+    SendPhase(conn, steps[1]);
+    step2 = EndStepOver(control);
+    resumed_stats = server.TotalStats();
+    close(conn);
+    ShutdownServer(control, &server_thread);
+  }
+
+  for (uint32_t shard = 0; shard < 2; ++shard) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "%s/shard_%u-of-2.snap", dir.c_str(),
+                  shard);
+    std::remove(name);
+  }
+  ::rmdir(dir.c_str());
+
+  const bool ok = step1 == reference[0] && step2 == reference[1] &&
+                  resumed_stats == reference_stats && shards_restored == 2 &&
+                  users_restored == users;
+  std::printf("server smoke: restored %llu shards, %llu users — %s\n",
+              static_cast<unsigned long long>(shards_restored),
+              static_cast<unsigned long long>(users_restored),
+              ok ? "byte-identical" : "DIVERGED");
+  return ok;
+}
+
+void WriteJson(const std::string& path, uint64_t users,
+               const std::vector<MemoryRow>& rows, const SnapshotRow& snap,
+               bool gate_ok) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("WARNING: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"bench_state_store\",\n"
+               "  \"users\": %llu,\n  \"slot_bytes\": %u,\n"
+               "  \"backends\": [\n",
+               static_cast<unsigned long long>(users), kSlotBytes);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const MemoryRow& row = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"bytes\": %llu, "
+                 "\"bytes_per_user\": %.2f, \"insert_mops\": %.2f, "
+                 "\"find_mops\": %.2f}%s\n",
+                 row.name.c_str(), static_cast<unsigned long long>(row.bytes),
+                 row.bytes_per_user, row.insert_mops, row.find_mops,
+                 i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(f,
+               "  ],\n  \"snapshot\": {\"file_bytes\": %llu, "
+               "\"write_mbps\": %.1f, \"read_mbps\": %.1f, "
+               "\"roundtrip_identical\": %s},\n"
+               "  \"flat_le_half_of_map\": %s\n}\n",
+               static_cast<unsigned long long>(snap.file_bytes),
+               snap.write_mbps, snap.read_mbps,
+               snap.roundtrip_identical ? "true" : "false",
+               gate_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("JSON written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const bool quick = cli.HasFlag("quick");
+  const uint64_t users = static_cast<uint64_t>(
+      cli.GetInt("users", quick ? 200000 : 10000000));
+
+  std::printf(
+      "User-state backends — bytes/user and snapshot cost at %llu users "
+      "(slot=%u B)\n\n",
+      static_cast<unsigned long long>(users), kSlotBytes);
+
+  std::vector<MemoryRow> rows;
+  rows.push_back(MeasureBackend(StoreKind::kMap, users));
+  rows.push_back(MeasureBackend(StoreKind::kFlat, users));
+  const SnapshotRow snap = MeasureSnapshot(users);
+  std::printf("\n\n");
+
+  TextTable table(
+      {"backend", "bytes/user", "total MB", "insert M/s", "find M/s"});
+  for (const MemoryRow& row : rows) {
+    char bytes_per_user[32], total_mb[32], insert_mops[32], find_mops[32];
+    std::snprintf(bytes_per_user, sizeof(bytes_per_user), "%.1f",
+                  row.bytes_per_user);
+    std::snprintf(total_mb, sizeof(total_mb), "%.1f",
+                  static_cast<double>(row.bytes) / 1048576.0);
+    std::snprintf(insert_mops, sizeof(insert_mops), "%.1f", row.insert_mops);
+    std::snprintf(find_mops, sizeof(find_mops), "%.1f", row.find_mops);
+    table.AddRow({row.name, bytes_per_user, total_mb, insert_mops, find_mops});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "snapshot: %.1f MB file, write %.0f MB/s, read %.0f MB/s, "
+      "round trip %s\n\n",
+      static_cast<double>(snap.file_bytes) / 1048576.0, snap.write_mbps,
+      snap.read_mbps, snap.roundtrip_identical ? "identical" : "DIVERGED");
+
+  const double ratio = rows[1].bytes_per_user / rows[0].bytes_per_user;
+  const bool gate_ok = ratio <= 0.5;
+  std::printf("flat/map bytes ratio: %.3f (gate: <= 0.5) — %s\n", ratio,
+              gate_ok ? "PASS" : "FAIL");
+
+  bool smoke_ok = true;
+  if (cli.HasFlag("server-smoke")) smoke_ok = RunServerSmoke();
+
+  const std::string json_path = cli.GetString("json", "");
+  if (!json_path.empty()) WriteJson(json_path, users, rows, snap, gate_ok);
+
+  if (!gate_ok || !snap.roundtrip_identical || !smoke_ok) {
+    std::printf("ERROR: state-store gate failed\n");
+    return 1;
+  }
+  return 0;
+}

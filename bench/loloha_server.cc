@@ -18,8 +18,15 @@
 //   --flush-ms=T      ... or after T milliseconds (default 10)
 //   --queue-cap=N     bounded per-shard queue, in batches (default 8)
 //   --threads=T       ingest pool width per shard collector (default 1)
+//   --store=B         user-state backend: map | flat | snapshot (default map)
+//   --snapshot-dir=D  shard checkpoint directory (required with
+//                     --store=snapshot; created if missing)
+//   --restore         restore shard snapshots from --snapshot-dir at start
 //   --monitor         enable TrendMonitor alerts over the step estimates
 //   --z=Z             monitor alert threshold (default 4.0)
+//
+// Backend semantics and the snapshot file format are documented in
+// docs/STATE_BACKENDS.md.
 
 #include <csignal>
 #include <cstdio>
@@ -71,6 +78,24 @@ int main(int argc, char** argv) {
   config.queue_capacity = static_cast<uint32_t>(cli.GetInt("queue-cap", 8));
   config.collector_options.num_threads =
       static_cast<uint32_t>(cli.GetInt("threads", 1));
+  const std::string store_text = cli.GetString("store", "map");
+  if (!ParseStoreKind(store_text, &config.collector_options.store.kind)) {
+    std::printf("ERROR: bad --store \"%s\" (map | flat | snapshot)\n",
+                store_text.c_str());
+    return 1;
+  }
+  config.snapshot_dir = cli.GetString("snapshot-dir", "");
+  config.restore_snapshots = cli.HasFlag("restore");
+  if (config.collector_options.store.kind == StoreKind::kSnapshot &&
+      config.snapshot_dir.empty()) {
+    std::printf("ERROR: --store=snapshot requires --snapshot-dir\n");
+    return 1;
+  }
+  if (config.restore_snapshots &&
+      config.collector_options.store.kind != StoreKind::kSnapshot) {
+    std::printf("ERROR: --restore requires --store=snapshot\n");
+    return 1;
+  }
   config.enable_monitor = cli.HasFlag("monitor");
   config.monitor_z_threshold = cli.GetDouble("z", 4.0);
 
@@ -91,6 +116,13 @@ int main(int argc, char** argv) {
   std::printf("  (shards=%u, flush=%u msgs / %u ms, queue=%u batches)\n",
               config.num_shards, config.flush_max_batch,
               config.flush_deadline_ms, config.queue_capacity);
+  std::printf("store: %s", StoreKindName(config.collector_options.store.kind));
+  if (config.collector_options.store.kind == StoreKind::kSnapshot) {
+    std::printf(" (dir=%s, restored %llu shards)", config.snapshot_dir.c_str(),
+                static_cast<unsigned long long>(
+                    server.server_stats().shards_restored));
+  }
+  std::printf("\n");
   std::fflush(stdout);
 
   server.Run();
@@ -110,5 +142,12 @@ int main(int argc, char** argv) {
                                       totals.rejected_duplicate),
       static_cast<unsigned long long>(stats.protocol_errors),
       static_cast<unsigned long long>(stats.backpressure_stalls));
+  if (config.collector_options.store.kind == StoreKind::kSnapshot) {
+    const StoreStats store = server.TotalStoreStats();
+    std::printf("snapshots: %llu written, %llu failed, %llu bytes last\n",
+                static_cast<unsigned long long>(store.checkpoints_written),
+                static_cast<unsigned long long>(store.checkpoint_failures),
+                static_cast<unsigned long long>(store.last_checkpoint_bytes));
+  }
   return 0;
 }

@@ -1,8 +1,12 @@
 #include "server/collector.h"
 
+#include <cstdio>
+#include <cstring>
+
 #include "oracle/estimator.h"
 #include "sim/protocol_spec.h"
 #include "util/check.h"
+#include "util/hash.h"
 
 namespace loloha {
 
@@ -15,6 +19,96 @@ uint32_t ResolveIngestThreads(const CollectorOptions& options) {
 
 uint32_t ResolveIngestShards(const CollectorOptions& options) {
   return options.num_shards == 0 ? kDefaultIngestShards : options.num_shards;
+}
+
+std::string WithSuffix(std::string signature, const std::string& suffix) {
+  if (!suffix.empty()) {
+    signature += ' ';
+    signature += suffix;
+  }
+  return signature;
+}
+
+// -- slot packing -----------------------------------------------------
+// LOLOHA: the user's two hash coefficients, 8 bytes each (both < 2^61;
+// the range g is a deployment constant). dBitFlipPM packs its d sampled
+// bucket ids as d u32s straight through memcpy in the collector below.
+
+void StoreLolohaSlot(uint8_t* slot, uint64_t a, uint64_t b) {
+  std::memcpy(slot, &a, sizeof a);
+  std::memcpy(slot + sizeof a, &b, sizeof b);
+}
+
+void LoadLolohaSlot(const uint8_t* slot, uint64_t* a, uint64_t* b) {
+  std::memcpy(a, slot, sizeof *a);
+  std::memcpy(b, slot + sizeof *a, sizeof *b);
+}
+
+// -- snapshot aux payload ---------------------------------------------
+// The opaque AUX section carries the cumulative CollectorStats so a
+// restored collector's counters keep counting from where they were.
+
+constexpr size_t kAuxBytes = 5 * sizeof(uint64_t);
+
+std::string PackCollectorStats(const CollectorStats& stats) {
+  const uint64_t fields[5] = {stats.hellos_accepted, stats.reports_accepted,
+                              stats.rejected_malformed,
+                              stats.rejected_unknown_user,
+                              stats.rejected_duplicate};
+  return std::string(reinterpret_cast<const char*>(fields), sizeof fields);
+}
+
+CollectorStats UnpackCollectorStats(const std::string& aux) {
+  uint64_t fields[5];
+  std::memcpy(fields, aux.data(), sizeof fields);
+  CollectorStats stats;
+  stats.hellos_accepted = fields[0];
+  stats.reports_accepted = fields[1];
+  stats.rejected_malformed = fields[2];
+  stats.rejected_unknown_user = fields[3];
+  stats.rejected_duplicate = fields[4];
+  return stats;
+}
+
+// Validates a parsed snapshot against the restoring collector and — only
+// after everything checks out — rebuilds a fresh store from its user
+// records. Returns the new store's step/stats through the out params;
+// on failure nothing is touched.
+bool RebuildStoreFromSnapshot(const SnapshotData& data,
+                              const std::string& signature,
+                              uint32_t slot_bytes, const StoreConfig& config,
+                              std::unique_ptr<UserStateStore>* store,
+                              uint32_t* step, CollectorStats* stats,
+                              std::string* error) {
+  if (data.signature != signature) {
+    *error = "snapshot signature mismatch: snapshot built for \"" +
+             data.signature + "\", this collector is \"" + signature + "\"";
+    return false;
+  }
+  if (data.slot_bytes != slot_bytes) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "snapshot slot width %u, this collector packs %u bytes",
+                  data.slot_bytes, slot_bytes);
+    *error = buf;
+    return false;
+  }
+  if (data.aux.size() != kAuxBytes) {
+    *error = "snapshot AUX section is not a packed CollectorStats";
+    return false;
+  }
+  std::unique_ptr<UserStateStore> rebuilt =
+      MakeUserStateStore(config, slot_bytes);
+  rebuilt->Reserve(data.user_ids.size());
+  for (size_t i = 0; i < data.user_ids.size(); ++i) {
+    const UserRef ref = rebuilt->Insert(data.user_ids[i]);
+    std::memcpy(ref.state, data.slots.data() + i * size_t{slot_bytes},
+                slot_bytes);
+  }
+  *store = std::move(rebuilt);
+  *step = data.step;
+  *stats = UnpackCollectorStats(data.aux);
+  return true;
 }
 
 }  // namespace
@@ -42,8 +136,16 @@ LolohaCollector::LolohaCollector(const LolohaParams& params,
     : params_(params),
       pool_(options.pool, ResolveIngestThreads(options)),
       num_shards_(ResolveIngestShards(options)),
+      store_config_(options.store),
+      store_(MakeUserStateStore(store_config_, kSlotBytes)),
       support_(params.k, 0),
-      shard_support_(num_shards_, params.k) {}
+      shard_support_(num_shards_, params.k) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "loloha k=%u g=%u eps_perm=%.17g eps_first=%.17g", params_.k,
+                params_.g, params_.eps_perm, params_.eps_first);
+  signature_ = WithSuffix(buf, options.signature_suffix);
+}
 
 bool LolohaCollector::HandleHello(uint64_t user_id,
                                   const std::string& bytes) {
@@ -58,13 +160,16 @@ bool LolohaCollector::HandleHelloLocked(uint64_t user_id,
     ++stats_.rejected_malformed;
     return false;
   }
-  const auto it = hashes_.find(user_id);
-  if (it != hashes_.end()) {
-    if (it->second == hash) return true;  // idempotent re-hello
+  if (const UserRef ref = store_->Find(user_id)) {
+    uint64_t a = 0;
+    uint64_t b = 0;
+    LoadLolohaSlot(ref.state, &a, &b);
+    if (a == hash.a() && b == hash.b()) return true;  // idempotent re-hello
     ++stats_.rejected_duplicate;
     return false;
   }
-  hashes_.emplace(user_id, hash);
+  const UserRef ref = store_->Insert(user_id);
+  StoreLolohaSlot(ref.state, hash.a(), hash.b());
   ++stats_.hellos_accepted;
   return true;
 }
@@ -72,8 +177,8 @@ bool LolohaCollector::HandleHelloLocked(uint64_t user_id,
 bool LolohaCollector::HandleReport(uint64_t user_id,
                                    const std::string& bytes) {
   MutexLock lock(mu_);
-  const auto it = hashes_.find(user_id);
-  if (it == hashes_.end()) {
+  const UserRef ref = store_->Find(user_id);
+  if (!ref) {
     ++stats_.rejected_unknown_user;
     return false;
   }
@@ -82,14 +187,16 @@ bool LolohaCollector::HandleReport(uint64_t user_id,
     ++stats_.rejected_malformed;
     return false;
   }
-  const auto reported = reported_step_.find(user_id);
-  if (reported != reported_step_.end() && reported->second == step_ + 1) {
+  if (store_->reported(ref)) {
     ++stats_.rejected_duplicate;
     return false;
   }
-  reported_step_[user_id] = step_ + 1;
+  store_->set_reported(ref);
 
-  const UniversalHash& hash = it->second;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  LoadLolohaSlot(ref.state, &a, &b);
+  const UniversalHash hash(a, b, params_.g);
   for (uint32_t v = 0; v < params_.k; ++v) {
     if (hash(v) == cell) ++support_[v];
   }
@@ -115,7 +222,9 @@ uint64_t LolohaCollector::IngestBatch(std::span<const Message> batch) {
   // Pass 2 — serial session bookkeeping in arrival order. Classification
   // per message is exactly HandleHello/HandleReport's: hellos by tag, and
   // for reports unknown-user before malformed before duplicate, so the
-  // stats counters match the per-report path message for message.
+  // stats counters match the per-report path message for message. The
+  // hash coefficients are copied out of the slot: a later hello in the
+  // same batch may rehash the store.
   pending_.clear();
   uint64_t accepted = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -126,8 +235,8 @@ uint64_t LolohaCollector::IngestBatch(std::span<const Message> batch) {
       accepted += HandleHelloLocked(message.user_id, message.bytes) ? 1 : 0;
       continue;
     }
-    const auto it = hashes_.find(message.user_id);
-    if (it == hashes_.end()) {
+    const UserRef ref = store_->Find(message.user_id);
+    if (!ref) {
       ++stats_.rejected_unknown_user;
       continue;
     }
@@ -135,14 +244,15 @@ uint64_t LolohaCollector::IngestBatch(std::span<const Message> batch) {
       ++stats_.rejected_malformed;
       continue;
     }
-    const auto reported = reported_step_.find(message.user_id);
-    if (reported != reported_step_.end() &&
-        reported->second == step_ + 1) {
+    if (store_->reported(ref)) {
       ++stats_.rejected_duplicate;
       continue;
     }
-    reported_step_[message.user_id] = step_ + 1;
-    pending_.push_back(PendingReport{&it->second, cells[i]});
+    store_->set_reported(ref);
+    PendingReport report;
+    LoadLolohaSlot(ref.state, &report.a, &report.b);
+    report.cell = cells[i];
+    pending_.push_back(report);
     ++reports_this_step_;
     ++stats_.reports_accepted;
     ++accepted;
@@ -176,14 +286,15 @@ uint64_t LolohaCollector::IngestBatch(std::span<const Message> batch) {
         U16SupportAccumulator acc(k, wide);
         for (uint64_t i = range.begin; i < range.end; ++i) {
           const PendingReport& report = pending[i];
-          HashRowU16(report.hash->a(), report.hash->b(), g, k, row.data());
+          HashRowU16(report.a, report.b, g, k, row.data());
           acc.Add(row.data(), static_cast<uint16_t>(report.cell));
         }
       } else {
         for (uint64_t i = range.begin; i < range.end; ++i) {
           const PendingReport& report = pending[i];
+          const UniversalHash hash(report.a, report.b, g);
           for (uint32_t v = 0; v < k; ++v) {
-            if ((*report.hash)(v) == report.cell) ++wide[v];
+            if (hash(v) == report.cell) ++wide[v];
           }
         }
       }
@@ -200,6 +311,16 @@ void LolohaCollector::MergeShardSupport() {
   shard_support_dirty_ = false;
 }
 
+void LolohaCollector::CheckpointLocked() {
+  std::string error;
+  if (!store_->EndStepCheckpoint(
+          SnapshotContext{signature_, step_, PackCollectorStats(stats_)},
+          &error)) {
+    std::fprintf(stderr, "loloha collector: checkpoint failed: %s\n",
+                 error.c_str());
+  }
+}
+
 std::vector<double> LolohaCollector::EndStep() {
   return EstimateAggregate(EndStepAggregate());
 }
@@ -213,6 +334,8 @@ StepAggregate LolohaCollector::EndStepAggregate() {
   support_.assign(params_.k, 0);
   reports_this_step_ = 0;
   ++step_;
+  store_->ClearReported();
+  CheckpointLocked();
   return aggregate;
 }
 
@@ -229,19 +352,53 @@ std::vector<double> LolohaCollector::EstimateAggregate(
   return estimates;
 }
 
+bool LolohaCollector::SaveSnapshot(const std::string& path,
+                                   std::string* error) {
+  MutexLock lock(mu_);
+  return WriteSnapshotFile(
+      path,
+      BuildSnapshotData(*store_, SnapshotContext{signature_, step_,
+                                                 PackCollectorStats(stats_)}),
+      error);
+}
+
+bool LolohaCollector::RestoreSnapshot(const std::string& path,
+                                      std::string* error) {
+  SnapshotData data;
+  if (!ReadSnapshotFile(path, &data, error)) return false;
+  MutexLock lock(mu_);
+  if (!RebuildStoreFromSnapshot(data, signature_, kSlotBytes, store_config_,
+                                &store_, &step_, &stats_, error)) {
+    return false;
+  }
+  support_.assign(params_.k, 0);
+  shard_support_.Clear();
+  shard_support_dirty_ = false;
+  reports_this_step_ = 0;
+  pending_.clear();
+  return true;
+}
+
 DBitFlipCollector::DBitFlipCollector(const Bucketizer& bucketizer, uint32_t d,
                                      double eps_perm,
                                      const CollectorOptions& options)
     : bucketizer_(bucketizer),
       d_(d),
+      eps_perm_(eps_perm),
       params_(SueParams(eps_perm)),
       pool_(options.pool, ResolveIngestThreads(options)),
       num_shards_(ResolveIngestShards(options)),
+      store_config_(options.store),
+      store_(MakeUserStateStore(store_config_, d * sizeof(uint32_t))),
       samplers_per_bucket_(bucketizer.b(), 0),
       support_(bucketizer.b(), 0),
       shard_support_(num_shards_, bucketizer.b()),
       shard_samplers_(num_shards_, bucketizer.b()) {
   LOLOHA_CHECK(d >= 1 && d <= bucketizer.b());
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "dbitflip k=%u b=%u d=%u eps_perm=%.17g",
+                bucketizer_.k(), bucketizer_.b(), d_, eps_perm_);
+  signature_ = WithSuffix(buf, options.signature_suffix);
 }
 
 bool DBitFlipCollector::HandleHello(uint64_t user_id,
@@ -257,13 +414,15 @@ bool DBitFlipCollector::HandleHelloLocked(uint64_t user_id,
     ++stats_.rejected_malformed;
     return false;
   }
-  const auto it = sampled_.find(user_id);
-  if (it != sampled_.end()) {
-    if (it->second == sampled) return true;
+  if (const UserRef ref = store_->Find(user_id)) {
+    if (std::memcmp(ref.state, sampled.data(), slot_bytes()) == 0) {
+      return true;  // idempotent re-hello
+    }
     ++stats_.rejected_duplicate;
     return false;
   }
-  sampled_.emplace(user_id, std::move(sampled));
+  const UserRef ref = store_->Insert(user_id);
+  std::memcpy(ref.state, sampled.data(), slot_bytes());
   ++stats_.hellos_accepted;
   return true;
 }
@@ -271,8 +430,8 @@ bool DBitFlipCollector::HandleHelloLocked(uint64_t user_id,
 bool DBitFlipCollector::HandleReport(uint64_t user_id,
                                      const std::string& bytes) {
   MutexLock lock(mu_);
-  const auto it = sampled_.find(user_id);
-  if (it == sampled_.end()) {
+  const UserRef ref = store_->Find(user_id);
+  if (!ref) {
     ++stats_.rejected_unknown_user;
     return false;
   }
@@ -281,17 +440,17 @@ bool DBitFlipCollector::HandleReport(uint64_t user_id,
     ++stats_.rejected_malformed;
     return false;
   }
-  const auto reported = reported_step_.find(user_id);
-  if (reported != reported_step_.end() && reported->second == step_ + 1) {
+  if (store_->reported(ref)) {
     ++stats_.rejected_duplicate;
     return false;
   }
-  reported_step_[user_id] = step_ + 1;
+  store_->set_reported(ref);
 
-  const std::vector<uint32_t>& sampled = it->second;
   for (uint32_t l = 0; l < d_; ++l) {
-    ++samplers_per_bucket_[sampled[l]];
-    support_[sampled[l]] += bits[l];
+    uint32_t bucket = 0;
+    std::memcpy(&bucket, ref.state + l * sizeof(uint32_t), sizeof bucket);
+    ++samplers_per_bucket_[bucket];
+    support_[bucket] += bits[l];
   }
   ++reports_this_step_;
   ++stats_.reports_accepted;
@@ -311,6 +470,10 @@ uint64_t DBitFlipCollector::IngestBatch(std::span<const Message> batch) {
   DecodeDBitReportBatch(batch, d_, bits_arena_.data(), ok.data());
 
   // Pass 2 — serial session bookkeeping (see LolohaCollector::IngestBatch).
+  // Accepted reports copy their sampled set out of the slot into the
+  // sampled arena: a later hello in the same batch may rehash the store,
+  // and both arenas are sized up front so the pending pointers hold.
+  sampled_arena_.assign(batch.size() * d_, 0);
   pending_.clear();
   uint64_t accepted = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -320,8 +483,8 @@ uint64_t DBitFlipCollector::IngestBatch(std::span<const Message> batch) {
       accepted += HandleHelloLocked(message.user_id, message.bytes) ? 1 : 0;
       continue;
     }
-    const auto it = sampled_.find(message.user_id);
-    if (it == sampled_.end()) {
+    const UserRef ref = store_->Find(message.user_id);
+    if (!ref) {
       ++stats_.rejected_unknown_user;
       continue;
     }
@@ -329,15 +492,14 @@ uint64_t DBitFlipCollector::IngestBatch(std::span<const Message> batch) {
       ++stats_.rejected_malformed;
       continue;
     }
-    const auto reported = reported_step_.find(message.user_id);
-    if (reported != reported_step_.end() &&
-        reported->second == step_ + 1) {
+    if (store_->reported(ref)) {
       ++stats_.rejected_duplicate;
       continue;
     }
-    reported_step_[message.user_id] = step_ + 1;
-    pending_.push_back(
-        PendingReport{&it->second, &bits_arena_[i * d_]});
+    store_->set_reported(ref);
+    uint32_t* sampled = &sampled_arena_[i * d_];
+    std::memcpy(sampled, ref.state, slot_bytes());
+    pending_.push_back(PendingReport{sampled, &bits_arena_[i * d_]});
     ++reports_this_step_;
     ++stats_.reports_accepted;
     ++accepted;
@@ -362,10 +524,9 @@ uint64_t DBitFlipCollector::IngestBatch(std::span<const Message> batch) {
       uint64_t* samp = shard_samplers.Row(shard);
       for (uint64_t i = range.begin; i < range.end; ++i) {
         const PendingReport& report = pending[i];
-        const std::vector<uint32_t>& sampled = *report.sampled;
         for (uint32_t l = 0; l < d; ++l) {
-          ++samp[sampled[l]];
-          sup[sampled[l]] += report.bits[l];
+          ++samp[report.sampled[l]];
+          sup[report.sampled[l]] += report.bits[l];
         }
       }
     });
@@ -381,6 +542,16 @@ void DBitFlipCollector::MergeShardRows() {
   shard_support_.Clear();
   shard_samplers_.Clear();
   shard_rows_dirty_ = false;
+}
+
+void DBitFlipCollector::CheckpointLocked() {
+  std::string error;
+  if (!store_->EndStepCheckpoint(
+          SnapshotContext{signature_, step_, PackCollectorStats(stats_)},
+          &error)) {
+    std::fprintf(stderr, "dbitflip collector: checkpoint failed: %s\n",
+                 error.c_str());
+  }
 }
 
 std::vector<double> DBitFlipCollector::EndStep() {
@@ -399,6 +570,8 @@ StepAggregate DBitFlipCollector::EndStepAggregate() {
   support_.assign(b, 0);
   reports_this_step_ = 0;
   ++step_;
+  store_->ClearReported();
+  CheckpointLocked();
   return aggregate;
 }
 
@@ -414,6 +587,37 @@ std::vector<double> DBitFlipCollector::EstimateAggregate(
                           params_);
   }
   return estimates;
+}
+
+bool DBitFlipCollector::SaveSnapshot(const std::string& path,
+                                     std::string* error) {
+  MutexLock lock(mu_);
+  return WriteSnapshotFile(
+      path,
+      BuildSnapshotData(*store_, SnapshotContext{signature_, step_,
+                                                 PackCollectorStats(stats_)}),
+      error);
+}
+
+bool DBitFlipCollector::RestoreSnapshot(const std::string& path,
+                                        std::string* error) {
+  SnapshotData data;
+  if (!ReadSnapshotFile(path, &data, error)) return false;
+  MutexLock lock(mu_);
+  if (!RebuildStoreFromSnapshot(data, signature_, slot_bytes(),
+                                store_config_, &store_, &step_, &stats_,
+                                error)) {
+    return false;
+  }
+  const uint32_t b = bucketizer_.b();
+  samplers_per_bucket_.assign(b, 0);
+  support_.assign(b, 0);
+  shard_support_.Clear();
+  shard_samplers_.Clear();
+  shard_rows_dirty_ = false;
+  reports_this_step_ = 0;
+  pending_.clear();
+  return true;
 }
 
 std::unique_ptr<Collector> MakeCollector(const ProtocolSpec& spec, uint32_t k,

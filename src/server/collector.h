@@ -26,6 +26,16 @@
 //     support counts through the SIMD kernels (util/simd.h) into
 //     per-shard cache-line-privatized rows that EndStep() merges.
 //
+// Session state lives behind the pluggable `UserStateStore` interface
+// (server/store/user_state_store.h): CollectorOptions::store selects the
+// backend — the default node-map, the compact open-addressed flat table,
+// or the mmap-checkpointing snapshot store. Estimates, stats, and
+// rejection counters are byte-identical across backends; the
+// snapshot-backed collector additionally writes a recovery checkpoint at
+// every step boundary, and SaveSnapshot()/RestoreSnapshot() move a
+// collector's whole session state through the portable snapshot format
+// regardless of backend.
+//
 // Thread safety: collectors are internally synchronized. Session state
 // and counters are guarded by one per-collector mutex (Clang Thread
 // Safety Analysis enforces the discipline at compile time — see
@@ -43,12 +53,11 @@
 #include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/loloha_params.h"
 #include "longitudinal/dbitflip.h"
-#include "util/hash.h"
+#include "server/store/user_state_store.h"
 #include "util/simd.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
@@ -95,8 +104,8 @@ void MergeStepAggregate(const StepAggregate& from, StepAggregate* into);
 // Shard count used when CollectorOptions::num_shards is 0.
 inline constexpr uint32_t kDefaultIngestShards = 16;
 
-// Threading knobs for IngestBatch (RunnerOptions-style). The per-report
-// path never touches the pool.
+// Threading + storage knobs for a collector (RunnerOptions-style). The
+// per-report path never touches the pool.
 struct CollectorOptions {
   // Borrowed process-wide pool (not owned; must outlive the collector).
   // When null, the collector constructs a private num_threads-wide pool.
@@ -108,6 +117,14 @@ struct CollectorOptions {
   // runners there is no RNG here, so the shard count never affects the
   // counts — only how the work spreads over the pool.
   uint32_t num_shards = 0;
+  // Session-state backend (server/store/user_state_store.h). The default
+  // MapStore matches the historical in-memory behavior; estimates and
+  // counters are byte-identical across backends.
+  StoreConfig store;
+  // Appended to the snapshot signature. A sharded front sets
+  // "shard=i/N" so a shard's snapshot cannot restore into a collector
+  // serving a different shard or shard count.
+  std::string signature_suffix;
 };
 
 // The server-side service surface, independent of which protocol's wire
@@ -141,6 +158,8 @@ class Collector {
   // Closes the current step like EndStep() but returns the raw integer
   // accumulators instead of estimates, so a sharded deployment can sum
   // aggregates across collectors (MergeStepAggregate) before estimating.
+  // Closing a step is also the checkpoint boundary: a snapshot-backed
+  // store writes its recovery file here.
   virtual StepAggregate EndStepAggregate() = 0;
 
   // The estimator fold over a (possibly merged) aggregate. Pure in the
@@ -148,14 +167,48 @@ class Collector {
   virtual std::vector<double> EstimateAggregate(
       const StepAggregate& aggregate) const = 0;
 
+  // Writes a portable snapshot of the whole session state (registered
+  // users, step index, cumulative stats) to `path`, regardless of which
+  // backend holds it. Users are sorted by id, so the bytes are a pure
+  // function of the logical state. Call between steps — like a
+  // checkpoint, a snapshot never contains a half-open step.
+  virtual bool SaveSnapshot(const std::string& path, std::string* error) = 0;
+
+  // Restores session state, step index, and cumulative stats from a
+  // snapshot written by SaveSnapshot() or a SnapshotStore checkpoint.
+  // Everything is validated before anything mutates — file format, CRCs,
+  // config signature, slot width — so on failure the collector is
+  // unchanged and *error says why; a torn or tampered snapshot is never
+  // silently loaded. Works on any backend: snapshots are portable
+  // artifacts, e.g. a MapStore collector's save restores into a
+  // FlatStore collector.
+  virtual bool RestoreSnapshot(const std::string& path,
+                               std::string* error) = 0;
+
+  // The config signature embedded in snapshots (protocol family +
+  // parameters + CollectorOptions::signature_suffix).
+  virtual std::string SnapshotSignature() const = 0;
+
+  // Steps closed so far — also the step index a snapshot written now
+  // would resume at (a restored collector reports the snapshot's step).
+  virtual uint32_t current_step() const = 0;
+
   // Snapshot of the cumulative counters (by value: the live counters are
   // mutex-guarded and keep moving under concurrent ingestion).
   virtual CollectorStats stats() const = 0;
   virtual uint64_t registered_users() const = 0;
+
+  // Backend observability: kind, user count, accounted bytes, checkpoint
+  // counters (see StoreStats).
+  virtual StoreStats store_stats() const = 0;
 };
 
 class LolohaCollector : public Collector {
  public:
+  // Packed per-user slot: the two 61-bit universal-hash coefficients
+  // (the hash range g is a deployment constant, not per-user state).
+  static constexpr uint32_t kSlotBytes = 16;
+
   explicit LolohaCollector(const LolohaParams& params,
                            const CollectorOptions& options = {});
 
@@ -174,38 +227,52 @@ class LolohaCollector : public Collector {
   std::vector<double> EstimateAggregate(
       const StepAggregate& aggregate) const override;
 
+  bool SaveSnapshot(const std::string& path, std::string* error) override;
+  bool RestoreSnapshot(const std::string& path, std::string* error) override;
+  std::string SnapshotSignature() const override { return signature_; }
+
   uint64_t reports_this_step() const {
     MutexLock lock(mu_);
     return reports_this_step_;
   }
+  uint32_t current_step() const override {
+    MutexLock lock(mu_);
+    return step_;
+  }
   uint64_t registered_users() const override {
     MutexLock lock(mu_);
-    return hashes_.size();
+    return store_->user_count();
   }
   CollectorStats stats() const override {
     MutexLock lock(mu_);
     return stats_;
   }
+  StoreStats store_stats() const override {
+    MutexLock lock(mu_);
+    return store_->stats();
+  }
 
  private:
-  // One accepted (but not yet accumulated) batch report. Pointers into
-  // hashes_ stay valid across rehashes (node-based map).
+  // One accepted (but not yet accumulated) batch report. Holds the hash
+  // coefficients by value: store slots may move on a same-batch Insert.
   struct PendingReport {
-    const UniversalHash* hash = nullptr;
+    uint64_t a = 0;
+    uint64_t b = 0;
     uint32_t cell = 0;
   };
 
   bool HandleHelloLocked(uint64_t user_id, const std::string& bytes)
       LOLOHA_REQUIRES(mu_);
+  void CheckpointLocked() LOLOHA_REQUIRES(mu_);
   void MergeShardSupport() LOLOHA_REQUIRES(mu_);
 
   LolohaParams params_;
   PoolLease pool_;
   uint32_t num_shards_;
+  StoreConfig store_config_;
+  std::string signature_;
   mutable Mutex mu_;
-  std::unordered_map<uint64_t, UniversalHash> hashes_ LOLOHA_GUARDED_BY(mu_);
-  // user -> step no.
-  std::unordered_map<uint64_t, uint32_t> reported_step_ LOLOHA_GUARDED_BY(mu_);
+  std::unique_ptr<UserStateStore> store_ LOLOHA_GUARDED_BY(mu_);
   uint32_t step_ LOLOHA_GUARDED_BY(mu_) = 0;
   uint64_t reports_this_step_ LOLOHA_GUARDED_BY(mu_) = 0;
   std::vector<uint64_t> support_ LOLOHA_GUARDED_BY(mu_);
@@ -239,34 +306,51 @@ class DBitFlipCollector : public Collector {
   std::vector<double> EstimateAggregate(
       const StepAggregate& aggregate) const override;
 
+  bool SaveSnapshot(const std::string& path, std::string* error) override;
+  bool RestoreSnapshot(const std::string& path, std::string* error) override;
+  std::string SnapshotSignature() const override { return signature_; }
+
   CollectorStats stats() const override {
     MutexLock lock(mu_);
     return stats_;
   }
+  uint32_t current_step() const override {
+    MutexLock lock(mu_);
+    return step_;
+  }
   uint64_t registered_users() const override {
     MutexLock lock(mu_);
-    return sampled_.size();
+    return store_->user_count();
   }
+  StoreStats store_stats() const override {
+    MutexLock lock(mu_);
+    return store_->stats();
+  }
+
+  // Per-user slot: the d sampled bucket ids as d u32s.
+  uint32_t slot_bytes() const { return d_ * sizeof(uint32_t); }
 
  private:
   struct PendingReport {
-    const std::vector<uint32_t>* sampled = nullptr;  // points into sampled_
-    const uint8_t* bits = nullptr;                   // d bits in bits_arena_
+    const uint32_t* sampled = nullptr;  // d ids in sampled_arena_
+    const uint8_t* bits = nullptr;      // d bits in bits_arena_
   };
 
   bool HandleHelloLocked(uint64_t user_id, const std::string& bytes)
       LOLOHA_REQUIRES(mu_);
+  void CheckpointLocked() LOLOHA_REQUIRES(mu_);
   void MergeShardRows() LOLOHA_REQUIRES(mu_);
 
   Bucketizer bucketizer_;
   uint32_t d_;
+  double eps_perm_;
   PerturbParams params_;
   PoolLease pool_;
   uint32_t num_shards_;
+  StoreConfig store_config_;
+  std::string signature_;
   mutable Mutex mu_;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> sampled_
-      LOLOHA_GUARDED_BY(mu_);
-  std::unordered_map<uint64_t, uint32_t> reported_step_ LOLOHA_GUARDED_BY(mu_);
+  std::unique_ptr<UserStateStore> store_ LOLOHA_GUARDED_BY(mu_);
   uint32_t step_ LOLOHA_GUARDED_BY(mu_) = 0;
   uint64_t reports_this_step_ LOLOHA_GUARDED_BY(mu_) = 0;
   // n_j over reporters
@@ -277,8 +361,10 @@ class DBitFlipCollector : public Collector {
   CacheAlignedRows<uint64_t> shard_support_ LOLOHA_GUARDED_BY(mu_);
   CacheAlignedRows<uint64_t> shard_samplers_ LOLOHA_GUARDED_BY(mu_);
   bool shard_rows_dirty_ LOLOHA_GUARDED_BY(mu_) = false;
-  // per-batch decoded bits, batch x d
+  // per-batch decoded bits / copied-out sampled sets, batch x d each.
+  // Copies, not slot pointers: a same-batch hello can rehash the store.
   std::vector<uint8_t> bits_arena_ LOLOHA_GUARDED_BY(mu_);
+  std::vector<uint32_t> sampled_arena_ LOLOHA_GUARDED_BY(mu_);
   std::vector<PendingReport> pending_ LOLOHA_GUARDED_BY(mu_);
   CollectorStats stats_ LOLOHA_GUARDED_BY(mu_);
 };

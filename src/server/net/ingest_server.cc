@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -32,9 +33,19 @@ IngestServer::IngestServer(const ProtocolSpec& spec, uint32_t k,
   if (config_.num_shards == 0) config_.num_shards = 1;
   if (config_.flush_max_batch == 0) config_.flush_max_batch = 1;
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  const bool snapshotting =
+      config_.collector_options.store.kind == StoreKind::kSnapshot;
+  LOLOHA_CHECK_MSG(!snapshotting || !config_.snapshot_dir.empty(),
+                   "snapshot store requires IngestServerConfig::snapshot_dir");
   for (uint32_t i = 0; i < config_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
-    shard->collector = MakeCollector(spec_, k_, config_.collector_options);
+    CollectorOptions options = config_.collector_options;
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, "shard=%u/%u", i,
+                  config_.num_shards);
+    options.signature_suffix = suffix;
+    if (snapshotting) options.store.snapshot_path = ShardSnapshotPath(i);
+    shard->collector = MakeCollector(spec_, k_, options);
     shards_.push_back(std::move(shard));
   }
 }
@@ -73,9 +84,64 @@ bool IngestServer::SetupListener(uint16_t want_port, int* fd_out,
   return true;
 }
 
+std::string IngestServer::ShardSnapshotPath(uint32_t shard) const {
+  char name[48];
+  std::snprintf(name, sizeof name, "shard_%u-of-%u.snap", shard,
+                config_.num_shards);
+  return config_.snapshot_dir + "/" + name;
+}
+
+bool IngestServer::RestoreShards() {
+  // All shards or none: a strict subset means the snapshot set is torn
+  // (a shard file vanished, or the shard count changed), and loading it
+  // would silently drop those shards' sessions.
+  uint32_t present = 0;
+  for (uint32_t i = 0; i < shards_.size(); ++i) {
+    struct stat st {};
+    if (::stat(ShardSnapshotPath(i).c_str(), &st) == 0) ++present;
+  }
+  if (present == 0) return true;  // fresh start
+  if (present != shards_.size()) {
+    std::fprintf(stderr,
+                 "ingest server: refusing to restore: %u of %zu shard "
+                 "snapshots present under %s\n",
+                 present, shards_.size(), config_.snapshot_dir.c_str());
+    return false;
+  }
+  for (uint32_t i = 0; i < shards_.size(); ++i) {
+    std::string error;
+    if (!shards_[i]->collector->RestoreSnapshot(ShardSnapshotPath(i),
+                                                &error)) {
+      std::fprintf(stderr, "ingest server: refusing to restore: %s\n",
+                   error.c_str());
+      return false;
+    }
+    // Checkpoints write shard by shard inside the end-of-step drain, so
+    // a crash there can leave shards on different steps — that set does
+    // not represent any consistent step boundary.
+    if (shards_[i]->collector->current_step() !=
+        shards_[0]->collector->current_step()) {
+      std::fprintf(stderr,
+                   "ingest server: refusing to restore: shard snapshots "
+                   "torn across steps (shard 0 at %u, shard %u at %u)\n",
+                   shards_[0]->collector->current_step(), i,
+                   shards_[i]->collector->current_step());
+      return false;
+    }
+    ++stats_.shards_restored;
+  }
+  return true;
+}
+
 bool IngestServer::Start() {
   LOLOHA_CHECK_MSG(!started_, "IngestServer::Start() called twice");
   if (!loop_.ok()) return false;
+  if (config_.collector_options.store.kind == StoreKind::kSnapshot) {
+    // Best-effort create; a missing directory surfaces as a checkpoint
+    // write error (counted, step still serves) rather than a crash.
+    ::mkdir(config_.snapshot_dir.c_str(), 0755);
+    if (config_.restore_snapshots && !RestoreShards()) return false;
+  }
   if (!SetupListener(config_.port, &listen_fd_, &port_)) return false;
   loop_.Add(listen_fd_, EPOLLIN,
             [this](uint32_t) { OnAccept(listen_fd_, /*is_stats=*/false); });
@@ -550,6 +616,20 @@ uint64_t IngestServer::TotalRegisteredUsers() const {
   return total;
 }
 
+StoreStats IngestServer::TotalStoreStats() const {
+  StoreStats totals;
+  totals.kind = config_.collector_options.store.kind;
+  for (const auto& shard : shards_) {
+    const StoreStats s = shard->collector->store_stats();
+    totals.users += s.users;
+    totals.memory_bytes += s.memory_bytes;
+    totals.checkpoints_written += s.checkpoints_written;
+    totals.checkpoint_failures += s.checkpoint_failures;
+    totals.last_checkpoint_bytes += s.last_checkpoint_bytes;
+  }
+  return totals;
+}
+
 std::string IngestServer::BuildStatsText() const {
   std::string text = "loloha_ingest_server\n";
   text += "protocol: " + spec_.ToString() + "\n";
@@ -574,6 +654,12 @@ std::string IngestServer::BuildStatsText() const {
   AppendStatLine("batches_flushed_barrier", stats_.batches_flushed_barrier,
                  &text);
   AppendStatLine("backpressure_stalls", stats_.backpressure_stalls, &text);
+  const StoreStats store = TotalStoreStats();
+  text += std::string("store_kind: ") + StoreKindName(store.kind) + "\n";
+  AppendStatLine("store_memory_bytes", store.memory_bytes, &text);
+  AppendStatLine("snapshots_written", store.checkpoints_written, &text);
+  AppendStatLine("snapshot_failures", store.checkpoint_failures, &text);
+  AppendStatLine("shards_restored", stats_.shards_restored, &text);
   AppendStatLine("monitor_enabled", config_.enable_monitor ? 1 : 0, &text);
   AppendStatLine("monitor_steps_observed",
                  monitor_ ? monitor_->steps_observed() : 0, &text);

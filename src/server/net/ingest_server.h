@@ -89,10 +89,27 @@ struct IngestServerConfig {
   double monitor_smoothing = 0.4;
   double monitor_z_threshold = 4.0;
 
-  // Per-shard collector threading (see CollectorOptions). The default
-  // single-threaded collectors are right when num_shards covers the
-  // cores; a borrowed pool composes with fewer, fatter shards.
+  // Per-shard collector threading + state backend (see CollectorOptions).
+  // The default single-threaded collectors are right when num_shards
+  // covers the cores; a borrowed pool composes with fewer, fatter
+  // shards. The store config is cloned per shard: with
+  // `store.kind == StoreKind::kSnapshot` each shard checkpoints to
+  // `<snapshot_dir>/shard_<i>-of-<N>.snap` (store.snapshot_path and
+  // signature_suffix are overwritten per shard — the server stamps
+  // "shard=i/N" into every snapshot so a file can never restore into
+  // the wrong shard or shard count).
   CollectorOptions collector_options;
+
+  // Directory for shard snapshots (created at Start() if missing).
+  // Required when the store kind is kSnapshot.
+  std::string snapshot_dir;
+
+  // Restore existing shard snapshots at Start(). A corrupt or
+  // mismatched snapshot, or a set torn across shards (files from
+  // different steps, or only some shards present), fails Start() with
+  // the reason on stderr — never a silent partial load. No snapshot
+  // files at all is a fresh start.
+  bool restore_snapshots = false;
 };
 
 // Loop-thread counters (returned by value; see server_stats()).
@@ -109,6 +126,7 @@ struct IngestServerStats {
   uint64_t backpressure_stalls = 0;
   uint64_t steps_completed = 0;
   uint64_t monitor_alerts = 0;
+  uint64_t shards_restored = 0;
 
   friend bool operator==(const IngestServerStats&,
                          const IngestServerStats&) = default;
@@ -150,6 +168,12 @@ class IngestServer {
   CollectorStats TotalStats() const;
   uint64_t TotalRegisteredUsers() const;
 
+  // Element-wise sum of the shard stores' stats (kind from the config).
+  StoreStats TotalStoreStats() const;
+
+  // Where shard `shard` checkpoints / restores its snapshot.
+  std::string ShardSnapshotPath(uint32_t shard) const;
+
   // Snapshot of the loop counters. Safe from the loop thread, or from
   // any thread once Run() has returned.
   IngestServerStats server_stats() const { return stats_; }
@@ -187,6 +211,7 @@ class IngestServer {
   enum class FlushReason { kSize, kDeadline, kBarrier };
 
   bool SetupListener(uint16_t want_port, int* fd, uint16_t* got_port);
+  bool RestoreShards();
   void WorkerLoop(Shard* shard);
   void StopWorkers();
 

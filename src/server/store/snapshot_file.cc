@@ -1,0 +1,349 @@
+#include "server/store/snapshot_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.h"
+#include "wire/encoding.h"
+
+namespace loloha {
+
+namespace {
+
+// Section tags, FourCC bytes in file order.
+constexpr uint32_t kTagSignature = 0x20474953;  // "SIG "
+constexpr uint32_t kTagMeta = 0x4154454D;       // "META"
+constexpr uint32_t kTagAux = 0x20585541;        // "AUX "
+constexpr uint32_t kTagUser = 0x52455355;       // "USER"
+constexpr uint32_t kSectionCount = 4;
+constexpr size_t kHeaderBytes = 16;
+constexpr size_t kSectionHeaderBytes = 16;
+constexpr size_t kMetaBytes = 16;
+
+constexpr std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kCrcTable = MakeCrcTable();
+
+void StoreLe32(uint8_t* dst, uint32_t v) {
+  dst[0] = static_cast<uint8_t>(v);
+  dst[1] = static_cast<uint8_t>(v >> 8);
+  dst[2] = static_cast<uint8_t>(v >> 16);
+  dst[3] = static_cast<uint8_t>(v >> 24);
+}
+
+void StoreLe64(uint8_t* dst, uint64_t v) {
+  StoreLe32(dst, static_cast<uint32_t>(v));
+  StoreLe32(dst + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t LoadLe32(const uint8_t* src) {
+  return static_cast<uint32_t>(src[0]) | static_cast<uint32_t>(src[1]) << 8 |
+         static_cast<uint32_t>(src[2]) << 16 |
+         static_cast<uint32_t>(src[3]) << 24;
+}
+
+uint64_t LoadLe64(const uint8_t* src) {
+  return static_cast<uint64_t>(LoadLe32(src)) |
+         static_cast<uint64_t>(LoadLe32(src + 4)) << 32;
+}
+
+std::string ErrnoMessage(const char* action, const std::string& path) {
+  return std::string(action) + " " + path + ": " + std::strerror(errno);
+}
+
+// One serialized section: header then payload, CRC over the payload.
+uint8_t* EmitSection(uint8_t* dst, uint32_t tag, const uint8_t* payload,
+                     size_t length) {
+  StoreLe32(dst, tag);
+  StoreLe32(dst + 4, Crc32(payload, length));
+  StoreLe64(dst + 8, length);
+  std::memcpy(dst + kSectionHeaderBytes, payload, length);
+  return dst + kSectionHeaderBytes + length;
+}
+
+struct SectionView {
+  const uint8_t* payload = nullptr;
+  uint64_t length = 0;
+};
+
+// Validates the section at `*offset` against the expected tag and CRC
+// and advances *offset past it.
+bool TakeSection(const uint8_t* bytes, size_t size, uint32_t want_tag,
+                 const char* tag_name, size_t* offset, SectionView* out,
+                 std::string* error) {
+  if (size - *offset < kSectionHeaderBytes) {
+    *error = std::string("snapshot truncated in ") + tag_name +
+             " section header";
+    return false;
+  }
+  const uint8_t* header = bytes + *offset;
+  const uint32_t tag = LoadLe32(header);
+  if (tag != want_tag) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "unexpected section tag 0x%08x where %s expected", tag,
+                  tag_name);
+    *error = buf;
+    return false;
+  }
+  const uint32_t crc = LoadLe32(header + 4);
+  const uint64_t length = LoadLe64(header + 8);
+  if (length > size - *offset - kSectionHeaderBytes) {
+    *error = std::string(tag_name) + " section overruns the snapshot";
+    return false;
+  }
+  out->payload = header + kSectionHeaderBytes;
+  out->length = length;
+  if (Crc32(out->payload, length) != crc) {
+    *error = std::string("CRC mismatch in ") + tag_name + " section";
+    return false;
+  }
+  *offset += kSectionHeaderBytes + length;
+  return true;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = kCrcTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+size_t SnapshotByteSize(const SnapshotData& data) {
+  const size_t user_bytes =
+      data.user_ids.size() * (sizeof(uint64_t) + data.slot_bytes);
+  return kHeaderBytes + kSectionCount * kSectionHeaderBytes +
+         data.signature.size() + kMetaBytes + data.aux.size() + user_bytes;
+}
+
+void SerializeSnapshotInto(const SnapshotData& data, uint8_t* dst) {
+  LOLOHA_CHECK(data.slots.size() ==
+               data.user_ids.size() * size_t{data.slot_bytes});
+
+  std::memcpy(dst, kSnapshotMagic, sizeof kSnapshotMagic);
+  dst[8] = kSnapshotFormatVersion;
+  dst[9] = kWireVersion;
+  dst[10] = 0;
+  dst[11] = 0;
+  StoreLe32(dst + 12, kSectionCount);
+  uint8_t* cursor = dst + kHeaderBytes;
+
+  cursor = EmitSection(cursor, kTagSignature,
+                       reinterpret_cast<const uint8_t*>(data.signature.data()),
+                       data.signature.size());
+
+  uint8_t meta[kMetaBytes];
+  StoreLe32(meta, data.slot_bytes);
+  StoreLe32(meta + 4, data.step);
+  StoreLe64(meta + 8, data.user_ids.size());
+  cursor = EmitSection(cursor, kTagMeta, meta, sizeof meta);
+
+  cursor = EmitSection(cursor, kTagAux,
+                       reinterpret_cast<const uint8_t*>(data.aux.data()),
+                       data.aux.size());
+
+  // USER is emitted in place (no staging copy of what may be hundreds of
+  // megabytes): header first, records after, CRC over the final bytes.
+  const uint64_t record_bytes = sizeof(uint64_t) + data.slot_bytes;
+  const uint64_t user_length = data.user_ids.size() * record_bytes;
+  uint8_t* user_payload = cursor + kSectionHeaderBytes;
+  uint8_t* record = user_payload;
+  for (size_t i = 0; i < data.user_ids.size(); ++i) {
+    StoreLe64(record, data.user_ids[i]);
+    std::memcpy(record + sizeof(uint64_t),
+                data.slots.data() + i * data.slot_bytes, data.slot_bytes);
+    record += record_bytes;
+  }
+  StoreLe32(cursor, kTagUser);
+  StoreLe32(cursor + 4, Crc32(user_payload, user_length));
+  StoreLe64(cursor + 8, user_length);
+}
+
+std::string SerializeSnapshot(const SnapshotData& data) {
+  std::string bytes(SnapshotByteSize(data), '\0');
+  SerializeSnapshotInto(data, reinterpret_cast<uint8_t*>(bytes.data()));
+  return bytes;
+}
+
+bool ParseSnapshot(const uint8_t* bytes, size_t size, SnapshotData* out,
+                   std::string* error) {
+  if (size < kHeaderBytes) {
+    *error = "snapshot shorter than the 16-byte header";
+    return false;
+  }
+  if (std::memcmp(bytes, kSnapshotMagic, sizeof kSnapshotMagic) != 0) {
+    *error = "bad snapshot magic";
+    return false;
+  }
+  if (bytes[8] != kSnapshotFormatVersion) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "unsupported snapshot format version %u",
+                  bytes[8]);
+    *error = buf;
+    return false;
+  }
+  if (bytes[9] != kWireVersion) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "snapshot wire version %u, expected %u",
+                  bytes[9], kWireVersion);
+    *error = buf;
+    return false;
+  }
+  if (LoadLe32(bytes + 12) != kSectionCount) {
+    *error = "snapshot must hold exactly 4 sections";
+    return false;
+  }
+
+  size_t offset = kHeaderBytes;
+  SectionView sig;
+  SectionView meta;
+  SectionView aux;
+  SectionView user;
+  if (!TakeSection(bytes, size, kTagSignature, "SIG", &offset, &sig, error) ||
+      !TakeSection(bytes, size, kTagMeta, "META", &offset, &meta, error) ||
+      !TakeSection(bytes, size, kTagAux, "AUX", &offset, &aux, error) ||
+      !TakeSection(bytes, size, kTagUser, "USER", &offset, &user, error)) {
+    return false;
+  }
+  if (offset != size) {
+    *error = "trailing bytes after the USER section";
+    return false;
+  }
+
+  if (meta.length != kMetaBytes) {
+    *error = "META section must be 16 bytes";
+    return false;
+  }
+  const uint32_t slot_bytes = LoadLe32(meta.payload);
+  const uint32_t step = LoadLe32(meta.payload + 4);
+  const uint64_t user_count = LoadLe64(meta.payload + 8);
+  if (slot_bytes == 0) {
+    *error = "META slot_bytes is zero";
+    return false;
+  }
+  const uint64_t record_bytes = sizeof(uint64_t) + slot_bytes;
+  if (user_count > user.length / record_bytes ||
+      user_count * record_bytes != user.length) {
+    *error = "USER section length does not match META user_count";
+    return false;
+  }
+
+  out->signature.assign(reinterpret_cast<const char*>(sig.payload),
+                        sig.length);
+  out->step = step;
+  out->slot_bytes = slot_bytes;
+  out->aux.assign(reinterpret_cast<const char*>(aux.payload), aux.length);
+  out->user_ids.resize(user_count);
+  out->slots.resize(user_count * slot_bytes);
+  const uint8_t* record = user.payload;
+  uint64_t previous_id = 0;
+  for (uint64_t i = 0; i < user_count; ++i) {
+    const uint64_t user_id = LoadLe64(record);
+    if (i > 0 && user_id <= previous_id) {
+      *error = "USER records not strictly ascending by user id";
+      return false;
+    }
+    previous_id = user_id;
+    out->user_ids[i] = user_id;
+    std::memcpy(out->slots.data() + i * slot_bytes, record + sizeof(uint64_t),
+                slot_bytes);
+    record += record_bytes;
+  }
+  return true;
+}
+
+bool WriteSnapshotFile(const std::string& path, const SnapshotData& data,
+                       std::string* error) {
+  const size_t size = SnapshotByteSize(data);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    *error = ErrnoMessage("open", tmp);
+    return false;
+  }
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    *error = ErrnoMessage("ftruncate", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (map == MAP_FAILED) {
+    *error = ErrnoMessage("mmap", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  SerializeSnapshotInto(data, static_cast<uint8_t*>(map));
+  const bool synced = ::msync(map, size, MS_SYNC) == 0;
+  ::munmap(map, size);
+  if (!synced || ::fsync(fd) != 0) {
+    *error = ErrnoMessage("sync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    *error = ErrnoMessage("rename", tmp);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ReadSnapshotFile(const std::string& path, SnapshotData* out,
+                      std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    *error = ErrnoMessage("open", path);
+    return false;
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    *error = ErrnoMessage("fstat", path);
+    ::close(fd);
+    return false;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    *error = "snapshot file " + path + " is empty";
+    ::close(fd);
+    return false;
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (map == MAP_FAILED) {
+    *error = ErrnoMessage("mmap", path);
+    ::close(fd);
+    return false;
+  }
+  const bool ok =
+      ParseSnapshot(static_cast<const uint8_t*>(map), size, out, error);
+  if (!ok) *error = path + ": " + *error;
+  ::munmap(map, size);
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace loloha

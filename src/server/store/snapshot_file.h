@@ -1,0 +1,112 @@
+// The versioned on-disk snapshot format for collector session state.
+//
+// A snapshot is one self-describing file holding everything a collector
+// needs to resume a deployment: the config signature it was built from,
+// the step index, its cumulative counters, and every registered user's
+// packed memo slot. The layout is pinned by golden files under
+// tests/golden/ and fuzzed in tests/snapshot_fuzz_test.cc; bump
+// `kSnapshotFormatVersion` for any byte-level change.
+//
+// Layout (all integers little-endian, no padding):
+//
+//   header (16 bytes)
+//     0   8  magic "LOLSNAP1"
+//     8   1  snapshot format version (kSnapshotFormatVersion)
+//     9   1  wire version (wire/encoding.h kWireVersion)
+//     10  2  reserved, zero
+//     12  4  section count (always 4)
+//   then exactly four sections, in this order, each framed as
+//     +0  4  tag (FourCC)
+//     +4  4  CRC-32 of the payload (IEEE reflected, zlib-compatible)
+//     +8  8  payload length in bytes
+//     +16    payload
+//
+//   "SIG "  config signature string (UTF-8, no terminator)
+//   "META"  u32 slot_bytes, u32 step, u64 user_count
+//   "AUX "  opaque collector bytes (packed CollectorStats today)
+//   "USER"  user_count records of (u64 user_id, slot_bytes state),
+//           user ids strictly ascending
+//
+// The strictly-ascending user order makes snapshot bytes a pure function
+// of the logical state: two collectors holding the same sessions write
+// identical files no matter what order users registered in, so tests can
+// compare snapshots with memcmp and a restored-then-resaved snapshot
+// round-trips byte for byte.
+//
+// The parser is the trust boundary for crash recovery: every read is
+// bounds-checked, every payload is CRC-verified, and any violation —
+// truncation, bit flip, unknown tag, out-of-order users — fails with a
+// clean error message, never a crash and never a silently-wrong load.
+//
+// File I/O is mmap-based: WriteSnapshotFile serializes straight into a
+// MAP_SHARED mapping of `path + ".tmp"`, msyncs, then renames over the
+// destination so a crash mid-write can never tear the live snapshot;
+// ReadSnapshotFile parses a PROT_READ mapping without copying the file
+// through a buffer first.
+
+#ifndef LOLOHA_SERVER_STORE_SNAPSHOT_FILE_H_
+#define LOLOHA_SERVER_STORE_SNAPSHOT_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace loloha {
+
+inline constexpr uint8_t kSnapshotFormatVersion = 1;
+inline constexpr char kSnapshotMagic[8] = {'L', 'O', 'L', 'S',
+                                           'N', 'A', 'P', '1'};
+
+// Fully decoded snapshot contents (and the input to the serializer).
+struct SnapshotData {
+  // Collector config signature (protocol family + parameters + shard
+  // suffix). Restore refuses a snapshot whose signature differs.
+  std::string signature;
+  // Step index the snapshot resumes at (steps closed so far).
+  uint32_t step = 0;
+  // Bytes per user slot; must match the restoring collector's layout.
+  uint32_t slot_bytes = 0;
+  // Opaque collector payload (packed cumulative CollectorStats).
+  std::string aux;
+  // Registered users, strictly ascending by id.
+  std::vector<uint64_t> user_ids;
+  // user_ids.size() * slot_bytes packed state bytes, id-major.
+  std::vector<uint8_t> slots;
+
+  friend bool operator==(const SnapshotData&, const SnapshotData&) = default;
+};
+
+// CRC-32 (IEEE 0xEDB88320, reflected — matches zlib's crc32).
+uint32_t Crc32(const void* data, size_t size);
+
+// Exact serialized size of `data` in bytes.
+size_t SnapshotByteSize(const SnapshotData& data);
+
+// Serializes `data` into `dst`, which must hold SnapshotByteSize(data)
+// bytes. CHECK-fails on inconsistent data (slots/user_ids mismatch).
+void SerializeSnapshotInto(const SnapshotData& data, uint8_t* dst);
+
+// Convenience wrapper returning the serialized bytes (tests, fuzzing).
+std::string SerializeSnapshot(const SnapshotData& data);
+
+// Parses and fully validates an in-memory snapshot image. Returns false
+// with a diagnostic in *error on any malformation; *out is unspecified
+// on failure. Never crashes on arbitrary input.
+bool ParseSnapshot(const uint8_t* bytes, size_t size, SnapshotData* out,
+                   std::string* error);
+
+// Atomically (tmp + rename) writes `data` to `path` through a MAP_SHARED
+// mmap, msync(MS_SYNC) + fsync before the rename. On failure returns
+// false with *error set and leaves any previous snapshot at `path`
+// untouched.
+bool WriteSnapshotFile(const std::string& path, const SnapshotData& data,
+                       std::string* error);
+
+// mmaps `path` read-only and parses it via ParseSnapshot.
+bool ReadSnapshotFile(const std::string& path, SnapshotData* out,
+                      std::string* error);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_SERVER_STORE_SNAPSHOT_FILE_H_

@@ -1,0 +1,354 @@
+#include "server/store/user_state_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace loloha {
+
+namespace {
+
+constexpr uint64_t kFlatMinCapacity = 1024;
+
+bool TestBit(const std::vector<uint64_t>& bits, uint64_t i) {
+  return (bits[i / 64] >> (i % 64) & 1) != 0;
+}
+
+void SetBit(std::vector<uint64_t>* bits, uint64_t i) {
+  (*bits)[i / 64] |= uint64_t{1} << (i % 64);
+}
+
+// Maps a 64-bit hash onto [0, range) without division (Lemire's
+// multiply-shift), so capacities need not be powers of two and Reserve()
+// can size the table exactly to the target load factor.
+uint64_t FastRange(uint64_t hash, uint64_t range) {
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(hash) * range) >> 64);
+}
+
+// The default backend: node-based hash index (user -> dense ordinal)
+// over an append-only slot arena. Ordinals are insertion order and never
+// move, so the reported bitmap needs no maintenance beyond growth.
+class MapStore final : public UserStateStore {
+ public:
+  MapStore(uint32_t slot_bytes, uint64_t reserve_users)
+      : UserStateStore(slot_bytes) {
+    Reserve(reserve_users);
+  }
+
+  StoreKind kind() const override { return StoreKind::kMap; }
+
+  UserRef Find(uint64_t user_id) override {
+    const auto it = index_.find(user_id);
+    if (it == index_.end()) return {};
+    return UserRef{slots_.data() + it->second * slot_bytes_, it->second};
+  }
+
+  UserRef Insert(uint64_t user_id) override {
+    const uint64_t ordinal = ids_.size();
+    const bool inserted = index_.emplace(user_id, ordinal).second;
+    LOLOHA_CHECK_MSG(inserted, "Insert on an already-registered user");
+    ids_.push_back(user_id);
+    slots_.resize(slots_.size() + slot_bytes_, 0);
+    if (ordinal / 64 >= reported_.size()) reported_.push_back(0);
+    return UserRef{slots_.data() + ordinal * slot_bytes_, ordinal};
+  }
+
+  bool reported(const UserRef& ref) const override {
+    return TestBit(reported_, ref.slot);
+  }
+  void set_reported(const UserRef& ref) override {
+    SetBit(&reported_, ref.slot);
+  }
+  void ClearReported() override {
+    std::fill(reported_.begin(), reported_.end(), 0);
+  }
+
+  uint64_t user_count() const override { return ids_.size(); }
+
+  uint64_t MemoryBytes() const override {
+    // Index: one bucket pointer per bucket plus one heap node per user
+    // (next pointer + key/ordinal pair), charged at allocator-chunk
+    // granularity — that rounding is exactly what FlatStore saves.
+    const uint64_t node_bytes =
+        MallocChunkBytes(sizeof(void*) + sizeof(std::pair<uint64_t, uint64_t>));
+    return index_.bucket_count() * sizeof(void*) +
+           index_.size() * node_bytes + slots_.capacity() +
+           ids_.capacity() * sizeof(uint64_t) +
+           reported_.capacity() * sizeof(uint64_t);
+  }
+
+  void Reserve(uint64_t users) override {
+    if (users == 0) return;
+    index_.reserve(users);
+    ids_.reserve(users);
+    slots_.reserve(users * slot_bytes_);
+    reported_.reserve((users + 63) / 64);
+  }
+
+  void Dump(std::vector<std::pair<uint64_t, const uint8_t*>>* out)
+      const override {
+    for (uint64_t ordinal = 0; ordinal < ids_.size(); ++ordinal) {
+      out->emplace_back(ids_[ordinal],
+                        slots_.data() + ordinal * slot_bytes_);
+    }
+  }
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> index_;  // user id -> ordinal
+  std::vector<uint64_t> ids_;                     // ordinal -> user id
+  std::vector<uint8_t> slots_;                    // ordinal-major arena
+  std::vector<uint64_t> reported_;                // 1 bit per ordinal
+};
+
+// The compact backend: open-addressed linear probing with keys, slots,
+// and the occupied/reported bits in four parallel flat arrays — no
+// per-user heap node, no bucket pointers. Grows at 7/8 load factor.
+class FlatStore : public UserStateStore {
+ public:
+  FlatStore(uint32_t slot_bytes, uint64_t reserve_users)
+      : UserStateStore(slot_bytes) {
+    Reserve(reserve_users);
+  }
+
+  StoreKind kind() const override { return StoreKind::kFlat; }
+
+  UserRef Find(uint64_t user_id) override {
+    if (size_ == 0) return {};
+    bool found = false;
+    const uint64_t slot = ProbeSlot(user_id, &found);
+    if (!found) return {};
+    return UserRef{state_.data() + slot * slot_bytes_, slot};
+  }
+
+  UserRef Insert(uint64_t user_id) override {
+    if ((size_ + 1) * 8 > capacity_ * 7) {
+      Grow(std::max(capacity_ * 2, kFlatMinCapacity));
+    }
+    bool found = false;
+    const uint64_t slot = ProbeSlot(user_id, &found);
+    LOLOHA_CHECK_MSG(!found, "Insert on an already-registered user");
+    keys_[slot] = user_id;
+    SetBit(&occupied_, slot);
+    uint8_t* state = state_.data() + slot * slot_bytes_;
+    std::memset(state, 0, slot_bytes_);
+    ++size_;
+    return UserRef{state, slot};
+  }
+
+  bool reported(const UserRef& ref) const override {
+    return TestBit(reported_, ref.slot);
+  }
+  void set_reported(const UserRef& ref) override {
+    SetBit(&reported_, ref.slot);
+  }
+  void ClearReported() override {
+    std::fill(reported_.begin(), reported_.end(), 0);
+  }
+
+  uint64_t user_count() const override { return size_; }
+
+  uint64_t MemoryBytes() const override {
+    return keys_.capacity() * sizeof(uint64_t) + state_.capacity() +
+           occupied_.capacity() * sizeof(uint64_t) +
+           reported_.capacity() * sizeof(uint64_t);
+  }
+
+  void Reserve(uint64_t users) override {
+    if (users == 0) return;
+    const uint64_t needed = users * 8 / 7 + 1;
+    if (needed > capacity_) Grow(needed);
+  }
+
+  void Dump(std::vector<std::pair<uint64_t, const uint8_t*>>* out)
+      const override {
+    for (uint64_t slot = 0; slot < capacity_; ++slot) {
+      if (!TestBit(occupied_, slot)) continue;
+      out->emplace_back(keys_[slot], state_.data() + slot * slot_bytes_);
+    }
+  }
+
+ private:
+  // Probes to the user's slot (*found = true) or the first empty slot
+  // of its chain (*found = false). Terminates because load factor < 1.
+  uint64_t ProbeSlot(uint64_t user_id, bool* found) const {
+    uint64_t slot = FastRange(Mix64(user_id), capacity_);
+    while (TestBit(occupied_, slot)) {
+      if (keys_[slot] == user_id) {
+        *found = true;
+        return slot;
+      }
+      if (++slot == capacity_) slot = 0;
+    }
+    *found = false;
+    return slot;
+  }
+
+  void Grow(uint64_t new_capacity) {
+    const std::vector<uint64_t> old_keys = std::move(keys_);
+    const std::vector<uint8_t> old_state = std::move(state_);
+    const std::vector<uint64_t> old_occupied = std::move(occupied_);
+    const std::vector<uint64_t> old_reported = std::move(reported_);
+    const uint64_t old_capacity = capacity_;
+    capacity_ = new_capacity;
+    keys_.assign(capacity_, 0);
+    state_.assign(capacity_ * slot_bytes_, 0);
+    occupied_.assign((capacity_ + 63) / 64, 0);
+    reported_.assign((capacity_ + 63) / 64, 0);
+    for (uint64_t old_slot = 0; old_slot < old_capacity; ++old_slot) {
+      if (!TestBit(old_occupied, old_slot)) continue;
+      uint64_t slot = FastRange(Mix64(old_keys[old_slot]), capacity_);
+      while (TestBit(occupied_, slot)) {
+        if (++slot == capacity_) slot = 0;
+      }
+      keys_[slot] = old_keys[old_slot];
+      SetBit(&occupied_, slot);
+      std::memcpy(state_.data() + slot * slot_bytes_,
+                  old_state.data() + old_slot * slot_bytes_, slot_bytes_);
+      if (TestBit(old_reported, old_slot)) SetBit(&reported_, slot);
+    }
+  }
+
+  uint64_t capacity_ = 0;
+  uint64_t size_ = 0;
+  std::vector<uint64_t> keys_;
+  std::vector<uint8_t> state_;
+  std::vector<uint64_t> occupied_;  // 1 bit per slot
+  std::vector<uint64_t> reported_;  // 1 bit per slot
+};
+
+// FlatStore that checkpoints the whole table to a snapshot file at every
+// step boundary. A failed write is counted and reported but does not
+// stop ingestion — the previous on-disk snapshot stays intact (the
+// writer renames over it only after a successful sync).
+class SnapshotStore final : public FlatStore {
+ public:
+  SnapshotStore(uint32_t slot_bytes, uint64_t reserve_users, std::string path)
+      : FlatStore(slot_bytes, reserve_users), path_(std::move(path)) {
+    LOLOHA_CHECK_MSG(!path_.empty(),
+                     "SnapshotStore requires StoreConfig::snapshot_path");
+  }
+
+  StoreKind kind() const override { return StoreKind::kSnapshot; }
+
+  bool EndStepCheckpoint(const SnapshotContext& context,
+                         std::string* error) override {
+    const SnapshotData data = BuildSnapshotData(*this, context);
+    if (!WriteSnapshotFile(path_, data, error)) {
+      ++checkpoint_failures_;
+      return false;
+    }
+    ++checkpoints_written_;
+    last_checkpoint_bytes_ = SnapshotByteSize(data);
+    return true;
+  }
+
+  StoreStats stats() const override {
+    StoreStats out = FlatStore::stats();
+    out.checkpoints_written = checkpoints_written_;
+    out.checkpoint_failures = checkpoint_failures_;
+    out.last_checkpoint_bytes = last_checkpoint_bytes_;
+    return out;
+  }
+
+ private:
+  std::string path_;
+  uint64_t checkpoints_written_ = 0;
+  uint64_t checkpoint_failures_ = 0;
+  uint64_t last_checkpoint_bytes_ = 0;
+};
+
+}  // namespace
+
+const char* StoreKindName(StoreKind kind) {
+  switch (kind) {
+    case StoreKind::kMap:
+      return "map";
+    case StoreKind::kFlat:
+      return "flat";
+    case StoreKind::kSnapshot:
+      return "snapshot";
+  }
+  return "?";
+}
+
+bool ParseStoreKind(const std::string& name, StoreKind* out) {
+  if (name == "map") {
+    *out = StoreKind::kMap;
+    return true;
+  }
+  if (name == "flat") {
+    *out = StoreKind::kFlat;
+    return true;
+  }
+  if (name == "snapshot") {
+    *out = StoreKind::kSnapshot;
+    return true;
+  }
+  return false;
+}
+
+bool UserStateStore::EndStepCheckpoint(const SnapshotContext& /*context*/,
+                                       std::string* /*error*/) {
+  return true;
+}
+
+StoreStats UserStateStore::stats() const {
+  StoreStats out;
+  out.kind = kind();
+  out.users = user_count();
+  out.memory_bytes = MemoryBytes();
+  return out;
+}
+
+SnapshotData BuildSnapshotData(const UserStateStore& store,
+                               const SnapshotContext& context) {
+  std::vector<std::pair<uint64_t, const uint8_t*>> users;
+  users.reserve(store.user_count());
+  store.Dump(&users);
+  std::sort(users.begin(), users.end(),
+            [](const std::pair<uint64_t, const uint8_t*>& lhs,
+               const std::pair<uint64_t, const uint8_t*>& rhs) {
+              return lhs.first < rhs.first;
+            });
+  const uint32_t slot_bytes = store.slot_bytes();
+  SnapshotData data;
+  data.signature = context.signature;
+  data.step = context.step;
+  data.slot_bytes = slot_bytes;
+  data.aux = context.aux;
+  data.user_ids.reserve(users.size());
+  data.slots.resize(users.size() * slot_bytes);
+  for (size_t i = 0; i < users.size(); ++i) {
+    data.user_ids.push_back(users[i].first);
+    std::memcpy(data.slots.data() + i * slot_bytes, users[i].second,
+                slot_bytes);
+  }
+  return data;
+}
+
+uint64_t MallocChunkBytes(uint64_t request) {
+  const uint64_t chunk = (request + 8 + 15) & ~uint64_t{15};
+  return chunk < 32 ? 32 : chunk;
+}
+
+std::unique_ptr<UserStateStore> MakeUserStateStore(const StoreConfig& config,
+                                                   uint32_t slot_bytes) {
+  LOLOHA_CHECK(slot_bytes > 0);
+  switch (config.kind) {
+    case StoreKind::kMap:
+      return std::make_unique<MapStore>(slot_bytes, config.reserve_users);
+    case StoreKind::kFlat:
+      return std::make_unique<FlatStore>(slot_bytes, config.reserve_users);
+    case StoreKind::kSnapshot:
+      return std::make_unique<SnapshotStore>(slot_bytes, config.reserve_users,
+                                             config.snapshot_path);
+  }
+  LOLOHA_CHECK_MSG(false, "unknown StoreKind");
+  return nullptr;
+}
+
+}  // namespace loloha

@@ -1,0 +1,167 @@
+// Pluggable per-user session-state backends for the collectors.
+//
+// The longitudinal protocols force the server to hold one small memo
+// record per registered user for the life of the deployment (LOLOHA: the
+// user's universal hash coefficients; dBitFlipPM: the sampled bucket
+// set). At the millions-of-users scale that table is the collector's
+// dominant allocation, so — mirroring the ResultSink move on the output
+// side — the table sits behind this interface with three backends:
+//
+//   MapStore       the default: a node-based hash index over a slot
+//                  arena, matching the collector's historical in-memory
+//                  behavior.
+//   FlatStore      a compact open-addressed table (linear probing over
+//                  multiply-shift-ranged Mix64 hashes) with the packed
+//                  slots stored inline — roughly half MapStore's
+//                  bytes/user (bench_state_store measures it).
+//   SnapshotStore  FlatStore plus an mmap-backed checkpoint: every
+//                  EndStepCheckpoint() writes the whole table to a
+//                  versioned snapshot file (server/store/snapshot_file.h)
+//                  so a crashed collector restores with byte-identical
+//                  subsequent estimates.
+//
+// A store is a byte-slot container: the collector owns the slot layout
+// and fixes `slot_bytes` at construction (LOLOHA packs the two 61-bit
+// hash coefficients into 16 bytes; dBitFlipPM stores its d sampled
+// bucket ids as d u32s). The store additionally owns the per-step
+// "already reported" flag — one bit per user, cleared in O(users/64) at
+// ClearReported() — which is what lets a slot drop the 4-byte step
+// counter the old per-user map carried.
+//
+// Contract: Insert() requires the user to be absent and returns a
+// zeroed slot. A returned UserRef (including its `state` pointer) is
+// valid only until the next Insert()/Reserve()/restore — the
+// open-addressed backends rehash. Estimates never depend on a store's
+// iteration or probe order; the only order that escapes (snapshot
+// bytes) is sorted by user id.
+//
+// Thread safety: none. A store belongs to exactly one collector and is
+// guarded by that collector's mutex.
+
+#ifndef LOLOHA_SERVER_STORE_USER_STATE_STORE_H_
+#define LOLOHA_SERVER_STORE_USER_STATE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "server/store/snapshot_file.h"
+
+namespace loloha {
+
+enum class StoreKind : uint8_t { kMap, kFlat, kSnapshot };
+
+// "map" / "flat" / "snapshot" (the --store= flag values).
+const char* StoreKindName(StoreKind kind);
+bool ParseStoreKind(const std::string& name, StoreKind* out);
+
+struct StoreConfig {
+  StoreKind kind = StoreKind::kMap;
+  // SnapshotStore only: the file EndStepCheckpoint() writes. The parent
+  // directory must exist; a sharded front derives one path per shard.
+  std::string snapshot_path;
+  // Pre-size for this many users (0 = grow on demand). Sizing up front
+  // pins the open-addressed backends at their target load factor.
+  uint64_t reserve_users = 0;
+};
+
+// Observability snapshot (surfaces in the server's --stats endpoint).
+struct StoreStats {
+  StoreKind kind = StoreKind::kMap;
+  uint64_t users = 0;
+  uint64_t memory_bytes = 0;
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoint_failures = 0;
+  uint64_t last_checkpoint_bytes = 0;
+
+  friend bool operator==(const StoreStats&, const StoreStats&) = default;
+};
+
+// Handle to one user's slot. `state` points at slot_bytes writable
+// bytes; `slot` is the backend-internal index the reported-bit calls
+// key on. Invalidated by the next Insert()/Reserve()/restore.
+struct UserRef {
+  uint8_t* state = nullptr;
+  uint64_t slot = 0;
+
+  explicit operator bool() const { return state != nullptr; }
+};
+
+// What a checkpoint stamps into the snapshot besides the user table.
+struct SnapshotContext {
+  std::string signature;
+  uint32_t step = 0;
+  std::string aux;
+};
+
+class UserStateStore {
+ public:
+  explicit UserStateStore(uint32_t slot_bytes) : slot_bytes_(slot_bytes) {}
+  virtual ~UserStateStore() = default;
+
+  UserStateStore(const UserStateStore&) = delete;
+  UserStateStore& operator=(const UserStateStore&) = delete;
+
+  virtual StoreKind kind() const = 0;
+  uint32_t slot_bytes() const { return slot_bytes_; }
+
+  // Null UserRef when absent.
+  virtual UserRef Find(uint64_t user_id) = 0;
+
+  // Registers `user_id` (which must be absent) and returns its zeroed
+  // slot. Invalidates previously returned UserRefs.
+  virtual UserRef Insert(uint64_t user_id) = 0;
+
+  // The per-step dedup flag, keyed on ref.slot.
+  virtual bool reported(const UserRef& ref) const = 0;
+  virtual void set_reported(const UserRef& ref) = 0;
+  // Clears every user's reported flag (the step boundary).
+  virtual void ClearReported() = 0;
+
+  virtual uint64_t user_count() const = 0;
+
+  // Accounted resident bytes of the backend, including index overhead
+  // (MapStore counts allocator chunk rounding; see MallocChunkBytes).
+  virtual uint64_t MemoryBytes() const = 0;
+
+  // Pre-sizes for `users` registrations; existing entries are kept.
+  virtual void Reserve(uint64_t users) = 0;
+
+  // Appends every (user_id, slot pointer) pair in unspecified order.
+  // Pointers are valid until the next mutation; callers sort before any
+  // order can escape (see BuildSnapshotData).
+  virtual void Dump(
+      std::vector<std::pair<uint64_t, const uint8_t*>>* out) const = 0;
+
+  // Called by the collector after each closed step. SnapshotStore
+  // writes its checkpoint file here; the in-memory backends are a
+  // successful no-op.
+  virtual bool EndStepCheckpoint(const SnapshotContext& context,
+                                 std::string* error);
+
+  virtual StoreStats stats() const;
+
+ protected:
+  const uint32_t slot_bytes_;
+};
+
+// Builds the portable snapshot image of `store` (users sorted by id, so
+// the bytes are a pure function of the logical state).
+SnapshotData BuildSnapshotData(const UserStateStore& store,
+                               const SnapshotContext& context);
+
+// glibc malloc accounting for one heap allocation of `request` bytes
+// (8-byte header, 16-byte granularity, 32-byte minimum chunk). MapStore
+// charges this per index node so bench_state_store compares real
+// resident cost, not sizeof sums.
+uint64_t MallocChunkBytes(uint64_t request);
+
+// Factory. SnapshotStore CHECK-fails on an empty snapshot_path.
+std::unique_ptr<UserStateStore> MakeUserStateStore(const StoreConfig& config,
+                                                   uint32_t slot_bytes);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_SERVER_STORE_USER_STATE_STORE_H_

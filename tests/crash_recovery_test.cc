@@ -1,0 +1,499 @@
+// Crash-recovery fault injection over the snapshot layer: kill a
+// collector (and a loopback IngestServer) mid-step, right after a
+// checkpoint, and mid-snapshot-write, then prove the restored process
+// produces byte-identical estimates AND cumulative counters to an
+// uninterrupted run — and that torn, truncated, or bit-flipped
+// snapshots are rejected with a clean error, never silently loaded.
+//
+// Crash model: a checkpoint is written at every EndStep, so the
+// snapshot always holds the clean state at the start of the current
+// step. A crash mid-step loses only that step's partial ingestion;
+// recovery is restore + replay the whole in-flight step. "Killing" a
+// collector is dropping it (its state is gone; the file survives);
+// killing a server is stopping it without the final EndStep.
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net_test_util.h"
+#include "server/collector.h"
+#include "server/net/framing.h"
+#include "server/net/ingest_server.h"
+#include "server/store/snapshot_file.h"
+#include "server/store/user_state_store.h"
+#include "sim/protocol_spec.h"
+#include "wire/encoding.h"
+
+namespace loloha {
+namespace {
+
+using net_test::ConnectLoopback;
+using net_test::MakeTraffic;
+using net_test::ReadFrame;
+using net_test::SendPhase;
+using net_test::ServerFixture;
+using net_test::Traffic;
+using net_test::WriteAll;
+
+constexpr uint32_t kUsers = 300;
+constexpr uint32_t kDomain = 32;
+constexpr uint32_t kSteps = 3;
+
+const char* const kSpecs[] = {"ololoha:eps_perm=2,eps_first=1",
+                              "bbitflip:eps_perm=3,buckets=8,d=4"};
+
+std::string PidLocalPath(const char* stem) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s_%d.snap", stem,
+                static_cast<int>(getpid()));
+  return buf;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string bytes;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+struct RunResult {
+  std::vector<std::vector<double>> estimates;
+  CollectorStats stats;
+};
+
+// The uninterrupted reference: one collector over all kSteps steps.
+RunResult UninterruptedRun(const ProtocolSpec& spec, const Traffic& traffic) {
+  RunResult out;
+  const std::unique_ptr<Collector> collector = MakeCollector(spec, kDomain);
+  collector->IngestBatch(traffic.hellos);
+  for (const auto& step : traffic.steps) {
+    collector->IngestBatch(step);
+    out.estimates.push_back(collector->EndStep());
+  }
+  out.stats = collector->stats();
+  return out;
+}
+
+class CrashRecoveryTest : public ::testing::TestWithParam<const char*> {};
+
+// Crash after a clean checkpoint: the restored collector finishes the
+// remaining steps byte-identically.
+TEST_P(CrashRecoveryTest, PostEndStepCrashResumesByteIdentical) {
+  const ProtocolSpec spec = ProtocolSpec::MustParse(GetParam());
+  const Traffic traffic = MakeTraffic(spec, 211, kUsers, kDomain, kSteps);
+  const RunResult reference = UninterruptedRun(spec, traffic);
+  const std::string path = PidLocalPath("crash_post_endstep");
+
+  CollectorOptions options;
+  options.store.kind = StoreKind::kSnapshot;
+  options.store.snapshot_path = path;
+  {
+    // Life 1 dies immediately after closing step 1 (checkpoint written).
+    const std::unique_ptr<Collector> collector =
+        MakeCollector(spec, kDomain, options);
+    collector->IngestBatch(traffic.hellos);
+    collector->IngestBatch(traffic.steps[0]);
+    EXPECT_EQ(collector->EndStep(), reference.estimates[0]);
+  }
+
+  const std::unique_ptr<Collector> revived =
+      MakeCollector(spec, kDomain, options);
+  std::string error;
+  ASSERT_TRUE(revived->RestoreSnapshot(path, &error)) << error;
+  EXPECT_EQ(revived->current_step(), 1u);
+  EXPECT_EQ(revived->registered_users(), kUsers);
+  for (uint32_t t = 1; t < kSteps; ++t) {
+    revived->IngestBatch(traffic.steps[t]);
+    EXPECT_EQ(revived->EndStep(), reference.estimates[t]);
+  }
+  EXPECT_EQ(revived->stats(), reference.stats);
+  std::remove(path.c_str());
+}
+
+// Crash with a step half-ingested: the partial step is lost, replaying
+// the whole step lands exactly where the uninterrupted run did.
+TEST_P(CrashRecoveryTest, MidStepCrashReplaysToByteIdentical) {
+  const ProtocolSpec spec = ProtocolSpec::MustParse(GetParam());
+  const Traffic traffic = MakeTraffic(spec, 223, kUsers, kDomain, kSteps);
+  const RunResult reference = UninterruptedRun(spec, traffic);
+  const std::string path = PidLocalPath("crash_mid_step");
+
+  CollectorOptions options;
+  options.store.kind = StoreKind::kSnapshot;
+  options.store.snapshot_path = path;
+  {
+    const std::unique_ptr<Collector> collector =
+        MakeCollector(spec, kDomain, options);
+    collector->IngestBatch(traffic.hellos);
+    collector->IngestBatch(traffic.steps[0]);
+    collector->EndStep();
+    // Half of step 2 lands, then the process dies.
+    const auto& step = traffic.steps[1];
+    collector->IngestBatch(
+        std::span<const Message>(step.data(), step.size() / 2));
+  }
+
+  const std::unique_ptr<Collector> revived =
+      MakeCollector(spec, kDomain, options);
+  std::string error;
+  ASSERT_TRUE(revived->RestoreSnapshot(path, &error)) << error;
+  EXPECT_EQ(revived->current_step(), 1u);
+  for (uint32_t t = 1; t < kSteps; ++t) {
+    revived->IngestBatch(traffic.steps[t]);  // the whole step, replayed
+    EXPECT_EQ(revived->EndStep(), reference.estimates[t]);
+  }
+  EXPECT_EQ(revived->stats(), reference.stats);
+  std::remove(path.c_str());
+}
+
+// Snapshots are portable across backends: a MapStore collector's
+// SaveSnapshot restores into a FlatStore collector, and vice versa.
+TEST_P(CrashRecoveryTest, SnapshotsArePortableAcrossBackends) {
+  const ProtocolSpec spec = ProtocolSpec::MustParse(GetParam());
+  const Traffic traffic = MakeTraffic(spec, 227, kUsers, kDomain, kSteps);
+  const RunResult reference = UninterruptedRun(spec, traffic);
+  const std::string path = PidLocalPath("crash_portable");
+
+  {
+    const std::unique_ptr<Collector> collector =
+        MakeCollector(spec, kDomain, CollectorOptions{});  // MapStore
+    collector->IngestBatch(traffic.hellos);
+    collector->IngestBatch(traffic.steps[0]);
+    collector->EndStep();
+    std::string error;
+    ASSERT_TRUE(collector->SaveSnapshot(path, &error)) << error;
+  }
+
+  CollectorOptions flat;
+  flat.store.kind = StoreKind::kFlat;
+  const std::unique_ptr<Collector> revived =
+      MakeCollector(spec, kDomain, flat);
+  std::string error;
+  ASSERT_TRUE(revived->RestoreSnapshot(path, &error)) << error;
+  for (uint32_t t = 1; t < kSteps; ++t) {
+    revived->IngestBatch(traffic.steps[t]);
+    EXPECT_EQ(revived->EndStep(), reference.estimates[t]);
+  }
+  EXPECT_EQ(revived->stats(), reference.stats);
+  std::remove(path.c_str());
+}
+
+// A crash mid-snapshot-write leaves a stale .tmp file; the committed
+// snapshot (atomic rename) is untouched and restores normally.
+TEST_P(CrashRecoveryTest, TornWriteLeavesCommittedSnapshotIntact) {
+  const ProtocolSpec spec = ProtocolSpec::MustParse(GetParam());
+  const Traffic traffic = MakeTraffic(spec, 229, kUsers, kDomain, kSteps);
+  const std::string path = PidLocalPath("crash_torn_write");
+
+  CollectorOptions options;
+  options.store.kind = StoreKind::kSnapshot;
+  options.store.snapshot_path = path;
+  {
+    const std::unique_ptr<Collector> collector =
+        MakeCollector(spec, kDomain, options);
+    collector->IngestBatch(traffic.hellos);
+    collector->IngestBatch(traffic.steps[0]);
+    collector->EndStep();
+  }
+  // Simulate dying halfway through the next checkpoint's write: a
+  // partial image exists only under the .tmp name.
+  const std::string committed = ReadFileBytes(path);
+  WriteFileBytes(path + ".tmp", committed.substr(0, committed.size() / 3));
+
+  const std::unique_ptr<Collector> revived =
+      MakeCollector(spec, kDomain, options);
+  std::string error;
+  ASSERT_TRUE(revived->RestoreSnapshot(path, &error)) << error;
+  EXPECT_EQ(revived->registered_users(), kUsers);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+// Truncations at any length and bit flips in CRC-covered bytes are
+// rejected with a clean error, and the collector is left unchanged.
+TEST_P(CrashRecoveryTest, TruncatedAndCorruptSnapshotsAreRejected) {
+  const ProtocolSpec spec = ProtocolSpec::MustParse(GetParam());
+  const Traffic traffic = MakeTraffic(spec, 233, kUsers, kDomain, 1);
+  const std::string path = PidLocalPath("crash_corrupt");
+  const std::string mangled = PidLocalPath("crash_corrupt_mangled");
+
+  CollectorOptions options;
+  options.store.kind = StoreKind::kSnapshot;
+  options.store.snapshot_path = path;
+  {
+    const std::unique_ptr<Collector> collector =
+        MakeCollector(spec, kDomain, options);
+    collector->IngestBatch(traffic.hellos);
+    collector->IngestBatch(traffic.steps[0]);
+    collector->EndStep();
+  }
+  const std::string good = ReadFileBytes(path);
+
+  const std::unique_ptr<Collector> victim =
+      MakeCollector(spec, kDomain, CollectorOptions{});
+  const size_t truncations[] = {0, 1, 15, 16, 17, good.size() / 2,
+                                good.size() - 1};
+  for (const size_t len : truncations) {
+    WriteFileBytes(mangled, good.substr(0, len));
+    std::string error;
+    EXPECT_FALSE(victim->RestoreSnapshot(mangled, &error)) << "len=" << len;
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(victim->registered_users(), 0u);  // victim untouched
+    EXPECT_EQ(victim->current_step(), 0u);
+  }
+
+  // Bit flips across the file: header magic, a section tag, and payload
+  // bytes deep in every section. (Bytes 10-11 are the header's reserved
+  // pad — the only two bytes no check covers.)
+  const size_t flips[] = {0, 5, 16, 40, 80, good.size() / 2, good.size() - 5};
+  for (const size_t at : flips) {
+    if (at >= good.size()) continue;
+    std::string bad = good;
+    bad[at] = static_cast<char>(bad[at] ^ 0x40);
+    WriteFileBytes(mangled, bad);
+    std::string error;
+    EXPECT_FALSE(victim->RestoreSnapshot(mangled, &error)) << "at=" << at;
+    EXPECT_FALSE(error.empty());
+  }
+
+  // Appended trailing garbage is also rejected (exact-length format).
+  WriteFileBytes(mangled, good + "xx");
+  std::string error;
+  EXPECT_FALSE(victim->RestoreSnapshot(mangled, &error));
+
+  // And the pristine file still restores into the same collector.
+  ASSERT_TRUE(victim->RestoreSnapshot(path, &error)) << error;
+  EXPECT_EQ(victim->registered_users(), kUsers);
+  std::remove(path.c_str());
+  std::remove(mangled.c_str());
+}
+
+// A snapshot from a different deployment configuration is refused.
+TEST_P(CrashRecoveryTest, SignatureMismatchIsRejected) {
+  const ProtocolSpec spec = ProtocolSpec::MustParse(GetParam());
+  const Traffic traffic = MakeTraffic(spec, 239, kUsers, kDomain, 1);
+  const std::string path = PidLocalPath("crash_signature");
+
+  {
+    const std::unique_ptr<Collector> collector =
+        MakeCollector(spec, kDomain, CollectorOptions{});
+    collector->IngestBatch(traffic.hellos);
+    collector->EndStep();
+    std::string error;
+    ASSERT_TRUE(collector->SaveSnapshot(path, &error)) << error;
+  }
+
+  // Same protocol, different shard stamp: refused.
+  CollectorOptions other_shard;
+  other_shard.signature_suffix = "shard=1/4";
+  const std::unique_ptr<Collector> shard_collector =
+      MakeCollector(spec, kDomain, other_shard);
+  std::string error;
+  EXPECT_FALSE(shard_collector->RestoreSnapshot(path, &error));
+  EXPECT_NE(error.find("signature"), std::string::npos) << error;
+
+  // Different protocol parameters: refused.
+  const ProtocolSpec other_spec = ProtocolSpec::MustParse(
+      spec.IsLolohaVariant() ? "ololoha:eps_perm=4,eps_first=1"
+                             : "bbitflip:eps_perm=5,buckets=8,d=4");
+  const std::unique_ptr<Collector> other_collector =
+      MakeCollector(other_spec, kDomain, CollectorOptions{});
+  EXPECT_FALSE(other_collector->RestoreSnapshot(path, &error));
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothProtocols, CrashRecoveryTest,
+                         ::testing::ValuesIn(kSpecs),
+                         [](const auto& param_info) {
+                           return std::string(param_info.param).substr(0, 3) ==
+                                          "olo"
+                                      ? "loloha"
+                                      : "dbitflip";
+                         });
+
+// ---------------------------------------------------------------------------
+// The sharded server front: crash mid-step, restore, replay.
+// ---------------------------------------------------------------------------
+
+class ServerCrashRecoveryTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::string MakeDir(const char* stem) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s_%d", stem, static_cast<int>(getpid()));
+    ::mkdir(buf, 0755);
+    return buf;
+  }
+
+  void RemoveDir(const std::string& dir, uint32_t shards) {
+    for (uint32_t shard = 0; shard < shards; ++shard) {
+      char name[160];
+      std::snprintf(name, sizeof(name), "%s/shard_%u-of-%u.snap", dir.c_str(),
+                    shard, shards);
+      std::remove(name);
+    }
+    ::rmdir(dir.c_str());
+  }
+
+  IngestServerConfig SnapshotConfig(const std::string& dir, bool restore) {
+    IngestServerConfig config;
+    config.num_shards = 2;
+    config.collector_options.store.kind = StoreKind::kSnapshot;
+    config.snapshot_dir = dir;
+    config.restore_snapshots = restore;
+    return config;
+  }
+};
+
+TEST_P(ServerCrashRecoveryTest, MidStepServerCrashReplaysByteIdentical) {
+  const ProtocolSpec spec = ProtocolSpec::MustParse(GetParam());
+  const Traffic traffic = MakeTraffic(spec, 241, kUsers, kDomain, kSteps);
+  const RunResult reference = UninterruptedRun(spec, traffic);
+  const std::string dir = MakeDir("server_crash_midstep");
+
+  std::string end_step;
+  AppendControlFrame(FrameType::kEndStep, &end_step);
+
+  // Life 1: step 1 closes cleanly (checkpoint), then the server goes
+  // down with step 2 half-delivered and never checkpointed.
+  {
+    ServerFixture fixture(spec, kDomain, SnapshotConfig(dir, false));
+    ASSERT_TRUE(fixture.start_ok());
+    const int fd = ConnectLoopback(fixture.server().port());
+    ASSERT_GE(fd, 0);
+    SendPhase({fd}, traffic.hellos);
+    SendPhase({fd}, traffic.steps[0]);
+    ASSERT_TRUE(WriteAll(fd, end_step));
+    Frame frame;
+    ASSERT_TRUE(ReadFrame(fd, &frame));
+    ASSERT_EQ(frame.type, FrameType::kEstimates);
+    std::vector<Message> half(traffic.steps[1].begin(),
+                              traffic.steps[1].begin() +
+                                  traffic.steps[1].size() / 2);
+    SendPhase({fd}, half);
+    close(fd);
+    fixture.Join();  // dies without closing step 2
+  }
+
+  // Life 2: restore, replay step 2 in full, finish the deployment.
+  {
+    ServerFixture fixture(spec, kDomain, SnapshotConfig(dir, true));
+    ASSERT_TRUE(fixture.start_ok());
+    EXPECT_EQ(fixture.server().server_stats().shards_restored, 2u);
+    const int fd = ConnectLoopback(fixture.server().port());
+    ASSERT_GE(fd, 0);
+    for (uint32_t t = 1; t < kSteps; ++t) {
+      SendPhase({fd}, traffic.steps[t]);
+      ASSERT_TRUE(WriteAll(fd, end_step));
+      Frame frame;
+      ASSERT_TRUE(ReadFrame(fd, &frame));
+      ASSERT_EQ(frame.type, FrameType::kEstimates);
+      EXPECT_EQ(frame.estimates, reference.estimates[t]);
+    }
+    EXPECT_EQ(fixture.server().TotalStats(), reference.stats);
+    close(fd);
+    fixture.Join();
+  }
+  RemoveDir(dir, 2);
+}
+
+TEST_P(ServerCrashRecoveryTest, ShardSetTornAcrossStepsRefusesToStart) {
+  const ProtocolSpec spec = ProtocolSpec::MustParse(GetParam());
+  const Traffic traffic = MakeTraffic(spec, 251, kUsers, kDomain, 2);
+  const std::string dir = MakeDir("server_crash_torn");
+
+  std::string end_step;
+  AppendControlFrame(FrameType::kEndStep, &end_step);
+  {
+    ServerFixture fixture(spec, kDomain, SnapshotConfig(dir, false));
+    ASSERT_TRUE(fixture.start_ok());
+    const int fd = ConnectLoopback(fixture.server().port());
+    ASSERT_GE(fd, 0);
+    SendPhase({fd}, traffic.hellos);
+    SendPhase({fd}, traffic.steps[0]);
+    ASSERT_TRUE(WriteAll(fd, end_step));
+    Frame frame;
+    ASSERT_TRUE(ReadFrame(fd, &frame));
+
+    // Keep shard 0's step-1 checkpoint, then close step 2 so the live
+    // files advance to step 2.
+    const std::string stale =
+        ReadFileBytes(fixture.server().ShardSnapshotPath(0));
+    SendPhase({fd}, traffic.steps[1]);
+    ASSERT_TRUE(WriteAll(fd, end_step));
+    ASSERT_TRUE(ReadFrame(fd, &frame));
+    close(fd);
+    fixture.Join();
+
+    // Tear the set: shard 0 at step 1, shard 1 at step 2.
+    WriteFileBytes(fixture.server().ShardSnapshotPath(0), stale);
+  }
+  {
+    IngestServer server(spec, kDomain, SnapshotConfig(dir, true));
+    EXPECT_FALSE(server.Start());
+  }
+  RemoveDir(dir, 2);
+}
+
+TEST_P(ServerCrashRecoveryTest, CorruptShardSnapshotRefusesToStart) {
+  const ProtocolSpec spec = ProtocolSpec::MustParse(GetParam());
+  const Traffic traffic = MakeTraffic(spec, 257, kUsers, kDomain, 1);
+  const std::string dir = MakeDir("server_crash_corrupt");
+
+  std::string end_step;
+  AppendControlFrame(FrameType::kEndStep, &end_step);
+  std::string shard0_path;
+  {
+    ServerFixture fixture(spec, kDomain, SnapshotConfig(dir, false));
+    ASSERT_TRUE(fixture.start_ok());
+    shard0_path = fixture.server().ShardSnapshotPath(0);
+    const int fd = ConnectLoopback(fixture.server().port());
+    ASSERT_GE(fd, 0);
+    SendPhase({fd}, traffic.hellos);
+    SendPhase({fd}, traffic.steps[0]);
+    ASSERT_TRUE(WriteAll(fd, end_step));
+    Frame frame;
+    ASSERT_TRUE(ReadFrame(fd, &frame));
+    close(fd);
+    fixture.Join();
+  }
+  std::string bytes = ReadFileBytes(shard0_path);
+  bytes[bytes.size() / 2] =
+      static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  WriteFileBytes(shard0_path, bytes);
+  {
+    IngestServer server(spec, kDomain, SnapshotConfig(dir, true));
+    EXPECT_FALSE(server.Start());
+  }
+  RemoveDir(dir, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothProtocols, ServerCrashRecoveryTest,
+                         ::testing::ValuesIn(kSpecs),
+                         [](const auto& param_info) {
+                           return std::string(param_info.param).substr(0, 3) ==
+                                          "olo"
+                                      ? "loloha"
+                                      : "dbitflip";
+                         });
+
+}  // namespace
+}  // namespace loloha

@@ -2,217 +2,47 @@
 // thread, real sockets, and the PR's central claim — estimates and
 // counters byte-identical to direct in-process ingestion at any shard
 // count — plus the failure paths (malformed wire payloads, garbage
-// frames, truncation at EOF) and the stats endpoint.
+// frames, truncation at EOF), the stats endpoint, and a full
+// stop/restore/resume cycle over shard snapshots. The client plumbing
+// and traffic generator live in net_test_util.h, shared with
+// crash_recovery_test.cc.
 
 #include "server/net/ingest_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
-#include <cerrno>
+#include <cstdio>
 #include <memory>
 #include <string>
-#include <thread>
 #include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 
-#include "core/loloha.h"
-#include "core/loloha_params.h"
-#include "longitudinal/dbitflip.h"
+#include "net_test_util.h"
 #include "server/collector.h"
 #include "server/net/framing.h"
+#include "server/store/user_state_store.h"
 #include "sim/protocol_spec.h"
-#include "util/rng.h"
 #include "wire/encoding.h"
 
 namespace loloha {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Blocking loopback client helpers.
-// ---------------------------------------------------------------------------
-
-int ConnectLoopback(uint16_t port) {
-  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) return -1;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    close(fd);
-    return -1;
-  }
-  const int one = 1;
-  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return fd;
-}
-
-bool WriteAll(int fd, const std::string& bytes) {
-  size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = write(fd, bytes.data() + off, bytes.size() - off);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return false;
-    off += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-bool ReadExact(int fd, char* buf, size_t size) {
-  size_t off = 0;
-  while (off < size) {
-    const ssize_t n = read(fd, buf + off, size - off);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return false;
-    off += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-uint32_t HeaderPayloadLen(const char* header) {
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<uint32_t>(static_cast<uint8_t>(header[i])) << (8 * i);
-  }
-  return v;
-}
-
-bool ReadFrame(int fd, Frame* frame) {
-  char header[kFrameHeaderBytes];
-  if (!ReadExact(fd, header, sizeof(header))) return false;
-  const uint32_t payload_len = HeaderPayloadLen(header);
-  std::string payload(payload_len, '\0');
-  if (payload_len > 0 && !ReadExact(fd, payload.data(), payload_len)) {
-    return false;
-  }
-  FrameParser parser;
-  parser.Feed(header, sizeof(header));
-  parser.Feed(payload.data(), payload.size());
-  return parser.Next(frame) == FrameStatus::kFrame;
-}
-
-// Reads until the peer closes — the stats endpoint's one-shot contract.
-std::string ReadUntilEof(int fd) {
-  std::string text;
-  char buf[4096];
-  for (;;) {
-    const ssize_t n = read(fd, buf, sizeof(buf));
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return text;
-    text.append(buf, static_cast<size_t>(n));
-  }
-}
-
-// A server running on its own thread, stopped and joined on scope exit.
-class ServerFixture {
- public:
-  ServerFixture(const ProtocolSpec& spec, uint32_t k,
-                const IngestServerConfig& config)
-      : server_(spec, k, config) {
-    start_ok_ = server_.Start();
-    if (start_ok_) thread_ = std::thread([this] { server_.Run(); });
-  }
-  ~ServerFixture() { Join(); }
-
-  // Idempotent; after the first call the server is fully drained.
-  void Join() {
-    if (thread_.joinable()) {
-      server_.Stop();
-      thread_.join();
-    }
-  }
-
-  // Waits for the server to exit on its own (a kShutdown frame) instead
-  // of forcing Stop() — Stop() can win the race against frames still
-  // sitting unread in kernel socket buffers.
-  void AwaitExit() {
-    if (thread_.joinable()) thread_.join();
-  }
-
-  bool start_ok() const { return start_ok_; }
-  IngestServer& server() { return server_; }
-
- private:
-  IngestServer server_;
-  bool start_ok_ = false;
-  std::thread thread_;
-};
-
-// ---------------------------------------------------------------------------
-// Traffic (pre-encoded, fixed seed).
-// ---------------------------------------------------------------------------
-
-struct Traffic {
-  std::vector<Message> hellos;
-  std::vector<std::vector<Message>> steps;
-};
+using net_test::ConnectLoopback;
+using net_test::MakeTraffic;
+using net_test::ReadExact;
+using net_test::ReadFrame;
+using net_test::ReadUntilEof;
+using net_test::SendPhase;
+using net_test::ServerFixture;
+using net_test::Traffic;
+using net_test::WriteAll;
 
 constexpr uint32_t kUsers = 600;
 constexpr uint32_t kDomain = 32;
 constexpr uint32_t kSteps = 2;
-
-Traffic MakeTraffic(const ProtocolSpec& spec, uint64_t seed) {
-  Rng rng(seed);
-  Traffic traffic;
-  traffic.steps.resize(kSteps);
-  if (spec.IsLolohaVariant()) {
-    const LolohaParams params = LolohaParamsForSpec(spec, kDomain);
-    std::vector<LolohaClient> clients;
-    for (uint32_t u = 0; u < kUsers; ++u) {
-      clients.emplace_back(params, rng);
-      traffic.hellos.push_back(
-          Message{u, EncodeLolohaHello(clients[u].hash())});
-    }
-    for (uint32_t t = 0; t < kSteps; ++t) {
-      for (uint32_t u = 0; u < kUsers; ++u) {
-        traffic.steps[t].push_back(Message{
-            u, EncodeLolohaReport(clients[u].Report((u + t) % kDomain, rng))});
-      }
-    }
-  } else {
-    const Bucketizer bucketizer(kDomain, spec.buckets);
-    std::vector<DBitFlipClient> clients;
-    for (uint32_t u = 0; u < kUsers; ++u) {
-      clients.emplace_back(bucketizer, spec.d, spec.eps_perm, rng);
-      traffic.hellos.push_back(
-          Message{u, EncodeDBitHello(clients[u].sampled())});
-    }
-    for (uint32_t t = 0; t < kSteps; ++t) {
-      for (uint32_t u = 0; u < kUsers; ++u) {
-        traffic.steps[t].push_back(Message{
-            u,
-            EncodeDBitReport(clients[u].Report((u + t) % kDomain, rng).bits)});
-      }
-    }
-  }
-  return traffic;
-}
-
-// Sends messages[u] over connection u % conns.size(), fences each
-// connection with a barrier, and waits for every ack.
-void SendPhase(const std::vector<int>& conns,
-               const std::vector<Message>& messages) {
-  for (size_t c = 0; c < conns.size(); ++c) {
-    std::string buf;
-    for (size_t u = c; u < messages.size(); u += conns.size()) {
-      AppendDataFrame(messages[u].user_id, messages[u].bytes, &buf);
-    }
-    AppendControlFrame(FrameType::kBarrier, &buf);
-    ASSERT_TRUE(WriteAll(conns[c], buf));
-  }
-  for (const int fd : conns) {
-    Frame frame;
-    ASSERT_TRUE(ReadFrame(fd, &frame));
-    ASSERT_EQ(frame.type, FrameType::kBarrierAck);
-  }
-}
 
 // ---------------------------------------------------------------------------
 // Byte-identity across the network path, spec x shard count.
@@ -224,7 +54,7 @@ class IngestServerIdentityTest
 TEST_P(IngestServerIdentityTest, MatchesDirectIngestExactly) {
   const ProtocolSpec spec = ProtocolSpec::MustParse(std::get<0>(GetParam()));
   const uint32_t shards = std::get<1>(GetParam());
-  const Traffic traffic = MakeTraffic(spec, 97);
+  const Traffic traffic = MakeTraffic(spec, 97, kUsers, kDomain, kSteps);
 
   std::vector<std::vector<double>> reference;
   CollectorStats reference_stats;
@@ -296,7 +126,7 @@ ProtocolSpec TestSpec() {
 
 TEST(IngestServerTest, MalformedWirePayloadIsCountedNotFatal) {
   const ProtocolSpec spec = TestSpec();
-  const Traffic traffic = MakeTraffic(spec, 3);
+  const Traffic traffic = MakeTraffic(spec, 3, kUsers, kDomain, kSteps);
   ServerFixture fixture(spec, kDomain, IngestServerConfig{});
   ASSERT_TRUE(fixture.start_ok());
   const int fd = ConnectLoopback(fixture.server().port());
@@ -378,7 +208,7 @@ TEST(IngestServerTest, TruncatedFrameAtEofIsProtocolError) {
 
 TEST(IngestServerTest, StatsEndpointServesSnapshotAndCloses) {
   const ProtocolSpec spec = TestSpec();
-  const Traffic traffic = MakeTraffic(spec, 5);
+  const Traffic traffic = MakeTraffic(spec, 5, kUsers, kDomain, kSteps);
   ServerFixture fixture(spec, kDomain, IngestServerConfig{});
   ASSERT_TRUE(fixture.start_ok());
 
@@ -403,7 +233,7 @@ TEST(IngestServerTest, StatsEndpointServesSnapshotAndCloses) {
 
 TEST(IngestServerTest, ShutdownFrameDrainsAndStops) {
   const ProtocolSpec spec = TestSpec();
-  const Traffic traffic = MakeTraffic(spec, 17);
+  const Traffic traffic = MakeTraffic(spec, 17, kUsers, kDomain, kSteps);
   IngestServerConfig config;
   config.num_shards = 2;
   ServerFixture fixture(spec, kDomain, config);
@@ -427,7 +257,7 @@ TEST(IngestServerTest, ShutdownFrameDrainsAndStops) {
 
 TEST(IngestServerTest, MonitorObservesSteps) {
   const ProtocolSpec spec = TestSpec();
-  const Traffic traffic = MakeTraffic(spec, 23);
+  const Traffic traffic = MakeTraffic(spec, 23, kUsers, kDomain, kSteps);
   IngestServerConfig config;
   config.enable_monitor = true;
   ServerFixture fixture(spec, kDomain, config);
@@ -458,7 +288,7 @@ TEST(IngestServerTest, MonitorObservesSteps) {
 
 TEST(IngestServerTest, BackpressureStallsResolveWithoutLoss) {
   const ProtocolSpec spec = TestSpec();
-  const Traffic traffic = MakeTraffic(spec, 41);
+  const Traffic traffic = MakeTraffic(spec, 41, kUsers, kDomain, kSteps);
   IngestServerConfig config;
   config.num_shards = 1;
   config.flush_max_batch = 4;  // tiny batches ...
@@ -485,6 +315,135 @@ TEST(IngestServerTest, BackpressureStallsResolveWithoutLoss) {
   EXPECT_EQ(stats.hellos_accepted, kUsers);
   EXPECT_EQ(stats.reports_accepted, kUsers);
   EXPECT_EQ(fixture.server().server_stats().protocol_errors, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Restart: stop the server, restore a fresh one from shard snapshots,
+// and resume the deployment with nothing lost.
+// ---------------------------------------------------------------------------
+
+// ctest runs suites in parallel from one build dir: keep scratch
+// directories unique per process.
+std::string TempSnapshotDir(const char* stem) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s_%d", stem, static_cast<int>(getpid()));
+  ::mkdir(buf, 0755);
+  return buf;
+}
+
+void RemoveSnapshotDir(const std::string& dir, uint32_t shards) {
+  for (uint32_t shard = 0; shard < shards; ++shard) {
+    char name[160];
+    std::snprintf(name, sizeof(name), "%s/shard_%u-of-%u.snap", dir.c_str(),
+                  shard, shards);
+    std::remove(name);
+  }
+  ::rmdir(dir.c_str());
+}
+
+TEST(IngestServerTest, RestartRestoresShardsAndResumesByteIdentical) {
+  const ProtocolSpec spec = TestSpec();
+  const Traffic traffic = MakeTraffic(spec, 71, kUsers, kDomain, kSteps);
+  const std::string dir = TempSnapshotDir("ingest_restart");
+
+  // Uninterrupted reference: one collector sees the whole deployment.
+  std::vector<std::vector<double>> reference;
+  CollectorStats reference_stats;
+  {
+    const std::unique_ptr<Collector> collector = MakeCollector(spec, kDomain);
+    collector->IngestBatch(traffic.hellos);
+    for (const auto& step : traffic.steps) {
+      collector->IngestBatch(step);
+      reference.push_back(collector->EndStep());
+    }
+    reference_stats = collector->stats();
+  }
+
+  IngestServerConfig config;
+  config.num_shards = 2;
+  config.collector_options.store.kind = StoreKind::kSnapshot;
+  config.snapshot_dir = dir;
+
+  std::string end_step;
+  AppendControlFrame(FrameType::kEndStep, &end_step);
+
+  // Life 1: register the fleet, close step 1 (which checkpoints every
+  // shard), then go down without ceremony.
+  {
+    ServerFixture fixture(spec, kDomain, config);
+    ASSERT_TRUE(fixture.start_ok());
+    const int fd = ConnectLoopback(fixture.server().port());
+    ASSERT_GE(fd, 0);
+    SendPhase({fd}, traffic.hellos);
+    SendPhase({fd}, traffic.steps[0]);
+    ASSERT_TRUE(WriteAll(fd, end_step));
+    Frame frame;
+    ASSERT_TRUE(ReadFrame(fd, &frame));
+    ASSERT_EQ(frame.type, FrameType::kEstimates);
+    EXPECT_EQ(frame.estimates, reference[0]);
+    close(fd);
+    fixture.Join();
+  }
+
+  // Life 2: a brand-new server restores the shard snapshots and serves
+  // step 2 as if nothing happened — estimates and the cumulative
+  // counters (stamped into the snapshots) stay byte-identical.
+  config.restore_snapshots = true;
+  {
+    ServerFixture fixture(spec, kDomain, config);
+    ASSERT_TRUE(fixture.start_ok());
+    EXPECT_EQ(fixture.server().server_stats().shards_restored, 2u);
+    EXPECT_EQ(fixture.server().TotalRegisteredUsers(), kUsers);
+
+    const int fd = ConnectLoopback(fixture.server().port());
+    ASSERT_GE(fd, 0);
+    SendPhase({fd}, traffic.steps[1]);
+    ASSERT_TRUE(WriteAll(fd, end_step));
+    Frame frame;
+    ASSERT_TRUE(ReadFrame(fd, &frame));
+    ASSERT_EQ(frame.type, FrameType::kEstimates);
+    EXPECT_EQ(frame.estimates, reference[1]);
+    EXPECT_EQ(fixture.server().TotalStats(), reference_stats);
+    close(fd);
+    fixture.Join();
+  }
+  RemoveSnapshotDir(dir, 2);
+}
+
+TEST(IngestServerTest, PartialSnapshotSetRefusesToStart) {
+  const ProtocolSpec spec = TestSpec();
+  const Traffic traffic = MakeTraffic(spec, 73, kUsers, kDomain, 1);
+  const std::string dir = TempSnapshotDir("ingest_partial");
+
+  IngestServerConfig config;
+  config.num_shards = 2;
+  config.collector_options.store.kind = StoreKind::kSnapshot;
+  config.snapshot_dir = dir;
+  {
+    ServerFixture fixture(spec, kDomain, config);
+    ASSERT_TRUE(fixture.start_ok());
+    const int fd = ConnectLoopback(fixture.server().port());
+    ASSERT_GE(fd, 0);
+    SendPhase({fd}, traffic.hellos);
+    SendPhase({fd}, traffic.steps[0]);
+    std::string end_step;
+    AppendControlFrame(FrameType::kEndStep, &end_step);
+    ASSERT_TRUE(WriteAll(fd, end_step));
+    Frame frame;
+    ASSERT_TRUE(ReadFrame(fd, &frame));
+    close(fd);
+    fixture.Join();
+  }
+
+  // Delete one shard's snapshot: restore must refuse (all-or-none),
+  // never start half a fleet.
+  std::remove((dir + "/shard_0-of-2.snap").c_str());
+  config.restore_snapshots = true;
+  {
+    IngestServer server(spec, kDomain, config);
+    EXPECT_FALSE(server.Start());
+  }
+  RemoveSnapshotDir(dir, 2);
 }
 
 }  // namespace

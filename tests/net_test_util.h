@@ -1,0 +1,217 @@
+// Shared loopback plumbing for the network-path test suites
+// (ingest_server_test, crash_recovery_test): a blocking client speaking
+// docs/WIRE_PROTOCOL.md, a server-on-a-thread fixture, and the fixed
+// pre-encoded traffic generator both suites compare against direct
+// in-process ingestion. Header-only; gtest assertions inside, so this
+// is for tests/ — bench binaries carry their own CHECK-based copy.
+
+#ifndef LOLOHA_TESTS_NET_TEST_UTIL_H_
+#define LOLOHA_TESTS_NET_TEST_UTIL_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/loloha.h"
+#include "core/loloha_params.h"
+#include "longitudinal/dbitflip.h"
+#include "server/net/framing.h"
+#include "server/net/ingest_server.h"
+#include "sim/protocol_spec.h"
+#include "util/rng.h"
+#include "wire/encoding.h"
+
+namespace loloha {
+namespace net_test {
+
+// ---------------------------------------------------------------------------
+// Blocking loopback client helpers.
+// ---------------------------------------------------------------------------
+
+inline int ConnectLoopback(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(fd);
+    return -1;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+inline bool WriteAll(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+inline bool ReadExact(int fd, char* buf, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = read(fd, buf + off, size - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+inline uint32_t HeaderPayloadLen(const char* header) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(header[i])) << (8 * i);
+  }
+  return v;
+}
+
+inline bool ReadFrame(int fd, Frame* frame) {
+  char header[kFrameHeaderBytes];
+  if (!ReadExact(fd, header, sizeof(header))) return false;
+  const uint32_t payload_len = HeaderPayloadLen(header);
+  std::string payload(payload_len, '\0');
+  if (payload_len > 0 && !ReadExact(fd, payload.data(), payload_len)) {
+    return false;
+  }
+  FrameParser parser;
+  parser.Feed(header, sizeof(header));
+  parser.Feed(payload.data(), payload.size());
+  return parser.Next(frame) == FrameStatus::kFrame;
+}
+
+// Reads until the peer closes — the stats endpoint's one-shot contract.
+inline std::string ReadUntilEof(int fd) {
+  std::string text;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return text;
+    text.append(buf, static_cast<size_t>(n));
+  }
+}
+
+// A server running on its own thread, stopped and joined on scope exit.
+class ServerFixture {
+ public:
+  ServerFixture(const ProtocolSpec& spec, uint32_t k,
+                const IngestServerConfig& config)
+      : server_(spec, k, config) {
+    start_ok_ = server_.Start();
+    if (start_ok_) thread_ = std::thread([this] { server_.Run(); });
+  }
+  ~ServerFixture() { Join(); }
+
+  // Idempotent; after the first call the server is fully drained.
+  void Join() {
+    if (thread_.joinable()) {
+      server_.Stop();
+      thread_.join();
+    }
+  }
+
+  // Waits for the server to exit on its own (a kShutdown frame) instead
+  // of forcing Stop() — Stop() can win the race against frames still
+  // sitting unread in kernel socket buffers.
+  void AwaitExit() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  bool start_ok() const { return start_ok_; }
+  IngestServer& server() { return server_; }
+
+ private:
+  IngestServer server_;
+  bool start_ok_ = false;
+  std::thread thread_;
+};
+
+// ---------------------------------------------------------------------------
+// Traffic (pre-encoded, fixed seed).
+// ---------------------------------------------------------------------------
+
+struct Traffic {
+  std::vector<Message> hellos;
+  std::vector<std::vector<Message>> steps;
+};
+
+inline Traffic MakeTraffic(const ProtocolSpec& spec, uint64_t seed,
+                           uint32_t users, uint32_t domain, uint32_t steps) {
+  Rng rng(seed);
+  Traffic traffic;
+  traffic.steps.resize(steps);
+  if (spec.IsLolohaVariant()) {
+    const LolohaParams params = LolohaParamsForSpec(spec, domain);
+    std::vector<LolohaClient> clients;
+    for (uint32_t u = 0; u < users; ++u) {
+      clients.emplace_back(params, rng);
+      traffic.hellos.push_back(
+          Message{u, EncodeLolohaHello(clients[u].hash())});
+    }
+    for (uint32_t t = 0; t < steps; ++t) {
+      for (uint32_t u = 0; u < users; ++u) {
+        traffic.steps[t].push_back(Message{
+            u, EncodeLolohaReport(clients[u].Report((u + t) % domain, rng))});
+      }
+    }
+  } else {
+    const Bucketizer bucketizer(domain, spec.buckets);
+    std::vector<DBitFlipClient> clients;
+    for (uint32_t u = 0; u < users; ++u) {
+      clients.emplace_back(bucketizer, spec.d, spec.eps_perm, rng);
+      traffic.hellos.push_back(
+          Message{u, EncodeDBitHello(clients[u].sampled())});
+    }
+    for (uint32_t t = 0; t < steps; ++t) {
+      for (uint32_t u = 0; u < users; ++u) {
+        traffic.steps[t].push_back(Message{
+            u,
+            EncodeDBitReport(clients[u].Report((u + t) % domain, rng).bits)});
+      }
+    }
+  }
+  return traffic;
+}
+
+// Sends messages[u] over connection u % conns.size(), fences each
+// connection with a barrier, and waits for every ack.
+inline void SendPhase(const std::vector<int>& conns,
+                      const std::vector<Message>& messages) {
+  for (size_t c = 0; c < conns.size(); ++c) {
+    std::string buf;
+    for (size_t u = c; u < messages.size(); u += conns.size()) {
+      AppendDataFrame(messages[u].user_id, messages[u].bytes, &buf);
+    }
+    AppendControlFrame(FrameType::kBarrier, &buf);
+    ASSERT_TRUE(WriteAll(conns[c], buf));
+  }
+  for (const int fd : conns) {
+    Frame frame;
+    ASSERT_TRUE(ReadFrame(fd, &frame));
+    ASSERT_EQ(frame.type, FrameType::kBarrierAck);
+  }
+}
+
+}  // namespace net_test
+}  // namespace loloha
+
+#endif  // LOLOHA_TESTS_NET_TEST_UTIL_H_

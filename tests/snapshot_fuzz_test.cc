@@ -1,0 +1,274 @@
+// Snapshot-format fuzzing and golden-file pinning
+// (server/store/snapshot_file.h).
+//
+// Fuzz layer: thousands of seeded, reproducible mutations (truncation,
+// byte flips, extension) of a valid snapshot image, plus pure garbage
+// buffers — the loader must never crash, and a mutated image may only
+// parse successfully when every mutated byte lies in the header's
+// 2-byte reserved pad (offsets 10-11), the only bytes no check covers.
+// All randomness flows through loloha::Rng (deterministic across
+// toolchains), per the repo's determinism lint.
+//
+// Golden layer: tests/golden/*.snap are checked-in checkpoint files
+// written by real collectors over fixed traffic. The test regenerates
+// the same bytes and compares them to the files bit for bit, pinning
+// the on-disk format — header layout, section order, CRCs, signature
+// strings, slot packing, stats packing, user sort order. A deliberate
+// format change regenerates them:
+//   LOLOHA_REGEN_GOLDENS=1 ./tests/snapshot_fuzz_test
+
+#include "server/store/snapshot_file.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net_test_util.h"
+#include "server/collector.h"
+#include "sim/protocol_spec.h"
+#include "util/rng.h"
+#include "wire/encoding.h"
+
+namespace loloha {
+namespace {
+
+using net_test::MakeTraffic;
+using net_test::Traffic;
+
+// A small but fully featured snapshot image: real signature, non-zero
+// step, packed stats aux, and a sorted user table.
+std::string MakeValidImage() {
+  SnapshotData data;
+  data.signature = "fuzz-harness k=32 g=8 eps_perm=2 eps_first=1";
+  data.step = 9;
+  data.slot_bytes = 16;
+  data.aux.assign(40, '\x00');
+  Rng rng(0xF022ED);
+  data.slots.resize(64 * 16);
+  for (uint64_t u = 0; u < 64; ++u) {
+    data.user_ids.push_back(u * 1000 + 7);
+    for (uint32_t b = 0; b < 16; ++b) {
+      data.slots[u * 16 + b] = static_cast<uint8_t>(rng.UniformU64());
+    }
+  }
+  return SerializeSnapshot(data);
+}
+
+// The header's reserved pad is the only region no magic/version/CRC
+// check covers.
+bool OnlyReservedTouched(const std::vector<size_t>& offsets) {
+  for (const size_t at : offsets) {
+    if (at != 10 && at != 11) return false;
+  }
+  return !offsets.empty();
+}
+
+TEST(SnapshotFuzzTest, SeededMutationsNeverCrashOrSilentlyLoad) {
+  const std::string good = MakeValidImage();
+  SnapshotData original;
+  std::string error;
+  ASSERT_TRUE(ParseSnapshot(
+      reinterpret_cast<const uint8_t*>(good.data()), good.size(), &original,
+      &error))
+      << error;
+
+  constexpr uint32_t kTrials = 4000;
+  for (uint32_t trial = 0; trial < kTrials; ++trial) {
+    Rng rng(StreamSeed(0x5EED5, trial, 0));
+    std::string mutated = good;
+    std::vector<size_t> flipped;
+    const uint64_t mode = rng.UniformInt(3);
+    if (mode == 0) {
+      // Truncate anywhere, including to empty.
+      mutated.resize(rng.UniformInt(good.size()));
+    } else if (mode == 1) {
+      // Flip 1-8 bytes (guaranteed to change: XOR a non-zero mask).
+      const uint64_t flips = 1 + rng.UniformInt(8);
+      for (uint64_t i = 0; i < flips; ++i) {
+        const size_t at = rng.UniformInt(mutated.size());
+        mutated[at] = static_cast<char>(
+            mutated[at] ^ static_cast<char>(1 + rng.UniformInt(255)));
+        flipped.push_back(at);
+      }
+    } else {
+      // Extend with trailing garbage.
+      const uint64_t extra = 1 + rng.UniformInt(64);
+      for (uint64_t i = 0; i < extra; ++i) {
+        mutated.push_back(static_cast<char>(rng.UniformU64()));
+      }
+    }
+
+    SnapshotData parsed;
+    std::string parse_error;
+    const bool ok =
+        ParseSnapshot(reinterpret_cast<const uint8_t*>(mutated.data()),
+                      mutated.size(), &parsed, &parse_error);
+    if (ok) {
+      // Only flips confined to the reserved pad may slip through — and
+      // then the logical content must still be the original, exactly.
+      ASSERT_EQ(mode, 1u) << "trial " << trial;
+      ASSERT_TRUE(OnlyReservedTouched(flipped)) << "trial " << trial;
+      ASSERT_EQ(parsed, original) << "trial " << trial;
+    } else {
+      ASSERT_FALSE(parse_error.empty()) << "trial " << trial;
+    }
+  }
+  // (ReservedPadBytesAreBenign covers the only-benign-bytes case
+  // deterministically — the random corpus rarely lands both bytes.)
+}
+
+TEST(SnapshotFuzzTest, GarbageBuffersNeverParse) {
+  for (uint32_t trial = 0; trial < 500; ++trial) {
+    Rng rng(StreamSeed(0xBADF00D, trial, 1));
+    std::string garbage(rng.UniformInt(512), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.UniformU64());
+    SnapshotData parsed;
+    std::string error;
+    EXPECT_FALSE(ParseSnapshot(
+        reinterpret_cast<const uint8_t*>(garbage.data()), garbage.size(),
+        &parsed, &error));
+  }
+}
+
+TEST(SnapshotFuzzTest, ReservedPadBytesAreBenign) {
+  std::string image = MakeValidImage();
+  SnapshotData original;
+  std::string error;
+  ASSERT_TRUE(ParseSnapshot(reinterpret_cast<const uint8_t*>(image.data()),
+                            image.size(), &original, &error));
+  image[10] = '\x7f';
+  image[11] = '\x01';
+  SnapshotData parsed;
+  ASSERT_TRUE(ParseSnapshot(reinterpret_cast<const uint8_t*>(image.data()),
+                            image.size(), &parsed, &error))
+      << error;
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(SnapshotFuzzTest, EveryTruncationLengthIsRejected) {
+  // Exhaustive over the whole file, not sampled: a snapshot prefix of
+  // any length parses only at full length.
+  const std::string good = MakeValidImage();
+  SnapshotData parsed;
+  for (size_t len = 0; len < good.size(); ++len) {
+    std::string cut = good.substr(0, len);
+    std::string error;
+    EXPECT_FALSE(ParseSnapshot(reinterpret_cast<const uint8_t*>(cut.data()),
+                               cut.size(), &parsed, &error))
+        << "len=" << len;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden files: the on-disk format, pinned bit for bit.
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kGoldenUsers = 40;
+constexpr uint32_t kGoldenDomain = 32;
+
+// One closed step of fixed-seed traffic through a real collector — the
+// exact production path (signature, slot packing, stats aux, sorting).
+std::string MakeGoldenImage(const char* spec_text) {
+  const ProtocolSpec spec = ProtocolSpec::MustParse(spec_text);
+  const Traffic traffic =
+      MakeTraffic(spec, 4242, kGoldenUsers, kGoldenDomain, 1);
+  const std::unique_ptr<Collector> collector =
+      MakeCollector(spec, kGoldenDomain, CollectorOptions{});
+  collector->IngestBatch(traffic.hellos);
+  collector->IngestBatch(traffic.steps[0]);
+  collector->EndStep();
+
+  char path[128];
+  std::snprintf(path, sizeof(path), "golden_regen_%d.snap",
+                static_cast<int>(getpid()));
+  std::string error;
+  EXPECT_TRUE(collector->SaveSnapshot(path, &error)) << error;
+  std::FILE* f = std::fopen(path, "rb");
+  EXPECT_NE(f, nullptr);
+  std::string bytes;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  std::remove(path);
+  return bytes;
+}
+
+class GoldenSnapshotTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static std::string GoldenPath(const std::string& name) {
+    return std::string(LOLOHA_SOURCE_DIR) + "/tests/golden/" + name;
+  }
+
+  static std::string GoldenName(const char* spec_text) {
+    return std::string(spec_text).substr(0, 3) == "olo" ? "loloha_v1.snap"
+                                                        : "dbitflip_v1.snap";
+  }
+};
+
+TEST_P(GoldenSnapshotTest, CheckedInBytesMatchCurrentWriterExactly) {
+  const std::string expected = MakeGoldenImage(GetParam());
+  const std::string path = GoldenPath(GoldenName(GetParam()));
+
+  if (std::getenv("LOLOHA_REGEN_GOLDENS") != nullptr) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << path;
+    ASSERT_EQ(std::fwrite(expected.data(), 1, expected.size(), f),
+              expected.size());
+    std::fclose(f);
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << "missing golden " << path
+                        << " (LOLOHA_REGEN_GOLDENS=1 to create)";
+  std::string golden;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) golden.append(buf, n);
+  std::fclose(f);
+
+  // Bit-for-bit: any drift in the writer (header, section order, CRC,
+  // signature text, slot packing, sort) fails here before it can strand
+  // deployed snapshot files.
+  ASSERT_EQ(golden.size(), expected.size());
+  EXPECT_TRUE(golden == expected)
+      << "snapshot writer no longer reproduces the pinned v1 format";
+}
+
+TEST_P(GoldenSnapshotTest, CheckedInFileParsesAndRestores) {
+  const std::string path = GoldenPath(GoldenName(GetParam()));
+  SnapshotData data;
+  std::string error;
+  ASSERT_TRUE(ReadSnapshotFile(path, &data, &error)) << error;
+  EXPECT_EQ(data.step, 1u);
+  EXPECT_EQ(data.user_ids.size(), kGoldenUsers);
+  EXPECT_EQ(data.aux.size(), 40u);
+
+  // A fresh collector of the same deployment restores from the golden
+  // file — v1 files stay loadable.
+  const ProtocolSpec spec = ProtocolSpec::MustParse(GetParam());
+  const std::unique_ptr<Collector> collector =
+      MakeCollector(spec, kGoldenDomain, CollectorOptions{});
+  ASSERT_TRUE(collector->RestoreSnapshot(path, &error)) << error;
+  EXPECT_EQ(collector->registered_users(), kGoldenUsers);
+  EXPECT_EQ(collector->current_step(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothProtocols, GoldenSnapshotTest,
+                         ::testing::Values("ololoha:eps_perm=2,eps_first=1",
+                                           "bbitflip:eps_perm=3,buckets=8,d=4"),
+                         [](const auto& param_info) {
+                           return std::string(param_info.param).substr(0, 3) ==
+                                          "olo"
+                                      ? "loloha"
+                                      : "dbitflip";
+                         });
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,359 @@
+// The user-state backends (server/store/user_state_store.h): direct
+// unit coverage of each store's slot/reported/growth contract, and the
+// PR's central claim — a collector's estimates, stats, and rejection
+// counters are byte-identical across {MapStore, FlatStore,
+// SnapshotStore} at any thread count, for both protocol families.
+
+#include "server/store/user_state_store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net_test_util.h"
+#include "server/collector.h"
+#include "server/store/snapshot_file.h"
+#include "sim/protocol_spec.h"
+#include "util/rng.h"
+#include "wire/encoding.h"
+
+namespace loloha {
+namespace {
+
+using net_test::MakeTraffic;
+using net_test::Traffic;
+
+std::string PidLocalPath(const char* stem) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s_%d.snap", stem,
+                static_cast<int>(getpid()));
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Direct store contract, identical across backends.
+// ---------------------------------------------------------------------------
+
+class StoreContractTest : public ::testing::TestWithParam<StoreKind> {
+ protected:
+  std::unique_ptr<UserStateStore> MakeStore(uint32_t slot_bytes,
+                                            uint64_t reserve = 0) {
+    StoreConfig config;
+    config.kind = GetParam();
+    config.reserve_users = reserve;
+    if (config.kind == StoreKind::kSnapshot) {
+      path_ = PidLocalPath("state_store_contract");
+      config.snapshot_path = path_;
+    }
+    return MakeUserStateStore(config, slot_bytes);
+  }
+
+  ~StoreContractTest() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  std::string path_;
+};
+
+TEST_P(StoreContractTest, InsertFindAndZeroedSlots) {
+  const std::unique_ptr<UserStateStore> store = MakeStore(8);
+  EXPECT_EQ(store->kind(), GetParam());
+  EXPECT_EQ(store->user_count(), 0u);
+  EXPECT_FALSE(store->Find(42));
+
+  const UserRef inserted = store->Insert(42);
+  ASSERT_TRUE(inserted);
+  uint64_t slot_value = 0;
+  std::memcpy(&slot_value, inserted.state, 8);
+  EXPECT_EQ(slot_value, 0u);  // Insert() hands out a zeroed slot
+
+  const uint64_t payload = 0xDEADBEEFCAFEF00Dull;
+  std::memcpy(inserted.state, &payload, 8);
+  const UserRef found = store->Find(42);
+  ASSERT_TRUE(found);
+  std::memcpy(&slot_value, found.state, 8);
+  EXPECT_EQ(slot_value, payload);
+  EXPECT_EQ(store->user_count(), 1u);
+  EXPECT_FALSE(store->Find(43));
+}
+
+TEST_P(StoreContractTest, ReportedBitsClearAtStepBoundary) {
+  const std::unique_ptr<UserStateStore> store = MakeStore(4);
+  for (uint64_t u = 0; u < 100; ++u) store->Insert(u);
+  for (uint64_t u = 0; u < 100; ++u) {
+    const UserRef ref = store->Find(u);
+    ASSERT_TRUE(ref);
+    EXPECT_FALSE(store->reported(ref));
+    if (u % 3 == 0) store->set_reported(ref);
+  }
+  for (uint64_t u = 0; u < 100; ++u) {
+    const UserRef ref = store->Find(u);
+    EXPECT_EQ(store->reported(ref), u % 3 == 0);
+  }
+  store->ClearReported();
+  for (uint64_t u = 0; u < 100; ++u) {
+    EXPECT_FALSE(store->reported(store->Find(u)));
+  }
+}
+
+TEST_P(StoreContractTest, StateAndReportedBitsSurviveGrowth) {
+  // No Reserve: force the open-addressed backends through several
+  // rehashes, with reported bits set mid-stream.
+  const std::unique_ptr<UserStateStore> store = MakeStore(8);
+  constexpr uint64_t kCount = 5000;
+  for (uint64_t u = 0; u < kCount; ++u) {
+    const uint64_t id = Mix64(u);
+    const UserRef ref = store->Insert(id);
+    std::memcpy(ref.state, &u, 8);
+    if (u % 7 == 0) store->set_reported(ref);
+  }
+  EXPECT_EQ(store->user_count(), kCount);
+  for (uint64_t u = 0; u < kCount; ++u) {
+    const UserRef ref = store->Find(Mix64(u));
+    ASSERT_TRUE(ref);
+    uint64_t stored = 0;
+    std::memcpy(&stored, ref.state, 8);
+    EXPECT_EQ(stored, u);
+    EXPECT_EQ(store->reported(ref), u % 7 == 0);
+  }
+}
+
+TEST_P(StoreContractTest, ReserveKeepsExistingEntries) {
+  const std::unique_ptr<UserStateStore> store = MakeStore(8);
+  for (uint64_t u = 0; u < 50; ++u) {
+    const UserRef ref = store->Insert(Mix64(u));
+    std::memcpy(ref.state, &u, 8);
+  }
+  store->Reserve(100000);
+  EXPECT_EQ(store->user_count(), 50u);
+  for (uint64_t u = 0; u < 50; ++u) {
+    const UserRef ref = store->Find(Mix64(u));
+    ASSERT_TRUE(ref);
+    uint64_t stored = 0;
+    std::memcpy(&stored, ref.state, 8);
+    EXPECT_EQ(stored, u);
+  }
+}
+
+TEST_P(StoreContractTest, DumpCoversEveryUserOnce) {
+  const std::unique_ptr<UserStateStore> store = MakeStore(8);
+  for (uint64_t u = 0; u < 500; ++u) store->Insert(Mix64(u));
+  std::vector<std::pair<uint64_t, const uint8_t*>> entries;
+  store->Dump(&entries);
+  ASSERT_EQ(entries.size(), 500u);
+  std::vector<uint64_t> ids;
+  for (const auto& entry : entries) ids.push_back(entry.first);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, StoreContractTest,
+                         ::testing::Values(StoreKind::kMap, StoreKind::kFlat,
+                                           StoreKind::kSnapshot),
+                         [](const auto& param_info) {
+                           return std::string(StoreKindName(param_info.param));
+                         });
+
+TEST(StateStoreTest, KindNamesRoundTrip) {
+  for (const StoreKind kind :
+       {StoreKind::kMap, StoreKind::kFlat, StoreKind::kSnapshot}) {
+    StoreKind parsed = StoreKind::kMap;
+    ASSERT_TRUE(ParseStoreKind(StoreKindName(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  StoreKind parsed = StoreKind::kMap;
+  EXPECT_FALSE(ParseStoreKind("mmap", &parsed));
+  EXPECT_FALSE(ParseStoreKind("", &parsed));
+}
+
+TEST(StateStoreTest, FlatIsAtMostHalfOfMapWhenReserved) {
+  // The full-size claim is bench_state_store's 10M-user gate; this pins
+  // the same inequality at test scale so a regression fails fast.
+  constexpr uint64_t kUsersHere = 50000;
+  StoreConfig map_config;
+  map_config.reserve_users = kUsersHere;
+  StoreConfig flat_config;
+  flat_config.kind = StoreKind::kFlat;
+  flat_config.reserve_users = kUsersHere;
+  const auto map_store = MakeUserStateStore(map_config, 16);
+  const auto flat_store = MakeUserStateStore(flat_config, 16);
+  for (uint64_t u = 0; u < kUsersHere; ++u) {
+    map_store->Insert(Mix64(u));
+    flat_store->Insert(Mix64(u));
+  }
+  EXPECT_LE(flat_store->MemoryBytes() * 2, map_store->MemoryBytes());
+}
+
+TEST(StateStoreTest, SnapshotStoreCheckpointsAtEndStep) {
+  const std::string path = PidLocalPath("state_store_checkpoint");
+  StoreConfig config;
+  config.kind = StoreKind::kSnapshot;
+  config.snapshot_path = path;
+  const auto store = MakeUserStateStore(config, 16);
+  for (uint64_t u = 0; u < 64; ++u) {
+    const UserRef ref = store->Insert(u * 3 + 1);
+    std::memcpy(ref.state, &u, 8);
+  }
+
+  SnapshotContext context;
+  context.signature = "checkpoint-test sig";
+  context.step = 4;
+  context.aux.assign(40, '\x11');
+  std::string error;
+  ASSERT_TRUE(store->EndStepCheckpoint(context, &error)) << error;
+
+  const StoreStats stats = store->stats();
+  EXPECT_EQ(stats.kind, StoreKind::kSnapshot);
+  EXPECT_EQ(stats.users, 64u);
+  EXPECT_EQ(stats.checkpoints_written, 1u);
+  EXPECT_EQ(stats.checkpoint_failures, 0u);
+  EXPECT_GT(stats.last_checkpoint_bytes, 0u);
+
+  // The file on disk is exactly the store's portable image.
+  SnapshotData restored;
+  ASSERT_TRUE(ReadSnapshotFile(path, &restored, &error)) << error;
+  EXPECT_EQ(restored, BuildSnapshotData(*store, context));
+  std::remove(path.c_str());
+}
+
+TEST(StateStoreTest, SnapshotStoreCountsCheckpointFailures) {
+  StoreConfig config;
+  config.kind = StoreKind::kSnapshot;
+  config.snapshot_path = "no_such_directory_xyzzy/state.snap";
+  const auto store = MakeUserStateStore(config, 16);
+  store->Insert(1);
+  SnapshotContext context;
+  std::string error;
+  EXPECT_FALSE(store->EndStepCheckpoint(context, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(store->stats().checkpoint_failures, 1u);
+  EXPECT_EQ(store->stats().checkpoints_written, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Backend equivalence through the collectors: estimates, stats, and
+// rejection counters byte-identical to the MapStore reference.
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kUsers = 400;
+constexpr uint32_t kDomain = 32;
+constexpr uint32_t kSteps = 3;
+
+struct Scenario {
+  std::vector<std::vector<double>> estimates;
+  CollectorStats stats;
+  uint64_t users = 0;
+};
+
+// Drives hellos + kSteps report waves through IngestBatch, with a
+// rejection mix (duplicate, unknown user, malformed, conflicting
+// re-hello) stirred into every step so the counters must match too.
+Scenario RunScenario(const ProtocolSpec& spec, const CollectorOptions& options,
+                     const Traffic& traffic) {
+  Scenario out;
+  const std::unique_ptr<Collector> collector =
+      MakeCollector(spec, kDomain, options);
+  collector->IngestBatch(traffic.hellos);
+  for (uint32_t t = 0; t < kSteps; ++t) {
+    std::vector<Message> step = traffic.steps[t];
+    step.push_back(step[0]);                          // duplicate report
+    step.push_back(Message{kUsers + 17, step[1].bytes});  // unknown user
+    step.push_back(Message{3, "definitely not wire bytes"});  // malformed
+    step.push_back(traffic.hellos[2]);                // idempotent re-hello
+    collector->IngestBatch(step);
+    out.estimates.push_back(collector->EndStep());
+  }
+  out.stats = collector->stats();
+  out.users = collector->registered_users();
+  return out;
+}
+
+class BackendEquivalenceTest
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, StoreKind, uint32_t>> {};
+
+TEST_P(BackendEquivalenceTest, MatchesMapStoreReferenceExactly) {
+  const ProtocolSpec spec = ProtocolSpec::MustParse(std::get<0>(GetParam()));
+  const StoreKind kind = std::get<1>(GetParam());
+  const uint32_t threads = std::get<2>(GetParam());
+  const Traffic traffic = MakeTraffic(spec, 137, kUsers, kDomain, kSteps);
+
+  // Reference: MapStore, single-threaded.
+  const Scenario reference = RunScenario(spec, CollectorOptions{}, traffic);
+  EXPECT_EQ(reference.users, kUsers);
+  EXPECT_EQ(reference.stats.rejected_duplicate, kSteps);
+  EXPECT_EQ(reference.stats.rejected_unknown_user, kSteps);
+  EXPECT_EQ(reference.stats.rejected_malformed, kSteps);
+
+  CollectorOptions options;
+  options.num_threads = threads;
+  options.store.kind = kind;
+  std::string path;
+  if (kind == StoreKind::kSnapshot) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "state_store_equiv_%d_%s_%u.snap",
+                  static_cast<int>(getpid()),
+                  spec.IsLolohaVariant() ? "loloha" : "dbitflip", threads);
+    path = buf;
+    options.store.snapshot_path = path;
+  }
+  const Scenario observed = RunScenario(spec, options, traffic);
+  if (!path.empty()) std::remove(path.c_str());
+
+  EXPECT_EQ(observed.estimates, reference.estimates);
+  EXPECT_EQ(observed.stats, reference.stats);
+  EXPECT_EQ(observed.users, reference.users);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecsBackendsThreads, BackendEquivalenceTest,
+    ::testing::Combine(::testing::Values("ololoha:eps_perm=2,eps_first=1",
+                                         "bbitflip:eps_perm=3,buckets=8,d=4"),
+                       ::testing::Values(StoreKind::kMap, StoreKind::kFlat,
+                                         StoreKind::kSnapshot),
+                       ::testing::Values(1u, 4u)));
+
+// The scalar path agrees with the batch path on every backend (the
+// historical two-path contract, now times three backends).
+TEST(StateStoreTest, ScalarPathMatchesBatchPathOnFlatStore) {
+  const ProtocolSpec spec =
+      ProtocolSpec::MustParse("ololoha:eps_perm=2,eps_first=1");
+  const Traffic traffic = MakeTraffic(spec, 139, kUsers, kDomain, kSteps);
+
+  CollectorOptions flat;
+  flat.store.kind = StoreKind::kFlat;
+  const Scenario batch = RunScenario(spec, flat, traffic);
+
+  const std::unique_ptr<Collector> collector =
+      MakeCollector(spec, kDomain, flat);
+  for (const Message& hello : traffic.hellos) {
+    ASSERT_TRUE(collector->HandleHello(hello.user_id, hello.bytes));
+  }
+  std::vector<std::vector<double>> estimates;
+  for (uint32_t t = 0; t < kSteps; ++t) {
+    for (const Message& report : traffic.steps[t]) {
+      ASSERT_TRUE(collector->HandleReport(report.user_id, report.bytes));
+    }
+    EXPECT_FALSE(collector->HandleReport(traffic.steps[t][0].user_id,
+                                         traffic.steps[t][0].bytes));
+    EXPECT_FALSE(collector->HandleReport(kUsers + 17, traffic.steps[t][1].bytes));
+    EXPECT_FALSE(collector->HandleReport(3, "definitely not wire bytes"));
+    EXPECT_TRUE(collector->HandleHello(traffic.hellos[2].user_id,
+                                       traffic.hellos[2].bytes));
+    estimates.push_back(collector->EndStep());
+  }
+  EXPECT_EQ(estimates, batch.estimates);
+  EXPECT_EQ(collector->stats(), batch.stats);
+}
+
+}  // namespace
+}  // namespace loloha
