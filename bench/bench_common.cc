@@ -90,6 +90,14 @@ void ApplyPlanOverrides(const CommandLine& cli, ExperimentPlan* plan) {
   plan->seed = static_cast<uint64_t>(
       cli.GetInt("seed", static_cast<int64_t>(plan->seed)));
   if (cli.HasFlag("quick")) plan->quick = true;
+  const std::string slice = cli.GetString("slice", "");
+  if (!slice.empty()) {
+    std::string error;
+    if (!ParseSliceSpec(slice, &plan->slice, &error)) {
+      std::fprintf(stderr, "--slice: %s\n", error.c_str());
+      std::exit(2);
+    }
+  }
   plan->csv = cli.GetString("out", plan->csv);
   plan->json = cli.GetString("json", plan->json);
   plan->protocols = ParseProtocolSpecs(cli, std::move(plan->protocols));
@@ -117,6 +125,32 @@ int RunPlanMain(ExperimentPlan plan, const CommandLine& cli) {
     std::fprintf(stderr, "plan '%s': %s\n", plan.name.c_str(),
                  error.c_str());
     return 2;
+  }
+  if (plan.slice.active() && plan.csv.empty() && plan.json.empty()) {
+    std::fprintf(stderr,
+                 "plan '%s': --slice needs an output artifact (--out or "
+                 "--json), otherwise the computed partial has nowhere to "
+                 "go\n",
+                 plan.name.c_str());
+    return 2;
+  }
+  // Create output directories up front: a missing directory should fail
+  // here (with a clear message), not after minutes of simulation when the
+  // sink first opens its path.
+  for (const std::string& artifact : {plan.csv, plan.json}) {
+    if (artifact.empty()) continue;
+    const std::filesystem::path parent =
+        std::filesystem::path(artifact).parent_path();
+    if (parent.empty()) continue;
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      std::fprintf(stderr, "plan '%s': cannot create output directory %s: "
+                           "%s\n",
+                   plan.name.c_str(), parent.string().c_str(),
+                   ec.message().c_str());
+      return 2;
+    }
   }
   // One process-wide pool, shared by the Monte-Carlo outer loop and every
   // runner's inner sharding (runners borrow it via options.pool and run

@@ -14,7 +14,11 @@
 //                    outer loop AND the runners' inner per-step shards;
 //                    results are byte-identical for every T.
 //   --seed=N         base seed
-//   --out=PATH.csv   CSV artifact path ([output] csv override)
+//   --slice=i/N      distributed slicing: compute only the units owned by
+//                    slice i of N and emit "<out>.slice-i-of-N.*" partials
+//                    instead of tables (merge with tools/loloha_merge)
+//   --out=PATH.csv   CSV artifact path ([output] csv override); missing
+//                    parent directories are created up front
 //   --json=PATH      JSON artifact path ([output] json override)
 //   --protocols=S    semicolon-separated ProtocolSpec strings replacing
 //                    the plan's legend (the plan's (eps_inf, alpha) grid

@@ -4,14 +4,20 @@
 //   loloha_experiments --plan=plans/fig3_syn.plan [--quick] [--threads=T]
 //                      [--out=PATH.csv] [--json=PATH] [--runs=R]
 //                      [--scale=S] [--seed=N] [--protocols=SPECS] ...
+//   loloha_experiments --plan=plans/fig3_syn.plan --slice=0/3 [--quick] ...
 //   loloha_experiments --plan=plans/fig2_variance.plan --validate
 //   loloha_experiments --list-protocols
+//   loloha_experiments --list-plans [--plans-dir=plans]
 //
 // --validate parses the plan, applies the overrides, validates, prints
 // the canonical plan text, and exits without running. --list-protocols
 // prints the ProtocolSpec registry (names, aliases, extras, V*
-// availability). See bench/bench_common.h for the full override list and
-// README "Experiments" for the plan-file grammar.
+// availability); --list-plans the checked-in plan registry (kind, legend,
+// grid, unit count, outputs). --slice=i/N computes one slice of the
+// plan's unit grid and writes "<out>.slice-i-of-N.*" partials; see
+// tools/loloha_merge and README "Distributed execution". See
+// bench/bench_common.h for the full override list and README
+// "Experiments" for the plan-file grammar.
 
 #include <cstdio>
 
@@ -26,12 +32,18 @@ int main(int argc, char** argv) {
     PrintProtocolRegistry(stdout);
     return 0;
   }
+  if (cli.HasFlag("list-plans")) {
+    PrintPlanRegistry(cli.GetString("plans-dir", "plans"), stdout);
+    return 0;
+  }
   const std::string plan_path = cli.GetString("plan", "");
   if (plan_path.empty()) {
     std::fprintf(stderr,
                  "usage: loloha_experiments --plan=<file.plan> [overrides]\n"
+                 "       loloha_experiments --plan=<file.plan> --slice=i/N\n"
                  "       loloha_experiments --plan=<file.plan> --validate\n"
-                 "       loloha_experiments --list-protocols\n");
+                 "       loloha_experiments --list-protocols\n"
+                 "       loloha_experiments --list-plans [--plans-dir=DIR]\n");
     return 2;
   }
   ExperimentPlan plan;

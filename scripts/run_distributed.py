@@ -1,0 +1,345 @@
+#!/usr/bin/env python3
+"""Fan an ExperimentPlan across processes (and machines) and merge.
+
+The distributed-execution orchestrator (see README "Distributed
+execution" and docs/OPERATIONS.md):
+
+  1. schedules `loloha_experiments --plan=P --slice=i/N` for every slice,
+     round-robin across local worker processes (default) or --ssh-hosts,
+  2. retries failed slices with exponential backoff, deleting stale or
+     truncated partial files before every attempt,
+  3. invokes `loloha_merge` on the complete partial set, which refuses
+     inconsistent or incomplete sets all-or-none and writes bytes
+     identical to a single-process run,
+  4. with --verify, additionally runs the plan single-process and
+     byte-compares every merged artifact against it (the distributed.*
+     ctest legs and the CI fan-out job run in this mode).
+
+Examples:
+
+  # 4 slices over 4 local processes, outputs under ./distributed-out
+  scripts/run_distributed.py --plan=plans/fig3_syn.plan --slices=4
+
+  # paper-scale fan-out, passing overrides through to every slice
+  scripts/run_distributed.py --plan=plans/fig3_adult.plan --slices=32 \
+      --procs=16 --out=results/fig3_mse_adult.csv -- --full --runs=20 \
+      --threads=1
+
+  # across machines (built checkout at the same path on every host)
+  scripts/run_distributed.py --plan=plans/fig3_syn.plan --slices=8 \
+      --ssh-hosts=node1,node2 --remote-dir=/opt/loloha -- --full
+
+Everything after a literal `--` is passed verbatim to every
+loloha_experiments invocation (slice AND verify runs), so --quick /
+--runs / --seed overrides apply consistently — required for the merge's
+plan-fingerprint check to pass.
+"""
+
+import argparse
+import filecmp
+import os
+import shlex
+import subprocess
+import sys
+import time
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(
+        description="Slice an ExperimentPlan across processes and merge.")
+    parser.add_argument("--plan", required=True, help="plan file to run")
+    parser.add_argument("--slices", type=int, default=4,
+                        help="number of slices N (default 4)")
+    parser.add_argument("--procs", type=int, default=0,
+                        help="max concurrent slice processes "
+                             "(default: min(slices, cpu count))")
+    parser.add_argument("--bin", default="build/bench/loloha_experiments",
+                        help="loloha_experiments binary")
+    parser.add_argument("--merge-bin", default="build/tools/loloha_merge",
+                        help="loloha_merge binary")
+    parser.add_argument("--workdir", default="distributed-out",
+                        help="scratch directory for partials and outputs")
+    parser.add_argument("--out", default="",
+                        help="merged CSV path "
+                             "(default <workdir>/merged/<plan>.csv)")
+    parser.add_argument("--json", default="",
+                        help="merged JSON path "
+                             "(default <workdir>/merged/<plan>.json)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="retries per failed slice (default 2)")
+    parser.add_argument("--backoff", type=float, default=1.0,
+                        help="base backoff seconds, doubled per retry "
+                             "(default 1.0)")
+    parser.add_argument("--ssh-hosts", default="",
+                        help="comma-separated hosts; slices run remotely "
+                             "round-robin and partials are copied back")
+    parser.add_argument("--remote-dir", default="",
+                        help="checkout directory on every ssh host "
+                             "(default: this checkout's cwd)")
+    parser.add_argument("--verify", action="store_true",
+                        help="also run single-process and byte-compare "
+                             "every merged artifact")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="print the schedule and exit")
+    parser.add_argument("passthrough", nargs="*",
+                        help="overrides after `--` forwarded to every "
+                             "loloha_experiments run")
+    return parser.parse_args(argv)
+
+
+def plan_stem(plan_path):
+    return os.path.splitext(os.path.basename(plan_path))[0]
+
+
+def partial_paths(parts_dir, stem, index, count):
+    """Every file slice i of N writes under parts_dir (CSV + sidecar + JSON)."""
+    token = "%d-of-%d" % (index, count)
+    csv = os.path.join(parts_dir, "%s.slice-%s.csv" % (stem, token))
+    return [csv, csv + ".meta.json",
+            os.path.join(parts_dir, "%s.slice-%s.json" % (stem, token))]
+
+
+def delete_stale(paths):
+    """Removes leftovers of a previous attempt so a retry can't merge a
+    truncated or out-of-date partial (merge would refuse them anyway —
+    this keeps the failure at the slice that caused it)."""
+    removed = []
+    for path in paths:
+        if os.path.exists(path):
+            os.remove(path)
+            removed.append(path)
+    return removed
+
+
+def slice_command(args, index, parts_dir, stem):
+    cmd = [args.bin,
+           "--plan=%s" % args.plan,
+           "--slice=%d/%d" % (index, args.slices),
+           "--out=%s" % os.path.join(parts_dir, stem + ".csv"),
+           "--json=%s" % os.path.join(parts_dir, stem + ".json")]
+    return cmd + args.passthrough
+
+
+def wrap_for_host(cmd, host, remote_dir):
+    """Runs `cmd` on `host` via ssh, from the remote checkout directory."""
+    remote = "cd %s && %s" % (shlex.quote(remote_dir),
+                              " ".join(shlex.quote(c) for c in cmd))
+    return ["ssh", "-o", "BatchMode=yes", host, remote]
+
+
+def scp_back(host, remote_dir, paths):
+    """Copies a finished slice's partial files back from `host`."""
+    for path in paths:
+        remote = "%s:%s" % (host, os.path.join(remote_dir, path))
+        result = subprocess.run(["scp", "-o", "BatchMode=yes", "-q",
+                                 remote, path])
+        if result.returncode != 0:
+            return False
+    return True
+
+
+def check_partials(paths):
+    """A finished slice must have written every partial file, each with
+    content; anything else is treated as a failed attempt."""
+    for path in paths:
+        if not os.path.exists(path) or os.path.getsize(path) == 0:
+            return "missing or empty partial %s" % path
+    return None
+
+
+class SliceJob:
+    def __init__(self, index, cmd, host, expected):
+        self.index = index
+        self.cmd = cmd
+        self.host = host            # None = local
+        self.expected = expected    # partial files this slice must produce
+        self.attempt = 0
+        self.proc = None
+        self.log_path = None
+
+
+def launch(job, args, logs_dir):
+    delete_stale(job.expected)
+    job.attempt += 1
+    job.log_path = os.path.join(
+        logs_dir, "slice-%d-attempt-%d.log" % (job.index, job.attempt))
+    log = open(job.log_path, "wb")
+    cmd = job.cmd
+    if job.host is not None:
+        remote_dir = args.remote_dir or os.getcwd()
+        cmd = wrap_for_host(job.cmd, job.host, remote_dir)
+    job.proc = subprocess.Popen(cmd, stdout=log, stderr=subprocess.STDOUT)
+    log.close()
+
+
+def finish(job, args):
+    """Returns None on success, an error string on failure."""
+    code = job.proc.wait()
+    job.proc = None
+    if code != 0:
+        return "exit code %d (log: %s)" % (code, job.log_path)
+    if job.host is not None:
+        remote_dir = args.remote_dir or os.getcwd()
+        if not scp_back(job.host, remote_dir, job.expected):
+            return "scp of partials from %s failed" % job.host
+    return check_partials(job.expected)
+
+
+def run_slices(args, jobs, logs_dir):
+    """Runs jobs with bounded concurrency and per-slice retry/backoff."""
+    pending = list(jobs)
+    running = []
+    failed = []
+    max_procs = args.procs if args.procs > 0 else (os.cpu_count() or 1)
+    max_procs = min(max_procs, len(jobs))
+    while pending or running:
+        while pending and len(running) < max_procs:
+            job = pending.pop(0)
+            launch(job, args, logs_dir)
+            print("[slice %d/%d] attempt %d started%s" %
+                  (job.index, args.slices, job.attempt,
+                   " on %s" % job.host if job.host else ""))
+            running.append(job)
+        # Reap the first finished job (poll; slice runs are seconds to
+        # hours, a 50 ms poll is noise).
+        done = None
+        while done is None:
+            for job in running:
+                if job.proc.poll() is not None:
+                    done = job
+                    break
+            if done is None:
+                time.sleep(0.05)
+        running.remove(done)
+        error = finish(done, args)
+        if error is None:
+            print("[slice %d/%d] done" % (done.index, args.slices))
+            continue
+        if done.attempt <= args.retries:
+            delay = args.backoff * (2 ** (done.attempt - 1))
+            print("[slice %d/%d] failed (%s); retrying in %.1fs" %
+                  (done.index, args.slices, error, delay))
+            time.sleep(delay)
+            pending.append(done)
+        else:
+            print("[slice %d/%d] failed permanently: %s" %
+                  (done.index, args.slices, error))
+            delete_stale(done.expected)
+            failed.append(done)
+    return failed
+
+
+def byte_compare(dir_a, dir_b):
+    """Every artifact in either directory must exist in both with
+    identical bytes. Returns a list of difference descriptions."""
+    problems = []
+    names = sorted(set(os.listdir(dir_a)) | set(os.listdir(dir_b)))
+    for name in names:
+        a, b = os.path.join(dir_a, name), os.path.join(dir_b, name)
+        if not os.path.exists(a):
+            problems.append("%s missing from %s" % (name, dir_a))
+        elif not os.path.exists(b):
+            problems.append("%s missing from %s" % (name, dir_b))
+        elif not filecmp.cmp(a, b, shallow=False):
+            problems.append("%s differs between %s and %s" % (name, dir_a,
+                                                              dir_b))
+    if not names:
+        problems.append("no artifacts produced under %s" % dir_a)
+    return problems
+
+
+def main(argv):
+    args = parse_args(argv)
+    if args.slices < 1:
+        print("--slices must be >= 1", file=sys.stderr)
+        return 2
+    stem = plan_stem(args.plan)
+    parts_dir = os.path.join(args.workdir, "parts")
+    merged_dir = os.path.join(args.workdir, "merged")
+    single_dir = os.path.join(args.workdir, "single")
+    logs_dir = os.path.join(args.workdir, "logs")
+    merged_csv = args.out or os.path.join(merged_dir, stem + ".csv")
+    merged_json = args.json or os.path.join(merged_dir, stem + ".json")
+
+    hosts = [h for h in args.ssh_hosts.split(",") if h]
+    jobs = []
+    for index in range(args.slices):
+        host = hosts[index % len(hosts)] if hosts else None
+        jobs.append(SliceJob(
+            index, slice_command(args, index, parts_dir, stem), host,
+            partial_paths(parts_dir, stem, index, args.slices)))
+
+    merge_cmd = ([args.merge_bin, "--quiet",
+                  "--out=%s" % merged_csv, "--json=%s" % merged_json] +
+                 [job.expected[0] for job in jobs])
+
+    if args.dry_run:
+        print("# schedule: %d slice(s), %s" %
+              (args.slices,
+               "hosts: %s" % ", ".join(hosts) if hosts else
+               "%d local proc(s)" %
+               (min(args.procs or (os.cpu_count() or 1), args.slices))))
+        for job in jobs:
+            where = job.host or "local"
+            print("[slice %d] %-8s %s" %
+                  (job.index, where, " ".join(job.cmd)))
+        print("[merge]  local    %s" % " ".join(merge_cmd))
+        if args.verify:
+            print("[verify] local    byte-compare %s vs %s" %
+                  (merged_dir, single_dir))
+        return 0
+
+    for directory in (parts_dir, merged_dir, logs_dir):
+        os.makedirs(directory, exist_ok=True)
+
+    started = time.time()
+    failed = run_slices(args, jobs, logs_dir)
+    if failed:
+        print("%d slice(s) failed; not merging (all-or-none)" % len(failed),
+              file=sys.stderr)
+        return 1
+    slice_seconds = time.time() - started
+
+    merge_log = os.path.join(logs_dir, "merge.log")
+    with open(merge_log, "wb") as log:
+        code = subprocess.run(merge_cmd, stdout=log,
+                              stderr=subprocess.STDOUT).returncode
+    if code != 0:
+        with open(merge_log, "rb") as log:
+            sys.stderr.buffer.write(log.read())
+        print("merge failed (exit %d)" % code, file=sys.stderr)
+        return 1
+    print("merged %d slice(s) -> %s, %s (%.1fs slicing)" %
+          (args.slices, merged_csv, merged_json, slice_seconds))
+
+    if not args.verify:
+        return 0
+
+    os.makedirs(single_dir, exist_ok=True)
+    single_cmd = ([args.bin, "--plan=%s" % args.plan,
+                   "--out=%s" % os.path.join(single_dir,
+                                             os.path.basename(merged_csv)),
+                   "--json=%s" % os.path.join(single_dir,
+                                              os.path.basename(merged_json))]
+                  + args.passthrough)
+    single_log = os.path.join(logs_dir, "single.log")
+    with open(single_log, "wb") as log:
+        code = subprocess.run(single_cmd, stdout=log,
+                              stderr=subprocess.STDOUT).returncode
+    if code != 0:
+        print("single-process reference run failed (exit %d, log %s)" %
+              (code, single_log), file=sys.stderr)
+        return 1
+    merged_parent = os.path.dirname(merged_csv) or "."
+    problems = byte_compare(merged_parent, single_dir)
+    if problems:
+        for problem in problems:
+            print("verify: %s" % problem, file=sys.stderr)
+        return 1
+    print("verify: merged output is byte-identical to the single-process "
+          "run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -17,6 +17,7 @@
 #include "sim/metrics.h"
 #include "sim/monte_carlo.h"
 #include "sim/runner.h"
+#include "sim/slice.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -184,6 +185,62 @@ bool EmitTable(const TextTable& table, const ArtifactMeta& meta,
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Unit stream: the one counter behind the distributed path.
+//
+// Every kind runner announces its results through this stream in a fixed
+// canonical order — one unit per Monte-Carlo cell for mse plans, one per
+// output table row for everything else. The same code path then serves
+// three modes:
+//   full   (slice off, merge off): compute everything, emit tables.
+//   slice  (plan.slice active):    compute owned units only, collect them
+//                                  into `owned`, emit no tables.
+//   merge  (merged units given):   compute nothing unit-shaped, read the
+//                                  values back, emit tables — bytes
+//                                  identical to a full run.
+// ---------------------------------------------------------------------------
+
+struct UnitStream {
+  SliceSpec slice;                    // slice mode when active
+  bool merge = false;                 // merge mode when true
+  std::span<const SliceUnit> merged;  // dense canonical units (merge mode)
+  uint64_t next = 0;                  // global unit counter
+  std::vector<SliceUnit> owned;       // slice mode accumulator
+
+  bool emits_tables() const { return !slice.active(); }
+};
+
+// One output table row = one distributable unit. `make` is invoked only
+// when the current mode needs the row's value (full runs and owned slice
+// units); merge mode reads the row back instead.
+bool NextRowUnit(UnitStream& stream, TextTable& table,
+                 const std::function<std::vector<std::string>()>& make,
+                 std::string* error) {
+  const uint64_t index = stream.next++;
+  if (stream.merge) {
+    const SliceUnit& unit = stream.merged[index];
+    if (unit.type != SliceUnit::Type::kRow) {
+      return FailPlan(error, "unit " + std::to_string(index) +
+                                 " is a Monte-Carlo cell, not a table row — "
+                                 "slice partials from a different plan?");
+    }
+    table.AddRow(unit.row);
+    return true;
+  }
+  if (stream.slice.active()) {
+    if (stream.slice.Owns(index)) {
+      SliceUnit unit;
+      unit.index = index;
+      unit.type = SliceUnit::Type::kRow;
+      unit.row = make();
+      stream.owned.push_back(std::move(unit));
+    }
+    return true;
+  }
+  table.AddRow(make());
+  return true;
+}
+
 uint32_t DivisorFor(const ExperimentPlan& plan, size_t dataset_index) {
   if (plan.bucket_divisors.empty()) return 1;
   return plan.bucket_divisors[dataset_index];
@@ -209,7 +266,7 @@ bool ResolvePlanBuckets(const ExperimentPlan& plan, size_t i,
 // Fig. 3 family: the Monte-Carlo MSE_avg grid over each dataset. The
 // (α, ε∞, protocol) grid flattens row-major into one ProtocolSpec per
 // Monte-Carlo config — byte-identical to the legacy per-figure mains.
-bool RunMse(const ExperimentPlan& plan, ThreadPool* pool,
+bool RunMse(const ExperimentPlan& plan, ThreadPool* pool, UnitStream& stream,
             std::span<ResultSink* const> sinks, std::string* error,
             std::FILE* log) {
   const EffectiveRun eff = Effective(plan);
@@ -243,31 +300,74 @@ bool RunMse(const ExperimentPlan& plan, ThreadPool* pool,
       }
     }
 
-    MonteCarloOptions mc;
-    mc.runs = eff.runs;
-    mc.base_seed = plan.seed;
-    mc.pool = pool;
-    const uint32_t cells_per_dot =
-        static_cast<uint32_t>(plan.protocols.size()) * eff.runs;
-    if (log != nullptr) {
-      mc.progress = [cells_per_dot, log](uint32_t completed, uint32_t) {
-        if (completed % cells_per_dot == 0) {
-          std::fprintf(log, ".");
-          std::fflush(log);
+    // This dataset's block of the plan's unit grid: one unit per (config,
+    // run) cell, local index config * runs + run.
+    const uint64_t first_cell = stream.next;
+    const uint64_t block = uint64_t{cells.size()} * eff.runs;
+    stream.next += block;
+
+    std::vector<std::vector<double>> per_run_mse;
+    if (stream.merge) {
+      per_run_mse.assign(cells.size(), std::vector<double>(eff.runs, 0.0));
+      for (size_t config = 0; config < cells.size(); ++config) {
+        for (uint32_t run = 0; run < eff.runs; ++run) {
+          const SliceUnit& unit =
+              stream.merged[first_cell + config * eff.runs + run];
+          if (unit.type != SliceUnit::Type::kCell) {
+            return FailPlan(error,
+                            "unit " + std::to_string(unit.index) +
+                                " is a table row, not a Monte-Carlo cell — "
+                                "slice partials from a different plan?");
+          }
+          per_run_mse[config][run] = unit.cell;
         }
-      };
+      }
+    } else {
+      MonteCarloOptions mc;
+      mc.runs = eff.runs;
+      mc.base_seed = plan.seed;
+      mc.pool = pool;
+      mc.slice = stream.slice;
+      mc.slice_first_cell = first_cell;
+      const uint32_t cells_per_dot =
+          static_cast<uint32_t>(plan.protocols.size()) * eff.runs;
+      if (log != nullptr) {
+        mc.progress = [cells_per_dot, log](uint32_t completed, uint32_t) {
+          if (completed % cells_per_dot == 0) {
+            std::fprintf(log, ".");
+            std::fflush(log);
+          }
+        };
+      }
+      per_run_mse = RunMonteCarloGrid(
+          std::span<const ProtocolSpec>(cells), options, data, mc,
+          [&](uint32_t, const RunResult& result) {
+            // dBitFlipPM estimates a b-bin histogram; compare it against
+            // the bucketized truth (Sec. 5.2), everything else bin for bin.
+            return result.bins == data.k()
+                       ? MseAvg(data, result.estimates)
+                       : MseAvgBucketed(data,
+                                        Bucketizer(data.k(), result.bins),
+                                        result.estimates);
+          });
     }
-    const std::vector<std::vector<double>> per_run_mse = RunMonteCarloGrid(
-        std::span<const ProtocolSpec>(cells), options, data, mc,
-        [&](uint32_t, const RunResult& result) {
-          // dBitFlipPM estimates a b-bin histogram; compare it against
-          // the bucketized truth (Sec. 5.2), everything else bin for bin.
-          return result.bins == data.k()
-                     ? MseAvg(data, result.estimates)
-                     : MseAvgBucketed(data,
-                                      Bucketizer(data.k(), result.bins),
-                                      result.estimates);
-        });
+    Log(log, "\n");
+
+    if (stream.slice.active()) {
+      // Collect the owned cells; table assembly happens at merge time.
+      for (size_t config = 0; config < cells.size(); ++config) {
+        for (uint32_t run = 0; run < eff.runs; ++run) {
+          const uint64_t index = first_cell + config * eff.runs + run;
+          if (!stream.slice.Owns(index)) continue;
+          SliceUnit unit;
+          unit.index = index;
+          unit.type = SliceUnit::Type::kCell;
+          unit.cell = per_run_mse[config][run];
+          stream.owned.push_back(std::move(unit));
+        }
+      }
+      continue;
+    }
 
     std::vector<std::string> header = {"alpha", "eps_inf"};
     for (const ProtocolSpec& spec : plan.protocols) {
@@ -280,6 +380,8 @@ bool RunMse(const ExperimentPlan& plan, ThreadPool* pool,
         std::vector<std::string> row = {FormatDouble(alpha, 2),
                                         FormatDouble(eps, 3)};
         for (size_t p = 0; p < plan.protocols.size(); ++p) {
+          // Summed in ascending run order — the same float additions in
+          // the same order as a full run, so merged bytes match exactly.
           double sum = 0.0;
           for (const double v : per_run_mse[cell]) sum += v;
           row.push_back(FormatDouble(
@@ -289,7 +391,6 @@ bool RunMse(const ExperimentPlan& plan, ThreadPool* pool,
         table.AddRow(std::move(row));
       }
     }
-    Log(log, "\n");
     if (!EmitTable(table, MetaFor(plan, which, multi ? "_" + which : ""),
                    sinks, error, log)) {
       return false;
@@ -299,7 +400,7 @@ bool RunMse(const ExperimentPlan& plan, ThreadPool* pool,
 }
 
 // Fig. 2: closed-form approximate variance V* (Eq. 5) — no simulation.
-bool RunVariance(const ExperimentPlan& plan,
+bool RunVariance(const ExperimentPlan& plan, UnitStream& stream,
                  std::span<ResultSink* const> sinks, std::string* error,
                  std::FILE* log) {
   std::vector<std::string> header = {"alpha", "eps_inf"};
@@ -309,20 +410,24 @@ bool RunVariance(const ExperimentPlan& plan,
   TextTable table(header);
   for (const double alpha : plan.alpha) {
     for (const double eps : plan.eps_perm) {
-      std::vector<std::string> row = {FormatDouble(alpha, 2),
-                                      FormatDouble(eps, 3)};
-      for (const ProtocolSpec& base : plan.protocols) {
-        // V* honors pinned extras (a fixed g, a bucket layout); the grid
-        // overrides the budgets, as in the MSE panels.
-        ProtocolSpec spec = base;
-        spec.eps_perm = eps;
-        spec.eps_first = spec.IsTwoRound() ? alpha * eps : 0.0;
-        row.push_back(
-            FormatDouble(ApproxVarianceForSpec(spec, plan.n, plan.k)));
-      }
-      table.AddRow(std::move(row));
+      const auto make = [&] {
+        std::vector<std::string> row = {FormatDouble(alpha, 2),
+                                        FormatDouble(eps, 3)};
+        for (const ProtocolSpec& base : plan.protocols) {
+          // V* honors pinned extras (a fixed g, a bucket layout); the grid
+          // overrides the budgets, as in the MSE panels.
+          ProtocolSpec spec = base;
+          spec.eps_perm = eps;
+          spec.eps_first = spec.IsTwoRound() ? alpha * eps : 0.0;
+          row.push_back(
+              FormatDouble(ApproxVarianceForSpec(spec, plan.n, plan.k)));
+        }
+        return row;
+      };
+      if (!NextRowUnit(stream, table, make, error)) return false;
     }
   }
+  if (!stream.emits_tables()) return true;
   Log(log, "%s [variance] — approximate variance V* (Eq. 5), n=%.0f\n",
       plan.name.c_str(), plan.n);
   return EmitTable(table, MetaFor(plan, plan.name, ""), sinks, error, log);
@@ -330,7 +435,7 @@ bool RunVariance(const ExperimentPlan& plan,
 
 // Fig. 1: optimal hash range g (Eq. 6) per (ε∞, α), cross-checked
 // against the brute-force argmin of V*.
-bool RunOptimalG(const ExperimentPlan& plan,
+bool RunOptimalG(const ExperimentPlan& plan, UnitStream& stream,
                  std::span<ResultSink* const> sinks, std::string* error,
                  std::FILE* log) {
   std::vector<std::string> header = {"eps_inf"};
@@ -340,17 +445,21 @@ bool RunOptimalG(const ExperimentPlan& plan,
   header.push_back("bruteforce_mismatches");
   TextTable table(header);
   for (const double eps : plan.eps_perm) {
-    std::vector<std::string> row = {FormatDouble(eps, 3)};
-    int mismatches = 0;
-    for (const double alpha : plan.alpha) {
-      const uint32_t g = OptimalLolohaG(eps, alpha * eps);
-      const uint32_t g_bf = BruteForceOptimalG(eps, alpha * eps, 1e4);
-      if (g != g_bf) ++mismatches;
-      row.push_back(std::to_string(g));
-    }
-    row.push_back(std::to_string(mismatches));
-    table.AddRow(std::move(row));
+    const auto make = [&] {
+      std::vector<std::string> row = {FormatDouble(eps, 3)};
+      int mismatches = 0;
+      for (const double alpha : plan.alpha) {
+        const uint32_t g = OptimalLolohaG(eps, alpha * eps);
+        const uint32_t g_bf = BruteForceOptimalG(eps, alpha * eps, 1e4);
+        if (g != g_bf) ++mismatches;
+        row.push_back(std::to_string(g));
+      }
+      row.push_back(std::to_string(mismatches));
+      return row;
+    };
+    if (!NextRowUnit(stream, table, make, error)) return false;
   }
+  if (!stream.emits_tables()) return true;
   Log(log, "%s [optimal_g] — optimal g (Eq. 6) per (eps_inf, alpha)\n",
       plan.name.c_str());
   return EmitTable(table, MetaFor(plan, plan.name, ""), sinks, error, log);
@@ -358,7 +467,7 @@ bool RunOptimalG(const ExperimentPlan& plan,
 
 // Fig. 4: averaged empirical longitudinal privacy loss ε̌_avg (Eq. 8)
 // via the dedicated accountant (integration tests pin it to full runs).
-bool RunPrivacyLoss(const ExperimentPlan& plan,
+bool RunPrivacyLoss(const ExperimentPlan& plan, UnitStream& stream,
                     std::span<ResultSink* const> sinks, std::string* error,
                     std::FILE* log) {
   const EffectiveRun eff = Effective(plan);
@@ -374,23 +483,27 @@ bool RunPrivacyLoss(const ExperimentPlan& plan,
         data.MeanDistinctValuesPerUser());
     for (const double alpha : plan.alpha) {
       for (const double eps : plan.eps_perm) {
-        const double value_memo = EpsAvg(ValueMemoEpsilons(data, eps));
-        const double b_bit =
-            EpsAvg(DBitFlipEpsilons(data, b, b, eps, plan.seed + 1));
-        const double one_bit =
-            EpsAvg(DBitFlipEpsilons(data, b, 1, eps, plan.seed + 2));
-        const uint32_t g_opt = OptimalLolohaG(eps, alpha * eps);
-        const double ololoha =
-            EpsAvg(LolohaEpsilons(data, g_opt, eps, plan.seed + 3));
-        const double biloloha =
-            EpsAvg(LolohaEpsilons(data, 2, eps, plan.seed + 4));
-        table.AddRow({data.name(), FormatDouble(alpha, 2),
-                      FormatDouble(eps, 3), FormatDouble(value_memo, 5),
-                      FormatDouble(b_bit, 5), FormatDouble(one_bit, 5),
-                      FormatDouble(ololoha, 5), FormatDouble(biloloha, 5)});
+        const auto make = [&]() -> std::vector<std::string> {
+          const double value_memo = EpsAvg(ValueMemoEpsilons(data, eps));
+          const double b_bit =
+              EpsAvg(DBitFlipEpsilons(data, b, b, eps, plan.seed + 1));
+          const double one_bit =
+              EpsAvg(DBitFlipEpsilons(data, b, 1, eps, plan.seed + 2));
+          const uint32_t g_opt = OptimalLolohaG(eps, alpha * eps);
+          const double ololoha =
+              EpsAvg(LolohaEpsilons(data, g_opt, eps, plan.seed + 3));
+          const double biloloha =
+              EpsAvg(LolohaEpsilons(data, 2, eps, plan.seed + 4));
+          return {data.name(), FormatDouble(alpha, 2),
+                  FormatDouble(eps, 3), FormatDouble(value_memo, 5),
+                  FormatDouble(b_bit, 5), FormatDouble(one_bit, 5),
+                  FormatDouble(ololoha, 5), FormatDouble(biloloha, 5)};
+        };
+        if (!NextRowUnit(stream, table, make, error)) return false;
       }
     }
   }
+  if (!stream.emits_tables()) return true;
   Log(log,
       "\n%s [privacy_loss] — averaged longitudinal privacy loss (Eq. 8)\n",
       plan.name.c_str());
@@ -399,7 +512,7 @@ bool RunPrivacyLoss(const ExperimentPlan& plan,
 
 // Table 1: theoretical comparison, instantiated at the plan's (k, b,
 // eps, eps1) point.
-bool RunComparison(const ExperimentPlan& plan,
+bool RunComparison(const ExperimentPlan& plan, UnitStream& stream,
                    std::span<ResultSink* const> sinks, std::string* error,
                    std::FILE* log) {
   const uint32_t k = plan.k;
@@ -424,12 +537,16 @@ bool RunComparison(const ExperimentPlan& plan,
       {ProtocolId::kBBitFlipPm, "min(d+1, b) eps_inf (d = b)"},
   };
   for (const Row& row : rows) {
-    const ProtocolCharacteristics c =
-        Characteristics(row.id, k, b, 1, eps, eps1);
-    table.AddRow({c.name, FormatDouble(c.comm_bits_per_report, 6),
-                  c.server_runtime, row.symbolic,
-                  FormatDouble(c.worst_case_budget, 6)});
+    const auto make = [&]() -> std::vector<std::string> {
+      const ProtocolCharacteristics c =
+          Characteristics(row.id, k, b, 1, eps, eps1);
+      return {c.name, FormatDouble(c.comm_bits_per_report, 6),
+              c.server_runtime, row.symbolic,
+              FormatDouble(c.worst_case_budget, 6)};
+    };
+    if (!NextRowUnit(stream, table, make, error)) return false;
   }
+  if (!stream.emits_tables()) return true;
   Log(log,
       "%s [comparison] — theoretical comparison (k=%u, b=%u, eps_inf=%g, "
       "eps1=%g); OLOLOHA resolved g = %u\n",
@@ -438,7 +555,7 @@ bool RunComparison(const ExperimentPlan& plan,
 }
 
 // Table 2: dBitFlipPM bucket-change detection attack, d in {1, b}.
-bool RunDetection(const ExperimentPlan& plan,
+bool RunDetection(const ExperimentPlan& plan, UnitStream& stream,
                   std::span<ResultSink* const> sinks, std::string* error,
                   std::FILE* log) {
   const EffectiveRun eff = Effective(plan);
@@ -465,18 +582,25 @@ bool RunDetection(const ExperimentPlan& plan,
   }
   TextTable table(header);
   for (const double eps : plan.eps_perm) {
-    std::vector<std::string> row = {FormatDouble(eps, 3)};
-    for (const uint32_t d_is_b : {0u, 1u}) {
-      for (size_t i = 0; i < datasets.size(); ++i) {
-        const uint32_t b = buckets[i];
-        const uint32_t d = d_is_b ? b : 1u;
-        const DetectionResult result = DBitFlipDetection(
-            datasets[i], b, d, eps, plan.seed + 31 * i + d);
-        row.push_back(FormatDouble(result.PercentFullyDetected(), 4) + "%");
+    const auto make = [&] {
+      std::vector<std::string> row = {FormatDouble(eps, 3)};
+      for (const uint32_t d_is_b : {0u, 1u}) {
+        for (size_t i = 0; i < datasets.size(); ++i) {
+          const uint32_t b = buckets[i];
+          const uint32_t d = d_is_b ? b : 1u;
+          const DetectionResult result = DBitFlipDetection(
+              datasets[i], b, d, eps, plan.seed + 31 * i + d);
+          row.push_back(FormatDouble(result.PercentFullyDetected(), 4) + "%");
+        }
       }
-    }
-    table.AddRow(std::move(row));
+      return row;
+    };
+    if (!NextRowUnit(stream, table, make, error)) return false;
     Log(log, ".");
+  }
+  if (!stream.emits_tables()) {
+    Log(log, "\n");
+    return true;
   }
   Log(log,
       "\n\n%s [detection] — %% of users with ALL bucket changes detected "
@@ -506,48 +630,6 @@ void EnsureParentDirectory(const std::string& path) {
     std::error_code ec;
     std::filesystem::create_directories(parent, ec);  // best effort
   }
-}
-
-std::string JsonEscape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string ProvenanceJson(const ArtifactMeta& meta) {
-  std::string out = "{\"plan\": \"" + JsonEscape(meta.plan_name) +
-                    "\", \"kind\": \"" + JsonEscape(meta.kind) +
-                    "\", \"table\": \"" + JsonEscape(meta.table) +
-                    "\", \"seed\": " + std::to_string(meta.seed) +
-                    ", \"git\": \"" + JsonEscape(meta.git_describe) + "\"";
-  return out;  // caller closes the object (or extends it)
 }
 
 bool WriteFileBytes(const std::string& path, const std::string& bytes) {
@@ -614,6 +696,11 @@ bool ExperimentPlan::Validate(std::string* error) const {
   if (scale < 1) return FailPlan(error, "scale must be >= 1");
   if (threads > 4096) {
     return FailPlan(error, "threads must be in [0, 4096] (0 = hardware)");
+  }
+  if (slice.active() && slice.index >= slice.count) {
+    return FailPlan(error, "slice index " + std::to_string(slice.index) +
+                               " out of range for count " +
+                               std::to_string(slice.count));
   }
 
   const bool needs_datasets = kind == ExperimentKind::kMse ||
@@ -878,6 +965,11 @@ bool ParseExperimentPlan(std::string_view text, ExperimentPlan* plan,
                           "quick must be 'true' or 'false', got '" +
                               std::string(value) + "'");
           }
+        } else if (key == "slice") {
+          std::string slice_error;
+          if (!ParseSliceSpec(value, &out.slice, &slice_error)) {
+            return FailAt(error, line_number, slice_error);
+          }
         } else {
           return FailAt(error, line_number,
                         "unknown key '" + key + "' in [run]");
@@ -963,6 +1055,10 @@ std::string ExperimentPlan::ToString() const {
   out += "scale = " + std::to_string(scale) + "\n";
   out += "seed = " + std::to_string(seed) + "\n";
   out += "quick = " + std::string(quick ? "true" : "false") + "\n";
+  if (slice.active()) {
+    out += "slice = " + std::to_string(slice.index) + "/" +
+           std::to_string(slice.count) + "\n";
+  }
 
   out += "\n[output]\n";
   if (!csv.empty()) out += "csv = " + csv + "\n";
@@ -976,6 +1072,38 @@ std::string ExperimentPlan::ToString() const {
 
 std::string GitDescribe() { return LOLOHA_GIT_DESCRIBE; }
 
+std::string ProvenanceJsonBody(const ArtifactMeta& meta) {
+  std::string out = "{\"plan\": \"" + JsonEscape(meta.plan_name) +
+                    "\", \"kind\": \"" + JsonEscape(meta.kind) +
+                    "\", \"table\": \"" + JsonEscape(meta.table) +
+                    "\", \"seed\": " + std::to_string(meta.seed) +
+                    ", \"git\": \"" + JsonEscape(meta.git_describe) + "\"";
+  if (meta.slice.active()) {
+    // Slice stamps only on partial artifacts: ordinary sidecars keep the
+    // exact pre-slice bytes, which is what makes merged output
+    // byte-identical to a single-process run.
+    out += ", \"slice_index\": " + std::to_string(meta.slice.index) +
+           ", \"slice_count\": " + std::to_string(meta.slice.count) +
+           ", \"units\": " + std::to_string(meta.units) +
+           ", \"units_total\": " + std::to_string(meta.units_total) +
+           ", \"plan_text\": \"" + JsonEscape(meta.plan_text) + "\"";
+  }
+  return out;  // caller closes the object (or extends it)
+}
+
+std::string SlicePartialPath(const std::string& path,
+                             const SliceSpec& slice) {
+  const std::filesystem::path p(path);
+  std::filesystem::path out = p.parent_path();
+  out /= p.stem().string() + ".slice-" + SliceSpecToken(slice) +
+         p.extension().string();
+  return out.string();
+}
+
+bool ResultSink::WritePartial(const SlicePartial&, const ArtifactMeta&) {
+  return false;  // base sinks cannot represent partials; fail loudly
+}
+
 CsvSink::CsvSink(std::string path) : path_(std::move(path)) {}
 
 bool CsvSink::Write(const TextTable& table, const ArtifactMeta& meta) {
@@ -985,17 +1113,37 @@ bool CsvSink::Write(const TextTable& table, const ArtifactMeta& meta) {
   // output — so plan-driven artifacts stay byte-comparable. Provenance
   // goes in the sidecar instead of a CSV comment for the same reason.
   if (!table.WriteCsv(path)) return false;
-  return WriteFileBytes(path + ".meta.json", ProvenanceJson(meta) + "}\n");
+  return WriteFileBytes(path + ".meta.json",
+                        ProvenanceJsonBody(meta) + "}\n");
+}
+
+bool CsvSink::WritePartial(const SlicePartial& partial,
+                           const ArtifactMeta& meta) {
+  const std::string path = SlicePartialPath(path_, partial.slice);
+  EnsureParentDirectory(path);
+  if (!WriteFileBytes(path, SlicePartialCsv(partial))) return false;
+  return WriteFileBytes(path + ".meta.json",
+                        ProvenanceJsonBody(meta) + "}\n");
 }
 
 JsonSink::JsonSink(std::string path) : path_(std::move(path)) {}
+
+bool JsonSink::WritePartial(const SlicePartial& partial,
+                            const ArtifactMeta& meta) {
+  const std::string path = SlicePartialPath(path_, partial.slice);
+  EnsureParentDirectory(path);
+  std::string out = ProvenanceJsonBody(meta);
+  AppendSlicePartialDataJson(partial, &out);
+  out += "}\n";
+  return WriteFileBytes(path, out);
+}
 
 bool JsonSink::Write(const TextTable& table, const ArtifactMeta& meta) {
   const std::string path = SuffixedPath(path_, meta.suffix);
   EnsureParentDirectory(path);
   // Appended piecewise (not via operator+ chains of char literals): GCC
   // 12's -Wrestrict false-positives on those under -O3 (PR 105329).
-  std::string out = ProvenanceJson(meta);
+  std::string out = ProvenanceJsonBody(meta);
   out += ", \"header\": [";
   for (size_t i = 0; i < table.header().size(); ++i) {
     if (i > 0) out += ", ";
@@ -1058,6 +1206,60 @@ Dataset BuildPlanDataset(const std::string& which, uint32_t scale, bool quick,
   return GenerateSynPaper(seed);
 }
 
+ExperimentPlan SliceFingerprintPlan(const ExperimentPlan& plan) {
+  ExperimentPlan fingerprint = plan;
+  // Execution-only knobs that never change any emitted byte: thread
+  // count (the determinism contract) and the slice assignment itself.
+  fingerprint.threads = 1;
+  fingerprint.slice = SliceSpec{};
+  return fingerprint;
+}
+
+uint64_t CountPlanUnits(const ExperimentPlan& plan) {
+  const EffectiveRun eff = Effective(plan);
+  const uint64_t grid = uint64_t{plan.alpha.size()} * plan.eps_perm.size();
+  switch (plan.kind) {
+    case ExperimentKind::kMse:
+      return uint64_t{plan.datasets.size()} * grid * plan.protocols.size() *
+             eff.runs;
+    case ExperimentKind::kVariance:
+      return grid;
+    case ExperimentKind::kOptimalG:
+      return plan.eps_perm.size();
+    case ExperimentKind::kPrivacyLoss:
+      return uint64_t{plan.datasets.size()} * grid;
+    case ExperimentKind::kComparison:
+      return 7;  // one row per protocol in the Table 1 legend
+    case ExperimentKind::kDetection:
+      return plan.eps_perm.size();
+  }
+  return 0;
+}
+
+namespace {
+
+bool DispatchPlan(const ExperimentPlan& plan, ThreadPool* pool,
+                  UnitStream& stream, std::span<ResultSink* const> sinks,
+                  std::string* error, std::FILE* log) {
+  switch (plan.kind) {
+    case ExperimentKind::kMse:
+      return RunMse(plan, pool, stream, sinks, error, log);
+    case ExperimentKind::kVariance:
+      return RunVariance(plan, stream, sinks, error, log);
+    case ExperimentKind::kOptimalG:
+      return RunOptimalG(plan, stream, sinks, error, log);
+    case ExperimentKind::kPrivacyLoss:
+      return RunPrivacyLoss(plan, stream, sinks, error, log);
+    case ExperimentKind::kComparison:
+      return RunComparison(plan, stream, sinks, error, log);
+    case ExperimentKind::kDetection:
+      return RunDetection(plan, stream, sinks, error, log);
+  }
+  return FailPlan(error, "unknown experiment kind");
+}
+
+}  // namespace
+
 bool RunExperimentPlan(const ExperimentPlan& plan, ThreadPool* pool,
                        std::span<ResultSink* const> sinks,
                        std::string* error, std::FILE* log) {
@@ -1065,21 +1267,69 @@ bool RunExperimentPlan(const ExperimentPlan& plan, ThreadPool* pool,
   if (!plan.Validate(&validate_error)) {
     return FailPlan(error, "plan '" + plan.name + "': " + validate_error);
   }
-  switch (plan.kind) {
-    case ExperimentKind::kMse:
-      return RunMse(plan, pool, sinks, error, log);
-    case ExperimentKind::kVariance:
-      return RunVariance(plan, sinks, error, log);
-    case ExperimentKind::kOptimalG:
-      return RunOptimalG(plan, sinks, error, log);
-    case ExperimentKind::kPrivacyLoss:
-      return RunPrivacyLoss(plan, sinks, error, log);
-    case ExperimentKind::kComparison:
-      return RunComparison(plan, sinks, error, log);
-    case ExperimentKind::kDetection:
-      return RunDetection(plan, sinks, error, log);
+  UnitStream stream;
+  stream.slice = plan.slice;
+  if (!DispatchPlan(plan, pool, stream, sinks, error, log)) return false;
+  if (!plan.slice.active()) return true;
+
+  // Sliced run: everything computed goes out as one partial per sink.
+  SlicePartial partial;
+  partial.plan_name = plan.name;
+  partial.kind = ExperimentKindName(plan.kind);
+  partial.seed = plan.seed;
+  partial.git_describe = GitDescribe();
+  partial.slice = plan.slice;
+  partial.units_total = stream.next;
+  partial.plan_text = SliceFingerprintPlan(plan).ToString();
+  partial.units = std::move(stream.owned);
+
+  ArtifactMeta meta = MetaFor(plan, plan.name, "");
+  meta.slice = plan.slice;
+  meta.units = partial.units.size();
+  meta.units_total = partial.units_total;
+  meta.plan_text = partial.plan_text;
+
+  Log(log, "slice %s: computed %llu of %llu unit(s)\n",
+      SliceSpecToken(plan.slice).c_str(),
+      static_cast<unsigned long long>(partial.units.size()),
+      static_cast<unsigned long long>(partial.units_total));
+  for (ResultSink* sink : sinks) {
+    if (!sink->WritePartial(partial, meta)) {
+      return FailPlan(error,
+                      "result sink failed writing the slice partial for '" +
+                          plan.name + "'");
+    }
   }
-  return FailPlan(error, "unknown experiment kind");
+  return true;
+}
+
+bool MergeExperimentSlices(const ExperimentPlan& plan,
+                           std::span<const SliceUnit> units,
+                           std::span<ResultSink* const> sinks,
+                           std::string* error, std::FILE* log) {
+  std::string validate_error;
+  if (!plan.Validate(&validate_error)) {
+    return FailPlan(error, "plan '" + plan.name + "': " + validate_error);
+  }
+  if (plan.slice.active()) {
+    return FailPlan(error,
+                    "merge runs the whole plan; clear the slice first");
+  }
+  const uint64_t expected = CountPlanUnits(plan);
+  if (units.size() != expected) {
+    return FailPlan(error, "plan '" + plan.name + "' produces " +
+                               std::to_string(expected) +
+                               " unit(s) but the combined slices carry " +
+                               std::to_string(units.size()));
+  }
+  UnitStream stream;
+  stream.merge = true;
+  stream.merged = units;
+  if (!DispatchPlan(plan, /*pool=*/nullptr, stream, sinks, error, log)) {
+    return false;
+  }
+  LOLOHA_CHECK(stream.next == units.size());
+  return true;
 }
 
 bool RunExperimentPlan(const ExperimentPlan& plan, ThreadPool* pool,
@@ -1126,6 +1376,65 @@ void PrintProtocolRegistry(std::FILE* out) {
       "\nSpec grammar: name[:key=value,...] with keys eps_perm, eps_first "
       "(two-round only)\nand the extras above; \"loloha:g=N\" selects "
       "BiLOLOHA (N = 2) or LOLOHA(g=N).\n");
+}
+
+void PrintPlanRegistry(const std::string& dir, std::FILE* out) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() == ".plan") {
+      paths.push_back(it->path().string());
+    }
+  }
+  if (ec) {
+    std::fprintf(out, "cannot list plan directory '%s': %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return;
+  }
+  // Directory order is filesystem-dependent; sort for a stable table.
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    std::fprintf(out, "no *.plan files under '%s'\n", dir.c_str());
+    return;
+  }
+
+  TextTable table({"file", "name", "kind", "datasets", "legend",
+                   "grid (alpha x eps)", "runs", "units", "outputs"});
+  std::vector<std::string> errors;
+  for (const std::string& path : paths) {
+    const std::string file =
+        std::filesystem::path(path).filename().string();
+    ExperimentPlan plan;
+    std::string error;
+    if (!LoadExperimentPlan(path, &plan, &error)) {
+      table.AddRow({file, "(invalid)", "-", "-", "-", "-", "-", "-", "-"});
+      errors.push_back(error);
+      continue;
+    }
+    std::string outputs;
+    if (!plan.csv.empty()) outputs = plan.csv;
+    if (!plan.json.empty()) {
+      if (!outputs.empty()) outputs += ", ";
+      outputs += plan.json;
+    }
+    if (outputs.empty()) outputs = "-";
+    table.AddRow({file, plan.name, ExperimentKindName(plan.kind),
+                  plan.datasets.empty() ? "-" : JoinList(plan.datasets, ","),
+                  std::to_string(plan.protocols.size()),
+                  std::to_string(plan.alpha.size()) + " x " +
+                      std::to_string(plan.eps_perm.size()),
+                  std::to_string(Effective(plan).runs),
+                  std::to_string(CountPlanUnits(plan)), outputs});
+  }
+  std::fprintf(out, "%s", table.ToString().c_str());
+  for (const std::string& error : errors) {
+    std::fprintf(out, "\ninvalid plan: %s", error.c_str());
+  }
+  std::fprintf(out,
+               "\n'units' is the distributable unit-grid size: slice a "
+               "plan with --slice=i/N and\nmerge the partials with "
+               "loloha_merge (see README \"Distributed execution\").\n");
 }
 
 }  // namespace loloha

@@ -48,6 +48,7 @@
 
 #include "data/dataset.h"
 #include "sim/protocol_spec.h"
+#include "sim/slice.h"
 #include "util/table.h"
 
 namespace loloha {
@@ -94,6 +95,15 @@ struct ExperimentPlan {
   uint32_t scale = 5;    // divide dataset n by this (1 = paper scale)
   bool quick = false;    // smoke mode: scale >= 20, runs = 1, tau <= 20
   uint64_t seed = 20230328;
+
+  // Distributed slicing ([run] "slice = i/N", or the --slice flag). When
+  // active, RunExperimentPlan computes only the owned units of the plan's
+  // flattened unit grid and the sinks emit slice partials instead of
+  // tables; MergeExperimentSlices turns a complete partial set back into
+  // the single-process artifacts. Inactive (the default) is the ordinary
+  // full run, and ToString omits the key so existing plans round-trip
+  // unchanged.
+  SliceSpec slice;
 
   // Kind-specific scalars: kVariance uses (n, k); kComparison uses
   // (k, b, eps, eps1) with b = 0 meaning k and eps1 = 0 meaning eps/2.
@@ -142,8 +152,23 @@ struct ArtifactMeta {
   uint64_t seed = 0;
   std::string git_describe;
 
+  // Slice stamps, set only on slice-partial artifacts (inactive slice =
+  // ordinary table artifact; the serialized provenance then carries no
+  // slice keys, so pre-slice sidecars are byte-unchanged).
+  SliceSpec slice;
+  uint64_t units = 0;        // units this partial carries
+  uint64_t units_total = 0;  // plan-wide unit-grid size
+  std::string plan_text;     // canonical fingerprint (SliceFingerprintPlan)
+
   friend bool operator==(const ArtifactMeta&, const ArtifactMeta&) = default;
 };
+
+// The one provenance serializer both sinks use (CsvSink's `.meta.json`
+// sidecar and JsonSink's inline header), so stamps — slice stamps in
+// particular — cannot diverge between them. Returns an *unclosed* JSON
+// object body ("{...key: value" without the trailing '}'); callers close
+// it or append more members.
+std::string ProvenanceJsonBody(const ArtifactMeta& meta);
 
 class ResultSink {
  public:
@@ -152,6 +177,13 @@ class ResultSink {
   // Persists one finished table. Returns false on I/O failure (the plan
   // runner reports it and fails the run).
   virtual bool Write(const TextTable& table, const ArtifactMeta& meta) = 0;
+
+  // Slice mode: persists the partial a sliced run produced (meta carries
+  // the slice stamps). The base returns false — sinks that cannot
+  // represent partials fail the sliced run loudly instead of silently
+  // dropping work.
+  virtual bool WritePartial(const SlicePartial& partial,
+                            const ArtifactMeta& meta);
 };
 
 // Writes the table bytes as CSV to `path` (parent directories are
@@ -163,6 +195,10 @@ class CsvSink : public ResultSink {
  public:
   explicit CsvSink(std::string path);
   bool Write(const TextTable& table, const ArtifactMeta& meta) override;
+  // Slice mode: "<stem>.slice-i-of-N.csv" in the loloha_slice v1 CSV
+  // format plus the usual ".meta.json" provenance sidecar.
+  bool WritePartial(const SlicePartial& partial,
+                    const ArtifactMeta& meta) override;
 
  private:
   std::string path_;
@@ -174,6 +210,10 @@ class JsonSink : public ResultSink {
  public:
   explicit JsonSink(std::string path);
   bool Write(const TextTable& table, const ArtifactMeta& meta) override;
+  // Slice mode: one self-contained "<stem>.slice-i-of-N.json" document
+  // (provenance body + "units_data").
+  bool WritePartial(const SlicePartial& partial,
+                    const ArtifactMeta& meta) override;
 
  private:
   std::string path_;
@@ -183,6 +223,9 @@ class JsonSink : public ResultSink {
 class NullSink : public ResultSink {
  public:
   bool Write(const TextTable&, const ArtifactMeta&) override { return true; }
+  bool WritePartial(const SlicePartial&, const ArtifactMeta&) override {
+    return true;
+  }
 };
 
 // The build's `git describe --always --dirty` stamp (configure-time;
@@ -192,6 +235,23 @@ std::string GitDescribe();
 // The sinks a plan's [output] section declares, in csv-then-json order.
 std::vector<std::unique_ptr<ResultSink>> MakePlanSinks(
     const ExperimentPlan& plan);
+
+// "<stem>.slice-i-of-N<ext>": where a sink writes its partial for
+// `slice` (relative to that sink's configured artifact path).
+std::string SlicePartialPath(const std::string& path, const SliceSpec& slice);
+
+// The canonical plan identity two slice runs must share to merge: the
+// plan with execution-only knobs neutralized (threads = 1, slice
+// cleared), serialized via ToString(). Stored as `plan_text` in every
+// partial; CombineSlicePartials refuses sets whose fingerprints differ
+// (e.g. the same plan file run with different --runs or --quick
+// overrides on different hosts).
+ExperimentPlan SliceFingerprintPlan(const ExperimentPlan& plan);
+
+// Total unit-grid size of a plan: Monte-Carlo cells for mse plans, output
+// table rows for every other kind. What `units_total` in partials counts
+// and what a complete slice set must cover.
+uint64_t CountPlanUnits(const ExperimentPlan& plan);
 
 // ---------------------------------------------------------------------------
 // Execution.
@@ -211,6 +271,21 @@ bool RunExperimentPlan(const ExperimentPlan& plan, ThreadPool* pool,
 bool RunExperimentPlan(const ExperimentPlan& plan, ThreadPool* pool,
                        std::string* error = nullptr, std::FILE* log = stdout);
 
+// Merge half of the distributed path: re-runs the plan's table assembly
+// with every unit value taken from `units` (a complete, canonically
+// ordered set from CombineSlicePartials) instead of being computed, and
+// hands the finished tables to `sinks` stamped as an ordinary
+// (slice-inactive) run. Because sliced cells draw from the same per-cell
+// streams as an unsliced run, the emitted bytes are identical to a
+// single-process RunExperimentPlan — the property tools/loloha_merge.cc
+// and the distributed.* ctest legs assert. `plan` must not itself carry
+// an active slice.
+bool MergeExperimentSlices(const ExperimentPlan& plan,
+                           std::span<const SliceUnit> units,
+                           std::span<ResultSink* const> sinks,
+                           std::string* error = nullptr,
+                           std::FILE* log = stdout);
+
 // Builds one of the paper's four datasets ("syn", "adult", "db_mt",
 // "db_de") with n divided by `scale` (and tau capped at 20 in quick
 // mode). The single dataset-construction path for plans and the legacy
@@ -222,6 +297,13 @@ Dataset BuildPlanDataset(const std::string& which, uint32_t scale, bool quick,
 // rounds, and V* formula availability — straight from protocol_spec.cc
 // (the --list-protocols table of loloha_experiments and quickstart).
 void PrintProtocolRegistry(std::FILE* out);
+
+// Prints a registry-style table of every "*.plan" file under `dir`
+// (sorted by file name): plan name, kind, datasets, legend size, grid
+// dimensions, runs, and declared outputs. Plans that fail to parse or
+// validate are listed with their error instead of silently skipped. The
+// --list-plans table of loloha_experiments.
+void PrintPlanRegistry(const std::string& dir, std::FILE* out);
 
 }  // namespace loloha
 

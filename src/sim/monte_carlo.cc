@@ -27,7 +27,13 @@ std::vector<std::vector<double>> RunMonteCarloGrid(
   std::vector<std::vector<double>> results(num_configs);
   for (auto& row : results) row.resize(options.runs);
 
-  const uint32_t total = num_configs * options.runs;
+  const auto owns = [&options](uint32_t config, uint32_t run) {
+    return options.slice.Owns(options.slice_first_cell +
+                              uint64_t{config} * options.runs + run);
+  };
+  const uint32_t total = static_cast<uint32_t>(options.slice.OwnedCount(
+      uint64_t{num_configs} * options.runs + options.slice_first_cell) -
+      options.slice.OwnedCount(options.slice_first_cell));
   // Shared progress counter plus callback serialization. A mutex-guarded
   // struct rather than an atomic: the guard also serializes the user's
   // progress callback, and clang's thread-safety analysis then checks the
@@ -50,7 +56,7 @@ std::vector<std::vector<double>> RunMonteCarloGrid(
   if (options.pool == nullptr) {
     for (uint32_t config = 0; config < num_configs; ++config) {
       for (uint32_t run = 0; run < options.runs; ++run) {
-        run_cell(config, run);
+        if (owns(config, run)) run_cell(config, run);
       }
     }
     return results;
@@ -61,6 +67,7 @@ std::vector<std::vector<double>> RunMonteCarloGrid(
   WaitGroup wg;
   for (uint32_t config = 0; config < num_configs; ++config) {
     for (uint32_t run = 0; run < options.runs; ++run) {
+      if (!owns(config, run)) continue;
       options.pool->Submit(wg, [&run_cell, config, run] {
         run_cell(config, run);
       });

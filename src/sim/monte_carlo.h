@@ -25,6 +25,7 @@
 
 #include "data/dataset.h"
 #include "sim/runner.h"
+#include "sim/slice.h"
 
 namespace loloha {
 
@@ -49,6 +50,16 @@ struct MonteCarloOptions {
   // Treat the values as a progress sample, not a completion signal;
   // RunMonteCarloGrid returning is the completion signal. Null disables.
   std::function<void(uint32_t completed, uint32_t total)> progress;
+  // Distributed slicing: when active, only cells whose global unit index
+  // (slice_first_cell + config * runs + run) is owned by the slice are
+  // evaluated; unowned result slots stay 0.0 and the progress total
+  // shrinks to the owned count. Because each cell draws from its own
+  // MonteCarloSeed stream, the owned cells' values are bit-identical to
+  // the same cells of an unsliced run.
+  SliceSpec slice;
+  // Global unit index of this grid's cell (0, 0) within the plan's
+  // flattened unit space (plans with several datasets run several grids).
+  uint64_t slice_first_cell = 0;
 };
 
 // Instantiates the runner of configuration `config`; called once per

@@ -1,0 +1,800 @@
+#include "sim/slice.h"
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace loloha {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool FailAt(std::string* error, const std::string& name, size_t line,
+            const std::string& message) {
+  return Fail(error, name + ":" + std::to_string(line) + ": " + message);
+}
+
+template <typename UInt>
+bool ParseUInt(std::string_view text, UInt* value) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto result = std::from_chars(begin, end, *value);
+  return result.ec == std::errc() && result.ptr == end;
+}
+
+// Exact double transport: 0x + 16 lowercase hex digits of the IEEE-754
+// bit pattern. Shortest-decimal would round-trip too, but the bit form
+// is unambiguous under truncation (fixed width) and trivially diffable.
+std::string CellBits(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(std::bit_cast<uint64_t>(value)));
+  return buffer;
+}
+
+bool ParseCellBits(std::string_view text, double* value) {
+  if (text.size() != 18 || text.substr(0, 2) != "0x") return false;
+  uint64_t bits = 0;
+  const char* begin = text.data() + 2;
+  const char* end = text.data() + text.size();
+  const auto result = std::from_chars(begin, end, bits, 16);
+  if (result.ec != std::errc() || result.ptr != end) return false;
+  *value = std::bit_cast<double>(bits);
+  return true;
+}
+
+// Splits one RFC-4180 CSV line into fields (the inverse of
+// CsvEscapeField joined with commas). Returns false on a malformed
+// quoted field (unterminated quote, garbage after a closing quote).
+bool SplitCsvLine(std::string_view line, std::vector<std::string>* fields) {
+  fields->clear();
+  size_t i = 0;
+  while (true) {
+    std::string field;
+    if (i < line.size() && line[i] == '"') {
+      ++i;
+      while (true) {
+        if (i >= line.size()) return false;  // unterminated quote
+        if (line[i] == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            field += '"';
+            i += 2;
+          } else {
+            ++i;
+            break;
+          }
+        } else {
+          field += line[i++];
+        }
+      }
+      if (i < line.size() && line[i] != ',') return false;
+    } else {
+      const size_t end = std::min(line.find(',', i), line.size());
+      field.assign(line.substr(i, end - i));
+      i = end;
+    }
+    fields->push_back(std::move(field));
+    if (i >= line.size()) return true;
+    ++i;  // skip the comma; a trailing comma yields a final empty field
+    if (i == line.size()) {
+      fields->emplace_back();
+      return true;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough for the documents this repo emits
+// (objects, arrays, strings, integer numbers, bools, null), with line
+// tracking so adversarial-merge errors can name the offending line.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  std::string scalar;  // unescaped string, or the raw number literal
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [name, value] : members) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  JsonReader(std::string_view text, const std::string& name,
+             std::string* error)
+      : text_(text), name_(name), error_(error) {}
+
+  bool Parse(JsonValue* value) {
+    SkipSpace();
+    if (!ParseValue(value, 0)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return FailHere("trailing bytes after JSON document");
+    }
+    return true;
+  }
+
+ private:
+  bool FailHere(const std::string& message) {
+    return FailAt(error_, name_, line_, message);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') ++line_;
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool ParseValue(JsonValue* value, int depth) {
+    if (depth > 32) return FailHere("JSON nesting too deep");
+    if (pos_ >= text_.size()) return FailHere("unexpected end of JSON");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(value, depth);
+    if (c == '[') return ParseArray(value, depth);
+    if (c == '"') {
+      value->type = JsonValue::Type::kString;
+      return ParseString(&value->scalar);
+    }
+    if (c == 't' || c == 'f') {
+      const std::string_view want = c == 't' ? "true" : "false";
+      if (text_.substr(pos_, want.size()) != want) {
+        return FailHere("malformed JSON literal");
+      }
+      pos_ += want.size();
+      value->type = JsonValue::Type::kBool;
+      value->boolean = c == 't';
+      return true;
+    }
+    if (c == 'n') {
+      if (text_.substr(pos_, 4) != "null") {
+        return FailHere("malformed JSON literal");
+      }
+      pos_ += 4;
+      value->type = JsonValue::Type::kNull;
+      return true;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      const size_t begin = pos_;
+      if (text_[pos_] == '-') ++pos_;
+      while (pos_ < text_.size() &&
+             (std::string_view("0123456789.eE+-").find(text_[pos_]) !=
+              std::string_view::npos)) {
+        ++pos_;
+      }
+      value->type = JsonValue::Type::kNumber;
+      value->scalar.assign(text_.substr(begin, pos_ - begin));
+      return true;
+    }
+    return FailHere(std::string("unexpected character '") + c + "' in JSON");
+  }
+
+  bool ParseString(std::string* out) {
+    out->clear();
+    ++pos_;  // opening quote
+    while (true) {
+      if (pos_ >= text_.size()) return FailHere("unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\n') return FailHere("raw newline in JSON string");
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return FailHere("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'n': *out += '\n'; break;
+        case 't': *out += '\t'; break;
+        case 'r': *out += '\r'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return FailHere("short \\u escape");
+          uint32_t code = 0;
+          const char* begin = text_.data() + pos_;
+          const auto result = std::from_chars(begin, begin + 4, code, 16);
+          if (result.ec != std::errc() || result.ptr != begin + 4) {
+            return FailHere("malformed \\u escape");
+          }
+          pos_ += 4;
+          // The emitters only \u-escape control bytes (< 0x20).
+          if (code > 0x7f) return FailHere("unsupported \\u escape");
+          *out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return FailHere("unknown JSON escape");
+      }
+    }
+  }
+
+  bool ParseObject(JsonValue* value, int depth) {
+    value->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return FailHere("expected JSON object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return FailHere("expected ':' after object key");
+      }
+      ++pos_;
+      SkipSpace();
+      JsonValue member;
+      if (!ParseValue(&member, depth + 1)) return false;
+      value->members.emplace_back(std::move(key), std::move(member));
+      SkipSpace();
+      if (pos_ >= text_.size()) return FailHere("unterminated JSON object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return FailHere("expected ',' or '}' in JSON object");
+    }
+  }
+
+  bool ParseArray(JsonValue* value, int depth) {
+    value->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      JsonValue item;
+      if (!ParseValue(&item, depth + 1)) return false;
+      value->items.push_back(std::move(item));
+      SkipSpace();
+      if (pos_ >= text_.size()) return FailHere("unterminated JSON array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return FailHere("expected ',' or ']' in JSON array");
+    }
+  }
+
+  std::string_view text_;
+  std::string name_;
+  std::string* error_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+// Reads the provenance fields every partial must carry. `where` labels
+// errors; `line` is reported as the document's first line (field-level
+// positions inside a one-line JSON document are all line 1 anyway).
+bool ReadProvenance(const JsonValue& doc, const std::string& where,
+                    SlicePartial* partial, std::string* error) {
+  const auto need_string = [&](const char* key, std::string* out) {
+    const JsonValue* v = doc.Find(key);
+    if (v == nullptr || v->type != JsonValue::Type::kString) {
+      return FailAt(error, where, 1,
+                    std::string("missing or non-string \"") + key +
+                        "\" in slice provenance");
+    }
+    *out = v->scalar;
+    return true;
+  };
+  const auto need_uint = [&](const char* key, uint64_t* out) {
+    const JsonValue* v = doc.Find(key);
+    if (v == nullptr || v->type != JsonValue::Type::kNumber ||
+        !ParseUInt(std::string_view(v->scalar), out)) {
+      return FailAt(error, where, 1,
+                    std::string("missing or non-integer \"") + key +
+                        "\" in slice provenance");
+    }
+    return true;
+  };
+  if (!need_string("plan", &partial->plan_name)) return false;
+  if (!need_string("kind", &partial->kind)) return false;
+  if (!need_uint("seed", &partial->seed)) return false;
+  if (!need_string("git", &partial->git_describe)) return false;
+  uint64_t index = 0;
+  uint64_t count = 0;
+  if (!need_uint("slice_index", &index)) return false;
+  if (!need_uint("slice_count", &count)) return false;
+  if (count < 1 || count > 0xffffffffull || index >= count) {
+    return FailAt(error, where, 1,
+                  "invalid slice stamp " + std::to_string(index) + "/" +
+                      std::to_string(count));
+  }
+  partial->slice.index = static_cast<uint32_t>(index);
+  partial->slice.count = static_cast<uint32_t>(count);
+  if (!need_uint("units_total", &partial->units_total)) return false;
+  if (!need_string("plan_text", &partial->plan_text)) return false;
+  if (partial->plan_text.empty()) {
+    return FailAt(error, where, 1, "empty \"plan_text\" in slice provenance");
+  }
+  return true;
+}
+
+// Shared tail validation: units ascending, owned by the slice, in range.
+bool ValidateUnits(const SlicePartial& partial, const std::string& name,
+                   std::string* error) {
+  uint64_t previous = 0;
+  bool first = true;
+  for (const SliceUnit& unit : partial.units) {
+    if (unit.index >= partial.units_total) {
+      return Fail(error, name + ": unit " + std::to_string(unit.index) +
+                             " out of range (units_total = " +
+                             std::to_string(partial.units_total) + ")");
+    }
+    if (!partial.slice.Owns(unit.index)) {
+      return Fail(error, name + ": unit " + std::to_string(unit.index) +
+                             " is not owned by slice " +
+                             SliceSpecToken(partial.slice));
+    }
+    if (!first && unit.index <= previous) {
+      return Fail(error, name + ": units out of order at " +
+                             std::to_string(unit.index));
+    }
+    previous = unit.index;
+    first = false;
+  }
+  const uint64_t expected = partial.slice.OwnedCount(partial.units_total);
+  if (partial.units.size() != expected) {
+    return Fail(error, name + ": slice " + SliceSpecToken(partial.slice) +
+                           " carries " + std::to_string(partial.units.size()) +
+                           " unit(s) but owns " + std::to_string(expected));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseSliceSpec(std::string_view text, SliceSpec* slice,
+                    std::string* error) {
+  const size_t slash = text.find('/');
+  uint32_t index = 0;
+  uint32_t count = 0;
+  if (slash == std::string_view::npos ||
+      !ParseUInt(text.substr(0, slash), &index) ||
+      !ParseUInt(text.substr(slash + 1), &count)) {
+    return Fail(error, "malformed slice '" + std::string(text) +
+                           "' (want i/N, e.g. 0/4)");
+  }
+  if (count < 1) return Fail(error, "slice count must be >= 1");
+  if (index >= count) {
+    return Fail(error, "slice index " + std::to_string(index) +
+                           " out of range for count " + std::to_string(count));
+  }
+  slice->index = index;
+  slice->count = count;
+  return true;
+}
+
+std::string SliceSpecToken(const SliceSpec& slice) {
+  return std::to_string(slice.index) + "-of-" + std::to_string(slice.count);
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string SlicePartialCsv(const SlicePartial& partial) {
+  std::string out = "loloha_slice,v1," + CsvEscapeField(partial.plan_name) +
+                    "," + partial.kind + "," + std::to_string(partial.seed) +
+                    "," + std::to_string(partial.slice.index) + "," +
+                    std::to_string(partial.slice.count) + "," +
+                    std::to_string(partial.units_total) + "\n";
+  for (const SliceUnit& unit : partial.units) {
+    if (unit.type == SliceUnit::Type::kCell) {
+      out += "cell," + std::to_string(unit.index) + "," + CellBits(unit.cell) +
+             "\n";
+    } else {
+      out += "row," + std::to_string(unit.index);
+      for (const std::string& cell : unit.row) {
+        out += ',';
+        out += CsvEscapeField(cell);
+      }
+      out += "\n";
+    }
+  }
+  out += "end," + std::to_string(partial.units.size()) + "\n";
+  return out;
+}
+
+void AppendSlicePartialDataJson(const SlicePartial& partial,
+                                std::string* out) {
+  *out += ", \"units_data\": [";
+  for (size_t i = 0; i < partial.units.size(); ++i) {
+    const SliceUnit& unit = partial.units[i];
+    if (i > 0) *out += ", ";
+    *out += "[\"";
+    *out += unit.type == SliceUnit::Type::kCell ? "cell" : "row";
+    *out += "\", \"";
+    *out += std::to_string(unit.index);
+    *out += '"';
+    if (unit.type == SliceUnit::Type::kCell) {
+      *out += ", \"";
+      *out += CellBits(unit.cell);
+      *out += '"';
+    } else {
+      for (const std::string& cell : unit.row) {
+        *out += ", \"";
+        *out += JsonEscape(cell);
+        *out += '"';
+      }
+    }
+    *out += ']';
+  }
+  *out += ']';
+}
+
+bool ParseSlicePartialCsv(std::string_view csv_bytes,
+                          std::string_view sidecar_json,
+                          const std::string& csv_name,
+                          const std::string& sidecar_name,
+                          SlicePartial* partial, std::string* error) {
+  SlicePartial out;
+  out.source = csv_name;
+
+  JsonValue doc;
+  JsonReader reader(sidecar_json, sidecar_name, error);
+  if (!reader.Parse(&doc)) return false;
+  if (doc.type != JsonValue::Type::kObject) {
+    return FailAt(error, sidecar_name, 1, "sidecar is not a JSON object");
+  }
+  if (!ReadProvenance(doc, sidecar_name, &out, error)) return false;
+
+  size_t line_number = 0;  // first physical line of the current record
+  size_t next_line = 1;
+  size_t begin = 0;
+  bool saw_header = false;
+  bool saw_end = false;
+  std::vector<std::string> fields;
+  while (begin < csv_bytes.size()) {
+    line_number = next_line;
+    // One CSV record may span physical lines: a newline inside a quoted
+    // field (CsvEscapeField output) is payload, not a record break.
+    size_t end = begin;
+    bool in_quotes = false;
+    while (end < csv_bytes.size() &&
+           (in_quotes || csv_bytes[end] != '\n')) {
+      if (csv_bytes[end] == '"') in_quotes = !in_quotes;
+      if (csv_bytes[end] == '\n') ++next_line;
+      ++end;
+    }
+    const std::string_view line = csv_bytes.substr(begin, end - begin);
+    const bool had_newline = end < csv_bytes.size();
+    begin = end + 1;
+    ++next_line;
+    if (saw_end) {
+      return FailAt(error, csv_name, line_number,
+                    "trailing data after 'end' trailer");
+    }
+    if (!SplitCsvLine(line, &fields) || fields.empty()) {
+      return FailAt(error, csv_name, line_number, "malformed CSV line");
+    }
+    if (!had_newline) {
+      return FailAt(error, csv_name, line_number,
+                    "truncated partial: last line has no newline");
+    }
+    if (!saw_header) {
+      if (fields.size() != 8 || fields[0] != "loloha_slice" ||
+          fields[1] != "v1") {
+        return FailAt(error, csv_name, line_number,
+                      "not a loloha_slice v1 partial header");
+      }
+      uint64_t seed = 0;
+      uint64_t total = 0;
+      SliceSpec slice;
+      if (!ParseUInt(std::string_view(fields[4]), &seed) ||
+          !ParseUInt(std::string_view(fields[5]), &slice.index) ||
+          !ParseUInt(std::string_view(fields[6]), &slice.count) ||
+          !ParseUInt(std::string_view(fields[7]), &total)) {
+        return FailAt(error, csv_name, line_number,
+                      "malformed numbers in partial header");
+      }
+      if (fields[2] != out.plan_name || fields[3] != out.kind ||
+          seed != out.seed || !(slice == out.slice) ||
+          total != out.units_total) {
+        return FailAt(error, csv_name, line_number,
+                      "partial header disagrees with sidecar " +
+                          sidecar_name);
+      }
+      saw_header = true;
+      continue;
+    }
+    if (fields[0] == "end") {
+      uint64_t count = 0;
+      if (fields.size() != 2 ||
+          !ParseUInt(std::string_view(fields[1]), &count)) {
+        return FailAt(error, csv_name, line_number, "malformed 'end' trailer");
+      }
+      if (count != out.units.size()) {
+        return FailAt(error, csv_name, line_number,
+                      "'end' trailer says " + std::to_string(count) +
+                          " unit(s) but " + std::to_string(out.units.size()) +
+                          " present — truncated or edited partial");
+      }
+      saw_end = true;
+      continue;
+    }
+    SliceUnit unit;
+    if (fields[0] == "cell") {
+      if (fields.size() != 3 ||
+          !ParseUInt(std::string_view(fields[1]), &unit.index) ||
+          !ParseCellBits(fields[2], &unit.cell)) {
+        return FailAt(error, csv_name, line_number, "malformed cell unit");
+      }
+      unit.type = SliceUnit::Type::kCell;
+    } else if (fields[0] == "row") {
+      if (fields.size() < 3 ||
+          !ParseUInt(std::string_view(fields[1]), &unit.index)) {
+        return FailAt(error, csv_name, line_number, "malformed row unit");
+      }
+      unit.type = SliceUnit::Type::kRow;
+      unit.row.assign(fields.begin() + 2, fields.end());
+    } else {
+      return FailAt(error, csv_name, line_number,
+                    "unknown record '" + fields[0] + "'");
+    }
+    out.units.push_back(std::move(unit));
+  }
+  if (!saw_header) {
+    return FailAt(error, csv_name, 1, "empty partial: missing header line");
+  }
+  if (!saw_end) {
+    return FailAt(error, csv_name, line_number,
+                  "truncated partial: missing 'end' trailer");
+  }
+  if (!ValidateUnits(out, csv_name, error)) return false;
+  *partial = std::move(out);
+  return true;
+}
+
+bool ParseSlicePartialJson(std::string_view json_bytes,
+                           const std::string& name, SlicePartial* partial,
+                           std::string* error) {
+  SlicePartial out;
+  out.source = name;
+
+  JsonValue doc;
+  JsonReader reader(json_bytes, name, error);
+  if (!reader.Parse(&doc)) return false;
+  if (doc.type != JsonValue::Type::kObject) {
+    return FailAt(error, name, 1, "partial is not a JSON object");
+  }
+  if (!ReadProvenance(doc, name, &out, error)) return false;
+
+  const JsonValue* data = doc.Find("units_data");
+  if (data == nullptr || data->type != JsonValue::Type::kArray) {
+    return FailAt(error, name, 1, "missing \"units_data\" array");
+  }
+  for (const JsonValue& entry : data->items) {
+    if (entry.type != JsonValue::Type::kArray || entry.items.size() < 2) {
+      return FailAt(error, name, 1, "malformed units_data entry");
+    }
+    for (const JsonValue& field : entry.items) {
+      if (field.type != JsonValue::Type::kString) {
+        return FailAt(error, name, 1, "non-string field in units_data entry");
+      }
+    }
+    SliceUnit unit;
+    if (!ParseUInt(std::string_view(entry.items[1].scalar), &unit.index)) {
+      return FailAt(error, name, 1, "malformed unit index in units_data");
+    }
+    if (entry.items[0].scalar == "cell") {
+      if (entry.items.size() != 3 ||
+          !ParseCellBits(entry.items[2].scalar, &unit.cell)) {
+        return FailAt(error, name, 1, "malformed cell unit in units_data");
+      }
+      unit.type = SliceUnit::Type::kCell;
+    } else if (entry.items[0].scalar == "row") {
+      unit.type = SliceUnit::Type::kRow;
+      for (size_t i = 2; i < entry.items.size(); ++i) {
+        unit.row.push_back(entry.items[i].scalar);
+      }
+    } else {
+      return FailAt(error, name, 1,
+                    "unknown units_data record '" + entry.items[0].scalar +
+                        "'");
+    }
+    out.units.push_back(std::move(unit));
+  }
+  if (!ValidateUnits(out, name, error)) return false;
+  *partial = std::move(out);
+  return true;
+}
+
+bool LoadSlicePartial(const std::string& path, SlicePartial* partial,
+                      std::string* error) {
+  const auto read_all = [](const std::string& p, std::string* bytes) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    *bytes = buffer.str();
+    return true;
+  };
+  std::string bytes;
+  if (!read_all(path, &bytes)) {
+    return Fail(error, path + ": cannot open slice partial");
+  }
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
+    return ParseSlicePartialJson(bytes, path, partial, error);
+  }
+  const std::string sidecar_path = path + ".meta.json";
+  std::string sidecar;
+  if (!read_all(sidecar_path, &sidecar)) {
+    return Fail(error, sidecar_path +
+                           ": cannot open provenance sidecar (required "
+                           "next to every CSV slice partial)");
+  }
+  return ParseSlicePartialCsv(bytes, sidecar, path, sidecar_path, partial,
+                              error);
+}
+
+bool CombineSlicePartials(const std::vector<SlicePartial>& parts,
+                          std::vector<SliceUnit>* units, std::string* error) {
+  if (parts.empty()) return Fail(error, "no slice partials to combine");
+  const SlicePartial& first = parts.front();
+  const auto label = [](const SlicePartial& p) {
+    return p.source.empty() ? ("slice " + SliceSpecToken(p.slice)) : p.source;
+  };
+  for (const SlicePartial& part : parts) {
+    if (part.slice.count != first.slice.count) {
+      return Fail(error, label(part) + ": slice count " +
+                             std::to_string(part.slice.count) +
+                             " does not match " +
+                             std::to_string(first.slice.count) + " from " +
+                             label(first));
+    }
+    if (part.plan_name != first.plan_name) {
+      return Fail(error, label(part) + ": plan '" + part.plan_name +
+                             "' does not match '" + first.plan_name +
+                             "' from " + label(first));
+    }
+    if (part.kind != first.kind) {
+      return Fail(error, label(part) + ": kind '" + part.kind +
+                             "' does not match '" + first.kind + "' from " +
+                             label(first));
+    }
+    if (part.seed != first.seed) {
+      return Fail(error, label(part) + ": seed " + std::to_string(part.seed) +
+                             " does not match " + std::to_string(first.seed) +
+                             " from " + label(first));
+    }
+    if (part.units_total != first.units_total) {
+      return Fail(error, label(part) + ": units_total " +
+                             std::to_string(part.units_total) +
+                             " does not match " +
+                             std::to_string(first.units_total) + " from " +
+                             label(first));
+    }
+    if (part.plan_text != first.plan_text) {
+      return Fail(error, label(part) +
+                             ": effective plan text differs from " +
+                             label(first) +
+                             " (same plan file but different overrides?)");
+    }
+  }
+
+  const uint32_t count = first.slice.count;
+  if (parts.size() != count) {
+    // Collect the missing indices for an actionable message.
+    std::vector<bool> present(count, false);
+    for (const SlicePartial& part : parts) {
+      if (part.slice.index < count) present[part.slice.index] = true;
+    }
+    std::string missing;
+    for (uint32_t i = 0; i < count; ++i) {
+      if (!present[i]) {
+        if (!missing.empty()) missing += ", ";
+        missing += std::to_string(i);
+      }
+    }
+    if (!missing.empty() && parts.size() < count) {
+      return Fail(error, "incomplete slice set: have " +
+                             std::to_string(parts.size()) + " of " +
+                             std::to_string(count) +
+                             " slices (missing index " + missing + ")");
+    }
+    // parts.size() > count, or == with gaps: fall through to the
+    // duplicate check below, which names the colliding sources.
+  }
+  std::vector<const SlicePartial*> by_index(count, nullptr);
+  for (const SlicePartial& part : parts) {
+    const SlicePartial*& slot = by_index[part.slice.index];
+    if (slot != nullptr) {
+      return Fail(error, label(part) + ": duplicate slice index " +
+                             std::to_string(part.slice.index) +
+                             " (already provided by " + label(*slot) + ")");
+    }
+    slot = &part;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    if (by_index[i] == nullptr) {
+      return Fail(error, "incomplete slice set: missing slice index " +
+                             std::to_string(i) + " of " +
+                             std::to_string(count));
+    }
+  }
+
+  // Per-partial residue-class coverage was validated at parse time, so
+  // the union is exactly 0..units_total-1 with no overlap; flatten.
+  units->assign(first.units_total, SliceUnit{});
+  std::vector<bool> placed(first.units_total, false);
+  for (const SlicePartial& part : parts) {
+    for (const SliceUnit& unit : part.units) {
+      if (placed[unit.index]) {
+        return Fail(error, label(part) + ": unit " +
+                               std::to_string(unit.index) +
+                               " already provided by another slice");
+      }
+      placed[unit.index] = true;
+      (*units)[unit.index] = unit;
+    }
+  }
+  for (uint64_t i = 0; i < first.units_total; ++i) {
+    if (!placed[i]) {
+      return Fail(error, "incomplete slice set: unit " + std::to_string(i) +
+                             " missing after combining all slices");
+    }
+  }
+  return true;
+}
+
+}  // namespace loloha

@@ -1,0 +1,174 @@
+// Slice layer of the distributed experiment executor.
+//
+// PRs 1–5 made every Monte-Carlo (config, run) cell a placement-
+// independent unit of work: per-cell StreamSeed streams mean a plan file
+// plus a slice index is a complete work description. This header names
+// that contract:
+//
+//   SliceSpec {index, count}   one shard of a plan's flattened unit grid,
+//                              owned round-robin by global unit index
+//                              (unit % count == index) — deterministic,
+//                              dataset-independent assignment.
+//   SliceUnit                  one unit's result: a raw Monte-Carlo cell
+//                              metric (exact double bits) for kMse plans,
+//                              or one pre-formatted table row for the
+//                              closed-form / accountant / attack kinds.
+//   SlicePartial               everything one slice run produced: the
+//                              owned units plus the provenance needed to
+//                              refuse inconsistent merges (plan name,
+//                              kind, seed, slice, unit counts, and the
+//                              canonical effective plan text).
+//
+// Serialization: a partial is either a CSV body plus a JSON provenance
+// sidecar (CsvSink's slice mode) or one self-contained JSON document
+// (JsonSink's slice mode). Both parse back here with line-numbered
+// errors, and CombineSlicePartials refuses incomplete or inconsistent
+// sets all-or-none — the same spirit as the sharded snapshot restore
+// (docs/STATE_BACKENDS.md). tools/loloha_merge.cc is the CLI over this
+// API; sim/experiment.h's MergeExperimentSlices turns combined units
+// back into artifacts byte-identical to a single-process run.
+
+#ifndef LOLOHA_SIM_SLICE_H_
+#define LOLOHA_SIM_SLICE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace loloha {
+
+// One shard of a plan's unit grid. count == 0 means slicing is off (the
+// single-process path); an active slice owns the units congruent to
+// `index` mod `count`. Note count == 1 is still a (trivial) slice run:
+// it produces a partial covering every unit, and merging that one
+// partial must reproduce the single-process bytes.
+struct SliceSpec {
+  uint32_t index = 0;
+  uint32_t count = 0;
+
+  bool active() const { return count > 0; }
+  bool Owns(uint64_t unit) const {
+    return !active() || unit % count == index;
+  }
+  // Number of owned units in a grid of `total` units.
+  uint64_t OwnedCount(uint64_t total) const {
+    if (!active()) return total;
+    return total / count + (index < total % count ? 1 : 0);
+  }
+
+  friend bool operator==(const SliceSpec&, const SliceSpec&) = default;
+};
+
+// Parses "i/N" (e.g. "0/4") with i < N, N >= 1. On failure returns false
+// and stores a reason in `error` when non-null.
+bool ParseSliceSpec(std::string_view text, SliceSpec* slice,
+                    std::string* error = nullptr);
+
+// "i-of-N", the token used in partial file names ("slice-0-of-4").
+std::string SliceSpecToken(const SliceSpec& slice);
+
+// One computed unit. kMse plans produce kCell units (the per-(config,
+// run) metric value, carried as exact IEEE-754 bits); every other kind
+// produces kRow units (one pre-formatted table row in canonical cell
+// order). The unit type is a function of the plan kind, never mixed.
+struct SliceUnit {
+  enum class Type { kCell, kRow };
+
+  uint64_t index = 0;  // global unit index in canonical grid order
+  Type type = Type::kCell;
+  double cell = 0.0;              // kCell payload
+  std::vector<std::string> row;   // kRow payload
+
+  friend bool operator==(const SliceUnit&, const SliceUnit&) = default;
+};
+
+// Everything one slice run produced.
+struct SlicePartial {
+  std::string plan_name;
+  std::string kind;         // ExperimentKindName of the plan's kind
+  uint64_t seed = 0;
+  std::string git_describe;
+  SliceSpec slice;          // always active in a well-formed partial
+  uint64_t units_total = 0; // grid size across the whole plan
+  // Canonical effective plan text (ExperimentPlan::ToString with
+  // execution-only fields neutralized — see SliceFingerprintPlan in
+  // sim/experiment.h). Two partials merge only if this matches exactly.
+  std::string plan_text;
+  std::vector<SliceUnit> units;  // owned units, ascending by index
+  std::string source;            // file name, for error messages only
+
+  friend bool operator==(const SlicePartial& a, const SlicePartial& b) {
+    return a.plan_name == b.plan_name && a.kind == b.kind &&
+           a.seed == b.seed && a.slice == b.slice &&
+           a.units_total == b.units_total && a.plan_text == b.plan_text &&
+           a.units == b.units;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Serialization.
+// ---------------------------------------------------------------------------
+
+// JSON string-body escaping shared by every JSON emitter in the repo
+// (provenance sidecars, JsonSink documents, slice partials). CSV field
+// escaping lives in util/table.h (CsvEscapeField) — the partial writer
+// and TextTable::ToCsv must agree byte for byte.
+std::string JsonEscape(std::string_view text);
+
+// The CSV body of a partial:
+//
+//   loloha_slice,v1,<plan>,<kind>,<seed>,<index>,<count>,<units_total>
+//   cell,<unit>,<0x + 16 hex digits>        (kMse)
+//   row,<unit>,<cell>,<cell>,...            (other kinds)
+//   end,<owned unit count>
+//
+// The header and `end` trailer make truncation detectable: a partial
+// without a matching trailer is refused with the offending line number.
+std::string SlicePartialCsv(const SlicePartial& partial);
+
+// The "data" JSON fragment of a self-contained partial document:
+//   "units_data": [["cell", "<unit>", "0x..."], ["row", "<unit>", ...]]
+// (appended to the shared provenance body by JsonSink's slice mode).
+void AppendSlicePartialDataJson(const SlicePartial& partial,
+                                std::string* out);
+
+// Parses a CSV partial body plus its provenance sidecar. `csv_name` /
+// `sidecar_name` label errors ("<file>:<line>: ..."). Cross-checks the
+// CSV header line against the sidecar and validates unit ordering and
+// slice ownership. All-or-none: any inconsistency fails the whole parse.
+bool ParseSlicePartialCsv(std::string_view csv_bytes,
+                          std::string_view sidecar_json,
+                          const std::string& csv_name,
+                          const std::string& sidecar_name,
+                          SlicePartial* partial,
+                          std::string* error = nullptr);
+
+// Parses a self-contained JSON partial (JsonSink slice mode output).
+bool ParseSlicePartialJson(std::string_view json_bytes,
+                           const std::string& name, SlicePartial* partial,
+                           std::string* error = nullptr);
+
+// Loads a partial from disk, dispatching on extension: "*.json" is a
+// self-contained document, anything else is a CSV body whose sidecar is
+// "<path>.meta.json" (a missing sidecar is an error naming that path).
+bool LoadSlicePartial(const std::string& path, SlicePartial* partial,
+                      std::string* error = nullptr);
+
+// ---------------------------------------------------------------------------
+// Combination.
+// ---------------------------------------------------------------------------
+
+// Validates a slice set all-or-none and flattens it into dense canonical
+// order. Refuses (naming the offending partial's source): mismatched
+// plan name / kind / seed / slice count / unit totals / plan fingerprint,
+// duplicate or missing slice indices, units outside the partial's residue
+// class, and partials not covering exactly their owned unit set. On
+// success `units` holds every unit 0..units_total-1 in order.
+bool CombineSlicePartials(const std::vector<SlicePartial>& parts,
+                          std::vector<SliceUnit>* units,
+                          std::string* error = nullptr);
+
+}  // namespace loloha
+
+#endif  // LOLOHA_SIM_SLICE_H_

@@ -11,7 +11,10 @@ CommandLine::CommandLine(int argc, char** argv) {
     std::string_view arg = argv[i];
     // rfind(prefix, 0) == 0 is the portable prefix test (starts_with needs
     // C++20; this file must also serve -std=c++17 consumers of the lib).
-    if (arg.rfind("--", 0) != 0) continue;
+    if (arg.rfind("--", 0) != 0) {
+      positional_args_.emplace_back(arg);
+      continue;
+    }
     arg.remove_prefix(2);
     const size_t eq = arg.find('=');
     if (eq != std::string_view::npos) {

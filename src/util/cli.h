@@ -1,5 +1,7 @@
 // Minimal command-line flag parsing shared by the benchmark and example
-// binaries. Supports `--name=value`, `--name value`, and boolean `--name`.
+// binaries. Supports `--name=value`, `--name value`, boolean `--name`,
+// and positional operands (any argument that is neither a `--` flag nor
+// consumed as a flag's value, e.g. the partial files of loloha_merge).
 
 #ifndef LOLOHA_UTIL_CLI_H_
 #define LOLOHA_UTIL_CLI_H_
@@ -7,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace loloha {
 
@@ -22,9 +25,15 @@ class CommandLine {
 
   const std::string& program_name() const { return program_name_; }
 
+  // Non-flag operands, in argv order.
+  const std::vector<std::string>& positional_args() const {
+    return positional_args_;
+  }
+
  private:
   std::string program_name_;
   std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_args_;
 };
 
 }  // namespace loloha

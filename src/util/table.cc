@@ -8,9 +8,7 @@
 
 namespace loloha {
 
-namespace {
-
-std::string CsvEscape(const std::string& field) {
+std::string CsvEscapeField(const std::string& field) {
   if (field.find_first_of(",\"\n") == std::string::npos) return field;
   std::string out = "\"";
   for (const char c : field) {
@@ -20,8 +18,6 @@ std::string CsvEscape(const std::string& field) {
   out += "\"";
   return out;
 }
-
-}  // namespace
 
 TextTable::TextTable(std::vector<std::string> header)
     : header_(std::move(header)) {
@@ -66,7 +62,7 @@ std::string TextTable::ToCsv() const {
   auto emit_row = [&](const std::vector<std::string>& row) {
     for (size_t c = 0; c < row.size(); ++c) {
       if (c > 0) out << ',';
-      out << CsvEscape(row[c]);
+      out << CsvEscapeField(row[c]);
     }
     out << '\n';
   };

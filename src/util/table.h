@@ -43,6 +43,12 @@ class TextTable {
 // trailing zeros), e.g. for table cells.
 std::string FormatDouble(double value, int digits = 6);
 
+// RFC-4180 field escaping (quote fields containing comma, quote, or
+// newline; double embedded quotes) — the exact encoding ToCsv applies,
+// exported so slice partials (sim/slice.cc) round-trip table cells with
+// the same bytes.
+std::string CsvEscapeField(const std::string& field);
+
 }  // namespace loloha
 
 #endif  // LOLOHA_UTIL_TABLE_H_

@@ -1,0 +1,624 @@
+// Distributed execution: slice scheduling (SliceSpec), partial
+// serialization round-trips, the merge tool's byte-identity property
+// (merging {1,2,3,7} slices of a plan reproduces the single-process
+// artifacts bit for bit at any thread count), and the all-or-none
+// refusal of incomplete or inconsistent slice sets.
+
+#include "sim/slice.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "util/thread_pool.h"
+
+namespace loloha {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  ASSERT_TRUE(static_cast<bool>(out)) << path;
+  out << bytes;
+}
+
+// Fresh scratch directory per test (tests may run concurrently; key the
+// directory on the full test name).
+std::string ScratchDir() {
+  const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "loloha_slice_merge" /
+      (std::string(info->test_suite_name()) + "." + info->name());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+ExperimentPlan ParsePlanOrDie(const std::string& text) {
+  ExperimentPlan plan;
+  std::string error;
+  EXPECT_TRUE(ParseExperimentPlan(text, &plan, &error)) << error;
+  return plan;
+}
+
+ExperimentPlan LoadCheckedInPlan(const std::string& file) {
+  ExperimentPlan plan;
+  std::string error;
+  EXPECT_TRUE(LoadExperimentPlan(
+      std::string(LOLOHA_SOURCE_DIR) + "/plans/" + file, &plan, &error))
+      << error;
+  return plan;
+}
+
+// A deliberately tiny mse plan for serialization and refusal tests —
+// milliseconds to run, 8 Monte-Carlo cells.
+ExperimentPlan TinyMsePlan(const std::string& dir) {
+  ExperimentPlan plan = ParsePlanOrDie(
+      "[experiment]\n"
+      "name = tiny_mse\n"
+      "kind = mse\n"
+      "datasets = syn\n"
+      "protocols = ololoha; l-osue\n"
+      "[grid]\n"
+      "eps_perm = 1, 2\n"
+      "alpha = 0.5\n"
+      "[run]\n"
+      "runs = 2\n"
+      "threads = 1\n"
+      "scale = 100\n"
+      "seed = 7\n"
+      "quick = true\n");
+  plan.csv = dir + "/tiny.csv";
+  plan.json = dir + "/tiny.json";
+  return plan;
+}
+
+void RunPlanOrDie(const ExperimentPlan& plan, uint32_t threads = 1) {
+  ThreadPool pool(threads);
+  std::string error;
+  ASSERT_TRUE(RunExperimentPlan(plan, &pool, &error, /*log=*/nullptr))
+      << error;
+}
+
+// Runs every slice of `plan` (outputs under `dir`/part.*) and returns
+// the produced partial CSV paths in index order.
+std::vector<std::string> RunSlices(ExperimentPlan plan, uint32_t count,
+                                   const std::string& dir,
+                                   uint32_t threads = 1) {
+  plan.csv = dir + "/part.csv";
+  plan.json = dir + "/part.json";
+  std::vector<std::string> parts;
+  for (uint32_t index = 0; index < count; ++index) {
+    plan.slice = SliceSpec{index, count};
+    RunPlanOrDie(plan, threads);
+    parts.push_back(SlicePartialPath(plan.csv, plan.slice));
+  }
+  return parts;
+}
+
+std::vector<SlicePartial> LoadPartsOrDie(
+    const std::vector<std::string>& paths) {
+  std::vector<SlicePartial> parts;
+  for (const std::string& path : paths) {
+    SlicePartial partial;
+    std::string error;
+    EXPECT_TRUE(LoadSlicePartial(path, &partial, &error)) << error;
+    parts.push_back(std::move(partial));
+  }
+  return parts;
+}
+
+// Merges `parts` into `<dir>/merged.{csv,json}` and expects success.
+void MergeOrDie(ExperimentPlan plan, const std::vector<SlicePartial>& parts,
+                const std::string& dir) {
+  std::vector<SliceUnit> units;
+  std::string error;
+  ASSERT_TRUE(CombineSlicePartials(parts, &units, &error)) << error;
+  plan.slice = SliceSpec{};
+  plan.csv = dir + "/merged.csv";
+  plan.json = dir + "/merged.json";
+  const std::vector<std::unique_ptr<ResultSink>> sinks = MakePlanSinks(plan);
+  std::vector<ResultSink*> borrowed;
+  for (const auto& sink : sinks) borrowed.push_back(sink.get());
+  ASSERT_TRUE(MergeExperimentSlices(plan, units, borrowed, &error,
+                                    /*log=*/nullptr))
+      << error;
+}
+
+// ---------------------------------------------------------------------------
+// SliceSpec.
+// ---------------------------------------------------------------------------
+
+TEST(SliceSpec, ParseAcceptsValidSpecs) {
+  SliceSpec slice;
+  ASSERT_TRUE(ParseSliceSpec("0/4", &slice));
+  EXPECT_EQ(slice.index, 0u);
+  EXPECT_EQ(slice.count, 4u);
+  ASSERT_TRUE(ParseSliceSpec("3/4", &slice));
+  EXPECT_EQ(slice.index, 3u);
+  ASSERT_TRUE(ParseSliceSpec("0/1", &slice));  // trivial slice is valid
+  EXPECT_TRUE(slice.active());
+}
+
+TEST(SliceSpec, ParseRejectsMalformedSpecs) {
+  SliceSpec slice;
+  std::string error;
+  for (const char* bad : {"", "3", "4/4", "5/4", "-1/4", "a/b", "1/0",
+                          "1/", "/4", "1/4/2", "1 /4"}) {
+    EXPECT_FALSE(ParseSliceSpec(bad, &slice, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(SliceSpec, OwnershipPartitionsTheGrid) {
+  const uint64_t total = 97;  // prime: uneven split
+  for (uint32_t count : {1u, 2u, 3u, 7u}) {
+    uint64_t owned_sum = 0;
+    for (uint32_t index = 0; index < count; ++index) {
+      const SliceSpec slice{index, count};
+      uint64_t owned = 0;
+      for (uint64_t unit = 0; unit < total; ++unit) {
+        owned += slice.Owns(unit) ? 1 : 0;
+      }
+      EXPECT_EQ(owned, slice.OwnedCount(total));
+      owned_sum += owned;
+    }
+    EXPECT_EQ(owned_sum, total);  // every unit owned exactly once
+  }
+}
+
+TEST(SliceSpec, InactiveSliceOwnsEverything) {
+  const SliceSpec off;
+  EXPECT_FALSE(off.active());
+  EXPECT_TRUE(off.Owns(12345));
+  EXPECT_EQ(off.OwnedCount(42), 42u);
+}
+
+TEST(SliceSpec, TokenMatchesFileNameScheme) {
+  EXPECT_EQ(SliceSpecToken(SliceSpec{2, 5}), "2-of-5");
+  EXPECT_EQ(SlicePartialPath("results/fig3.csv", SliceSpec{0, 3}),
+            "results/fig3.slice-0-of-3.csv");
+  EXPECT_EQ(SlicePartialPath("out.json", SliceSpec{1, 2}),
+            "out.slice-1-of-2.json");
+}
+
+// ---------------------------------------------------------------------------
+// Plan grammar and fingerprint.
+// ---------------------------------------------------------------------------
+
+TEST(SlicePlanGrammar, RunSectionSliceKeyRoundTrips) {
+  ExperimentPlan plan = TinyMsePlan("/tmp");
+  EXPECT_FALSE(plan.slice.active());
+  EXPECT_EQ(plan.ToString().find("slice ="), std::string::npos);
+
+  plan.slice = SliceSpec{1, 3};
+  const std::string text = plan.ToString();
+  EXPECT_NE(text.find("slice = 1/3"), std::string::npos);
+  const ExperimentPlan reparsed = ParsePlanOrDie(text);
+  EXPECT_EQ(reparsed.slice, (SliceSpec{1, 3}));
+}
+
+TEST(SlicePlanGrammar, BadSliceLineIsRejectedWithLineNumber) {
+  ExperimentPlan plan;
+  std::string error;
+  EXPECT_FALSE(ParseExperimentPlan(
+      "[experiment]\nname = x\nkind = mse\ndatasets = syn\n"
+      "protocols = ololoha\n[grid]\neps_perm = 1\nalpha = 0.5\n"
+      "[run]\nslice = 9/3\n",
+      &plan, &error));
+  EXPECT_NE(error.find("10"), std::string::npos) << error;  // line number
+}
+
+TEST(SlicePlanGrammar, ValidateRejectsOutOfRangeSlice) {
+  ExperimentPlan plan = TinyMsePlan("/tmp");
+  plan.slice.index = 5;
+  plan.slice.count = 3;
+  std::string error;
+  EXPECT_FALSE(plan.Validate(&error));
+}
+
+TEST(SliceFingerprint, NeutralizesThreadsAndSlice) {
+  ExperimentPlan plan = TinyMsePlan("/tmp");
+  plan.threads = 8;
+  plan.slice = SliceSpec{2, 4};
+  const ExperimentPlan fp = SliceFingerprintPlan(plan);
+  EXPECT_EQ(fp.threads, 1u);
+  EXPECT_FALSE(fp.slice.active());
+
+  ExperimentPlan other = plan;
+  other.threads = 1;
+  other.slice = SliceSpec{0, 7};
+  EXPECT_EQ(SliceFingerprintPlan(other).ToString(), fp.ToString());
+
+  other.seed = plan.seed + 1;  // a real difference must show
+  EXPECT_NE(SliceFingerprintPlan(other).ToString(), fp.ToString());
+}
+
+TEST(SliceFingerprint, CountPlanUnitsMatchesPartialStamp) {
+  const std::string dir = ScratchDir();
+  const ExperimentPlan plan = TinyMsePlan(dir);
+  const auto parts = LoadPartsOrDie(RunSlices(plan, 2, dir));
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].units_total, CountPlanUnits(plan));
+  EXPECT_EQ(parts[0].units.size() + parts[1].units.size(),
+            CountPlanUnits(plan));
+  // The stamp is the fingerprint of the plan as the slices ran it —
+  // RunSlices redirects outputs to part.*, and output paths are part of
+  // the identity (they are where loloha_merge writes by default).
+  ExperimentPlan as_run = plan;
+  as_run.csv = dir + "/part.csv";
+  as_run.json = dir + "/part.json";
+  EXPECT_EQ(parts[0].plan_text, SliceFingerprintPlan(as_run).ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Provenance: one serializer for both sinks; slice stamps only when
+// sliced.
+// ---------------------------------------------------------------------------
+
+TEST(SliceProvenance, InactiveSliceCarriesNoSliceKeys) {
+  ArtifactMeta meta;
+  meta.plan_name = "p";
+  meta.kind = "mse";
+  meta.table = "syn";
+  meta.seed = 7;
+  meta.git_describe = "deadbeef";
+  const std::string body = ProvenanceJsonBody(meta);
+  EXPECT_EQ(body.find("slice_index"), std::string::npos) << body;
+  EXPECT_EQ(body.find("plan_text"), std::string::npos) << body;
+
+  meta.slice = SliceSpec{1, 3};
+  meta.units = 4;
+  meta.units_total = 12;
+  meta.plan_text = "[experiment]\n";
+  const std::string sliced = ProvenanceJsonBody(meta);
+  EXPECT_NE(sliced.find("\"slice_index\": 1"), std::string::npos) << sliced;
+  EXPECT_NE(sliced.find("\"slice_count\": 3"), std::string::npos) << sliced;
+  EXPECT_NE(sliced.find("\"units_total\": 12"), std::string::npos) << sliced;
+}
+
+TEST(SliceProvenance, CsvSidecarAndJsonHeaderShareTheStamp) {
+  const std::string dir = ScratchDir();
+  ExperimentPlan plan = TinyMsePlan(dir);
+  plan.slice = SliceSpec{0, 2};
+  RunPlanOrDie(plan);
+  const std::string sidecar =
+      ReadFileBytes(SlicePartialPath(plan.csv, plan.slice) + ".meta.json");
+  const std::string json =
+      ReadFileBytes(SlicePartialPath(plan.json, plan.slice));
+  // The sidecar is the shared provenance body closed with "}"; the JSON
+  // partial is the same body plus units_data — so the sidecar minus its
+  // closing brace must be a prefix of the JSON document.
+  const std::string body = sidecar.substr(0, sidecar.find_last_of('}'));
+  ASSERT_FALSE(body.empty());
+  EXPECT_EQ(json.compare(0, body.size(), body), 0)
+      << "sidecar and JSON provenance diverge";
+}
+
+TEST(SliceSinks, BaseSinkRefusesPartialsLoudly) {
+  class TableOnlySink : public ResultSink {
+   public:
+    bool Write(const TextTable&, const ArtifactMeta&) override {
+      return true;
+    }
+  };
+  TableOnlySink table_only;
+  EXPECT_FALSE(table_only.WritePartial(SlicePartial{}, ArtifactMeta{}));
+  NullSink null;
+  EXPECT_TRUE(null.WritePartial(SlicePartial{}, ArtifactMeta{}));
+}
+
+// ---------------------------------------------------------------------------
+// Partial serialization round-trips.
+// ---------------------------------------------------------------------------
+
+TEST(SlicePartialRoundTrip, CsvAndJsonAgree) {
+  const std::string dir = ScratchDir();
+  const ExperimentPlan plan = TinyMsePlan(dir);
+  const auto csv_paths = RunSlices(plan, 2, dir);
+  std::vector<std::string> json_paths;
+  for (const std::string& path : csv_paths) {
+    std::string json = path;
+    json.replace(json.size() - 4, 4, ".json");
+    json_paths.push_back(json);
+  }
+  const auto from_csv = LoadPartsOrDie(csv_paths);
+  const auto from_json = LoadPartsOrDie(json_paths);
+  ASSERT_EQ(from_csv.size(), from_json.size());
+  for (size_t i = 0; i < from_csv.size(); ++i) {
+    EXPECT_EQ(from_csv[i], from_json[i]) << "slice " << i;
+  }
+}
+
+TEST(SlicePartialRoundTrip, RowUnitsSurviveCsvEscaping) {
+  SlicePartial partial;
+  partial.plan_name = "quote\"comma,plan";
+  partial.kind = "variance";
+  partial.seed = 3;
+  partial.git_describe = "g";
+  partial.slice = SliceSpec{0, 1};
+  partial.units_total = 2;
+  partial.plan_text = "text\nwith\nnewlines";
+  SliceUnit unit;
+  unit.type = SliceUnit::Type::kRow;
+  unit.index = 0;
+  unit.row = {"plain", "with,comma", "with\"quote", "with\nnewline", ""};
+  partial.units.push_back(unit);
+  unit.index = 1;
+  unit.row = {"1.5", "2.25e-07"};
+  partial.units.push_back(unit);
+
+  ArtifactMeta meta;
+  meta.plan_name = partial.plan_name;
+  meta.kind = partial.kind;
+  meta.table = partial.plan_name;
+  meta.seed = partial.seed;
+  meta.git_describe = partial.git_describe;
+  meta.slice = partial.slice;
+  meta.units = partial.units.size();
+  meta.units_total = partial.units_total;
+  meta.plan_text = partial.plan_text;
+
+  SlicePartial reread;
+  std::string error;
+  ASSERT_TRUE(ParseSlicePartialCsv(SlicePartialCsv(partial),
+                                   ProvenanceJsonBody(meta) + "}\n", "p.csv",
+                                   "p.csv.meta.json", &reread, &error))
+      << error;
+  EXPECT_EQ(reread, partial);
+}
+
+TEST(SlicePartialRoundTrip, CellBitsAreExact) {
+  const std::string dir = ScratchDir();
+  const ExperimentPlan plan = TinyMsePlan(dir);
+  const auto parts = LoadPartsOrDie(RunSlices(plan, 1, dir));
+  ASSERT_EQ(parts.size(), 1u);
+  ASSERT_FALSE(parts[0].units.empty());
+  for (const SliceUnit& unit : parts[0].units) {
+    EXPECT_EQ(unit.type, SliceUnit::Type::kCell);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The merge identity: bytes equal a single-process run.
+// ---------------------------------------------------------------------------
+
+class SliceMergeIdentity : public testing::TestWithParam<
+                               std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(SliceMergeIdentity, MergedBytesEqualSingleProcessRun) {
+  const auto [slices, threads] = GetParam();
+  const std::string dir = ScratchDir();
+
+  ExperimentPlan plan = LoadCheckedInPlan("fig3_syn.plan");
+  plan.quick = true;
+  plan.csv = dir + "/single.csv";
+  plan.json = dir + "/single.json";
+  RunPlanOrDie(plan, threads);
+
+  const auto parts = LoadPartsOrDie(RunSlices(plan, slices, dir, threads));
+  MergeOrDie(plan, parts, dir);
+
+  EXPECT_EQ(ReadFileBytes(dir + "/merged.csv"),
+            ReadFileBytes(dir + "/single.csv"));
+  EXPECT_EQ(ReadFileBytes(dir + "/merged.json"),
+            ReadFileBytes(dir + "/single.json"));
+  EXPECT_EQ(ReadFileBytes(dir + "/merged.csv.meta.json"),
+            ReadFileBytes(dir + "/single.csv.meta.json"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SlicesByThreads, SliceMergeIdentity,
+    testing::Combine(testing::Values(1u, 2u, 3u, 7u),
+                     testing::Values(1u, 4u)),
+    [](const testing::TestParamInfo<SliceMergeIdentity::ParamType>& param) {
+      return "slices" + std::to_string(std::get<0>(param.param)) +
+             "_threads" + std::to_string(std::get<1>(param.param));
+    });
+
+// Row-unit kinds (everything but mse) go through the same identity gate.
+class SliceMergeKinds : public testing::TestWithParam<const char*> {};
+
+TEST_P(SliceMergeKinds, MergedBytesEqualSingleProcessRun) {
+  const std::string dir = ScratchDir();
+  ExperimentPlan plan = LoadCheckedInPlan(GetParam());
+  plan.quick = true;
+  plan.csv = dir + "/single.csv";
+  plan.json = dir + "/single.json";
+  RunPlanOrDie(plan);
+
+  const auto parts = LoadPartsOrDie(RunSlices(plan, 2, dir));
+  MergeOrDie(plan, parts, dir);
+  EXPECT_EQ(ReadFileBytes(dir + "/merged.csv"),
+            ReadFileBytes(dir + "/single.csv"));
+  EXPECT_EQ(ReadFileBytes(dir + "/merged.json"),
+            ReadFileBytes(dir + "/single.json"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, SliceMergeKinds,
+    testing::Values("fig1_optimal_g.plan", "fig2_variance.plan",
+                    "fig4_privacy_loss.plan", "table1_comparison.plan",
+                    "table2_detection.plan"),
+    [](const testing::TestParamInfo<const char*>& param) {
+      std::string name = param.param;
+      return name.substr(0, name.find('.'));
+    });
+
+// ---------------------------------------------------------------------------
+// Adversarial slice sets: refused all-or-none, naming the culprit.
+// ---------------------------------------------------------------------------
+
+class SliceMergeRefusals : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ScratchDir();
+    plan_ = TinyMsePlan(dir_);
+    paths_ = RunSlices(plan_, 3, dir_);
+    parts_ = LoadPartsOrDie(paths_);
+  }
+
+  std::string dir_;
+  ExperimentPlan plan_;
+  std::vector<std::string> paths_;
+  std::vector<SlicePartial> parts_;
+};
+
+TEST_F(SliceMergeRefusals, MissingSliceIsRefused) {
+  parts_.erase(parts_.begin() + 1);
+  std::vector<SliceUnit> units;
+  std::string error;
+  EXPECT_FALSE(CombineSlicePartials(parts_, &units, &error));
+  EXPECT_NE(error.find("missing index 1"), std::string::npos) << error;
+}
+
+TEST_F(SliceMergeRefusals, DuplicateSliceIsRefusedNamingBothSources) {
+  parts_.push_back(parts_[0]);
+  parts_.back().source = "copy-of-slice-0";
+  std::vector<SliceUnit> units;
+  std::string error;
+  EXPECT_FALSE(CombineSlicePartials(parts_, &units, &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  EXPECT_NE(error.find("copy-of-slice-0"), std::string::npos) << error;
+}
+
+TEST_F(SliceMergeRefusals, WrongSeedIsRefused) {
+  ExperimentPlan other = plan_;
+  other.seed = plan_.seed + 1;
+  const std::string other_dir = dir_ + "/other";
+  std::filesystem::create_directories(other_dir);
+  auto other_parts = LoadPartsOrDie(RunSlices(other, 3, other_dir));
+  parts_[1] = other_parts[1];
+  std::vector<SliceUnit> units;
+  std::string error;
+  EXPECT_FALSE(CombineSlicePartials(parts_, &units, &error));
+  EXPECT_NE(error.find("seed"), std::string::npos) << error;
+}
+
+TEST_F(SliceMergeRefusals, WrongPlanNameIsRefused) {
+  ExperimentPlan other = plan_;
+  other.name = "tiny_mse_b";
+  const std::string other_dir = dir_ + "/other";
+  std::filesystem::create_directories(other_dir);
+  auto other_parts = LoadPartsOrDie(RunSlices(other, 3, other_dir));
+  parts_[2] = other_parts[2];
+  std::vector<SliceUnit> units;
+  std::string error;
+  EXPECT_FALSE(CombineSlicePartials(parts_, &units, &error));
+  EXPECT_NE(error.find("tiny_mse_b"), std::string::npos) << error;
+}
+
+TEST_F(SliceMergeRefusals, DifferentSliceCountsAreRefused) {
+  auto two_parts = LoadPartsOrDie(RunSlices(plan_, 2, dir_ + "/two"));
+  parts_[0] = two_parts[0];
+  std::vector<SliceUnit> units;
+  std::string error;
+  EXPECT_FALSE(CombineSlicePartials(parts_, &units, &error));
+  EXPECT_NE(error.find("slice count"), std::string::npos) << error;
+}
+
+TEST_F(SliceMergeRefusals, FingerprintMismatchIsRefused) {
+  // Same plan, different effective runs — a classic distributed mistake
+  // (one host ran with --runs=4). The fingerprint must catch it even
+  // though name/kind/seed all match.
+  ExperimentPlan other = plan_;
+  other.runs = plan_.runs * 2;
+  auto other_parts = LoadPartsOrDie(RunSlices(other, 3, dir_ + "/other"));
+  parts_[1] = other_parts[1];
+  std::vector<SliceUnit> units;
+  std::string error;
+  EXPECT_FALSE(CombineSlicePartials(parts_, &units, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(SliceMergeRefusals, TruncatedPartialIsRefusedWithLineNumber) {
+  std::string bytes = ReadFileBytes(paths_[0]);
+  // Drop the "end,<n>" trailer line (and the unit line above it, so the
+  // file still ends in a newline).
+  const size_t end_line = bytes.rfind("end,");
+  ASSERT_NE(end_line, std::string::npos);
+  bytes.resize(end_line);
+  WriteFileBytes(paths_[0], bytes);
+  SlicePartial partial;
+  std::string error;
+  EXPECT_FALSE(LoadSlicePartial(paths_[0], &partial, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+  EXPECT_NE(error.find(paths_[0]), std::string::npos) << error;
+}
+
+TEST_F(SliceMergeRefusals, EditedUnitCountIsRefused) {
+  std::string bytes = ReadFileBytes(paths_[0]);
+  const size_t end_line = bytes.rfind("end,");
+  ASSERT_NE(end_line, std::string::npos);
+  bytes.resize(end_line);
+  bytes += "end,9999\n";
+  WriteFileBytes(paths_[0], bytes);
+  SlicePartial partial;
+  std::string error;
+  EXPECT_FALSE(LoadSlicePartial(paths_[0], &partial, &error));
+  EXPECT_NE(error.find("truncated or edited"), std::string::npos) << error;
+}
+
+TEST_F(SliceMergeRefusals, MissingSidecarIsRefusedNamingIt) {
+  std::filesystem::remove(paths_[0] + ".meta.json");
+  SlicePartial partial;
+  std::string error;
+  EXPECT_FALSE(LoadSlicePartial(paths_[0], &partial, &error));
+  EXPECT_NE(error.find(".meta.json"), std::string::npos) << error;
+}
+
+TEST_F(SliceMergeRefusals, MalformedSidecarErrorIsLineNumbered) {
+  const std::string sidecar = paths_[0] + ".meta.json";
+  std::string bytes = ReadFileBytes(sidecar);
+  const size_t seed = bytes.find("\"seed\"");
+  ASSERT_NE(seed, std::string::npos);
+  bytes.insert(seed, "\n\ngarbage ");
+  WriteFileBytes(sidecar, bytes);
+  SlicePartial partial;
+  std::string error;
+  EXPECT_FALSE(LoadSlicePartial(paths_[0], &partial, &error));
+  // "<sidecar>:<line>: ..." — the line number of the mangled region.
+  EXPECT_NE(error.find(sidecar + ":3"), std::string::npos) << error;
+}
+
+TEST_F(SliceMergeRefusals, MergeRefusesActiveSliceInPlan) {
+  std::vector<SliceUnit> units;
+  std::string error;
+  ASSERT_TRUE(CombineSlicePartials(parts_, &units, &error)) << error;
+  ExperimentPlan sliced = plan_;
+  sliced.slice = SliceSpec{0, 3};
+  NullSink sink;
+  ResultSink* borrowed[] = {&sink};
+  EXPECT_FALSE(
+      MergeExperimentSlices(sliced, units, borrowed, &error, nullptr));
+  EXPECT_NE(error.find("slice"), std::string::npos) << error;
+}
+
+TEST_F(SliceMergeRefusals, MergeRefusesWrongUnitCount) {
+  std::vector<SliceUnit> units;
+  std::string error;
+  ASSERT_TRUE(CombineSlicePartials(parts_, &units, &error)) << error;
+  units.pop_back();
+  NullSink sink;
+  ResultSink* borrowed[] = {&sink};
+  EXPECT_FALSE(
+      MergeExperimentSlices(plan_, units, borrowed, &error, nullptr));
+  EXPECT_NE(error.find("unit"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace loloha

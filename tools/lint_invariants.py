@@ -23,11 +23,13 @@ Rules (each line shows the rule id used by the escape hatch):
   binomial-outside-util  std::binomial_distribution outside
                          src/util/binomial.{h,cc}.
   unordered-iteration    range-for or .begin() iteration over a
-                         std::unordered_map/set variable, in src/ only.
+                         std::unordered_map/set variable, in src/ and
+                         tools/ (tools ship result-producing code too:
+                         loloha_merge re-emits experiment artifacts).
   banned-include         <iostream>, <ctime>, <time.h>, <random> in
-                         src/ (the library is printf-based; wall-clock
-                         time and std <random> have no business in
-                         result-producing code).
+                         src/ and tools/ (the library is printf-based;
+                         wall-clock time and std <random> have no
+                         business in result-producing code).
   test-registration      every tests/*_test.cc is registered with CMake
                          (explicitly or via the tests/*_test.cc glob)
                          and actually defines a TEST.
@@ -174,7 +176,10 @@ def lint_cpp_file(rel_path: str, text: str) -> list[Violation]:
     clean_lines = clean.splitlines()
     allows = collect_allows(raw_lines)
     violations: list[Violation] = []
-    in_src = rel_path.startswith("src/")
+    # tools/ ships result-producing code (loloha_merge re-emits
+    # experiment artifacts byte-for-byte), so it lives under the same
+    # determinism rules as src/.
+    in_library = rel_path.startswith(("src/", "tools/"))
 
     def flag(line_no: int, rule: str, message: str) -> None:
         if not is_allowed(allows, line_no, rule):
@@ -190,14 +195,14 @@ def lint_cpp_file(rel_path: str, text: str) -> list[Violation]:
             flag(line_no, "binomial-outside-util",
                  "std::binomial_distribution races on glibc signgam and "
                  "draws toolchain-dependent sequences; use util/binomial.h")
-        if in_src:
+        if in_library:
             inc = INCLUDE_RE.match(line)
             if inc and inc.group(1) in BANNED_INCLUDES:
                 flag(line_no, "banned-include",
-                     f"{inc.group(1)} is banned in src/: "
+                     f"{inc.group(1)} is banned in src/ and tools/: "
                      f"{BANNED_INCLUDES[inc.group(1)]}")
 
-    if in_src:
+    if in_library:
         violations.extend(
             lint_unordered_iteration(rel_path, clean, clean_lines, allows))
     return violations

@@ -1,0 +1,138 @@
+// loloha_merge: deterministic reduce step of the distributed experiment
+// path.
+//
+//   loloha_merge [--out=PATH.csv] [--json=PATH] [--quiet] <partial>...
+//
+// Reads a complete slice-partial set (every "<out>.slice-i-of-N.csv" —
+// each with its ".meta.json" sidecar — and/or self-contained
+// ".slice-i-of-N.json" files), refuses inconsistent or incomplete sets
+// all-or-none with line-numbered errors (mismatched plan / seed / slice
+// count / fingerprint, duplicate or missing slices, truncated files),
+// reassembles the units into canonical grid order, and writes artifacts
+// byte-identical to a single-process `loloha_experiments` run of the
+// same plan — the property the distributed.* ctest legs and the CI
+// fan-out job assert.
+//
+// Output paths default to the merged plan's own [output] section (the
+// paths the slices were produced under, carried in the fingerprint);
+// --out / --json override them exactly like the loloha_experiments
+// flags. A git-describe mismatch between partials is a warning, not an
+// error: the determinism contract ties bytes to the plan and seed, not
+// the build, and the merged sidecar records the merging binary's stamp.
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/slice.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace loloha;
+  const CommandLine cli(argc, argv);
+  const std::vector<std::string>& paths = cli.positional_args();
+  if (paths.empty() || cli.HasFlag("help")) {
+    std::fprintf(stderr,
+                 "usage: loloha_merge [--out=PATH.csv] [--json=PATH] "
+                 "[--quiet] <partial>...\n"
+                 "  <partial>  slice outputs of `loloha_experiments "
+                 "--slice=i/N`: *.slice-i-of-N.csv\n"
+                 "             (sidecar *.csv.meta.json required next to "
+                 "each) or *.slice-i-of-N.json\n");
+    return 2;
+  }
+
+  std::string error;
+  std::vector<SlicePartial> parts;
+  parts.reserve(paths.size());
+  for (const std::string& path : paths) {
+    SlicePartial partial;
+    if (!LoadSlicePartial(path, &partial, &error)) {
+      std::fprintf(stderr, "loloha_merge: %s\n", error.c_str());
+      return 1;
+    }
+    parts.push_back(std::move(partial));
+  }
+
+  std::vector<SliceUnit> units;
+  if (!CombineSlicePartials(parts, &units, &error)) {
+    std::fprintf(stderr, "loloha_merge: %s\n", error.c_str());
+    return 1;
+  }
+  for (const SlicePartial& part : parts) {
+    if (part.git_describe != parts.front().git_describe) {
+      std::fprintf(stderr,
+                   "loloha_merge: warning: %s was produced by build %s, "
+                   "%s by %s — bytes are tied to plan and seed, not the "
+                   "build, but verify if this is unexpected\n",
+                   part.source.c_str(), part.git_describe.c_str(),
+                   parts.front().source.c_str(),
+                   parts.front().git_describe.c_str());
+      break;
+    }
+  }
+
+  // The fingerprint is the complete effective plan (threads neutralized,
+  // slice cleared) — re-parse it and run the merge-mode table assembly.
+  ExperimentPlan plan;
+  if (!ParseExperimentPlan(parts.front().plan_text, &plan, &error)) {
+    std::fprintf(stderr,
+                 "loloha_merge: %s: embedded plan_text does not parse: "
+                 "%s\n",
+                 parts.front().source.c_str(), error.c_str());
+    return 1;
+  }
+  if (plan.name != parts.front().plan_name) {
+    std::fprintf(stderr,
+                 "loloha_merge: %s: plan_text names plan '%s' but the "
+                 "provenance says '%s'\n",
+                 parts.front().source.c_str(), plan.name.c_str(),
+                 parts.front().plan_name.c_str());
+    return 1;
+  }
+  plan.csv = cli.GetString("out", plan.csv);
+  plan.json = cli.GetString("json", plan.json);
+  if (plan.csv.empty() && plan.json.empty()) {
+    std::fprintf(stderr,
+                 "loloha_merge: the merged plan declares no outputs; pass "
+                 "--out=PATH.csv and/or --json=PATH\n");
+    return 2;
+  }
+  for (const std::string& artifact : {plan.csv, plan.json}) {
+    if (artifact.empty()) continue;
+    const std::filesystem::path parent =
+        std::filesystem::path(artifact).parent_path();
+    if (parent.empty()) continue;
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      std::fprintf(stderr,
+                   "loloha_merge: cannot create output directory %s: %s\n",
+                   parent.string().c_str(), ec.message().c_str());
+      return 1;
+    }
+  }
+
+  const std::vector<std::unique_ptr<ResultSink>> sinks = MakePlanSinks(plan);
+  std::vector<ResultSink*> borrowed;
+  borrowed.reserve(sinks.size());
+  for (const std::unique_ptr<ResultSink>& sink : sinks) {
+    borrowed.push_back(sink.get());
+  }
+  std::FILE* log = cli.HasFlag("quiet") ? nullptr : stdout;
+  if (!MergeExperimentSlices(plan, units, borrowed, &error, log)) {
+    std::fprintf(stderr, "loloha_merge: %s\n", error.c_str());
+    return 1;
+  }
+  if (log != nullptr) {
+    std::fprintf(log,
+                 "merged %zu slice(s), %zu unit(s) -> %s%s%s\n",
+                 parts.size(), units.size(), plan.csv.c_str(),
+                 (!plan.csv.empty() && !plan.json.empty()) ? ", " : "",
+                 plan.json.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,9 @@
+// lint-fixture-path: tools/fixture.cc
+// lint-fixture-expect: banned-include
+//
+// tools/ binaries re-emit experiment artifacts (loloha_merge must be
+// byte-identical to the sim path), so they live under the same include
+// bans as src/.
+#include <iostream>
+
+void Print() { std::cout << "hello\n"; }

@@ -1,8 +1,8 @@
 // lint-fixture-path: bench/fixture.cc
 // lint-fixture-expect: clean
 //
-// The banned-include rule is scoped to src/: benches, tests and examples
-// may use iostream freely.
+// The banned-include rule is scoped to src/ and tools/: benches, tests
+// and examples may use iostream freely.
 #include <iostream>
 
 void Print() { std::cout << "hello\n"; }

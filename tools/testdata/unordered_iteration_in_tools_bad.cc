@@ -1,0 +1,14 @@
+// lint-fixture-path: tools/fixture.cc
+// lint-fixture-expect: unordered-iteration
+//
+// Iterating an unordered container in a tool that writes artifacts
+// would make the output bytes hash-seed dependent.
+#include <string>
+#include <unordered_map>
+
+int Sum(const std::unordered_map<std::string, int>& counts_by_name) {
+  std::unordered_map<std::string, int> counts = counts_by_name;
+  int sum = 0;
+  for (const auto& [name, count] : counts) sum += count;
+  return sum;
+}
