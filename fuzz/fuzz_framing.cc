@@ -1,0 +1,119 @@
+// FrameParser harness: the TCP framing layer is the outermost trust
+// boundary — every byte comes straight off a socket.
+//
+// Properties checked on every input:
+//   * No crash / sanitizer report on arbitrary bytes (the baseline).
+//   * Chunking independence: feeding the whole buffer at once and
+//     feeding it one byte at a time must extract the identical frame
+//     sequence and end in the identical terminal state — TCP segmenting
+//     must never change what the server decodes.
+//   * Sticky error: after kError, every further Next() returns kError.
+//   * A small-cap parser (64-byte payload limit) is run over the same
+//     bytes so the oversize-length rejection path is exercised even on
+//     inputs too short to overflow the default 1 MiB cap.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "fuzz/harness_check.h"
+#include "server/net/framing.h"
+
+namespace loloha {
+namespace {
+
+struct Drained {
+  std::vector<Frame> frames;
+  FrameStatus terminal = FrameStatus::kNeedMore;
+  size_t buffered = 0;
+};
+
+void DrainReady(FrameParser* parser, Drained* out) {
+  Frame frame;
+  FrameStatus status;
+  while ((status = parser->Next(&frame)) == FrameStatus::kFrame) {
+    out->frames.push_back(frame);
+  }
+  out->terminal = status;
+}
+
+Drained RunWholeBuffer(const uint8_t* data, size_t size,
+                       uint32_t max_payload) {
+  FrameParser parser(max_payload);
+  parser.Feed(reinterpret_cast<const char*>(data), size);
+  Drained out;
+  DrainReady(&parser, &out);
+  out.buffered = parser.buffered();
+  return out;
+}
+
+Drained RunByteAtATime(const uint8_t* data, size_t size,
+                       uint32_t max_payload) {
+  FrameParser parser(max_payload);
+  Drained out;
+  for (size_t i = 0; i < size; ++i) {
+    parser.Feed(reinterpret_cast<const char*>(data) + i, 1);
+    DrainReady(&parser, &out);
+  }
+  if (size == 0) DrainReady(&parser, &out);
+  out.buffered = parser.buffered();
+  return out;
+}
+
+bool FramesEqual(const Frame& a, const Frame& b) {
+  if (a.type != b.type) return false;
+  if (a.message.user_id != b.message.user_id) return false;
+  if (a.message.bytes != b.message.bytes) return false;
+  // kEstimates payloads are raw IEEE-754 bit patterns; compare as bits
+  // so a NaN payload does not defeat the oracle.
+  if (a.estimates.size() != b.estimates.size()) return false;
+  return a.estimates.empty() ||
+         std::memcmp(a.estimates.data(), b.estimates.data(),
+                     a.estimates.size() * sizeof(double)) == 0;
+}
+
+void CheckEquivalent(const Drained& whole, const Drained& stream) {
+  FUZZ_CHECK(whole.frames.size() == stream.frames.size());
+  for (size_t i = 0; i < whole.frames.size(); ++i) {
+    FUZZ_CHECK(FramesEqual(whole.frames[i], stream.frames[i]));
+  }
+  FUZZ_CHECK(whole.terminal == stream.terminal);
+  // buffered() is only meaningful in the kNeedMore state (truncated-
+  // frame detection at EOF); after kError, Feed drops bytes, so the
+  // residual count legitimately depends on when the error was hit.
+  if (whole.terminal == FrameStatus::kNeedMore) {
+    FUZZ_CHECK(whole.buffered == stream.buffered);
+  }
+}
+
+void CheckStickyError(const uint8_t* data, size_t size,
+                      uint32_t max_payload) {
+  FrameParser parser(max_payload);
+  parser.Feed(reinterpret_cast<const char*>(data), size);
+  Frame frame;
+  FrameStatus status;
+  while ((status = parser.Next(&frame)) == FrameStatus::kFrame) {
+  }
+  if (status == FrameStatus::kError) {
+    FUZZ_CHECK(parser.Next(&frame) == FrameStatus::kError);
+    // Even fresh bytes cannot resynchronize a broken stream.
+    const char valid_barrier[5] = {0, 0, 0, 0, 2};
+    parser.Feed(valid_barrier, sizeof(valid_barrier));
+    FUZZ_CHECK(parser.Next(&frame) == FrameStatus::kError);
+  }
+}
+
+}  // namespace
+}  // namespace loloha
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace loloha;
+  for (uint32_t max_payload : {kDefaultMaxFramePayload, uint32_t{64}}) {
+    Drained whole = RunWholeBuffer(data, size, max_payload);
+    Drained stream = RunByteAtATime(data, size, max_payload);
+    CheckEquivalent(whole, stream);
+    CheckStickyError(data, size, max_payload);
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Experiment-plan harness: plan files are user-authored text
+// (`loloha_experiments --plan=...`), so the [section]/key=value parser
+// sees whatever an operator — or a corrupted checkout — hands it.
+//
+// Properties checked on every input:
+//   * No crash / sanitizer report on arbitrary text.
+//   * Rejections are diagnosed: a failed parse always sets *error.
+//   * Canonicalization round trip (the documented contract in
+//     sim/experiment.h): for any accepted plan that validates,
+//     ParseExperimentPlan(plan.ToString()) reproduces the plan exactly.
+//     This is the invariant the distributed path leans on — the slice
+//     fingerprint is the canonical text, so ToString drift would make
+//     honest partials un-mergeable.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fuzz/harness_check.h"
+#include "sim/experiment.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace loloha;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  ExperimentPlan plan;
+  std::string error;
+  if (!ParseExperimentPlan(text, &plan, &error)) {
+    FUZZ_CHECK_MSG(!error.empty(), "rejection without a diagnostic");
+    return 0;
+  }
+  if (!plan.Validate(&error)) {
+    FUZZ_CHECK_MSG(!error.empty(), "validation failure without a diagnostic");
+    return 0;
+  }
+  const std::string canonical = plan.ToString();
+  ExperimentPlan reparsed;
+  error.clear();
+  FUZZ_CHECK_MSG(ParseExperimentPlan(canonical, &reparsed, &error),
+                 error.c_str());
+  FUZZ_CHECK(reparsed == plan);
+  // Canonical text is a fixed point: re-canonicalizing changes nothing.
+  FUZZ_CHECK(reparsed.ToString() == canonical);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Slice-partial harness: partials cross machine boundaries in the
+// distributed path (written on worker A, merged on machine B), so both
+// on-disk encodings — CSV body + provenance sidecar, and the
+// self-contained JSON document — are untrusted at merge time.
+//
+// Input convention (mirrored by the seed corpus and fuzz/make_corpus.cc):
+// the first byte selects the decoder — 'J' runs ParseSlicePartialJson on
+// the remainder; anything else runs ParseSlicePartialCsv with the
+// remainder split at its first NUL into (csv bytes, sidecar json). This
+// keeps one coverage-guided corpus exploring both parsers and, more
+// importantly, the cross-checks *between* the CSV header and its
+// sidecar.
+//
+// Properties checked on every input:
+//   * No crash / sanitizer report on arbitrary bytes in either decoder.
+//   * Rejections are diagnosed: a failed parse always sets *error.
+//   * CSV round trip: an accepted partial re-emitted by SlicePartialCsv
+//     re-parses (against the original sidecar) to the identical partial.
+//   * CombineSlicePartials never crashes on a single accepted partial
+//     (it may legitimately refuse, e.g. an incomplete owned-unit set).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/harness_check.h"
+#include "sim/slice.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace loloha;
+  if (size == 0) return 0;
+  const std::string_view rest(reinterpret_cast<const char*>(data) + 1,
+                              size - 1);
+  SlicePartial partial;
+  std::string error;
+  if (data[0] == 'J') {
+    if (!ParseSlicePartialJson(rest, "fuzz.json", &partial, &error)) {
+      FUZZ_CHECK_MSG(!error.empty(), "rejection without a diagnostic");
+      return 0;
+    }
+  } else {
+    const size_t nul = rest.find('\0');
+    const std::string_view csv = rest.substr(0, nul);
+    const std::string_view sidecar =
+        nul == std::string_view::npos ? std::string_view()
+                                      : rest.substr(nul + 1);
+    if (!ParseSlicePartialCsv(csv, sidecar, "fuzz.csv", "fuzz.csv.meta.json",
+                              &partial, &error)) {
+      FUZZ_CHECK_MSG(!error.empty(), "rejection without a diagnostic");
+      return 0;
+    }
+    // Re-emitting an accepted partial must survive a re-parse against
+    // the same sidecar: the writer and the reader agree on the format.
+    SlicePartial reread;
+    error.clear();
+    FUZZ_CHECK_MSG(
+        ParseSlicePartialCsv(SlicePartialCsv(partial), sidecar, "fuzz.csv",
+                             "fuzz.csv.meta.json", &reread, &error),
+        error.c_str());
+    FUZZ_CHECK(reread == partial);
+  }
+  // Merge-path smoke: must refuse-or-accept, never crash.
+  std::vector<SliceUnit> units;
+  (void)CombineSlicePartials({partial}, &units, &error);
+  return 0;
+}

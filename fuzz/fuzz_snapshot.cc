@@ -1,0 +1,36 @@
+// Snapshot-image harness: ParseSnapshot consumes mmap'd bytes from disk
+// — a crashed writer, a truncated copy, or a hostile file must never
+// crash the restore path ("never crashes on arbitrary input" is the
+// documented contract in server/store/snapshot_file.h).
+//
+// Properties checked on every input:
+//   * No crash / sanitizer report on arbitrary bytes.
+//   * Rejections are diagnosed: a failed parse always sets *error.
+//   * Round trip: an accepted image re-serializes to an image that
+//     parses back to the identical SnapshotData — what restore loads is
+//     exactly what a re-checkpoint would write.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "fuzz/harness_check.h"
+#include "server/store/snapshot_file.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace loloha;
+  SnapshotData parsed;
+  std::string error;
+  if (!ParseSnapshot(data, size, &parsed, &error)) {
+    FUZZ_CHECK_MSG(!error.empty(), "rejection without a diagnostic");
+    return 0;
+  }
+  const std::string bytes = SerializeSnapshot(parsed);
+  SnapshotData reparsed;
+  error.clear();
+  FUZZ_CHECK_MSG(ParseSnapshot(reinterpret_cast<const uint8_t*>(bytes.data()),
+                               bytes.size(), &reparsed, &error),
+                 error.c_str());
+  FUZZ_CHECK(reparsed == parsed);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// ProtocolSpec harness: spec strings arrive from every CLI surface
+// (--spec flags on benches, server, examples) and from plan files'
+// `protocols =` lines, making the spec grammar the most widely exposed
+// text parser in the tree.
+//
+// Properties checked on every input:
+//   * No crash / sanitizer report on arbitrary text.
+//   * Rejections are diagnosed: a failed parse always sets *error.
+//   * Round trip (the documented contract in sim/protocol_spec.h):
+//     Parse(spec.ToString()) == spec for every spec Parse accepts, and
+//     the canonical string is a fixed point.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fuzz/harness_check.h"
+#include "sim/protocol_spec.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace loloha;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  ProtocolSpec spec;
+  std::string error;
+  if (!ProtocolSpec::Parse(text, &spec, &error)) {
+    FUZZ_CHECK_MSG(!error.empty(), "rejection without a diagnostic");
+    return 0;
+  }
+  const std::string canonical = spec.ToString();
+  ProtocolSpec reparsed;
+  error.clear();
+  FUZZ_CHECK_MSG(ProtocolSpec::Parse(canonical, &reparsed, &error),
+                 error.c_str());
+  FUZZ_CHECK(reparsed == spec);
+  FUZZ_CHECK(reparsed.ToString() == canonical);
+  return 0;
+}

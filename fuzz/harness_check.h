@@ -1,0 +1,35 @@
+// Shared assertion macro for the fuzz harnesses (fuzz/fuzz_*.cc).
+//
+// The harnesses run in three build modes — libFuzzer (clang
+// -fsanitize=fuzzer), standalone corpus replay (fuzz/replay_main.cc on
+// any toolchain), and under whatever sanitizers the job adds — so the
+// oracle check must not depend on NDEBUG the way assert() does.
+// FUZZ_CHECK always evaluates, always aborts on failure, and prints the
+// failing condition with its location so a crasher artifact is
+// self-describing.
+
+#ifndef LOLOHA_FUZZ_HARNESS_CHECK_H_
+#define LOLOHA_FUZZ_HARNESS_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define FUZZ_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "FUZZ_CHECK failed: %s at %s:%d\n", #cond, \
+                   __FILE__, __LINE__);                               \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+#define FUZZ_CHECK_MSG(cond, msg)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "FUZZ_CHECK failed: %s (%s) at %s:%d\n",      \
+                   #cond, (msg), __FILE__, __LINE__);                    \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#endif  // LOLOHA_FUZZ_HARNESS_CHECK_H_

@@ -1,0 +1,236 @@
+// Deterministic seed-corpus generator for the binary fuzz targets.
+//
+// The text corpora (plan, spec) are authored by hand under
+// fuzz/corpus/{plan,spec}/ — they are human-readable grammars. The
+// binary formats (frames, snapshot images, slice partials) are
+// generated here from the real encoders so the checked-in seeds are
+// valid-by-construction and stay regenerable when a format version
+// bumps:
+//
+//   cmake --build build --target loloha_make_corpus
+//   ./build/fuzz/loloha_make_corpus fuzz/corpus
+//
+// Output is a pure function of this source file (no clocks, no RNG
+// seeds beyond literals), so regeneration is diff-clean unless a wire
+// format actually changed.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "server/net/framing.h"
+#include "server/store/snapshot_file.h"
+#include "sim/experiment.h"
+#include "sim/slice.h"
+#include "wire/encoding.h"
+
+namespace loloha {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool WriteSeed(const fs::path& dir, const std::string& name,
+               const std::string& bytes) {
+  fs::create_directories(dir);
+  const fs::path path = dir / name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "make_corpus: failed to write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// --- framing ---------------------------------------------------------------
+
+bool WriteFramingSeeds(const fs::path& root) {
+  const fs::path dir = root / "framing";
+  bool ok = true;
+
+  std::string data_loloha;
+  AppendDataFrame(42, EncodeLolohaReport(7), &data_loloha);
+  ok &= WriteSeed(dir, "data_loloha_report", data_loloha);
+
+  std::string data_grr;
+  AppendDataFrame(7, EncodeGrrReport(3), &data_grr);
+  ok &= WriteSeed(dir, "data_grr_report", data_grr);
+
+  for (auto [type, name] :
+       {std::pair{FrameType::kBarrier, "control_barrier"},
+        std::pair{FrameType::kBarrierAck, "control_barrier_ack"},
+        std::pair{FrameType::kEndStep, "control_end_step"},
+        std::pair{FrameType::kShutdown, "control_shutdown"}}) {
+    std::string frame;
+    AppendControlFrame(type, &frame);
+    ok &= WriteSeed(dir, name, frame);
+  }
+
+  std::string estimates;
+  const double values[] = {1.5, -2.25, 0.0, 1e-9};
+  AppendEstimatesFrame(values, &estimates);
+  ok &= WriteSeed(dir, "estimates", estimates);
+
+  // A realistic session: hello-less report burst, barrier, end-step.
+  std::string session;
+  for (uint64_t user = 0; user < 3; ++user) {
+    AppendDataFrame(user, EncodeLolohaReport(static_cast<uint32_t>(user)),
+                    &session);
+  }
+  AppendControlFrame(FrameType::kBarrier, &session);
+  AppendControlFrame(FrameType::kEndStep, &session);
+  ok &= WriteSeed(dir, "session_multi_frame", session);
+
+  // Invalid-by-construction shapes the parser must refuse (kError) or
+  // hold (kNeedMore) — seeds for the rejection branches.
+  ok &= WriteSeed(dir, "truncated_header", data_loloha.substr(0, 3));
+  ok &= WriteSeed(dir, "truncated_payload",
+                  data_loloha.substr(0, data_loloha.size() - 2));
+  std::string bad_type = data_loloha;
+  bad_type[4] = '\x63';  // unknown frame type 99
+  ok &= WriteSeed(dir, "bad_frame_type", bad_type);
+  // Length field far past the payload cap.
+  ok &= WriteSeed(dir, "oversize_length",
+                  std::string("\xff\xff\xff\x7f\x01", 5));
+  return ok;
+}
+
+// --- snapshot --------------------------------------------------------------
+
+bool WriteSnapshotSeeds(const fs::path& root) {
+  const fs::path dir = root / "snapshot";
+  bool ok = true;
+
+  SnapshotData empty;
+  empty.signature = "ololoha:eps_perm=2,eps_first=1|shard=0";
+  empty.step = 0;
+  empty.slot_bytes = 4;
+  ok &= WriteSeed(dir, "empty_store", SerializeSnapshot(empty));
+
+  SnapshotData populated;
+  populated.signature = "bbitflip:eps_perm=2,buckets=4,d=3|shard=1";
+  populated.step = 5;
+  populated.slot_bytes = 3;
+  populated.aux = std::string("\x01\x00\x00\x00\x2a", 5);
+  populated.user_ids = {2, 40, 41, 1000000007};
+  populated.slots.assign(populated.user_ids.size() * populated.slot_bytes,
+                         0);
+  for (size_t i = 0; i < populated.slots.size(); ++i) {
+    populated.slots[i] = static_cast<uint8_t>(i * 37 + 1);
+  }
+  ok &= WriteSeed(dir, "populated_store", SerializeSnapshot(populated));
+
+  // Truncated image: exercises the bounds checks before any CRC runs.
+  const std::string bytes = SerializeSnapshot(populated);
+  ok &= WriteSeed(dir, "truncated_image", bytes.substr(0, bytes.size() / 2));
+  return ok;
+}
+
+// --- slice_partial ---------------------------------------------------------
+
+// First byte selects the decoder in fuzz_slice_partial.cc: 'J' = JSON
+// document, anything else = CSV body + NUL + sidecar.
+std::string CsvModeInput(const SlicePartial& partial,
+                         const ArtifactMeta& meta) {
+  std::string input = "C";
+  input += SlicePartialCsv(partial);
+  input += '\0';
+  input += ProvenanceJsonBody(meta) + "}\n";
+  return input;
+}
+
+std::string JsonModeInput(const SlicePartial& partial,
+                          const ArtifactMeta& meta) {
+  std::string input = "J";
+  std::string doc = ProvenanceJsonBody(meta);
+  AppendSlicePartialDataJson(partial, &doc);
+  doc += "}\n";
+  input += doc;
+  return input;
+}
+
+ArtifactMeta MetaFor(const SlicePartial& partial) {
+  ArtifactMeta meta;
+  meta.plan_name = partial.plan_name;
+  meta.kind = partial.kind;
+  meta.table = partial.plan_name;
+  meta.seed = partial.seed;
+  meta.git_describe = partial.git_describe;
+  meta.slice = partial.slice;
+  meta.units = partial.units.size();
+  meta.units_total = partial.units_total;
+  meta.plan_text = partial.plan_text;
+  return meta;
+}
+
+bool WriteSlicePartialSeeds(const fs::path& root) {
+  const fs::path dir = root / "slice_partial";
+  bool ok = true;
+
+  // Row-unit partial (non-mse kinds): slice 0 of 2 owning the even rows.
+  SlicePartial rows;
+  rows.plan_name = "fuzz_rows";
+  rows.kind = "variance";
+  rows.seed = 20230328;
+  rows.git_describe = "fuzz";
+  rows.slice = SliceSpec{0, 2};
+  rows.units_total = 4;
+  rows.plan_text = "[experiment]\nname = fuzz_rows\nkind = variance\n";
+  for (uint64_t index : {uint64_t{0}, uint64_t{2}}) {
+    SliceUnit unit;
+    unit.type = SliceUnit::Type::kRow;
+    unit.index = index;
+    unit.row = {"l-osue", "2", "0.5", "1.25e-03", "with,comma",
+                "with\"quote"};
+    rows.units.push_back(unit);
+  }
+  ok &= WriteSeed(dir, "csv_rows", CsvModeInput(rows, MetaFor(rows)));
+  ok &= WriteSeed(dir, "json_rows", JsonModeInput(rows, MetaFor(rows)));
+
+  // Cell-unit partial (mse kind): cells travel as exact IEEE-754 bit
+  // patterns ("0x" + 16 hex digits) in the CSV encoding.
+  SlicePartial cells;
+  cells.plan_name = "fuzz_cells";
+  cells.kind = "mse";
+  cells.seed = 7;
+  cells.git_describe = "fuzz";
+  cells.slice = SliceSpec{1, 3};
+  cells.units_total = 6;
+  cells.plan_text = "[experiment]\nname = fuzz_cells\nkind = mse\n";
+  for (uint64_t index : {uint64_t{1}, uint64_t{4}}) {
+    SliceUnit unit;
+    unit.type = SliceUnit::Type::kCell;
+    unit.index = index;
+    unit.cell = 1.0 + 0.5 * static_cast<double>(index);
+    cells.units.push_back(unit);
+  }
+  ok &= WriteSeed(dir, "csv_cells", CsvModeInput(cells, MetaFor(cells)));
+  ok &= WriteSeed(dir, "json_cells", JsonModeInput(cells, MetaFor(cells)));
+
+  // Cross-check rejection seed: CSV body paired with the *other*
+  // partial's sidecar (header/sidecar mismatch branch).
+  std::string mismatched = "C";
+  mismatched += SlicePartialCsv(rows);
+  mismatched += '\0';
+  mismatched += ProvenanceJsonBody(MetaFor(cells)) + "}\n";
+  ok &= WriteSeed(dir, "csv_sidecar_mismatch", mismatched);
+  return ok;
+}
+
+}  // namespace
+}  // namespace loloha
+
+int main(int argc, char** argv) {
+  const std::filesystem::path root = argc > 1 ? argv[1] : "fuzz/corpus";
+  bool ok = true;
+  ok &= loloha::WriteFramingSeeds(root);
+  ok &= loloha::WriteSnapshotSeeds(root);
+  ok &= loloha::WriteSlicePartialSeeds(root);
+  if (!ok) return 1;
+  std::printf("seed corpora written under %s\n", root.c_str());
+  return 0;
+}

@@ -50,7 +50,8 @@ for entry in json.load(open(db)):
     path = os.path.realpath(
         os.path.join(entry.get("directory", ""), entry["file"]))
     rel = os.path.relpath(path, root)
-    if rel.startswith(("src/", "bench/", "tests/", "examples/")) \
+    if rel.startswith(("src/", "bench/", "tests/", "examples/", "tools/",
+                       "fuzz/")) \
             and rel not in seen:
         seen.add(rel)
         print(path)

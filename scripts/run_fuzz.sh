@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Timed libFuzzer sessions over every harness in fuzz/, with corpus
+# minimization and crash-artifact collection.
+#
+# Usage:
+#   scripts/run_fuzz.sh [build_dir] [-- target ...]
+#
+#   build_dir defaults to ./build-fuzz; it must have been configured
+#   with clang and -DLOLOHA_FUZZERS=ON:
+#     CC=clang CXX=clang++ cmake -B build-fuzz -S . -DLOLOHA_FUZZERS=ON
+#     cmake --build build-fuzz -j
+#   With no explicit targets, every fuzz_<target> binary found in
+#   <build_dir>/fuzz runs.
+#
+# Environment:
+#   FUZZ_SECONDS   per-target time budget (default 60)
+#   FUZZ_JOBS      libFuzzer -jobs/-workers (default 1: deterministic logs)
+#   FUZZ_OUT       artifact root (default <build_dir>/fuzz-out)
+#   FUZZ_MINIMIZE  1 (default) merges the grown corpus back over the
+#                  seeds into FUZZ_OUT/corpus/<target>; 0 skips
+#
+# Layout per target under FUZZ_OUT:
+#   corpus/<target>/     minimized corpus (seeds + novel inputs)
+#   crashes/<target>/    crash-*/leak-*/timeout-* artifacts, if any
+#   logs/<target>.log    full libFuzzer session log
+#
+# Exit codes: 0 all targets ran clean, 1 any crash/timeout/OOM artifact,
+# 2 usage error (missing build dir / binaries).
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-fuzz}"
+shift $(( $# > 0 ? 1 : 0 )) || true
+if [ "${1:-}" = "--" ]; then shift; fi
+
+seconds="${FUZZ_SECONDS:-60}"
+jobs="${FUZZ_JOBS:-1}"
+out_root="${FUZZ_OUT:-$build_dir/fuzz-out}"
+minimize="${FUZZ_MINIMIZE:-1}"
+
+if [ ! -d "$build_dir/fuzz" ]; then
+  echo "run_fuzz: $build_dir/fuzz not found — configure with clang and" \
+       "-DLOLOHA_FUZZERS=ON first (see header of this script)" >&2
+  exit 2
+fi
+
+targets=("$@")
+if [ "${#targets[@]}" -eq 0 ]; then
+  for bin in "$build_dir"/fuzz/fuzz_*; do
+    name="$(basename "$bin")"
+    case "$name" in
+      fuzz_replay_*) continue ;;  # replay mains are ctest legs, not fuzzers
+      fuzz_*) [ -x "$bin" ] && targets+=("${name#fuzz_}") ;;
+    esac
+  done
+fi
+if [ "${#targets[@]}" -eq 0 ]; then
+  echo "run_fuzz: no fuzz_<target> binaries in $build_dir/fuzz — was the" \
+       "build configured with -DLOLOHA_FUZZERS=ON?" >&2
+  exit 2
+fi
+
+status=0
+for target in "${targets[@]}"; do
+  bin="$build_dir/fuzz/fuzz_$target"
+  if [ ! -x "$bin" ]; then
+    echo "run_fuzz: missing binary $bin" >&2
+    status=1
+    continue
+  fi
+  seeds="$repo_root/fuzz/corpus/$target"
+  dict="$repo_root/fuzz/dicts/$target.dict"
+  corpus="$out_root/corpus/$target"
+  crashes="$out_root/crashes/$target"
+  log="$out_root/logs/$target.log"
+  mkdir -p "$corpus" "$crashes" "$(dirname "$log")"
+
+  args=("-max_total_time=$seconds" "-print_final_stats=1"
+        "-artifact_prefix=$crashes/")
+  if [ "$jobs" -gt 1 ]; then
+    args+=("-jobs=$jobs" "-workers=$jobs")
+  fi
+  [ -f "$dict" ] && args+=("-dict=$dict")
+
+  echo "run_fuzz: $target for ${seconds}s (log: $log)"
+  # Session corpus starts from the checked-in seeds; novel inputs land in
+  # $corpus so repeated sessions keep accumulating coverage.
+  if ! "$bin" "${args[@]}" "$corpus" "$seeds" >"$log" 2>&1; then
+    echo "run_fuzz: $target FAILED — artifacts in $crashes, tail of $log:" >&2
+    tail -n 25 "$log" >&2
+    status=1
+    continue
+  fi
+
+  if [ "$minimize" = "1" ]; then
+    # -merge=1 rewrites the session corpus as a minimal subset covering
+    # the same edges, so the kept artifact stays reviewably small.
+    minimized="$corpus.min.$$"
+    mkdir -p "$minimized"
+    if "$bin" -merge=1 "-artifact_prefix=$crashes/" \
+         ${dict:+-dict="$dict"} "$minimized" "$corpus" "$seeds" \
+         >>"$log" 2>&1; then
+      rm -rf "$corpus"
+      mv "$minimized" "$corpus"
+    else
+      rm -rf "$minimized"
+      echo "run_fuzz: $target corpus merge failed (see $log) — keeping" \
+           "unminimized corpus" >&2
+    fi
+  fi
+
+  runs="$(grep -oE 'stat::number_of_executed_units: *[0-9]+' "$log" |
+          grep -oE '[0-9]+' | tail -n 1 || true)"
+  kept="$(find "$corpus" -type f | wc -l)"
+  echo "run_fuzz: $target ok — ${runs:-?} execs, $kept corpus file(s)"
+done
+
+found="$(find "$out_root/crashes" -type f 2>/dev/null | wc -l)"
+if [ "$found" -gt 0 ]; then
+  echo "run_fuzz: $found crash artifact(s) under $out_root/crashes —" \
+       "replay with: ./build/fuzz/fuzz_replay_<target> <artifact>" >&2
+  status=1
+fi
+exit "$status"

@@ -271,7 +271,7 @@ class LolohaCollector : public Collector {
   uint32_t num_shards_;
   StoreConfig store_config_;
   std::string signature_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{lock_rank::kCollector};
   std::unique_ptr<UserStateStore> store_ LOLOHA_GUARDED_BY(mu_);
   uint32_t step_ LOLOHA_GUARDED_BY(mu_) = 0;
   uint64_t reports_this_step_ LOLOHA_GUARDED_BY(mu_) = 0;
@@ -349,7 +349,7 @@ class DBitFlipCollector : public Collector {
   uint32_t num_shards_;
   StoreConfig store_config_;
   std::string signature_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{lock_rank::kCollector};
   std::unique_ptr<UserStateStore> store_ LOLOHA_GUARDED_BY(mu_);
   uint32_t step_ LOLOHA_GUARDED_BY(mu_) = 0;
   uint64_t reports_this_step_ LOLOHA_GUARDED_BY(mu_) = 0;

@@ -87,7 +87,7 @@ class TrendMonitor {
   PerturbParams second_;
   double smoothing_;
   double z_threshold_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{lock_rank::kTrendMonitor};
   std::vector<double> baseline_ LOLOHA_GUARDED_BY(mu_);
   uint32_t steps_ LOLOHA_GUARDED_BY(mu_) = 0;
 };

@@ -199,7 +199,7 @@ class IngestServer {
     bool has_stalled = false;
     std::vector<Message> stalled;
 
-    Mutex mu;
+    Mutex mu{lock_rank::kIngestShardQueue};
     CondVar cv_work;   // worker waits for batches / stop
     CondVar cv_space;  // loop waits for queue space / drain
     std::deque<std::vector<Message>> queue LOLOHA_GUARDED_BY(mu);

@@ -884,6 +884,11 @@ bool ParseExperimentPlan(std::string_view text, ExperimentPlan* plan,
           }
         } else if (key == "b") {
           if (!ParseUIntValue(value, &out.b)) return bad_value("integer");
+          // Line-local range check; the b <= k cross-check stays in
+          // Validate (k may be set on a later line).
+          if (out.b == 1) {
+            return FailAt(error, line_number, "b must be 0 (= k) or >= 2");
+          }
         } else if (key == "eps") {
           if (!ParseDoubleValue(value, &out.eps)) return bad_value("number");
           if (!std::isfinite(out.eps) || out.eps <= 0.0) {
@@ -892,6 +897,12 @@ bool ParseExperimentPlan(std::string_view text, ExperimentPlan* plan,
         } else if (key == "eps1") {
           if (!ParseDoubleValue(value, &out.eps1)) {
             return bad_value("number");
+          }
+          // Line-local range check; the eps1 < eps cross-check stays in
+          // Validate (eps may be set on a later line).
+          if (!std::isfinite(out.eps1) || out.eps1 < 0.0) {
+            return FailAt(error, line_number,
+                          "eps1 must be a finite number >= 0 (0 = eps/2)");
           }
         } else {
           return FailAt(error, line_number,
@@ -1360,7 +1371,9 @@ void PrintProtocolRegistry(std::FILE* out) {
         aliases += alias.alias;
       }
     }
-    if (aliases.empty()) aliases = "-";
+    // push_back, not `= "-"`: gcc 12 -O2 inlines the char* assign into a
+    // memcpy it then (wrongly) flags under -Werror=restrict.
+    if (aliases.empty()) aliases.push_back('-');
     const std::string extras = spec.IsLolohaVariant()
                                    ? "g"
                                    : (spec.IsDBitFlipVariant()

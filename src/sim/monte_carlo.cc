@@ -39,7 +39,7 @@ std::vector<std::vector<double>> RunMonteCarloGrid(
   // progress callback, and clang's thread-safety analysis then checks the
   // discipline at compile time.
   struct ProgressState {
-    Mutex mu;
+    Mutex mu{lock_rank::kMonteCarloProgress};
     uint32_t completed LOLOHA_GUARDED_BY(mu) = 0;
   } progress;
   const auto run_cell = [&](uint32_t config, uint32_t run) {

@@ -351,33 +351,46 @@ bool ReadProvenance(const JsonValue& doc, const std::string& where,
 }
 
 // Shared tail validation: units ascending, owned by the slice, in range.
+// Every refusal is located: `unit_lines` maps units to the input line
+// they were parsed from (the CSV reader records real lines; the JSON
+// reader passes none and the report falls back to line 1, matching its
+// other diagnostics), and `summary_line` locates the set-level
+// cardinality refusal (the CSV 'end' trailer line).
 bool ValidateUnits(const SlicePartial& partial, const std::string& name,
-                   std::string* error) {
+                   const std::vector<size_t>& unit_lines,
+                   size_t summary_line, std::string* error) {
+  const auto line_of = [&unit_lines](size_t i) {
+    return i < unit_lines.size() ? unit_lines[i] : size_t{1};
+  };
   uint64_t previous = 0;
   bool first = true;
-  for (const SliceUnit& unit : partial.units) {
+  for (size_t i = 0; i < partial.units.size(); ++i) {
+    const SliceUnit& unit = partial.units[i];
     if (unit.index >= partial.units_total) {
-      return Fail(error, name + ": unit " + std::to_string(unit.index) +
-                             " out of range (units_total = " +
-                             std::to_string(partial.units_total) + ")");
+      return FailAt(error, name, line_of(i),
+                    "unit " + std::to_string(unit.index) +
+                        " out of range (units_total = " +
+                        std::to_string(partial.units_total) + ")");
     }
     if (!partial.slice.Owns(unit.index)) {
-      return Fail(error, name + ": unit " + std::to_string(unit.index) +
-                             " is not owned by slice " +
-                             SliceSpecToken(partial.slice));
+      return FailAt(error, name, line_of(i),
+                    "unit " + std::to_string(unit.index) +
+                        " is not owned by slice " +
+                        SliceSpecToken(partial.slice));
     }
     if (!first && unit.index <= previous) {
-      return Fail(error, name + ": units out of order at " +
-                             std::to_string(unit.index));
+      return FailAt(error, name, line_of(i),
+                    "units out of order at " + std::to_string(unit.index));
     }
     previous = unit.index;
     first = false;
   }
   const uint64_t expected = partial.slice.OwnedCount(partial.units_total);
   if (partial.units.size() != expected) {
-    return Fail(error, name + ": slice " + SliceSpecToken(partial.slice) +
-                           " carries " + std::to_string(partial.units.size()) +
-                           " unit(s) but owns " + std::to_string(expected));
+    return FailAt(error, name, summary_line,
+                  "slice " + SliceSpecToken(partial.slice) + " carries " +
+                      std::to_string(partial.units.size()) +
+                      " unit(s) but owns " + std::to_string(expected));
   }
   return true;
 }
@@ -504,6 +517,7 @@ bool ParseSlicePartialCsv(std::string_view csv_bytes,
   bool saw_header = false;
   bool saw_end = false;
   std::vector<std::string> fields;
+  std::vector<size_t> unit_lines;  // source line of out.units[i]
   while (begin < csv_bytes.size()) {
     line_number = next_line;
     // One CSV record may span physical lines: a newline inside a quoted
@@ -592,6 +606,7 @@ bool ParseSlicePartialCsv(std::string_view csv_bytes,
                     "unknown record '" + fields[0] + "'");
     }
     out.units.push_back(std::move(unit));
+    unit_lines.push_back(line_number);
   }
   if (!saw_header) {
     return FailAt(error, csv_name, 1, "empty partial: missing header line");
@@ -600,7 +615,9 @@ bool ParseSlicePartialCsv(std::string_view csv_bytes,
     return FailAt(error, csv_name, line_number,
                   "truncated partial: missing 'end' trailer");
   }
-  if (!ValidateUnits(out, csv_name, error)) return false;
+  if (!ValidateUnits(out, csv_name, unit_lines, line_number, error)) {
+    return false;
+  }
   *partial = std::move(out);
   return true;
 }
@@ -654,7 +671,7 @@ bool ParseSlicePartialJson(std::string_view json_bytes,
     }
     out.units.push_back(std::move(unit));
   }
-  if (!ValidateUnits(out, name, error)) return false;
+  if (!ValidateUnits(out, name, {}, 1, error)) return false;
   *partial = std::move(out);
   return true;
 }

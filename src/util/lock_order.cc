@@ -1,0 +1,233 @@
+#include "util/lock_order.h"
+
+#if LOLOHA_LOCK_ORDER_CHECKS
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace loloha {
+namespace lock_order {
+namespace {
+
+// Per-thread stack of ranked locks currently held, in acquisition order.
+struct HeldStack {
+  uint16_t ids[kMaxHeldLocks];
+  const char* names[kMaxHeldLocks];
+  int depth = 0;
+};
+
+thread_local HeldStack t_held;
+
+// One acquired-before edge from -> to, stamped with the first-observed
+// witness: the acquiring thread's held stack at that moment.
+struct Edge {
+  bool seen = false;
+  std::string witness;  // "held [A, B] while acquiring C (thread <id>)"
+};
+
+// Process-wide graph. adj_ is a reachability-friendly adjacency matrix
+// over rank ids; names_ remembers the printable name per id. Guarded by
+// a raw std::mutex (NOT loloha::Mutex — the detector must not recurse
+// into itself).
+struct Graph {
+  std::mutex mu;
+  uint64_t adj[kMaxRanks] = {};  // bit t of adj[f]: edge f -> t observed
+  const char* names[kMaxRanks] = {};
+  Edge edges[kMaxRanks][kMaxRanks];
+};
+
+Graph g_graph;
+
+std::string ThreadIdString() {
+  char buf[32];
+  // std::this_thread::get_id has no portable integer accessor; hash it.
+  std::snprintf(buf, sizeof(buf), "%zx",
+                std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  return buf;
+}
+
+std::string DescribeHeldStack(const HeldStack& held) {
+  std::string out = "[";
+  for (int i = 0; i < held.depth; ++i) {
+    if (i > 0) out += " -> ";
+    out += held.names[i];
+  }
+  out += "]";
+  return out;
+}
+
+std::string MakeWitness(const HeldStack& held, const char* acquiring) {
+  return "thread " + ThreadIdString() + " held " + DescribeHeldStack(held) +
+         " while acquiring " + acquiring;
+}
+
+// Depth-first reachability from -> to over the recorded edges.
+// Requires g_graph.mu. Writes the path (rank ids, from..to inclusive)
+// into path[] and returns its length, or 0 if unreachable.
+int FindPath(uint16_t from, uint16_t to, uint16_t* path, int max_len) {
+  bool visited[kMaxRanks] = {};
+  uint16_t stack[kMaxRanks];
+  uint16_t parent[kMaxRanks];
+  int sp = 0;
+  stack[sp++] = from;
+  visited[from] = true;
+  parent[from] = from;
+  bool found = (from == to);
+  while (sp > 0 && !found) {
+    uint16_t cur = stack[--sp];
+    uint64_t out = g_graph.adj[cur];
+    while (out != 0) {
+      int next = __builtin_ctzll(out);
+      out &= out - 1;
+      if (visited[next]) continue;
+      visited[next] = true;
+      parent[next] = cur;
+      if (next == to) {
+        found = true;
+        break;
+      }
+      stack[sp++] = static_cast<uint16_t>(next);
+    }
+  }
+  if (!found) return 0;
+  // Reconstruct to..from, then reverse into from..to.
+  uint16_t rev[kMaxRanks];
+  int n = 0;
+  for (uint16_t cur = to;; cur = parent[cur]) {
+    rev[n++] = cur;
+    if (cur == from) break;
+  }
+  if (n > max_len) n = max_len;
+  for (int i = 0; i < n; ++i) path[i] = rev[n - 1 - i];
+  return n;
+}
+
+[[noreturn]] void ReportInversion(const LockRank& acquiring,
+                                  uint16_t held_id, const char* held_name,
+                                  const uint16_t* path, int path_len) {
+  // One-line summary first (tests match on it), then the evidence.
+  std::fprintf(stderr,
+               "lock-order inversion: acquiring %s (rank %u) while holding "
+               "%s (rank %u)\n",
+               acquiring.name, acquiring.id, held_name, held_id);
+  std::fprintf(stderr, "  this thread: %s\n",
+               MakeWitness(t_held, acquiring.name).c_str());
+  std::fprintf(stderr,
+               "  conflicting acquired-before path (%s reaches %s):\n",
+               acquiring.name, held_name);
+  for (int i = 0; i + 1 < path_len; ++i) {
+    const Edge& e = g_graph.edges[path[i]][path[i + 1]];
+    std::fprintf(stderr, "    %s -> %s  first seen: %s\n",
+                 g_graph.names[path[i]], g_graph.names[path[i + 1]],
+                 e.seen ? e.witness.c_str() : "(unrecorded)");
+  }
+  std::fprintf(stderr,
+               "  fix: acquire these locks in one global order (see the "
+               "rank table in src/util/lock_order.h / docs/ANALYSIS.md)\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(const LockRank& rank) {
+  if (rank.id == 0) return;
+  if (rank.id >= kMaxRanks) {
+    std::fprintf(stderr, "lock-order: rank id %u for %s exceeds kMaxRanks\n",
+                 rank.id, rank.name);
+    std::abort();
+  }
+  HeldStack& held = t_held;
+  if (held.depth >= kMaxHeldLocks) {
+    std::fprintf(stderr,
+                 "lock-order: thread holds %d ranked locks acquiring %s — "
+                 "nesting this deep is a design bug\n",
+                 held.depth, rank.name);
+    std::abort();
+  }
+  if (held.depth > 0) {
+    std::lock_guard<std::mutex> g(g_graph.mu);
+    g_graph.names[rank.id] = rank.name;
+    for (int i = 0; i < held.depth; ++i) {
+      uint16_t h = held.ids[i];
+      if (h == rank.id) {
+        // Two instances of one rank held together: siblings share a rank
+        // precisely because they are never nested, so this is the same
+        // class of bug as an inversion (shard A vs shard B order is
+        // schedule-dependent).
+        std::fprintf(stderr,
+                     "lock-order inversion: acquiring %s (rank %u) while "
+                     "holding another lock of the same rank\n",
+                     rank.name, rank.id);
+        std::fprintf(stderr, "  this thread: %s\n",
+                     MakeWitness(held, rank.name).c_str());
+        std::fflush(stderr);
+        std::abort();
+      }
+      // If rank already reaches h, adding h -> rank closes a cycle.
+      uint16_t path[kMaxRanks];
+      int path_len = FindPath(rank.id, h, path, kMaxRanks);
+      if (path_len > 0) {
+        ReportInversion(rank, h, g_graph.names[h] ? g_graph.names[h] : "?",
+                        path, path_len);
+      }
+    }
+    // No cycle: record every held -> rank edge with a first-seen witness.
+    for (int i = 0; i < held.depth; ++i) {
+      uint16_t h = held.ids[i];
+      g_graph.names[h] = held.names[i];
+      if ((g_graph.adj[h] >> rank.id & 1) == 0) {
+        g_graph.adj[h] |= uint64_t{1} << rank.id;
+        Edge& e = g_graph.edges[h][rank.id];
+        e.seen = true;
+        e.witness = MakeWitness(held, rank.name);
+      }
+    }
+  }
+  held.ids[held.depth] = rank.id;
+  held.names[held.depth] = rank.name;
+  ++held.depth;
+}
+
+void OnRelease(const LockRank& rank) {
+  if (rank.id == 0) return;
+  HeldStack& held = t_held;
+  // Usually LIFO; tolerate out-of-order release (hand-over-hand locking)
+  // by removing the innermost matching entry.
+  for (int i = held.depth - 1; i >= 0; --i) {
+    if (held.ids[i] != rank.id) continue;
+    for (int j = i; j + 1 < held.depth; ++j) {
+      held.ids[j] = held.ids[j + 1];
+      held.names[j] = held.names[j + 1];
+    }
+    --held.depth;
+    return;
+  }
+  std::fprintf(stderr, "lock-order: releasing %s (rank %u) not held\n",
+               rank.name, rank.id);
+  std::abort();
+}
+
+void ResetForTest() {
+  std::lock_guard<std::mutex> g(g_graph.mu);
+  std::memset(g_graph.adj, 0, sizeof(g_graph.adj));
+  for (auto& row : g_graph.edges) {
+    for (auto& e : row) {
+      e.seen = false;
+      e.witness.clear();
+    }
+  }
+  t_held.depth = 0;
+}
+
+int HeldCountForTest() { return t_held.depth; }
+
+}  // namespace lock_order
+}  // namespace loloha
+
+#endif  // LOLOHA_LOCK_ORDER_CHECKS

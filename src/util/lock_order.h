@@ -1,0 +1,140 @@
+// Debug-build lock-order deadlock detector.
+//
+// Deadlocks are ordering bugs: thread 1 acquires A then B, thread 2
+// acquires B then A, and whether the process hangs depends on a schedule
+// no test controls. This module turns the ordering discipline into a
+// checked invariant, the same way the thread-safety annotations
+// (util/thread_annotations.h) turn "which lock guards this member" into
+// a compile-time check:
+//
+//   * Every long-lived Mutex carries a LockRank — a small id plus a
+//     human-readable name from the repo-wide table below. The table IS
+//     the documented locking order (see docs/ANALYSIS.md); unranked
+//     mutexes (rank id 0, e.g. test-local scaffolding) are invisible to
+//     the detector.
+//   * Each thread keeps a thread-local stack of the ranked mutexes it
+//     holds, pushed on acquire and popped on release.
+//   * A process-wide acquired-before graph accumulates one edge
+//     held-rank -> acquired-rank per observed nesting, each stamped with
+//     a witness (thread + held-stack snapshot) from its first
+//     observation.
+//   * Acquiring a mutex whose rank could reach a currently held rank in
+//     that graph closes a cycle: a schedule exists in which two threads
+//     deadlock. The detector reports the inversion with both witness
+//     stacks — the current thread's and the recorded one(s) along the
+//     conflicting path — and aborts, turning a once-a-month hang into a
+//     deterministic test failure on ANY schedule that merely exhibits
+//     both orders, even seconds apart on one thread.
+//   * Acquiring two mutexes of the same rank together is reported the
+//     same way (sibling instances, e.g. two ingest shard queues, share a
+//     rank precisely because the code never nests them).
+//
+// Cost model: the checks run in Debug and sanitizer builds and compile
+// to nothing in plain Release (NDEBUG) builds — the same policy as
+// LOLOHA_DCHECK. Define LOLOHA_LOCK_ORDER_CHECKS=0/1 to force either
+// way (CMake: -DLOLOHA_LOCK_ORDER=ON/OFF).
+
+#ifndef LOLOHA_UTIL_LOCK_ORDER_H_
+#define LOLOHA_UTIL_LOCK_ORDER_H_
+
+#include <cstdint>
+
+// Enabled in Debug builds and under ASan/TSan (gcc spells the sanitizer
+// macros __SANITIZE_*, clang exposes __has_feature).
+#if !defined(LOLOHA_LOCK_ORDER_CHECKS)
+#if !defined(NDEBUG) || defined(__SANITIZE_ADDRESS__) || \
+    defined(__SANITIZE_THREAD__)
+#define LOLOHA_LOCK_ORDER_CHECKS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define LOLOHA_LOCK_ORDER_CHECKS 1
+#endif
+#endif
+#endif
+#if !defined(LOLOHA_LOCK_ORDER_CHECKS)
+#define LOLOHA_LOCK_ORDER_CHECKS 0
+#endif
+
+namespace loloha {
+
+// Identity of a lock *class* (not instance): every Mutex constructed with
+// the same LockRank is one node in the acquired-before graph. `name` must
+// be a string literal (stored, never copied).
+struct LockRank {
+  uint16_t id = 0;  // 0 = unranked: the detector ignores the mutex
+  const char* name = "";
+};
+
+// The repo-wide rank table. Ids are grouped in tens per subsystem and
+// ordered outermost-first as documentation; the detector enforces the
+// *observed* acquisition graph, not this numbering, so adding a rank
+// never requires renumbering. Keep docs/ANALYSIS.md's table in sync.
+namespace lock_rank {
+
+// server/net/ingest_server.h — per-shard batch queue handoff (event loop
+// <-> shard worker). Sibling shards share the rank: the code never holds
+// two shard queues at once, and the detector enforces exactly that.
+inline constexpr LockRank kIngestShardQueue{10, "IngestServer.Shard.mu"};
+
+// server/collector.h — both collector families' internal lock. Held
+// across a whole IngestBatch, including the sharded accumulate pass, so
+// ThreadPool.mu nests inside it.
+inline constexpr LockRank kCollector{20, "Collector.mu"};
+
+// server/monitor.h — TrendMonitor baseline state. Leaf: observed after
+// estimation, never while a collector or queue lock is held.
+inline constexpr LockRank kTrendMonitor{30, "TrendMonitor.mu"};
+
+// sim/monte_carlo.cc — Monte-Carlo progress counter + callback
+// serialization. Leaf, taken from inside pool tasks.
+inline constexpr LockRank kMonteCarloProgress{40, "MonteCarlo.progress.mu"};
+
+// util/thread_pool.h — the shared pool's task/job lock. Innermost of the
+// production graph: Submit/ParallelFor acquire it from under
+// Collector.mu; pool workers take it with nothing held.
+inline constexpr LockRank kThreadPool{50, "ThreadPool.mu"};
+
+// Ranks >= kTestBase are reserved for tests (self-tests seed deliberate
+// inversions with them; production code must never use them).
+inline constexpr uint16_t kTestBase = 56;
+
+}  // namespace lock_rank
+
+namespace lock_order {
+
+// Ranks are dense ids below this bound (adjacency is a bitmask per node).
+inline constexpr uint16_t kMaxRanks = 64;
+// Deeper nesting than this is itself a design bug worth aborting on.
+inline constexpr int kMaxHeldLocks = 16;
+
+#if LOLOHA_LOCK_ORDER_CHECKS
+
+// Called by Mutex/MutexLock immediately before the underlying lock() —
+// before, not after, so an actual in-flight deadlock still produces the
+// report instead of hanging. Records held->rank edges, checks for
+// cycles, and aborts with both witness stacks on an inversion.
+void OnAcquire(const LockRank& rank);
+
+// Called after the underlying unlock(). Handles non-LIFO release.
+void OnRelease(const LockRank& rank);
+
+// Test hooks. ResetForTest clears the process-wide graph and the calling
+// thread's held stack (other threads' stacks are untouched — only use it
+// from single-threaded test setup). HeldCountForTest reports the calling
+// thread's ranked-lock depth.
+void ResetForTest();
+int HeldCountForTest();
+
+#else  // !LOLOHA_LOCK_ORDER_CHECKS
+
+inline void OnAcquire(const LockRank&) {}
+inline void OnRelease(const LockRank&) {}
+inline void ResetForTest() {}
+inline int HeldCountForTest() { return 0; }
+
+#endif  // LOLOHA_LOCK_ORDER_CHECKS
+
+}  // namespace lock_order
+}  // namespace loloha
+
+#endif  // LOLOHA_UTIL_LOCK_ORDER_H_

@@ -32,6 +32,8 @@
 #include <mutex>
 #include <utility>
 
+#include "util/lock_order.h"
+
 // gcc warns (and -Werror fails) on the capability attributes it does not
 // implement, so the macros are clang-only; the analysis itself only runs
 // under clang anyway.
@@ -89,14 +91,31 @@ namespace loloha {
 // std::mutex with the capability annotation the analysis needs. Lock
 // discipline in this repo: prefer MutexLock scopes; bare Lock/Unlock
 // only where a scope cannot express the flow.
+//
+// Long-lived mutexes take a LockRank from the table in util/lock_order.h
+// so the debug-build lock-order detector can prove acquisition-order
+// inversions (potential deadlocks) on any schedule; the rankless default
+// constructor is for short-lived/test scaffolding the detector ignores.
+// In Release builds the rank is not even stored.
 class LOLOHA_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+#if LOLOHA_LOCK_ORDER_CHECKS
+  explicit Mutex(const LockRank& rank) : rank_(rank) {}
+#else
+  explicit Mutex(const LockRank&) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() LOLOHA_ACQUIRE() { mu_.lock(); }
-  void Unlock() LOLOHA_RELEASE() { mu_.unlock(); }
+  void Lock() LOLOHA_ACQUIRE() {
+    lock_order::OnAcquire(rank());
+    mu_.lock();
+  }
+  void Unlock() LOLOHA_RELEASE() {
+    mu_.unlock();
+    lock_order::OnRelease(rank());
+  }
 
   // Statically marks the capability held, with no runtime effect. Only
   // for contexts where the holder is real but invisible to the analysis
@@ -106,15 +125,35 @@ class LOLOHA_CAPABILITY("mutex") Mutex {
  private:
   friend class CondVar;
   friend class MutexLock;
+
+#if LOLOHA_LOCK_ORDER_CHECKS
+  const LockRank& rank() const { return rank_; }
+  LockRank rank_;
+#else
+  const LockRank& rank() const {
+    static constexpr LockRank kNone{};
+    return kNone;
+  }
+#endif
+
   std::mutex mu_;
 };
 
 // RAII lock scope over Mutex (std::unique_lock underneath, so CondVar
-// can wait on it).
+// can wait on it). Acquisition is deferred to the constructor body so
+// the lock-order check runs *before* blocking on the mutex — an actual
+// inversion then reports instead of deadlocking.
 class LOLOHA_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) LOLOHA_ACQUIRE(mu) : lock_(mu.mu_) {}
-  ~MutexLock() LOLOHA_RELEASE() {}
+  explicit MutexLock(Mutex& mu) LOLOHA_ACQUIRE(mu)
+      : lock_(mu.mu_, std::defer_lock), mu_(mu) {
+    lock_order::OnAcquire(mu.rank());
+    lock_.lock();
+  }
+  ~MutexLock() LOLOHA_RELEASE() {
+    lock_.unlock();
+    lock_order::OnRelease(mu_.rank());
+  }
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
@@ -122,6 +161,7 @@ class LOLOHA_SCOPED_CAPABILITY MutexLock {
  private:
   friend class CondVar;
   std::unique_lock<std::mutex> lock_;
+  Mutex& mu_;
 };
 
 // Condition variable paired with Mutex/MutexLock. To the analysis the

@@ -135,7 +135,7 @@ class ThreadPool {
   void RunTask(Task& task) LOLOHA_EXCLUDES(mu_);
 
   uint32_t num_threads_;
-  Mutex mu_;
+  Mutex mu_{lock_rank::kThreadPool};
   CondVar work_cv_;
   CondVar done_cv_;
   std::deque<Task> tasks_ LOLOHA_GUARDED_BY(mu_);

@@ -1,0 +1,168 @@
+// Frame-stream mutation regression test (server/net/framing.h), built
+// on the shared truncate/flip/extend/splice vocabulary in
+// tests/fuzz_util.h. The coverage-guided twin is fuzz/fuzz_framing.cc;
+// this test enforces the same properties on a few thousand seeded
+// trials per ctest run, on every toolchain:
+//
+//   * arbitrary mutation of a valid session never crashes the parser;
+//   * chunking independence — the whole mutated buffer fed at once and
+//     fed one byte at a time extract identical frame sequences and end
+//     in the same terminal state;
+//   * a truncated valid stream is never a protocol error (kNeedMore,
+//     with the already-complete frames extracted intact);
+//   * the error state is sticky.
+
+#include "server/net/framing.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz_util.h"
+#include "util/rng.h"
+#include "wire/encoding.h"
+
+namespace loloha {
+namespace {
+
+// A realistic session: three report frames, a barrier, an estimates
+// reply, and an end-step.
+std::string MakeValidSession() {
+  std::string out;
+  for (uint64_t user = 0; user < 3; ++user) {
+    AppendDataFrame(user * 17 + 1,
+                    EncodeLolohaReport(static_cast<uint32_t>(user)), &out);
+  }
+  AppendControlFrame(FrameType::kBarrier, &out);
+  const double estimates[] = {0.25, -1.5, 3e9};
+  AppendEstimatesFrame(estimates, &out);
+  AppendControlFrame(FrameType::kEndStep, &out);
+  return out;
+}
+
+// A second, differently shaped session for splice donors.
+std::string MakeDonorSession() {
+  std::string out;
+  AppendControlFrame(FrameType::kShutdown, &out);
+  AppendDataFrame(999, EncodeGrrReport(5), &out);
+  AppendControlFrame(FrameType::kBarrierAck, &out);
+  return out;
+}
+
+struct Drained {
+  std::vector<Frame> frames;
+  FrameStatus terminal = FrameStatus::kNeedMore;
+};
+
+Drained DrainWhole(const std::string& bytes) {
+  FrameParser parser;
+  parser.Feed(bytes.data(), bytes.size());
+  Drained out;
+  Frame frame;
+  FrameStatus status;
+  while ((status = parser.Next(&frame)) == FrameStatus::kFrame) {
+    out.frames.push_back(frame);
+  }
+  out.terminal = status;
+  return out;
+}
+
+Drained DrainByteAtATime(const std::string& bytes) {
+  FrameParser parser;
+  Drained out;
+  Frame frame;
+  FrameStatus status = FrameStatus::kNeedMore;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    parser.Feed(bytes.data() + i, 1);
+    while ((status = parser.Next(&frame)) == FrameStatus::kFrame) {
+      out.frames.push_back(frame);
+    }
+  }
+  if (bytes.empty()) status = parser.Next(&frame);
+  out.terminal = status;
+  return out;
+}
+
+bool FramesEqual(const Frame& a, const Frame& b) {
+  if (a.type != b.type || a.message.user_id != b.message.user_id ||
+      a.message.bytes != b.message.bytes ||
+      a.estimates.size() != b.estimates.size()) {
+    return false;
+  }
+  // Estimates are raw IEEE-754 bits off the wire; compare bitwise so a
+  // NaN payload cannot defeat the comparison.
+  return a.estimates.empty() ||
+         std::memcmp(a.estimates.data(), b.estimates.data(),
+                     a.estimates.size() * sizeof(double)) == 0;
+}
+
+TEST(FramingFuzzTest, SeededMutationsKeepChunkingIndependence) {
+  const std::string good = MakeValidSession();
+  const std::string donor = MakeDonorSession();
+
+  for (uint32_t trial = 0; trial < 3000; ++trial) {
+    Rng rng(StreamSeed(0xF4A3E, trial, 0));
+    const std::string mutated = fuzz_util::Mutate(good, donor, rng);
+
+    const Drained whole = DrainWhole(mutated);
+    const Drained stream = DrainByteAtATime(mutated);
+    ASSERT_EQ(whole.frames.size(), stream.frames.size()) << "trial " << trial;
+    for (size_t i = 0; i < whole.frames.size(); ++i) {
+      ASSERT_TRUE(FramesEqual(whole.frames[i], stream.frames[i]))
+          << "trial " << trial << " frame " << i;
+    }
+    ASSERT_EQ(whole.terminal, stream.terminal) << "trial " << trial;
+  }
+}
+
+TEST(FramingFuzzTest, EveryTruncationOfAValidStreamIsNeedMoreNotError) {
+  // Exhaustive over every prefix length: cutting a valid stream mid-
+  // frame loses the tail but must never be mistaken for corruption —
+  // the already-complete frames decode and the parser simply waits.
+  const std::string good = MakeValidSession();
+  const Drained full = DrainWhole(good);
+  ASSERT_EQ(full.terminal, FrameStatus::kNeedMore);
+  ASSERT_EQ(full.frames.size(), 6u);
+
+  for (size_t len = 0; len < good.size(); ++len) {
+    const Drained cut = DrainWhole(good.substr(0, len));
+    EXPECT_EQ(cut.terminal, FrameStatus::kNeedMore) << "len=" << len;
+    EXPECT_LE(cut.frames.size(), full.frames.size()) << "len=" << len;
+    for (size_t i = 0; i < cut.frames.size(); ++i) {
+      EXPECT_TRUE(FramesEqual(cut.frames[i], full.frames[i]))
+          << "len=" << len << " frame " << i;
+    }
+  }
+}
+
+TEST(FramingFuzzTest, ErrorStateIsStickyAcrossValidBytes) {
+  // A corrupted type byte kills the stream; appending a well-formed
+  // frame afterwards must not resynchronize it.
+  std::string bytes = MakeValidSession();
+  bytes[4] = '\x63';  // first frame's type byte -> unknown type 99
+  FrameParser parser;
+  parser.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(parser.Next(&frame), FrameStatus::kError);
+  std::string fresh;
+  AppendControlFrame(FrameType::kBarrier, &fresh);
+  parser.Feed(fresh.data(), fresh.size());
+  EXPECT_EQ(parser.Next(&frame), FrameStatus::kError);
+}
+
+TEST(FramingFuzzTest, GarbageBuffersNeverCrash) {
+  for (uint32_t trial = 0; trial < 500; ++trial) {
+    Rng rng(StreamSeed(0xF4A3E, trial, 1));
+    std::string garbage(rng.UniformInt(256), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.UniformU64());
+    const Drained whole = DrainWhole(garbage);
+    const Drained stream = DrainByteAtATime(garbage);
+    EXPECT_EQ(whole.frames.size(), stream.frames.size()) << "trial " << trial;
+    EXPECT_EQ(whole.terminal, stream.terminal) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,0 +1,118 @@
+// Shared seeded-mutation vocabulary for the in-tree fuzz regression
+// tests (snapshot_fuzz_test.cc, framing_fuzz_test.cc,
+// plan_fuzz_test.cc).
+//
+// These tests and the coverage-guided harnesses under fuzz/ attack the
+// same parsers from two angles: libFuzzer evolves its own corpus
+// (nightly, clang-only), while these mutators run a few thousand
+// deterministic trials on every `ctest` invocation on every toolchain.
+// One mutation vocabulary — truncate / flip / extend / splice — keeps
+// the two in sync: a crasher class one side can express, the other can
+// reproduce as a checked-in regression trial.
+//
+// All randomness flows through loloha::Rng (repo determinism lint): a
+// failing trial is identified by its seed stream alone and replays
+// identically on any machine. Draw order inside each mutator is part of
+// that contract — reordering draws silently re-labels every trial.
+
+#ifndef LOLOHA_TESTS_FUZZ_UTIL_H_
+#define LOLOHA_TESTS_FUZZ_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace loloha {
+namespace fuzz_util {
+
+// Truncate to a uniform length in [0, size) — always strictly shorter.
+inline std::string Truncate(const std::string& input, Rng& rng) {
+  if (input.empty()) return input;
+  std::string out = input;
+  out.resize(rng.UniformInt(input.size()));
+  return out;
+}
+
+// XOR 1..max_flips bytes with non-zero masks (every flip is a real
+// change). Touched offsets are appended to *flipped when non-null, so a
+// caller can reason about which bytes a surviving parse absorbed.
+inline std::string FlipBytes(const std::string& input, Rng& rng,
+                             std::vector<size_t>* flipped = nullptr,
+                             uint64_t max_flips = 8) {
+  if (input.empty()) return input;
+  std::string out = input;
+  const uint64_t flips = 1 + rng.UniformInt(max_flips);
+  for (uint64_t i = 0; i < flips; ++i) {
+    const size_t at = rng.UniformInt(out.size());
+    out[at] = static_cast<char>(out[at] ^
+                                static_cast<char>(1 + rng.UniformInt(255)));
+    if (flipped != nullptr) flipped->push_back(at);
+  }
+  return out;
+}
+
+// Append 1..max_extra trailing garbage bytes.
+inline std::string Extend(const std::string& input, Rng& rng,
+                          uint64_t max_extra = 64) {
+  std::string out = input;
+  const uint64_t extra = 1 + rng.UniformInt(max_extra);
+  for (uint64_t i = 0; i < extra; ++i) {
+    out.push_back(static_cast<char>(rng.UniformU64()));
+  }
+  return out;
+}
+
+// Crossover: a uniform prefix of `a` glued to a uniform suffix of `b`.
+// Splice(x, x, ...) is the classic mid-stream corruption shape —
+// dropped or repeated runs with valid bytes on both sides (a resumed
+// download, a torn write), which flips/truncation cannot express.
+inline std::string Splice(const std::string& a, const std::string& b,
+                          Rng& rng) {
+  const size_t cut_a = rng.UniformInt(a.size() + 1);
+  const size_t cut_b = rng.UniformInt(b.size() + 1);
+  return a.substr(0, cut_a) + b.substr(cut_b);
+}
+
+enum class MutationMode : uint32_t {
+  kTruncate = 0,
+  kFlip = 1,
+  kExtend = 2,
+  kSplice = 3,
+};
+
+struct Mutation {
+  MutationMode mode = MutationMode::kTruncate;
+  std::vector<size_t> flipped;  // offsets touched, kFlip only
+};
+
+// One mutation drawn uniformly from the four mutators; `donor` supplies
+// the kSplice suffix (pass `base` itself for self-splice). The applied
+// mode and any flipped offsets are reported through *mutation.
+inline std::string Mutate(const std::string& base, const std::string& donor,
+                          Rng& rng, Mutation* mutation = nullptr) {
+  const auto mode = static_cast<MutationMode>(rng.UniformInt(4));
+  if (mutation != nullptr) {
+    mutation->mode = mode;
+    mutation->flipped.clear();
+  }
+  switch (mode) {
+    case MutationMode::kTruncate:
+      return Truncate(base, rng);
+    case MutationMode::kFlip:
+      return FlipBytes(base, rng,
+                       mutation != nullptr ? &mutation->flipped : nullptr);
+    case MutationMode::kExtend:
+      return Extend(base, rng);
+    case MutationMode::kSplice:
+    default:
+      return Splice(base, donor, rng);
+  }
+}
+
+}  // namespace fuzz_util
+}  // namespace loloha
+
+#endif  // LOLOHA_TESTS_FUZZ_UTIL_H_

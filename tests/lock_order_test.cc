@@ -1,0 +1,179 @@
+// Self-test for the debug-build lock-order deadlock detector
+// (util/lock_order.h). Seeds deliberate inversions with test-reserved
+// ranks and asserts the detector aborts with the report — including both
+// witness stacks: the current thread's held stack and the first-seen
+// witness recorded on the conflicting acquired-before edge.
+//
+// The death tests fork (threadsafe style: re-exec from main, so the
+// child's process-wide graph starts clean) and each statement builds its
+// own edge history before triggering the inversion, so tests do not
+// depend on execution order.
+
+#include "util/lock_order.h"
+#include "util/thread_annotations.h"
+
+#include <gtest/gtest.h>
+
+namespace loloha {
+namespace {
+
+#if LOLOHA_LOCK_ORDER_CHECKS
+
+constexpr LockRank kRankA{lock_rank::kTestBase + 0, "test.A"};
+constexpr LockRank kRankB{lock_rank::kTestBase + 1, "test.B"};
+constexpr LockRank kRankC{lock_rank::kTestBase + 2, "test.C"};
+
+class LockOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Fork-and-exec death tests: the child re-runs from main with a
+    // fresh graph, so edges seeded inside the death statement are the
+    // only ones it sees. (The default "fast" style would inherit this
+    // process's graph and any pool threads.)
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    lock_order::ResetForTest();
+  }
+  void TearDown() override { lock_order::ResetForTest(); }
+};
+
+// The canonical deadlock: A-then-B observed, later B-then-A attempted.
+// Both orders on ONE thread seconds apart are enough — the detector
+// proves the schedule exists without needing it to happen.
+void SeedInversionAB() {
+  Mutex a(kRankA);
+  Mutex b(kRankB);
+  {
+    MutexLock la(a);
+    MutexLock lb(b);  // records edge A -> B
+  }
+  {
+    MutexLock lb(b);
+    MutexLock la(a);  // closes the cycle: aborts here
+  }
+}
+
+TEST_F(LockOrderTest, SeededInversionAborts) {
+  EXPECT_DEATH(SeedInversionAB(),
+               "lock-order inversion: acquiring test\\.A \\(rank 56\\) "
+               "while holding test\\.B \\(rank 57\\)");
+}
+
+TEST_F(LockOrderTest, ReportCarriesCurrentThreadWitnessStack) {
+  EXPECT_DEATH(SeedInversionAB(),
+               "this thread: thread [0-9a-f]+ held \\[test\\.B\\] "
+               "while acquiring test\\.A");
+}
+
+TEST_F(LockOrderTest, ReportCarriesFirstSeenWitnessStack) {
+  // The conflicting edge A -> B replays the witness recorded when it was
+  // first observed — the *other* side of the would-be deadlock.
+  EXPECT_DEATH(SeedInversionAB(),
+               "test\\.A -> test\\.B  first seen: thread [0-9a-f]+ held "
+               "\\[test\\.A\\] while acquiring test\\.B");
+}
+
+TEST_F(LockOrderTest, TransitiveInversionAborts) {
+  // A -> B and B -> C are each fine; C-then-A closes the 3-cycle even
+  // though A and C were never directly nested.
+  EXPECT_DEATH(
+      {
+        Mutex a(kRankA);
+        Mutex b(kRankB);
+        Mutex c(kRankC);
+        {
+          MutexLock la(a);
+          MutexLock lb(b);
+        }
+        {
+          MutexLock lb(b);
+          MutexLock lc(c);
+        }
+        MutexLock lc(c);
+        MutexLock la(a);
+      },
+      "lock-order inversion: acquiring test\\.A \\(rank 56\\) while "
+      "holding test\\.C \\(rank 58\\)");
+}
+
+TEST_F(LockOrderTest, SameRankNestingAborts) {
+  // Sibling instances (e.g. two ingest shard queues) share a rank
+  // because the code never holds two at once.
+  EXPECT_DEATH(
+      {
+        Mutex s1(kRankA);
+        Mutex s2(kRankA);
+        MutexLock l1(s1);
+        MutexLock l2(s2);
+      },
+      "lock-order inversion: acquiring test\\.A \\(rank 56\\) while "
+      "holding another lock of the same rank");
+}
+
+TEST_F(LockOrderTest, ConsistentOrderIsClean) {
+  Mutex a(kRankA);
+  Mutex b(kRankB);
+  Mutex c(kRankC);
+  for (int i = 0; i < 3; ++i) {
+    MutexLock la(a);
+    EXPECT_EQ(lock_order::HeldCountForTest(), 1);
+    MutexLock lb(b);
+    MutexLock lc(c);
+    EXPECT_EQ(lock_order::HeldCountForTest(), 3);
+  }
+  EXPECT_EQ(lock_order::HeldCountForTest(), 0);
+}
+
+TEST_F(LockOrderTest, UnrankedMutexesAreInvisible) {
+  // Rankless test scaffolding never contributes edges, in either
+  // nesting direction.
+  Mutex plain_a;
+  Mutex plain_b;
+  {
+    MutexLock la(plain_a);
+    MutexLock lb(plain_b);
+    EXPECT_EQ(lock_order::HeldCountForTest(), 0);
+  }
+  {
+    MutexLock lb(plain_b);
+    MutexLock la(plain_a);
+  }
+}
+
+TEST_F(LockOrderTest, HandOverHandReleaseIsTracked) {
+  // Non-LIFO release: release the outer lock first; the held stack must
+  // drop the right entry, not the innermost one.
+  Mutex a(kRankA);
+  Mutex b(kRankB);
+  a.Lock();
+  b.Lock();
+  a.Unlock();
+  EXPECT_EQ(lock_order::HeldCountForTest(), 1);
+  // A fresh A-acquisition now nests under B — but B -> A conflicts with
+  // the A -> B edge recorded above, so only verify the count here.
+  b.Unlock();
+  EXPECT_EQ(lock_order::HeldCountForTest(), 0);
+}
+
+// The production rank table's expected nesting (Collector.mu held across
+// ParallelFor, which takes ThreadPool.mu) must stay clean.
+TEST_F(LockOrderTest, ProductionNestingCollectorThenPoolIsClean) {
+  Mutex collector(lock_rank::kCollector);
+  Mutex pool(lock_rank::kThreadPool);
+  MutexLock lc(collector);
+  MutexLock lp(pool);
+  EXPECT_EQ(lock_order::HeldCountForTest(), 2);
+}
+
+#else  // !LOLOHA_LOCK_ORDER_CHECKS
+
+TEST(LockOrderTest, ChecksCompiledOut) {
+  // Release builds: the detector is a no-op and Mutex stores no rank.
+  Mutex a(LockRank{1, "release.A"});
+  MutexLock la(a);
+  EXPECT_EQ(lock_order::HeldCountForTest(), 0);
+}
+
+#endif  // LOLOHA_LOCK_ORDER_CHECKS
+
+}  // namespace
+}  // namespace loloha

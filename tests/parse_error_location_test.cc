@@ -1,0 +1,367 @@
+// Every refusal site in the text parsers must point at its input line.
+//
+// The experiment-plan grammar (sim/experiment.h) reports "line N: ..."
+// and the slice-partial readers (sim/slice.h) report "<name>:N: ...";
+// a diagnostic without a location forces whoever edited a 40-line plan
+// or a multi-thousand-line partial to bisect by hand. These tables
+// enumerate the refusal sites one bad input each — adding an unlocated
+// error path to either parser shows up here as a prefix mismatch, not
+// as a silent regression. (The b and eps1 range checks used to be
+// exactly that: rejected only by whole-plan Validate(), with no line.)
+//
+// Out of scope: ExperimentPlan::Validate() cross-line checks (they
+// relate *several* lines, so no single location exists) and file-open
+// failures in LoadSlicePartial (located by path, not line).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/slice.h"
+
+namespace loloha {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ParseExperimentPlan: "line N: <message>"
+// ---------------------------------------------------------------------------
+
+struct PlanCase {
+  const char* name;       // test label
+  const char* text;       // plan input
+  size_t line;            // expected 1-based line of the diagnostic
+  const char* fragment;   // expected substring of the message
+};
+
+const PlanCase kPlanCases[] = {
+    {"unterminated_section", "[experiment\n", 1, "unterminated section"},
+    {"unknown_section", "[bogus]\n", 1, "unknown section '[bogus]'"},
+    {"missing_equals", "[experiment]\nname\n", 2, "expected 'key = value'"},
+    {"empty_key", "[experiment]\n= x\n", 2, "empty key before '='"},
+    {"empty_value", "[experiment]\nname =\n", 2, "empty value for key 'name'"},
+    {"key_outside_section", "name = x\n", 1, "outside any [section]"},
+    {"duplicate_key", "[experiment]\nname = a\nname = b\n", 3,
+     "duplicate key 'name' in [experiment]"},
+    {"unknown_kind", "[experiment]\nkind = bogus\n", 2,
+     "unknown experiment kind 'bogus'"},
+    {"unknown_dataset", "[experiment]\ndatasets = nope\n", 2,
+     "unknown dataset 'nope'"},
+    {"bad_bucket_divisor", "[experiment]\nbucket_divisors = 2, x\n", 2,
+     "bucket divisor 'x'"},
+    {"bad_protocol", "[experiment]\nprotocols = nosuch\n", 2,
+     "bad protocol spec 'nosuch'"},
+    {"n_malformed", "[experiment]\nn = abc\n", 2, "malformed number for 'n'"},
+    {"n_not_positive", "[experiment]\nn = 0\n", 2, "n must be positive"},
+    {"k_malformed", "[experiment]\nk = 4.5\n", 2,
+     "malformed integer for 'k'"},
+    {"k_too_small", "[experiment]\nk = 1\n", 2, "k must be >= 2"},
+    {"b_malformed", "[experiment]\nb = -3\n", 2, "malformed integer for 'b'"},
+    {"b_is_one", "[experiment]\nb = 1\n", 2, "b must be 0 (= k) or >= 2"},
+    {"eps_not_positive", "[experiment]\neps = 0\n", 2, "eps must be positive"},
+    {"eps1_malformed", "[experiment]\neps1 = abc\n", 2,
+     "malformed number for 'eps1'"},
+    {"eps1_negative", "[experiment]\neps1 = -1\n", 2,
+     "eps1 must be a finite number >= 0"},
+    {"eps1_not_finite", "[experiment]\neps1 = inf\n", 2,
+     "eps1 must be a finite number >= 0"},
+    {"unknown_experiment_key", "[experiment]\nbogus = 1\n", 2,
+     "unknown key 'bogus' in [experiment]"},
+    {"unknown_grid_key", "[grid]\nbogus = 1\n", 2,
+     "unknown key 'bogus' in [grid]"},
+    {"grid_malformed_number", "[grid]\neps_perm = 1, x\n", 2,
+     "malformed number 'x' in 'eps_perm'"},
+    {"eps_perm_not_positive", "[grid]\neps_perm = 0\n", 2,
+     "eps_perm values must be positive"},
+    {"alpha_out_of_range", "[grid]\nalpha = 1.5\n", 2,
+     "alpha values must be in (0, 1)"},
+    {"runs_zero", "[run]\nruns = 0\n", 2, "runs must be >= 1"},
+    {"threads_too_big", "[run]\nthreads = 5000\n", 2,
+     "threads must be in [0, 4096]"},
+    {"scale_zero", "[run]\nscale = 0\n", 2, "scale must be >= 1"},
+    {"seed_malformed", "[run]\nseed = x\n", 2, "malformed integer for 'seed'"},
+    {"quick_bad", "[run]\nquick = maybe\n", 2,
+     "quick must be 'true' or 'false'"},
+    {"slice_bad", "[run]\nslice = 9\n", 2, "malformed slice '9'"},
+    {"slice_index_out_of_range", "[run]\nslice = 4/4\n", 2,
+     "slice index 4 out of range"},
+    {"unknown_run_key", "[run]\nbogus = 1\n", 2,
+     "unknown key 'bogus' in [run]"},
+    {"unknown_output_key", "[output]\nbogus = x\n", 2,
+     "unknown key 'bogus' in [output]"},
+};
+
+class PlanErrorLocationTest : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(PlanErrorLocationTest, RefusalCarriesLineNumber) {
+  const PlanCase& c = GetParam();
+  ExperimentPlan plan;
+  std::string error;
+  ASSERT_FALSE(ParseExperimentPlan(c.text, &plan, &error)) << c.text;
+  const std::string prefix = "line " + std::to_string(c.line) + ": ";
+  EXPECT_EQ(error.substr(0, prefix.size()), prefix) << "error: " << error;
+  EXPECT_NE(error.find(c.fragment), std::string::npos)
+      << "error: " << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRefusalSites, PlanErrorLocationTest,
+                         ::testing::ValuesIn(kPlanCases),
+                         [](const auto& param_info) {
+                           return std::string(param_info.param.name);
+                         });
+
+// A comment or blank line still counts toward the reported position, so
+// the number matches what an editor shows.
+TEST(PlanErrorLocationTest, CommentsAndBlanksKeepEditorLineNumbers) {
+  ExperimentPlan plan;
+  std::string error;
+  ASSERT_FALSE(ParseExperimentPlan(
+      "# header comment\n\n[experiment]\n\n# another\nk = 1\n", &plan,
+      &error));
+  EXPECT_EQ(error.substr(0, 8), std::string("line 6: ")) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Slice partials: "<name>:N: <message>"
+// ---------------------------------------------------------------------------
+
+constexpr char kCsvName[] = "p.csv";
+constexpr char kSidecarName[] = "p.csv.meta.json";
+constexpr char kJsonName[] = "p.json";
+
+// A well-formed partial: slice 1/3 of a 6-unit grid owns units 1 and 4.
+SlicePartial MakePartial(std::vector<uint64_t> unit_indices) {
+  SlicePartial partial;
+  partial.plan_name = "loc";
+  partial.kind = "variance";
+  partial.seed = 7;
+  partial.git_describe = "test";
+  partial.slice = {1, 3};
+  partial.units_total = 6;
+  partial.plan_text = "[experiment]\n";
+  for (const uint64_t index : unit_indices) {
+    SliceUnit unit;
+    unit.index = index;
+    unit.cell = 1.5 + static_cast<double>(index);
+    partial.units.push_back(unit);
+  }
+  return partial;
+}
+
+ArtifactMeta MetaFor(const SlicePartial& partial) {
+  ArtifactMeta meta;
+  meta.plan_name = partial.plan_name;
+  meta.kind = partial.kind;
+  meta.table = partial.plan_name;
+  meta.seed = partial.seed;
+  meta.git_describe = partial.git_describe;
+  meta.slice = partial.slice;
+  meta.units = partial.units.size();
+  meta.units_total = partial.units_total;
+  meta.plan_text = partial.plan_text;
+  return meta;
+}
+
+std::string Sidecar(const SlicePartial& partial) {
+  return ProvenanceJsonBody(MetaFor(partial)) + "}\n";
+}
+
+std::string JsonPartialText(const SlicePartial& partial) {
+  std::string out = ProvenanceJsonBody(MetaFor(partial));
+  AppendSlicePartialDataJson(partial, &out);
+  out += "}\n";
+  return out;
+}
+
+void ExpectLocatedCsvError(const std::string& csv, const std::string& sidecar,
+                           const std::string& file, size_t line,
+                           const std::string& fragment) {
+  SlicePartial parsed;
+  std::string error;
+  ASSERT_FALSE(ParseSlicePartialCsv(csv, sidecar, kCsvName, kSidecarName,
+                                    &parsed, &error))
+      << csv;
+  const std::string prefix = file + ":" + std::to_string(line) + ": ";
+  EXPECT_EQ(error.substr(0, prefix.size()), prefix) << "error: " << error;
+  EXPECT_NE(error.find(fragment), std::string::npos) << "error: " << error;
+}
+
+void ExpectLocatedJsonError(const std::string& json, size_t line,
+                            const std::string& fragment) {
+  SlicePartial parsed;
+  std::string error;
+  ASSERT_FALSE(ParseSlicePartialJson(json, kJsonName, &parsed, &error))
+      << json;
+  const std::string prefix =
+      std::string(kJsonName) + ":" + std::to_string(line) + ": ";
+  EXPECT_EQ(error.substr(0, prefix.size()), prefix) << "error: " << error;
+  EXPECT_NE(error.find(fragment), std::string::npos) << "error: " << error;
+}
+
+TEST(SliceCsvErrorLocationTest, BaselinePartialRoundTrips) {
+  const SlicePartial partial = MakePartial({1, 4});
+  SlicePartial reread;
+  std::string error;
+  ASSERT_TRUE(ParseSlicePartialCsv(SlicePartialCsv(partial), Sidecar(partial),
+                                   kCsvName, kSidecarName, &reread, &error))
+      << error;
+  EXPECT_EQ(reread, partial);
+}
+
+TEST(SliceCsvErrorLocationTest, SyntaxRefusalsCarryLineNumbers) {
+  const SlicePartial good = MakePartial({1, 4});
+  const std::string sidecar = Sidecar(good);
+  // Line layout of a serialized partial: header is line 1, one unit per
+  // line after it, 'end' trailer last.
+  const std::string header =
+      "loloha_slice,v1,loc,variance,7,1,3,6\n";
+
+  ExpectLocatedCsvError("", sidecar, kCsvName, 1,
+                        "empty partial: missing header line");
+  ExpectLocatedCsvError("bogus,header\n", sidecar, kCsvName, 1,
+                        "not a loloha_slice v1 partial header");
+  ExpectLocatedCsvError("loloha_slice,v1,loc,variance,x,1,3,6\n", sidecar,
+                        kCsvName, 1, "malformed numbers in partial header");
+  ExpectLocatedCsvError("loloha_slice,v1,loc,variance,8,1,3,6\n", sidecar,
+                        kCsvName, 1, "partial header disagrees with sidecar");
+  ExpectLocatedCsvError(header + "cell,1,0x0000000000000000\n", sidecar,
+                        kCsvName, 2, "missing 'end' trailer");
+  ExpectLocatedCsvError(header + "end,0", sidecar, kCsvName, 2,
+                        "last line has no newline");
+  ExpectLocatedCsvError(header + "\"oops,1\n", sidecar, kCsvName, 2,
+                        "malformed CSV line");
+  ExpectLocatedCsvError(header + "end,x\n", sidecar, kCsvName, 2,
+                        "malformed 'end' trailer");
+  ExpectLocatedCsvError(header + "end,5\n", sidecar, kCsvName, 2,
+                        "'end' trailer says 5");
+  ExpectLocatedCsvError(header + "frob,1\n", sidecar, kCsvName, 2,
+                        "unknown record 'frob'");
+  ExpectLocatedCsvError(header + "cell,1,zz\n", sidecar, kCsvName, 2,
+                        "malformed cell unit");
+  ExpectLocatedCsvError(header + "row,1\n", sidecar, kCsvName, 2,
+                        "malformed row unit");
+  ExpectLocatedCsvError(header + "end,0\ncell,1,0x0000000000000000\n", sidecar,
+                        kCsvName, 3, "trailing data after 'end' trailer");
+}
+
+TEST(SliceCsvErrorLocationTest, UnitValidationPointsAtTheOffendingRecord) {
+  // ValidateUnits refusals name the line the bad unit was parsed from,
+  // not a generic position: header is line 1, so units[i] sits on line
+  // 2 + i and the 'end' trailer on the line after the last unit.
+  const std::string sidecar = Sidecar(MakePartial({1, 4}));
+
+  const SlicePartial out_of_range = MakePartial({1, 10});
+  ExpectLocatedCsvError(SlicePartialCsv(out_of_range), sidecar, kCsvName, 3,
+                        "unit 10 out of range (units_total = 6)");
+
+  const SlicePartial not_owned = MakePartial({1, 5});
+  ExpectLocatedCsvError(SlicePartialCsv(not_owned), sidecar, kCsvName, 3,
+                        "unit 5 is not owned by slice 1-of-3");
+
+  const SlicePartial out_of_order = MakePartial({4, 1});
+  ExpectLocatedCsvError(SlicePartialCsv(out_of_order), sidecar, kCsvName, 3,
+                        "units out of order at 1");
+
+  // The cardinality check relates the whole set, so it points at the
+  // 'end' trailer (line 3 here: header, one unit, end).
+  SlicePartial short_partial = MakePartial({1});
+  std::string short_sidecar = Sidecar(short_partial);
+  ExpectLocatedCsvError(SlicePartialCsv(short_partial), short_sidecar,
+                        kCsvName, 3,
+                        "carries 1 unit(s) but owns 2");
+}
+
+TEST(SliceCsvErrorLocationTest, SidecarRefusalsNameTheSidecar) {
+  const std::string csv = SlicePartialCsv(MakePartial({1, 4}));
+  ExpectLocatedCsvError(csv, "[]\n", kSidecarName, 1,
+                        "sidecar is not a JSON object");
+  // Provenance field checks locate to the sidecar's first line (the
+  // document is one line anyway).
+  ExpectLocatedCsvError(
+      csv,
+      "{\"plan\": \"loc\", \"kind\": \"variance\", \"seed\": 7, "
+      "\"slice_index\": 1, \"slice_count\": 3, \"units_total\": 6, "
+      "\"plan_text\": \"x\"}\n",
+      kSidecarName, 1, "missing or non-string \"git\"");
+  ExpectLocatedCsvError(
+      csv,
+      "{\"plan\": \"loc\", \"kind\": \"variance\", \"seed\": 7, "
+      "\"git\": \"test\", \"slice_index\": 3, \"slice_count\": 3, "
+      "\"units_total\": 6, \"plan_text\": \"x\"}\n",
+      kSidecarName, 1, "invalid slice stamp 3/3");
+}
+
+TEST(SliceJsonErrorLocationTest, RefusalsCarryLineNumbers) {
+  const SlicePartial good = MakePartial({1, 4});
+  const std::string provenance = ProvenanceJsonBody(MetaFor(good));
+
+  ExpectLocatedJsonError("[]\n", 1, "partial is not a JSON object");
+  ExpectLocatedJsonError(provenance + "}\n", 1,
+                         "missing \"units_data\" array");
+  ExpectLocatedJsonError(provenance + ", \"units_data\": [[\"cell\"]]}\n", 1,
+                         "malformed units_data entry");
+  ExpectLocatedJsonError(
+      provenance + ", \"units_data\": [[\"cell\", 1, \"0\"]]}\n", 1,
+      "non-string field in units_data entry");
+  ExpectLocatedJsonError(
+      provenance + ", \"units_data\": [[\"cell\", \"x\", \"0\"]]}\n", 1,
+      "malformed unit index in units_data");
+  ExpectLocatedJsonError(
+      provenance + ", \"units_data\": [[\"cell\", \"1\", \"zz\"]]}\n", 1,
+      "malformed cell unit in units_data");
+  ExpectLocatedJsonError(
+      provenance + ", \"units_data\": [[\"frob\", \"1\"]]}\n", 1,
+      "unknown units_data record 'frob'");
+}
+
+TEST(SliceJsonErrorLocationTest, EmptyPlanTextIsLocated) {
+  // Hand-written document: only plan_text is empty, all else valid.
+  ExpectLocatedJsonError(
+      "{\"plan\": \"loc\", \"kind\": \"variance\", \"seed\": 7, "
+      "\"git\": \"test\", \"slice_index\": 1, \"slice_count\": 3, "
+      "\"units_total\": 6, \"plan_text\": \"\", \"units_data\": []}\n",
+      1, "empty \"plan_text\" in slice provenance");
+}
+
+TEST(SliceJsonErrorLocationTest, UnitValidationFallsBackToLineOne) {
+  // The JSON document is a single line, so ValidateUnits reports line 1
+  // (consistent with every other JSON diagnostic).
+  ExpectLocatedJsonError(JsonPartialText(MakePartial({1, 10})), 1,
+                         "unit 10 out of range");
+  ExpectLocatedJsonError(JsonPartialText(MakePartial({1, 5})), 1,
+                         "unit 5 is not owned by slice 1-of-3");
+  ExpectLocatedJsonError(JsonPartialText(MakePartial({4, 1})), 1,
+                         "units out of order at 1");
+  ExpectLocatedJsonError(JsonPartialText(MakePartial({1})), 1,
+                         "carries 1 unit(s) but owns 2");
+}
+
+TEST(LoadSlicePartialTest, FileErrorsNameThePath) {
+  // File-open refusals carry the path (no line exists yet); everything
+  // after the open delegates to the located parsers above.
+  SlicePartial parsed;
+  std::string error;
+  ASSERT_FALSE(LoadSlicePartial("no_such_partial.csv", &parsed, &error));
+  EXPECT_NE(error.find("no_such_partial.csv: cannot open slice partial"),
+            std::string::npos)
+      << error;
+
+  const std::string csv_path =
+      ::testing::TempDir() + "/orphan_partial.csv";
+  {
+    std::FILE* f = std::fopen(csv_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const std::string csv = SlicePartialCsv(MakePartial({1, 4}));
+    ASSERT_EQ(std::fwrite(csv.data(), 1, csv.size(), f), csv.size());
+    std::fclose(f);
+  }
+  ASSERT_FALSE(LoadSlicePartial(csv_path, &parsed, &error));
+  EXPECT_NE(error.find("cannot open provenance sidecar"), std::string::npos)
+      << error;
+  std::remove(csv_path.c_str());
+}
+
+}  // namespace
+}  // namespace loloha

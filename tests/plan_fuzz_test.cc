@@ -1,0 +1,144 @@
+// Experiment-plan mutation regression test (sim/experiment.h), built on
+// the shared truncate/flip/extend/splice vocabulary in
+// tests/fuzz_util.h. The coverage-guided twin is fuzz/fuzz_plan.cc;
+// this test enforces the same properties on seeded trials per ctest
+// run, on every toolchain:
+//
+//   * arbitrary mutation of a valid plan text never crashes the parser;
+//   * every rejection carries a diagnostic;
+//   * every accepted-and-validated plan survives the canonical
+//     ToString/re-parse round trip exactly (the invariant the
+//     distributed slice fingerprint depends on).
+
+#include "sim/experiment.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz_util.h"
+#include "util/rng.h"
+
+namespace loloha {
+namespace {
+
+constexpr char kBasePlan[] = R"([experiment]
+name = fuzz_base
+kind = variance
+protocols = ololoha; l-osue:eps_perm=2,eps_first=1
+n = 1000
+k = 16
+
+[grid]
+eps_perm = 0.5, 1, 2
+alpha = 0.25, 0.5
+
+[run]
+seed = 20230328
+
+[output]
+csv = results/fuzz_base.csv
+)";
+
+constexpr char kDonorPlan[] = R"([experiment]
+name = fuzz_donor
+kind = mse
+protocols = bbitflip:eps_perm=2,buckets=4,d=3
+datasets = syn
+n = 500
+k = 8
+
+[grid]
+eps_perm = 1, 2
+alpha = 0.5
+
+[run]
+seed = 7
+runs = 2
+)";
+
+void CheckParseProperties(const std::string& text, uint32_t trial) {
+  ExperimentPlan plan;
+  std::string error;
+  if (!ParseExperimentPlan(text, &plan, &error)) {
+    ASSERT_FALSE(error.empty()) << "trial " << trial;
+    return;
+  }
+  if (!plan.Validate(&error)) {
+    ASSERT_FALSE(error.empty()) << "trial " << trial;
+    return;
+  }
+  const std::string canonical = plan.ToString();
+  ExperimentPlan reparsed;
+  error.clear();
+  ASSERT_TRUE(ParseExperimentPlan(canonical, &reparsed, &error))
+      << "trial " << trial << ": " << error;
+  ASSERT_EQ(reparsed, plan) << "trial " << trial;
+  ASSERT_EQ(reparsed.ToString(), canonical) << "trial " << trial;
+}
+
+TEST(PlanFuzzTest, BasePlansAreValid) {
+  // The trial base/donor texts must themselves parse and validate, or
+  // the mutation corpus below starts from dead inputs.
+  for (const char* text : {kBasePlan, kDonorPlan}) {
+    ExperimentPlan plan;
+    std::string error;
+    ASSERT_TRUE(ParseExperimentPlan(text, &plan, &error)) << error;
+    EXPECT_TRUE(plan.Validate(&error)) << error;
+  }
+}
+
+TEST(PlanFuzzTest, SeededMutationsNeverCrashAndKeepRoundTrip) {
+  const std::string base = kBasePlan;
+  const std::string donor = kDonorPlan;
+  for (uint32_t trial = 0; trial < 3000; ++trial) {
+    Rng rng(StreamSeed(0x91A4, trial, 0));
+    const std::string mutated = fuzz_util::Mutate(base, donor, rng);
+    CheckParseProperties(mutated, trial);
+  }
+}
+
+TEST(PlanFuzzTest, LineSplicesNeverCrashAndKeepRoundTrip) {
+  // The grammar is line-oriented, so byte-level splices mostly die on
+  // the first malformed line. Splice at line granularity as well: keep
+  // whole lines from both plans — far more of these parse, which is
+  // what drives the round-trip oracle through interesting states.
+  const std::string base = kBasePlan;
+  const std::string donor = kDonorPlan;
+  std::vector<std::string> base_lines;
+  std::vector<std::string> donor_lines;
+  {
+    std::string cur;
+    for (char c : base) {
+      if (c == '\n') {
+        base_lines.push_back(cur + '\n');
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    for (char c : donor) {
+      if (c == '\n') {
+        donor_lines.push_back(cur + '\n');
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+  }
+  for (uint32_t trial = 0; trial < 2000; ++trial) {
+    Rng rng(StreamSeed(0x91A4, trial, 1));
+    const size_t keep_base = rng.UniformInt(base_lines.size() + 1);
+    const size_t skip_donor = rng.UniformInt(donor_lines.size() + 1);
+    std::string mutated;
+    for (size_t i = 0; i < keep_base; ++i) mutated += base_lines[i];
+    for (size_t i = skip_donor; i < donor_lines.size(); ++i) {
+      mutated += donor_lines[i];
+    }
+    CheckParseProperties(mutated, trial);
+  }
+}
+
+}  // namespace
+}  // namespace loloha

@@ -1,13 +1,15 @@
 // Snapshot-format fuzzing and golden-file pinning
 // (server/store/snapshot_file.h).
 //
-// Fuzz layer: thousands of seeded, reproducible mutations (truncation,
-// byte flips, extension) of a valid snapshot image, plus pure garbage
-// buffers — the loader must never crash, and a mutated image may only
-// parse successfully when every mutated byte lies in the header's
-// 2-byte reserved pad (offsets 10-11), the only bytes no check covers.
-// All randomness flows through loloha::Rng (deterministic across
-// toolchains), per the repo's determinism lint.
+// Fuzz layer: thousands of seeded, reproducible mutations (the shared
+// truncate/flip/extend/splice vocabulary in tests/fuzz_util.h) of a
+// valid snapshot image, plus pure garbage buffers — the loader must
+// never crash, and a mutated image may only parse successfully when
+// every mutated byte lies in the header's 2-byte reserved pad (offsets
+// 10-11), the only bytes no check covers. All randomness flows through
+// loloha::Rng (deterministic across toolchains), per the repo's
+// determinism lint. The coverage-guided twin of this test is
+// fuzz/fuzz_snapshot.cc.
 //
 // Golden layer: tests/golden/*.snap are checked-in checkpoint files
 // written by real collectors over fixed traffic. The test regenerates
@@ -28,6 +30,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fuzz_util.h"
 #include "net_test_util.h"
 #include "server/collector.h"
 #include "sim/protocol_spec.h"
@@ -80,27 +83,18 @@ TEST(SnapshotFuzzTest, SeededMutationsNeverCrashOrSilentlyLoad) {
   constexpr uint32_t kTrials = 4000;
   for (uint32_t trial = 0; trial < kTrials; ++trial) {
     Rng rng(StreamSeed(0x5EED5, trial, 0));
-    std::string mutated = good;
+    std::string mutated;
     std::vector<size_t> flipped;
     const uint64_t mode = rng.UniformInt(3);
     if (mode == 0) {
       // Truncate anywhere, including to empty.
-      mutated.resize(rng.UniformInt(good.size()));
+      mutated = fuzz_util::Truncate(good, rng);
     } else if (mode == 1) {
       // Flip 1-8 bytes (guaranteed to change: XOR a non-zero mask).
-      const uint64_t flips = 1 + rng.UniformInt(8);
-      for (uint64_t i = 0; i < flips; ++i) {
-        const size_t at = rng.UniformInt(mutated.size());
-        mutated[at] = static_cast<char>(
-            mutated[at] ^ static_cast<char>(1 + rng.UniformInt(255)));
-        flipped.push_back(at);
-      }
+      mutated = fuzz_util::FlipBytes(good, rng, &flipped);
     } else {
       // Extend with trailing garbage.
-      const uint64_t extra = 1 + rng.UniformInt(64);
-      for (uint64_t i = 0; i < extra; ++i) {
-        mutated.push_back(static_cast<char>(rng.UniformU64()));
-      }
+      mutated = fuzz_util::Extend(good, rng);
     }
 
     SnapshotData parsed;
@@ -120,6 +114,33 @@ TEST(SnapshotFuzzTest, SeededMutationsNeverCrashOrSilentlyLoad) {
   }
   // (ReservedPadBytesAreBenign covers the only-benign-bytes case
   // deterministically — the random corpus rarely lands both bytes.)
+}
+
+TEST(SnapshotFuzzTest, SelfSplicesNeverCrashOrSilentlyLoad) {
+  // Splice the image with itself: dropped or repeated interior runs with
+  // valid bytes on both sides — a torn write or resumed copy, the shape
+  // truncation and flips cannot express. A splice only reproduces valid
+  // bytes when the two cut points coincide, so any surviving parse must
+  // still carry exactly the original logical content.
+  const std::string good = MakeValidImage();
+  SnapshotData original;
+  std::string error;
+  ASSERT_TRUE(ParseSnapshot(reinterpret_cast<const uint8_t*>(good.data()),
+                            good.size(), &original, &error))
+      << error;
+
+  for (uint32_t trial = 0; trial < 2000; ++trial) {
+    Rng rng(StreamSeed(0x5EED5, trial, 2));
+    const std::string mutated = fuzz_util::Splice(good, good, rng);
+    SnapshotData parsed;
+    std::string parse_error;
+    if (ParseSnapshot(reinterpret_cast<const uint8_t*>(mutated.data()),
+                      mutated.size(), &parsed, &parse_error)) {
+      ASSERT_EQ(parsed, original) << "trial " << trial;
+    } else {
+      ASSERT_FALSE(parse_error.empty()) << "trial " << trial;
+    }
+  }
 }
 
 TEST(SnapshotFuzzTest, GarbageBuffersNeverParse) {

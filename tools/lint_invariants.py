@@ -33,11 +33,22 @@ Rules (each line shows the rule id used by the escape hatch):
   test-registration      every tests/*_test.cc is registered with CMake
                          (explicitly or via the tests/*_test.cc glob)
                          and actually defines a TEST.
+  mutex-rank             every ``Mutex`` member declared in src/server/
+                         must carry an explicit lock rank
+                         (``Mutex mu_{lock_rank::kCollector};``) so the
+                         debug-build lock-order detector
+                         (util/lock_order.h) sees it; an unranked mutex
+                         is invisible to inversion detection.
+  allow-justification    every ``// lint:allow(rule)`` must carry a
+                         non-empty justification — after the closing
+                         paren, or (for an allow on its own line) in the
+                         comment line directly above it.
 
 Escape hatch: append ``// lint:allow(<rule-id>)`` to the flagged line,
 or put it on its own line directly above, with a comment saying why.
-Policy: an allow must state the discipline that replaces the rule (e.g.
-"sorted immediately below, order cannot escape").
+An allow must state the discipline that replaces the rule (e.g. "sorted
+immediately below, order cannot escape") — enforced by the
+allow-justification rule, which itself has no escape hatch.
 
 Usage:
   tools/lint_invariants.py [--root DIR]   # lint the tree (default: repo root)
@@ -84,6 +95,11 @@ INCLUDE_RE = re.compile(r"^\s*#\s*include\s*(<[^>]+>)")
 UNORDERED_DECL_RE = re.compile(
     r"std::unordered_(?:map|set)\s*<(?:[^<>]|<[^<>]*>)*>\s*&?\s*(\w+)"
 )
+
+# A Mutex member/variable declaration: `Mutex name;` or `Mutex name{...};`
+# (optionally `mutable`). `MutexLock lock(mu);` does not match (no space
+# after "Mutex"), nor do `Mutex&` / `Mutex*` parameters.
+MUTEX_DECL_RE = re.compile(r"(?<![\w:])Mutex\s+(\w+)\s*(;|\{[^}]*\})")
 
 TEST_MACRO_RE = re.compile(r"^\s*(?:TEST|TEST_F|TEST_P|TYPED_TEST)\s*\(",
                            re.MULTILINE)
@@ -201,10 +217,48 @@ def lint_cpp_file(rel_path: str, text: str) -> list[Violation]:
                 flag(line_no, "banned-include",
                      f"{inc.group(1)} is banned in src/ and tools/: "
                      f"{BANNED_INCLUDES[inc.group(1)]}")
+        if rel_path.startswith("src/server/"):
+            decl = MUTEX_DECL_RE.search(line)
+            if decl and "lock_rank::" not in decl.group(2):
+                flag(line_no, "mutex-rank",
+                     f"Mutex '{decl.group(1)}' in src/server/ has no lock "
+                     "rank — the debug-build lock-order detector cannot see "
+                     "it; declare it as Mutex "
+                     f"{decl.group(1)}{{lock_rank::k...}} (util/lock_order.h)")
 
     if in_library:
         violations.extend(
             lint_unordered_iteration(rel_path, clean, clean_lines, allows))
+    violations.extend(lint_allow_justification(rel_path, raw_lines))
+    return violations
+
+
+def lint_allow_justification(rel_path: str,
+                             raw_lines: list[str]) -> list[Violation]:
+    """Every lint:allow must say why — the rule with no escape hatch.
+
+    A justification is inline text after the allow's closing paren, or —
+    when the allow sits on its own comment line — a comment line with
+    real content directly above it.
+    """
+    violations: list[Violation] = []
+    for idx, line in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if not m:
+            continue
+        tail = line[m.end():].strip().lstrip("—–-: ")
+        if re.search(r"\w", tail):
+            continue
+        if line.strip().startswith("//"):
+            prev = raw_lines[idx - 2].strip() if idx >= 2 else ""
+            if (prev.startswith("//") and not ALLOW_RE.search(prev)
+                    and re.search(r"\w", prev.lstrip("/ "))):
+                continue
+        violations.append(Violation(
+            rel_path, idx, "allow-justification",
+            "lint:allow without a justification — state the discipline "
+            "that replaces the rule, after the closing paren or in the "
+            "comment line directly above"))
     return violations
 
 

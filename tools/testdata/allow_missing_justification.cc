@@ -1,0 +1,25 @@
+// lint-fixture-path: src/core/fixture.cc
+// lint-fixture-expect: allow-justification
+//
+// Naked allows: the suppressed rules stay quiet, but each allow is
+// itself flagged because nothing states the replacing discipline —
+// neither after the paren nor in a comment line directly above.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+std::vector<uint32_t> Sorted(const std::unordered_set<uint32_t>& values) {
+  std::vector<uint32_t> out;
+  // lint:allow(unordered-iteration)
+  for (const uint32_t v : values) {
+    out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint32_t Draw() {
+  std::mt19937 gen(42);  // lint:allow(nondeterministic-rng)
+  return static_cast<uint32_t>(gen());
+}

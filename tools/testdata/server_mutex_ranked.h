@@ -1,0 +1,24 @@
+// lint-fixture-path: src/server/fixture.h
+// lint-fixture-expect: clean
+//
+// The sanctioned pattern: every server-side Mutex carries its lock
+// rank, so the debug-build detector (util/lock_order.h) orders it.
+// MutexLock uses and Mutex& parameters are not declarations and must
+// not trip the rule.
+#include "util/lock_order.h"
+#include "util/thread_annotations.h"
+
+namespace loloha {
+
+class Fixture {
+ public:
+  void Touch(Mutex& other) {
+    MutexLock lock(mu_);
+    (void)other;
+  }
+
+ private:
+  mutable Mutex mu_{lock_rank::kCollector};
+};
+
+}  // namespace loloha

@@ -1,0 +1,17 @@
+// lint-fixture-path: src/server/fixture.h
+// lint-fixture-expect: mutex-rank
+//
+// Unranked Mutex members in src/server/ — invisible to the debug-build
+// lock-order detector (util/lock_order.h), so the linter refuses them.
+// Both spellings: no initializer, and an initializer without a rank.
+#include "util/thread_annotations.h"
+
+namespace loloha {
+
+class Fixture {
+ private:
+  Mutex mu_;
+  mutable Mutex state_mu_{};
+};
+
+}  // namespace loloha
